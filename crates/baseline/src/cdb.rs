@@ -1,0 +1,528 @@
+//! `CdbEngine`: the cloud operational database comparator ("CDB" in the
+//! paper's §6).
+//!
+//! Models the properties the paper attributes to row-oriented operational
+//! databases: B-tree-style primary and secondary indexes give competitive
+//! OLTP point reads and writes, but analytics run row-at-a-time over
+//! uncompressed rows — no columnar layout, no vectorization, no segment
+//! elimination, no encoded execution — which is why the paper's CDB is
+//! orders of magnitude slower on TPC-H ("because of the use of a
+//! row-oriented storage format and single-host query execution on complex
+//! query operations").
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use s2_common::io::{ByteReader, ByteWriter};
+use s2_common::{Error, Result, Row, Schema, Value};
+use s2_exec::{AggFunc, Aggregate, Expr, JoinType, SortDir};
+use s2_query::Plan;
+
+/// Serialize a row the way a heap page stores tuples: length-prefixed,
+/// all columns inline. Scans must decode the whole tuple to read any
+/// column — the defining analytical cost of a row-oriented format
+/// (no late materialization, no columnar compression).
+fn encode_row(row: &Row) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_varint(row.len() as u64);
+    for v in row.values() {
+        w.put_value(v);
+    }
+    w.into_bytes()
+}
+
+fn decode_row(bytes: &[u8]) -> Result<Row> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_varint()? as usize;
+    Ok(Row::new((0..n).map(|_| r.get_value()).collect::<Result<_>>()?))
+}
+
+/// One row-oriented table: primary B-tree over serialized tuples plus
+/// secondary indexes.
+struct CdbTable {
+    schema: Schema,
+    pk_cols: Vec<usize>,
+    /// Primary index: PK -> serialized tuple.
+    rows: BTreeMap<Vec<Value>, Vec<u8>>,
+    /// Secondary indexes: columns -> (key values -> PKs).
+    secondary: Vec<(Vec<usize>, BTreeMap<Vec<Value>, Vec<Vec<Value>>>)>,
+}
+
+impl CdbTable {
+    fn index_row(&mut self, row: &Row) {
+        let pk = row.project(&self.pk_cols);
+        for (cols, index) in &mut self.secondary {
+            index.entry(row.project(cols)).or_default().push(pk.clone());
+        }
+    }
+
+    fn unindex_row(&mut self, row: &Row) {
+        let pk = row.project(&self.pk_cols);
+        for (cols, index) in &mut self.secondary {
+            if let Some(pks) = index.get_mut(&row.project(cols)) {
+                pks.retain(|p| p != &pk);
+            }
+        }
+    }
+}
+
+/// The row-store comparator engine.
+pub struct CdbEngine {
+    tables: RwLock<HashMap<String, Arc<RwLock<CdbTable>>>>,
+}
+
+impl Default for CdbEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CdbEngine {
+    /// Empty engine.
+    pub fn new() -> CdbEngine {
+        CdbEngine { tables: RwLock::new(HashMap::new()) }
+    }
+
+    /// Create a table with a primary key and optional secondary indexes.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        pk_cols: Vec<usize>,
+        secondary: Vec<Vec<usize>>,
+    ) -> Result<()> {
+        let name = name.into();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(Error::InvalidArgument(format!("table {name:?} exists")));
+        }
+        tables.insert(
+            name,
+            Arc::new(RwLock::new(CdbTable {
+                schema,
+                pk_cols,
+                rows: BTreeMap::new(),
+                secondary: secondary.into_iter().map(|c| (c, BTreeMap::new())).collect(),
+            })),
+        );
+        Ok(())
+    }
+
+    fn table(&self, name: &str) -> Result<Arc<RwLock<CdbTable>>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {name:?}")))
+    }
+
+    /// Insert a row (duplicate PK = error).
+    pub fn insert(&self, table: &str, row: Row) -> Result<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let row = Row::checked(row.into_values(), &t.schema)?;
+        let pk = row.project(&t.pk_cols);
+        if t.rows.contains_key(&pk) {
+            return Err(Error::DuplicateKey(format!("table {table:?}, key {pk:?}")));
+        }
+        t.index_row(&row);
+        t.rows.insert(pk, encode_row(&row));
+        Ok(())
+    }
+
+    /// Point read by PK (decodes one tuple, as a buffer-pool read would).
+    pub fn get(&self, table: &str, pk: &[Value]) -> Result<Option<Row>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        t.rows.get(pk).map(|b| decode_row(b)).transpose()
+    }
+
+    /// Read-modify-write by PK. Returns false when absent.
+    pub fn update_with(
+        &self,
+        table: &str,
+        pk: &[Value],
+        f: impl FnOnce(&Row) -> Row,
+    ) -> Result<bool> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let Some(old) = t.rows.get(pk).map(|b| decode_row(b)).transpose()? else {
+            return Ok(false);
+        };
+        let new_row = Row::checked(f(&old).into_values(), &t.schema)?;
+        if new_row.project(&t.pk_cols) != pk {
+            return Err(Error::InvalidArgument("update cannot change the PK".into()));
+        }
+        t.unindex_row(&old);
+        t.index_row(&new_row);
+        t.rows.insert(pk.to_vec(), encode_row(&new_row));
+        Ok(true)
+    }
+
+    /// Delete by PK.
+    pub fn delete(&self, table: &str, pk: &[Value]) -> Result<bool> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let Some(old) = t.rows.remove(pk) else { return Ok(false) };
+        t.unindex_row(&decode_row(&old)?);
+        Ok(true)
+    }
+
+    /// Secondary-index equality lookup.
+    pub fn lookup_secondary(
+        &self,
+        table: &str,
+        cols: &[usize],
+        key: &[Value],
+    ) -> Result<Vec<Row>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let (_, index) = t
+            .secondary
+            .iter()
+            .find(|(c, _)| c.as_slice() == cols)
+            .ok_or_else(|| Error::NotFound(format!("secondary index on {cols:?}")))?;
+        match index.get(key) {
+            None => Ok(Vec::new()),
+            Some(pks) => pks
+                .iter()
+                .filter_map(|pk| t.rows.get(pk))
+                .map(|b| decode_row(b))
+                .collect(),
+        }
+    }
+
+    /// Row-at-a-time filtered scan (the OLTP access path for non-indexed
+    /// predicates, e.g. TPC-C stock-level).
+    pub fn scan_filter(&self, table: &str, filter: &Expr) -> Result<Vec<Row>> {
+        let t = self.table(table)?;
+        let t = t.read();
+        let mut out = Vec::new();
+        for bytes in t.rows.values() {
+            let row = decode_row(bytes)?;
+            let get = |c: usize| row.get(c).clone();
+            if filter.eval_bool(&get)? {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Table row count.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.table(table)?.read().rows.len())
+    }
+
+    /// Execute an analytical plan **row-at-a-time** — the deliberate
+    /// anti-pattern this engine models. Every operator materializes
+    /// `Vec<Row>` and evaluates expressions one row at a time with full-width
+    /// rows (no projection pushdown, no pruning, no vectorization).
+    pub fn execute(&self, plan: &Plan) -> Result<Vec<Row>> {
+        match plan {
+            Plan::Scan { table, projection, filter } => {
+                let t = self.table(table)?;
+                let t = t.read();
+                let mut out = Vec::new();
+                // Row-at-a-time heap scan: every tuple fully decoded before
+                // the filter can even look at one column.
+                for bytes in t.rows.values() {
+                    let row = decode_row(bytes)?;
+                    if let Some(f) = filter {
+                        let get = |c: usize| row.get(c).clone();
+                        if !f.eval_bool(&get)? {
+                            continue;
+                        }
+                    }
+                    out.push(Row::new(projection.iter().map(|&c| row.get(c).clone()).collect()));
+                }
+                Ok(out)
+            }
+            Plan::Filter { input, predicate } => {
+                let rows = self.execute(input)?;
+                let mut out = Vec::new();
+                for row in rows {
+                    let get = |c: usize| row.get(c).clone();
+                    if predicate.eval_bool(&get)? {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Project { input, exprs } => {
+                let rows = self.execute(input)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let get = |c: usize| row.get(c).clone();
+                    let vals: Vec<Value> =
+                        exprs.iter().map(|(e, _)| e.eval(&get)).collect::<Result<_>>()?;
+                    out.push(Row::new(vals));
+                }
+                Ok(out)
+            }
+            Plan::Join { left, right, left_keys, right_keys, join_type, residual } => {
+                let lrows = self.execute(left)?;
+                let rrows = self.execute(right)?;
+                // Hash join, but over cloned row values (row-at-a-time build
+                // and probe).
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, r) in rrows.iter().enumerate() {
+                    let key = r.project(right_keys);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    table.entry(key).or_default().push(i);
+                }
+                let lw = lrows.first().map_or(0, Row::len);
+                let rw = rrows.first().map_or(0, Row::len);
+                let mut out = Vec::new();
+                for l in &lrows {
+                    let key = l.project(left_keys);
+                    let mut matched = false;
+                    if !key.iter().any(Value::is_null) {
+                        if let Some(cands) = table.get(&key) {
+                            for &ri in cands {
+                                let r = &rrows[ri];
+                                if let Some(res) = residual {
+                                    let get = |c: usize| {
+                                        if c < lw {
+                                            l.get(c).clone()
+                                        } else {
+                                            r.get(c - lw).clone()
+                                        }
+                                    };
+                                    if !res.eval_bool(&get)? {
+                                        continue;
+                                    }
+                                }
+                                matched = true;
+                                match join_type {
+                                    JoinType::Inner | JoinType::Left => {
+                                        let mut vals = l.values().to_vec();
+                                        vals.extend(r.values().iter().cloned());
+                                        out.push(Row::new(vals));
+                                    }
+                                    JoinType::Semi => {
+                                        out.push(l.clone());
+                                        break;
+                                    }
+                                    JoinType::Anti => break,
+                                }
+                            }
+                        }
+                    }
+                    match join_type {
+                        JoinType::Left if !matched => {
+                            let mut vals = l.values().to_vec();
+                            vals.extend(std::iter::repeat_n(Value::Null, rw));
+                            out.push(Row::new(vals));
+                        }
+                        JoinType::Anti if !matched => out.push(l.clone()),
+                        _ => {}
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Aggregate { input, group_by, aggregates } => {
+                let rows = self.execute(input)?;
+                row_aggregate(&rows, group_by, aggregates)
+            }
+            Plan::Sort { input, keys, limit } => {
+                let mut rows = self.execute(input)?;
+                rows.sort_by(|a, b| {
+                    for &(c, dir) in keys {
+                        let o = a.get(c).total_cmp(b.get(c));
+                        if o != std::cmp::Ordering::Equal {
+                            return match dir {
+                                SortDir::Asc => o,
+                                SortDir::Desc => o.reverse(),
+                            };
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                if let Some(l) = limit {
+                    rows.truncate(*l);
+                }
+                Ok(rows)
+            }
+            Plan::Limit { input, n } => {
+                let mut rows = self.execute(input)?;
+                rows.truncate(*n);
+                Ok(rows)
+            }
+        }
+    }
+}
+
+fn row_aggregate(rows: &[Row], group_by: &[Expr], aggregates: &[Aggregate]) -> Result<Vec<Row>> {
+    struct State {
+        count: u64,
+        sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+    }
+    let mut groups: HashMap<Vec<Value>, Vec<State>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in rows {
+        let get = |c: usize| row.get(c).clone();
+        let key: Vec<Value> = group_by.iter().map(|g| g.eval(&get)).collect::<Result<_>>()?;
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggregates
+                .iter()
+                .map(|_| State { count: 0, sum: 0.0, min: None, max: None })
+                .collect()
+        });
+        for (s, a) in states.iter_mut().zip(aggregates) {
+            let v = a.input.eval(&get)?;
+            if v.is_null() {
+                continue;
+            }
+            s.count += 1;
+            if let Ok(d) = v.as_double() {
+                s.sum += d;
+            }
+            if s.min.as_ref().is_none_or(|m| &v < m) {
+                s.min = Some(v.clone());
+            }
+            if s.max.as_ref().is_none_or(|m| &v > m) {
+                s.max = Some(v);
+            }
+        }
+    }
+    if group_by.is_empty() && order.is_empty() {
+        order.push(Vec::new());
+        groups.insert(
+            Vec::new(),
+            aggregates.iter().map(|_| State { count: 0, sum: 0.0, min: None, max: None }).collect(),
+        );
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let states = &groups[&key];
+        let mut vals = key.clone();
+        for (s, a) in states.iter().zip(aggregates) {
+            vals.push(match a.func {
+                AggFunc::Count => Value::Int(s.count as i64),
+                AggFunc::Sum => {
+                    if s.count == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(s.sum)
+                    }
+                }
+                AggFunc::Avg => {
+                    if s.count == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(s.sum / s.count as f64)
+                    }
+                }
+                AggFunc::Min => s.min.clone().unwrap_or(Value::Null),
+                AggFunc::Max => s.max.clone().unwrap_or(Value::Null),
+            });
+        }
+        out.push(Row::new(vals));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_common::schema::ColumnDef;
+    use s2_common::DataType;
+    use s2_exec::CmpOp;
+
+    fn engine() -> CdbEngine {
+        let e = CdbEngine::new();
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", DataType::Int64),
+            ColumnDef::new("grp", DataType::Str),
+            ColumnDef::new("amount", DataType::Double),
+        ])
+        .unwrap();
+        e.create_table("t", schema, vec![0], vec![vec![1]]).unwrap();
+        for i in 0..100i64 {
+            e.insert(
+                "t",
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::str(["a", "b"][(i % 2) as usize]),
+                    Value::Double(i as f64),
+                ]),
+            )
+            .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn crud() {
+        let e = engine();
+        assert!(e.get("t", &[Value::Int(5)]).unwrap().is_some());
+        assert!(e
+            .insert("t", Row::new(vec![Value::Int(5), Value::str("a"), Value::Double(0.0)]))
+            .is_err());
+        assert!(e
+            .update_with("t", &[Value::Int(5)], |r| Row::new(vec![
+                r.get(0).clone(),
+                Value::str("z"),
+                Value::Double(99.0)
+            ]))
+            .unwrap());
+        assert_eq!(e.get("t", &[Value::Int(5)]).unwrap().unwrap().get(2), &Value::Double(99.0));
+        assert!(e.delete("t", &[Value::Int(5)]).unwrap());
+        assert!(!e.delete("t", &[Value::Int(5)]).unwrap());
+        assert_eq!(e.row_count("t").unwrap(), 99);
+    }
+
+    #[test]
+    fn secondary_lookup_stays_consistent() {
+        let e = engine();
+        let b_rows = e.lookup_secondary("t", &[1], &[Value::str("b")]).unwrap();
+        assert_eq!(b_rows.len(), 50);
+        e.update_with("t", &[Value::Int(1)], |r| {
+            Row::new(vec![r.get(0).clone(), Value::str("a"), r.get(2).clone()])
+        })
+        .unwrap();
+        let b_rows = e.lookup_secondary("t", &[1], &[Value::str("b")]).unwrap();
+        assert_eq!(b_rows.len(), 49);
+    }
+
+    #[test]
+    fn analytical_plan_matches_expectations() {
+        let e = engine();
+        let plan = Plan::scan("t", vec![1, 2], Some(Expr::cmp(2, CmpOp::Lt, 10.0)))
+            .aggregate(
+                vec![Expr::Column(0)],
+                vec![Aggregate { func: AggFunc::Count, input: Expr::Literal(Value::Int(1)) }],
+            )
+            .sort(vec![(0, SortDir::Asc)], None);
+        let rows = e.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), &Value::str("a"));
+        assert_eq!(rows[0].get(1), &Value::Int(5));
+    }
+
+    #[test]
+    fn join_plan() {
+        let e = engine();
+        let schema = Schema::new(vec![
+            ColumnDef::new("g", DataType::Str),
+            ColumnDef::new("label", DataType::Str),
+        ])
+        .unwrap();
+        e.create_table("g", schema, vec![0], vec![]).unwrap();
+        e.insert("g", Row::new(vec![Value::str("a"), Value::str("alpha")])).unwrap();
+        let plan = Plan::scan("t", vec![0, 1], None).join(
+            Plan::scan("g", vec![0, 1], None),
+            vec![1],
+            vec![0],
+        );
+        let rows = e.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 50);
+        assert!(rows.iter().all(|r| r.get(3) == &Value::str("alpha")));
+    }
+}

@@ -1,0 +1,20 @@
+//! Baseline comparator engines for the paper's §6 evaluation.
+//!
+//! The paper compares S2DB against two closed-source cloud data warehouses
+//! ("CDW1"/"CDW2") and a closed-source cloud operational database ("CDB").
+//! Per the reproduction's substitution rule, this crate implements open
+//! models of each that capture exactly the properties the paper's argument
+//! rests on:
+//!
+//! - [`CdbEngine`] — row-oriented storage with B-tree-style indexes:
+//!   competitive OLTP, row-at-a-time analytics (orders of magnitude slower
+//!   on TPC-H-style queries).
+//! - [`CdwEngine`] — batch columnstore committing synchronously to blob
+//!   storage: competitive OLAP scans, but write latency bound to the blob
+//!   store and no unique keys / row locks / point DML (cannot run TPC-C).
+
+pub mod cdb;
+pub mod cdw;
+
+pub use cdb::CdbEngine;
+pub use cdw::CdwEngine;

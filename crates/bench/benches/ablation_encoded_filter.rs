@@ -1,0 +1,78 @@
+//! Ablation: encoded filters (predicates on compressed data) vs regular
+//! filters (decode then evaluate), paper §5.2 / the BiPie result it cites.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_core::{MemFileStore, Partition};
+use s2_exec::{scan, Expr, ScanOptions};
+use s2_wal::Log;
+
+const ROWS: i64 = 200_000;
+
+fn setup() -> (Arc<Partition>, u32) {
+    let p = Partition::new("b", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("status", DataType::Str), // low cardinality -> dictionary
+        ColumnDef::new("amount", DataType::Double),
+    ])
+    .unwrap();
+    let opts = TableOptions::new().with_segment_rows(ROWS as usize);
+    let t = p.create_table("t", schema, opts).unwrap();
+    let statuses = ["shipped", "pending", "returned", "cancelled", "delivered"];
+    for chunk in 0..(ROWS / 10_000) {
+        let mut txn = p.begin();
+        for i in 0..10_000 {
+            let id = chunk * 10_000 + i;
+            txn.insert(
+                t,
+                Row::new(vec![
+                    Value::Int(id),
+                    Value::str(statuses[(id % 5) as usize]),
+                    Value::Double((id % 997) as f64),
+                ]),
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+    }
+    p.flush_table(t, true).unwrap();
+    while p.merge_table(t).unwrap() {}
+    p.vacuum().unwrap();
+    (p, t)
+}
+
+fn bench(c: &mut Criterion) {
+    let (p, t) = setup();
+    let snap = p.read_snapshot();
+    let ts = Arc::clone(snap.table(t).unwrap());
+    let filter = Expr::eq(1, "returned");
+
+    let mut group = c.benchmark_group("dictionary_filter");
+    group.sample_size(20);
+    group.bench_function("encoded", |b| {
+        let opts =
+            ScanOptions { use_encoded: true, use_index: false, adaptive_reorder: false, ..Default::default() };
+        b.iter(|| {
+            let (batch, stats) = scan(&ts, &[2], Some(&filter), &opts).unwrap();
+            assert_eq!(batch.rows() as i64, ROWS / 5);
+            assert!(stats.encoded_filters > 0);
+        })
+    });
+    group.bench_function("regular", |b| {
+        let opts =
+            ScanOptions { use_encoded: false, use_index: false, adaptive_reorder: false, ..Default::default() };
+        b.iter(|| {
+            let (batch, stats) = scan(&ts, &[2], Some(&filter), &opts).unwrap();
+            assert_eq!(batch.rows() as i64, ROWS / 5);
+            assert_eq!(stats.encoded_filters, 0);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation: two-level secondary index vs per-segment-only probing vs full
+//! scan for point lookups (paper §4.1's O(log N)-vs-O(N) argument).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_core::{MemFileStore, Partition};
+use s2_exec::{scan, Expr, ScanOptions};
+use s2_wal::Log;
+
+const SEGMENTS: usize = 24;
+const ROWS_PER_SEGMENT: i64 = 4_000;
+
+fn setup() -> (Arc<Partition>, u32) {
+    let p = Partition::new("b", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("payload", DataType::Str),
+    ])
+    .unwrap();
+    // No sort key: ids scatter across segments, the worst case for probing.
+    let opts = TableOptions::new()
+        .with_unique("pk", vec![0])
+        .with_segment_rows(ROWS_PER_SEGMENT as usize);
+    let t = p.create_table("t", schema, opts).unwrap();
+    for s in 0..SEGMENTS as i64 {
+        let mut txn = p.begin();
+        for i in 0..ROWS_PER_SEGMENT {
+            // Interleave ids so every segment's [min, max] covers everything.
+            let id = i * SEGMENTS as i64 + s;
+            txn.insert(t, Row::new(vec![Value::Int(id), Value::str(format!("row{id}"))]))
+                .unwrap();
+        }
+        txn.commit().unwrap();
+        p.flush_table(t, true).unwrap();
+    }
+    p.vacuum().unwrap();
+    (p, t)
+}
+
+fn bench(c: &mut Criterion) {
+    let (p, t) = setup();
+    let snap = p.read_snapshot();
+    let table_snap = Arc::clone(snap.table(t).unwrap());
+    let total = SEGMENTS as i64 * ROWS_PER_SEGMENT;
+    let mut key = 0i64;
+    let next_key = move || {
+        key = (key + 7919) % total;
+        key
+    };
+
+    let mut group = c.benchmark_group("point_lookup");
+    // Two-level index: O(levels) global probes, then exact postings.
+    group.bench_function("two_level_index", |b| {
+        let mut nk = next_key.clone();
+        b.iter(|| {
+            let probe =
+                table_snap.index_probe(&[0], &[Value::Int(nk())]).unwrap().unwrap();
+            assert_eq!(probe.row_count(), 1);
+        })
+    });
+    // Per-segment-only: probe every segment's inverted index (the paper's
+    // "checking the index or bloom filter per segment", O(N) in segments).
+    group.bench_function("per_segment_probe", |b| {
+        let mut nk = next_key.clone();
+        b.iter(|| {
+            let key = Value::Int(nk());
+            let mut found = 0;
+            for seg in &table_snap.segments {
+                let ix = &seg.core.inverted[&0];
+                if let Some(mut postings) = ix.lookup(&key).unwrap() {
+                    found += postings.collect_remaining().unwrap().len();
+                }
+            }
+            assert_eq!(found, 1);
+        })
+    });
+    // Full scan with the index disabled (min/max can't help: ids interleave).
+    group.bench_function("full_scan", |b| {
+        let opts = ScanOptions { use_index: false, ..Default::default() };
+        let mut nk = next_key.clone();
+        b.iter(|| {
+            let f = Expr::eq(0, nk());
+            let (batch, _) = scan(&table_snap, &[0], Some(&f), &opts).unwrap();
+            assert_eq!(batch.rows(), 1);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Reproduces **Table 1: TPC-C results** — tpmC and %-of-max for the CDB
+//! model and S2DB at one warehouse count, plus S2DB at 4x warehouses to show
+//! the paper's near-linear scaling row (the paper used 1,000 and 10,000
+//! warehouses on 32 and 256 vCPUs; scale here is set by `S2_WAREHOUSES`).
+//!
+//! Both engines run the full five-transaction mix with spec keying/think
+//! times divided by `S2_WAIT_SCALE`, so the per-warehouse
+//! ceiling semantics (12.86 tpmC/warehouse max) are preserved: a result near
+//! 100% means the engine keeps up with the terminals, exactly the paper's
+//! finding for both S2DB and CDB.
+//!
+//! Knobs: `S2_WAREHOUSES` (default 2), `S2_DURATION_SECS` (default 10),
+//! `S2_WAIT_SCALE` (default 300; on a single-core host higher values saturate the CPU before the terminals do).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use s2_baseline::CdbEngine;
+use s2_bench::{bench_cluster, env_f64, env_u64, print_table};
+use s2_workloads::tpcc::backend::{CdbBackend, ClusterBackend, TpccBackend};
+use s2_workloads::tpcc::driver::{run, DriverConfig, MAX_TPMC_PER_WAREHOUSE};
+use s2_workloads::tpcc::TpccScale;
+
+fn one_run(
+    label: &str,
+    backend: Arc<dyn TpccBackend>,
+    scale: TpccScale,
+    wait_scale: f64,
+    duration: Duration,
+) -> Vec<String> {
+    let config = DriverConfig {
+        scale,
+        terminals_per_warehouse: 10,
+        wait_scale,
+        duration,
+        seed: 42,
+    };
+    let result = run(backend, &config);
+    let tpmc = result.tpmc(wait_scale);
+    let pct = result.pct_of_max(&config);
+    vec![
+        label.to_string(),
+        format!("{}", scale.warehouses),
+        format!("{tpmc:.1}"),
+        format!("{pct:.1}%"),
+        format!("{}", result.errors),
+    ]
+}
+
+fn main() {
+    let w = env_u64("S2_WAREHOUSES", 2) as i64;
+    let duration = Duration::from_secs(env_u64("S2_DURATION_SECS", 10));
+    let wait_scale = env_f64("S2_WAIT_SCALE", 300.0);
+    println!(
+        "== Table 1: TPC-C results (ceiling {:.2} tpmC/warehouse; waits / {wait_scale}) ==",
+        MAX_TPMC_PER_WAREHOUSE
+    );
+
+    let mut rows = Vec::new();
+
+    // CDB @ W warehouses.
+    {
+        let scale = TpccScale::bench(w);
+        let engine = Arc::new(CdbEngine::new());
+        s2_workloads::tpcc::backend::load_cdb(&engine, &scale, 7).expect("load cdb");
+        let backend: Arc<dyn TpccBackend> = Arc::new(CdbBackend { engine, scale });
+        rows.push(one_run("CDB", backend, scale, wait_scale, duration));
+    }
+    // S2DB @ W warehouses.
+    {
+        let scale = TpccScale::bench(w);
+        let cluster = bench_cluster(4);
+        s2_workloads::tpcc::backend::load_cluster(&cluster, &scale, 7).expect("load s2");
+        let backend: Arc<dyn TpccBackend> = Arc::new(ClusterBackend::new(cluster, scale));
+        rows.push(one_run("S2DB", backend, scale, wait_scale, duration));
+    }
+    // S2DB @ 4x warehouses (the paper's 10x row, scaled).
+    {
+        let scale = TpccScale::bench(w * 4);
+        let cluster = bench_cluster(8);
+        s2_workloads::tpcc::backend::load_cluster(&cluster, &scale, 7).expect("load s2 big");
+        let backend: Arc<dyn TpccBackend> = Arc::new(ClusterBackend::new(cluster, scale));
+        rows.push(one_run("S2DB", backend, scale, wait_scale, duration));
+    }
+
+    print_table(
+        &["Product", "Size (warehouses)", "Throughput (tpmC)", "Throughput (% of max)", "errors"],
+        &rows,
+    );
+    println!("\npaper shape check: both engines near the ceiling; S2DB scales ~linearly with warehouses");
+}

@@ -1,0 +1,56 @@
+//! Reproduces **Table 2: Summary of TPC-H results** — geomean runtime,
+//! geomean cost and single-stream throughput for S2DB, two CDW models and
+//! the CDB model, over the same generated TPC-H data.
+//!
+//! Knobs: `S2_SF` (scale factor, default 0.01), `S2_WARM_RUNS` (default 2),
+//! `S2_CDB_BUDGET_SECS` (default 60; the paper gave CDB 24 hours and it did
+//! not finish — the budget scales that cap to the scale factor).
+
+use std::time::{Duration, Instant};
+
+use s2_bench::{env_f64, env_u64, load_all_engines, print_table, run_tpch_comparison};
+
+fn main() {
+    let sf = env_f64("S2_SF", 0.01);
+    let warm = env_u64("S2_WARM_RUNS", 2) as usize;
+    let cdb_budget = Duration::from_secs(env_u64("S2_CDB_BUDGET_SECS", 60));
+
+    println!("== Table 2: Summary of TPC-H (sf {sf}) results ==");
+    let t0 = Instant::now();
+    let data = s2_workloads::tpch::generate(sf, 42);
+    println!("generated {} lineitems in {:?}", data.table("lineitem").rows.len(), t0.elapsed());
+    let t0 = Instant::now();
+    let engines = load_all_engines(&data, 4).expect("load");
+    println!("loaded all four engines in {:?}\n", t0.elapsed());
+
+    let results = run_tpch_comparison(&engines, warm, cdb_budget);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            if r.timed_out {
+                vec![
+                    r.name.to_string(),
+                    format!("${:.2}", r.price_per_hour),
+                    format!("Did not finish within {cdb_budget:?}"),
+                    String::new(),
+                    String::new(),
+                ]
+            } else {
+                vec![
+                    r.name.to_string(),
+                    format!("${:.2}", r.price_per_hour),
+                    format!("{:.3} s", r.geomean_secs()),
+                    format!("{:.4} c", r.geomean_cents()),
+                    format!("{:.3}", r.qps()),
+                ]
+            }
+        })
+        .collect();
+    print_table(
+        &["Product", "Cluster price/h", "TPC-H geomean (sec)", "TPC-H geomean (cents)", "TPC-H throughput (QPS)"],
+        &rows,
+    );
+    println!(
+        "\npaper shape check: S2DB ~ CDW1 ~ CDW2 (within ~1.2x geomean); CDB orders of magnitude slower / DNF"
+    );
+}

@@ -1,0 +1,237 @@
+//! Shared harness code for the paper-reproduction benchmarks: engine setup,
+//! the TPC-H suite runner used by Table 2 and Figure 4, and text-table
+//! formatting. Each paper table/figure has a binary in `src/bin/` that
+//! prints rows in the paper's format; the Criterion benches in `benches/`
+//! cover the ablations DESIGN.md calls out.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use s2_baseline::{CdbEngine, CdwEngine};
+use s2_blob::{FaultyStore, MemoryStore, ObjectStore};
+use s2_cluster::{Cluster, ClusterConfig};
+use s2_common::Result;
+use s2_query::ExecOptions;
+use s2_workloads::tpch::load::{CdbRunner, CdwRunner, ClusterRunner};
+use s2_workloads::tpch::queries::{run_query, PlanRunner};
+use s2_workloads::tpch::TpchData;
+
+/// Paper Table 2 cluster prices ($/hour).
+pub mod prices {
+    /// S2DB cluster price.
+    pub const S2DB: f64 = 16.50;
+    /// CDW1 cluster price.
+    pub const CDW1: f64 = 16.00;
+    /// CDW2 cluster price.
+    pub const CDW2: f64 = 16.30;
+    /// CDB cluster price.
+    pub const CDB: f64 = 13.92;
+}
+
+/// Read an f64 knob from the environment.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Read a u64 knob from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Simulated blob round-trip latency used where an experiment needs one.
+pub fn blob_latency() -> Duration {
+    Duration::from_millis(env_u64("S2_BLOB_LATENCY_MS", 10))
+}
+
+/// A shared-nothing cluster sized for benchmarks.
+pub fn bench_cluster(partitions: usize) -> Arc<Cluster> {
+    Cluster::new(
+        "bench",
+        ClusterConfig {
+            partitions,
+            ha_replicas: 0,
+            sync_replication: false,
+            blob: None,
+            ..Default::default()
+        },
+    )
+    .expect("cluster")
+}
+
+/// Result of running the TPC-H suite on one engine.
+pub struct SuiteResult {
+    /// Engine label.
+    pub name: &'static str,
+    /// Cluster $/hour (paper Table 2).
+    pub price_per_hour: f64,
+    /// Warm mean runtime per query (None = did not finish in budget).
+    pub per_query: Vec<Option<Duration>>,
+    /// Wall time of one full warm pass over all queries.
+    pub stream_time: Duration,
+    /// True when the engine exhausted its time budget.
+    pub timed_out: bool,
+}
+
+impl SuiteResult {
+    /// Geometric mean runtime over finished queries, seconds.
+    pub fn geomean_secs(&self) -> f64 {
+        let finished: Vec<f64> =
+            self.per_query.iter().flatten().map(|d| d.as_secs_f64().max(1e-9)).collect();
+        if finished.is_empty() {
+            return f64::NAN;
+        }
+        (finished.iter().map(|s| s.ln()).sum::<f64>() / finished.len() as f64).exp()
+    }
+
+    /// Geometric-mean cost in cents (runtime x price).
+    pub fn geomean_cents(&self) -> f64 {
+        self.geomean_secs() * self.price_per_hour / 3600.0 * 100.0
+    }
+
+    /// Queries per second of a single stream.
+    pub fn qps(&self) -> f64 {
+        let done = self.per_query.iter().flatten().count();
+        if done == 0 {
+            return 0.0;
+        }
+        done as f64 / self.stream_time.as_secs_f64()
+    }
+}
+
+/// Run the 22-query suite on `runner`: one cold pass, then `warm_runs`
+/// timed passes, within `budget` total (the paper capped CDB at 24 hours;
+/// the same mechanism, scaled down, reproduces its "did not finish" row).
+pub fn run_suite(
+    name: &'static str,
+    price_per_hour: f64,
+    runner: &dyn PlanRunner,
+    warm_runs: usize,
+    budget: Duration,
+) -> SuiteResult {
+    let started = Instant::now();
+    let mut per_query: Vec<Option<Duration>> = vec![None; 22];
+    let mut timed_out = false;
+    // Cold pass (query compilation + cache warm in the paper).
+    for q in 1..=22 {
+        if started.elapsed() > budget {
+            timed_out = true;
+            break;
+        }
+        let _ = run_query(q, runner);
+    }
+    let mut stream_time = Duration::ZERO;
+    if !timed_out {
+        for q in 1..=22 {
+            if started.elapsed() > budget {
+                timed_out = true;
+                break;
+            }
+            let mut total = Duration::ZERO;
+            let mut runs = 0;
+            for _ in 0..warm_runs.max(1) {
+                let t0 = Instant::now();
+                match run_query(q, runner) {
+                    Ok(_) => {
+                        total += t0.elapsed();
+                        runs += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("{name} q{q}: {e}");
+                        break;
+                    }
+                }
+                if started.elapsed() > budget {
+                    timed_out = true;
+                    break;
+                }
+            }
+            if runs > 0 {
+                let mean = total / runs;
+                per_query[q - 1] = Some(mean);
+                stream_time += mean;
+            }
+            if timed_out {
+                break;
+            }
+        }
+    }
+    SuiteResult { name, price_per_hour, per_query, stream_time, timed_out }
+}
+
+/// The four engines of Table 2, loaded with the same data. The two CDW
+/// rows model the paper's two closed-source warehouses with different batch
+/// granularities (their only externally-visible difference here).
+pub struct Tpch4Engines {
+    /// Unified-storage cluster.
+    pub cluster: Arc<Cluster>,
+    /// CDW model 1.
+    pub cdw1: CdwEngine,
+    /// CDW model 2.
+    pub cdw2: CdwEngine,
+    /// CDB model.
+    pub cdb: CdbEngine,
+}
+
+/// Load all four engines from `data`.
+pub fn load_all_engines(data: &TpchData, partitions: usize) -> Result<Tpch4Engines> {
+    let cluster = bench_cluster(partitions);
+    s2_workloads::tpch::load::load_cluster(&cluster, data)?;
+    let blob1: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let cdw1 = CdwEngine::new(blob1);
+    s2_workloads::tpch::load::load_cdw(&cdw1, data)?;
+    let blob2: Arc<dyn ObjectStore> =
+        Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    let cdw2 = CdwEngine::new(blob2);
+    s2_workloads::tpch::load::load_cdw(&cdw2, data)?;
+    let cdb = CdbEngine::new();
+    s2_workloads::tpch::load::load_cdb(&cdb, data)?;
+    Ok(Tpch4Engines { cluster, cdw1, cdw2, cdb })
+}
+
+/// Run the full Table 2 / Figure 4 measurement.
+pub fn run_tpch_comparison(
+    engines: &Tpch4Engines,
+    warm_runs: usize,
+    cdb_budget: Duration,
+) -> Vec<SuiteResult> {
+    let opts = ExecOptions::default();
+    let s2 = ClusterRunner { cluster: &engines.cluster, opts: opts.clone() };
+    let generous = Duration::from_secs(3600);
+    vec![
+        run_suite("S2DB", prices::S2DB, &s2, warm_runs, generous),
+        run_suite("CDW1", prices::CDW1, &CdwRunner(&engines.cdw1), warm_runs, generous),
+        run_suite("CDW2", prices::CDW2, &CdwRunner(&engines.cdw2), warm_runs, generous),
+        // The paper's CDB never finished the suite ("did not finish within
+        // 24 hours"); the budget reproduces that behaviour proportionally.
+        run_suite("CDB", prices::CDB, &CdbRunner(&engines.cdb), warm_runs, cdb_budget),
+    ]
+}
+
+/// Format a simple aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let s: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        println!("  {}", s.join("  "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// An ASCII bar for the summary figure.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if !value.is_finite() || !max.is_finite() || max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.clamp(if value > 0.0 { 1 } else { 0 }, width))
+}

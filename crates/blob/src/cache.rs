@@ -1,0 +1,196 @@
+//! The local data-file cache (paper §3.1): "hot data files are kept in a
+//! cache locally on disk for use by queries and cold data files are removed
+//! from local disk once uploaded".
+//!
+//! This reproduction keeps cached objects in memory with an LRU byte budget;
+//! a cache hit models "on local ephemeral SSD", a miss models a blob-store
+//! round trip (whose latency the [`crate::fault::FaultyStore`] injects).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use s2_common::Result;
+
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    /// LRU clock value at last touch.
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<String, Entry>,
+    bytes: usize,
+}
+
+/// LRU object cache with a byte budget.
+pub struct FileCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FileCache {
+    /// Cache holding at most `capacity` bytes.
+    pub fn new(capacity: usize) -> FileCache {
+        FileCache {
+            inner: Mutex::new(CacheInner { map: HashMap::new(), bytes: 0 }),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Objects currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Get `key` from cache, or populate it by calling `fetch` (a blob-store
+    /// read). The fetched object is inserted and LRU eviction applied.
+    pub fn get_or_fetch(
+        &self,
+        key: &str,
+        fetch: impl FnOnce() -> Result<Arc<Vec<u8>>>,
+    ) -> Result<Arc<Vec<u8>>> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(e) = inner.map.get_mut(key) {
+                e.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&e.bytes));
+            }
+        }
+        // Fetch outside the lock: a slow blob read must not block other hits.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bytes = fetch()?;
+        self.insert(key, Arc::clone(&bytes));
+        Ok(bytes)
+    }
+
+    /// Insert (or refresh) an object, evicting LRU entries over budget.
+    /// Objects larger than the whole budget are not cached.
+    pub fn insert(&self, key: &str, bytes: Arc<Vec<u8>>) {
+        if bytes.len() > self.capacity {
+            return;
+        }
+        let stamp = self.tick();
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.map.insert(
+            key.to_string(),
+            Entry { bytes: Arc::clone(&bytes), last_used: stamp },
+        ) {
+            inner.bytes -= old.bytes.len();
+        }
+        inner.bytes += bytes.len();
+        while inner.bytes > self.capacity {
+            // Evict the least recently used entry.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies non-empty");
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.bytes -= e.bytes.len();
+            }
+        }
+    }
+
+    /// Drop an object (e.g. after its segment was merged away).
+    pub fn remove(&self, key: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.map.remove(key) {
+            inner.bytes -= e.bytes.len();
+        }
+    }
+
+    /// Whether `key` is currently cached (does not touch LRU state).
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0u8; n])
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = FileCache::new(1000);
+        let v = c.get_or_fetch("a", || Ok(obj(10))).unwrap();
+        assert_eq!(v.len(), 10);
+        c.get_or_fetch("a", || panic!("must hit")).unwrap();
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let c = FileCache::new(250);
+        c.insert("a", obj(100));
+        c.insert("b", obj(100));
+        // Touch a so b is the LRU victim.
+        c.get_or_fetch("a", || panic!()).unwrap();
+        c.insert("c", obj(100));
+        assert!(c.contains("a"));
+        assert!(!c.contains("b"));
+        assert!(c.contains("c"));
+        assert!(c.used_bytes() <= 250);
+    }
+
+    #[test]
+    fn oversized_objects_bypass_cache() {
+        let c = FileCache::new(50);
+        c.insert("big", obj(100));
+        assert!(!c.contains("big"));
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_fixes_accounting() {
+        let c = FileCache::new(1000);
+        c.insert("a", obj(100));
+        c.insert("a", obj(50));
+        assert_eq!(c.used_bytes(), 50);
+        c.remove("a");
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn fetch_error_propagates_and_is_not_cached() {
+        let c = FileCache::new(100);
+        let r = c.get_or_fetch("x", || Err(s2_common::Error::Unavailable("down".into())));
+        assert!(r.is_err());
+        assert!(!c.contains("x"));
+        // A later successful fetch populates.
+        c.get_or_fetch("x", || Ok(obj(5))).unwrap();
+        assert!(c.contains("x"));
+    }
+}

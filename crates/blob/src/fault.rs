@@ -1,0 +1,153 @@
+//! Latency and fault injection around an [`ObjectStore`].
+//!
+//! The paper's headline storage claim is that commits never wait on the blob
+//! store, so its latency and availability don't affect the write path
+//! (§3.1: "short periods of unavailability in the blob store doesn't affect
+//! the steady-state workload"). This wrapper makes those properties
+//! *measurable*: benches inject realistic S3-like latency and outage windows
+//! and observe that S2DB commit latency is unchanged while the
+//! commit-to-blob baseline stalls.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use s2_common::{Error, Result};
+
+use crate::store::ObjectStore;
+
+/// Operation counters for a wrapped store.
+#[derive(Debug, Default)]
+pub struct BlobStats {
+    /// Number of put operations.
+    pub puts: AtomicU64,
+    /// Number of get operations.
+    pub gets: AtomicU64,
+    /// Bytes uploaded.
+    pub bytes_up: AtomicU64,
+    /// Bytes downloaded.
+    pub bytes_down: AtomicU64,
+}
+
+impl BlobStats {
+    /// Snapshot (puts, gets, bytes_up, bytes_down).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.puts.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+            self.bytes_up.load(Ordering::Relaxed),
+            self.bytes_down.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// An [`ObjectStore`] wrapper adding per-op latency, outage simulation and
+/// traffic counters.
+pub struct FaultyStore<S> {
+    inner: S,
+    put_latency: Duration,
+    get_latency: Duration,
+    unavailable: AtomicBool,
+    /// Shared so benches can read counters while the engine owns the store.
+    pub stats: Arc<BlobStats>,
+}
+
+impl<S: ObjectStore> FaultyStore<S> {
+    /// Wrap `inner` with the given put/get latencies.
+    pub fn new(inner: S, put_latency: Duration, get_latency: Duration) -> FaultyStore<S> {
+        FaultyStore {
+            inner,
+            put_latency,
+            get_latency,
+            unavailable: AtomicBool::new(false),
+            stats: Arc::new(BlobStats::default()),
+        }
+    }
+
+    /// Start or end a simulated outage. While unavailable every operation
+    /// fails with [`Error::Unavailable`].
+    pub fn set_unavailable(&self, down: bool) {
+        self.unavailable.store(down, Ordering::SeqCst);
+    }
+
+    fn check_available(&self) -> Result<()> {
+        if self.unavailable.load(Ordering::SeqCst) {
+            Err(Error::Unavailable("simulated blob store outage".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
+    fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
+        self.check_available()?;
+        if !self.put_latency.is_zero() {
+            std::thread::sleep(self.put_latency);
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_up.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.inner.put(key, bytes)
+    }
+
+    fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+        self.check_available()?;
+        if !self.get_latency.is_zero() {
+            std::thread::sleep(self.get_latency);
+        }
+        let out = self.inner.get(key)?;
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_down.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.check_available()?;
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.check_available()?;
+        self.inner.delete(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+
+    #[test]
+    fn counts_traffic() {
+        let s = FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO);
+        s.put("k", Arc::new(vec![0u8; 100])).unwrap();
+        s.get("k").unwrap();
+        s.get("k").unwrap();
+        let (puts, gets, up, down) = s.stats.snapshot();
+        assert_eq!((puts, gets, up, down), (1, 2, 100, 200));
+    }
+
+    #[test]
+    fn outage_fails_everything_then_recovers() {
+        let s = FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO);
+        s.put("k", Arc::new(vec![1])).unwrap();
+        s.set_unavailable(true);
+        assert!(matches!(s.get("k"), Err(Error::Unavailable(_))));
+        assert!(matches!(s.put("k2", Arc::new(vec![2])), Err(Error::Unavailable(_))));
+        assert!(s.get("k").unwrap_err().is_retryable());
+        s.set_unavailable(false);
+        assert_eq!(s.get("k").unwrap().as_slice(), &[1]);
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let s = FaultyStore::new(
+            MemoryStore::new(),
+            Duration::from_millis(15),
+            Duration::ZERO,
+        );
+        let t0 = std::time::Instant::now();
+        s.put("k", Arc::new(vec![1])).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,14 @@
+//! Simulated blob storage and the machinery S2DB wraps around it (paper §3):
+//! an S3-like [`ObjectStore`] with in-memory and local-directory backends,
+//! latency/outage injection for experiments, an LRU local file cache, and a
+//! background uploader that keeps blob writes off the commit path.
+
+pub mod cache;
+pub mod fault;
+pub mod store;
+pub mod uploader;
+
+pub use cache::FileCache;
+pub use fault::{BlobStats, FaultyStore};
+pub use store::{LocalDirStore, MemoryStore, ObjectStore};
+pub use uploader::{UploadJob, Uploader};

@@ -1,0 +1,217 @@
+//! The blob ("object") store abstraction and its backends.
+//!
+//! Stands in for S3 (paper §3): immutable-object put/get/list/delete with no
+//! efficient partial update — exactly the constraint that makes S2DB keep
+//! data files immutable and the log the only appendable structure.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use s2_common::{Error, Result};
+
+/// Abstract blob store. Keys are `/`-separated paths; objects are immutable
+/// (a `put` to an existing key replaces the whole object, as S3 does).
+pub trait ObjectStore: Send + Sync {
+    /// Store an object.
+    fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()>;
+    /// Fetch an object.
+    fn get(&self, key: &str) -> Result<Arc<Vec<u8>>>;
+    /// List keys with the given prefix, in lexicographic order.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+    /// Delete an object (idempotent).
+    fn delete(&self, key: &str) -> Result<()>;
+    /// Whether an object exists.
+    fn exists(&self, key: &str) -> Result<bool> {
+        match self.get(key) {
+            Ok(_) => Ok(true),
+            Err(Error::NotFound(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// In-memory blob store (the default test/bench backend).
+#[derive(Default)]
+pub struct MemoryStore {
+    objects: RwLock<BTreeMap<String, Arc<Vec<u8>>>>,
+}
+
+impl MemoryStore {
+    /// Empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Total bytes stored (diagnostics).
+    pub fn total_bytes(&self) -> usize {
+        self.objects.read().values().map(|v| v.len()).sum()
+    }
+
+    /// Number of objects stored.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+}
+
+impl ObjectStore for MemoryStore {
+    fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
+        self.objects.write().insert(key.to_string(), bytes);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+        self.objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("object {key:?}")))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        Ok(self
+            .objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.objects.write().remove(key);
+        Ok(())
+    }
+}
+
+/// Blob store backed by a local directory (one file per object).
+pub struct LocalDirStore {
+    root: PathBuf,
+}
+
+impl LocalDirStore {
+    /// Create (and mkdir) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<LocalDirStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(LocalDirStore { root })
+    }
+
+    fn path_for(&self, key: &str) -> Result<PathBuf> {
+        if key.is_empty() || key.split('/').any(|c| c.is_empty() || c == "." || c == "..") {
+            return Err(Error::InvalidArgument(format!("invalid object key {key:?}")));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl ObjectStore for LocalDirStore {
+    fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename for atomicity (a torn object would corrupt restores).
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, bytes.as_slice())?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+        let path = self.path_for(key)?;
+        match fs::read(&path) {
+            Ok(bytes) => Ok(Arc::new(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(Error::NotFound(format!("object {key:?}")))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut keys = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_none_or(|e| e != "tmp") {
+                    let rel = path
+                        .strip_prefix(&self.root)
+                        .map_err(|e| Error::Internal(e.to_string()))?;
+                    let key = rel.to_string_lossy().replace('\\', "/");
+                    if key.starts_with(prefix) {
+                        keys.push(key);
+                    }
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let path = self.path_for(key)?;
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ObjectStore) {
+        store.put("a/1", Arc::new(b"one".to_vec())).unwrap();
+        store.put("a/2", Arc::new(b"two".to_vec())).unwrap();
+        store.put("b/1", Arc::new(b"three".to_vec())).unwrap();
+        assert_eq!(store.get("a/2").unwrap().as_slice(), b"two");
+        assert!(matches!(store.get("nope"), Err(Error::NotFound(_))));
+        assert_eq!(store.list("a/").unwrap(), vec!["a/1", "a/2"]);
+        assert!(store.exists("b/1").unwrap());
+        store.delete("a/1").unwrap();
+        store.delete("a/1").unwrap(); // idempotent
+        assert!(!store.exists("a/1").unwrap());
+        // Overwrite replaces whole object.
+        store.put("b/1", Arc::new(b"replaced".to_vec())).unwrap();
+        assert_eq!(store.get("b/1").unwrap().as_slice(), b"replaced");
+    }
+
+    #[test]
+    fn memory_store_semantics() {
+        let s = MemoryStore::new();
+        exercise(&s);
+        assert_eq!(s.object_count(), 2);
+    }
+
+    #[test]
+    fn local_dir_store_semantics() {
+        let dir = std::env::temp_dir().join(format!("s2blob-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = LocalDirStore::new(&dir).unwrap();
+        exercise(&s);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn local_dir_rejects_traversal() {
+        let dir = std::env::temp_dir().join(format!("s2blob-trav-{}", std::process::id()));
+        let s = LocalDirStore::new(&dir).unwrap();
+        assert!(s.put("../evil", Arc::new(vec![1])).is_err());
+        assert!(s.get("a//b").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

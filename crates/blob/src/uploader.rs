@@ -1,0 +1,155 @@
+//! Background uploader: ships data files and sealed log chunks to blob
+//! storage asynchronously, off the commit path (paper §3.1: "newly committed
+//! columnstore data files are uploaded asynchronously to blob storage as
+//! quickly as possible after being committed").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use s2_common::Result;
+
+use crate::store::ObjectStore;
+
+/// One upload job: an object plus a completion callback (e.g. "advance
+/// `uploaded_lp`", "mark data file evictable").
+pub struct UploadJob {
+    /// Destination object key.
+    pub key: String,
+    /// Object payload.
+    pub bytes: Arc<Vec<u8>>,
+    /// Invoked with the upload outcome on the uploader thread.
+    pub on_done: Box<dyn FnOnce(Result<()>) + Send>,
+}
+
+/// Asynchronous upload service with a worker-thread pool.
+pub struct Uploader {
+    tx: Option<Sender<UploadJob>>,
+    workers: Vec<JoinHandle<()>>,
+    enqueued: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+}
+
+impl Uploader {
+    /// Start `threads` workers uploading to `store`. Failed uploads are
+    /// retried a bounded number of times (blob stores have transient errors)
+    /// before reporting the failure to the job's callback.
+    pub fn new(store: Arc<dyn ObjectStore>, threads: usize) -> Uploader {
+        let (tx, rx) = unbounded::<UploadJob>();
+        let enqueued = Arc::new(AtomicU64::new(0));
+        let completed = Arc::new(AtomicU64::new(0));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let store = Arc::clone(&store);
+                let completed = Arc::clone(&completed);
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let mut outcome = Ok(());
+                        for attempt in 0..3 {
+                            outcome = store.put(&job.key, Arc::clone(&job.bytes));
+                            match &outcome {
+                                Ok(()) => break,
+                                Err(e) if e.is_retryable() && attempt < 2 => {
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        10 << attempt,
+                                    ));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        (job.on_done)(outcome);
+                        completed.fetch_add(1, Ordering::Release);
+                    }
+                })
+            })
+            .collect();
+        Uploader { tx: Some(tx), workers, enqueued, completed }
+    }
+
+    /// Queue an upload. Returns immediately; `on_done` fires later.
+    pub fn enqueue(
+        &self,
+        key: impl Into<String>,
+        bytes: Arc<Vec<u8>>,
+        on_done: impl FnOnce(Result<()>) + Send + 'static,
+    ) {
+        self.enqueued.fetch_add(1, Ordering::Release);
+        self.tx
+            .as_ref()
+            .expect("uploader not shut down")
+            .send(UploadJob { key: key.into(), bytes, on_done: Box::new(on_done) })
+            .expect("uploader workers alive");
+    }
+
+    /// Jobs enqueued but not yet completed.
+    pub fn pending(&self) -> u64 {
+        self.enqueued.load(Ordering::Acquire) - self.completed.load(Ordering::Acquire)
+    }
+
+    /// Block until every queued job has completed (test/shutdown aid).
+    pub fn drain(&self) {
+        while self.pending() > 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for Uploader {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel so workers exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn uploads_complete_asynchronously() {
+        let store = Arc::new(MemoryStore::new());
+        let up = Uploader::new(store.clone() as Arc<dyn ObjectStore>, 2);
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        up.enqueue("files/f1", Arc::new(b"data".to_vec()), move |r| {
+            r.unwrap();
+            flag.store(true, Ordering::SeqCst);
+        });
+        up.drain();
+        assert!(done.load(Ordering::SeqCst));
+        assert_eq!(store.get("files/f1").unwrap().as_slice(), b"data");
+    }
+
+    #[test]
+    fn many_jobs_across_workers() {
+        let store = Arc::new(MemoryStore::new());
+        let up = Uploader::new(store.clone() as Arc<dyn ObjectStore>, 4);
+        for i in 0..100 {
+            up.enqueue(format!("k/{i}"), Arc::new(vec![i as u8]), |r| r.unwrap());
+        }
+        up.drain();
+        assert_eq!(store.object_count(), 100);
+        assert_eq!(up.pending(), 0);
+    }
+
+    #[test]
+    fn failure_reported_to_callback() {
+        use crate::fault::FaultyStore;
+        let faulty =
+            FaultyStore::new(MemoryStore::new(), std::time::Duration::ZERO, std::time::Duration::ZERO);
+        faulty.set_unavailable(true);
+        let store: Arc<dyn ObjectStore> = Arc::new(faulty);
+        let up = Uploader::new(store, 1);
+        let failed = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&failed);
+        up.enqueue("k", Arc::new(vec![1]), move |r| flag.store(r.is_err(), Ordering::SeqCst));
+        up.drain();
+        assert!(failed.load(Ordering::SeqCst));
+    }
+}

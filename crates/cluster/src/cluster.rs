@@ -1,0 +1,567 @@
+//! The cluster: hash-partitioned tables across master partitions with HA
+//! replicas, synchronous in-memory replication on the commit path, blob
+//! storage shipping, aggregator-style scatter/gather queries and failover
+//! (paper §2, §3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use s2_blob::ObjectStore;
+use s2_common::{
+    Error, LogPosition, Result, Row, Schema, TableId, TableOptions, Timestamp, Value,
+};
+use s2_core::{DataFileStore, DuplicatePolicy, InsertReport, MemFileStore, Partition, Txn};
+use s2_exec::Batch;
+use s2_query::{execute_with_stats, ExecOptions, ExecStats, Plan, UnionContext};
+
+use crate::replica::{empty_replica_partition, Replica};
+use crate::storage::{BlobBackedFileStore, StorageConfig, StorageService};
+
+/// Cluster construction parameters.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of data partitions.
+    pub partitions: usize,
+    /// HA replicas per partition.
+    pub ha_replicas: usize,
+    /// Wait for a replica ack before a commit returns (paper §3's default
+    /// durability rule). Ignored when `ha_replicas == 0`.
+    pub sync_replication: bool,
+    /// Blob store for separated storage (None = shared-nothing mode,
+    /// paper §3: "S2DB can run with and without access to a blob store").
+    pub blob: Option<Arc<dyn ObjectStore>>,
+    /// Local data-file cache per partition when blob storage is on.
+    pub cache_bytes: usize,
+    /// Log/snapshot shipping tuning.
+    pub storage: StorageConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            partitions: 4,
+            ha_replicas: 1,
+            sync_replication: true,
+            blob: None,
+            cache_bytes: 256 * 1024 * 1024,
+            storage: StorageConfig::default(),
+        }
+    }
+}
+
+/// One partition slot: the current master, its HA replicas, and the
+/// storage plumbing. Failover swaps the master in place.
+pub struct PartitionSet {
+    /// Partition name (stable across failovers).
+    pub name: String,
+    master: RwLock<Arc<Partition>>,
+    replicas: Mutex<Vec<Replica>>,
+    /// Data-file store shared by master and replicas (models file replication).
+    pub file_store: Arc<dyn DataFileStore>,
+    /// Blob-backed view of the file store, when separated storage is on.
+    pub blob_files: Option<Arc<BlobBackedFileStore>>,
+    storage_service: Mutex<Option<StorageService>>,
+}
+
+impl PartitionSet {
+    /// Current master partition.
+    pub fn master(&self) -> Arc<Partition> {
+        Arc::clone(&self.master.read())
+    }
+
+    /// Block until the master's log is replicated up to `lp`.
+    pub fn wait_replicated(&self, lp: LogPosition, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let master = self.master();
+        while master.log.replicated_lp() < lp {
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// Maximum replication lag (bytes) across this set's replicas.
+    pub fn max_lag(&self) -> u64 {
+        let end = self.master().log.end_lp();
+        self.replicas
+            .lock()
+            .iter()
+            .map(|r| end.saturating_sub(r.applied_lp()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Per-table routing metadata cached at the aggregator.
+struct TableMeta {
+    id: TableId,
+    shard_key: Vec<usize>,
+    unique_cols: Option<Vec<usize>>,
+}
+
+/// An S2DB-style cluster in one process.
+pub struct Cluster {
+    /// Database name (prefixes partition names).
+    pub name: String,
+    config: ClusterConfig,
+    sets: Vec<Arc<PartitionSet>>,
+    tables: RwLock<HashMap<String, TableMeta>>,
+    maintenance_stop: Arc<std::sync::atomic::AtomicBool>,
+    maintenance_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Bring up a cluster.
+    pub fn new(name: impl Into<String>, config: ClusterConfig) -> Result<Arc<Cluster>> {
+        let name = name.into();
+        let mut sets = Vec::with_capacity(config.partitions);
+        for pid in 0..config.partitions {
+            let pname = format!("{name}_p{pid}");
+            let (file_store, blob_files): (Arc<dyn DataFileStore>, _) = match &config.blob {
+                Some(blob) => {
+                    let bf = BlobBackedFileStore::new(Arc::clone(blob), config.cache_bytes);
+                    (bf.clone() as Arc<dyn DataFileStore>, Some(bf))
+                }
+                None => (Arc::new(MemFileStore::new()) as Arc<dyn DataFileStore>, None),
+            };
+            let master =
+                Partition::new(pname.clone(), Arc::new(s2_wal::Log::in_memory()), file_store.clone());
+            let mut replicas = Vec::with_capacity(config.ha_replicas);
+            for _ in 0..config.ha_replicas {
+                let rp = empty_replica_partition(&pname, file_store.clone(), 0);
+                replicas.push(Replica::start(&master, rp, 0, true)?);
+            }
+            let storage_service = config.blob.as_ref().map(|blob| {
+                let mut cfg = config.storage.clone();
+                cfg.require_replicated = config.sync_replication && config.ha_replicas > 0;
+                StorageService::start(Arc::clone(&master), Arc::clone(blob), cfg)
+            });
+            sets.push(Arc::new(PartitionSet {
+                name: pname,
+                master: RwLock::new(master),
+                replicas: Mutex::new(replicas),
+                file_store,
+                blob_files,
+                storage_service: Mutex::new(storage_service),
+            }));
+        }
+        let cluster = Arc::new(Cluster {
+            name,
+            config,
+            sets,
+            tables: RwLock::new(HashMap::new()),
+            maintenance_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            maintenance_thread: Mutex::new(None),
+        });
+        // Background flusher/merger/vacuum (paper §2.1.2's background
+        // processes): keeps rowstore levels small and reclaims MVCC garbage
+        // while workloads run.
+        {
+            let stop = Arc::clone(&cluster.maintenance_stop);
+            let sets: Vec<Arc<PartitionSet>> = cluster.sets.clone();
+            let handle = std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    for set in &sets {
+                        let _ = set.master().maintenance_pass();
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            });
+            *cluster.maintenance_thread.lock() = Some(handle);
+        }
+        Ok(cluster)
+    }
+
+    /// Partition count.
+    pub fn partition_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Partition set by ordinal.
+    pub fn set(&self, pid: usize) -> &Arc<PartitionSet> {
+        &self.sets[pid]
+    }
+
+    /// All partition sets.
+    pub fn sets(&self) -> &[Arc<PartitionSet>] {
+        &self.sets
+    }
+
+    /// Create a table on every partition (DDL broadcast).
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        options: TableOptions,
+    ) -> Result<()> {
+        let name = name.into();
+        let mut id = None;
+        for set in &self.sets {
+            let tid = set.master().create_table(name.clone(), schema.clone(), options.clone())?;
+            match id {
+                None => id = Some(tid),
+                Some(prev) => {
+                    if prev != tid {
+                        return Err(Error::Internal(format!(
+                            "table id divergence across partitions: {prev} vs {tid}"
+                        )));
+                    }
+                }
+            }
+        }
+        let unique_cols = options.indexes.iter().find(|d| d.unique).map(|d| d.columns.clone());
+        self.tables.write().insert(
+            name,
+            TableMeta {
+                id: id.expect("at least one partition"),
+                shard_key: options.shard_key.clone(),
+                unique_cols,
+            },
+        );
+        Ok(())
+    }
+
+    fn table_meta<R>(&self, table: &str, f: impl FnOnce(&TableMeta) -> R) -> Result<R> {
+        let tables = self.tables.read();
+        let meta =
+            tables.get(table).ok_or_else(|| Error::NotFound(format!("table {table:?}")))?;
+        Ok(f(meta))
+    }
+
+    /// The partition that owns `row` of `table` (hash of the shard key;
+    /// tables without a shard key hash the whole row).
+    pub fn route_row(&self, table: &str, row: &Row) -> Result<usize> {
+        self.table_meta(table, |m| {
+            let h = if m.shard_key.is_empty() {
+                s2_common::hash::hash_values(row.values().iter())
+            } else {
+                row.key_hash(&m.shard_key)
+            };
+            (h % self.sets.len() as u64) as usize
+        })
+    }
+
+    /// The partition that owns a unique key, when the shard key is derivable
+    /// from it (shard key ⊆ unique key).
+    pub fn route_unique(&self, table: &str, key: &[Value]) -> Result<Option<usize>> {
+        self.table_meta(table, |m| {
+            let unique = m.unique_cols.as_ref()?;
+            if m.shard_key.is_empty() {
+                return None;
+            }
+            // Map table ordinals of the shard key to positions in the key.
+            let mut shard_vals = Vec::with_capacity(m.shard_key.len());
+            for sc in &m.shard_key {
+                let pos = unique.iter().position(|c| c == sc)?;
+                shard_vals.push(&key[pos]);
+            }
+            let h = s2_common::hash::hash_values(shard_vals.into_iter());
+            Some((h % self.sets.len() as u64) as usize)
+        })
+    }
+
+    /// Begin a distributed transaction.
+    pub fn begin(self: &Arc<Self>) -> ClusterTxn {
+        ClusterTxn { cluster: Arc::clone(self), txns: HashMap::new() }
+    }
+
+    /// A consistent-per-partition query context over every master.
+    pub fn context(&self) -> Result<UnionContext> {
+        let mut ctx = UnionContext::new();
+        let tables = self.tables.read();
+        // One snapshot per partition, shared across tables.
+        let snaps: Vec<_> = self.sets.iter().map(|s| s.master().read_snapshot()).collect();
+        for (name, meta) in tables.iter() {
+            let mut per_table = Vec::with_capacity(snaps.len());
+            for snap in &snaps {
+                per_table.push(Arc::clone(snap.table(meta.id)?));
+            }
+            ctx.add_table(name.clone(), per_table);
+        }
+        Ok(ctx)
+    }
+
+    /// Execute a read query via scatter/gather.
+    pub fn execute(&self, plan: &Plan, opts: &ExecOptions) -> Result<Batch> {
+        let mut stats = ExecStats::default();
+        self.execute_with_stats(plan, opts, &mut stats)
+    }
+
+    /// Execute, accumulating stats.
+    pub fn execute_with_stats(
+        &self,
+        plan: &Plan,
+        opts: &ExecOptions,
+        stats: &mut ExecStats,
+    ) -> Result<Batch> {
+        let ctx = self.context()?;
+        execute_with_stats(plan, &ctx, opts, stats)
+    }
+
+    /// Run flush/merge/vacuum across every partition.
+    pub fn maintenance(&self) -> Result<()> {
+        for set in &self.sets {
+            set.master().maintenance_pass()?;
+        }
+        Ok(())
+    }
+
+    /// Force-flush a table everywhere and reclaim the rowstore tombstones
+    /// the flush leaves behind (benchmark / bulk-load setup).
+    pub fn flush_table(&self, table: &str) -> Result<()> {
+        let id = self.table_meta(table, |m| m.id)?;
+        for set in &self.sets {
+            let master = set.master();
+            master.flush_table(id, true)?;
+            while master.merge_table(id)? {}
+            master.vacuum()?;
+        }
+        Ok(())
+    }
+
+    /// Total live rows of a table across partitions.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        let id = self.table_meta(table, |m| m.id)?;
+        let mut n = 0;
+        for set in &self.sets {
+            let snap = set.master().read_snapshot();
+            n += snap.table(id)?.live_row_count();
+        }
+        Ok(n)
+    }
+
+    /// Push every partition's log and a fresh snapshot to blob storage and
+    /// wait for data-file uploads (used before PITR/workspace provisioning
+    /// in tests and benches).
+    pub fn sync_to_blob(&self) -> Result<()> {
+        let Some(blob) = &self.config.blob else {
+            return Err(Error::InvalidArgument("cluster has no blob store".into()));
+        };
+        for set in &self.sets {
+            let master = set.master();
+            // Everything appended is safe here: force a full ship.
+            let cfg = StorageConfig {
+                snapshot_interval_bytes: 0,
+                require_replicated: false,
+                ..self.config.storage.clone()
+            };
+            let marker = Arc::new(std::sync::atomic::AtomicU64::new(u64::MAX));
+            StorageService::pass(&master, blob, &cfg, &marker)?;
+            if let Some(bf) = &set.blob_files {
+                bf.drain_uploads();
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulate a master failure on partition `pid`: promote the first HA
+    /// replica (paper §2: "replica partitions ... will be promoted to master
+    /// and take over running queries"). Remaining replicas re-subscribe to
+    /// the new master. Returns an error when no replica exists.
+    pub fn fail_master(&self, pid: usize) -> Result<()> {
+        let set = &self.sets[pid];
+        let mut replicas = set.replicas.lock();
+        if replicas.is_empty() {
+            return Err(Error::InvalidArgument(format!(
+                "partition {pid} has no HA replica to promote"
+            )));
+        }
+        // Stop the storage service attached to the dying master.
+        *set.storage_service.lock() = None;
+        let mut promoted = replicas.remove(0);
+        promoted.stop();
+        let new_master = Arc::clone(&promoted.partition);
+        drop(promoted);
+        // Re-point surviving replicas at the new master from their positions.
+        let survivors: Vec<Replica> = replicas.drain(..).collect();
+        for mut old in survivors {
+            old.stop();
+            let from = old.applied_lp();
+            let part = Arc::clone(&old.partition);
+            drop(old);
+            replicas.push(Replica::start(&new_master, part, from, true)?);
+        }
+        // The new master has no replicas yet if none survived; commits in
+        // sync mode would stall, so spin up a fresh one.
+        if replicas.is_empty() && self.config.ha_replicas > 0 {
+            let rp = empty_replica_partition(&set.name, set.file_store.clone(), 0);
+            replicas.push(Replica::start(&new_master, rp, 0, true)?);
+        }
+        // Restart blob shipping from the new master.
+        if let Some(blob) = &self.config.blob {
+            let mut cfg = self.config.storage.clone();
+            cfg.require_replicated = self.config.sync_replication && self.config.ha_replicas > 0;
+            // The new master's uploaded watermark starts at 0; advance it to
+            // what the old master already shipped so chunks aren't re-uploaded
+            // out of order. Re-uploading is idempotent, so a simple approach:
+            // mark everything known-uploaded in blob as uploaded.
+            let shipped = crate::pitr::max_uploaded_lp(blob, &set.name)?;
+            new_master.log.mark_uploaded(shipped);
+            *set.storage_service.lock() =
+                Some(StorageService::start(Arc::clone(&new_master), Arc::clone(blob), cfg));
+        }
+        *set.master.write() = new_master;
+        Ok(())
+    }
+
+    /// Whether commits should wait for replication.
+    fn sync_commits(&self) -> bool {
+        self.config.sync_replication && self.config.ha_replicas > 0
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.maintenance_stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(h) = self.maintenance_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A transaction that may span partitions. Each involved partition runs a
+/// local [`Txn`]; commit applies them in partition order and, in sync mode,
+/// waits for each partition's replication ack (the paper's durability rule:
+/// replicated to at least one replica "for every master partition involved
+/// in a transaction").
+pub struct ClusterTxn {
+    cluster: Arc<Cluster>,
+    txns: HashMap<usize, Txn>,
+}
+
+impl ClusterTxn {
+    fn txn_for(&mut self, pid: usize) -> &mut Txn {
+        let cluster = &self.cluster;
+        self.txns.entry(pid).or_insert_with(|| cluster.sets[pid].master().begin())
+    }
+
+    fn table_id(&self, table: &str) -> Result<TableId> {
+        self.cluster.table_meta(table, |m| m.id)
+    }
+
+    /// Insert a row (routed by shard key).
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        let pid = self.cluster.route_row(table, &row)?;
+        let id = self.table_id(table)?;
+        self.txn_for(pid).insert(id, row)
+    }
+
+    /// Insert a batch with duplicate handling; rows are routed individually.
+    pub fn insert_batch(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+        policy: DuplicatePolicy,
+    ) -> Result<InsertReport> {
+        let id = self.table_id(table)?;
+        let mut by_pid: HashMap<usize, Vec<Row>> = HashMap::new();
+        for row in rows {
+            by_pid.entry(self.cluster.route_row(table, &row)?).or_default().push(row);
+        }
+        let mut total = InsertReport::default();
+        for (pid, rows) in by_pid {
+            let r = self.txn_for(pid).insert_batch(id, rows, policy)?;
+            total.inserted += r.inserted;
+            total.skipped += r.skipped;
+            total.replaced += r.replaced;
+            total.updated += r.updated;
+        }
+        Ok(total)
+    }
+
+    /// Point read by unique key.
+    pub fn get_unique(&mut self, table: &str, key: &[Value]) -> Result<Option<Row>> {
+        let id = self.table_id(table)?;
+        match self.cluster.route_unique(table, key)? {
+            Some(pid) => self.txn_for(pid).get_unique(id, key),
+            None => {
+                // Shard key not derivable: try every partition.
+                for pid in 0..self.cluster.partition_count() {
+                    if let Some(row) = self.txn_for(pid).get_unique(id, key)? {
+                        return Ok(Some(row));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Read-modify-write by unique key.
+    pub fn update_unique_with(
+        &mut self,
+        table: &str,
+        key: &[Value],
+        f: impl FnOnce(&Row) -> Row,
+    ) -> Result<bool> {
+        let id = self.table_id(table)?;
+        match self.cluster.route_unique(table, key)? {
+            Some(pid) => self.txn_for(pid).update_unique_with(id, key, f),
+            None => {
+                let mut f = Some(f);
+                for pid in 0..self.cluster.partition_count() {
+                    let txn = self.txn_for(pid);
+                    if txn.get_unique(id, key)?.is_some() {
+                        let g = f.take().expect("applied once");
+                        return txn.update_unique_with(id, key, g);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Delete by unique key.
+    pub fn delete_unique(&mut self, table: &str, key: &[Value]) -> Result<bool> {
+        let id = self.table_id(table)?;
+        match self.cluster.route_unique(table, key)? {
+            Some(pid) => self.txn_for(pid).delete_unique(id, key),
+            None => {
+                for pid in 0..self.cluster.partition_count() {
+                    if self.txn_for(pid).delete_unique(id, key)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Commit every involved partition. In sync-replication mode, waits for
+    /// each partition's ack before returning. Returns the max commit
+    /// timestamp observed.
+    pub fn commit(self) -> Result<Timestamp> {
+        let cluster = self.cluster;
+        let mut max_ts = 0;
+        let mut acks: Vec<(usize, LogPosition)> = Vec::new();
+        let mut pids: Vec<usize> = self.txns.keys().copied().collect();
+        pids.sort_unstable();
+        let mut txns = self.txns;
+        for pid in pids {
+            let txn = txns.remove(&pid).expect("key from map");
+            let (ts, end_lp) = txn.commit()?;
+            max_ts = max_ts.max(ts);
+            acks.push((pid, end_lp));
+        }
+        if cluster.sync_commits() {
+            for (pid, lp) in acks {
+                if !cluster.sets[pid].wait_replicated(lp, Duration::from_secs(10)) {
+                    return Err(Error::Unavailable(format!(
+                        "partition {pid} replication ack timed out"
+                    )));
+                }
+            }
+        }
+        Ok(max_ts)
+    }
+
+    /// Roll back every involved partition.
+    pub fn rollback(self) {
+        for (_, txn) in self.txns {
+            txn.rollback();
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Log-stream replication (paper §2, §3).
+//!
+//! A replica is a full [`Partition`] kept in sync by applying the master's
+//! log byte stream. Chunks arrive in append order (possibly split at
+//! arbitrary byte boundaries, so the applier reassembles partial frames) and
+//! are appended to the replica's own log before being applied — the replica
+//! can therefore take over as master after a failover with its log intact.
+//! HA replicas acknowledge applied positions; the master's commit path waits
+//! for an ack before declaring a transaction durable (paper §3: "data is
+//! considered committed when it is replicated in-memory to at least one
+//! replica").
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use s2_common::{LogPosition, Result};
+use s2_core::{DataFileStore, EngineRecord, Partition};
+use s2_wal::{Log, LogChunk, RecordIter};
+
+/// A replica partition driven by a master's log stream.
+pub struct Replica {
+    /// The replica's partition state (queryable).
+    pub partition: Arc<Partition>,
+    applied_lp: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    /// Whether this replica acks (HA replica) or not (read-only workspace).
+    pub acks: bool,
+}
+
+impl Replica {
+    /// Start a replica of `master` from log position `from_lp`, with its
+    /// partition state pre-seeded by `partition` (empty for a fresh HA
+    /// replica, snapshot-restored for a workspace replica).
+    ///
+    /// `ack_log` (the master's log) receives replicated-position updates
+    /// when `acks` is true.
+    pub fn start(
+        master: &Arc<Partition>,
+        partition: Arc<Partition>,
+        from_lp: LogPosition,
+        acks: bool,
+    ) -> Result<Replica> {
+        let (backlog, rx) = master.log.subscribe(from_lp)?;
+        let applied_lp = Arc::new(AtomicU64::new(from_lp));
+        let stop = Arc::new(AtomicBool::new(false));
+        let ack_log = if acks { Some(Arc::clone(&master.log)) } else { None };
+        let p = Arc::clone(&partition);
+        let applied = Arc::clone(&applied_lp);
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut applier = StreamApplier::new(from_lp);
+            let mut deliver = |chunk: LogChunk| {
+                if let Err(e) = applier.feed(&p, &chunk) {
+                    // A replica that cannot apply is broken; stop applying so
+                    // the failure is observable via lag.
+                    eprintln!("replica apply error: {e}");
+                    return false;
+                }
+                applied.store(applier.applied_lp(), Ordering::Release);
+                if let Some(log) = &ack_log {
+                    log.set_replicated_lp(applier.applied_lp());
+                }
+                true
+            };
+            if !backlog.bytes.is_empty() && !deliver(backlog) {
+                return;
+            }
+            while !stop2.load(Ordering::Acquire) {
+                match rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                    Ok(chunk) => {
+                        if !deliver(chunk) {
+                            return;
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        });
+        Ok(Replica { partition, applied_lp, stop, thread: Some(thread), acks })
+    }
+
+    /// Log position applied so far.
+    pub fn applied_lp(&self) -> LogPosition {
+        self.applied_lp.load(Ordering::Acquire)
+    }
+
+    /// Block until the replica has applied up to `lp` (with timeout).
+    pub fn wait_applied(&self, lp: LogPosition, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.applied_lp() < lp {
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// Stop the replication thread (e.g. before promoting to master).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reassembles a record stream from arbitrarily-split chunks and applies
+/// complete records to a partition.
+pub struct StreamApplier {
+    buf: Vec<u8>,
+    /// Log position of `buf[0]`.
+    buf_lp: LogPosition,
+    /// Position up to which records have been applied.
+    applied: LogPosition,
+}
+
+impl StreamApplier {
+    /// Applier expecting the stream to start at `from_lp`.
+    pub fn new(from_lp: LogPosition) -> StreamApplier {
+        StreamApplier { buf: Vec::new(), buf_lp: from_lp, applied: from_lp }
+    }
+
+    /// Position applied so far.
+    pub fn applied_lp(&self) -> LogPosition {
+        self.applied
+    }
+
+    /// Feed one chunk; applies every complete record it completes. Also
+    /// appends the bytes to the replica partition's own log (file retention
+    /// for failover) — the replica's log positions mirror the master's.
+    pub fn feed(&mut self, partition: &Arc<Partition>, chunk: &LogChunk) -> Result<()> {
+        if chunk.start_lp != self.buf_lp + self.buf.len() as u64 {
+            return Err(s2_common::Error::Internal(format!(
+                "replication gap: expected {} got {}",
+                self.buf_lp + self.buf.len() as u64,
+                chunk.start_lp
+            )));
+        }
+        self.buf.extend_from_slice(&chunk.bytes);
+        let mut consumed = 0usize;
+        {
+            let mut iter = RecordIter::new(&self.buf, self.buf_lp);
+            for rec in &mut iter {
+                let rec = rec?;
+                let engine_rec = EngineRecord::decode(rec.kind, rec.payload)?;
+                partition.apply_record(engine_rec)?;
+                consumed = (rec.end_lp - self.buf_lp) as usize;
+            }
+        }
+        if consumed > 0 {
+            // Mirror the complete-record bytes into the replica's own log so
+            // a promoted replica continues the stream at the same positions.
+            // (A partial trailing frame stays in `buf` until completed.)
+            partition.log.append_raw(&self.buf[..consumed]);
+            self.buf.drain(..consumed);
+            self.buf_lp += consumed as u64;
+            self.applied = self.buf_lp;
+        }
+        Ok(())
+    }
+}
+
+/// Create an empty partition suitable for use as a replica of `name`,
+/// sharing the master's data-file store (the paper replicates data files to
+/// replicas as they are written; in-process, sharing the store models that
+/// channel). The replica's log positions start at `from_lp`, mirroring the
+/// master's stream.
+pub fn empty_replica_partition(
+    name: &str,
+    file_store: Arc<dyn DataFileStore>,
+    from_lp: LogPosition,
+) -> Arc<Partition> {
+    Partition::new(name, Arc::new(Log::in_memory_from(from_lp)), file_store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_common::schema::ColumnDef;
+    use s2_common::{DataType, Row, Schema, TableOptions, Value};
+    use s2_core::MemFileStore;
+
+    fn table_setup(p: &Arc<Partition>) -> u32 {
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", DataType::Int64),
+            ColumnDef::new("v", DataType::Str),
+        ])
+        .unwrap();
+        let opts = TableOptions::new().with_unique("pk", vec![0]).with_segment_rows(50);
+        p.create_table("t", schema, opts).unwrap()
+    }
+
+    #[test]
+    fn replica_follows_master_and_acks() {
+        let files: Arc<MemFileStore> = Arc::new(MemFileStore::new());
+        let master = Partition::new("p0", Arc::new(Log::in_memory()), files.clone());
+        let t = table_setup(&master);
+
+        let rp = empty_replica_partition("p0", files.clone(), 0);
+        let replica = Replica::start(&master, rp, 0, true).unwrap();
+
+        let mut txn = master.begin();
+        for i in 0..100 {
+            txn.insert(t, Row::new(vec![Value::Int(i), Value::str("x")])).unwrap();
+        }
+        let (_, end_lp) = txn.commit().unwrap();
+        assert!(replica.wait_applied(end_lp, std::time::Duration::from_secs(5)));
+        assert!(master.log.replicated_lp() >= end_lp, "ack advanced the watermark");
+
+        // The replica answers reads.
+        let t2 = replica.partition.table_by_name("t").unwrap().id;
+        let snap = replica.partition.read_snapshot();
+        assert_eq!(snap.table(t2).unwrap().live_row_count(), 100);
+    }
+
+    #[test]
+    fn replica_applies_flush_and_merge() {
+        let files: Arc<MemFileStore> = Arc::new(MemFileStore::new());
+        let master = Partition::new("p0", Arc::new(Log::in_memory()), files.clone());
+        let t = table_setup(&master);
+        let replica =
+            Replica::start(&master, empty_replica_partition("p0", files.clone(), 0), 0, true)
+                .unwrap();
+
+        for b in 0..6i64 {
+            let mut txn = master.begin();
+            for i in 0..50 {
+                txn.insert(t, Row::new(vec![Value::Int(b * 50 + i), Value::str("x")])).unwrap();
+            }
+            txn.commit().unwrap();
+            master.flush_table(t, true).unwrap();
+        }
+        while master.merge_table(t).unwrap() {}
+        let end = master.log.end_lp();
+        assert!(replica.wait_applied(end, std::time::Duration::from_secs(5)));
+
+        let t2 = replica.partition.table_by_name("t").unwrap().id;
+        let snap = replica.partition.read_snapshot();
+        assert_eq!(snap.table(t2).unwrap().live_row_count(), 300);
+        // Replica's segment state mirrors the merged structure.
+        let m_segs = master.table(t).unwrap().live_segments().len();
+        let r_segs = replica.partition.table(t2).unwrap().live_segments().len();
+        assert_eq!(m_segs, r_segs);
+    }
+
+    #[test]
+    fn late_subscriber_gets_backlog() {
+        let files: Arc<MemFileStore> = Arc::new(MemFileStore::new());
+        let master = Partition::new("p0", Arc::new(Log::in_memory()), files.clone());
+        let t = table_setup(&master);
+        let mut txn = master.begin();
+        txn.insert(t, Row::new(vec![Value::Int(1), Value::str("early")])).unwrap();
+        txn.commit().unwrap();
+
+        // Replica starts after the fact; must catch up from the backlog.
+        let replica =
+            Replica::start(&master, empty_replica_partition("p0", files.clone(), 0), 0, false)
+                .unwrap();
+        assert!(replica.wait_applied(master.log.end_lp(), std::time::Duration::from_secs(5)));
+        let t2 = replica.partition.table_by_name("t").unwrap().id;
+        let txn = replica.partition.begin();
+        assert!(txn.get_unique(t2, &[Value::Int(1)]).unwrap().is_some());
+        txn.rollback();
+        assert_eq!(master.log.replicated_lp(), 0, "non-acking replica never acks");
+    }
+}

@@ -1,0 +1,236 @@
+//! Separated storage orchestration (paper §3, §3.1): the blob-backed data
+//! file store (local cache in front of the object store, asynchronous
+//! uploads) and the per-partition storage service that ships sealed log
+//! chunks and periodic snapshots to blob storage — all off the commit path.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use s2_blob::{FileCache, ObjectStore, Uploader};
+use s2_common::{Error, LogPosition, Result};
+use s2_core::{DataFileStore, Partition};
+use s2_wal::Snapshot;
+
+/// Data files backed by blob storage with a local cache:
+/// - writes land locally and upload asynchronously ("uploaded ... as quickly
+///   as possible after being committed");
+/// - files not yet uploaded are pinned locally (they are the only copy);
+/// - reads hit the cache, then the pinned set, then the blob store (cold
+///   data pulled on demand, paper §3.1), with a retry loop because a
+///   replica can observe a log record slightly before the file upload lands.
+pub struct BlobBackedFileStore {
+    blob: Arc<dyn ObjectStore>,
+    cache: FileCache,
+    uploader: Arc<Uploader>,
+    /// Files whose only copy is local (upload not yet complete). Shared with
+    /// uploader callbacks, which unpin on success.
+    pinned: Arc<RwLock<std::collections::HashMap<String, Arc<Vec<u8>>>>>,
+    uploaded: Arc<RwLock<HashSet<String>>>,
+    read_retry: Duration,
+}
+
+impl BlobBackedFileStore {
+    /// Create a store with `cache_bytes` of local cache over `blob`.
+    pub fn new(blob: Arc<dyn ObjectStore>, cache_bytes: usize) -> Arc<BlobBackedFileStore> {
+        let uploader = Arc::new(Uploader::new(Arc::clone(&blob), 2));
+        Arc::new(BlobBackedFileStore {
+            blob,
+            cache: FileCache::new(cache_bytes),
+            uploader,
+            pinned: Arc::new(RwLock::new(std::collections::HashMap::new())),
+            uploaded: Arc::new(RwLock::new(HashSet::new())),
+            read_retry: Duration::from_secs(5),
+        })
+    }
+
+    /// Bytes pinned locally awaiting upload.
+    pub fn pinned_bytes(&self) -> usize {
+        self.pinned.read().values().map(|b| b.len()).sum()
+    }
+
+    /// (cache hits, cache misses).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Block until all queued uploads finish (tests / clean shutdown).
+    pub fn drain_uploads(&self) {
+        self.uploader.drain();
+    }
+
+    /// Number of files known to be fully uploaded.
+    pub fn uploaded_count(&self) -> usize {
+        self.uploaded.read().len()
+    }
+}
+
+impl DataFileStore for BlobBackedFileStore {
+    fn write_file(&self, name: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
+        // Local first: the commit path never waits on the blob store.
+        self.pinned.write().insert(name.to_string(), Arc::clone(&bytes));
+        self.cache.insert(name, Arc::clone(&bytes));
+        let key = name.to_string();
+        let uploaded = Arc::clone(&self.uploaded);
+        let pinned = Arc::clone(&self.pinned);
+        self.uploader.enqueue(key.clone(), bytes, move |r| {
+            if r.is_ok() {
+                uploaded.write().insert(key.clone());
+                pinned.write().remove(&key);
+            }
+            // On failure the file stays pinned locally; durability preserved,
+            // a later write or maintenance retry can re-enqueue.
+        });
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> Result<Arc<Vec<u8>>> {
+        if let Some(b) = self.pinned.read().get(name) {
+            return Ok(Arc::clone(b));
+        }
+        let deadline = std::time::Instant::now() + self.read_retry;
+        loop {
+            match self.cache.get_or_fetch(name, || self.blob.get(name)) {
+                Ok(b) => return Ok(b),
+                Err(Error::NotFound(_)) if std::time::Instant::now() < deadline => {
+                    // A replica can observe the log record referencing this
+                    // file slightly before the async upload lands; retry.
+                    if let Some(b) = self.pinned.read().get(name) {
+                        return Ok(Arc::clone(b));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn delete_file(&self, name: &str) -> Result<()> {
+        // Local copies go; the blob object is retained as history — the blob
+        // store "acts as a continuous backup" (paper §3.2), so point-in-time
+        // restores to before the deleting merge keep working. A retention
+        // policy (not modeled) would garbage-collect old objects.
+        self.pinned.write().remove(name);
+        self.cache.remove(name);
+        Ok(())
+    }
+}
+
+/// Canonical object key for a sealed log chunk.
+pub fn log_chunk_key(partition: &str, start_lp: LogPosition) -> String {
+    format!("{partition}/log/{start_lp:020}")
+}
+
+/// Parse the start position from a log-chunk key.
+pub fn lp_from_chunk_key(key: &str) -> Option<LogPosition> {
+    key.rsplit('/').next()?.parse().ok()
+}
+
+/// Tuning for the storage service.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Maximum sealed chunk size.
+    pub chunk_bytes: usize,
+    /// Take a snapshot after this much new log.
+    pub snapshot_interval_bytes: u64,
+    /// Service tick.
+    pub tick: Duration,
+    /// Whether commit durability requires replica acks — if true, only
+    /// replicated positions may upload (paper §3.1).
+    pub require_replicated: bool,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            chunk_bytes: 256 * 1024,
+            snapshot_interval_bytes: 4 * 1024 * 1024,
+            tick: Duration::from_millis(20),
+            require_replicated: false,
+        }
+    }
+}
+
+/// Background service shipping a partition's log chunks and snapshots to
+/// blob storage.
+pub struct StorageService {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    last_snapshot_lp: Arc<AtomicU64>,
+}
+
+impl StorageService {
+    /// Start the service for `partition`.
+    pub fn start(
+        partition: Arc<Partition>,
+        blob: Arc<dyn ObjectStore>,
+        config: StorageConfig,
+    ) -> StorageService {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let last_snapshot_lp = Arc::new(AtomicU64::new(0));
+        let last_snap = Arc::clone(&last_snapshot_lp);
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                let _ = Self::pass(&partition, &blob, &config, &last_snap);
+                std::thread::sleep(config.tick);
+            }
+            // Final drain so shutdown leaves a complete blob image.
+            let _ = Self::pass(&partition, &blob, &config, &last_snap);
+        });
+        StorageService { stop, thread: Some(thread), last_snapshot_lp }
+    }
+
+    /// One shipping pass (also used directly by tests/benches to force a
+    /// deterministic full upload).
+    pub fn pass(
+        partition: &Arc<Partition>,
+        blob: &Arc<dyn ObjectStore>,
+        config: &StorageConfig,
+        last_snapshot_lp: &Arc<AtomicU64>,
+    ) -> Result<()> {
+        // Seal and upload log chunks below the safe position.
+        let safe_lp = if config.require_replicated {
+            partition.log.replicated_lp()
+        } else {
+            partition.log.end_lp()
+        };
+        while let Some(chunk) = partition.log.seal_chunk(safe_lp, config.chunk_bytes) {
+            let key = log_chunk_key(&partition.name, chunk.start_lp);
+            blob.put(&key, Arc::clone(&chunk.bytes))?;
+            partition.log.mark_uploaded(chunk.end_lp());
+        }
+        // Snapshot when enough new log accumulated.
+        let upto = partition.log.uploaded_lp();
+        let since = upto.saturating_sub(last_snapshot_lp.load(Ordering::Acquire));
+        if since >= config.snapshot_interval_bytes {
+            let snap = partition.write_snapshot()?;
+            let key = Snapshot::object_key(&partition.name, snap.lp);
+            blob.put(&key, Arc::new(snap.encode()))?;
+            last_snapshot_lp.store(snap.lp, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Log position of the last uploaded snapshot.
+    pub fn last_snapshot_lp(&self) -> LogPosition {
+        self.last_snapshot_lp.load(Ordering::Acquire)
+    }
+
+    /// Stop the service (drains one final pass).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StorageService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,142 @@
+//! Read-only workspaces (paper §3.2, figure 2): isolated compute provisioned
+//! from blob storage, then kept fresh by replicating only the log tail from
+//! the primary workspace. Workspace replicas never acknowledge commits —
+//! they add read capacity without being on the durability path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use s2_blob::ObjectStore;
+use s2_common::{Error, Result, TableId};
+use s2_core::TableSnapshot;
+use s2_exec::Batch;
+use s2_query::{execute, ExecOptions, Plan, UnionContext};
+
+use crate::cluster::Cluster;
+use crate::pitr::restore_from_blob;
+use crate::replica::Replica;
+use crate::storage::BlobBackedFileStore;
+
+/// A read-only workspace over a cluster's databases.
+pub struct Workspace {
+    /// Workspace name.
+    pub name: String,
+    replicas: Vec<Replica>,
+    /// Per-partition blob-backed file stores (each workspace caches its own
+    /// set of data files independently, paper §3.2).
+    pub file_stores: Vec<Arc<BlobBackedFileStore>>,
+    cluster: Arc<Cluster>,
+}
+
+impl Workspace {
+    /// Provision a workspace: restore each partition from blob storage
+    /// (snapshot + uploaded log chunks), then attach to the primary's log
+    /// tail from the restore point. Data files are pulled from the blob
+    /// store on demand — provisioning does not wait for them, which is what
+    /// makes workspace creation fast.
+    pub fn provision(
+        name: impl Into<String>,
+        cluster: &Arc<Cluster>,
+        blob: &Arc<dyn ObjectStore>,
+        cache_bytes: usize,
+    ) -> Result<Workspace> {
+        let name = name.into();
+        let mut replicas = Vec::with_capacity(cluster.partition_count());
+        let mut file_stores = Vec::with_capacity(cluster.partition_count());
+        for pid in 0..cluster.partition_count() {
+            let set = cluster.set(pid);
+            let files = BlobBackedFileStore::new(Arc::clone(blob), cache_bytes);
+            let restored = restore_from_blob(
+                blob,
+                &set.name,
+                files.clone() as Arc<dyn s2_core::DataFileStore>,
+                None,
+            )?;
+            let from_lp = restored.log.end_lp();
+            let master = set.master();
+            // Tail replication from the primary (paper: "replicate the tail
+            // of the log (not yet in blob storage) from the master").
+            let replica = Replica::start(&master, restored, from_lp, false)?;
+            replicas.push(replica);
+            file_stores.push(files);
+        }
+        Ok(Workspace { name, replicas, file_stores, cluster: Arc::clone(cluster) })
+    }
+
+    /// Attach a workspace without blob storage: replicas replay the full
+    /// log stream from the primaries and share their data-file stores
+    /// (paper Table 3 test case 5: "no blob store", all data local). Slower
+    /// to provision than the blob path — the whole history streams from the
+    /// primary — which is exactly the elasticity cost §3.1 attributes to
+    /// running without separated storage.
+    pub fn attach_local(name: impl Into<String>, cluster: &Arc<Cluster>) -> Result<Workspace> {
+        let name = name.into();
+        let mut replicas = Vec::with_capacity(cluster.partition_count());
+        for pid in 0..cluster.partition_count() {
+            let set = cluster.set(pid);
+            let master = set.master();
+            let rp = crate::replica::empty_replica_partition(
+                &set.name,
+                set.file_store.clone(),
+                0,
+            );
+            replicas.push(Replica::start(&master, rp, 0, false)?);
+        }
+        Ok(Workspace { name, replicas, file_stores: Vec::new(), cluster: Arc::clone(cluster) })
+    }
+
+    /// Current replication lag in log bytes, maxed over partitions.
+    pub fn max_lag_bytes(&self) -> u64 {
+        (0..self.replicas.len())
+            .map(|pid| {
+                let end = self.cluster.set(pid).master().log.end_lp();
+                end.saturating_sub(self.replicas[pid].applied_lp())
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Wait until lag is zero against the masters' current positions.
+    pub fn catch_up(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.max_lag_bytes() == 0 {
+                return true;
+            }
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Build a query context over the workspace's replicas.
+    pub fn context(&self) -> Result<UnionContext> {
+        let mut ctx = UnionContext::new();
+        // Discover tables from the first replica (DDL replicates like data).
+        let first = &self.replicas[0].partition;
+        let ids: Vec<TableId> = first.table_ids();
+        let mut names: Vec<(TableId, String)> = Vec::new();
+        for id in ids {
+            names.push((id, first.table(id)?.name.clone()));
+        }
+        let snaps: Vec<_> =
+            self.replicas.iter().map(|r| r.partition.read_snapshot()).collect();
+        for (id, name) in names {
+            let mut per_table: Vec<Arc<TableSnapshot>> = Vec::new();
+            for snap in &snaps {
+                per_table.push(Arc::clone(snap.table(id).map_err(|_| {
+                    Error::NotFound(format!("table {name:?} not yet replicated"))
+                })?));
+            }
+            ctx.add_table(name, per_table);
+        }
+        Ok(ctx)
+    }
+
+    /// Run a read query on the workspace's own compute.
+    pub fn execute(&self, plan: &Plan, opts: &ExecOptions) -> Result<Batch> {
+        let ctx = self.context()?;
+        execute(plan, &ctx, opts)
+    }
+}

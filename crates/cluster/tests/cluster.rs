@@ -1,0 +1,322 @@
+//! Cluster-level integration tests: distributed transactions, synchronous
+//! replication, failover, separated storage (figure 2), PITR and read-only
+//! workspaces.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use s2_blob::{FaultyStore, MemoryStore, ObjectStore};
+use s2_cluster::{restore_from_blob, Cluster, ClusterConfig, StorageConfig, Workspace};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_exec::{AggFunc, Aggregate, Expr};
+use s2_query::{ExecOptions, Plan};
+
+fn account_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("branch", DataType::Int64),
+        ColumnDef::new("balance", DataType::Double),
+    ])
+    .unwrap()
+}
+
+fn account_options() -> TableOptions {
+    TableOptions::new()
+        .with_sort_key(vec![0])
+        .with_shard_key(vec![0])
+        .with_unique("pk", vec![0])
+        .with_index("by_branch", vec![1])
+        .with_flush_threshold(64)
+        .with_segment_rows(256)
+}
+
+fn accounts(n: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 10), Value::Double(100.0)]))
+        .collect()
+}
+
+fn basic_cluster(blob: Option<Arc<dyn ObjectStore>>) -> Arc<Cluster> {
+    Cluster::new(
+        "db0",
+        ClusterConfig {
+            partitions: 4,
+            ha_replicas: 1,
+            sync_replication: true,
+            blob,
+            cache_bytes: 64 * 1024 * 1024,
+            storage: StorageConfig {
+                tick: Duration::from_millis(5),
+                snapshot_interval_bytes: 64 * 1024,
+                ..Default::default()
+            },
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn sharded_writes_and_global_query() {
+    let cluster = basic_cluster(None);
+    cluster.create_table("accounts", account_schema(), account_options()).unwrap();
+    let mut txn = cluster.begin();
+    for row in accounts(1000) {
+        txn.insert("accounts", row).unwrap();
+    }
+    txn.commit().unwrap();
+    assert_eq!(cluster.row_count("accounts").unwrap(), 1000);
+
+    // Rows actually spread across partitions.
+    let mut nonempty = 0;
+    for pid in 0..cluster.partition_count() {
+        let set = cluster.set(pid);
+        let snap = set.master().read_snapshot();
+        let t = set.master().table_by_name("accounts").unwrap().id;
+        if snap.table(t).unwrap().live_row_count() > 0 {
+            nonempty += 1;
+        }
+    }
+    assert_eq!(nonempty, 4);
+
+    // Aggregate across partitions.
+    let plan = Plan::scan("accounts", vec![2], None).aggregate(
+        vec![],
+        vec![Aggregate { func: AggFunc::Sum, input: Expr::Column(0) }],
+    );
+    let out = cluster.execute(&plan, &ExecOptions::default()).unwrap();
+    assert_eq!(out.value(0, 0), Value::Double(100_000.0));
+}
+
+#[test]
+fn point_ops_route_by_unique_key() {
+    let cluster = basic_cluster(None);
+    cluster.create_table("accounts", account_schema(), account_options()).unwrap();
+    let mut txn = cluster.begin();
+    for row in accounts(100) {
+        txn.insert("accounts", row).unwrap();
+    }
+    txn.commit().unwrap();
+    cluster.flush_table("accounts").unwrap();
+
+    let mut txn = cluster.begin();
+    let row = txn.get_unique("accounts", &[Value::Int(42)]).unwrap().unwrap();
+    assert_eq!(row.get(2), &Value::Double(100.0));
+    assert!(txn
+        .update_unique_with("accounts", &[Value::Int(42)], |r| {
+            Row::new(vec![r.get(0).clone(), r.get(1).clone(), Value::Double(250.0)])
+        })
+        .unwrap());
+    assert!(txn.delete_unique("accounts", &[Value::Int(43)]).unwrap());
+    txn.commit().unwrap();
+
+    let mut txn = cluster.begin();
+    assert_eq!(
+        txn.get_unique("accounts", &[Value::Int(42)]).unwrap().unwrap().get(2),
+        &Value::Double(250.0)
+    );
+    assert!(txn.get_unique("accounts", &[Value::Int(43)]).unwrap().is_none());
+    txn.rollback();
+    assert_eq!(cluster.row_count("accounts").unwrap(), 99);
+}
+
+#[test]
+fn failover_preserves_committed_data() {
+    let cluster = basic_cluster(None);
+    cluster.create_table("accounts", account_schema(), account_options()).unwrap();
+    let mut txn = cluster.begin();
+    for row in accounts(500) {
+        txn.insert("accounts", row).unwrap();
+    }
+    txn.commit().unwrap(); // sync replication: acked by replicas
+
+    // Kill every master; replicas take over.
+    for pid in 0..cluster.partition_count() {
+        cluster.fail_master(pid).unwrap();
+    }
+    assert_eq!(cluster.row_count("accounts").unwrap(), 500);
+
+    // The promoted masters accept new writes.
+    let mut txn = cluster.begin();
+    txn.insert(
+        "accounts",
+        Row::new(vec![Value::Int(9999), Value::Int(0), Value::Double(1.0)]),
+    )
+    .unwrap();
+    txn.commit().unwrap();
+    assert_eq!(cluster.row_count("accounts").unwrap(), 501);
+
+    // Point reads still work after failover (indexes replicated correctly).
+    let mut txn = cluster.begin();
+    assert!(txn.get_unique("accounts", &[Value::Int(123)]).unwrap().is_some());
+    txn.rollback();
+}
+
+#[test]
+fn blob_shipping_and_pitr() {
+    let blob: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let cluster = basic_cluster(Some(Arc::clone(&blob)));
+    cluster.create_table("accounts", account_schema(), account_options()).unwrap();
+
+    let mut txn = cluster.begin();
+    for row in accounts(300) {
+        txn.insert("accounts", row).unwrap();
+    }
+    txn.commit().unwrap();
+    cluster.flush_table("accounts").unwrap();
+    cluster.sync_to_blob().unwrap();
+
+    // Record the restore target, then do post-target damage.
+    let targets: Vec<u64> =
+        (0..cluster.partition_count()).map(|p| cluster.set(p).master().log.end_lp()).collect();
+    let mut txn = cluster.begin();
+    for id in 0..300 {
+        txn.delete_unique("accounts", &[Value::Int(id)]).unwrap();
+    }
+    txn.commit().unwrap();
+    assert_eq!(cluster.row_count("accounts").unwrap(), 0);
+    cluster.sync_to_blob().unwrap();
+
+    // PITR to just before the mass delete: all rows back.
+    let mut restored_rows = 0;
+    for pid in 0..cluster.partition_count() {
+        let set = cluster.set(pid);
+        let files = s2_cluster::BlobBackedFileStore::new(Arc::clone(&blob), 16 * 1024 * 1024);
+        let restored = restore_from_blob(
+            &blob,
+            &set.name,
+            files as Arc<dyn s2_core::DataFileStore>,
+            Some(targets[pid]),
+        )
+        .unwrap();
+        let t = restored.table_by_name("accounts").unwrap().id;
+        restored_rows += restored.read_snapshot().table(t).unwrap().live_row_count();
+    }
+    assert_eq!(restored_rows, 300);
+
+    // Restore to latest reflects the deletes.
+    let mut latest_rows = 0;
+    for pid in 0..cluster.partition_count() {
+        let set = cluster.set(pid);
+        let files = s2_cluster::BlobBackedFileStore::new(Arc::clone(&blob), 16 * 1024 * 1024);
+        let restored =
+            restore_from_blob(&blob, &set.name, files as Arc<dyn s2_core::DataFileStore>, None)
+                .unwrap();
+        let t = restored.table_by_name("accounts").unwrap().id;
+        latest_rows += restored.read_snapshot().table(t).unwrap().live_row_count();
+    }
+    assert_eq!(latest_rows, 0);
+}
+
+#[test]
+fn workspace_provision_and_tail_replication() {
+    let blob: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let cluster = basic_cluster(Some(Arc::clone(&blob)));
+    cluster.create_table("accounts", account_schema(), account_options()).unwrap();
+    let mut txn = cluster.begin();
+    for row in accounts(400) {
+        txn.insert("accounts", row).unwrap();
+    }
+    txn.commit().unwrap();
+    cluster.flush_table("accounts").unwrap();
+    cluster.sync_to_blob().unwrap();
+
+    let ws = Workspace::provision("analytics", &cluster, &blob, 16 * 1024 * 1024).unwrap();
+    assert!(ws.catch_up(Duration::from_secs(5)));
+
+    // The workspace answers analytical queries on its own compute.
+    let plan = Plan::scan("accounts", vec![2], None).aggregate(
+        vec![],
+        vec![Aggregate { func: AggFunc::Count, input: Expr::Literal(Value::Int(1)) }],
+    );
+    let out = ws.execute(&plan, &ExecOptions::default()).unwrap();
+    assert_eq!(out.value(0, 0), Value::Int(400));
+
+    // New primary writes stream to the workspace via the log tail.
+    let mut txn = cluster.begin();
+    for i in 400..450 {
+        txn.insert(
+            "accounts",
+            Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(5.0)]),
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    assert!(ws.catch_up(Duration::from_secs(5)));
+    let out = ws.execute(&plan, &ExecOptions::default()).unwrap();
+    assert_eq!(out.value(0, 0), Value::Int(450));
+}
+
+#[test]
+fn blob_outage_does_not_block_commits() {
+    let faulty = Arc::new(FaultyStore::new(
+        MemoryStore::new(),
+        Duration::from_millis(1),
+        Duration::from_millis(1),
+    ));
+    let blob: Arc<dyn ObjectStore> = Arc::new(SharedFaulty(Arc::clone(&faulty)));
+    let cluster = basic_cluster(Some(blob));
+    cluster.create_table("accounts", account_schema(), account_options()).unwrap();
+
+    // Warm up, then take the blob store down.
+    let mut txn = cluster.begin();
+    for row in accounts(50) {
+        txn.insert("accounts", row).unwrap();
+    }
+    txn.commit().unwrap();
+    faulty.set_unavailable(true);
+
+    // Commits keep flowing: durability comes from replication, not the blob
+    // store (the paper's headline property).
+    let t0 = std::time::Instant::now();
+    let mut txn = cluster.begin();
+    for i in 50..150 {
+        txn.insert(
+            "accounts",
+            Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(1.0)]),
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    assert!(t0.elapsed() < Duration::from_secs(2));
+    assert_eq!(cluster.row_count("accounts").unwrap(), 150);
+    faulty.set_unavailable(false);
+}
+
+/// Newtype so an `Arc<FaultyStore<_>>` can be shared as `Arc<dyn ObjectStore>`
+/// while the test keeps a typed handle for fault injection.
+struct SharedFaulty(Arc<FaultyStore<MemoryStore>>);
+
+impl ObjectStore for SharedFaulty {
+    fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> s2_common::Result<()> {
+        self.0.put(key, bytes)
+    }
+    fn get(&self, key: &str) -> s2_common::Result<Arc<Vec<u8>>> {
+        self.0.get(key)
+    }
+    fn list(&self, prefix: &str) -> s2_common::Result<Vec<String>> {
+        self.0.list(prefix)
+    }
+    fn delete(&self, key: &str) -> s2_common::Result<()> {
+        self.0.delete(key)
+    }
+}
+
+#[test]
+fn duplicate_keys_rejected_across_partitions() {
+    let cluster = basic_cluster(None);
+    cluster.create_table("accounts", account_schema(), account_options()).unwrap();
+    let mut txn = cluster.begin();
+    for row in accounts(20) {
+        txn.insert("accounts", row).unwrap();
+    }
+    txn.commit().unwrap();
+    cluster.flush_table("accounts").unwrap();
+
+    let mut txn = cluster.begin();
+    let err = txn
+        .insert("accounts", Row::new(vec![Value::Int(7), Value::Int(0), Value::Double(0.0)]))
+        .unwrap_err();
+    assert!(matches!(err, s2_common::Error::DuplicateKey(_)));
+    txn.rollback();
+}

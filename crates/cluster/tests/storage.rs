@@ -1,0 +1,108 @@
+//! Unit-level tests of the separated-storage plumbing: pinned-until-uploaded
+//! data files, read-through caching, and log/snapshot shipping.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use s2_blob::{FaultyStore, MemoryStore, ObjectStore};
+use s2_cluster::{log_chunk_key, BlobBackedFileStore, StorageConfig, StorageService};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_core::{DataFileStore, Partition};
+use s2_wal::{Log, Snapshot};
+
+#[test]
+fn files_stay_pinned_until_uploaded() {
+    let faulty =
+        Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    faulty.set_unavailable(true);
+    let store = BlobBackedFileStore::new(
+        Arc::new(Shared(faulty.clone())) as Arc<dyn ObjectStore>,
+        1 << 20,
+    );
+    store.write_file("p/files/0001", Arc::new(vec![7u8; 128])).unwrap();
+    // Upload fails (outage): the only copy is local and must stay readable.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(store.pinned_bytes() >= 128, "file pinned while blob is down");
+    assert_eq!(store.read_file("p/files/0001").unwrap().len(), 128);
+
+    // Blob recovers: a new write uploads and unpins.
+    faulty.set_unavailable(false);
+    store.write_file("p/files/0002", Arc::new(vec![9u8; 64])).unwrap();
+    store.drain_uploads();
+    assert!(store.uploaded_count() >= 1);
+    assert_eq!(store.read_file("p/files/0002").unwrap().len(), 64);
+}
+
+#[test]
+fn reads_fall_back_to_blob_after_local_eviction() {
+    let blob: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    // Tiny cache: the second file evicts the first.
+    let store = BlobBackedFileStore::new(Arc::clone(&blob), 200);
+    store.write_file("a", Arc::new(vec![1u8; 150])).unwrap();
+    store.drain_uploads();
+    store.write_file("b", Arc::new(vec![2u8; 150])).unwrap();
+    store.drain_uploads();
+    // "a" is gone locally; the read must come from the blob store.
+    let (_, misses_before) = store.cache_stats();
+    assert_eq!(store.read_file("a").unwrap()[0], 1);
+    let (_, misses_after) = store.cache_stats();
+    assert!(misses_after > misses_before, "read went to the blob store");
+}
+
+#[test]
+fn storage_service_ships_chunks_and_snapshots() {
+    let blob: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let p = Partition::new("sp0", Arc::new(Log::in_memory()), Arc::new(s2_core::MemFileStore::new()));
+    let schema = Schema::new(vec![ColumnDef::new("id", DataType::Int64)]).unwrap();
+    let t = p.create_table("t", schema, TableOptions::new().with_unique("pk", vec![0])).unwrap();
+    for i in 0..500i64 {
+        let mut txn = p.begin();
+        txn.insert(t, Row::new(vec![Value::Int(i)])).unwrap();
+        txn.commit().unwrap();
+    }
+    let cfg = StorageConfig {
+        chunk_bytes: 1024,
+        snapshot_interval_bytes: 0, // snapshot every pass
+        require_replicated: false,
+        ..Default::default()
+    };
+    let marker = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    StorageService::pass(&p, &blob, &cfg, &marker).unwrap();
+
+    // Chunks are contiguous, zero-padded and cover the whole log.
+    let chunks = blob.list("sp0/log/").unwrap();
+    assert!(chunks.len() > 1, "multiple chunks at 1KiB: {}", chunks.len());
+    assert_eq!(chunks[0], log_chunk_key("sp0", 0));
+    let mut covered = 0u64;
+    for key in &chunks {
+        let bytes = blob.get(key).unwrap();
+        assert!(key.ends_with(&format!("{covered:020}")), "contiguous: {key}");
+        covered += bytes.len() as u64;
+    }
+    assert_eq!(covered, p.log.uploaded_lp());
+
+    // A snapshot landed and decodes.
+    let snaps = blob.list("sp0/snapshots/").unwrap();
+    assert!(!snaps.is_empty());
+    let snap = Snapshot::decode(&blob.get(snaps.last().unwrap()).unwrap()).unwrap();
+    assert!(snap.lp <= p.log.end_lp());
+}
+
+/// Share a typed `FaultyStore` as `Arc<dyn ObjectStore>`.
+struct Shared(Arc<FaultyStore<MemoryStore>>);
+
+impl ObjectStore for Shared {
+    fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> s2_common::Result<()> {
+        self.0.put(key, bytes)
+    }
+    fn get(&self, key: &str) -> s2_common::Result<Arc<Vec<u8>>> {
+        self.0.get(key)
+    }
+    fn list(&self, prefix: &str) -> s2_common::Result<Vec<String>> {
+        self.0.list(prefix)
+    }
+    fn delete(&self, key: &str) -> s2_common::Result<()> {
+        self.0.delete(key)
+    }
+}

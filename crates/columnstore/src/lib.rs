@@ -1,0 +1,12 @@
+//! Disk-based columnstore: immutable encoded segments, mutable segment
+//! metadata (min/max, deleted bits) and LSM sorted-run maintenance
+//! (paper §2.1.2). The unified table storage in `s2-core` composes this with
+//! the in-memory rowstore level and secondary indexes.
+
+pub mod merge;
+pub mod segment;
+
+pub use merge::{
+    first_sort_column_range, live_rows, merge_segments, merge_sorted, MergePolicy,
+};
+pub use segment::{build_segment, SegmentData, SegmentMeta, SegmentReader, SEGMENT_MAGIC};

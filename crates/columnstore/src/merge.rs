@@ -1,0 +1,278 @@
+//! LSM sorted runs and the background merge operation (paper §2.1.2: "the
+//! sort order across segments is maintained similar to LSM trees by building
+//! up sorted runs of segments. A background merger process is used to merge
+//! the segments incrementally to maintain a logarithmic number of sorted
+//! runs.").
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use s2_common::{Result, Row, Schema, SegmentId, Value};
+
+use crate::segment::{build_segment, SegmentData, SegmentMeta, SegmentReader};
+
+/// Compare two rows on the sort-key columns.
+fn cmp_on(a: &Row, b: &Row, sort_key: &[usize]) -> Ordering {
+    for &c in sort_key {
+        let o = a.get(c).total_cmp(b.get(c));
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+/// When should runs merge? Size-tiered: merge whenever the run count exceeds
+/// `max_runs`, taking the smallest runs first so write amplification stays
+/// logarithmic.
+#[derive(Debug, Clone, Copy)]
+pub struct MergePolicy {
+    /// Maximum sorted runs tolerated before a merge is scheduled.
+    pub max_runs: usize,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy { max_runs: 4 }
+    }
+}
+
+impl MergePolicy {
+    /// Given the live-row size of each run, pick run indices to merge
+    /// (`None` = nothing to do). Merges enough of the smallest runs to get
+    /// back under `max_runs`, always at least two.
+    pub fn plan(&self, run_sizes: &[usize]) -> Option<Vec<usize>> {
+        if run_sizes.len() <= self.max_runs {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..run_sizes.len()).collect();
+        order.sort_by_key(|&i| run_sizes[i]);
+        let take = (run_sizes.len() - self.max_runs + 1).max(2);
+        let mut picked: Vec<usize> = order.into_iter().take(take).collect();
+        picked.sort_unstable();
+        Some(picked)
+    }
+}
+
+/// Decode the live (non-deleted) rows of a segment.
+pub fn live_rows(meta: &SegmentMeta, reader: &SegmentReader) -> Result<Vec<Row>> {
+    let sel: Vec<u32> = if meta.deleted.count_ones() == 0 {
+        (0..meta.row_count as u32).collect()
+    } else {
+        (0..meta.row_count as u32).filter(|&i| !meta.deleted.get(i as usize)).collect()
+    };
+    let n_cols = reader.column_count();
+    let mut vectors = Vec::with_capacity(n_cols);
+    for ci in 0..n_cols {
+        vectors.push(reader.column(ci)?.decode_vector(Some(&sel))?);
+    }
+    let mut out = Vec::with_capacity(sel.len());
+    for ri in 0..sel.len() {
+        out.push(Row::new(vectors.iter().map(|v| v.value(ri)).collect()));
+    }
+    Ok(out)
+}
+
+/// Merge-ordered heap entry: (row, source index, position) with min-heap order.
+struct HeapEntry {
+    row: Row,
+    source: usize,
+    pos: usize,
+    sort_key: *const [usize],
+}
+
+impl HeapEntry {
+    fn key(&self) -> &[usize] {
+        unsafe { &*self.sort_key }
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for BinaryHeap (max-heap) -> min-heap behaviour; ties
+        // broken by source order to keep the merge stable.
+        cmp_on(&other.row, &self.row, self.key())
+            .then_with(|| other.source.cmp(&self.source))
+    }
+}
+
+/// K-way merge of live rows from several segment row-lists, by sort key.
+/// Inputs that are individually sorted merge in O(n log k); unsorted inputs
+/// should be pre-sorted by the caller (flush output always is, via
+/// [`build_segment`]).
+pub fn merge_sorted(inputs: Vec<Vec<Row>>, sort_key: &[usize]) -> Vec<Row> {
+    if sort_key.is_empty() {
+        return inputs.into_iter().flatten().collect();
+    }
+    let total: usize = inputs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let key_ptr: *const [usize] = sort_key;
+    let mut heap = BinaryHeap::with_capacity(inputs.len());
+    let mut sources: Vec<std::vec::IntoIter<Row>> =
+        inputs.into_iter().map(Vec::into_iter).collect();
+    for (i, src) in sources.iter_mut().enumerate() {
+        if let Some(row) = src.next() {
+            heap.push(HeapEntry { row, source: i, pos: 0, sort_key: key_ptr });
+        }
+    }
+    while let Some(entry) = heap.pop() {
+        let HeapEntry { row, source, pos, .. } = entry;
+        out.push(row);
+        if let Some(next) = sources[source].next() {
+            heap.push(HeapEntry { row: next, source, pos: pos + 1, sort_key: key_ptr });
+        }
+    }
+    out
+}
+
+/// One merge output: metadata, data and the rows in segment order (callers
+/// build per-segment inverted indexes and global-index entries from `rows`).
+pub struct MergedSegment {
+    /// New segment's metadata skeleton.
+    pub meta: SegmentMeta,
+    /// New segment's data.
+    pub data: SegmentData,
+    /// Rows in the segment's physical order.
+    pub rows: Vec<Row>,
+}
+
+/// Merge segments into new ones: drops deleted rows, merges by sort key, and
+/// splits the output at `target_rows` per segment. Returns the replacement
+/// segments with ids allocated from `next_id`.
+pub fn merge_segments(
+    inputs: &[(&SegmentMeta, &SegmentReader)],
+    schema: &Schema,
+    sort_key: &[usize],
+    next_id: &mut SegmentId,
+    target_rows: usize,
+) -> Result<Vec<MergedSegment>> {
+    let mut row_lists = Vec::with_capacity(inputs.len());
+    for (meta, reader) in inputs {
+        let mut rows = live_rows(meta, reader)?;
+        if !sort_key.is_empty() && !meta.sorted {
+            rows.sort_by(|a, b| cmp_on(a, b, sort_key));
+        }
+        row_lists.push(rows);
+    }
+    let merged = merge_sorted(row_lists, sort_key);
+    let mut out = Vec::new();
+    if merged.is_empty() {
+        return Ok(out);
+    }
+    for chunk in merged.chunks(target_rows.max(1)) {
+        let id = *next_id;
+        *next_id += 1;
+        // Chunks are already in sort order; build_segment re-sorts, which is
+        // a stable no-op here but keeps one code path.
+        let (meta, data) = build_segment(id, chunk.to_vec(), schema, sort_key)?;
+        out.push(MergedSegment { meta, data, rows: chunk.to_vec() });
+    }
+    Ok(out)
+}
+
+/// Row-range summary of a sorted segment on the sort key's first column,
+/// used to keep runs ordered.
+pub fn first_sort_column_range(meta: &SegmentMeta, sort_key: &[usize]) -> Option<(Value, Value)> {
+    sort_key.first().and_then(|&c| meta.min_max[c].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_common::schema::{ColumnDef, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("k", DataType::Int64),
+            ColumnDef::new("v", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn seg(id: SegmentId, keys: &[i64]) -> (SegmentMeta, SegmentReader) {
+        let rows: Vec<Row> =
+            keys.iter().map(|&k| Row::new(vec![Value::Int(k), Value::str(format!("v{k}"))])).collect();
+        let (meta, data) = build_segment(id, rows, &schema(), &[0]).unwrap();
+        (meta, SegmentReader::new(data))
+    }
+
+    #[test]
+    fn policy_merges_only_when_over_budget() {
+        let p = MergePolicy { max_runs: 3 };
+        assert!(p.plan(&[100, 200, 300]).is_none());
+        let picked = p.plan(&[100, 200, 300, 50]).unwrap();
+        assert_eq!(picked, vec![0, 3], "two smallest runs");
+        let picked = p.plan(&[10, 20, 30, 40, 50, 60]).unwrap();
+        assert_eq!(picked.len(), 4, "enough merged to return under budget");
+    }
+
+    #[test]
+    fn kway_merge_is_ordered_and_complete() {
+        let a: Vec<Row> = [1i64, 4, 7].iter().map(|&k| Row::new(vec![Value::Int(k)])).collect();
+        let b: Vec<Row> = [2i64, 5, 8].iter().map(|&k| Row::new(vec![Value::Int(k)])).collect();
+        let c: Vec<Row> = [3i64, 6, 9].iter().map(|&k| Row::new(vec![Value::Int(k)])).collect();
+        let merged = merge_sorted(vec![a, b, c], &[0]);
+        let keys: Vec<i64> = merged.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        assert_eq!(keys, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_drops_deleted_rows() {
+        let (mut m1, r1) = seg(1, &[1, 2, 3, 4]);
+        let (m2, r2) = seg(2, &[5, 6]);
+        m1.deleted.set(1); // delete key 2 (rows sorted: offsets match keys-1)
+        let mut next = 10;
+        let out = merge_segments(&[(&m1, &r1), (&m2, &r2)], &schema(), &[0], &mut next, 100).unwrap();
+        assert_eq!(out.len(), 1);
+        let MergedSegment { meta, data, .. } = &out[0];
+        assert_eq!(meta.id, 10);
+        assert_eq!(meta.row_count, 5);
+        let reader = SegmentReader::new(data.clone());
+        let keys: Vec<i64> =
+            (0..5).map(|i| reader.value(0, i).unwrap().as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_splits_at_target_rows() {
+        let (m1, r1) = seg(1, &(0..10).collect::<Vec<_>>());
+        let (m2, r2) = seg(2, &(10..20).collect::<Vec<_>>());
+        let mut next = 100;
+        let out = merge_segments(&[(&m1, &r1), (&m2, &r2)], &schema(), &[0], &mut next, 8).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].meta.row_count, 8);
+        assert_eq!(out[2].meta.row_count, 4);
+        // Global order across output segments.
+        assert_eq!(out[0].meta.min_max[0], Some((Value::Int(0), Value::Int(7))));
+        assert_eq!(out[1].meta.min_max[0], Some((Value::Int(8), Value::Int(15))));
+    }
+
+    #[test]
+    fn merge_of_fully_deleted_inputs_is_empty() {
+        let (mut m1, r1) = seg(1, &[1, 2]);
+        m1.deleted.set(0);
+        m1.deleted.set(1);
+        let mut next = 5;
+        let out = merge_segments(&[(&m1, &r1)], &schema(), &[0], &mut next, 10).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_sort_keys_all_survive() {
+        let a: Vec<Row> = vec![Row::new(vec![Value::Int(1)]); 3];
+        let b: Vec<Row> = vec![Row::new(vec![Value::Int(1)]); 2];
+        let merged = merge_sorted(vec![a, b], &[0]);
+        assert_eq!(merged.len(), 5);
+    }
+}

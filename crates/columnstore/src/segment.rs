@@ -1,0 +1,417 @@
+//! Columnstore segments (paper §2.1.2).
+//!
+//! A segment stores a disjoint subset of a table's rows as one immutable
+//! data file; within it, every column is stored in the same row order but
+//! encoded separately. Mutable state — the deleted-rows bit vector, min/max
+//! values, encodings, file location — lives in [`SegmentMeta`], which the
+//! engine keeps in durable in-memory metadata (and logs changes to), never
+//! in the data file itself. That immutability is what lets data files be
+//! shipped to blob storage as-is (paper §3.1).
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use s2_common::io::{ByteReader, ByteWriter};
+use s2_common::{
+    BitVec, DataType, Error, LogPosition, Result, Row, Schema, SegmentId, Value,
+};
+use s2_encoding::{encode_column, ColumnReader, EncodedColumn, Encoding};
+
+/// Data-file magic ("S2SG").
+pub const SEGMENT_MAGIC: u32 = 0x4753_3253;
+
+/// Mutable per-segment metadata. The data file it points at is immutable;
+/// deletes only flip bits here (paper §3: "to delete a row from a segment,
+/// only the segment metadata is updated").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Segment id, unique within the table.
+    pub id: SegmentId,
+    /// Data-file name: the log position at which the file was created
+    /// ("each data file is named after the log page at which it was
+    /// created", paper §3), making files logically part of the log stream.
+    pub file_id: LogPosition,
+    /// Rows stored in the data file (including deleted ones).
+    pub row_count: usize,
+    /// Encoding used per column.
+    pub encodings: Vec<Encoding>,
+    /// Per-column (min, max) over non-null values; `None` when the column is
+    /// all-null or the segment is empty. Drives segment elimination (§5.1).
+    pub min_max: Vec<Option<(Value, Value)>>,
+    /// Deleted-row bits (set = deleted).
+    pub deleted: BitVec,
+    /// Whether rows are sorted by the table's sort key.
+    pub sorted: bool,
+}
+
+impl SegmentMeta {
+    /// Live (non-deleted) rows.
+    pub fn live_rows(&self) -> usize {
+        self.row_count - self.deleted.count_ones()
+    }
+
+    /// Can a row with `value` in column `col` possibly exist here?
+    /// (min/max segment elimination, paper §2.1.2/§5.1.)
+    pub fn may_contain(&self, col: usize, value: &Value) -> bool {
+        match &self.min_max[col] {
+            None => value.is_null(), // all-null column can only match NULL probes
+            Some((min, max)) => {
+                if value.is_null() {
+                    return true; // nulls are not captured by min/max
+                }
+                value >= min && value <= max
+            }
+        }
+    }
+
+    /// Can any row in `[lo, hi]` (inclusive, either side optional) exist here?
+    pub fn may_overlap_range(&self, col: usize, lo: Option<&Value>, hi: Option<&Value>) -> bool {
+        match &self.min_max[col] {
+            None => false,
+            Some((min, max)) => {
+                lo.is_none_or(|lo| max >= lo) && hi.is_none_or(|hi| min <= hi)
+            }
+        }
+    }
+
+    /// Serialize (for log records and segment inventories).
+    pub fn write_to(&self, w: &mut ByteWriter) {
+        w.put_u64(self.id);
+        w.put_u64(self.file_id);
+        w.put_varint(self.row_count as u64);
+        w.put_varint(self.encodings.len() as u64);
+        for e in &self.encodings {
+            w.put_u8(*e as u8);
+        }
+        for mm in &self.min_max {
+            match mm {
+                None => w.put_u8(0),
+                Some((min, max)) => {
+                    w.put_u8(1);
+                    w.put_value(min);
+                    w.put_value(max);
+                }
+            }
+        }
+        self.deleted.write_to(w);
+        w.put_u8(self.sorted as u8);
+    }
+
+    /// Parse the format written by [`SegmentMeta::write_to`].
+    pub fn read_from(r: &mut ByteReader<'_>) -> Result<SegmentMeta> {
+        let id = r.get_u64()?;
+        let file_id = r.get_u64()?;
+        let row_count = r.get_varint()? as usize;
+        let n_cols = r.get_varint()? as usize;
+        let mut encodings = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let tag = r.get_u8()?;
+            // Round-trip through a dummy EncodedColumn parse is overkill;
+            // reuse the enum mapping by matching the tag explicitly.
+            encodings.push(match tag {
+                1 => Encoding::PlainInt,
+                2 => Encoding::PlainDouble,
+                3 => Encoding::PlainStr,
+                4 => Encoding::BitPackInt,
+                5 => Encoding::RleInt,
+                6 => Encoding::DictStr,
+                7 => Encoding::DictInt,
+                8 => Encoding::LzStr,
+                t => return Err(Error::Corruption(format!("bad encoding tag {t} in meta"))),
+            });
+        }
+        let mut min_max = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            min_max.push(match r.get_u8()? {
+                0 => None,
+                1 => Some((r.get_value()?, r.get_value()?)),
+                t => return Err(Error::Corruption(format!("bad min/max tag {t}"))),
+            });
+        }
+        let deleted = BitVec::read_from(r)?;
+        let sorted = r.get_u8()? != 0;
+        Ok(SegmentMeta { id, file_id, row_count, encodings, min_max, deleted, sorted })
+    }
+}
+
+/// An immutable segment data file: one encoded blob per column.
+#[derive(Debug, Clone)]
+pub struct SegmentData {
+    /// Per-column encoded blobs, in schema order.
+    pub columns: Vec<EncodedColumn>,
+    /// Row count (same for every column).
+    pub rows: usize,
+}
+
+impl SegmentData {
+    /// Serialize to data-file bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(SEGMENT_MAGIC);
+        w.put_varint(self.rows as u64);
+        w.put_varint(self.columns.len() as u64);
+        for col in &self.columns {
+            w.put_bytes(&col.data);
+        }
+        w.into_bytes()
+    }
+
+    /// Parse data-file bytes.
+    pub fn decode(bytes: &[u8]) -> Result<SegmentData> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u32()?;
+        if magic != SEGMENT_MAGIC {
+            return Err(Error::Corruption(format!("bad segment magic {magic:#x}")));
+        }
+        let rows = r.get_varint()? as usize;
+        let n_cols = r.get_varint()? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let blob = r.get_bytes()?.to_vec();
+            let col = EncodedColumn::from_bytes(Arc::new(blob))?;
+            if col.rows != rows {
+                return Err(Error::Corruption(format!(
+                    "column rows {} != segment rows {rows}",
+                    col.rows
+                )));
+            }
+            columns.push(col);
+        }
+        Ok(SegmentData { columns, rows })
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        self.columns.iter().map(EncodedColumn::encoded_size).sum()
+    }
+}
+
+/// Build a segment (data + metadata skeleton) from rows.
+///
+/// If `sort_key` is non-empty, rows are sorted by it first ("rows are fully
+/// sorted by the sort key within each segment", paper §2.1.2).
+pub fn build_segment(
+    id: SegmentId,
+    mut rows: Vec<Row>,
+    schema: &Schema,
+    sort_key: &[usize],
+) -> Result<(SegmentMeta, SegmentData)> {
+    if !sort_key.is_empty() {
+        rows.sort_by(|a, b| {
+            sort_key
+                .iter()
+                .map(|&c| a.get(c).total_cmp(b.get(c)))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+    let n = rows.len();
+    let mut columns = Vec::with_capacity(schema.len());
+    let mut encodings = Vec::with_capacity(schema.len());
+    let mut min_max = Vec::with_capacity(schema.len());
+    let mut col_values: Vec<Value> = Vec::with_capacity(n);
+    for (ci, cdef) in schema.columns().iter().enumerate() {
+        col_values.clear();
+        col_values.extend(rows.iter().map(|r| r.get(ci).clone()));
+        let mut mm: Option<(Value, Value)> = None;
+        for v in &col_values {
+            if v.is_null() {
+                continue;
+            }
+            match &mut mm {
+                None => mm = Some((v.clone(), v.clone())),
+                Some((min, max)) => {
+                    if v < min {
+                        *min = v.clone();
+                    }
+                    if v > max {
+                        *max = v.clone();
+                    }
+                }
+            }
+        }
+        let encoded = encode_column(&col_values, cdef.data_type, None)?;
+        encodings.push(encoded.encoding);
+        min_max.push(mm);
+        columns.push(encoded);
+    }
+    let meta = SegmentMeta {
+        id,
+        file_id: 0, // assigned when the data file is written to the log stream
+        row_count: n,
+        encodings,
+        min_max,
+        deleted: BitVec::zeros(n),
+        sorted: !sort_key.is_empty(),
+    };
+    Ok((meta, SegmentData { columns, rows: n }))
+}
+
+/// Lazily-opened per-column readers over a segment's data. Only columns a
+/// query actually touches get parsed (late materialization).
+pub struct SegmentReader {
+    data: SegmentData,
+    readers: Vec<OnceLock<ColumnReader>>,
+}
+
+impl SegmentReader {
+    /// Wrap decoded segment data.
+    pub fn new(data: SegmentData) -> SegmentReader {
+        let readers = (0..data.columns.len()).map(|_| OnceLock::new()).collect();
+        SegmentReader { data, readers }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.data.rows
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.data.columns.len()
+    }
+
+    /// Reader for column `ci`, opened on first use.
+    pub fn column(&self, ci: usize) -> Result<&ColumnReader> {
+        if ci >= self.data.columns.len() {
+            return Err(Error::InvalidArgument(format!("column {ci} out of range")));
+        }
+        // OnceLock: first caller parses, everyone else reuses.
+        if self.readers[ci].get().is_none() {
+            let reader = ColumnReader::open(&self.data.columns[ci])?;
+            let _ = self.readers[ci].set(reader);
+        }
+        Ok(self.readers[ci].get().expect("just set"))
+    }
+
+    /// Materialize full row `ri` (seekable point read across all columns).
+    pub fn row(&self, ri: usize) -> Result<Row> {
+        let mut values = Vec::with_capacity(self.column_count());
+        for ci in 0..self.column_count() {
+            values.push(self.column(ci)?.value(ri)?);
+        }
+        Ok(Row::new(values))
+    }
+
+    /// The value of column `ci` at row `ri`.
+    pub fn value(&self, ci: usize, ri: usize) -> Result<Value> {
+        self.column(ci)?.value(ri)
+    }
+
+    /// The segment's data type for column `ci`.
+    pub fn data_type(&self, ci: usize) -> Result<DataType> {
+        Ok(self.column(ci)?.data_type())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_common::schema::ColumnDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int64),
+            ColumnDef::new("grp", DataType::Str),
+            ColumnDef::nullable("score", DataType::Double),
+        ])
+        .unwrap()
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(n - i), // reverse order so sorting matters
+                    Value::str(["a", "b", "c"][(i % 3) as usize]),
+                    if i % 5 == 0 { Value::Null } else { Value::Double(i as f64 / 2.0) },
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_sorts_and_computes_minmax() {
+        let s = schema();
+        let (meta, data) = build_segment(1, rows(100), &s, &[0]).unwrap();
+        assert_eq!(meta.row_count, 100);
+        assert!(meta.sorted);
+        assert_eq!(meta.min_max[0], Some((Value::Int(1), Value::Int(100))));
+        assert_eq!(meta.min_max[1], Some((Value::str("a"), Value::str("c"))));
+        let reader = SegmentReader::new(data);
+        // Sorted by id ascending.
+        assert_eq!(reader.value(0, 0).unwrap(), Value::Int(1));
+        assert_eq!(reader.value(0, 99).unwrap(), Value::Int(100));
+    }
+
+    #[test]
+    fn data_file_roundtrip() {
+        let s = schema();
+        let (_, data) = build_segment(1, rows(50), &s, &[]).unwrap();
+        let bytes = data.encode();
+        let back = SegmentData::decode(&bytes).unwrap();
+        assert_eq!(back.rows, 50);
+        let r1 = SegmentReader::new(data);
+        let r2 = SegmentReader::new(back);
+        for ri in [0usize, 17, 49] {
+            assert_eq!(r1.row(ri).unwrap(), r2.row(ri).unwrap());
+        }
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let s = schema();
+        let (mut meta, _) = build_segment(3, rows(20), &s, &[0]).unwrap();
+        meta.file_id = 777;
+        meta.deleted.set(4);
+        meta.deleted.set(15);
+        let mut w = ByteWriter::new();
+        meta.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let back = SegmentMeta::read_from(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(back.live_rows(), 18);
+    }
+
+    #[test]
+    fn segment_elimination_checks() {
+        let s = schema();
+        let (meta, _) = build_segment(1, rows(10), &s, &[0]).unwrap();
+        // ids are 1..=10
+        assert!(meta.may_contain(0, &Value::Int(5)));
+        assert!(!meta.may_contain(0, &Value::Int(11)));
+        assert!(meta.may_overlap_range(0, Some(&Value::Int(8)), None));
+        assert!(!meta.may_overlap_range(0, Some(&Value::Int(11)), None));
+        assert!(meta.may_overlap_range(0, None, Some(&Value::Int(1))));
+        assert!(!meta.may_overlap_range(0, None, Some(&Value::Int(0))));
+    }
+
+    #[test]
+    fn all_null_column_minmax_none() {
+        let s = Schema::new(vec![ColumnDef::nullable("x", DataType::Int64)]).unwrap();
+        let rows: Vec<Row> = (0..5).map(|_| Row::new(vec![Value::Null])).collect();
+        let (meta, _) = build_segment(1, rows, &s, &[]).unwrap();
+        assert_eq!(meta.min_max[0], None);
+        assert!(meta.may_contain(0, &Value::Null));
+        assert!(!meta.may_contain(0, &Value::Int(1)));
+    }
+
+    #[test]
+    fn empty_segment() {
+        let s = schema();
+        let (meta, data) = build_segment(1, vec![], &s, &[0]).unwrap();
+        assert_eq!(meta.row_count, 0);
+        assert_eq!(meta.live_rows(), 0);
+        let bytes = data.encode();
+        assert_eq!(SegmentData::decode(&bytes).unwrap().rows, 0);
+    }
+
+    #[test]
+    fn corrupt_data_file_detected() {
+        let s = schema();
+        let (_, data) = build_segment(1, rows(10), &s, &[]).unwrap();
+        let mut bytes = data.encode();
+        bytes[0] = 0;
+        assert!(SegmentData::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! A compact bit vector.
+//!
+//! This is the representation S2DB uses for deleted rows in columnstore
+//! segment metadata (paper §2.1.2, §4): scans apply it as a filter instead of
+//! reconciling LSM levels, and move transactions install new versions of it.
+
+use crate::error::{Error, Result};
+use crate::io::{ByteReader, ByteWriter};
+
+/// Fixed-length bit vector with word-at-a-time iteration over set bits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> BitVec {
+        BitVec { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Set bit `i` to 0.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise OR with another vector of the same length.
+    pub fn union_with(&mut self, other: &BitVec) -> Result<()> {
+        if self.len != other.len {
+            return Err(Error::InvalidArgument(format!(
+                "bitvec length mismatch: {} vs {}",
+                self.len, other.len
+            )));
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        Ok(())
+    }
+
+    /// Iterate over the positions of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+
+    /// Serialize: `u64 len` then the words.
+    pub fn write_to(&self, w: &mut ByteWriter) {
+        w.put_u64(self.len as u64);
+        for word in &self.words {
+            w.put_u64(*word);
+        }
+    }
+
+    /// Deserialize the format produced by [`BitVec::write_to`].
+    pub fn read_from(r: &mut ByteReader<'_>) -> Result<BitVec> {
+        let len = r.get_u64()? as usize;
+        let nwords = len.div_ceil(64);
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(r.get_u64()?);
+        }
+        // Reject garbage in the tail word so equality stays structural.
+        if len % 64 != 0 {
+            if let Some(last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(Error::Corruption("bitvec tail bits set beyond len".into()));
+                }
+            }
+        }
+        Ok(BitVec { words, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitVec::zeros(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = BitVec::zeros(200);
+        for i in [3usize, 63, 64, 65, 127, 128, 199] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, vec![3, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitVec::zeros(70);
+        let mut b = BitVec::zeros(70);
+        a.set(1);
+        b.set(69);
+        a.union_with(&b).unwrap();
+        assert!(a.get(1) && a.get(69));
+        let c = BitVec::zeros(71);
+        assert!(a.union_with(&c).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut b = BitVec::zeros(77);
+        b.set(0);
+        b.set(76);
+        let mut w = ByteWriter::new();
+        b.write_to(&mut w);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        let back = BitVec::read_from(&mut r).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn corrupt_tail_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(3); // len 3 but word has high bits set
+        w.put_u64(u64::MAX);
+        let buf = w.into_bytes();
+        assert!(BitVec::read_from(&mut ByteReader::new(&buf)).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Calendar date helpers. Dates are stored as `i64` days since 1970-01-01
+//! (the engine's `Date` logical type maps onto `Int64`). Conversions use the
+//! days-from-civil algorithm (Howard Hinnant's public-domain derivation).
+
+/// Days since epoch for a civil date (proleptic Gregorian).
+pub fn days_from_ymd(y: i32, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m) && (1..=31).contains(&d));
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (i64::from(m) + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date for days since epoch.
+pub fn ymd_from_days(days: i64) -> (i32, u32, u32) {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// Year component of a days-since-epoch date.
+pub fn year_of(days: i64) -> i32 {
+    ymd_from_days(days).0
+}
+
+/// Add `months` to a date, clamping the day to the target month's length
+/// (SQL `date + interval 'n' month` semantics).
+pub fn add_months(days: i64, months: i32) -> i64 {
+    let (y, m, d) = ymd_from_days(days);
+    let total = y * 12 + (m as i32 - 1) + months;
+    let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) as u32 + 1);
+    let max_d = days_in_month(ny, nm);
+    days_from_ymd(ny, nm, d.min(max_d))
+}
+
+/// Days in a month.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month {m}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_and_known_dates() {
+        assert_eq!(days_from_ymd(1970, 1, 1), 0);
+        assert_eq!(days_from_ymd(1970, 1, 2), 1);
+        assert_eq!(days_from_ymd(1969, 12, 31), -1);
+        assert_eq!(days_from_ymd(2000, 3, 1), 11017);
+        assert_eq!(ymd_from_days(11017), (2000, 3, 1));
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        // TPC-H's date range plus margins, day by day.
+        let start = days_from_ymd(1992, 1, 1);
+        let end = days_from_ymd(1999, 1, 1);
+        for d in start..end {
+            let (y, m, day) = ymd_from_days(d);
+            assert_eq!(days_from_ymd(y, m, day), d);
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(1996, 2), 29);
+        let feb29 = days_from_ymd(1996, 2, 29);
+        assert_eq!(ymd_from_days(feb29), (1996, 2, 29));
+    }
+
+    #[test]
+    fn month_arithmetic() {
+        let jan31 = days_from_ymd(1995, 1, 31);
+        assert_eq!(ymd_from_days(add_months(jan31, 1)), (1995, 2, 28));
+        let d = days_from_ymd(1994, 12, 1);
+        assert_eq!(ymd_from_days(add_months(d, 3)), (1995, 3, 1));
+        assert_eq!(ymd_from_days(add_months(d, -12)), (1993, 12, 1));
+        assert_eq!(year_of(d), 1994);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the storage engine, query engine and cluster layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A uniqueness constraint was violated on insert.
+    DuplicateKey(String),
+    /// A referenced table, column, index or partition does not exist.
+    NotFound(String),
+    /// The caller supplied an invalid argument (schema mismatch, bad plan, ...).
+    InvalidArgument(String),
+    /// On-disk or in-flight data failed validation (bad magic, CRC mismatch, truncation).
+    Corruption(String),
+    /// A transaction conflict: the row is locked by another writer.
+    LockConflict(String),
+    /// The transaction was aborted (explicitly or by conflict resolution).
+    TxnAborted(String),
+    /// Underlying IO failed. `std::io::Error` is not `Clone`, so we keep the message.
+    Io(String),
+    /// The blob store (or a simulated outage of it) rejected the operation.
+    Unavailable(String),
+    /// Internal invariant violation; indicates a bug in the engine.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::LockConflict(m) => write!(f, "lock conflict: {m}"),
+            Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Unavailable(m) => write!(f, "unavailable: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+impl Error {
+    /// True when retrying the same operation may succeed (lock conflicts,
+    /// transient blob-store unavailability).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::LockConflict(_) | Error::Unavailable(_))
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared foundation types for the S2DB reproduction.
+//!
+//! Everything in this crate is engine-agnostic: SQL-ish values and schemas,
+//! rows, bit vectors (used for deleted-row tracking in segment metadata),
+//! 64-bit hashing (used by shard keys and the global secondary-index hash
+//! tables), CRC32 (log page checksums) and little-endian binary IO helpers
+//! used by every on-disk format in the workspace.
+
+pub mod bitvec;
+pub mod crc;
+pub mod date;
+pub mod error;
+pub mod hash;
+pub mod io;
+pub mod row;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use bitvec::BitVec;
+pub use error::{Error, Result};
+pub use row::Row;
+pub use schema::{ColumnDef, DataType, Schema, TableOptions};
+pub use types::{
+    LogPosition, PartitionId, SegmentId, TableId, Timestamp, TxnId, TS_ABORTED, TS_MAX_COMMITTED,
+    TS_UNCOMMITTED,
+};
+pub use value::Value;

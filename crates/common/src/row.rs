@@ -1,0 +1,129 @@
+//! Rows: boxed value tuples with schema-aware validation and key projection.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A single row: one [`Value`] per schema column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Row(Box<[Value]>);
+
+impl Row {
+    /// Build a row from values (no schema check).
+    pub fn new(values: Vec<Value>) -> Row {
+        Row(values.into_boxed_slice())
+    }
+
+    /// Build a row, validating type and nullability against `schema`.
+    pub fn checked(values: Vec<Value>, schema: &Schema) -> Result<Row> {
+        if values.len() != schema.len() {
+            return Err(Error::InvalidArgument(format!(
+                "row has {} values but schema has {} columns",
+                values.len(),
+                schema.len()
+            )));
+        }
+        for (i, v) in values.iter().enumerate() {
+            let col = schema.column(i);
+            match v.data_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(Error::InvalidArgument(format!(
+                            "NULL in non-nullable column {:?}",
+                            col.name
+                        )));
+                    }
+                }
+                Some(dt) => {
+                    if dt != col.data_type {
+                        return Err(Error::InvalidArgument(format!(
+                            "column {:?} expects {:?}, got {:?}",
+                            col.name, col.data_type, dt
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Row::new(values))
+    }
+
+    /// Values in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at a column ordinal.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Project the given column ordinals into a key tuple (cheap clones).
+    pub fn project(&self, cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| self.0[c].clone()).collect()
+    }
+
+    /// Combined 64-bit hash of the projected key columns, used for shard-key
+    /// routing and for the global secondary-index hash tables.
+    pub fn key_hash(&self, cols: &[usize]) -> u64 {
+        crate::hash::hash_values(cols.iter().map(|&c| &self.0[c]))
+    }
+
+    /// Consume the row, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0.into_vec()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int64),
+            ColumnDef::nullable("name", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn checked_accepts_valid() {
+        let r = Row::checked(vec![Value::Int(1), Value::Null], &schema()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn checked_rejects_arity_and_type() {
+        let s = schema();
+        assert!(Row::checked(vec![Value::Int(1)], &s).is_err());
+        assert!(Row::checked(vec![Value::str("x"), Value::Null], &s).is_err());
+        assert!(Row::checked(vec![Value::Null, Value::Null], &s).is_err()); // id non-nullable
+    }
+
+    #[test]
+    fn project_and_hash() {
+        let r = Row::new(vec![Value::Int(1), Value::str("a"), Value::Int(9)]);
+        assert_eq!(r.project(&[2, 0]), vec![Value::Int(9), Value::Int(1)]);
+        let r2 = Row::new(vec![Value::Int(1), Value::str("b"), Value::Int(9)]);
+        assert_eq!(r.key_hash(&[0, 2]), r2.key_hash(&[0, 2]));
+        assert_ne!(r.key_hash(&[1]), r2.key_hash(&[1]));
+    }
+}

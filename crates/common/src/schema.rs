@@ -1,0 +1,249 @@
+//! Table schemas and table options (sort key, shard key, secondary/unique keys).
+
+use crate::error::{Error, Result};
+
+/// Physical column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer; also backs dates (days since epoch).
+    Int64,
+    /// 64-bit IEEE float.
+    Double,
+    /// UTF-8 string.
+    Str,
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Physical type.
+    pub data_type: DataType,
+    /// Whether NULL is storable in this column.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Non-nullable column shorthand.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef { name: name.into(), data_type, nullable: false }
+    }
+
+    /// Nullable column shorthand.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef { name: name.into(), data_type, nullable: true }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema, validating that column names are unique.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Schema> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(Error::InvalidArgument(format!("duplicate column name {:?}", c.name)));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Ordinal of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::NotFound(format!("column {name:?}")))
+    }
+
+    /// Column definition by ordinal.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+}
+
+/// A secondary-index definition: an ordered set of column ordinals plus a
+/// uniqueness flag. Multi-column indexes share their per-column structures
+/// (paper §4.1.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name, unique within the table.
+    pub name: String,
+    /// Column ordinals covered by the index, in index-key order.
+    pub columns: Vec<usize>,
+    /// Whether this index enforces uniqueness (paper §4.1.2).
+    pub unique: bool,
+}
+
+/// Table-level options mirroring S2DB's DDL surface for unified tables:
+/// sort keys, shard keys, secondary hash indexes and unique keys (paper §1, §4).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableOptions {
+    /// Columns (ordinals) rows are sorted by within each segment; the LSM
+    /// maintains sorted runs over this key. Empty = no sort key.
+    pub sort_key: Vec<usize>,
+    /// Columns whose hash decides the owning partition. Empty = random sharding.
+    pub shard_key: Vec<usize>,
+    /// Secondary (possibly unique) indexes.
+    pub indexes: Vec<IndexDef>,
+    /// Rows accumulated in the in-memory rowstore level before the background
+    /// flusher converts them into a columnstore segment.
+    pub flush_threshold_rows: usize,
+    /// Target maximum rows per columnstore segment (S2DB uses ~1M).
+    pub segment_rows: usize,
+}
+
+impl TableOptions {
+    /// Defaults tuned for tests: small segments so LSM behaviour is exercised.
+    pub fn new() -> TableOptions {
+        TableOptions {
+            sort_key: Vec::new(),
+            shard_key: Vec::new(),
+            indexes: Vec::new(),
+            flush_threshold_rows: 4096,
+            segment_rows: 102_400,
+        }
+    }
+
+    /// Set the sort key.
+    pub fn with_sort_key(mut self, cols: Vec<usize>) -> Self {
+        self.sort_key = cols;
+        self
+    }
+
+    /// Set the shard key.
+    pub fn with_shard_key(mut self, cols: Vec<usize>) -> Self {
+        self.shard_key = cols;
+        self
+    }
+
+    /// Add a non-unique secondary index.
+    pub fn with_index(mut self, name: impl Into<String>, cols: Vec<usize>) -> Self {
+        self.indexes.push(IndexDef { name: name.into(), columns: cols, unique: false });
+        self
+    }
+
+    /// Add a unique key.
+    pub fn with_unique(mut self, name: impl Into<String>, cols: Vec<usize>) -> Self {
+        self.indexes.push(IndexDef { name: name.into(), columns: cols, unique: true });
+        self
+    }
+
+    /// Set the rowstore-level flush threshold.
+    pub fn with_flush_threshold(mut self, rows: usize) -> Self {
+        self.flush_threshold_rows = rows;
+        self
+    }
+
+    /// Set the target segment size in rows.
+    pub fn with_segment_rows(mut self, rows: usize) -> Self {
+        self.segment_rows = rows;
+        self
+    }
+
+    /// Validate the options against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        let check = |cols: &[usize], what: &str| -> Result<()> {
+            for &c in cols {
+                if c >= schema.len() {
+                    return Err(Error::InvalidArgument(format!(
+                        "{what} references column ordinal {c} but table has {} columns",
+                        schema.len()
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check(&self.sort_key, "sort key")?;
+        check(&self.shard_key, "shard key")?;
+        for ix in &self.indexes {
+            if ix.columns.is_empty() {
+                return Err(Error::InvalidArgument(format!("index {:?} has no columns", ix.name)));
+            }
+            check(&ix.columns, "index")?;
+        }
+        for (i, ix) in self.indexes.iter().enumerate() {
+            if self.indexes[..i].iter().any(|p| p.name == ix.name) {
+                return Err(Error::InvalidArgument(format!("duplicate index name {:?}", ix.name)));
+            }
+        }
+        if self.flush_threshold_rows == 0 || self.segment_rows == 0 {
+            return Err(Error::InvalidArgument(
+                "flush_threshold_rows and segment_rows must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("a", DataType::Int64),
+            ColumnDef::nullable("b", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let r = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int64),
+            ColumnDef::new("a", DataType::Str),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn index_of() {
+        let s = schema2();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("zz").is_err());
+    }
+
+    #[test]
+    fn options_validate() {
+        let s = schema2();
+        assert!(TableOptions::new().with_sort_key(vec![0]).validate(&s).is_ok());
+        assert!(TableOptions::new().with_sort_key(vec![5]).validate(&s).is_err());
+        assert!(TableOptions::new().with_index("i", vec![]).validate(&s).is_err());
+        let dup = TableOptions::new().with_index("i", vec![0]).with_unique("i", vec![1]);
+        assert!(dup.validate(&s).is_err());
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = TableOptions::new()
+            .with_shard_key(vec![0])
+            .with_unique("pk", vec![0])
+            .with_flush_threshold(10)
+            .with_segment_rows(100);
+        assert_eq!(o.shard_key, vec![0]);
+        assert!(o.indexes[0].unique);
+        assert_eq!(o.flush_threshold_rows, 10);
+        assert_eq!(o.segment_rows, 100);
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared identifier and timestamp types used across the engine.
+
+/// Monotonic commit timestamp, allocated per partition.
+pub type Timestamp = u64;
+
+/// Transaction identifier, unique within a partition's lifetime.
+pub type TxnId = u64;
+
+/// Byte position in a partition's write-ahead log. Data files are "named
+/// after the log page at which they were created" (paper §3), so this type
+/// also names columnstore data files.
+pub type LogPosition = u64;
+
+/// Columnstore segment identifier, unique within a table.
+pub type SegmentId = u64;
+
+/// Partition ordinal within a database.
+pub type PartitionId = u32;
+
+/// Table identifier, unique within a database.
+pub type TableId = u32;
+
+/// Timestamp sentinel: version written by a still-uncommitted transaction.
+pub const TS_UNCOMMITTED: Timestamp = u64::MAX;
+
+/// Timestamp sentinel: version belonging to an aborted transaction
+/// (skipped by all readers; reclaimed by garbage collection).
+pub const TS_ABORTED: Timestamp = u64::MAX - 1;
+
+/// Largest timestamp a committed version can carry.
+pub const TS_MAX_COMMITTED: Timestamp = u64::MAX - 2;

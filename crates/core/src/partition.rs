@@ -1,0 +1,908 @@
+//! The partition: tables + write-ahead log + commit protocol + background
+//! maintenance (flush, merge, vacuum) + snapshots + recovery.
+//!
+//! A partition is the unit of durability and replication in S2DB (paper §2,
+//! §3): it owns one log, one commit-timestamp sequence, and the tables'
+//! partition-local data. Every state-changing commit (user transaction,
+//! flush, move, merge) runs under the partition's commit lock, which also
+//! orders read-snapshot acquisition — giving partition-local snapshot
+//! isolation (paper §2.1.2).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use s2_common::io::{ByteReader, ByteWriter};
+use s2_common::{
+    Error, LogPosition, Result, Row, Schema, SegmentId, TableId, TableOptions, Timestamp, TxnId,
+    Value,
+};
+use s2_columnstore::{merge_segments, MergePolicy, SegmentMeta, SegmentReader};
+use s2_wal::{Log, RecordIter, Snapshot};
+
+use crate::record::{self, EngineRecord, RowOp};
+use crate::segfile::{file_name, DataFileStore, SegmentFile};
+use crate::table::{SegmentCore, Table, TableSnapshot};
+
+/// Snapshot blob magic ("S2PS").
+const PARTITION_SNAPSHOT_MAGIC: u32 = 0x5350_3253;
+
+/// A partition of a database.
+pub struct Partition {
+    /// Partition name (also the data-file key prefix), e.g. `db0_p3`.
+    pub name: String,
+    /// The write-ahead log.
+    pub log: Arc<Log>,
+    /// Data-file storage (local cache + blob in the cluster layer).
+    pub file_store: Arc<dyn DataFileStore>,
+    tables: RwLock<HashMap<TableId, Arc<Table>>>,
+    table_names: RwLock<HashMap<String, TableId>>,
+    next_table_id: AtomicU64,
+    /// Serializes commits and snapshot acquisition.
+    commit_lock: Mutex<()>,
+    commit_ts: AtomicU64,
+    next_txn: AtomicU64,
+    /// Active read snapshots: read_ts -> count (pins GC horizons).
+    pinned: Mutex<BTreeMap<Timestamp, usize>>,
+    merge_policy: MergePolicy,
+    /// Log position of the newest rowstore snapshot: recovery replays only
+    /// records at or after it, which bounds which data files replay can need.
+    last_snapshot_lp: AtomicU64,
+}
+
+impl Partition {
+    /// Create an empty partition over `log` and `file_store`.
+    pub fn new(
+        name: impl Into<String>,
+        log: Arc<Log>,
+        file_store: Arc<dyn DataFileStore>,
+    ) -> Arc<Partition> {
+        Arc::new(Partition {
+            name: name.into(),
+            log,
+            file_store,
+            tables: RwLock::new(HashMap::new()),
+            table_names: RwLock::new(HashMap::new()),
+            next_table_id: AtomicU64::new(1),
+            commit_lock: Mutex::new(()),
+            commit_ts: AtomicU64::new(0),
+            next_txn: AtomicU64::new(1),
+            pinned: Mutex::new(BTreeMap::new()),
+            merge_policy: MergePolicy::default(),
+            last_snapshot_lp: AtomicU64::new(0),
+        })
+    }
+
+    /// Last committed timestamp.
+    pub fn commit_ts(&self) -> Timestamp {
+        self.commit_ts.load(Ordering::Acquire)
+    }
+
+    /// Allocate a transaction id.
+    pub(crate) fn alloc_txn(&self) -> TxnId {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Create a table. Returns its id. Logged as DDL.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        options: TableOptions,
+    ) -> Result<TableId> {
+        let name = name.into();
+        let _g = self.commit_lock.lock();
+        if self.table_names.read().contains_key(&name) {
+            return Err(Error::InvalidArgument(format!("table {name:?} already exists")));
+        }
+        let id = self.next_table_id.fetch_add(1, Ordering::Relaxed) as TableId;
+        let table = Arc::new(Table::new(id, name.clone(), schema.clone(), options.clone())?);
+        let rec = EngineRecord::CreateTable { table: id, name: name.clone(), schema, options };
+        self.log.append(rec.kind(), &rec.encode());
+        self.tables.write().insert(id, table);
+        self.table_names.write().insert(name, id);
+        Ok(id)
+    }
+
+    /// Look up a table by id.
+    pub fn table(&self, id: TableId) -> Result<Arc<Table>> {
+        self.tables.read().get(&id).cloned().ok_or_else(|| Error::NotFound(format!("table {id}")))
+    }
+
+    /// Look up a table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<Arc<Table>> {
+        let id = *self
+            .table_names
+            .read()
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("table {name:?}")))?;
+        self.table(id)
+    }
+
+    /// All table ids.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        let mut ids: Vec<TableId> = self.tables.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    // ---- snapshots ------------------------------------------------------
+
+    fn pin(&self, ts: Timestamp) {
+        *self.pinned.lock().entry(ts).or_insert(0) += 1;
+    }
+
+    fn unpin(&self, ts: Timestamp) {
+        let mut p = self.pinned.lock();
+        if let Some(c) = p.get_mut(&ts) {
+            *c -= 1;
+            if *c == 0 {
+                p.remove(&ts);
+            }
+        }
+    }
+
+    fn oldest_pinned(&self) -> Option<Timestamp> {
+        self.pinned.lock().keys().next().copied()
+    }
+
+    /// Take a consistent read snapshot of every table.
+    pub fn read_snapshot(self: &Arc<Self>) -> PartitionSnapshot {
+        self.snapshot_for(None)
+    }
+
+    /// Read snapshot that additionally sees `self_txn`'s uncommitted writes.
+    pub fn snapshot_for(self: &Arc<Self>, self_txn: Option<TxnId>) -> PartitionSnapshot {
+        let _g = self.commit_lock.lock();
+        let read_ts = self.commit_ts();
+        let tables = self.tables.read();
+        let snaps: HashMap<TableId, Arc<TableSnapshot>> = tables
+            .iter()
+            .map(|(id, t)| (*id, Arc::new(TableSnapshot::capture(t, read_ts, self_txn))))
+            .collect();
+        drop(tables);
+        self.pin(read_ts);
+        PartitionSnapshot { read_ts, tables: snaps, partition: Arc::clone(self) }
+    }
+
+    // ---- commit protocol -------------------------------------------------
+
+    /// Commit a user transaction's buffered writes: resolve rowstore versions
+    /// at a fresh timestamp and log the redo record. Returns (commit
+    /// timestamp, log end position — the position replication must ack for
+    /// the commit to be durable, paper §3).
+    pub(crate) fn commit_txn(
+        &self,
+        txn: TxnId,
+        ops: Vec<RowOp>,
+        keys_by_table: &HashMap<TableId, Vec<Vec<Value>>>,
+    ) -> Result<(Timestamp, LogPosition)> {
+        let _g = self.commit_lock.lock();
+        let ts = self.commit_ts() + 1;
+        for (tid, keys) in keys_by_table {
+            let table = self.table(*tid)?;
+            table.rowstore.read().commit(txn, ts, keys);
+        }
+        let rec = EngineRecord::Commit { commit_ts: ts, ops };
+        let (_, end_lp) = self.log.append(rec.kind(), &rec.encode());
+        self.commit_ts.store(ts, Ordering::Release);
+        Ok((ts, end_lp))
+    }
+
+    /// Roll back a transaction's buffered writes (no log record: redo-only).
+    pub(crate) fn rollback_txn(&self, txn: TxnId, keys_by_table: &HashMap<TableId, Vec<Vec<Value>>>) {
+        for (tid, keys) in keys_by_table {
+            if let Ok(table) = self.table(*tid) {
+                table.rowstore.read().rollback(txn, keys);
+            }
+        }
+    }
+
+    /// Execute a move transaction (paper §4.2): copy the target segment rows
+    /// into the rowstore (committed immediately, locks kept for `user_txn`)
+    /// and set their deleted bits. Returns the rowstore keys + rows created.
+    ///
+    /// Runs entirely under the commit lock, so it cannot race merges — the
+    /// paper's reordering of move vs. merge transactions collapses to
+    /// serialization here, preserving the observable behaviour (moves never
+    /// block on user transactions, only on other short system transactions).
+    pub(crate) fn move_rows(
+        &self,
+        user_txn: TxnId,
+        table: &Arc<Table>,
+        targets: &[(Arc<SegmentCore>, u32)],
+    ) -> Result<Vec<(Vec<Value>, Row)>> {
+        let _g = self.commit_lock.lock();
+        let ts = self.commit_ts() + 1;
+        let mut inserts: Vec<(Vec<Value>, Row)> = Vec::with_capacity(targets.len());
+        let mut bits_by_seg: HashMap<SegmentId, Vec<u32>> = HashMap::new();
+        let rs = table.rowstore.read();
+        for (core, off) in targets {
+            // Re-validate under the lock: the segment may have been merged
+            // away or the row deleted since the caller located it.
+            let (core, off) = if core.is_dropped() || core.deleted.read().get(*off as usize) {
+                match self.relocate(table, core, *off)? {
+                    Some(loc) => loc,
+                    None => continue, // row no longer exists anywhere: skip
+                }
+            } else {
+                (Arc::clone(core), *off)
+            };
+            let row = core.reader.row(off as usize)?;
+            let key = table.rowstore_key(&row);
+            rs.write(user_txn, &key, Some(row.clone()))?;
+            bits_by_seg.entry(core.meta.id).or_default().push(off);
+            inserts.push((key, row));
+        }
+        if inserts.is_empty() {
+            return Ok(inserts);
+        }
+        // Commit the moved copies immediately, keeping locks for the user.
+        let keys: Vec<Vec<Value>> = inserts.iter().map(|(k, _)| k.clone()).collect();
+        rs.commit_keep_locked(user_txn, ts, &keys);
+        drop(rs);
+        // Install new deleted bit vectors (copy-on-write).
+        let state = table.state.read();
+        for (seg, offs) in &bits_by_seg {
+            if let Some(core) = state.segments.get(seg) {
+                let mut bits = (**core.deleted.read()).clone();
+                for &o in offs {
+                    bits.set(o as usize);
+                }
+                *core.deleted.write() = Arc::new(bits);
+            }
+        }
+        drop(state);
+        let rec = EngineRecord::Move {
+            table: table.id,
+            commit_ts: ts,
+            inserts: inserts.clone(),
+            deleted: bits_by_seg.into_iter().collect(),
+        };
+        self.log.append(rec.kind(), &rec.encode());
+        self.commit_ts.store(ts, Ordering::Release);
+        Ok(inserts)
+    }
+
+    /// Find the current location of the row that used to live at
+    /// (`stale_core`, `off`): the paper's "extra scanning pass on newly
+    /// created segments ... to find the latest versions of the locked rows".
+    fn relocate(
+        &self,
+        table: &Arc<Table>,
+        stale_core: &Arc<SegmentCore>,
+        off: u32,
+    ) -> Result<Option<(Arc<SegmentCore>, u32)>> {
+        let row = stale_core.reader.row(off as usize)?;
+        // Prefer the unique index when one exists.
+        if let Some(cols) = &table.unique_cols {
+            let key = row.project(cols);
+            let hits = table.index_probe_latest(cols, &key)?;
+            for (core, rows) in hits {
+                if let Some(&r) = rows.first() {
+                    return Ok(Some((core, r)));
+                }
+            }
+            return Ok(None);
+        }
+        // No unique key: scan live segments for an identical, live row.
+        for core in table.live_segments() {
+            let deleted = core.deleted_bits();
+            for ri in 0..core.meta.row_count {
+                if deleted.get(ri) {
+                    continue;
+                }
+                if core.reader.row(ri)? == row {
+                    return Ok(Some((core, ri as u32)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // ---- flush -----------------------------------------------------------
+
+    /// Convert accumulated rowstore rows into columnstore segment(s)
+    /// (paper §2.1.2's background flusher; figure 1(b)). With `force` the
+    /// flush runs even below the configured threshold. Returns segments
+    /// created.
+    pub fn flush_table(&self, table_id: TableId, force: bool) -> Result<usize> {
+        let table = self.table(table_id)?;
+        let _g = self.commit_lock.lock();
+        if !force && table.rowstore_len() < table.options.flush_threshold_rows {
+            return Ok(0);
+        }
+        let flush_txn = self.alloc_txn();
+        let rs = table.rowstore.read();
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut rows: Vec<Row> = Vec::new();
+        rs.for_each_latest_committed(|key, row, owner| {
+            // Skip rows a writer currently holds; they'll flush next time.
+            if owner == 0 && rs.try_lock_key(flush_txn, key) {
+                keys.push(key.to_vec());
+                rows.push(row.clone());
+            }
+            true
+        });
+        if rows.is_empty() {
+            drop(rs);
+            return Ok(0);
+        }
+
+        // Sort once so the physical segment order and the inverted indexes
+        // agree (build_segment's sort is then a stable no-op).
+        let sort_key = table.options.sort_key.clone();
+        if !sort_key.is_empty() {
+            rows.sort_by(|a, b| {
+                sort_key
+                    .iter()
+                    .map(|&c| a.get(c).total_cmp(b.get(c)))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+
+        let indexed_cols: Vec<usize> = {
+            let state = table.state.read();
+            state.indexes.indexed_columns()
+        };
+        let file_id = self.log.end_lp();
+        let ts = self.commit_ts() + 1;
+
+        // Build one sorted run (possibly several segments) and its files.
+        let mut built: Vec<(SegmentMeta, SegmentFile, Vec<Row>)> = Vec::new();
+        {
+            let mut state = table.state.write();
+            for chunk in rows.chunks(table.options.segment_rows) {
+                let id = state.next_segment_id;
+                state.next_segment_id += 1;
+                let (mut meta, data) =
+                    s2_columnstore::build_segment(id, chunk.to_vec(), &table.schema, &sort_key)?;
+                meta.file_id = file_id;
+                let inverted_map = table.build_inverted(chunk, &indexed_cols);
+                let inverted: Vec<(usize, s2_index::InvertedIndex)> =
+                    inverted_map.iter().map(|(c, ix)| (*c, (**ix).clone())).collect();
+                built.push((meta, SegmentFile { data, inverted }, chunk.to_vec()));
+            }
+        }
+        for (meta, file, _) in &built {
+            self.file_store
+                .write_file(&file_name(&self.name, file_id, meta.id), Arc::new(file.encode()))?;
+        }
+
+        // Atomic state change: delete flushed keys from the rowstore and
+        // install the new run, all at timestamp `ts`.
+        for key in &keys {
+            rs.write(flush_txn, key, None)?; // lock already held by flush_txn
+        }
+        rs.commit(flush_txn, ts, &keys);
+        drop(rs);
+
+        let n = built.len();
+        let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> =
+            built.iter().map(|(m, f, r)| (m.clone(), f, r.as_slice())).collect();
+        table.install_run(items)?;
+
+        // Log: one Flush record per segment; removed keys ride on the first.
+        let mut records: Vec<(u8, Vec<u8>)> = Vec::with_capacity(n);
+        for (i, (meta, _, _)) in built.iter().enumerate() {
+            let mut meta = meta.clone();
+            meta.deleted = s2_common::BitVec::zeros(meta.row_count);
+            let rec = EngineRecord::Flush {
+                table: table.id,
+                commit_ts: ts,
+                meta,
+                removed_keys: if i == 0 { keys.clone() } else { Vec::new() },
+            };
+            records.push((rec.kind(), rec.encode()));
+        }
+        let refs: Vec<(u8, &[u8])> = records.iter().map(|(k, p)| (*k, p.as_slice())).collect();
+        self.log.append_group(&refs);
+        self.commit_ts.store(ts, Ordering::Release);
+        Ok(n)
+    }
+
+    // ---- merge -----------------------------------------------------------
+
+    /// Run one background merge step if the LSM has too many sorted runs
+    /// (paper §2.1.2). Returns true if a merge happened.
+    pub fn merge_table(&self, table_id: TableId) -> Result<bool> {
+        let table = self.table(table_id)?;
+        let _g = self.commit_lock.lock();
+
+        let (input_ids, inputs, mut next_id) = {
+            let state = table.state.read();
+            let run_sizes: Vec<usize> = state
+                .runs
+                .iter()
+                .map(|run| {
+                    run.iter()
+                        .filter_map(|id| state.segments.get(id))
+                        .map(|c| c.live_rows())
+                        .sum()
+                })
+                .collect();
+            let Some(plan) = self.merge_policy.plan(&run_sizes) else {
+                return Ok(false);
+            };
+            let mut ids = Vec::new();
+            for &ri in &plan {
+                ids.extend(state.runs[ri].iter().copied());
+            }
+            let inputs: Vec<Arc<SegmentCore>> =
+                ids.iter().filter_map(|id| state.segments.get(id).cloned()).collect();
+            (ids, inputs, state.next_segment_id)
+        };
+        if inputs.is_empty() {
+            return Ok(false);
+        }
+
+        // Merge with each input's *current* deleted bits (no move can race:
+        // we hold the commit lock).
+        let metas: Vec<SegmentMeta> = inputs
+            .iter()
+            .map(|c| {
+                let mut m = c.meta.clone();
+                m.deleted = (*c.deleted_bits()).clone();
+                m
+            })
+            .collect();
+        let pairs: Vec<(&SegmentMeta, &SegmentReader)> =
+            metas.iter().zip(inputs.iter()).map(|(m, c)| (m, &c.reader)).collect();
+        let sort_key = table.options.sort_key.clone();
+        let merged = merge_segments(
+            &pairs,
+            &table.schema,
+            &sort_key,
+            &mut next_id,
+            table.options.segment_rows,
+        )?;
+
+        let indexed_cols: Vec<usize> = {
+            let state = table.state.read();
+            state.indexes.indexed_columns()
+        };
+        let file_id = self.log.end_lp();
+        let ts = self.commit_ts() + 1;
+
+        let mut built: Vec<(SegmentMeta, SegmentFile, Vec<Row>)> = Vec::new();
+        for m in merged {
+            let mut meta = m.meta;
+            meta.file_id = file_id;
+            let inverted_map = table.build_inverted(&m.rows, &indexed_cols);
+            let inverted: Vec<(usize, s2_index::InvertedIndex)> =
+                inverted_map.iter().map(|(c, ix)| (*c, (**ix).clone())).collect();
+            built.push((meta, SegmentFile { data: m.data, inverted }, m.rows));
+        }
+        for (meta, file, _) in &built {
+            self.file_store
+                .write_file(&file_name(&self.name, file_id, meta.id), Arc::new(file.encode()))?;
+        }
+
+        // State change: retire inputs, install the output run.
+        {
+            let mut state = table.state.write();
+            state.next_segment_id = state.next_segment_id.max(next_id);
+            for id in &input_ids {
+                if let Some(core) = state.segments.get(id) {
+                    core.dropped_ts.store(ts, Ordering::Release);
+                }
+            }
+            state.runs.retain(|run| run.iter().all(|id| !input_ids.contains(id)));
+        }
+        let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> =
+            built.iter().map(|(m, f, r)| (m.clone(), f, r.as_slice())).collect();
+        table.install_run(items)?;
+
+        let out_metas: Vec<SegmentMeta> = built
+            .iter()
+            .map(|(m, _, _)| {
+                let mut m = m.clone();
+                m.deleted = s2_common::BitVec::zeros(m.row_count);
+                m
+            })
+            .collect();
+        let rec = EngineRecord::Merge {
+            table: table.id,
+            commit_ts: ts,
+            dropped: input_ids.clone(),
+            metas: out_metas,
+        };
+        let (_, merge_end_lp) = self.log.append(rec.kind(), &rec.encode());
+        {
+            let state = table.state.read();
+            for id in &input_ids {
+                if let Some(core) = state.segments.get(id) {
+                    core.dropped_lp.store(merge_end_lp, Ordering::Release);
+                }
+            }
+        }
+        self.commit_ts.store(ts, Ordering::Release);
+        Ok(true)
+    }
+
+    // ---- vacuum ----------------------------------------------------------
+
+    /// Reclaim MVCC versions, retired segments and stale global-index levels
+    /// that no active snapshot can observe. Returns (segments reclaimed,
+    /// rowstore versions freed).
+    pub fn vacuum(&self) -> Result<(usize, usize)> {
+        let horizon = self.oldest_pinned().unwrap_or_else(|| self.commit_ts());
+        let mut segs_reclaimed = 0;
+        let mut versions_freed = 0;
+        let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+        for table in tables {
+            // Rowstore GC: anything below the horizon that is superseded.
+            {
+                let mut rs = table.rowstore.write();
+                let (_, freed) = rs.gc(horizon.saturating_sub(0));
+                versions_freed += freed;
+            }
+            // Segment GC: retired segments no snapshot can still reference.
+            let snapshot_lp = self.last_snapshot_lp.load(Ordering::Acquire);
+            let mut dead: Vec<(SegmentId, LogPosition)> = Vec::new();
+            {
+                let mut state = table.state.write();
+                let ids: Vec<SegmentId> = state.segments.keys().copied().collect();
+                for id in ids {
+                    let core = &state.segments[&id];
+                    let dropped = core.dropped_ts.load(Ordering::Acquire);
+                    if dropped != u64::MAX && dropped <= horizon {
+                        // The in-memory segment can always be reclaimed; the
+                        // data file only once a snapshot at/after the merge
+                        // exists (log replay from that snapshot no longer
+                        // revisits this segment's flush record).
+                        if core.dropped_lp.load(Ordering::Acquire) <= snapshot_lp {
+                            dead.push((id, core.meta.file_id));
+                        }
+                        state.segments.remove(&id);
+                        segs_reclaimed += 1;
+                    }
+                }
+                // Lazy-deletion maintenance on the global indexes.
+                let live: std::collections::HashSet<SegmentId> = state
+                    .segments
+                    .iter()
+                    .filter(|(_, c)| !c.is_dropped())
+                    .map(|(id, _)| *id)
+                    .collect();
+                let is_live = move |s: SegmentId| live.contains(&s);
+                for g in state.indexes.column.values_mut() {
+                    g.maintain(&is_live);
+                }
+                for (_, g) in &mut state.indexes.tuple {
+                    g.maintain(&is_live);
+                }
+            }
+            for (id, file_id) in dead {
+                self.file_store.delete_file(&file_name(&self.name, file_id, id))?;
+            }
+        }
+        Ok((segs_reclaimed, versions_freed))
+    }
+
+    /// Run one full maintenance pass: flush + merge every table, then vacuum.
+    pub fn maintenance_pass(&self) -> Result<()> {
+        for id in self.table_ids() {
+            self.flush_table(id, false)?;
+            while self.merge_table(id)? {}
+        }
+        self.vacuum()?;
+        Ok(())
+    }
+
+    // ---- snapshots (durability) & recovery --------------------------------
+
+    /// Serialize the partition state as a rowstore snapshot at the current
+    /// log position (paper §2.1.1, §3.1). Only masters take snapshots; with
+    /// separated storage they're written directly to blob storage.
+    pub fn write_snapshot(&self) -> Result<Snapshot> {
+        let _g = self.commit_lock.lock();
+        let lp = self.log.end_lp();
+        self.last_snapshot_lp.store(lp, Ordering::Release);
+        let mut w = ByteWriter::new();
+        w.put_u32(PARTITION_SNAPSHOT_MAGIC);
+        w.put_u64(self.commit_ts());
+        w.put_u64(self.next_table_id.load(Ordering::Relaxed));
+        let tables = self.tables.read();
+        let mut ids: Vec<TableId> = tables.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_varint(ids.len() as u64);
+        for id in ids {
+            let t = &tables[&id];
+            w.put_u32(t.id);
+            w.put_str(&t.name);
+            record::put_schema(&mut w, &t.schema);
+            record::put_options(&mut w, &t.options);
+            // Rowstore: latest committed rows.
+            let mut pairs: Vec<(Vec<Value>, Row)> = Vec::new();
+            t.rowstore.read().for_each_latest_committed(|k, row, _| {
+                pairs.push((k.to_vec(), row.clone()));
+                true
+            });
+            w.put_varint(pairs.len() as u64);
+            for (k, row) in &pairs {
+                record::put_key(&mut w, k);
+                record::put_row(&mut w, row);
+            }
+            // Segments: live ones only, with current deleted bits, run by run.
+            let state = t.state.read();
+            w.put_u64(state.next_segment_id);
+            w.put_varint(state.runs.len() as u64);
+            for run in &state.runs {
+                let metas: Vec<SegmentMeta> = run
+                    .iter()
+                    .filter_map(|sid| state.segments.get(sid))
+                    .map(|c| {
+                        let mut m = c.meta.clone();
+                        m.deleted = (*c.deleted_bits()).clone();
+                        m
+                    })
+                    .collect();
+                w.put_varint(metas.len() as u64);
+                for m in &metas {
+                    m.write_to(&mut w);
+                }
+            }
+        }
+        Ok(Snapshot { lp, data: w.into_bytes() })
+    }
+
+    /// Restore partition state from a snapshot blob.
+    fn load_snapshot_state(&self, data: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(data);
+        let magic = r.get_u32()?;
+        if magic != PARTITION_SNAPSHOT_MAGIC {
+            return Err(Error::Corruption(format!("bad partition snapshot magic {magic:#x}")));
+        }
+        let commit_ts = r.get_u64()?;
+        let next_table_id = r.get_u64()?;
+        self.commit_ts.store(commit_ts, Ordering::Release);
+        self.next_table_id.store(next_table_id, Ordering::Relaxed);
+        let n_tables = r.get_varint()? as usize;
+        for _ in 0..n_tables {
+            let id = r.get_u32()?;
+            let name = r.get_str()?.to_string();
+            let schema = record::get_schema(&mut r)?;
+            let options = record::get_options(&mut r)?;
+            let table = Arc::new(Table::new(id, name.clone(), schema, options)?);
+            // Rowstore rows, committed at the snapshot timestamp.
+            let n_rows = r.get_varint()? as usize;
+            let txn = self.alloc_txn();
+            let mut keys = Vec::with_capacity(n_rows);
+            {
+                let rs = table.rowstore.read();
+                for _ in 0..n_rows {
+                    let key = record::get_key(&mut r)?;
+                    let row = record::get_row(&mut r)?;
+                    self.note_auto_key(&table, &key);
+                    rs.write(txn, &key, Some(row))?;
+                    keys.push(key);
+                }
+                rs.commit(txn, commit_ts, &keys);
+            }
+            // Segments.
+            let next_segment_id = r.get_u64()?;
+            let n_runs = r.get_varint()? as usize;
+            for _ in 0..n_runs {
+                let n_segs = r.get_varint()? as usize;
+                let mut items_owned: Vec<(SegmentMeta, SegmentFile, Vec<Row>)> = Vec::new();
+                for _ in 0..n_segs {
+                    let meta = SegmentMeta::read_from(&mut r)?;
+                    let (file, rows) = self.load_segment_file(&meta)?;
+                    items_owned.push((meta, file, rows));
+                }
+                let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> = items_owned
+                    .iter()
+                    .map(|(m, f, rws)| (m.clone(), f, rws.as_slice()))
+                    .collect();
+                table.install_run(items)?;
+            }
+            {
+                let mut state = table.state.write();
+                state.next_segment_id = state.next_segment_id.max(next_segment_id);
+            }
+            self.tables.write().insert(id, table);
+            self.table_names.write().insert(name, id);
+            let cur = self.next_table_id.load(Ordering::Relaxed);
+            if u64::from(id) >= cur {
+                self.next_table_id.store(u64::from(id) + 1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    fn note_auto_key(&self, table: &Table, key: &[Value]) {
+        if table.unique_cols.is_none() {
+            if let [Value::Int(n)] = key {
+                table.bump_auto_key(*n);
+            }
+        }
+    }
+
+    fn load_segment_file(&self, meta: &SegmentMeta) -> Result<(SegmentFile, Vec<Row>)> {
+        let bytes = self.file_store.read_file(&file_name(&self.name, meta.file_id, meta.id))?;
+        let file = SegmentFile::decode(&bytes)?;
+        // All physical rows (deleted or not) in segment order, for index
+        // registration.
+        let reader = SegmentReader::new(file.data.clone());
+        let mut rows = Vec::with_capacity(file.data.rows);
+        for ri in 0..file.data.rows {
+            rows.push(reader.row(ri)?);
+        }
+        Ok((file, rows))
+    }
+
+    /// Rebuild a partition from an optional snapshot plus the log suffix.
+    /// This is the node-restart path, the replica-provisioning path and the
+    /// PITR path (with `upto_lp` bounding replay).
+    pub fn recover(
+        name: impl Into<String>,
+        log: Arc<Log>,
+        file_store: Arc<dyn DataFileStore>,
+        snapshot: Option<&Snapshot>,
+        upto_lp: Option<LogPosition>,
+    ) -> Result<Arc<Partition>> {
+        let p = Partition::new(name, log, file_store);
+        let start_lp = match snapshot {
+            Some(s) => {
+                p.load_snapshot_state(&s.data)?;
+                p.last_snapshot_lp.store(s.lp, Ordering::Release);
+                s.lp
+            }
+            None => 0,
+        };
+        let end_lp = upto_lp.unwrap_or_else(|| p.log.end_lp()).min(p.log.end_lp());
+        if end_lp > start_lp {
+            let bytes = p.log.read_range(start_lp, end_lp)?;
+            for rec in RecordIter::new(&bytes, start_lp) {
+                let rec = rec?;
+                let engine_rec = EngineRecord::decode(rec.kind, rec.payload)?;
+                p.apply_record(engine_rec)?;
+            }
+        }
+        Ok(p)
+    }
+
+    /// Apply one replayed (or replicated) record.
+    pub fn apply_record(&self, rec: EngineRecord) -> Result<()> {
+        match rec {
+            EngineRecord::CreateTable { table, name, schema, options } => {
+                let t = Arc::new(Table::new(table, name.clone(), schema, options)?);
+                self.tables.write().insert(table, t);
+                self.table_names.write().insert(name, table);
+                let cur = self.next_table_id.load(Ordering::Relaxed);
+                if u64::from(table) >= cur {
+                    self.next_table_id.store(u64::from(table) + 1, Ordering::Relaxed);
+                }
+            }
+            EngineRecord::Commit { commit_ts, ops } => {
+                let txn = self.alloc_txn();
+                let mut keys_by_table: HashMap<TableId, Vec<Vec<Value>>> = HashMap::new();
+                for op in ops {
+                    match op {
+                        RowOp::Upsert { table, key, row } => {
+                            let t = self.table(table)?;
+                            self.note_auto_key(&t, &key);
+                            t.rowstore.read().write(txn, &key, Some(row))?;
+                            keys_by_table.entry(table).or_default().push(key);
+                        }
+                        RowOp::Delete { table, key } => {
+                            let t = self.table(table)?;
+                            t.rowstore.read().write(txn, &key, None)?;
+                            keys_by_table.entry(table).or_default().push(key);
+                        }
+                    }
+                }
+                for (tid, keys) in &keys_by_table {
+                    self.table(*tid)?.rowstore.read().commit(txn, commit_ts, keys);
+                }
+                self.bump_commit_ts(commit_ts);
+            }
+            EngineRecord::Flush { table, commit_ts, meta, removed_keys } => {
+                let t = self.table(table)?;
+                let (file, rows) = self.load_segment_file(&meta)?;
+                t.install_run(vec![(meta, &file, rows.as_slice())])?;
+                if !removed_keys.is_empty() {
+                    let txn = self.alloc_txn();
+                    let rs = t.rowstore.read();
+                    for key in &removed_keys {
+                        rs.write(txn, key, None)?;
+                    }
+                    rs.commit(txn, commit_ts, &removed_keys);
+                }
+                self.bump_commit_ts(commit_ts);
+            }
+            EngineRecord::Move { table, commit_ts, inserts, deleted } => {
+                let t = self.table(table)?;
+                if !inserts.is_empty() {
+                    let txn = self.alloc_txn();
+                    let rs = t.rowstore.read();
+                    let mut keys = Vec::with_capacity(inserts.len());
+                    for (key, row) in inserts {
+                        self.note_auto_key(&t, &key);
+                        rs.write(txn, &key, Some(row))?;
+                        keys.push(key);
+                    }
+                    rs.commit(txn, commit_ts, &keys);
+                }
+                let state = t.state.read();
+                for (seg, offs) in deleted {
+                    if let Some(core) = state.segments.get(&seg) {
+                        let mut bits = (**core.deleted.read()).clone();
+                        for o in offs {
+                            bits.set(o as usize);
+                        }
+                        *core.deleted.write() = Arc::new(bits);
+                    }
+                }
+                self.bump_commit_ts(commit_ts);
+            }
+            EngineRecord::Merge { table, commit_ts, dropped, metas } => {
+                let t = self.table(table)?;
+                {
+                    let mut state = t.state.write();
+                    for id in &dropped {
+                        state.segments.remove(id);
+                    }
+                    state.runs.retain(|run| run.iter().all(|id| !dropped.contains(id)));
+                }
+                let mut items_owned: Vec<(SegmentMeta, SegmentFile, Vec<Row>)> = Vec::new();
+                for meta in metas {
+                    let (file, rows) = self.load_segment_file(&meta)?;
+                    items_owned.push((meta, file, rows));
+                }
+                let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> = items_owned
+                    .iter()
+                    .map(|(m, f, rws)| (m.clone(), f, rws.as_slice()))
+                    .collect();
+                t.install_run(items)?;
+                self.bump_commit_ts(commit_ts);
+            }
+        }
+        Ok(())
+    }
+
+    fn bump_commit_ts(&self, ts: Timestamp) {
+        let cur = self.commit_ts();
+        if ts > cur {
+            self.commit_ts.store(ts, Ordering::Release);
+        }
+    }
+}
+
+/// A consistent multi-table read view of one partition. Pins GC horizons
+/// while alive.
+pub struct PartitionSnapshot {
+    /// Snapshot timestamp.
+    pub read_ts: Timestamp,
+    tables: HashMap<TableId, Arc<TableSnapshot>>,
+    partition: Arc<Partition>,
+}
+
+impl PartitionSnapshot {
+    /// Per-table snapshot by id.
+    pub fn table(&self, id: TableId) -> Result<&Arc<TableSnapshot>> {
+        self.tables.get(&id).ok_or_else(|| Error::NotFound(format!("table {id} in snapshot")))
+    }
+
+    /// Per-table snapshot by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&Arc<TableSnapshot>> {
+        let t = self.partition.table_by_name(name)?;
+        self.table(t.id)
+    }
+
+    /// Ids of tables captured.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        let mut ids: Vec<TableId> = self.tables.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl Drop for PartitionSnapshot {
+    fn drop(&mut self) {
+        self.partition.unpin(self.read_ts);
+    }
+}

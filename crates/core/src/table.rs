@@ -1,0 +1,584 @@
+//! Unified table storage: one table = an in-memory rowstore level plus
+//! columnstore segments with secondary indexes (paper §4).
+//!
+//! Concurrency model: the partition's *commit lock* serializes every
+//! state-changing commit (user commits, flushes, moves, merges) and the
+//! allocation of commit timestamps; the table's internal `RwLock` protects
+//! the segment map for shared readers. Read snapshots are taken under the
+//! commit lock, so a snapshot always observes a prefix of the commit order.
+//! Row-level concurrency inside the rowstore is handled by its own MVCC +
+//! row locks and does not take the commit lock until commit time.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use s2_common::{
+    BitVec, Error, Result, Row, Schema, SegmentId, TableId, TableOptions, Timestamp, TxnId, Value,
+};
+use s2_columnstore::{SegmentMeta, SegmentReader};
+use s2_index::{intersect, GlobalIndex, InvertedIndex, InvertedIndexBuilder};
+use s2_rowstore::RowStore;
+
+use crate::segfile::SegmentFile;
+
+/// A live (or recently retired) columnstore segment.
+pub struct SegmentCore {
+    /// Static metadata (the `deleted` field inside is unused here; current
+    /// bits live in [`SegmentCore::deleted`]).
+    pub meta: SegmentMeta,
+    /// Current deleted bits, copy-on-write so snapshots pin a version cheaply.
+    pub deleted: RwLock<Arc<BitVec>>,
+    /// Timestamp at which a merge retired this segment (`u64::MAX` = live).
+    /// Retired segments stay readable until no snapshot can reference them.
+    pub dropped_ts: AtomicU64,
+    /// Log position just past the merge record that retired this segment
+    /// (`u64::MAX` = live). The data file may only be physically deleted once
+    /// a rowstore snapshot at or after this position exists — otherwise log
+    /// replay would re-install the segment from its flush record and fail to
+    /// find the file.
+    pub dropped_lp: AtomicU64,
+    /// Decoded column readers.
+    pub reader: SegmentReader,
+    /// Per-segment inverted indexes keyed by column ordinal.
+    pub inverted: HashMap<usize, Arc<InvertedIndex>>,
+}
+
+impl SegmentCore {
+    /// Current deleted bits.
+    pub fn deleted_bits(&self) -> Arc<BitVec> {
+        Arc::clone(&self.deleted.read())
+    }
+
+    /// Live rows under the current bits.
+    pub fn live_rows(&self) -> usize {
+        self.meta.row_count - self.deleted.read().count_ones()
+    }
+
+    /// Whether the segment was retired by a merge.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped_ts.load(Ordering::Acquire) != u64::MAX
+    }
+}
+
+/// Secondary-index state for one table.
+pub struct TableIndexes {
+    /// Arity-1 global index per indexed column (shared across index defs,
+    /// paper §4.1.1).
+    pub column: HashMap<usize, GlobalIndex>,
+    /// Tuple global index per multi-column index def: (columns, index).
+    pub tuple: Vec<(Vec<usize>, GlobalIndex)>,
+}
+
+impl TableIndexes {
+    fn new(options: &TableOptions) -> TableIndexes {
+        let mut column = HashMap::new();
+        let mut tuple = Vec::new();
+        for def in &options.indexes {
+            for &c in &def.columns {
+                column.entry(c).or_insert_with(|| GlobalIndex::new(1));
+            }
+            if def.columns.len() > 1
+                && !tuple.iter().any(|(cols, _)| cols == &def.columns)
+            {
+                tuple.push((def.columns.clone(), GlobalIndex::new(def.columns.len())));
+            }
+        }
+        TableIndexes { column, tuple }
+    }
+
+    /// All indexed column ordinals.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.column.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+}
+
+/// Mutable columnstore-side state of a table.
+pub struct TableState {
+    /// Segments by id, including recently retired ones awaiting vacuum.
+    pub segments: HashMap<SegmentId, Arc<SegmentCore>>,
+    /// Sorted runs of live segments (LSM structure).
+    pub runs: Vec<Vec<SegmentId>>,
+    /// Secondary indexes.
+    pub indexes: TableIndexes,
+    /// Next segment id.
+    pub next_segment_id: SegmentId,
+}
+
+/// A unified table.
+pub struct Table {
+    /// Table id, unique within the database.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Column schema.
+    pub schema: Schema,
+    /// Sort key, shard key, indexes, thresholds.
+    pub options: TableOptions,
+    /// LSM level 0 + row-lock manager.
+    pub(crate) rowstore: RwLock<RowStore>,
+    /// Columnstore state.
+    pub(crate) state: RwLock<TableState>,
+    /// Columns of the first unique index (the rowstore key), if any.
+    pub(crate) unique_cols: Option<Vec<usize>>,
+    /// Synthetic rowstore key allocator for tables without a unique key.
+    auto_key: AtomicU64,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: TableId, name: String, schema: Schema, options: TableOptions) -> Result<Table> {
+        options.validate(&schema)?;
+        let unique_cols =
+            options.indexes.iter().find(|d| d.unique).map(|d| d.columns.clone());
+        let indexes = TableIndexes::new(&options);
+        Ok(Table {
+            id,
+            name,
+            schema,
+            options,
+            rowstore: RwLock::new(RowStore::new()),
+            state: RwLock::new(TableState {
+                segments: HashMap::new(),
+                runs: Vec::new(),
+                indexes,
+                next_segment_id: 1,
+            }),
+            unique_cols,
+            auto_key: AtomicU64::new(1),
+        })
+    }
+
+    /// The rowstore key for a row: unique-key values if the table has a
+    /// unique key, otherwise a fresh synthetic key. The rowstore's primary
+    /// key doubles as the lock manager (paper §4.2).
+    pub fn rowstore_key(&self, row: &Row) -> Vec<Value> {
+        match &self.unique_cols {
+            Some(cols) => row.project(cols),
+            None => vec![Value::Int(self.auto_key.fetch_add(1, Ordering::Relaxed) as i64)],
+        }
+    }
+
+    /// Advance the synthetic key allocator past `seen` (recovery).
+    pub(crate) fn bump_auto_key(&self, seen: i64) {
+        let mut cur = self.auto_key.load(Ordering::Relaxed);
+        while (cur as i64) <= seen {
+            match self.auto_key.compare_exchange(
+                cur,
+                seen as u64 + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Approximate rowstore key count (flush trigger).
+    pub fn rowstore_len(&self) -> usize {
+        self.rowstore.read().key_count()
+    }
+
+    /// Build the per-segment inverted indexes for all indexed columns over
+    /// `rows` (called at flush/merge while the segment is being created).
+    pub(crate) fn build_inverted(
+        &self,
+        rows: &[Row],
+        indexed_cols: &[usize],
+    ) -> HashMap<usize, Arc<InvertedIndex>> {
+        let mut out = HashMap::new();
+        for &col in indexed_cols {
+            let mut b = InvertedIndexBuilder::new();
+            for (i, row) in rows.iter().enumerate() {
+                b.add(row.get(col), i as u32);
+            }
+            out.insert(col, Arc::new(b.finish()));
+        }
+        out
+    }
+
+    /// Register a freshly built segment in the global indexes.
+    pub(crate) fn index_segment(
+        indexes: &mut TableIndexes,
+        seg_id: SegmentId,
+        rows: &[Row],
+        inverted: &HashMap<usize, Arc<InvertedIndex>>,
+    ) -> Result<()> {
+        // Per-column entries: every distinct value hash -> entry offset.
+        for (&col, ix) in inverted {
+            if let Some(global) = indexes.column.get_mut(&col) {
+                let entries: Vec<(u64, Vec<u32>)> =
+                    ix.iter_entries().map(|(h, off)| (h, vec![off])).collect();
+                global.add_segment(seg_id, entries);
+            }
+        }
+        // Tuple entries: distinct tuples -> the per-column entry offsets
+        // (paper §4.1.1 structure (3)).
+        for (cols, global) in &mut indexes.tuple {
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut entries: Vec<(u64, Vec<u32>)> = Vec::new();
+            'rows: for row in rows {
+                let vals: Vec<&Value> = cols.iter().map(|&c| row.get(c)).collect();
+                if vals.iter().any(|v| v.is_null()) {
+                    continue; // NULLs are not indexed
+                }
+                let h = s2_common::hash::hash_values(vals.iter().copied());
+                if !seen.insert(h) {
+                    continue;
+                }
+                let mut offs = Vec::with_capacity(cols.len());
+                for (&c, v) in cols.iter().zip(&vals) {
+                    let ix = inverted.get(&c).ok_or_else(|| {
+                        Error::Internal(format!("missing inverted index for column {c}"))
+                    })?;
+                    match ix.entry_offset_of(v)? {
+                        Some(off) => offs.push(off),
+                        None => continue 'rows, // value unindexed (shouldn't happen)
+                    }
+                }
+                entries.push((h, offs));
+            }
+            global.add_segment(seg_id, entries);
+        }
+        Ok(())
+    }
+
+    /// Install a new sorted run of segments (a flush or merge output) under
+    /// the state write lock. `items` are (metadata, file, rows-in-physical-
+    /// order); metadata may carry non-zero deleted bits during recovery.
+    pub(crate) fn install_run(
+        &self,
+        items: Vec<(SegmentMeta, &SegmentFile, &[Row])>,
+    ) -> Result<Vec<Arc<SegmentCore>>> {
+        let mut state = self.state.write();
+        let mut run = Vec::with_capacity(items.len());
+        let mut cores = Vec::with_capacity(items.len());
+        for (meta, file, rows) in items {
+            let id = meta.id;
+            let deleted = Arc::new(meta.deleted.clone());
+            let mut meta = meta;
+            meta.deleted = BitVec::zeros(0); // bits live in SegmentCore::deleted
+            let inverted: HashMap<usize, Arc<InvertedIndex>> =
+                file.inverted.iter().map(|(c, ix)| (*c, Arc::new(ix.clone()))).collect();
+            let core = Arc::new(SegmentCore {
+                meta,
+                deleted: RwLock::new(deleted),
+                dropped_ts: AtomicU64::new(u64::MAX),
+                dropped_lp: AtomicU64::new(u64::MAX),
+                reader: SegmentReader::new(file.data.clone()),
+                inverted,
+            });
+            Table::index_segment(&mut state.indexes, id, rows, &core.inverted)?;
+            state.segments.insert(id, Arc::clone(&core));
+            state.next_segment_id = state.next_segment_id.max(id + 1);
+            run.push(id);
+            cores.push(core);
+        }
+        if !run.is_empty() {
+            state.runs.push(run);
+        }
+        Ok(cores)
+    }
+
+    /// Current live segments in run order.
+    pub fn live_segments(&self) -> Vec<Arc<SegmentCore>> {
+        let state = self.state.read();
+        state
+            .runs
+            .iter()
+            .flatten()
+            .filter_map(|id| state.segments.get(id).cloned())
+            .collect()
+    }
+
+    /// Lookup live segment row locations for `key_cols == key_vals` using the
+    /// two-level index, at the *latest* state (unique checks and DML need
+    /// latest, not snapshot, state). Returns (segment, matching row offsets
+    /// with currently-deleted rows filtered out).
+    pub fn index_probe_latest(
+        &self,
+        key_cols: &[usize],
+        key_vals: &[Value],
+    ) -> Result<Vec<(Arc<SegmentCore>, Vec<u32>)>> {
+        let state = self.state.read();
+        let hits = probe_state(&state, key_cols, key_vals, None)?;
+        drop(state);
+        let mut out = Vec::new();
+        for (core, rows) in hits {
+            let deleted = core.deleted_bits();
+            let rows: Vec<u32> =
+                rows.into_iter().filter(|&r| !deleted.get(r as usize)).collect();
+            if !rows.is_empty() {
+                out.push((core, rows));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether every column in `cols` is covered by a secondary index.
+    pub fn columns_indexed(&self, cols: &[usize]) -> bool {
+        let state = self.state.read();
+        cols.iter().all(|c| state.indexes.column.contains_key(c))
+    }
+}
+
+/// Probe the index state for an equality match on `key_cols = key_vals`.
+/// `restrict` optionally limits results to a snapshot's segment set.
+pub(crate) fn probe_state(
+    state: &TableState,
+    key_cols: &[usize],
+    key_vals: &[Value],
+    restrict: Option<&HashSet<SegmentId>>,
+) -> Result<Vec<(Arc<SegmentCore>, Vec<u32>)>> {
+    if key_cols.is_empty() || key_cols.len() != key_vals.len() {
+        return Err(Error::InvalidArgument("bad index probe arity".into()));
+    }
+    if key_vals.iter().any(|v| v.is_null()) {
+        return Ok(Vec::new()); // NULLs are not indexed
+    }
+    let is_live = |state: &TableState, seg: SegmentId| -> bool {
+        match restrict {
+            Some(set) => set.contains(&seg),
+            None => state
+                .segments
+                .get(&seg)
+                .is_some_and(|core| !core.is_dropped()),
+        }
+    };
+
+    // Fast path: a tuple index covering exactly these columns skips segments
+    // that don't contain the full tuple (paper §4.1.1).
+    if key_cols.len() > 1 {
+        if let Some((cols, global)) = state
+            .indexes
+            .tuple
+            .iter()
+            .find(|(cols, _)| cols.as_slice() == key_cols)
+        {
+            let h = s2_common::hash::hash_values(key_vals.iter());
+            let hits = global.lookup(h, &|s| is_live(state, s));
+            return resolve_hits(state, cols, key_vals, hits);
+        }
+    }
+
+    // General path: probe each single-column global index and intersect
+    // per-segment postings.
+    let mut per_col: Vec<HashMap<SegmentId, u32>> = Vec::with_capacity(key_cols.len());
+    for (&col, val) in key_cols.iter().zip(key_vals) {
+        let global = state.indexes.column.get(&col).ok_or_else(|| {
+            Error::NotFound(format!("no secondary index on column {col}"))
+        })?;
+        let hits = global.lookup(val.hash64(), &|s| is_live(state, s));
+        let mut map = HashMap::new();
+        for (seg, offs) in hits {
+            map.insert(seg, offs[0]);
+        }
+        per_col.push(map);
+    }
+    // Candidate segments must appear in every column's hit set.
+    let mut candidates: Vec<SegmentId> = per_col[0].keys().copied().collect();
+    candidates.retain(|s| per_col.iter().all(|m| m.contains_key(s)));
+    candidates.sort_unstable();
+    let mut out = Vec::new();
+    for seg in candidates {
+        let offs: Vec<u32> = per_col.iter().map(|m| m[&seg]).collect();
+        resolve_one(state, seg, key_cols, key_vals, &offs, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn resolve_hits(
+    state: &TableState,
+    cols: &[usize],
+    vals: &[Value],
+    hits: Vec<(SegmentId, Vec<u32>)>,
+) -> Result<Vec<(Arc<SegmentCore>, Vec<u32>)>> {
+    let mut out = Vec::new();
+    for (seg, offs) in hits {
+        resolve_one(state, seg, cols, vals, &offs, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Open per-column postings at the given entry offsets (verifying values to
+/// resolve hash collisions) and intersect them. Deleted-row filtering is the
+/// caller's job: `index_probe_latest` uses current bits, snapshot probes use
+/// the snapshot's pinned bits.
+fn resolve_one(
+    state: &TableState,
+    seg: SegmentId,
+    cols: &[usize],
+    vals: &[Value],
+    entry_offs: &[u32],
+    out: &mut Vec<(Arc<SegmentCore>, Vec<u32>)>,
+) -> Result<()> {
+    let Some(core) = state.segments.get(&seg) else {
+        return Ok(()); // raced with vacuum; lazily-deleted reference
+    };
+    let mut readers = Vec::with_capacity(cols.len());
+    for ((&col, val), &off) in cols.iter().zip(vals).zip(entry_offs) {
+        let Some(ix) = core.inverted.get(&col) else { return Ok(()) };
+        match ix.postings_at(off, val)? {
+            Some(p) => readers.push(p),
+            None => return Ok(()), // hash collision: value not actually present
+        }
+    }
+    let rows = intersect(readers)?;
+    if !rows.is_empty() {
+        out.push((Arc::clone(core), rows));
+    }
+    Ok(())
+}
+
+/// A consistent per-table read view: segment set + pinned deleted bits +
+/// rowstore visibility at `read_ts`.
+pub struct TableSnapshot {
+    /// The table (rowstore reads go through it with `read_ts`).
+    pub table: Arc<Table>,
+    /// Snapshot timestamp.
+    pub read_ts: Timestamp,
+    /// Transaction whose own uncommitted writes are visible, if any.
+    pub self_txn: Option<TxnId>,
+    /// Live segments at snapshot time with their pinned deleted bits.
+    pub segments: Vec<SegmentSnap>,
+    seg_ids: HashSet<SegmentId>,
+    rowstore_rows: OnceLock<Vec<(Vec<Value>, Row)>>,
+}
+
+/// One segment as seen by a snapshot.
+pub struct SegmentSnap {
+    /// Shared segment core (metadata + readers + inverted indexes).
+    pub core: Arc<SegmentCore>,
+    /// Deleted bits as of the snapshot.
+    pub deleted: Arc<BitVec>,
+}
+
+impl SegmentSnap {
+    /// Live rows under the snapshot's bits.
+    pub fn live_rows(&self) -> usize {
+        self.core.meta.row_count - self.deleted.count_ones()
+    }
+}
+
+impl TableSnapshot {
+    /// Capture a snapshot. Must be called under the partition commit lock so
+    /// `read_ts` and the segment state agree.
+    pub(crate) fn capture(
+        table: &Arc<Table>,
+        read_ts: Timestamp,
+        self_txn: Option<TxnId>,
+    ) -> TableSnapshot {
+        let state = table.state.read();
+        let mut segments = Vec::new();
+        let mut seg_ids = HashSet::new();
+        for id in state.runs.iter().flatten() {
+            if let Some(core) = state.segments.get(id) {
+                seg_ids.insert(*id);
+                segments
+                    .push(SegmentSnap { core: Arc::clone(core), deleted: core.deleted_bits() });
+            }
+        }
+        TableSnapshot {
+            table: Arc::clone(table),
+            read_ts,
+            self_txn,
+            segments,
+            seg_ids,
+            rowstore_rows: OnceLock::new(),
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.table.schema
+    }
+
+    /// Rowstore rows visible to this snapshot, materialized once.
+    pub fn rowstore_rows(&self) -> &[(Vec<Value>, Row)] {
+        self.rowstore_rows.get_or_init(|| {
+            let mut out = Vec::new();
+            self.table.rowstore.read().for_each_visible(self.read_ts, self.self_txn, |k, r| {
+                out.push((k.to_vec(), r.clone()));
+            });
+            out
+        })
+    }
+
+    /// Total live rows visible (rowstore + segments).
+    pub fn live_row_count(&self) -> usize {
+        self.rowstore_rows().len() + self.segments.iter().map(SegmentSnap::live_rows).sum::<usize>()
+    }
+
+    /// Equality index probe within this snapshot: segment hits plus matching
+    /// rowstore rows. Returns `None` when some probed column is not indexed
+    /// (caller falls back to a scan).
+    pub fn index_probe(
+        &self,
+        key_cols: &[usize],
+        key_vals: &[Value],
+    ) -> Result<Option<IndexProbe>> {
+        {
+            let state = self.table.state.read();
+            if !key_cols.iter().all(|c| state.indexes.column.contains_key(c)) {
+                return Ok(None);
+            }
+        }
+        let state = self.table.state.read();
+        let seg_hits = probe_state(&state, key_cols, key_vals, Some(&self.seg_ids))?;
+        drop(state);
+        // Apply the *snapshot's* pinned deleted bits: a row deleted after the
+        // snapshot was taken is still visible here.
+        let mut segments = Vec::new();
+        for (core, rows) in seg_hits {
+            let snap_deleted = self
+                .segments
+                .iter()
+                .find(|s| s.core.meta.id == core.meta.id)
+                .map(|s| Arc::clone(&s.deleted));
+            let Some(deleted) = snap_deleted else { continue };
+            let rows: Vec<u32> = rows.into_iter().filter(|&r| !deleted.get(r as usize)).collect();
+            if !rows.is_empty() {
+                segments.push((core, rows));
+            }
+        }
+        let rowstore: Vec<(Vec<Value>, Row)> = self
+            .rowstore_rows()
+            .iter()
+            .filter(|(_, row)| {
+                key_cols.iter().zip(key_vals).all(|(&c, v)| row.get(c) == v)
+            })
+            .cloned()
+            .collect();
+        Ok(Some(IndexProbe { segments, rowstore }))
+    }
+}
+
+/// Result of a snapshot index probe.
+pub struct IndexProbe {
+    /// Matching live segment rows.
+    pub segments: Vec<(Arc<SegmentCore>, Vec<u32>)>,
+    /// Matching rowstore rows (key, row).
+    pub rowstore: Vec<(Vec<Value>, Row)>,
+}
+
+impl IndexProbe {
+    /// Total matching rows.
+    pub fn row_count(&self) -> usize {
+        self.rowstore.len() + self.segments.iter().map(|(_, r)| r.len()).sum::<usize>()
+    }
+
+    /// Materialize every matching row.
+    pub fn materialize(&self) -> Result<Vec<Row>> {
+        let mut out: Vec<Row> = self.rowstore.iter().map(|(_, r)| r.clone()).collect();
+        for (core, rows) in &self.segments {
+            for &r in rows {
+                out.push(core.reader.row(r as usize)?);
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,179 @@
+//! A from-scratch LZ77-style byte compressor.
+//!
+//! Stands in for the paper's LZ4: a fast, generic byte codec used for string
+//! columns whose data doesn't dictionary-encode well. The format is a token
+//! stream: each token is `(literal_len varint, literal bytes, match_len
+//! varint, match_dist varint)`; a final token may have `match_len == 0`.
+//! Matching uses a 4-byte hash table over the window (greedy, no lazy
+//! matching) — simple, deterministic and plenty fast for a reproduction.
+
+use s2_common::io::{ByteReader, ByteWriter};
+use s2_common::{Error, Result};
+
+const MIN_MATCH: usize = 4;
+const HASH_BITS: u32 = 15;
+const MAX_DIST: usize = 64 * 1024;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes(data[..4].try_into().unwrap());
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` into an LZ token stream (prefixed with the uncompressed length).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(input.len() / 2 + 16);
+    w.put_varint(input.len() as u64);
+
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+
+        let is_match = candidate != usize::MAX
+            && pos - candidate <= MAX_DIST
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH];
+        if is_match {
+            // Extend the match as far as possible.
+            let mut len = MIN_MATCH;
+            while pos + len < input.len() && input[candidate + len] == input[pos + len] {
+                len += 1;
+            }
+            let literals = &input[literal_start..pos];
+            w.put_varint(literals.len() as u64);
+            w.put_raw(literals);
+            w.put_varint(len as u64);
+            w.put_varint((pos - candidate) as u64);
+            // Seed the hash table inside the match so later data can refer to it.
+            let end = (pos + len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            let mut p = pos + 1;
+            while p < end {
+                table[hash4(&input[p..])] = p;
+                p += 1;
+            }
+            pos += len;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+
+    // Trailing literals.
+    let literals = &input[literal_start..];
+    w.put_varint(literals.len() as u64);
+    w.put_raw(literals);
+    w.put_varint(0); // match_len 0 terminates
+    w.into_bytes()
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>> {
+    let mut r = ByteReader::new(compressed);
+    let total = r.get_varint()? as usize;
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let lit_len = r.get_varint()? as usize;
+        out.extend_from_slice(r.get_raw(lit_len)?);
+        if out.len() > total {
+            return Err(Error::Corruption("lz stream longer than header length".into()));
+        }
+        if out.len() == total && r.is_at_end() {
+            break;
+        }
+        let match_len = r.get_varint()? as usize;
+        if match_len == 0 {
+            break;
+        }
+        let dist = r.get_varint()? as usize;
+        if dist == 0 || dist > out.len() {
+            return Err(Error::Corruption(format!(
+                "lz match distance {dist} out of range (have {})",
+                out.len()
+            )));
+        }
+        // Byte-at-a-time copy: overlapping matches (dist < match_len) are legal.
+        let start = out.len() - dist;
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+        if out.len() > total {
+            return Err(Error::Corruption("lz stream longer than header length".into()));
+        }
+    }
+    if out.len() != total {
+        return Err(Error::Corruption(format!(
+            "lz stream ended at {} bytes, header said {total}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let data: Vec<u8> = b"the quick brown fox ".repeat(200).to_vec();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "compressed {} of {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match() {
+        // "aaaa..." forces dist=1 matches longer than the distance.
+        let data = vec![b'a'; 1000];
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_survives() {
+        // Pseudo-random bytes: no 4-byte repeats likely; output may expand slightly.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let c = compress(b"hello hello hello hello hello");
+        assert!(decompress(&c[..c.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn bad_distance_detected() {
+        let mut w = ByteWriter::new();
+        w.put_varint(10); // claim 10 bytes
+        w.put_varint(2); // 2 literals
+        w.put_raw(b"ab");
+        w.put_varint(4); // match of 4
+        w.put_varint(9); // distance 9 > 2 produced
+        assert!(decompress(&w.into_bytes()).is_err());
+    }
+}

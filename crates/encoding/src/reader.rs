@@ -1,0 +1,566 @@
+//! Decoding: random access (`value`), vectorized decode (`decode_vector`)
+//! and encoded execution (`encoded_filter`) over an [`EncodedColumn`].
+//!
+//! All decode paths are *seekable* (paper §2.1.2): `value(row)` touches only
+//! the bytes needed for that row — O(1) for plain/bit-packed/dictionary
+//! columns, O(log runs) for RLE, and one block decompression (cached) for LZ.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use s2_common::io::ByteReader;
+use s2_common::{BitVec, DataType, Error, Result, Value};
+
+use crate::encode::{EncodedColumn, Encoding};
+use crate::vector::{ColumnVector, VectorBuilder};
+
+/// Read one `width`-bit lane at `idx` from a packed bit stream starting at
+/// byte `bits_off`.
+#[inline]
+fn read_packed(data: &[u8], bits_off: usize, width: u8, idx: usize) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let bit_start = idx * width as usize;
+    let byte_start = bits_off + bit_start / 8;
+    let shift = bit_start % 8;
+    let mut buf = [0u8; 16];
+    let avail = (data.len() - byte_start).min(16);
+    buf[..avail].copy_from_slice(&data[byte_start..byte_start + avail]);
+    let v = u128::from_le_bytes(buf) >> shift;
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    (v as u64) & mask
+}
+
+#[derive(Debug)]
+enum Inner {
+    PlainInt { values_off: usize },
+    PlainDouble { values_off: usize },
+    PlainStr { offsets_off: usize, bytes_off: usize },
+    BitPack { base: i64, width: u8, bits_off: usize },
+    Rle { n_runs: usize, values_off: usize, ends_off: usize },
+    DictStr { dict_len: usize, dict_offsets_off: usize, dict_bytes_off: usize, width: u8, codes_off: usize },
+    DictInt { dict_len: usize, dict_off: usize, width: u8, codes_off: usize },
+    LzStr {
+        /// Byte offset of block `i` relative to `blocks_off`, with a final sentinel.
+        dir: Vec<u64>,
+        blocks_off: usize,
+        /// Cache of the most recently decompressed block (block idx, plain layout).
+        cache: Mutex<Option<(usize, Arc<Vec<u8>>)>>,
+    },
+}
+
+/// A parsed, random-access view over one encoded column.
+#[derive(Debug)]
+pub struct ColumnReader {
+    data: Arc<Vec<u8>>,
+    rows: usize,
+    encoding: Encoding,
+    nulls: Option<BitVec>,
+    inner: Inner,
+}
+
+impl ColumnReader {
+    /// Parse the blob header and per-encoding layout.
+    pub fn open(col: &EncodedColumn) -> Result<ColumnReader> {
+        let data = Arc::clone(&col.data);
+        let mut r = ByteReader::new(&data);
+        let tag = r.get_u8()?;
+        if tag != col.encoding as u8 {
+            return Err(Error::Corruption(format!(
+                "encoding tag mismatch: blob has {tag}, descriptor says {:?}",
+                col.encoding
+            )));
+        }
+        let rows = r.get_varint()? as usize;
+        let has_nulls = r.get_u8()? != 0;
+        let nulls = if has_nulls { Some(BitVec::read_from(&mut r)?) } else { None };
+
+        let inner = match col.encoding {
+            Encoding::PlainInt => Inner::PlainInt { values_off: r.position() },
+            Encoding::PlainDouble => Inner::PlainDouble { values_off: r.position() },
+            Encoding::PlainStr => {
+                let offsets_off = r.position();
+                Inner::PlainStr { offsets_off, bytes_off: offsets_off + (rows + 1) * 4 }
+            }
+            Encoding::BitPackInt => {
+                let base = r.get_i64()?;
+                let width = r.get_u8()?;
+                if width > 64 {
+                    return Err(Error::Corruption(format!("bitpack width {width} > 64")));
+                }
+                Inner::BitPack { base, width, bits_off: r.position() }
+            }
+            Encoding::RleInt => {
+                let n_runs = r.get_varint()? as usize;
+                let values_off = r.position();
+                let ends_off = values_off + n_runs * 8;
+                Inner::Rle { n_runs, values_off, ends_off }
+            }
+            Encoding::DictStr => {
+                let dict_len = r.get_varint()? as usize;
+                let layout_len = r.get_varint()? as usize;
+                let dict_offsets_off = r.position();
+                let dict_bytes_off = dict_offsets_off + (dict_len + 1) * 4;
+                r.seek(dict_offsets_off + layout_len)?;
+                let width = r.get_u8()?;
+                Inner::DictStr { dict_len, dict_offsets_off, dict_bytes_off, width, codes_off: r.position() }
+            }
+            Encoding::DictInt => {
+                let dict_len = r.get_varint()? as usize;
+                let dict_off = r.position();
+                r.seek(dict_off + dict_len * 8)?;
+                let width = r.get_u8()?;
+                Inner::DictInt { dict_len, dict_off, width, codes_off: r.position() }
+            }
+            Encoding::LzStr => {
+                let n_blocks = r.get_varint()? as usize;
+                let mut dir = Vec::with_capacity(n_blocks + 1);
+                for _ in 0..=n_blocks {
+                    dir.push(r.get_varint()?);
+                }
+                Inner::LzStr { dir, blocks_off: r.position(), cache: Mutex::new(None) }
+            }
+        };
+        Ok(ColumnReader { data, rows, encoding: col.encoding, nulls, inner })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Encoding in use.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Logical data type implied by the encoding.
+    pub fn data_type(&self) -> DataType {
+        match self.encoding {
+            Encoding::PlainInt | Encoding::BitPackInt | Encoding::RleInt | Encoding::DictInt => {
+                DataType::Int64
+            }
+            Encoding::PlainDouble => DataType::Double,
+            Encoding::PlainStr | Encoding::DictStr | Encoding::LzStr => DataType::Str,
+        }
+    }
+
+    /// Dictionary size, for encodings that have one (used by filter costing).
+    pub fn dict_len(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::DictStr { dict_len, .. } | Inner::DictInt { dict_len, .. } => Some(*dict_len),
+            _ => None,
+        }
+    }
+
+    /// Size of the compressed domain an encoded filter must evaluate the
+    /// predicate over: dictionary entries or runs. The scan's filter costing
+    /// uses this — an encoded filter is "ideal with a small set of possible
+    /// values" (paper §5.2) and counterproductive when the domain approaches
+    /// the row count.
+    pub fn encoded_domain_size(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::DictStr { dict_len, .. } | Inner::DictInt { dict_len, .. } => Some(*dict_len),
+            Inner::Rle { n_runs, .. } => Some(*n_runs),
+            _ => None,
+        }
+    }
+
+    /// Whether row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n.get(i))
+    }
+
+    #[inline]
+    fn i64_at(&self, off: usize) -> i64 {
+        i64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+    }
+
+    #[inline]
+    fn u32_at(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+    }
+
+    /// Find the run containing `row` via binary search over cumulative ends.
+    fn rle_run_of(&self, row: usize, n_runs: usize, ends_off: usize) -> usize {
+        let target = row as u32;
+        let mut lo = 0usize;
+        let mut hi = n_runs;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.u32_at(ends_off + mid * 4) <= target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn dict_str_entry(&self, code: usize) -> &str {
+        if let Inner::DictStr { dict_offsets_off, dict_bytes_off, .. } = &self.inner {
+            let s = self.u32_at(dict_offsets_off + code * 4) as usize;
+            let e = self.u32_at(dict_offsets_off + (code + 1) * 4) as usize;
+            std::str::from_utf8(&self.data[dict_bytes_off + s..dict_bytes_off + e])
+                .expect("dictionary bytes validated at encode time")
+        } else {
+            unreachable!()
+        }
+    }
+
+    fn lz_block(&self, block: usize) -> Result<Arc<Vec<u8>>> {
+        if let Inner::LzStr { dir, blocks_off, cache } = &self.inner {
+            {
+                let guard = cache.lock().unwrap();
+                if let Some((idx, layout)) = guard.as_ref() {
+                    if *idx == block {
+                        return Ok(Arc::clone(layout));
+                    }
+                }
+            }
+            let start = blocks_off + dir[block] as usize;
+            let end = blocks_off + dir[block + 1] as usize;
+            let layout = Arc::new(crate::lz::decompress(&self.data[start..end])?);
+            *cache.lock().unwrap() = Some((block, Arc::clone(&layout)));
+            Ok(layout)
+        } else {
+            unreachable!()
+        }
+    }
+
+    /// Decode the value at `row` (seekable point read).
+    pub fn value(&self, row: usize) -> Result<Value> {
+        if row >= self.rows {
+            return Err(Error::InvalidArgument(format!(
+                "row {row} out of range ({} rows)",
+                self.rows
+            )));
+        }
+        if self.is_null(row) {
+            return Ok(Value::Null);
+        }
+        Ok(match &self.inner {
+            Inner::PlainInt { values_off } => Value::Int(self.i64_at(values_off + row * 8)),
+            Inner::PlainDouble { values_off } => {
+                Value::Double(f64::from_bits(self.i64_at(values_off + row * 8) as u64))
+            }
+            Inner::PlainStr { offsets_off, bytes_off } => {
+                let s = self.u32_at(offsets_off + row * 4) as usize;
+                let e = self.u32_at(offsets_off + (row + 1) * 4) as usize;
+                let raw = &self.data[bytes_off + s..bytes_off + e];
+                Value::str(std::str::from_utf8(raw).map_err(|e| {
+                    Error::Corruption(format!("invalid utf-8 in plain str column: {e}"))
+                })?)
+            }
+            Inner::BitPack { base, width, bits_off } => {
+                let delta = read_packed(&self.data, *bits_off, *width, row);
+                Value::Int((*base as i128 + delta as i128) as i64)
+            }
+            Inner::Rle { n_runs, values_off, ends_off } => {
+                let run = self.rle_run_of(row, *n_runs, *ends_off);
+                Value::Int(self.i64_at(values_off + run * 8))
+            }
+            Inner::DictStr { width, codes_off, .. } => {
+                let code = read_packed(&self.data, *codes_off, *width, row) as usize;
+                Value::str(self.dict_str_entry(code))
+            }
+            Inner::DictInt { dict_off, width, codes_off, .. } => {
+                let code = read_packed(&self.data, *codes_off, *width, row) as usize;
+                Value::Int(self.i64_at(dict_off + code * 8))
+            }
+            Inner::LzStr { .. } => {
+                let block = row / crate::encode::LZ_BLOCK_ROWS;
+                let local = row % crate::encode::LZ_BLOCK_ROWS;
+                let layout = self.lz_block(block)?;
+                let block_rows = self.block_rows(block);
+                let s = u32_from(&layout, local * 4) as usize;
+                let e = u32_from(&layout, (local + 1) * 4) as usize;
+                let bytes_base = (block_rows + 1) * 4;
+                let raw = &layout[bytes_base + s..bytes_base + e];
+                Value::str(std::str::from_utf8(raw).map_err(|e| {
+                    Error::Corruption(format!("invalid utf-8 in lz str column: {e}"))
+                })?)
+            }
+        })
+    }
+
+    fn block_rows(&self, block: usize) -> usize {
+        let start = block * crate::encode::LZ_BLOCK_ROWS;
+        (self.rows - start).min(crate::encode::LZ_BLOCK_ROWS)
+    }
+
+    /// Decode rows into a typed vector. With `sel = None` decodes every row;
+    /// otherwise only the selected row offsets (late materialization,
+    /// paper §2.1.2: "only decoding columns if data in them qualifies").
+    pub fn decode_vector(&self, sel: Option<&[u32]>) -> Result<ColumnVector> {
+        let count = sel.map_or(self.rows, <[u32]>::len);
+        let mut b = VectorBuilder::new(self.data_type(), count);
+        match sel {
+            None => {
+                for row in 0..self.rows {
+                    self.push_row(&mut b, row)?;
+                }
+            }
+            Some(sel) => {
+                for &row in sel {
+                    self.push_row(&mut b, row as usize)?;
+                }
+            }
+        }
+        Ok(b.finish())
+    }
+
+    #[inline]
+    fn push_row(&self, b: &mut VectorBuilder, row: usize) -> Result<()> {
+        if self.is_null(row) {
+            b.push_null();
+            return Ok(());
+        }
+        match &self.inner {
+            Inner::PlainInt { values_off } => b.push_int(self.i64_at(values_off + row * 8)),
+            Inner::PlainDouble { values_off } => {
+                b.push_double(f64::from_bits(self.i64_at(values_off + row * 8) as u64))
+            }
+            Inner::BitPack { base, width, bits_off } => {
+                let delta = read_packed(&self.data, *bits_off, *width, row);
+                b.push_int((*base as i128 + delta as i128) as i64);
+            }
+            Inner::Rle { n_runs, values_off, ends_off } => {
+                let run = self.rle_run_of(row, *n_runs, *ends_off);
+                b.push_int(self.i64_at(values_off + run * 8));
+            }
+            Inner::DictInt { dict_off, width, codes_off, .. } => {
+                let code = read_packed(&self.data, *codes_off, *width, row) as usize;
+                b.push_int(self.i64_at(dict_off + code * 8));
+            }
+            _ => match self.value(row)? {
+                Value::Str(s) => b.push_str(&s),
+                Value::Null => b.push_null(),
+                v => b.push(&v)?,
+            },
+        }
+        Ok(())
+    }
+
+    /// Decode every row into owned values (test/debug convenience).
+    pub fn decode_all(&self) -> Result<Vec<Value>> {
+        (0..self.rows).map(|i| self.value(i)).collect()
+    }
+
+    /// Evaluate `pred` directly on the compressed representation
+    /// (paper §5.2 "encoded filter").
+    ///
+    /// Returns `Ok(None)` if this encoding does not support encoded
+    /// execution; the caller falls back to a regular (decode-then-filter)
+    /// strategy. With `sel = Some(..)` only the given rows are considered.
+    pub fn encoded_filter(
+        &self,
+        pred: &mut dyn FnMut(&Value) -> bool,
+        sel: Option<&[u32]>,
+    ) -> Result<Option<Vec<u32>>> {
+        let null_passes = pred(&Value::Null);
+        match &self.inner {
+            Inner::DictStr { dict_len, width, codes_off, .. } => {
+                let mut table = Vec::with_capacity(*dict_len);
+                for code in 0..*dict_len {
+                    table.push(pred(&Value::str(self.dict_str_entry(code))));
+                }
+                Ok(Some(self.filter_by_code_table(&table, null_passes, *width, *codes_off, sel)))
+            }
+            Inner::DictInt { dict_len, dict_off, width, codes_off } => {
+                let mut table = Vec::with_capacity(*dict_len);
+                for code in 0..*dict_len {
+                    table.push(pred(&Value::Int(self.i64_at(dict_off + code * 8))));
+                }
+                Ok(Some(self.filter_by_code_table(&table, null_passes, *width, *codes_off, sel)))
+            }
+            Inner::Rle { n_runs, values_off, ends_off } => {
+                let mut out = Vec::new();
+                let mut run_pass = Vec::with_capacity(*n_runs);
+                for run in 0..*n_runs {
+                    run_pass.push(pred(&Value::Int(self.i64_at(values_off + run * 8))));
+                }
+                match sel {
+                    None => {
+                        let mut start = 0u32;
+                        for run in 0..*n_runs {
+                            let end = self.u32_at(ends_off + run * 4);
+                            if run_pass[run] {
+                                for row in start..end {
+                                    let passes = if self.is_null(row as usize) {
+                                        null_passes
+                                    } else {
+                                        true
+                                    };
+                                    if passes {
+                                        out.push(row);
+                                    }
+                                }
+                            } else if null_passes && self.nulls.is_some() {
+                                for row in start..end {
+                                    if self.is_null(row as usize) {
+                                        out.push(row);
+                                    }
+                                }
+                            }
+                            start = end;
+                        }
+                    }
+                    Some(sel) => {
+                        for &row in sel {
+                            let passes = if self.is_null(row as usize) {
+                                null_passes
+                            } else {
+                                let run = self.rle_run_of(row as usize, *n_runs, *ends_off);
+                                run_pass[run]
+                            };
+                            if passes {
+                                out.push(row);
+                            }
+                        }
+                    }
+                }
+                Ok(Some(out))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn filter_by_code_table(
+        &self,
+        table: &[bool],
+        null_passes: bool,
+        width: u8,
+        codes_off: usize,
+        sel: Option<&[u32]>,
+    ) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut consider = |row: u32| {
+            let passes = if self.is_null(row as usize) {
+                null_passes
+            } else {
+                let code = read_packed(&self.data, codes_off, width, row as usize) as usize;
+                table[code]
+            };
+            if passes {
+                out.push(row);
+            }
+        };
+        match sel {
+            None => (0..self.rows as u32).for_each(&mut consider),
+            Some(sel) => sel.iter().copied().for_each(&mut consider),
+        }
+        out
+    }
+}
+
+#[inline]
+fn u32_from(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_column;
+
+    fn reader(values: &[Value], dt: DataType, enc: Option<Encoding>) -> ColumnReader {
+        ColumnReader::open(&encode_column(values, dt, enc).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn decode_vector_full_and_selected() {
+        let values: Vec<Value> = (0..100).map(|i| Value::Int(i * 2)).collect();
+        let r = reader(&values, DataType::Int64, None);
+        let full = r.decode_vector(None).unwrap();
+        assert_eq!(full.len(), 100);
+        assert_eq!(full.int_at(50), 100);
+        let sel = r.decode_vector(Some(&[3, 97])).unwrap();
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel.int_at(0), 6);
+        assert_eq!(sel.int_at(1), 194);
+    }
+
+    #[test]
+    fn encoded_filter_dict_str() {
+        let values: Vec<Value> =
+            (0..60).map(|i| Value::str(["a", "b", "c"][i % 3])).collect();
+        let r = reader(&values, DataType::Str, Some(Encoding::DictStr));
+        let sel = r
+            .encoded_filter(&mut |v| matches!(v, Value::Str(s) if s.as_ref() == "b"), None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sel.len(), 20);
+        assert!(sel.iter().all(|&i| i % 3 == 1));
+    }
+
+    #[test]
+    fn encoded_filter_respects_input_selection() {
+        let values: Vec<Value> = (0..50).map(|i| Value::Int(i % 5)).collect();
+        let r = reader(&values, DataType::Int64, Some(Encoding::DictInt));
+        let input: Vec<u32> = (0..25).collect();
+        let sel = r
+            .encoded_filter(&mut |v| matches!(v, Value::Int(i) if *i == 0), Some(&input))
+            .unwrap()
+            .unwrap();
+        assert_eq!(sel, vec![0, 5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn encoded_filter_rle_ranges() {
+        let values: Vec<Value> = (0..90).map(|i| Value::Int(i / 30)).collect();
+        let r = reader(&values, DataType::Int64, Some(Encoding::RleInt));
+        let sel = r
+            .encoded_filter(&mut |v| matches!(v, Value::Int(i) if *i == 1), None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sel, (30u32..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn encoded_filter_handles_nulls() {
+        let values: Vec<Value> = (0..30)
+            .map(|i| if i % 10 == 0 { Value::Null } else { Value::Int(i % 3) })
+            .collect();
+        let r = reader(&values, DataType::Int64, Some(Encoding::DictInt));
+        // IS NULL predicate.
+        let sel = r.encoded_filter(&mut |v| v.is_null(), None).unwrap().unwrap();
+        assert_eq!(sel, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn plain_has_no_encoded_path() {
+        let values: Vec<Value> = (0..10).map(Value::Int).collect();
+        let r = reader(&values, DataType::Int64, Some(Encoding::PlainInt));
+        assert!(r.encoded_filter(&mut |_| true, None).unwrap().is_none());
+    }
+
+    #[test]
+    fn lz_point_reads_cross_blocks() {
+        let values: Vec<Value> = (0..1500)
+            .map(|i| Value::str(format!("some row payload with id {i} and padding padding")))
+            .collect();
+        let r = reader(&values, DataType::Str, Some(Encoding::LzStr));
+        // Probe across block boundaries (block = 512 rows).
+        for row in [0usize, 511, 512, 1023, 1024, 1499] {
+            assert_eq!(r.value(row).unwrap(), values[row]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let r = reader(&[Value::Int(1)], DataType::Int64, None);
+        assert!(r.value(1).is_err());
+    }
+
+    #[test]
+    fn rle_binary_search_boundaries() {
+        let values: Vec<Value> =
+            vec![Value::Int(5); 10].into_iter().chain(vec![Value::Int(9); 10]).collect();
+        let r = reader(&values, DataType::Int64, Some(Encoding::RleInt));
+        assert_eq!(r.value(9).unwrap(), Value::Int(5));
+        assert_eq!(r.value(10).unwrap(), Value::Int(9));
+    }
+}

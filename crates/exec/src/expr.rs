@@ -1,0 +1,536 @@
+//! Scalar expressions: the predicate and projection language of the
+//! execution engine. Column references are table ordinals; the scan binds
+//! them to decoded vectors, other operators to batch positions.
+
+use s2_common::{date, Error, Result, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference (table ordinal or batch position, per context).
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    /// Comparison (SQL three-valued: NULL operands yield NULL -> filters drop).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `IS NULL`.
+    IsNull(Box<Expr>),
+    /// Membership in a literal list.
+    InList(Box<Expr>, Vec<Value>),
+    /// SQL LIKE with `%` and `_` wildcards.
+    Like(Box<Expr>, String),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Searched CASE.
+    Case {
+        /// (condition, result) arms, first match wins.
+        when: Vec<(Expr, Expr)>,
+        /// ELSE result.
+        else_: Box<Expr>,
+    },
+    /// EXTRACT(YEAR FROM date) over days-since-epoch ints.
+    Year(Box<Expr>),
+    /// SUBSTRING(expr, start (1-based), len).
+    Substr(Box<Expr>, usize, usize),
+}
+
+impl Expr {
+    /// `column = literal` shorthand.
+    pub fn eq(col: usize, v: impl Into<Value>) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(Expr::Column(col)), Box::new(Expr::Literal(v.into())))
+    }
+
+    /// `column <op> literal` shorthand.
+    pub fn cmp(col: usize, op: CmpOp, v: impl Into<Value>) -> Expr {
+        Expr::Cmp(op, Box::new(Expr::Column(col)), Box::new(Expr::Literal(v.into())))
+    }
+
+    /// `lo <= column <= hi` shorthand.
+    pub fn between(col: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Expr {
+        Expr::And(vec![Expr::cmp(col, CmpOp::Ge, lo), Expr::cmp(col, CmpOp::Le, hi)])
+    }
+
+    /// Conjunction of two expressions, flattening nested ANDs.
+    pub fn and(self, other: Expr) -> Expr {
+        match (self, other) {
+            (Expr::And(mut a), Expr::And(b)) => {
+                a.extend(b);
+                Expr::And(a)
+            }
+            (Expr::And(mut a), b) => {
+                a.push(b);
+                Expr::And(a)
+            }
+            (a, Expr::And(mut b)) => {
+                b.insert(0, a);
+                Expr::And(b)
+            }
+            (a, b) => Expr::And(vec![a, b]),
+        }
+    }
+
+    /// Split an AND tree into its conjuncts.
+    pub fn split_conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::And(parts) => parts.into_iter().flat_map(Expr::split_conjuncts).collect(),
+            other => vec![other],
+        }
+    }
+
+    /// All column ordinals referenced.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Column(c) => out.push(*c),
+            Expr::Literal(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::And(xs) | Expr::Or(xs) => xs.iter().for_each(|x| x.collect_columns(out)),
+            Expr::Not(x) | Expr::IsNull(x) | Expr::Year(x) | Expr::Substr(x, _, _) => {
+                x.collect_columns(out)
+            }
+            Expr::InList(x, _) | Expr::Like(x, _) => x.collect_columns(out),
+            Expr::Case { when, else_ } => {
+                for (c, r) in when {
+                    c.collect_columns(out);
+                    r.collect_columns(out);
+                }
+                else_.collect_columns(out);
+            }
+        }
+    }
+
+    /// If this is `column = literal`, return (column, literal).
+    pub fn as_eq_literal(&self) -> Option<(usize, Value)> {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = self {
+            match (a.as_ref(), b.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => {
+                    return Some((*c, v.clone()));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// If this is `column IN (literals)`, return (column, values).
+    pub fn as_in_list(&self) -> Option<(usize, &[Value])> {
+        if let Expr::InList(e, vals) = self {
+            if let Expr::Column(c) = e.as_ref() {
+                return Some((*c, vals));
+            }
+        }
+        None
+    }
+
+    /// If this clause bounds a single column by literals, return
+    /// (column, lower, upper) — both bounds inclusive-ized for min/max
+    /// segment elimination (which only needs a conservative answer).
+    pub fn as_column_range(&self) -> Option<(usize, Option<Value>, Option<Value>)> {
+        if let Some((c, v)) = self.as_eq_literal() {
+            return Some((c, Some(v.clone()), Some(v)));
+        }
+        if let Expr::Cmp(op, a, b) = self {
+            let (col, lit, op) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) => (*c, v.clone(), *op),
+                (Expr::Literal(v), Expr::Column(c)) => {
+                    // Flip: lit OP col == col FLIP(OP) lit
+                    let flipped = match op {
+                        CmpOp::Lt => CmpOp::Gt,
+                        CmpOp::Le => CmpOp::Ge,
+                        CmpOp::Gt => CmpOp::Lt,
+                        CmpOp::Ge => CmpOp::Le,
+                        other => *other,
+                    };
+                    (*c, v.clone(), flipped)
+                }
+                _ => return None,
+            };
+            return match op {
+                CmpOp::Lt | CmpOp::Le => Some((col, None, Some(lit))),
+                CmpOp::Gt | CmpOp::Ge => Some((col, Some(lit), None)),
+                CmpOp::Eq => Some((col, Some(lit.clone()), Some(lit))),
+                CmpOp::Ne => None,
+            };
+        }
+        if let Expr::And(parts) = self {
+            // Merge ranges over the same column (e.g. BETWEEN).
+            let mut merged: Option<(usize, Option<Value>, Option<Value>)> = None;
+            for p in parts {
+                let (c, lo, hi) = p.as_column_range()?;
+                match &mut merged {
+                    None => merged = Some((c, lo, hi)),
+                    Some((mc, mlo, mhi)) => {
+                        if *mc != c {
+                            return None;
+                        }
+                        if let Some(lo) = lo {
+                            *mlo = Some(match mlo.take() {
+                                Some(cur) => cur.max(lo),
+                                None => lo,
+                            });
+                        }
+                        if let Some(hi) = hi {
+                            *mhi = Some(match mhi.take() {
+                                Some(cur) => cur.min(hi),
+                                None => hi,
+                            });
+                        }
+                    }
+                }
+            }
+            return merged;
+        }
+        None
+    }
+
+    /// Rewrite every column reference through `f` (e.g. table ordinals to
+    /// batch positions).
+    pub fn remap_columns(&self, f: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Column(c) => Expr::Column(f(*c)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
+            Expr::And(xs) => Expr::And(xs.iter().map(|x| x.remap_columns(f)).collect()),
+            Expr::Or(xs) => Expr::Or(xs.iter().map(|x| x.remap_columns(f)).collect()),
+            Expr::Not(x) => Expr::Not(Box::new(x.remap_columns(f))),
+            Expr::IsNull(x) => Expr::IsNull(Box::new(x.remap_columns(f))),
+            Expr::InList(x, vals) => Expr::InList(Box::new(x.remap_columns(f)), vals.clone()),
+            Expr::Like(x, p) => Expr::Like(Box::new(x.remap_columns(f)), p.clone()),
+            Expr::Arith(op, a, b) => {
+                Expr::Arith(*op, Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
+            Expr::Case { when, else_ } => Expr::Case {
+                when: when
+                    .iter()
+                    .map(|(c, r)| (c.remap_columns(f), r.remap_columns(f)))
+                    .collect(),
+                else_: Box::new(else_.remap_columns(f)),
+            },
+            Expr::Year(x) => Expr::Year(Box::new(x.remap_columns(f))),
+            Expr::Substr(x, a, b) => Expr::Substr(Box::new(x.remap_columns(f)), *a, *b),
+        }
+    }
+
+    /// Evaluate with a column accessor. NULL propagates SQL-style.
+    pub fn eval(&self, get: &dyn Fn(usize) -> Value) -> Result<Value> {
+        Ok(match self {
+            Expr::Column(c) => get(*c),
+            Expr::Literal(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let va = a.eval(get)?;
+                let vb = b.eval(get)?;
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                let ord = va.total_cmp(&vb);
+                let res = match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                };
+                Value::Int(res as i64)
+            }
+            Expr::And(parts) => {
+                let mut saw_null = false;
+                for p in parts {
+                    match p.eval(get)? {
+                        Value::Null => saw_null = true,
+                        v if truthy(&v) => {}
+                        _ => return Ok(Value::Int(0)),
+                    }
+                }
+                if saw_null {
+                    Value::Null
+                } else {
+                    Value::Int(1)
+                }
+            }
+            Expr::Or(parts) => {
+                let mut saw_null = false;
+                for p in parts {
+                    match p.eval(get)? {
+                        Value::Null => saw_null = true,
+                        v if truthy(&v) => return Ok(Value::Int(1)),
+                        _ => {}
+                    }
+                }
+                if saw_null {
+                    Value::Null
+                } else {
+                    Value::Int(0)
+                }
+            }
+            Expr::Not(x) => match x.eval(get)? {
+                Value::Null => Value::Null,
+                v => Value::Int(!truthy(&v) as i64),
+            },
+            Expr::IsNull(x) => Value::Int(x.eval(get)?.is_null() as i64),
+            Expr::InList(x, vals) => {
+                let v = x.eval(get)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                Value::Int(vals.contains(&v) as i64)
+            }
+            Expr::Like(x, pattern) => {
+                let v = x.eval(get)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                Value::Int(like_match(v.as_str()?, pattern) as i64)
+            }
+            Expr::Arith(op, a, b) => {
+                let va = a.eval(get)?;
+                let vb = b.eval(get)?;
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (&va, &vb) {
+                    (Value::Int(x), Value::Int(y)) => match op {
+                        ArithOp::Add => Value::Int(x.wrapping_add(*y)),
+                        ArithOp::Sub => Value::Int(x.wrapping_sub(*y)),
+                        ArithOp::Mul => Value::Int(x.wrapping_mul(*y)),
+                        ArithOp::Div => {
+                            if *y == 0 {
+                                return Err(Error::InvalidArgument("division by zero".into()));
+                            }
+                            Value::Int(x / y)
+                        }
+                    },
+                    _ => {
+                        let x = va.as_double()?;
+                        let y = vb.as_double()?;
+                        Value::Double(match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Div => x / y,
+                        })
+                    }
+                }
+            }
+            Expr::Case { when, else_ } => {
+                for (cond, result) in when {
+                    if truthy(&cond.eval(get)?) {
+                        return result.eval(get);
+                    }
+                }
+                else_.eval(get)?
+            }
+            Expr::Year(x) => {
+                let v = x.eval(get)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                Value::Int(i64::from(date::year_of(v.as_int()?)))
+            }
+            Expr::Substr(x, start, len) => {
+                let v = x.eval(get)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let s = v.as_str()?;
+                let start = start.saturating_sub(1); // SQL is 1-based
+                let out: String = s.chars().skip(start).take(*len).collect();
+                Value::str(out)
+            }
+        })
+    }
+
+    /// Evaluate as a filter predicate (NULL -> false).
+    pub fn eval_bool(&self, get: &dyn Fn(usize) -> Value) -> Result<bool> {
+        Ok(truthy(&self.eval(get)?))
+    }
+}
+
+#[inline]
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Int(i) => *i != 0,
+        Value::Double(d) => *d != 0.0,
+        Value::Null => false,
+        Value::Str(s) => !s.is_empty(),
+    }
+}
+
+/// SQL LIKE matcher: `%` = any run, `_` = any single char. Iterative
+/// two-pointer algorithm with backtracking to the last `%`.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern pos after %, s pos)
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            pi = sp;
+            si = ss + 1;
+            star = Some((sp, ss + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: Vec<Value>) -> impl Fn(usize) -> Value {
+        move |i| vals[i].clone()
+    }
+
+    #[test]
+    fn comparisons_and_nulls() {
+        let get = row(vec![Value::Int(5), Value::Null]);
+        assert!(Expr::cmp(0, CmpOp::Gt, 3i64).eval_bool(&get).unwrap());
+        assert!(!Expr::cmp(0, CmpOp::Gt, 5i64).eval_bool(&get).unwrap());
+        // NULL comparison -> NULL -> false as a filter.
+        assert!(!Expr::cmp(1, CmpOp::Eq, 1i64).eval_bool(&get).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::Column(1))).eval_bool(&get).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let get = row(vec![Value::Null, Value::Int(1)]);
+        // NULL AND TRUE = NULL (false as filter); NULL OR TRUE = TRUE.
+        let null_cmp = Expr::cmp(0, CmpOp::Eq, 1i64);
+        let true_cmp = Expr::cmp(1, CmpOp::Eq, 1i64);
+        assert!(!Expr::And(vec![null_cmp.clone(), true_cmp.clone()]).eval_bool(&get).unwrap());
+        assert!(Expr::Or(vec![null_cmp.clone(), true_cmp]).eval_bool(&get).unwrap());
+        // NULL OR FALSE = NULL -> false.
+        let false_cmp = Expr::cmp(1, CmpOp::Eq, 2i64);
+        assert!(!Expr::Or(vec![null_cmp, false_cmp]).eval_bool(&get).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let get = row(vec![Value::Int(10), Value::Double(2.5)]);
+        let e = Expr::Arith(
+            ArithOp::Mul,
+            Box::new(Expr::Column(0)),
+            Box::new(Expr::Column(1)),
+        );
+        assert_eq!(e.eval(&get).unwrap(), Value::Double(25.0));
+        let div0 = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::Column(0)),
+            Box::new(Expr::Literal(Value::Int(0))),
+        );
+        assert!(div0.eval(&get).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello world", "hello%"));
+        assert!(like_match("hello world", "%world"));
+        assert!(like_match("hello world", "%lo wo%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_llo_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%%abc%%"));
+        assert!(!like_match("special requests", "%special%deposits%"));
+        assert!(like_match("special pending deposits", "%special%deposits%"));
+    }
+
+    #[test]
+    fn case_and_year_and_substr() {
+        let date = s2_common::date::days_from_ymd(1995, 6, 15);
+        let get = row(vec![Value::Int(date), Value::str("BRAZIL")]);
+        assert_eq!(Expr::Year(Box::new(Expr::Column(0))).eval(&get).unwrap(), Value::Int(1995));
+        let case = Expr::Case {
+            when: vec![(Expr::eq(1, "BRAZIL"), Expr::Literal(Value::Int(1)))],
+            else_: Box::new(Expr::Literal(Value::Int(0))),
+        };
+        assert_eq!(case.eval(&get).unwrap(), Value::Int(1));
+        assert_eq!(
+            Expr::Substr(Box::new(Expr::Column(1)), 1, 3).eval(&get).unwrap(),
+            Value::str("BRA")
+        );
+    }
+
+    #[test]
+    fn range_extraction() {
+        let e = Expr::between(2, 10i64, 20i64);
+        assert_eq!(
+            e.as_column_range(),
+            Some((2, Some(Value::Int(10)), Some(Value::Int(20))))
+        );
+        let e = Expr::cmp(1, CmpOp::Lt, 5i64);
+        assert_eq!(e.as_column_range(), Some((1, None, Some(Value::Int(5)))));
+        let e = Expr::eq(0, "x");
+        assert_eq!(e.as_eq_literal(), Some((0, Value::str("x"))));
+        // Mixed columns: no single range.
+        let mixed = Expr::cmp(0, CmpOp::Lt, 1i64).and(Expr::cmp(1, CmpOp::Gt, 2i64));
+        assert_eq!(mixed.as_column_range(), None);
+    }
+
+    #[test]
+    fn conjunct_splitting_and_columns() {
+        let e = Expr::eq(0, 1i64).and(Expr::eq(2, 2i64)).and(Expr::eq(5, 3i64));
+        let parts = e.clone().split_conjuncts();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(e.referenced_columns(), vec![0, 2, 5]);
+    }
+}

@@ -1,0 +1,471 @@
+//! Vectorized relational kernels: hash join, hash aggregation, sort and
+//! limit. These are the building blocks the query layer (`s2-query`)
+//! composes into physical plans.
+
+use std::collections::HashMap;
+
+use s2_common::hash::hash_values;
+use s2_common::{DataType, Error, Result, Value};
+use s2_encoding::{ColumnVector, VectorBuilder};
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner join.
+    Inner,
+    /// Left outer join (unmatched left rows padded with NULLs).
+    Left,
+    /// Left semi join (left rows with at least one match).
+    Semi,
+    /// Left anti join (left rows with no match).
+    Anti,
+}
+
+fn key_of(batch: &Batch, cols: &[usize], row: usize) -> Vec<Value> {
+    cols.iter().map(|&c| batch.value(c, row)).collect()
+}
+
+/// Hash join `left` and `right` on equality of the given key columns.
+/// Output columns = all left columns followed by all right columns (for
+/// Semi/Anti: left columns only). NULL keys never match (SQL semantics).
+pub fn hash_join(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+    residual: Option<&Expr>,
+) -> Result<Batch> {
+    if left_keys.len() != right_keys.len() {
+        return Err(Error::InvalidArgument("join key arity mismatch".into()));
+    }
+    // Build on the right side.
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+    for ri in 0..right.rows() {
+        if right_keys.iter().any(|&c| right.columns[c].is_null(ri)) {
+            continue;
+        }
+        let key = key_of(right, right_keys, ri);
+        table.entry(hash_values(key.iter())).or_default().push(ri as u32);
+    }
+
+    let left_types: Vec<DataType> = left.columns.iter().map(ColumnVector::data_type).collect();
+    let right_types: Vec<DataType> = right.columns.iter().map(ColumnVector::data_type).collect();
+    let out_types: Vec<DataType> = match join_type {
+        JoinType::Semi | JoinType::Anti => left_types.clone(),
+        _ => left_types.iter().chain(&right_types).copied().collect(),
+    };
+    let mut builders: Vec<VectorBuilder> =
+        out_types.iter().map(|&t| VectorBuilder::new(t, left.rows())).collect();
+
+    let mut emit = |lrow: usize, rrow: Option<usize>| {
+        for (ci, b) in builders.iter_mut().enumerate() {
+            if ci < left.width() {
+                push_from(b, &left.columns[ci], lrow);
+            } else {
+                match rrow {
+                    Some(rr) => push_from(b, &right.columns[ci - left.width()], rr),
+                    None => b.push_null(),
+                }
+            }
+        }
+    };
+
+    for li in 0..left.rows() {
+        let null_key = left_keys.iter().any(|&c| left.columns[c].is_null(li));
+        let mut matched = false;
+        if !null_key {
+            let key = key_of(left, left_keys, li);
+            if let Some(cands) = table.get(&hash_values(key.iter())) {
+                for &ri in cands {
+                    let ri = ri as usize;
+                    // Verify actual equality (hash collisions).
+                    if !left_keys
+                        .iter()
+                        .zip(right_keys)
+                        .all(|(&lc, &rc)| left.value(lc, li) == right.value(rc, ri))
+                    {
+                        continue;
+                    }
+                    // Residual predicate over the combined row: columns
+                    // 0..left.width() are left, then right.
+                    if let Some(res) = residual {
+                        let get = |c: usize| {
+                            if c < left.width() {
+                                left.value(c, li)
+                            } else {
+                                right.value(c - left.width(), ri)
+                            }
+                        };
+                        if !res.eval_bool(&get)? {
+                            continue;
+                        }
+                    }
+                    matched = true;
+                    match join_type {
+                        JoinType::Inner | JoinType::Left => emit(li, Some(ri)),
+                        JoinType::Semi => {
+                            emit(li, None);
+                            break;
+                        }
+                        JoinType::Anti => break,
+                    }
+                }
+            }
+        }
+        match join_type {
+            JoinType::Left if !matched => emit(li, None),
+            JoinType::Anti if !matched => emit(li, None),
+            _ => {}
+        }
+    }
+    Ok(Batch::new(builders.into_iter().map(VectorBuilder::finish).collect()))
+}
+
+fn push_from(b: &mut VectorBuilder, col: &ColumnVector, row: usize) {
+    if col.is_null(row) {
+        b.push_null();
+        return;
+    }
+    match col {
+        ColumnVector::Int { values, .. } => b.push_int(values[row]),
+        ColumnVector::Double { values, .. } => b.push_double(values[row]),
+        ColumnVector::Str { .. } => b.push_str(col.str_at(row)),
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// COUNT(expr) — non-null count; with `Expr::Literal(1)` ~ COUNT(*).
+    Count,
+    /// SUM(expr) as double.
+    Sum,
+    /// AVG(expr).
+    Avg,
+    /// MIN(expr).
+    Min,
+    /// MAX(expr).
+    Max,
+}
+
+/// One aggregate: function + input expression (batch positions).
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// Input expression.
+    pub input: Expr,
+}
+
+#[derive(Clone)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> AggState {
+        AggState { count: 0, sum: 0.0, min: None, max: None }
+    }
+
+    fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Ok(d) = v.as_double() {
+            self.sum += d;
+        }
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) if v < m => self.min = Some(v.clone()),
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) if v > m => self.max = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash group-by aggregation. Output columns: group keys (in order) then one
+/// column per aggregate. With no group keys, emits exactly one row (global
+/// aggregate over zero input rows included, SQL-style).
+pub fn hash_aggregate(
+    batch: &Batch,
+    group_by: &[Expr],
+    aggregates: &[Aggregate],
+) -> Result<Batch> {
+    // Evaluate group keys and aggregate inputs per row.
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new(); // stable first-seen order
+    for ri in 0..batch.rows() {
+        let get = |c: usize| batch.value(c, ri);
+        let key: Vec<Value> =
+            group_by.iter().map(|g| g.eval(&get)).collect::<Result<_>>()?;
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            vec![AggState::new(); aggregates.len()]
+        });
+        for (s, a) in states.iter_mut().zip(aggregates) {
+            s.update(&a.input.eval(&get)?);
+        }
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        groups.insert(Vec::new(), vec![AggState::new(); aggregates.len()]);
+        order.push(Vec::new());
+    }
+    if order.is_empty() {
+        // Grouped aggregate over zero rows: zero groups. Types default to
+        // Int64 keys / per-function aggregate types.
+        let mut types = vec![DataType::Int64; group_by.len()];
+        for a in aggregates {
+            types.push(match a.func {
+                AggFunc::Count => DataType::Int64,
+                _ => DataType::Double,
+            });
+        }
+        return Ok(Batch::empty(&types));
+    }
+
+    // Infer output column types from the first group.
+    let first = &order[0];
+    let first_states = &groups[first];
+    let mut types: Vec<DataType> = Vec::new();
+    for v in first {
+        types.push(v.data_type().unwrap_or(DataType::Int64));
+    }
+    for (s, a) in first_states.iter().zip(aggregates) {
+        types.push(s.finish(a.func).data_type().unwrap_or(match a.func {
+            AggFunc::Count => DataType::Int64,
+            _ => DataType::Double,
+        }));
+    }
+    let mut builders: Vec<VectorBuilder> =
+        types.iter().map(|&t| VectorBuilder::new(t, order.len())).collect();
+    for key in &order {
+        let states = &groups[key];
+        for (ci, v) in key.iter().enumerate() {
+            builders[ci].push(v)?;
+        }
+        for (i, (s, a)) in states.iter().zip(aggregates).enumerate() {
+            builders[key.len() + i].push(&s.finish(a.func))?;
+        }
+    }
+    Ok(Batch::new(builders.into_iter().map(VectorBuilder::finish).collect()))
+}
+
+/// Sort key direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    /// Ascending, NULLs first (total order of `Value`).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Sort a batch by the given (column, direction) keys; optional limit.
+pub fn sort_batch(batch: &Batch, keys: &[(usize, SortDir)], limit: Option<usize>) -> Batch {
+    let mut idx: Vec<u32> = (0..batch.rows() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        for &(c, dir) in keys {
+            let va = batch.value(c, a as usize);
+            let vb = batch.value(c, b as usize);
+            let o = va.total_cmp(&vb);
+            if o != std::cmp::Ordering::Equal {
+                return match dir {
+                    SortDir::Asc => o,
+                    SortDir::Desc => o.reverse(),
+                };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    if let Some(l) = limit {
+        idx.truncate(l);
+    }
+    batch.gather(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_common::Row;
+
+    fn batch(rows: Vec<Vec<Value>>, types: &[DataType]) -> Batch {
+        let rows: Vec<Row> = rows.into_iter().map(Row::new).collect();
+        let cols: Vec<usize> = (0..types.len()).collect();
+        Batch::from_rows(&rows, &cols, types).unwrap()
+    }
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let left = batch(
+            vec![ints(&[1, 10]), ints(&[2, 20]), ints(&[3, 30]), ints(&[2, 21])],
+            &[DataType::Int64, DataType::Int64],
+        );
+        let right = batch(
+            vec![ints(&[2, 200]), ints(&[3, 300]), ints(&[4, 400])],
+            &[DataType::Int64, DataType::Int64],
+        );
+        let out = hash_join(&left, &right, &[0], &[0], JoinType::Inner, None).unwrap();
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.width(), 4);
+        // Row with left key 3 joined right value 300.
+        let found = (0..out.rows())
+            .any(|r| out.value(0, r) == Value::Int(3) && out.value(3, r) == Value::Int(300));
+        assert!(found);
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let left = batch(vec![ints(&[1]), ints(&[2])], &[DataType::Int64]);
+        let right = batch(vec![ints(&[2])], &[DataType::Int64]);
+        let out = hash_join(&left, &right, &[0], &[0], JoinType::Left, None).unwrap();
+        assert_eq!(out.rows(), 2);
+        let nulls = (0..2).filter(|&r| out.columns[1].is_null(r)).count();
+        assert_eq!(nulls, 1);
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let left = batch(vec![ints(&[1]), ints(&[2]), ints(&[3])], &[DataType::Int64]);
+        let right = batch(vec![ints(&[2]), ints(&[2])], &[DataType::Int64]);
+        let semi = hash_join(&left, &right, &[0], &[0], JoinType::Semi, None).unwrap();
+        assert_eq!(semi.rows(), 1, "dup matches emit once");
+        assert_eq!(semi.value(0, 0), Value::Int(2));
+        let anti = hash_join(&left, &right, &[0], &[0], JoinType::Anti, None).unwrap();
+        assert_eq!(anti.rows(), 2);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = batch(vec![vec![Value::Null], ints(&[1])], &[DataType::Int64]);
+        let right = batch(vec![vec![Value::Null], ints(&[1])], &[DataType::Int64]);
+        let out = hash_join(&left, &right, &[0], &[0], JoinType::Inner, None).unwrap();
+        assert_eq!(out.rows(), 1);
+    }
+
+    #[test]
+    fn join_residual_filter() {
+        let left = batch(vec![ints(&[1, 5]), ints(&[1, 50])], &[DataType::Int64, DataType::Int64]);
+        let right = batch(vec![ints(&[1, 10])], &[DataType::Int64, DataType::Int64]);
+        // residual: left.col1 < right.col1  (positions: 0,1 left; 2,3 right)
+        let res = Expr::Cmp(
+            crate::expr::CmpOp::Lt,
+            Box::new(Expr::Column(1)),
+            Box::new(Expr::Column(3)),
+        );
+        let out = hash_join(&left, &right, &[0], &[0], JoinType::Inner, Some(&res)).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.value(1, 0), Value::Int(5));
+    }
+
+    #[test]
+    fn aggregate_grouped() {
+        let b = batch(
+            vec![
+                vec![Value::str("a"), Value::Int(1)],
+                vec![Value::str("b"), Value::Int(2)],
+                vec![Value::str("a"), Value::Int(3)],
+                vec![Value::str("a"), Value::Null],
+            ],
+            &[DataType::Str, DataType::Int64],
+        );
+        let out = hash_aggregate(
+            &b,
+            &[Expr::Column(0)],
+            &[
+                Aggregate { func: AggFunc::Count, input: Expr::Column(1) },
+                Aggregate { func: AggFunc::Sum, input: Expr::Column(1) },
+                Aggregate { func: AggFunc::Avg, input: Expr::Column(1) },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 2);
+        // Group "a": count 2 (null skipped), sum 4, avg 2.
+        let a_row = (0..2).find(|&r| out.value(0, r) == Value::str("a")).unwrap();
+        assert_eq!(out.value(1, a_row), Value::Int(2));
+        assert_eq!(out.value(2, a_row), Value::Double(4.0));
+        assert_eq!(out.value(3, a_row), Value::Double(2.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let b = Batch::empty(&[DataType::Int64]);
+        let out = hash_aggregate(
+            &b,
+            &[],
+            &[Aggregate { func: AggFunc::Count, input: Expr::Column(0) }],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.value(0, 0), Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_strings() {
+        let b = batch(
+            vec![vec![Value::str("m")], vec![Value::str("a")], vec![Value::str("z")]],
+            &[DataType::Str],
+        );
+        let out = hash_aggregate(
+            &b,
+            &[],
+            &[
+                Aggregate { func: AggFunc::Min, input: Expr::Column(0) },
+                Aggregate { func: AggFunc::Max, input: Expr::Column(0) },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, 0), Value::str("a"));
+        assert_eq!(out.value(1, 0), Value::str("z"));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let b = batch(
+            vec![ints(&[3, 1]), ints(&[1, 2]), ints(&[2, 3])],
+            &[DataType::Int64, DataType::Int64],
+        );
+        let sorted = sort_batch(&b, &[(0, SortDir::Asc)], None);
+        assert_eq!(sorted.value(0, 0), Value::Int(1));
+        assert_eq!(sorted.value(0, 2), Value::Int(3));
+        let top1 = sort_batch(&b, &[(0, SortDir::Desc)], Some(1));
+        assert_eq!(top1.rows(), 1);
+        assert_eq!(top1.value(0, 0), Value::Int(3));
+    }
+}

@@ -1,0 +1,14 @@
+//! Vectorized, adaptive query execution over unified table storage
+//! (paper §5): expressions, column batches, the adaptive table scan
+//! (segment skipping, filter-strategy selection, dynamic clause reordering)
+//! and relational kernels (hash join, aggregation, sort).
+
+pub mod batch;
+pub mod expr;
+pub mod kernels;
+pub mod scan;
+
+pub use batch::Batch;
+pub use expr::{like_match, ArithOp, CmpOp, Expr};
+pub use kernels::{hash_aggregate, hash_join, sort_batch, AggFunc, Aggregate, JoinType, SortDir};
+pub use scan::{scan, ScanOptions, ScanStats};

@@ -1,0 +1,660 @@
+//! The adaptive table scan (paper §5).
+//!
+//! Data access has three steps: (1) find the segments to read — global
+//! secondary-index probes first, then min/max metadata elimination (§5.1);
+//! (2) run filters to find the rows in each segment — choosing per segment
+//! between index postings, encoded filters, regular filters and group
+//! filters, and dynamically reordering clauses by `(1 - P) / cost` measured
+//! on a sample (§5.2); (3) selectively decode only the projected columns for
+//! the rows that survived (late materialization).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use s2_common::{DataType, Result, Row, Value};
+use s2_core::TableSnapshot;
+use s2_encoding::ColumnVector;
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+
+/// Knobs controlling the adaptive machinery — each maps to an ablation bench.
+#[derive(Debug, Clone)]
+pub struct ScanOptions {
+    /// Use secondary indexes for equality/IN clauses.
+    pub use_index: bool,
+    /// Allow encoded execution (filters on compressed data).
+    pub use_encoded: bool,
+    /// Dynamically reorder filter clauses by `(1-P)/cost`.
+    pub adaptive_reorder: bool,
+    /// Rows sampled per segment for costing.
+    pub sample_rows: usize,
+    /// Index disabled when probe keys exceed `rows / index_key_divisor`
+    /// (paper §5.1: "dynamically disables the use of a secondary index if
+    /// the number of keys to look up is too high relative to the table size").
+    pub index_key_divisor: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            use_index: true,
+            use_encoded: true,
+            adaptive_reorder: true,
+            sample_rows: 1024,
+            index_key_divisor: 64,
+        }
+    }
+}
+
+/// Counters describing what a scan actually did.
+#[derive(Debug, Default, Clone)]
+pub struct ScanStats {
+    /// Segments in the snapshot.
+    pub segments_total: usize,
+    /// Segments skipped by the secondary index.
+    pub segments_skipped_index: usize,
+    /// Segments skipped by min/max metadata.
+    pub segments_skipped_minmax: usize,
+    /// Clauses answered from index postings.
+    pub index_filters: usize,
+    /// Clause evaluations done on compressed data.
+    pub encoded_filters: usize,
+    /// Clause evaluations done on decoded data.
+    pub regular_filters: usize,
+    /// Clause *groups* evaluated together on decoded data (paper §5.2's
+    /// group filter, chosen when every clause in the run is non-selective).
+    pub group_filters: usize,
+    /// Rows emitted.
+    pub rows_output: usize,
+}
+
+/// Scan `snapshot`, returning the projected columns of rows passing `filter`.
+pub fn scan(
+    snapshot: &TableSnapshot,
+    projection: &[usize],
+    filter: Option<&Expr>,
+    opts: &ScanOptions,
+) -> Result<(Batch, ScanStats)> {
+    let mut stats = ScanStats { segments_total: snapshot.segments.len(), ..Default::default() };
+    let schema = snapshot.schema().clone();
+    let proj_types: Vec<DataType> =
+        projection.iter().map(|&c| schema.column(c).data_type).collect();
+
+    let conjuncts: Vec<Expr> = match filter {
+        None => Vec::new(),
+        Some(f) => f.clone().split_conjuncts(),
+    };
+
+    // ---- step 1a: secondary-index probe --------------------------------
+    let total_rows = snapshot.live_row_count().max(1);
+    let key_budget = (total_rows / opts.index_key_divisor).max(4);
+    let mut probe_result = None;
+    let mut consumed: Vec<usize> = Vec::new(); // conjunct indices answered by the index
+    if opts.use_index {
+        // Collect single-column equality clauses on indexed columns.
+        let mut eq_cols: Vec<usize> = Vec::new();
+        let mut eq_vals: Vec<Value> = Vec::new();
+        let mut eq_idx: Vec<usize> = Vec::new();
+        for (i, c) in conjuncts.iter().enumerate() {
+            if let Some((col, v)) = c.as_eq_literal() {
+                if snapshot.table.columns_indexed(&[col]) && !eq_cols.contains(&col) {
+                    eq_cols.push(col);
+                    eq_vals.push(v);
+                    eq_idx.push(i);
+                }
+            }
+        }
+        if !eq_cols.is_empty() {
+            if let Some(probe) = snapshot.index_probe(&eq_cols, &eq_vals)? {
+                probe_result = Some(probe);
+                consumed = eq_idx;
+                stats.index_filters += eq_cols.len();
+            }
+        } else {
+            // IN-list probe on one indexed column, subject to the key budget.
+            for (i, c) in conjuncts.iter().enumerate() {
+                if let Some((col, vals)) = c.as_in_list() {
+                    if vals.len() <= key_budget && snapshot.table.columns_indexed(&[col]) {
+                        let mut merged = ProbeAccum::default();
+                        let mut all_found = true;
+                        for v in vals {
+                            match snapshot.index_probe(&[col], std::slice::from_ref(v))? {
+                                Some(p) => merged.absorb(p),
+                                None => {
+                                    all_found = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if all_found {
+                            probe_result = Some(merged.finish());
+                            consumed = vec![i];
+                            stats.index_filters += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let residual: Vec<Expr> = conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !consumed.contains(i))
+        .map(|(_, c)| c.clone())
+        .collect();
+
+    // Ranges for min/max elimination come from *all* conjuncts.
+    let ranges: Vec<(usize, Option<Value>, Option<Value>)> =
+        conjuncts.iter().filter_map(Expr::as_column_range).collect();
+
+    // ---- per-segment filtering ------------------------------------------
+    let mut out_batches: Vec<Batch> = Vec::new();
+
+    // Map segment id -> probed rows when an index probe ran.
+    let probed_rows: Option<HashMap<u64, Vec<u32>>> = probe_result.as_ref().map(|p| {
+        p.segments.iter().map(|(core, rows)| (core.meta.id, rows.clone())).collect()
+    });
+
+    for seg in &snapshot.segments {
+        let meta = &seg.core.meta;
+        // Index skipping: a probe that didn't return this segment rules it out.
+        let initial_sel: Option<Vec<u32>> = match &probed_rows {
+            Some(map) => match map.get(&meta.id) {
+                Some(rows) => Some(rows.clone()),
+                None => {
+                    stats.segments_skipped_index += 1;
+                    continue;
+                }
+            },
+            None => None,
+        };
+        // Min/max elimination (§5.1: after the index check, which cheaply
+        // reduced the candidate set).
+        if ranges
+            .iter()
+            .any(|(c, lo, hi)| !meta.may_overlap_range(*c, lo.as_ref(), hi.as_ref()))
+        {
+            stats.segments_skipped_minmax += 1;
+            continue;
+        }
+
+        // Deleted-row filter (bit vector, not merge-on-read). `None` keeps
+        // the "all rows" fast paths (e.g. RLE run-range emission) intact.
+        let sel: Option<Vec<u32>> = match initial_sel {
+            Some(s) => Some(s), // probe already applied the snapshot's bits
+            None => {
+                if seg.deleted.count_ones() == 0 {
+                    None
+                } else {
+                    Some(
+                        (0..meta.row_count as u32)
+                            .filter(|&r| !seg.deleted.get(r as usize))
+                            .collect(),
+                    )
+                }
+            }
+        };
+        if sel.as_ref().is_some_and(Vec::is_empty) {
+            continue;
+        }
+
+        let sel = apply_clauses(seg, &residual, sel, opts, &mut stats)?;
+        if sel.as_ref().is_some_and(Vec::is_empty) {
+            continue;
+        }
+        let n_out = sel.as_ref().map_or(meta.row_count, Vec::len);
+        stats.rows_output += n_out;
+
+        // Step 3: late materialization of the projection.
+        let mut cols = Vec::with_capacity(projection.len());
+        for &c in projection {
+            cols.push(seg.core.reader.column(c)?.decode_vector(sel.as_deref())?);
+        }
+        out_batches.push(Batch::new(cols));
+    }
+
+    // ---- rowstore level ---------------------------------------------------
+    let rowstore_rows: Vec<Row> = match &probe_result {
+        Some(p) => p.rowstore.iter().map(|(_, r)| r.clone()).collect(),
+        None => snapshot.rowstore_rows().iter().map(|(_, r)| r.clone()).collect(),
+    };
+    if !rowstore_rows.is_empty() {
+        // Build a batch over projection + residual-filter columns.
+        let mut needed: Vec<usize> = projection.to_vec();
+        for c in &residual {
+            needed.extend(c.referenced_columns());
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        let types: Vec<DataType> = needed.iter().map(|&c| schema.column(c).data_type).collect();
+        let batch = Batch::from_rows(&rowstore_rows, &needed, &types)?;
+        let pos: HashMap<usize, usize> =
+            needed.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut sel: Option<Vec<u32>> = None;
+        for clause in &residual {
+            let remapped = clause.remap_columns(&|c| pos[&c]);
+            sel = Some(batch.filter(&remapped, sel.as_deref())?);
+            stats.regular_filters += 1;
+        }
+        let sel = match sel {
+            Some(s) => s,
+            None => (0..batch.rows() as u32).collect(),
+        };
+        if !sel.is_empty() {
+            stats.rows_output += sel.len();
+            let gathered = batch.gather(&sel);
+            let cols: Vec<ColumnVector> =
+                projection.iter().map(|c| gathered.columns[pos[c]].clone()).collect();
+            out_batches.push(Batch::new(cols));
+        }
+    }
+
+    let result = if out_batches.is_empty() {
+        Batch::empty(&proj_types)
+    } else {
+        Batch::concat(&out_batches)?
+    };
+    Ok((result, stats))
+}
+
+/// Accumulates several [`s2_core::IndexProbe`] results into one (used to
+/// union the probes of an IN-list's values).
+#[derive(Default)]
+struct ProbeAccum {
+    segments: HashMap<u64, (std::sync::Arc<s2_core::SegmentCore>, Vec<u32>)>,
+    rowstore: Vec<(Vec<Value>, Row)>,
+}
+
+impl ProbeAccum {
+    fn absorb(&mut self, p: s2_core::IndexProbe) {
+        for (core, rows) in p.segments {
+            self.segments
+                .entry(core.meta.id)
+                .or_insert_with(|| (core, Vec::new()))
+                .1
+                .extend(rows);
+        }
+        // Probe values are distinct, so rowstore matches cannot repeat.
+        self.rowstore.extend(p.rowstore);
+    }
+
+    fn finish(self) -> s2_core::IndexProbe {
+        let segments = self
+            .segments
+            .into_values()
+            .map(|(core, mut rows)| {
+                rows.sort_unstable();
+                rows.dedup();
+                (core, rows)
+            })
+            .collect();
+        s2_core::IndexProbe { segments, rowstore: self.rowstore }
+    }
+}
+
+/// Evaluate residual clauses over one segment with per-segment strategy
+/// choice and adaptive ordering.
+fn apply_clauses(
+    seg: &s2_core::SegmentSnap,
+    residual: &[Expr],
+    mut sel: Option<Vec<u32>>,
+    opts: &ScanOptions,
+    stats: &mut ScanStats,
+) -> Result<Option<Vec<u32>>> {
+    if residual.is_empty() {
+        return Ok(sel);
+    }
+    let seg_rows = seg.core.meta.row_count;
+    let sel_len = |sel: &Option<Vec<u32>>| sel.as_ref().map_or(seg_rows, Vec::len);
+    // Plan: measure each clause on a sample of the current selection.
+    struct Planned {
+        idx: usize,
+        encoded: bool,
+        priority: f64,
+        selectivity: f64,
+    }
+    let mut planned: Vec<Planned> = Vec::with_capacity(residual.len());
+    let sample: Vec<u32> = match &sel {
+        Some(s) => s.iter().copied().take(opts.sample_rows.max(16)).collect(),
+        None => (0..seg_rows.min(opts.sample_rows.max(16)) as u32).collect(),
+    };
+    for (idx, clause) in residual.iter().enumerate() {
+        let cols = clause.referenced_columns();
+        let single = cols.len() == 1;
+        // Encoded execution pays a fixed cost proportional to the compressed
+        // domain (dictionary entries / runs) and then near-zero per row; it
+        // wins when the domain is small relative to the rows under
+        // consideration (paper §5.2: "ideal with a small set of possible
+        // values ... worse if the dictionary size is greater than the number
+        // of rows that passed the previous filters").
+        let can_encode = opts.use_encoded && single && {
+            let reader = seg.core.reader.column(cols[0])?;
+            reader.encoding().supports_encoded_execution()
+                && reader
+                    .encoded_domain_size()
+                    .is_some_and(|domain| domain * 4 <= sel_len(&sel).max(1))
+        };
+        if !opts.adaptive_reorder {
+            planned.push(Planned { idx, encoded: can_encode, priority: 0.0, selectivity: 0.5 });
+            continue;
+        }
+        // Time the chosen strategy on a prefix sample to estimate cost and
+        // selectivity; clauses are then ordered by `(1-P)/cost` (the paper's
+        // per-segment costing, §5.2). The cost in the formula is the
+        // *projected full-selection* cost: a regular filter scales linearly
+        // with rows, while an encoded filter's cost is dominated by the
+        // fixed pass over its compressed domain, which the sample already
+        // paid in full.
+        let t0 = Instant::now();
+        let out = if can_encode {
+            eval_encoded(seg, clause, cols[0], Some(&sample))?
+        } else {
+            eval_regular(seg, clause, &cols, Some(&sample))?
+        };
+        let sample_cost = t0.elapsed().as_nanos() as f64;
+        let scale = sel_len(&sel).max(1) as f64 / sample.len().max(1) as f64;
+        let est_total_cost = if can_encode { sample_cost } else { sample_cost * scale };
+        let selectivity = out.len() as f64 / sample.len().max(1) as f64;
+        planned.push(Planned {
+            idx,
+            encoded: can_encode,
+            priority: (1.0 - selectivity) / est_total_cost.max(1.0),
+            selectivity,
+        });
+    }
+    if opts.adaptive_reorder {
+        planned.sort_by(|a, b| b.priority.total_cmp(&a.priority));
+    }
+    // Group filter (paper §5.2's fourth strategy): when adjacent clauses in
+    // the chosen order are all non-selective ("most rows pass each individual
+    // filter clause"), evaluating them together on the decoded columns avoids
+    // the cost of combining selection vectors clause by clause. Encoded
+    // clauses are never grouped — running on compressed data beats grouping.
+    const GROUP_PASS_RATE: f64 = 0.75;
+    let mut i = 0usize;
+    while i < planned.len() {
+        if sel.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+        let p = &planned[i];
+        if p.encoded {
+            let clause = &residual[p.idx];
+            sel = Some(eval_encoded(seg, clause, clause.referenced_columns()[0], sel.as_deref())?);
+            stats.encoded_filters += 1;
+            i += 1;
+            continue;
+        }
+        // Collect a run of groupable regular clauses.
+        let mut group_end = i + 1;
+        if opts.adaptive_reorder && p.selectivity >= GROUP_PASS_RATE {
+            while group_end < planned.len()
+                && !planned[group_end].encoded
+                && planned[group_end].selectivity >= GROUP_PASS_RATE
+            {
+                group_end += 1;
+            }
+        }
+        if group_end - i >= 2 {
+            let combined = planned[i..group_end]
+                .iter()
+                .map(|q| residual[q.idx].clone())
+                .reduce(Expr::and)
+                .expect("at least two clauses");
+            let cols = combined.referenced_columns();
+            sel = Some(eval_regular(seg, &combined, &cols, sel.as_deref())?);
+            stats.group_filters += 1;
+        } else {
+            let clause = &residual[p.idx];
+            let cols = clause.referenced_columns();
+            sel = Some(eval_regular(seg, clause, &cols, sel.as_deref())?);
+            stats.regular_filters += 1;
+        }
+        i = group_end;
+    }
+    Ok(sel)
+}
+
+/// Regular filter: decode the clause's columns for the selected rows, then
+/// evaluate the predicate on the decoded values.
+fn eval_regular(
+    seg: &s2_core::SegmentSnap,
+    clause: &Expr,
+    cols: &[usize],
+    sel: Option<&[u32]>,
+) -> Result<Vec<u32>> {
+    let mut vectors = Vec::with_capacity(cols.len());
+    for &c in cols {
+        vectors.push(seg.core.reader.column(c)?.decode_vector(sel)?);
+    }
+    let pos: HashMap<usize, usize> = cols.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let remapped = clause.remap_columns(&|c| pos[&c]);
+    let batch = Batch::new(vectors);
+    let local = batch.filter(&remapped, None)?;
+    Ok(match sel {
+        Some(sel) => local.into_iter().map(|i| sel[i as usize]).collect(),
+        None => local,
+    })
+}
+
+/// Encoded filter: evaluate the predicate on the compressed domain
+/// (dictionary entries / runs) without decoding (paper §5.2).
+fn eval_encoded(
+    seg: &s2_core::SegmentSnap,
+    clause: &Expr,
+    col: usize,
+    sel: Option<&[u32]>,
+) -> Result<Vec<u32>> {
+    let reader = seg.core.reader.column(col)?;
+    let mut pred = |v: &Value| {
+        let get = |c: usize| {
+            debug_assert_eq!(c, col);
+            v.clone()
+        };
+        clause.eval_bool(&get).unwrap_or(false)
+    };
+    match reader.encoded_filter(&mut pred, sel)? {
+        Some(rows) => Ok(rows),
+        None => eval_regular(seg, clause, &[col], sel),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_common::schema::ColumnDef;
+    use s2_common::{Schema, TableOptions};
+    use s2_core::{MemFileStore, Partition};
+    use s2_wal::Log;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Partition>, u32) {
+        let p =
+            Partition::new("p0", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", DataType::Int64),
+            ColumnDef::new("grp", DataType::Str),
+            ColumnDef::new("amount", DataType::Double),
+        ])
+        .unwrap();
+        let opts = TableOptions::new()
+            .with_sort_key(vec![0])
+            .with_unique("pk", vec![0])
+            .with_index("by_grp", vec![1])
+            .with_segment_rows(100);
+        let t = p.create_table("tx", schema, opts).unwrap();
+        // 3 segments of 100 rows, plus 25 rowstore rows.
+        for batch in 0..3i64 {
+            let mut txn = p.begin();
+            for i in 0..100i64 {
+                let id = batch * 100 + i;
+                txn.insert(
+                    t,
+                    Row::new(vec![
+                        Value::Int(id),
+                        Value::str(["a", "b", "c", "d"][(id % 4) as usize]),
+                        Value::Double(id as f64),
+                    ]),
+                )
+                .unwrap();
+            }
+            txn.commit().unwrap();
+            p.flush_table(t, true).unwrap();
+        }
+        let mut txn = p.begin();
+        for id in 300..325i64 {
+            txn.insert(
+                t,
+                Row::new(vec![
+                    Value::Int(id),
+                    Value::str(["a", "b", "c", "d"][(id % 4) as usize]),
+                    Value::Double(id as f64),
+                ]),
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn full_scan_no_filter() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        let (batch, stats) = scan(snap.table(t).unwrap(), &[0, 2], None, &ScanOptions::default())
+            .unwrap();
+        assert_eq!(batch.rows(), 325);
+        assert_eq!(stats.segments_total, 3);
+    }
+
+    #[test]
+    fn minmax_segment_elimination() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        // ids 0..99 live in segment 1 only (sort key = id).
+        let f = Expr::between(0, 10i64, 20i64);
+        let (batch, stats) =
+            scan(snap.table(t).unwrap(), &[0], Some(&f), &ScanOptions::default()).unwrap();
+        assert_eq!(batch.rows(), 11);
+        assert_eq!(stats.segments_skipped_minmax, 2);
+    }
+
+    #[test]
+    fn index_probe_scan() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        let f = Expr::eq(0, 42i64);
+        let (batch, stats) =
+            scan(snap.table(t).unwrap(), &[0, 1], Some(&f), &ScanOptions::default()).unwrap();
+        assert_eq!(batch.rows(), 1);
+        assert_eq!(batch.value(0, 0), Value::Int(42));
+        assert!(stats.index_filters >= 1);
+        assert!(stats.segments_skipped_index >= 2);
+    }
+
+    #[test]
+    fn index_disabled_falls_back() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        let f = Expr::eq(0, 42i64);
+        let opts = ScanOptions { use_index: false, ..Default::default() };
+        let (batch, stats) = scan(snap.table(t).unwrap(), &[0], Some(&f), &opts).unwrap();
+        assert_eq!(batch.rows(), 1);
+        assert_eq!(stats.index_filters, 0);
+    }
+
+    #[test]
+    fn secondary_index_on_group_column() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        let f = Expr::eq(1, "b");
+        let (batch, _) =
+            scan(snap.table(t).unwrap(), &[0, 1], Some(&f), &ScanOptions::default()).unwrap();
+        // ids where id % 4 == 1: 1, 5, ..., 321 -> 81 rows.
+        assert_eq!(batch.rows(), 81);
+        for i in 0..batch.rows() {
+            assert_eq!(batch.value(1, i), Value::str("b"));
+        }
+    }
+
+    #[test]
+    fn conjunction_of_index_and_residual() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        let f = Expr::eq(1, "b").and(Expr::cmp(2, crate::expr::CmpOp::Lt, 50.0));
+        let (batch, _) =
+            scan(snap.table(t).unwrap(), &[0], Some(&f), &ScanOptions::default()).unwrap();
+        // id % 4 == 1 and id < 50: 1,5,...,49 -> 13 rows.
+        assert_eq!(batch.rows(), 13);
+    }
+
+    #[test]
+    fn in_list_probe() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        let f = Expr::InList(
+            Box::new(Expr::Column(0)),
+            vec![Value::Int(3), Value::Int(150), Value::Int(310), Value::Int(9999)],
+        );
+        let (batch, _) =
+            scan(snap.table(t).unwrap(), &[0], Some(&f), &ScanOptions::default()).unwrap();
+        assert_eq!(batch.rows(), 3);
+    }
+
+    #[test]
+    fn deleted_rows_filtered() {
+        let (p, t) = setup();
+        let mut txn = p.begin();
+        assert!(txn.delete_unique(t, &[Value::Int(10)]).unwrap());
+        assert!(txn.delete_unique(t, &[Value::Int(310)]).unwrap()); // rowstore row
+        txn.commit().unwrap();
+        let snap = p.read_snapshot();
+        let (batch, _) =
+            scan(snap.table(t).unwrap(), &[0], None, &ScanOptions::default()).unwrap();
+        assert_eq!(batch.rows(), 323);
+    }
+
+    #[test]
+    fn group_filter_fires_for_non_selective_clauses() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        // Both clauses pass almost every row -> grouped into one evaluation
+        // per segment under the adaptive planner.
+        let f = Expr::cmp(2, crate::expr::CmpOp::Ge, 1.0)
+            .and(Expr::cmp(0, crate::expr::CmpOp::Ge, 1i64));
+        let (batch, stats) =
+            scan(snap.table(t).unwrap(), &[0], Some(&f), &ScanOptions::default()).unwrap();
+        assert_eq!(batch.rows(), 324, "ids 1..=324");
+        assert!(stats.group_filters > 0, "{stats:?}");
+        // Same filter without adaptivity: evaluated clause by clause.
+        let opts = ScanOptions { adaptive_reorder: false, ..Default::default() };
+        let (batch2, stats2) = scan(snap.table(t).unwrap(), &[0], Some(&f), &opts).unwrap();
+        assert_eq!(batch2.rows(), 324);
+        assert_eq!(stats2.group_filters, 0);
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        let f = Expr::eq(1, "c").and(Expr::between(0, 40i64, 290i64));
+        let mut counts = Vec::new();
+        for use_index in [false, true] {
+            for use_encoded in [false, true] {
+                for adaptive_reorder in [false, true] {
+                    let opts = ScanOptions {
+                        use_index,
+                        use_encoded,
+                        adaptive_reorder,
+                        ..Default::default()
+                    };
+                    let (batch, _) = scan(snap.table(t).unwrap(), &[0], Some(&f), &opts).unwrap();
+                    counts.push(batch.rows());
+                }
+            }
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,353 @@
+//! The global secondary-index structure: an LSM of immutable hash tables
+//! (paper §4.1).
+//!
+//! Each level is an open-addressing hash table mapping a 64-bit *value hash*
+//! (values themselves are never stored here — they live in the per-segment
+//! inverted indexes, which keeps global-index write amplification low for
+//! wide columns) to the list of `(segment id, entry offsets...)` pairs for
+//! segments containing that value. When a segment is created its hash table
+//! becomes a new level; levels are merged size-tiered so lookups probe
+//! O(log N) tables instead of O(N) per-segment structures.
+//!
+//! Deletions are lazy (paper §4.1): lookups skip pairs whose segment is no
+//! longer live, and maintenance rewrites a level once at least half of the
+//! segments it covers are dead.
+
+use std::collections::HashSet;
+
+use s2_common::SegmentId;
+
+/// One immutable hash-table level.
+pub struct HashLevel {
+    /// Probe table: slot -> entry ordinal + 1 (0 = empty).
+    slots: Vec<u32>,
+    /// Distinct hashes in this level.
+    entries: Vec<LevelEntry>,
+    /// Flattened pairs: for entry `e`, pairs `pairs[e.start .. e.start+e.len]`.
+    pair_segments: Vec<SegmentId>,
+    /// Flattened entry offsets: `arity` u32s per pair.
+    pair_offsets: Vec<u32>,
+    /// Offsets stored per pair.
+    arity: usize,
+    /// All segments covered by this level (for lazy-deletion accounting).
+    covered: HashSet<SegmentId>,
+}
+
+struct LevelEntry {
+    hash: u64,
+    start: u32,
+    len: u32,
+}
+
+impl HashLevel {
+    /// Build a level from `(hash, segment, offsets)` tuples. Tuples for the
+    /// same hash are grouped.
+    fn build(arity: usize, mut input: Vec<(u64, SegmentId, Vec<u32>)>) -> HashLevel {
+        input.sort_by_key(|(h, s, _)| (*h, *s));
+        let mut entries: Vec<LevelEntry> = Vec::new();
+        let mut pair_segments = Vec::with_capacity(input.len());
+        let mut pair_offsets = Vec::with_capacity(input.len() * arity);
+        let mut covered = HashSet::new();
+        for (hash, seg, offs) in input {
+            debug_assert_eq!(offs.len(), arity);
+            covered.insert(seg);
+            match entries.last_mut() {
+                Some(e) if e.hash == hash => e.len += 1,
+                _ => entries.push(LevelEntry {
+                    hash,
+                    start: pair_segments.len() as u32,
+                    len: 1,
+                }),
+            }
+            pair_segments.push(seg);
+            pair_offsets.extend_from_slice(&offs);
+        }
+        // Open addressing at 50% max load.
+        let cap = (entries.len() * 2).next_power_of_two().max(8);
+        let mut slots = vec![0u32; cap];
+        let mask = cap - 1;
+        for (i, e) in entries.iter().enumerate() {
+            let mut slot = (e.hash as usize) & mask;
+            while slots[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            slots[slot] = (i + 1) as u32;
+        }
+        HashLevel { slots, entries, pair_segments, pair_offsets, arity, covered }
+    }
+
+    /// Probe for `hash`, appending live pairs to `out`.
+    fn lookup_into(
+        &self,
+        hash: u64,
+        is_live: &dyn Fn(SegmentId) -> bool,
+        out: &mut Vec<(SegmentId, Vec<u32>)>,
+    ) {
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let tag = self.slots[slot];
+            if tag == 0 {
+                return;
+            }
+            let e = &self.entries[(tag - 1) as usize];
+            if e.hash == hash {
+                for p in e.start..e.start + e.len {
+                    let seg = self.pair_segments[p as usize];
+                    if is_live(seg) {
+                        let o = p as usize * self.arity;
+                        out.push((seg, self.pair_offsets[o..o + self.arity].to_vec()));
+                    }
+                }
+                return;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// All tuples in this level (for merging), optionally dropping dead segments.
+    fn drain_tuples(&self, is_live: &dyn Fn(SegmentId) -> bool) -> Vec<(u64, SegmentId, Vec<u32>)> {
+        let mut out = Vec::with_capacity(self.pair_segments.len());
+        for e in &self.entries {
+            for p in e.start..e.start + e.len {
+                let seg = self.pair_segments[p as usize];
+                if is_live(seg) {
+                    let o = p as usize * self.arity;
+                    out.push((e.hash, seg, self.pair_offsets[o..o + self.arity].to_vec()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct hashes in this level.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Segments covered by this level.
+    pub fn covered_segments(&self) -> usize {
+        self.covered.len()
+    }
+
+    fn dead_fraction(&self, is_live: &dyn Fn(SegmentId) -> bool) -> f64 {
+        if self.covered.is_empty() {
+            return 0.0;
+        }
+        let dead = self.covered.iter().filter(|&&s| !is_live(s)).count();
+        dead as f64 / self.covered.len() as f64
+    }
+}
+
+/// The global index: newest-first list of immutable hash-table levels.
+pub struct GlobalIndex {
+    levels: Vec<HashLevel>,
+    arity: usize,
+    /// Merge when more levels than this accumulate.
+    max_levels: usize,
+}
+
+impl GlobalIndex {
+    /// New index storing `arity` entry offsets per (hash, segment) pair —
+    /// 1 for a single-column index, N for the tuple index of an N-column
+    /// index (paper §4.1.1).
+    pub fn new(arity: usize) -> GlobalIndex {
+        GlobalIndex { levels: Vec::new(), arity, max_levels: 6 }
+    }
+
+    /// Override the merge trigger (tests and ablation benches).
+    pub fn with_max_levels(arity: usize, max_levels: usize) -> GlobalIndex {
+        GlobalIndex { levels: Vec::new(), arity, max_levels: max_levels.max(1) }
+    }
+
+    /// Offsets stored per pair.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of levels (lookup cost is one probe per level — the paper's
+    /// O(log N) vs O(N) argument).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Register a new segment's hash table: `entries` maps each distinct
+    /// value hash to the entry offsets in the segment's inverted index(es).
+    pub fn add_segment(&mut self, segment: SegmentId, entries: Vec<(u64, Vec<u32>)>) {
+        let tuples = entries.into_iter().map(|(h, offs)| (h, segment, offs)).collect();
+        self.levels.insert(0, HashLevel::build(self.arity, tuples));
+        if self.levels.len() > self.max_levels {
+            self.merge_smallest(&|_| true);
+        }
+    }
+
+    /// Merge the two smallest levels ("over time, the hash tables for
+    /// different segments get merged together using the LSM tree merging
+    /// algorithm", paper §4.1).
+    fn merge_smallest(&mut self, is_live: &dyn Fn(SegmentId) -> bool) {
+        if self.levels.len() < 2 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.levels.len()).collect();
+        order.sort_by_key(|&i| self.levels[i].entry_count());
+        let (a, b) = (order[0].min(order[1]), order[0].max(order[1]));
+        let lb = self.levels.remove(b);
+        let la = self.levels.remove(a);
+        let mut tuples = la.drain_tuples(is_live);
+        tuples.extend(lb.drain_tuples(is_live));
+        self.levels.push(HashLevel::build(self.arity, tuples));
+    }
+
+    /// Look up every live `(segment, offsets)` pair for `hash`.
+    pub fn lookup(
+        &self,
+        hash: u64,
+        is_live: &dyn Fn(SegmentId) -> bool,
+    ) -> Vec<(SegmentId, Vec<u32>)> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            level.lookup_into(hash, is_live, &mut out);
+        }
+        out
+    }
+
+    /// Lazy-deletion maintenance: rewrite any level where at least half of
+    /// the covered segments are dead (paper §4.1). Returns rewritten count.
+    pub fn maintain(&mut self, is_live: &dyn Fn(SegmentId) -> bool) -> usize {
+        let mut rewritten = 0;
+        for level in &mut self.levels {
+            if level.dead_fraction(is_live) >= 0.5 {
+                let tuples = level.drain_tuples(is_live);
+                *level = HashLevel::build(self.arity, tuples);
+                rewritten += 1;
+            }
+        }
+        // Drop empty levels entirely.
+        self.levels.retain(|l| l.entry_count() > 0);
+        rewritten
+    }
+
+    /// Rebuild from scratch (recovery path): the global index is derivable
+    /// from the per-segment inverted indexes, so it is not persisted.
+    pub fn rebuild(
+        arity: usize,
+        per_segment: impl IntoIterator<Item = (SegmentId, Vec<(u64, Vec<u32>)>)>,
+    ) -> GlobalIndex {
+        let mut ix = GlobalIndex::new(arity);
+        let mut all: Vec<(u64, SegmentId, Vec<u32>)> = Vec::new();
+        for (seg, entries) in per_segment {
+            for (h, offs) in entries {
+                all.push((h, seg, offs));
+            }
+        }
+        ix.levels.push(HashLevel::build(arity, all));
+        ix
+    }
+
+    /// Total pairs across all levels (diagnostics / write-amplification benches).
+    pub fn total_pairs(&self) -> usize {
+        self.levels.iter().map(|l| l.pair_segments.len()).sum()
+    }
+}
+
+/// A per-segment probe count comparator for the ablation bench: looking up a
+/// value with only per-segment structures costs one probe per segment
+/// (O(N)); with the global index it costs one probe per level (O(log N)).
+pub fn probes_without_global_index(segment_count: usize) -> usize {
+    segment_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live_all(_: SegmentId) -> bool {
+        true
+    }
+
+    #[test]
+    fn lookup_across_levels() {
+        let mut g = GlobalIndex::with_max_levels(1, 10);
+        g.add_segment(1, vec![(100, vec![10]), (200, vec![20])]);
+        g.add_segment(2, vec![(100, vec![30])]);
+        let hits = g.lookup(100, &live_all);
+        let segs: HashSet<SegmentId> = hits.iter().map(|(s, _)| *s).collect();
+        assert_eq!(segs, HashSet::from([1, 2]));
+        let offs: Vec<u32> = hits.iter().flat_map(|(_, o)| o.clone()).collect();
+        assert!(offs.contains(&10) && offs.contains(&30));
+        assert!(g.lookup(999, &live_all).is_empty());
+    }
+
+    #[test]
+    fn levels_merge_to_stay_logarithmic() {
+        let mut g = GlobalIndex::with_max_levels(1, 3);
+        for seg in 0..10u64 {
+            g.add_segment(seg, vec![(1000 + seg, vec![1]), (42, vec![2])]);
+        }
+        assert!(g.level_count() <= 3 + 1, "levels: {}", g.level_count());
+        // Value 42 appears in every segment and must survive merging.
+        let hits = g.lookup(42, &live_all);
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn lazy_deletion_skips_dead_segments() {
+        let mut g = GlobalIndex::with_max_levels(1, 10);
+        g.add_segment(1, vec![(5, vec![0])]);
+        g.add_segment(2, vec![(5, vec![0])]);
+        let live = |s: SegmentId| s != 1;
+        let hits = g.lookup(5, &live);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+        assert_eq!(g.total_pairs(), 2, "dead pair still physically present");
+    }
+
+    #[test]
+    fn maintenance_rewrites_half_dead_levels() {
+        let mut g = GlobalIndex::with_max_levels(1, 10);
+        // One level covering two segments, one of which dies -> 50% dead.
+        let tuples: Vec<(u64, Vec<u32>)> = vec![(1, vec![0]), (2, vec![0])];
+        g.add_segment(1, tuples.clone());
+        g.add_segment(2, tuples);
+        let live = |s: SegmentId| s != 1;
+        let rewritten = g.maintain(&live);
+        assert_eq!(rewritten, 1, "level covering only segment 1 rewritten away");
+        assert_eq!(g.total_pairs(), 2);
+        assert!(g.lookup(1, &live).iter().all(|(s, _)| *s == 2));
+    }
+
+    #[test]
+    fn multi_offset_arity() {
+        let mut g = GlobalIndex::new(3);
+        g.add_segment(7, vec![(99, vec![11, 22, 33])]);
+        let hits = g.lookup(99, &live_all);
+        assert_eq!(hits, vec![(7, vec![11, 22, 33])]);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let entries = |seed: u64| vec![(seed, vec![1u32]), (seed + 1, vec![2])];
+        let mut inc = GlobalIndex::with_max_levels(1, 2);
+        for s in 0..5u64 {
+            inc.add_segment(s, entries(s * 10));
+        }
+        let re = GlobalIndex::rebuild(1, (0..5u64).map(|s| (s, entries(s * 10))));
+        for h in [0u64, 1, 10, 11, 40, 41, 999] {
+            let mut a = inc.lookup(h, &live_all);
+            let mut b = re.lookup(h, &live_all);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "hash {h}");
+        }
+    }
+
+    #[test]
+    fn hash_collisions_return_both_pairs() {
+        // Two different segments register the same hash; both come back and
+        // the caller disambiguates at the inverted index (paper: hashes only).
+        let mut g = GlobalIndex::new(1);
+        g.add_segment(1, vec![(777, vec![5])]);
+        g.add_segment(2, vec![(777, vec![9])]);
+        assert_eq!(g.lookup(777, &live_all).len(), 2);
+    }
+}

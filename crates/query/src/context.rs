@@ -1,0 +1,49 @@
+//! Query contexts: single-partition execution (this module) and, in
+//! `s2-cluster`, aggregator-side scatter/gather over many partitions.
+
+use std::sync::Arc;
+
+use s2_common::Result;
+use s2_core::{PartitionSnapshot, TableSnapshot};
+
+use crate::exec::QueryContext;
+
+/// Execute against one partition's snapshot.
+impl QueryContext for PartitionSnapshot {
+    fn snapshots(&self, table: &str) -> Result<Vec<Arc<TableSnapshot>>> {
+        Ok(vec![Arc::clone(self.table_by_name(table)?)])
+    }
+}
+
+/// Execute against a fixed union of table snapshots (the aggregator path:
+/// one snapshot per partition of each table).
+pub struct UnionContext {
+    tables: std::collections::HashMap<String, Vec<Arc<TableSnapshot>>>,
+}
+
+impl UnionContext {
+    /// Empty context.
+    pub fn new() -> UnionContext {
+        UnionContext { tables: std::collections::HashMap::new() }
+    }
+
+    /// Register the partition snapshots of a table.
+    pub fn add_table(&mut self, name: impl Into<String>, snaps: Vec<Arc<TableSnapshot>>) {
+        self.tables.insert(name.into(), snaps);
+    }
+}
+
+impl Default for UnionContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryContext for UnionContext {
+    fn snapshots(&self, table: &str) -> Result<Vec<Arc<TableSnapshot>>> {
+        self.tables
+            .get(table)
+            .cloned()
+            .ok_or_else(|| s2_common::Error::NotFound(format!("table {table:?} in context")))
+    }
+}

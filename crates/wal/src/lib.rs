@@ -1,0 +1,16 @@
+//! Per-partition write-ahead logging, snapshots and the replication byte
+//! stream (paper §2.1.1, §3, §3.1).
+//!
+//! Layering: this crate owns *transport and durability* — record framing
+//! with CRCs, log positions, the durable/replicated/uploaded watermarks,
+//! chunk sealing for asynchronous blob upload, and snapshot framing. Record
+//! *semantics* (what an upsert/flush/merge means) live in `s2-core`, which
+//! serializes operations into opaque payloads.
+
+pub mod log;
+pub mod record;
+pub mod snapshot;
+
+pub use log::{Log, LogChunk};
+pub use record::{encode_record, DecodedRecord, RecordIter, RECORD_MAGIC, RECORD_OVERHEAD};
+pub use snapshot::{Snapshot, SNAPSHOT_MAGIC};

@@ -1,0 +1,161 @@
+//! CH-BenCHmark-style mixed workload (paper §6, Table 3): TPC-C transaction
+//! workers and TPC-H-style analytic workers running concurrently over the
+//! *same* TPC-C tables — the workload unified table storage exists for.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use s2_common::{Result, Value};
+use s2_exec::{AggFunc, Aggregate, Batch, CmpOp, Expr, SortDir};
+use s2_query::Plan;
+
+fn agg(func: AggFunc, input: Expr) -> Aggregate {
+    Aggregate { func, input }
+}
+
+/// The analytic query set: TPC-H-flavoured aggregations/joins over the live
+/// TPC-C schema (CH-BenCHmark's approach).
+pub fn queries() -> Vec<(&'static str, Plan)> {
+    vec![
+        (
+            // Revenue by district (Q1-flavoured wide aggregation).
+            "revenue_by_district",
+            Plan::scan("order_line", vec![0, 1, 7, 8], None)
+                .aggregate(
+                    vec![Expr::Column(0), Expr::Column(1)],
+                    vec![
+                        agg(AggFunc::Sum, Expr::Column(3)),
+                        agg(AggFunc::Avg, Expr::Column(2)),
+                        agg(AggFunc::Count, Expr::Literal(Value::Int(1))),
+                    ],
+                )
+                .sort(vec![(0, SortDir::Asc), (1, SortDir::Asc)], None),
+        ),
+        (
+            // Stock value by warehouse (join stock to item).
+            "stock_value",
+            Plan::scan("stock", vec![0, 1, 2], None)
+                .join(Plan::scan("item", vec![0, 2], None), vec![1], vec![0])
+                // positions: 0 s_w_id, 1 s_i_id, 2 s_qty, 3 i_id, 4 i_price
+                .project(vec![
+                    (Expr::Column(0), s2_common::DataType::Int64),
+                    (
+                        Expr::Arith(
+                            s2_exec::ArithOp::Mul,
+                            Box::new(Expr::Column(2)),
+                            Box::new(Expr::Column(4)),
+                        ),
+                        s2_common::DataType::Double,
+                    ),
+                ])
+                .aggregate(vec![Expr::Column(0)], vec![agg(AggFunc::Sum, Expr::Column(1))])
+                .sort(vec![(0, SortDir::Asc)], None),
+        ),
+        (
+            // Top indebted customers (Q10-flavoured).
+            "top_customers",
+            Plan::scan("customer", vec![0, 1, 2, 4, 5], None)
+                .filter(Expr::cmp(4, CmpOp::Lt, 0.0))
+                .sort(vec![(4, SortDir::Asc)], Some(20)),
+        ),
+        (
+            // Undelivered order lines joined to their orders (Q4-flavoured).
+            "pending_orders",
+            Plan::scan("orders", vec![0, 1, 2, 6], Some(Expr::IsNull(Box::new(Expr::Column(5)))))
+                .join(
+                    Plan::scan("order_line", vec![0, 1, 2, 8], None),
+                    vec![0, 1, 2],
+                    vec![0, 1, 2],
+                )
+                .aggregate(
+                    vec![Expr::Column(0)],
+                    vec![
+                        agg(AggFunc::Count, Expr::Literal(Value::Int(1))),
+                        agg(AggFunc::Sum, Expr::Column(7)),
+                    ],
+                )
+                .sort(vec![(0, SortDir::Asc)], None),
+        ),
+        (
+            // Hot items (Q18-flavoured: heavy group-by on the fact table).
+            "hot_items",
+            Plan::scan("order_line", vec![4, 7, 8], None)
+                .aggregate(
+                    vec![Expr::Column(0)],
+                    vec![
+                        agg(AggFunc::Count, Expr::Literal(Value::Int(1))),
+                        agg(AggFunc::Sum, Expr::Column(1)),
+                        agg(AggFunc::Sum, Expr::Column(2)),
+                    ],
+                )
+                .sort(vec![(3, SortDir::Desc)], Some(10)),
+        ),
+    ]
+}
+
+/// Outcome of an analytics run.
+#[derive(Debug, Default)]
+pub struct AnalyticsResult {
+    /// Completed analytic queries.
+    pub queries_run: u64,
+    /// Query errors.
+    pub errors: u64,
+    /// Run duration.
+    pub elapsed: Duration,
+}
+
+impl AnalyticsResult {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        self.queries_run as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Run `workers` analytic workers for `duration`, each cycling through the
+/// query set. `exec` is the execution channel — the primary cluster for the
+/// shared-workspace configurations, a read-only workspace for the isolated
+/// ones (Table 3's test cases 3 vs 4).
+pub fn run_analytics(
+    exec: impl Fn(&Plan) -> Result<Batch> + Sync,
+    workers: usize,
+    duration: Duration,
+) -> AnalyticsResult {
+    let stop = AtomicBool::new(false);
+    let done = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    let qs = queries();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let exec = &exec;
+            let stop = &stop;
+            let done = &done;
+            let errors = &errors;
+            let qs = &qs;
+            scope.spawn(move || {
+                let mut i = w; // stagger starting queries across workers
+                while !stop.load(Ordering::Relaxed) {
+                    let (_, plan) = &qs[i % qs.len()];
+                    match exec(plan) {
+                        Ok(_) => {
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += 1;
+                }
+            });
+        }
+        while started.elapsed() < duration {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    AnalyticsResult {
+        queries_run: done.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    }
+}

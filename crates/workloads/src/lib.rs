@@ -1,0 +1,8 @@
+//! Benchmark workloads reproducing the paper's §6 evaluation: TPC-C (OLTP),
+//! TPC-H (OLAP, all 22 queries) and the CH-BenCHmark mixed workload, each
+//! runnable against the unified-storage cluster and the CDW/CDB comparator
+//! models.
+
+pub mod ch;
+pub mod tpcc;
+pub mod tpch;

@@ -1,0 +1,789 @@
+//! TPC-C transaction profiles against the engines under test: the S2DB
+//! cluster (unified table storage, real transactions with row-level locking
+//! and move transactions) and the CDB comparator (row store, per-operation
+//! application). The CDW comparator is deliberately absent: its model
+//! supports neither unique keys nor point updates, which is the paper's
+//! point ("CDW1 and CDW2 do not support running TPC-C").
+
+use std::sync::Arc;
+
+use s2_cluster::Cluster;
+use s2_baseline::CdbEngine;
+use s2_common::{Error, Result, Row, Value};
+use s2_core::DuplicatePolicy;
+use s2_exec::{Expr, SortDir};
+use s2_query::{ExecOptions, Plan};
+
+use super::{tables, TpccRng, TpccScale};
+
+/// How a customer is identified (60% by last name per the spec).
+#[derive(Debug, Clone)]
+pub enum CustomerSel {
+    /// By customer id.
+    Id(i64),
+    /// By last name (pick the median match ordered by first name).
+    LastName(String),
+}
+
+/// New-order parameters.
+#[derive(Debug, Clone)]
+pub struct NewOrderParams {
+    /// Warehouse.
+    pub w: i64,
+    /// District.
+    pub d: i64,
+    /// Customer id.
+    pub c: i64,
+    /// (item id, supply warehouse, quantity) per line; an item id of -1
+    /// triggers the spec's 1% intentional rollback.
+    pub lines: Vec<(i64, i64, i64)>,
+    /// Entry date.
+    pub entry_d: i64,
+}
+
+/// Payment parameters.
+#[derive(Debug, Clone)]
+pub struct PaymentParams {
+    /// Warehouse paying through.
+    pub w: i64,
+    /// District paying through.
+    pub d: i64,
+    /// Customer's warehouse (15% remote).
+    pub c_w: i64,
+    /// Customer's district.
+    pub c_d: i64,
+    /// Customer selector.
+    pub customer: CustomerSel,
+    /// Amount.
+    pub amount: f64,
+    /// Date.
+    pub date: i64,
+}
+
+/// Order-status parameters.
+#[derive(Debug, Clone)]
+pub struct OrderStatusParams {
+    /// Warehouse.
+    pub w: i64,
+    /// District.
+    pub d: i64,
+    /// Customer selector.
+    pub customer: CustomerSel,
+}
+
+/// Delivery parameters.
+#[derive(Debug, Clone)]
+pub struct DeliveryParams {
+    /// Warehouse.
+    pub w: i64,
+    /// Carrier id.
+    pub carrier: i64,
+    /// Delivery date.
+    pub date: i64,
+}
+
+/// Stock-level parameters.
+#[derive(Debug, Clone)]
+pub struct StockLevelParams {
+    /// Warehouse.
+    pub w: i64,
+    /// District.
+    pub d: i64,
+    /// Threshold.
+    pub threshold: f64,
+}
+
+/// Generate the parameters of one transaction of each type.
+pub fn gen_new_order(rng: &mut TpccRng, scale: &TpccScale) -> NewOrderParams {
+    let w = rng.uniform(1, scale.warehouses);
+    let d = rng.uniform(1, scale.districts);
+    let c = rng.customer_id(scale.customers);
+    let n_lines = rng.uniform(5, 15);
+    let rollback = rng.uniform(1, 100) == 1;
+    let mut lines = Vec::with_capacity(n_lines as usize);
+    for i in 0..n_lines {
+        let item = if rollback && i == n_lines - 1 { -1 } else { rng.item_id(scale.items) };
+        // 1% remote warehouse when more than one exists.
+        let supply = if scale.warehouses > 1 && rng.uniform(1, 100) == 1 {
+            let mut s = rng.uniform(1, scale.warehouses - 1);
+            if s >= w {
+                s += 1;
+            }
+            s
+        } else {
+            w
+        };
+        lines.push((item, supply, rng.uniform(1, 10)));
+    }
+    NewOrderParams { w, d, c, lines, entry_d: s2_common::date::days_from_ymd(2022, 6, 1) }
+}
+
+/// Payment parameter generation.
+pub fn gen_payment(rng: &mut TpccRng, scale: &TpccScale) -> PaymentParams {
+    let w = rng.uniform(1, scale.warehouses);
+    let d = rng.uniform(1, scale.districts);
+    let (c_w, c_d) = if scale.warehouses > 1 && rng.uniform(1, 100) <= 15 {
+        let mut rw = rng.uniform(1, scale.warehouses - 1);
+        if rw >= w {
+            rw += 1;
+        }
+        (rw, rng.uniform(1, scale.districts))
+    } else {
+        (w, d)
+    };
+    let customer = if rng.uniform(1, 100) <= 60 {
+        CustomerSel::LastName(super::last_name(rng.lastname_num(scale.customers)))
+    } else {
+        CustomerSel::Id(rng.customer_id(scale.customers))
+    };
+    PaymentParams {
+        w,
+        d,
+        c_w,
+        c_d,
+        customer,
+        amount: rng.uniform_f(1.0, 5000.0),
+        date: s2_common::date::days_from_ymd(2022, 6, 1),
+    }
+}
+
+/// Order-status parameter generation.
+pub fn gen_order_status(rng: &mut TpccRng, scale: &TpccScale) -> OrderStatusParams {
+    let customer = if rng.uniform(1, 100) <= 60 {
+        CustomerSel::LastName(super::last_name(rng.lastname_num(scale.customers)))
+    } else {
+        CustomerSel::Id(rng.customer_id(scale.customers))
+    };
+    OrderStatusParams {
+        w: rng.uniform(1, scale.warehouses),
+        d: rng.uniform(1, scale.districts),
+        customer,
+    }
+}
+
+/// Delivery parameter generation.
+pub fn gen_delivery(rng: &mut TpccRng, scale: &TpccScale) -> DeliveryParams {
+    DeliveryParams {
+        w: rng.uniform(1, scale.warehouses),
+        carrier: rng.uniform(1, 10),
+        date: s2_common::date::days_from_ymd(2022, 6, 2),
+    }
+}
+
+/// Stock-level parameter generation.
+pub fn gen_stock_level(rng: &mut TpccRng, scale: &TpccScale) -> StockLevelParams {
+    StockLevelParams {
+        w: rng.uniform(1, scale.warehouses),
+        d: rng.uniform(1, scale.districts),
+        threshold: rng.uniform(10, 20) as f64,
+    }
+}
+
+/// A TPC-C-capable engine.
+pub trait TpccBackend: Send + Sync {
+    /// Execute new-order; `Ok(false)` = the spec's intentional rollback.
+    fn new_order(&self, p: &NewOrderParams) -> Result<bool>;
+    /// Execute payment.
+    fn payment(&self, p: &PaymentParams) -> Result<()>;
+    /// Execute order-status.
+    fn order_status(&self, p: &OrderStatusParams) -> Result<()>;
+    /// Execute delivery (all districts of the warehouse).
+    fn delivery(&self, p: &DeliveryParams) -> Result<()>;
+    /// Execute stock-level; returns the low-stock count.
+    fn stock_level(&self, p: &StockLevelParams) -> Result<i64>;
+}
+
+// ---------------------------------------------------------------------------
+// S2DB backend
+// ---------------------------------------------------------------------------
+
+/// TPC-C over the unified-storage cluster.
+pub struct ClusterBackend {
+    /// Target cluster.
+    pub cluster: Arc<Cluster>,
+    /// Scale (for district counts in delivery).
+    pub scale: TpccScale,
+    opts: ExecOptions,
+}
+
+impl ClusterBackend {
+    /// Wrap a loaded cluster.
+    pub fn new(cluster: Arc<Cluster>, scale: TpccScale) -> ClusterBackend {
+        ClusterBackend { cluster, scale, opts: ExecOptions::default() }
+    }
+
+    /// Resolve a customer selector to an id (median-by-first-name for last
+    /// names, via the multi-column secondary index on (w, d, last)).
+    fn resolve_customer(&self, w: i64, d: i64, sel: &CustomerSel) -> Result<i64> {
+        match sel {
+            CustomerSel::Id(id) => Ok(*id),
+            CustomerSel::LastName(name) => {
+                let plan = Plan::scan(
+                    "customer",
+                    vec![2, 3],
+                    Some(
+                        Expr::eq(0, w)
+                            .and(Expr::eq(1, d))
+                            .and(Expr::eq(4, name.as_str())),
+                    ),
+                )
+                .sort(vec![(1, SortDir::Asc)], None);
+                let out = self.cluster.execute(&plan, &self.opts)?;
+                if out.rows() == 0 {
+                    return Err(Error::NotFound(format!("customer last name {name:?}")));
+                }
+                Ok(out.value(0, out.rows() / 2).as_int()?)
+            }
+        }
+    }
+}
+
+impl TpccBackend for ClusterBackend {
+    fn new_order(&self, p: &NewOrderParams) -> Result<bool> {
+        let mut txn = self.cluster.begin();
+        let _w_tax = txn
+            .get_unique("warehouse", &[Value::Int(p.w)])?
+            .ok_or_else(|| Error::NotFound("warehouse".into()))?
+            .get(2)
+            .as_double()?;
+        // Read and bump the district's next order id.
+        let mut o_id = 0;
+        let ok = txn.update_unique_with("district", &[Value::Int(p.w), Value::Int(p.d)], |row| {
+            o_id = row.get(5).as_int().unwrap();
+            let mut v = row.values().to_vec();
+            v[5] = Value::Int(o_id + 1);
+            Row::new(v)
+        })?;
+        if !ok {
+            return Err(Error::NotFound("district".into()));
+        }
+        let customer = txn
+            .get_unique("customer", &[Value::Int(p.w), Value::Int(p.d), Value::Int(p.c)])?
+            .ok_or_else(|| Error::NotFound("customer".into()))?;
+        let _discount = customer.get(9).as_double()?;
+
+        txn.insert(
+            "orders",
+            Row::new(vec![
+                Value::Int(p.w),
+                Value::Int(p.d),
+                Value::Int(o_id),
+                Value::Int(p.c),
+                Value::Int(p.entry_d),
+                Value::Null,
+                Value::Int(p.lines.len() as i64),
+            ]),
+        )?;
+        txn.insert(
+            "new_order",
+            Row::new(vec![Value::Int(p.w), Value::Int(p.d), Value::Int(o_id)]),
+        )?;
+
+        // Acquire stock locks in a canonical order (supply warehouse, item)
+        // so concurrent new-orders cannot deadlock on each other's stock
+        // rows; the line numbering follows the sorted order, which the spec
+        // permits (line numbers just need to be unique per order).
+        let mut lines = p.lines.clone();
+        lines.sort_unstable();
+        if lines.first().is_some_and(|(i, _, _)| *i == -1) {
+            // The spec's 1% unused-item rollback (checked up front so the
+            // district bump above still exercises the rollback path).
+            txn.rollback();
+            return Ok(false);
+        }
+        for (number, (item, supply_w, qty)) in lines.iter().enumerate() {
+            let Some(item_row) = txn.get_unique("item", &[Value::Int(*item)])? else {
+                txn.rollback();
+                return Ok(false);
+            };
+            let price = item_row.get(2).as_double()?;
+            let remote = *supply_w != p.w;
+            let updated = txn.update_unique_with(
+                "stock",
+                &[Value::Int(*supply_w), Value::Int(*item)],
+                |row| {
+                    let mut v = row.values().to_vec();
+                    let q = row.get(2).as_double().unwrap();
+                    let new_q =
+                        if q >= *qty as f64 + 10.0 { q - *qty as f64 } else { q - *qty as f64 + 91.0 };
+                    v[2] = Value::Double(new_q);
+                    v[3] = Value::Double(row.get(3).as_double().unwrap() + *qty as f64);
+                    v[4] = Value::Int(row.get(4).as_int().unwrap() + 1);
+                    if remote {
+                        v[5] = Value::Int(row.get(5).as_int().unwrap() + 1);
+                    }
+                    Row::new(v)
+                },
+            )?;
+            if !updated {
+                return Err(Error::NotFound("stock".into()));
+            }
+            txn.insert(
+                "order_line",
+                Row::new(vec![
+                    Value::Int(p.w),
+                    Value::Int(p.d),
+                    Value::Int(o_id),
+                    Value::Int(number as i64 + 1),
+                    Value::Int(*item),
+                    Value::Int(*supply_w),
+                    Value::Null,
+                    Value::Double(*qty as f64),
+                    Value::Double(price * *qty as f64),
+                ]),
+            )?;
+        }
+        txn.commit()?;
+        Ok(true)
+    }
+
+    fn payment(&self, p: &PaymentParams) -> Result<()> {
+        let c_id = self.resolve_customer(p.c_w, p.c_d, &p.customer)?;
+        let mut txn = self.cluster.begin();
+        txn.update_unique_with("warehouse", &[Value::Int(p.w)], |row| {
+            let mut v = row.values().to_vec();
+            v[3] = Value::Double(row.get(3).as_double().unwrap() + p.amount);
+            Row::new(v)
+        })?;
+        txn.update_unique_with("district", &[Value::Int(p.w), Value::Int(p.d)], |row| {
+            let mut v = row.values().to_vec();
+            v[4] = Value::Double(row.get(4).as_double().unwrap() + p.amount);
+            Row::new(v)
+        })?;
+        txn.update_unique_with(
+            "customer",
+            &[Value::Int(p.c_w), Value::Int(p.c_d), Value::Int(c_id)],
+            |row| {
+                let mut v = row.values().to_vec();
+                v[5] = Value::Double(row.get(5).as_double().unwrap() - p.amount);
+                v[6] = Value::Double(row.get(6).as_double().unwrap() + p.amount);
+                v[7] = Value::Int(row.get(7).as_int().unwrap() + 1);
+                Row::new(v)
+            },
+        )?;
+        txn.insert(
+            "history",
+            Row::new(vec![
+                Value::Int(p.c_w),
+                Value::Int(p.c_d),
+                Value::Int(c_id),
+                Value::Int(p.date),
+                Value::Double(p.amount),
+            ]),
+        )?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    fn order_status(&self, p: &OrderStatusParams) -> Result<()> {
+        let c_id = self.resolve_customer(p.w, p.d, &p.customer)?;
+        // Latest order of the customer via the (w, d, c) secondary index.
+        let plan = Plan::scan(
+            "orders",
+            vec![2, 5, 6],
+            Some(Expr::eq(0, p.w).and(Expr::eq(1, p.d)).and(Expr::eq(3, c_id))),
+        )
+        .sort(vec![(0, SortDir::Desc)], Some(1));
+        let out = self.cluster.execute(&plan, &self.opts)?;
+        if out.rows() == 0 {
+            return Ok(()); // customer with no orders
+        }
+        let o_id = out.value(0, 0).as_int()?;
+        let ol_cnt = out.value(2, 0).as_int()?;
+        let mut txn = self.cluster.begin();
+        for ol in 1..=ol_cnt {
+            let _ = txn.get_unique(
+                "order_line",
+                &[Value::Int(p.w), Value::Int(p.d), Value::Int(o_id), Value::Int(ol)],
+            )?;
+        }
+        txn.rollback(); // read-only
+        Ok(())
+    }
+
+    fn delivery(&self, p: &DeliveryParams) -> Result<()> {
+        for d in 1..=self.scale.districts {
+            let mut txn = self.cluster.begin();
+            // Claim the district's next undelivered order by bumping the
+            // delivery cursor first: this takes the district lock up front,
+            // serializing deliveries per district and keeping the lock order
+            // (district before customer) consistent with payment.
+            let mut del_o = 0;
+            let mut next_o = 0;
+            let ok = txn.update_unique_with(
+                "district",
+                &[Value::Int(p.w), Value::Int(d)],
+                |row| {
+                    del_o = row.get(6).as_int().unwrap();
+                    next_o = row.get(5).as_int().unwrap();
+                    let mut v = row.values().to_vec();
+                    if del_o < next_o {
+                        v[6] = Value::Int(del_o + 1);
+                    }
+                    Row::new(v)
+                },
+            )?;
+            if !ok {
+                txn.rollback();
+                return Err(Error::NotFound("district".into()));
+            }
+            if del_o >= next_o {
+                txn.rollback();
+                continue; // nothing to deliver in this district
+            }
+            let _ = txn.delete_unique(
+                "new_order",
+                &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)],
+            )?;
+            let mut ol_cnt = 0;
+            let mut c_id = 0;
+            let updated = txn.update_unique_with(
+                "orders",
+                &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)],
+                |row| {
+                    ol_cnt = row.get(6).as_int().unwrap();
+                    c_id = row.get(3).as_int().unwrap();
+                    let mut v = row.values().to_vec();
+                    v[5] = Value::Int(p.carrier);
+                    Row::new(v)
+                },
+            )?;
+            if updated {
+                let mut total = 0.0;
+                for ol in 1..=ol_cnt {
+                    txn.update_unique_with(
+                        "order_line",
+                        &[Value::Int(p.w), Value::Int(d), Value::Int(del_o), Value::Int(ol)],
+                        |row| {
+                            total += row.get(8).as_double().unwrap();
+                            let mut v = row.values().to_vec();
+                            v[6] = Value::Int(p.date);
+                            Row::new(v)
+                        },
+                    )?;
+                }
+                txn.update_unique_with(
+                    "customer",
+                    &[Value::Int(p.w), Value::Int(d), Value::Int(c_id)],
+                    |row| {
+                        let mut v = row.values().to_vec();
+                        v[5] = Value::Double(row.get(5).as_double().unwrap() + total);
+                        Row::new(v)
+                    },
+                )?;
+            }
+            txn.commit()?;
+        }
+        Ok(())
+    }
+
+    fn stock_level(&self, p: &StockLevelParams) -> Result<i64> {
+        let mut txn = self.cluster.begin();
+        let district = txn
+            .get_unique("district", &[Value::Int(p.w), Value::Int(p.d)])?
+            .ok_or_else(|| Error::NotFound("district".into()))?;
+        let next_o = district.get(5).as_int()?;
+        let mut items = std::collections::HashSet::new();
+        for o in (next_o - 20).max(1)..next_o {
+            let Some(order) =
+                txn.get_unique("orders", &[Value::Int(p.w), Value::Int(p.d), Value::Int(o)])?
+            else {
+                continue;
+            };
+            let ol_cnt = order.get(6).as_int()?;
+            for ol in 1..=ol_cnt {
+                if let Some(line) = txn.get_unique(
+                    "order_line",
+                    &[Value::Int(p.w), Value::Int(p.d), Value::Int(o), Value::Int(ol)],
+                )? {
+                    items.insert(line.get(4).as_int()?);
+                }
+            }
+        }
+        let mut low = 0;
+        for item in items {
+            if let Some(stock) =
+                txn.get_unique("stock", &[Value::Int(p.w), Value::Int(item)])?
+            {
+                if stock.get(2).as_double()? < p.threshold {
+                    low += 1;
+                }
+            }
+        }
+        txn.rollback(); // read-only
+        Ok(low)
+    }
+}
+
+/// Load TPC-C data into the cluster.
+pub fn load_cluster(cluster: &Arc<Cluster>, scale: &TpccScale, seed: u64) -> Result<()> {
+    for t in tables() {
+        cluster.create_table(t.name, t.schema.clone(), t.options.clone())?;
+    }
+    for (name, rows) in super::generate_rows(scale, seed) {
+        for chunk in rows.chunks(5000) {
+            let mut txn = cluster.begin();
+            txn.insert_batch(name, chunk.to_vec(), DuplicatePolicy::Error)?;
+            txn.commit()?;
+        }
+        cluster.flush_table(name)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// CDB backend
+// ---------------------------------------------------------------------------
+
+/// TPC-C over the row-store comparator. Operations apply immediately
+/// (per-op consistency): throughput-comparable, not isolation-comparable.
+pub struct CdbBackend {
+    /// The engine.
+    pub engine: Arc<CdbEngine>,
+    /// Scale.
+    pub scale: TpccScale,
+}
+
+impl CdbBackend {
+    fn resolve_customer(&self, w: i64, d: i64, sel: &CustomerSel) -> Result<i64> {
+        match sel {
+            CustomerSel::Id(id) => Ok(*id),
+            CustomerSel::LastName(name) => {
+                let mut rows = self.engine.lookup_secondary(
+                    "customer",
+                    &[0, 1, 4],
+                    &[Value::Int(w), Value::Int(d), Value::str(name.as_str())],
+                )?;
+                if rows.is_empty() {
+                    return Err(Error::NotFound(format!("customer last name {name:?}")));
+                }
+                rows.sort_by(|a, b| a.get(3).total_cmp(b.get(3)));
+                rows[rows.len() / 2].get(2).as_int()
+            }
+        }
+    }
+}
+
+impl TpccBackend for CdbBackend {
+    fn new_order(&self, p: &NewOrderParams) -> Result<bool> {
+        let e = &self.engine;
+        // Intentional rollback check first (CDB has no multi-op rollback here).
+        if p.lines.iter().any(|(i, _, _)| *i == -1) {
+            return Ok(false);
+        }
+        let mut o_id = 0;
+        e.update_with("district", &[Value::Int(p.w), Value::Int(p.d)], |row| {
+            o_id = row.get(5).as_int().unwrap();
+            let mut v = row.values().to_vec();
+            v[5] = Value::Int(o_id + 1);
+            Row::new(v)
+        })?;
+        let _ = e.get("warehouse", &[Value::Int(p.w)])?;
+        let _ = e.get("customer", &[Value::Int(p.w), Value::Int(p.d), Value::Int(p.c)])?;
+        e.insert(
+            "orders",
+            Row::new(vec![
+                Value::Int(p.w),
+                Value::Int(p.d),
+                Value::Int(o_id),
+                Value::Int(p.c),
+                Value::Int(p.entry_d),
+                Value::Null,
+                Value::Int(p.lines.len() as i64),
+            ]),
+        )?;
+        e.insert(
+            "new_order",
+            Row::new(vec![Value::Int(p.w), Value::Int(p.d), Value::Int(o_id)]),
+        )?;
+        for (number, (item, supply_w, qty)) in p.lines.iter().enumerate() {
+            let item_row = e
+                .get("item", &[Value::Int(*item)])?
+                .ok_or_else(|| Error::NotFound("item".into()))?;
+            let price = item_row.get(2).as_double()?;
+            e.update_with("stock", &[Value::Int(*supply_w), Value::Int(*item)], |row| {
+                let mut v = row.values().to_vec();
+                v[2] = Value::Double(row.get(2).as_double().unwrap() - *qty as f64);
+                v[4] = Value::Int(row.get(4).as_int().unwrap() + 1);
+                Row::new(v)
+            })?;
+            e.insert(
+                "order_line",
+                Row::new(vec![
+                    Value::Int(p.w),
+                    Value::Int(p.d),
+                    Value::Int(o_id),
+                    Value::Int(number as i64 + 1),
+                    Value::Int(*item),
+                    Value::Int(*supply_w),
+                    Value::Null,
+                    Value::Double(*qty as f64),
+                    Value::Double(price * *qty as f64),
+                ]),
+            )?;
+        }
+        Ok(true)
+    }
+
+    fn payment(&self, p: &PaymentParams) -> Result<()> {
+        let e = &self.engine;
+        let c_id = self.resolve_customer(p.c_w, p.c_d, &p.customer)?;
+        e.update_with("warehouse", &[Value::Int(p.w)], |row| {
+            let mut v = row.values().to_vec();
+            v[3] = Value::Double(row.get(3).as_double().unwrap() + p.amount);
+            Row::new(v)
+        })?;
+        e.update_with("district", &[Value::Int(p.w), Value::Int(p.d)], |row| {
+            let mut v = row.values().to_vec();
+            v[4] = Value::Double(row.get(4).as_double().unwrap() + p.amount);
+            Row::new(v)
+        })?;
+        e.update_with(
+            "customer",
+            &[Value::Int(p.c_w), Value::Int(p.c_d), Value::Int(c_id)],
+            |row| {
+                let mut v = row.values().to_vec();
+                v[5] = Value::Double(row.get(5).as_double().unwrap() - p.amount);
+                Row::new(v)
+            },
+        )?;
+        e.insert(
+            "history",
+            Row::new(vec![
+                Value::Int(p.c_w),
+                Value::Int(p.c_d),
+                Value::Int(c_id),
+                Value::Int(p.date),
+                Value::Double(p.amount),
+            ]),
+        )?;
+        Ok(())
+    }
+
+    fn order_status(&self, p: &OrderStatusParams) -> Result<()> {
+        let e = &self.engine;
+        let c_id = self.resolve_customer(p.w, p.d, &p.customer)?;
+        let orders = e.lookup_secondary(
+            "orders",
+            &[0, 1, 3],
+            &[Value::Int(p.w), Value::Int(p.d), Value::Int(c_id)],
+        )?;
+        let Some(last) = orders.iter().max_by_key(|r| r.get(2).as_int().unwrap()) else {
+            return Ok(());
+        };
+        let o_id = last.get(2).as_int()?;
+        let ol_cnt = last.get(6).as_int()?;
+        for ol in 1..=ol_cnt {
+            let _ = e.get(
+                "order_line",
+                &[Value::Int(p.w), Value::Int(p.d), Value::Int(o_id), Value::Int(ol)],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn delivery(&self, p: &DeliveryParams) -> Result<()> {
+        let e = &self.engine;
+        for d in 1..=self.scale.districts {
+            let Some(district) = e.get("district", &[Value::Int(p.w), Value::Int(d)])? else {
+                continue;
+            };
+            let del_o = district.get(6).as_int()?;
+            let next_o = district.get(5).as_int()?;
+            if del_o >= next_o {
+                continue;
+            }
+            e.delete("new_order", &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)])?;
+            let mut ol_cnt = 0;
+            let mut c_id = 0;
+            let updated =
+                e.update_with("orders", &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)], |row| {
+                    ol_cnt = row.get(6).as_int().unwrap();
+                    c_id = row.get(3).as_int().unwrap();
+                    let mut v = row.values().to_vec();
+                    v[5] = Value::Int(p.carrier);
+                    Row::new(v)
+                })?;
+            if updated {
+                let mut total = 0.0;
+                for ol in 1..=ol_cnt {
+                    e.update_with(
+                        "order_line",
+                        &[Value::Int(p.w), Value::Int(d), Value::Int(del_o), Value::Int(ol)],
+                        |row| {
+                            total += row.get(8).as_double().unwrap();
+                            let mut v = row.values().to_vec();
+                            v[6] = Value::Int(p.date);
+                            Row::new(v)
+                        },
+                    )?;
+                }
+                e.update_with(
+                    "customer",
+                    &[Value::Int(p.w), Value::Int(d), Value::Int(c_id)],
+                    |row| {
+                        let mut v = row.values().to_vec();
+                        v[5] = Value::Double(row.get(5).as_double().unwrap() + total);
+                        Row::new(v)
+                    },
+                )?;
+            }
+            e.update_with("district", &[Value::Int(p.w), Value::Int(d)], |row| {
+                let mut v = row.values().to_vec();
+                v[6] = Value::Int(del_o + 1);
+                Row::new(v)
+            })?;
+        }
+        Ok(())
+    }
+
+    fn stock_level(&self, p: &StockLevelParams) -> Result<i64> {
+        let e = &self.engine;
+        let district = e
+            .get("district", &[Value::Int(p.w), Value::Int(p.d)])?
+            .ok_or_else(|| Error::NotFound("district".into()))?;
+        let next_o = district.get(5).as_int()?;
+        let mut items = std::collections::HashSet::new();
+        for o in (next_o - 20).max(1)..next_o {
+            let Some(order) =
+                e.get("orders", &[Value::Int(p.w), Value::Int(p.d), Value::Int(o)])?
+            else {
+                continue;
+            };
+            let ol_cnt = order.get(6).as_int()?;
+            for ol in 1..=ol_cnt {
+                if let Some(line) = e.get(
+                    "order_line",
+                    &[Value::Int(p.w), Value::Int(p.d), Value::Int(o), Value::Int(ol)],
+                )? {
+                    items.insert(line.get(4).as_int()?);
+                }
+            }
+        }
+        let mut low = 0;
+        for item in items {
+            if let Some(stock) = e.get("stock", &[Value::Int(p.w), Value::Int(item)])? {
+                if stock.get(2).as_double()? < p.threshold {
+                    low += 1;
+                }
+            }
+        }
+        Ok(low)
+    }
+}
+
+/// Load TPC-C data into the CDB comparator.
+pub fn load_cdb(engine: &Arc<CdbEngine>, scale: &TpccScale, seed: u64) -> Result<()> {
+    for t in tables() {
+        // History has no natural PK; give the CDB model a synthetic one by
+        // keying on all columns.
+        let pk = if t.pk.is_empty() { (0..t.schema.len()).collect() } else { t.pk.clone() };
+        engine.create_table(t.name, t.schema.clone(), pk, t.secondary.clone())?;
+    }
+    for (name, rows) in super::generate_rows(scale, seed) {
+        for row in rows {
+            engine.insert(name, row)?;
+        }
+    }
+    Ok(())
+}

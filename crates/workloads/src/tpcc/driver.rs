@@ -1,0 +1,284 @@
+//! The TPC-C terminal driver: the standard transaction mix with keying and
+//! think times, scaled down uniformly so the per-warehouse tpmC ceiling
+//! carries over to short laptop runs.
+//!
+//! With the spec's waits, ten terminals per warehouse can complete at most
+//! ~12.86 new-orders/minute/warehouse. Dividing every wait by `wait_scale`
+//! multiplies that ceiling by the same factor, so reporting
+//! `tpmC / wait_scale` preserves the paper's "% of max" semantics (Table 1).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use s2_common::Result;
+
+use super::backend::{
+    gen_delivery, gen_new_order, gen_order_status, gen_payment, gen_stock_level, TpccBackend,
+};
+use super::{TpccRng, TpccScale};
+
+/// Theoretical ceiling in new-orders/minute/warehouse at spec waits.
+pub const MAX_TPMC_PER_WAREHOUSE: f64 = 12.86;
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Scale of the loaded database.
+    pub scale: TpccScale,
+    /// Terminals per warehouse (spec: 10).
+    pub terminals_per_warehouse: usize,
+    /// Divide all keying/think times by this factor (1.0 = spec timing).
+    /// `f64::INFINITY` disables waits entirely (raw throughput mode).
+    pub wait_scale: f64,
+    /// Wall-clock run duration.
+    pub duration: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DriverConfig {
+    /// A short scaled run: waits divided by 1000.
+    pub fn quick(scale: TpccScale, duration: Duration) -> DriverConfig {
+        DriverConfig {
+            scale,
+            terminals_per_warehouse: 10,
+            wait_scale: 1000.0,
+            duration,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated run outcome.
+#[derive(Debug, Default)]
+pub struct DriverResult {
+    /// Committed new-order transactions.
+    pub new_orders: u64,
+    /// Intentionally rolled-back new-orders (the spec's 1%).
+    pub rollbacks: u64,
+    /// Payments.
+    pub payments: u64,
+    /// Order-status queries.
+    pub order_status: u64,
+    /// Deliveries.
+    pub deliveries: u64,
+    /// Stock-level queries.
+    pub stock_levels: u64,
+    /// Lock-conflict retries.
+    pub conflicts: u64,
+    /// Errors that aborted a transaction (after retries).
+    pub errors: u64,
+    /// Actual run duration.
+    pub elapsed: Duration,
+}
+
+impl DriverResult {
+    /// Raw committed new-orders per minute.
+    pub fn raw_tpm(&self) -> f64 {
+        self.new_orders as f64 / self.elapsed.as_secs_f64() * 60.0
+    }
+
+    /// Spec-equivalent tpmC: raw rate divided by the wait scale-down.
+    pub fn tpmc(&self, wait_scale: f64) -> f64 {
+        if wait_scale.is_finite() {
+            self.raw_tpm() / wait_scale
+        } else {
+            self.raw_tpm()
+        }
+    }
+
+    /// Percentage of the 12.86/warehouse ceiling achieved.
+    pub fn pct_of_max(&self, config: &DriverConfig) -> f64 {
+        if !config.wait_scale.is_finite() {
+            return f64::NAN; // ceiling is undefined without waits
+        }
+        100.0 * self.tpmc(config.wait_scale)
+            / (MAX_TPMC_PER_WAREHOUSE * config.scale.warehouses as f64)
+    }
+}
+
+/// The spec's deck of 23 cards: 10 new-order, 10 payment, 1 each of
+/// order-status, delivery, stock-level.
+#[derive(Clone, Copy)]
+enum TxnKind {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+const DECK: [TxnKind; 23] = [
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::NewOrder,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::Payment,
+    TxnKind::OrderStatus,
+    TxnKind::Delivery,
+    TxnKind::StockLevel,
+];
+
+/// (keying seconds, mean think seconds) per transaction type.
+fn waits(kind: TxnKind) -> (f64, f64) {
+    match kind {
+        TxnKind::NewOrder => (18.0, 12.0),
+        TxnKind::Payment => (3.0, 12.0),
+        TxnKind::OrderStatus => (2.0, 10.0),
+        TxnKind::Delivery => (2.0, 5.0),
+        TxnKind::StockLevel => (2.0, 5.0),
+    }
+}
+
+/// Run the mix against `backend` with `config`, returning aggregate counts.
+pub fn run(backend: Arc<dyn TpccBackend>, config: &DriverConfig) -> DriverResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters: Arc<[AtomicU64; 8]> = Arc::new(Default::default());
+    let n_terminals = config.scale.warehouses as usize * config.terminals_per_warehouse;
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(n_terminals);
+    for t in 0..n_terminals {
+        let backend = Arc::clone(&backend);
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = TpccRng::new(config.seed.wrapping_add(t as u64 * 7919));
+            let mut deck_pos = 23;
+            let mut deck = DECK;
+            while !stop.load(Ordering::Relaxed) {
+                if deck_pos >= deck.len() {
+                    // Reshuffle.
+                    for i in (1..deck.len()).rev() {
+                        let j = rng.uniform(0, i as i64) as usize;
+                        deck.swap(i, j);
+                    }
+                    deck_pos = 0;
+                }
+                let kind = deck[deck_pos];
+                deck_pos += 1;
+                let (keying, think_mean) = waits(kind);
+                sleep_scaled(keying, config.wait_scale, &stop);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let _ = run_one(&*backend, kind, &mut rng, &config, &counters);
+                // Exponentially distributed think time, capped at 10x mean.
+                let u: f64 = rng.uniform_f(1e-9, 1.0);
+                let think = (-u.ln() * think_mean).min(think_mean * 10.0);
+                sleep_scaled(think, config.wait_scale, &stop);
+            }
+        }));
+    }
+    while started.elapsed() < config.duration {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = started.elapsed();
+    let c = &counters;
+    DriverResult {
+        new_orders: c[0].load(Ordering::Relaxed),
+        rollbacks: c[1].load(Ordering::Relaxed),
+        payments: c[2].load(Ordering::Relaxed),
+        order_status: c[3].load(Ordering::Relaxed),
+        deliveries: c[4].load(Ordering::Relaxed),
+        stock_levels: c[5].load(Ordering::Relaxed),
+        conflicts: c[6].load(Ordering::Relaxed),
+        errors: c[7].load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+fn sleep_scaled(seconds: f64, wait_scale: f64, stop: &AtomicBool) {
+    if !wait_scale.is_finite() || seconds <= 0.0 {
+        return;
+    }
+    let total = Duration::from_secs_f64(seconds / wait_scale);
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1).min(deadline - Instant::now()));
+    }
+}
+
+fn run_one(
+    backend: &dyn TpccBackend,
+    kind: TxnKind,
+    rng: &mut TpccRng,
+    config: &DriverConfig,
+    counters: &[AtomicU64; 8],
+) -> Result<()> {
+    // Retry lock conflicts, as a real terminal would (lock-order cycles
+    // resolve by timeout + retry; see rowstore's DEFAULT_LOCK_TIMEOUT).
+    for attempt in 0..8 {
+        let result = match kind {
+            TxnKind::NewOrder => {
+                let p = gen_new_order(rng, &config.scale);
+                backend.new_order(&p).map(|committed| {
+                    if committed {
+                        counters[0].fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        counters[1].fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            }
+            TxnKind::Payment => {
+                let p = gen_payment(rng, &config.scale);
+                backend.payment(&p).map(|()| {
+                    counters[2].fetch_add(1, Ordering::Relaxed);
+                })
+            }
+            TxnKind::OrderStatus => {
+                let p = gen_order_status(rng, &config.scale);
+                backend.order_status(&p).map(|()| {
+                    counters[3].fetch_add(1, Ordering::Relaxed);
+                })
+            }
+            TxnKind::Delivery => {
+                let p = gen_delivery(rng, &config.scale);
+                backend.delivery(&p).map(|()| {
+                    counters[4].fetch_add(1, Ordering::Relaxed);
+                })
+            }
+            TxnKind::StockLevel => {
+                let p = gen_stock_level(rng, &config.scale);
+                backend.stock_level(&p).map(|_| {
+                    counters[5].fetch_add(1, Ordering::Relaxed);
+                })
+            }
+        };
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_retryable() && attempt < 7 => {
+                counters[6].fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(200 << attempt));
+            }
+            Err(e) => {
+                counters[7].fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}

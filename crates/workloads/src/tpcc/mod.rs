@@ -1,0 +1,440 @@
+//! TPC-C-derived OLTP workload (paper §6, Table 1): the five standard
+//! transaction profiles over the nine-table schema, runnable at scaled-down
+//! warehouse counts with proportionally scaled keying/think times so the
+//! per-warehouse tpmC ceiling semantics (max 12.86 tpmC/warehouse) carry
+//! over to laptop scale.
+//!
+//! All tables are sharded by warehouse id, so transactions are almost always
+//! single-partition — the same property the paper's S2DB schema has.
+
+pub mod backend;
+pub mod driver;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+
+/// Cardinalities per warehouse. The official scale is `TpccScale::full()`;
+/// tests and laptop benches shrink everything but keep the structure.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccScale {
+    /// Warehouses.
+    pub warehouses: i64,
+    /// Districts per warehouse (spec: 10).
+    pub districts: i64,
+    /// Customers per district (spec: 3000).
+    pub customers: i64,
+    /// Items (global; spec: 100_000).
+    pub items: i64,
+    /// Pre-loaded orders per district (spec: 3000).
+    pub preload_orders: i64,
+}
+
+impl TpccScale {
+    /// Specification cardinalities.
+    pub fn full(warehouses: i64) -> TpccScale {
+        TpccScale { warehouses, districts: 10, customers: 3000, items: 100_000, preload_orders: 3000 }
+    }
+
+    /// Laptop-bench cardinalities.
+    pub fn bench(warehouses: i64) -> TpccScale {
+        TpccScale { warehouses, districts: 10, customers: 300, items: 10_000, preload_orders: 100 }
+    }
+
+    /// Unit-test cardinalities.
+    pub fn tiny(warehouses: i64) -> TpccScale {
+        TpccScale { warehouses, districts: 2, customers: 20, items: 50, preload_orders: 5 }
+    }
+}
+
+/// Table definition: name, schema, unified-storage options, CDB-style keys.
+pub struct TpccTable {
+    /// Table name.
+    pub name: &'static str,
+    /// Schema.
+    pub schema: Schema,
+    /// Options for the unified-storage engine.
+    pub options: TableOptions,
+    /// Primary key for the CDB comparator.
+    pub pk: Vec<usize>,
+    /// Secondary indexes for the CDB comparator.
+    pub secondary: Vec<Vec<usize>>,
+}
+
+/// The nine TPC-C tables.
+pub fn tables() -> Vec<TpccTable> {
+    let int = |n: &str| ColumnDef::new(n.to_string(), DataType::Int64);
+    let intn = |n: &str| ColumnDef::nullable(n.to_string(), DataType::Int64);
+    let dbl = |n: &str| ColumnDef::new(n.to_string(), DataType::Double);
+    let txt = |n: &str| ColumnDef::new(n.to_string(), DataType::Str);
+    vec![
+        TpccTable {
+            name: "warehouse",
+            schema: Schema::new(vec![int("w_id"), txt("w_name"), dbl("w_tax"), dbl("w_ytd")])
+                .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0]),
+            pk: vec![0],
+            secondary: vec![],
+        },
+        TpccTable {
+            name: "district",
+            schema: Schema::new(vec![
+                int("d_w_id"),
+                int("d_id"),
+                txt("d_name"),
+                dbl("d_tax"),
+                dbl("d_ytd"),
+                int("d_next_o_id"),
+                int("d_next_del_o_id"),
+            ])
+            .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0, 1]),
+            pk: vec![0, 1],
+            secondary: vec![],
+        },
+        TpccTable {
+            name: "customer",
+            schema: Schema::new(vec![
+                int("c_w_id"),
+                int("c_d_id"),
+                int("c_id"),
+                txt("c_first"),
+                txt("c_last"),
+                dbl("c_balance"),
+                dbl("c_ytd_payment"),
+                int("c_payment_cnt"),
+                txt("c_credit"),
+                dbl("c_discount"),
+            ])
+            .unwrap(),
+            options: TableOptions::new()
+                .with_shard_key(vec![0])
+                .with_unique("pk", vec![0, 1, 2])
+                .with_index("by_last", vec![0, 1, 4]),
+            pk: vec![0, 1, 2],
+            secondary: vec![vec![0, 1, 4]],
+        },
+        TpccTable {
+            name: "history",
+            schema: Schema::new(vec![
+                int("h_w_id"),
+                int("h_d_id"),
+                int("h_c_id"),
+                int("h_date"),
+                dbl("h_amount"),
+            ])
+            .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]),
+            pk: vec![],
+            secondary: vec![],
+        },
+        TpccTable {
+            name: "orders",
+            schema: Schema::new(vec![
+                int("o_w_id"),
+                int("o_d_id"),
+                int("o_id"),
+                int("o_c_id"),
+                int("o_entry_d"),
+                intn("o_carrier_id"),
+                int("o_ol_cnt"),
+            ])
+            .unwrap(),
+            options: TableOptions::new()
+                .with_shard_key(vec![0])
+                .with_unique("pk", vec![0, 1, 2])
+                .with_index("by_cust", vec![0, 1, 3]),
+            pk: vec![0, 1, 2],
+            secondary: vec![vec![0, 1, 3]],
+        },
+        TpccTable {
+            name: "new_order",
+            schema: Schema::new(vec![int("no_w_id"), int("no_d_id"), int("no_o_id")]).unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0, 1, 2]),
+            pk: vec![0, 1, 2],
+            secondary: vec![],
+        },
+        TpccTable {
+            name: "item",
+            schema: Schema::new(vec![int("i_id"), txt("i_name"), dbl("i_price"), txt("i_data")])
+                .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0]),
+            pk: vec![0],
+            secondary: vec![],
+        },
+        TpccTable {
+            name: "stock",
+            schema: Schema::new(vec![
+                int("s_w_id"),
+                int("s_i_id"),
+                dbl("s_quantity"),
+                dbl("s_ytd"),
+                int("s_order_cnt"),
+                int("s_remote_cnt"),
+                txt("s_data"),
+            ])
+            .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0, 1]),
+            pk: vec![0, 1],
+            secondary: vec![],
+        },
+        TpccTable {
+            name: "order_line",
+            schema: Schema::new(vec![
+                int("ol_w_id"),
+                int("ol_d_id"),
+                int("ol_o_id"),
+                int("ol_number"),
+                int("ol_i_id"),
+                int("ol_supply_w_id"),
+                intn("ol_delivery_d"),
+                dbl("ol_quantity"),
+                dbl("ol_amount"),
+            ])
+            .unwrap(),
+            options: TableOptions::new()
+                .with_shard_key(vec![0])
+                .with_unique("pk", vec![0, 1, 2, 3]),
+            pk: vec![0, 1, 2, 3],
+            secondary: vec![],
+        },
+    ]
+}
+
+/// The spec's 1000 last names are syllable triples over these 10 syllables.
+pub const LAST_NAME_SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// Last name for a number in [0, 999].
+pub fn last_name(num: i64) -> String {
+    let num = num.clamp(0, 999) as usize;
+    format!(
+        "{}{}{}",
+        LAST_NAME_SYLLABLES[num / 100],
+        LAST_NAME_SYLLABLES[(num / 10) % 10],
+        LAST_NAME_SYLLABLES[num % 10]
+    )
+}
+
+/// TPC-C randomness: uniform helpers plus the non-uniform NURand generator.
+pub struct TpccRng {
+    rng: StdRng,
+    c_last: i64,
+    c_cid: i64,
+    c_iid: i64,
+}
+
+impl TpccRng {
+    /// Seeded generator (the C constants derive from the seed).
+    pub fn new(seed: u64) -> TpccRng {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c_last = rng.random_range(0..256);
+        let c_cid = rng.random_range(0..1024);
+        let c_iid = rng.random_range(0..8192);
+        TpccRng { rng, c_last, c_cid, c_iid }
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn uniform(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform_f(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.random_bool(p)
+    }
+
+    /// NURand(A, x, y) per the spec.
+    pub fn nurand(&mut self, a: i64, x: i64, y: i64) -> i64 {
+        let c = match a {
+            255 => self.c_last,
+            1023 => self.c_cid,
+            8191 => self.c_iid,
+            _ => 0,
+        };
+        (((self.uniform(0, a) | self.uniform(x, y)) + c) % (y - x + 1)) + x
+    }
+
+    /// Customer id via NURand, scaled to `customers` per district.
+    pub fn customer_id(&mut self, customers: i64) -> i64 {
+        self.nurand(1023, 1, customers.max(1)).min(customers)
+    }
+
+    /// Item id via NURand, scaled to `items`.
+    pub fn item_id(&mut self, items: i64) -> i64 {
+        self.nurand(8191, 1, items.max(1)).min(items)
+    }
+
+    /// Last-name number via NURand (bounded by the customer count so small
+    /// scales still hit existing names).
+    pub fn lastname_num(&mut self, customers: i64) -> i64 {
+        self.nurand(255, 0, 999.min(customers - 1))
+    }
+}
+
+/// Initial database contents for one scale, as rows per table.
+pub fn generate_rows(scale: &TpccScale, seed: u64) -> Vec<(&'static str, Vec<Row>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut warehouse = Vec::new();
+    let mut district = Vec::new();
+    let mut customer = Vec::new();
+    let mut orders = Vec::new();
+    let mut new_order = Vec::new();
+    let mut order_line = Vec::new();
+    let mut stock = Vec::new();
+    let entry_d = s2_common::date::days_from_ymd(2022, 1, 1);
+
+    let item: Vec<Row> = (1..=scale.items)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::str(format!("item-{i}")),
+                Value::Double(rng.random_range(1.0..100.0)),
+                Value::str(if rng.random_range(0..10) == 0 {
+                    format!("data ORIGINAL {i}")
+                } else {
+                    format!("data plain {i}")
+                }),
+            ])
+        })
+        .collect();
+
+    for w in 1..=scale.warehouses {
+        warehouse.push(Row::new(vec![
+            Value::Int(w),
+            Value::str(format!("wh-{w}")),
+            Value::Double(rng.random_range(0.0..0.2)),
+            Value::Double(300_000.0),
+        ]));
+        for i in 1..=scale.items {
+            stock.push(Row::new(vec![
+                Value::Int(w),
+                Value::Int(i),
+                Value::Double(rng.random_range(10.0..100.0)),
+                Value::Double(0.0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::str(format!("stock-{w}-{i}")),
+            ]));
+        }
+        for d in 1..=scale.districts {
+            district.push(Row::new(vec![
+                Value::Int(w),
+                Value::Int(d),
+                Value::str(format!("dist-{w}-{d}")),
+                Value::Double(rng.random_range(0.0..0.2)),
+                Value::Double(30_000.0),
+                Value::Int(scale.preload_orders + 1),
+                Value::Int(scale.preload_orders.max(1) * 7 / 10 + 1),
+            ]));
+            for c in 1..=scale.customers {
+                customer.push(Row::new(vec![
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(c),
+                    Value::str(format!("First{c}")),
+                    Value::str(last_name(if c <= 1000 { c - 1 } else { rng.random_range(0..1000) })),
+                    Value::Double(-10.0),
+                    Value::Double(10.0),
+                    Value::Int(1),
+                    Value::str(if rng.random_range(0..10) == 0 { "BC" } else { "GC" }),
+                    Value::Double(rng.random_range(0.0..0.5)),
+                ]));
+            }
+            for o in 1..=scale.preload_orders {
+                let ol_cnt = rng.random_range(5..=15i64);
+                let delivered = o < scale.preload_orders.max(1) * 7 / 10 + 1;
+                orders.push(Row::new(vec![
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(o),
+                    Value::Int(rng.random_range(1..=scale.customers)),
+                    Value::Int(entry_d),
+                    if delivered { Value::Int(rng.random_range(1..=10)) } else { Value::Null },
+                    Value::Int(ol_cnt),
+                ]));
+                if !delivered {
+                    new_order.push(Row::new(vec![Value::Int(w), Value::Int(d), Value::Int(o)]));
+                }
+                for ol in 1..=ol_cnt {
+                    order_line.push(Row::new(vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(o),
+                        Value::Int(ol),
+                        Value::Int(rng.random_range(1..=scale.items)),
+                        Value::Int(w),
+                        if delivered { Value::Int(entry_d) } else { Value::Null },
+                        Value::Double(5.0),
+                        Value::Double(rng.random_range(1.0..500.0)),
+                    ]));
+                }
+            }
+        }
+    }
+
+    vec![
+        ("warehouse", warehouse),
+        ("district", district),
+        ("customer", customer),
+        ("history", Vec::new()),
+        ("orders", orders),
+        ("new_order", new_order),
+        ("item", item),
+        ("stock", stock),
+        ("order_line", order_line),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_names() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(999), "EINGEINGEING");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut r = TpccRng::new(7);
+        for _ in 0..1000 {
+            let c = r.customer_id(3000);
+            assert!((1..=3000).contains(&c));
+            let i = r.item_id(100_000);
+            assert!((1..=100_000).contains(&i));
+            let ln = r.lastname_num(3000);
+            assert!((0..=999).contains(&ln));
+        }
+    }
+
+    #[test]
+    fn generated_cardinalities() {
+        let scale = TpccScale::tiny(2);
+        let rows = generate_rows(&scale, 1);
+        let get = |n: &str| rows.iter().find(|(t, _)| *t == n).unwrap().1.len();
+        assert_eq!(get("warehouse"), 2);
+        assert_eq!(get("district"), 4);
+        assert_eq!(get("customer"), 80);
+        assert_eq!(get("item"), 50);
+        assert_eq!(get("stock"), 100);
+        assert_eq!(get("orders"), 20);
+        assert!(get("new_order") > 0);
+        assert!(get("order_line") >= 100);
+    }
+
+    #[test]
+    fn tables_validate() {
+        for t in tables() {
+            t.options.validate(&t.schema).unwrap();
+        }
+    }
+}

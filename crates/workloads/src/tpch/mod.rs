@@ -1,0 +1,540 @@
+//! TPC-H-derived workload: schema, dbgen-style data generator and the 22
+//! analytical queries (paper §6, Table 2 / Figure 4).
+//!
+//! The generator follows the TPC-H cardinalities and value distributions
+//! closely enough that every query is selective in the intended way; exact
+//! dbgen text grammar is replaced by seeded synthetic text. Dates are days
+//! since epoch (`Int64`), money is `Double`.
+
+pub mod load;
+pub mod queries;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2_common::date::days_from_ymd;
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+
+/// Column ordinals for `lineitem`.
+pub mod l {
+    pub const ORDERKEY: usize = 0;
+    pub const PARTKEY: usize = 1;
+    pub const SUPPKEY: usize = 2;
+    pub const LINENUMBER: usize = 3;
+    pub const QUANTITY: usize = 4;
+    pub const EXTENDEDPRICE: usize = 5;
+    pub const DISCOUNT: usize = 6;
+    pub const TAX: usize = 7;
+    pub const RETURNFLAG: usize = 8;
+    pub const LINESTATUS: usize = 9;
+    pub const SHIPDATE: usize = 10;
+    pub const COMMITDATE: usize = 11;
+    pub const RECEIPTDATE: usize = 12;
+    pub const SHIPINSTRUCT: usize = 13;
+    pub const SHIPMODE: usize = 14;
+}
+
+/// Column ordinals for `orders`.
+pub mod o {
+    pub const ORDERKEY: usize = 0;
+    pub const CUSTKEY: usize = 1;
+    pub const ORDERSTATUS: usize = 2;
+    pub const TOTALPRICE: usize = 3;
+    pub const ORDERDATE: usize = 4;
+    pub const ORDERPRIORITY: usize = 5;
+    pub const SHIPPRIORITY: usize = 6;
+}
+
+/// Column ordinals for `customer`.
+pub mod c {
+    pub const CUSTKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const NATIONKEY: usize = 2;
+    pub const PHONE: usize = 3;
+    pub const ACCTBAL: usize = 4;
+    pub const MKTSEGMENT: usize = 5;
+    pub const COMMENT: usize = 6;
+}
+
+/// Column ordinals for `part`.
+pub mod p {
+    pub const PARTKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const MFGR: usize = 2;
+    pub const BRAND: usize = 3;
+    pub const TYPE: usize = 4;
+    pub const SIZE: usize = 5;
+    pub const CONTAINER: usize = 6;
+    pub const RETAILPRICE: usize = 7;
+}
+
+/// Column ordinals for `supplier`.
+pub mod s {
+    pub const SUPPKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const NATIONKEY: usize = 2;
+    pub const ACCTBAL: usize = 3;
+    pub const ADDRESS: usize = 4;
+    pub const PHONE: usize = 5;
+    pub const COMMENT: usize = 6;
+}
+
+/// Column ordinals for `partsupp`.
+pub mod ps {
+    pub const PARTKEY: usize = 0;
+    pub const SUPPKEY: usize = 1;
+    pub const AVAILQTY: usize = 2;
+    pub const SUPPLYCOST: usize = 3;
+}
+
+/// Column ordinals for `nation`.
+pub mod n {
+    pub const NATIONKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const REGIONKEY: usize = 2;
+}
+
+/// Column ordinals for `region`.
+pub mod r {
+    pub const REGIONKEY: usize = 0;
+    pub const NAME: usize = 1;
+}
+
+/// The 25 TPC-H nations (name, region ordinal).
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The 5 TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+];
+const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const NAME_PARTS: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+    "cornsilk", "cream", "cyan",
+];
+
+/// One generated table: name, schema, storage options, rows.
+pub struct GeneratedTable {
+    /// Table name.
+    pub name: &'static str,
+    /// Schema.
+    pub schema: Schema,
+    /// Sort/shard/index options used on the unified-storage engine.
+    pub options: TableOptions,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+/// Generated TPC-H database at some scale factor.
+pub struct TpchData {
+    /// All eight tables.
+    pub tables: Vec<GeneratedTable>,
+}
+
+impl TpchData {
+    /// Table by name.
+    pub fn table(&self, name: &str) -> &GeneratedTable {
+        self.tables.iter().find(|t| t.name == name).expect("known table")
+    }
+}
+
+fn d(y: i32, m: u32, day: u32) -> i64 {
+    days_from_ymd(y, m, day)
+}
+
+/// Generate all tables at `sf` (1.0 = the official 1GB scale; laptop runs
+/// use 0.01–0.1), deterministically from `seed`.
+pub fn generate(sf: f64, seed: u64) -> TpchData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_supplier = ((10_000.0 * sf) as i64).max(10);
+    let n_customer = ((150_000.0 * sf) as i64).max(30);
+    let n_part = ((200_000.0 * sf) as i64).max(40);
+    let n_orders = ((1_500_000.0 * sf) as i64).max(150);
+
+    let start = d(1992, 1, 1);
+    let end = d(1998, 8, 2);
+
+    // region
+    let region_rows: Vec<Row> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Row::new(vec![Value::Int(i as i64), Value::str(*name)]))
+        .collect();
+
+    // nation
+    let nation_rows: Vec<Row> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, region))| {
+            Row::new(vec![Value::Int(i as i64), Value::str(*name), Value::Int(*region)])
+        })
+        .collect();
+
+    // supplier
+    let supplier_rows: Vec<Row> = (0..n_supplier)
+        .map(|k| {
+            Row::new(vec![
+                Value::Int(k),
+                Value::str(format!("Supplier#{k:09}")),
+                Value::Int(rng.random_range(0..25)),
+                Value::Double(rng.random_range(-999.99..9999.99)),
+                Value::str(format!("addr-{k}")),
+                Value::str(phone(rng.random_range(0..25))),
+                Value::str(comment(&mut rng, k, "supplier")),
+            ])
+        })
+        .collect();
+
+    // customer
+    let customer_rows: Vec<Row> = (0..n_customer)
+        .map(|k| {
+            let nation = rng.random_range(0..25i64);
+            Row::new(vec![
+                Value::Int(k),
+                Value::str(format!("Customer#{k:09}")),
+                Value::Int(nation),
+                Value::str(phone(nation)),
+                Value::Double(rng.random_range(-999.99..9999.99)),
+                Value::str(SEGMENTS[rng.random_range(0..SEGMENTS.len())]),
+                Value::str(comment(&mut rng, k, "customer")),
+            ])
+        })
+        .collect();
+
+    // part
+    let part_rows: Vec<Row> = (0..n_part)
+        .map(|k| {
+            let t = format!(
+                "{} {} {}",
+                TYPE_S1[rng.random_range(0..TYPE_S1.len())],
+                TYPE_S2[rng.random_range(0..TYPE_S2.len())],
+                TYPE_S3[rng.random_range(0..TYPE_S3.len())]
+            );
+            let brand = format!("Brand#{}{}", rng.random_range(1..6), rng.random_range(1..6));
+            let name = format!(
+                "{} {} {}",
+                NAME_PARTS[rng.random_range(0..NAME_PARTS.len())],
+                NAME_PARTS[rng.random_range(0..NAME_PARTS.len())],
+                NAME_PARTS[rng.random_range(0..NAME_PARTS.len())]
+            );
+            Row::new(vec![
+                Value::Int(k),
+                Value::str(name),
+                Value::str(format!("Manufacturer#{}", rng.random_range(1..6))),
+                Value::str(brand),
+                Value::str(t),
+                Value::Int(rng.random_range(1..51)),
+                Value::str(CONTAINERS[rng.random_range(0..CONTAINERS.len())]),
+                Value::Double(900.0 + (k % 1000) as f64 / 10.0),
+            ])
+        })
+        .collect();
+
+    // partsupp: 4 suppliers per part.
+    let mut partsupp_rows = Vec::with_capacity((n_part * 4) as usize);
+    for pk in 0..n_part {
+        for i in 0..4i64 {
+            let sk = (pk + i * (n_supplier / 4 + 1)) % n_supplier;
+            partsupp_rows.push(Row::new(vec![
+                Value::Int(pk),
+                Value::Int(sk),
+                Value::Int(rng.random_range(1..10_000)),
+                Value::Double(rng.random_range(1.0..1000.0)),
+            ]));
+        }
+    }
+
+    // orders + lineitem
+    let mut orders_rows = Vec::with_capacity(n_orders as usize);
+    let mut lineitem_rows = Vec::with_capacity((n_orders * 4) as usize);
+    for ok in 0..n_orders {
+        let orderdate = rng.random_range(start..=end - 151);
+        let custkey = rng.random_range(0..n_customer);
+        let n_lines = rng.random_range(1..=7);
+        let mut total = 0.0;
+        let mut all_f = true;
+        for line in 0..n_lines {
+            let partkey = rng.random_range(0..n_part);
+            // Match a partsupp pair so Q9's join finds costs.
+            let si = rng.random_range(0..4i64);
+            let suppkey = (partkey + si * (n_supplier / 4 + 1)) % n_supplier;
+            let quantity = rng.random_range(1..=50) as f64;
+            let price = (90_000.0 + ((partkey % 20_000) as f64) * 0.5) * quantity / 100.0;
+            let discount = (rng.random_range(0..=10) as f64) / 100.0;
+            let tax = (rng.random_range(0..=8) as f64) / 100.0;
+            let shipdate = orderdate + rng.random_range(1..=121);
+            let commitdate = orderdate + rng.random_range(30..=90);
+            let receiptdate = shipdate + rng.random_range(1..=30);
+            let today = d(1995, 6, 17);
+            let (returnflag, linestatus) = if receiptdate <= today {
+                (if rng.random_bool(0.5) { "R" } else { "A" }, "F")
+            } else {
+                all_f = false;
+                ("N", "O")
+            };
+            total += price * (1.0 + tax) * (1.0 - discount);
+            lineitem_rows.push(Row::new(vec![
+                Value::Int(ok),
+                Value::Int(partkey),
+                Value::Int(suppkey),
+                Value::Int(line),
+                Value::Double(quantity),
+                Value::Double(price),
+                Value::Double(discount),
+                Value::Double(tax),
+                Value::str(returnflag),
+                Value::str(linestatus),
+                Value::Int(shipdate),
+                Value::Int(commitdate),
+                Value::Int(receiptdate),
+                Value::str(INSTRUCTS[rng.random_range(0..INSTRUCTS.len())]),
+                Value::str(SHIPMODES[rng.random_range(0..SHIPMODES.len())]),
+            ]));
+        }
+        let status = if all_f { "F" } else { "O" };
+        orders_rows.push(Row::new(vec![
+            Value::Int(ok),
+            Value::Int(custkey),
+            Value::str(status),
+            Value::Double(total),
+            Value::Int(orderdate),
+            Value::str(PRIORITIES[rng.random_range(0..PRIORITIES.len())]),
+            Value::Int(0),
+        ]));
+    }
+
+    let tables = vec![
+        GeneratedTable {
+            name: "region",
+            schema: Schema::new(vec![
+                ColumnDef::new("r_regionkey", DataType::Int64),
+                ColumnDef::new("r_name", DataType::Str),
+            ])
+            .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0]),
+            rows: region_rows,
+        },
+        GeneratedTable {
+            name: "nation",
+            schema: Schema::new(vec![
+                ColumnDef::new("n_nationkey", DataType::Int64),
+                ColumnDef::new("n_name", DataType::Str),
+                ColumnDef::new("n_regionkey", DataType::Int64),
+            ])
+            .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0]),
+            rows: nation_rows,
+        },
+        GeneratedTable {
+            name: "supplier",
+            schema: Schema::new(vec![
+                ColumnDef::new("s_suppkey", DataType::Int64),
+                ColumnDef::new("s_name", DataType::Str),
+                ColumnDef::new("s_nationkey", DataType::Int64),
+                ColumnDef::new("s_acctbal", DataType::Double),
+                ColumnDef::new("s_address", DataType::Str),
+                ColumnDef::new("s_phone", DataType::Str),
+                ColumnDef::new("s_comment", DataType::Str),
+            ])
+            .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0]),
+            rows: supplier_rows,
+        },
+        GeneratedTable {
+            name: "customer",
+            schema: Schema::new(vec![
+                ColumnDef::new("c_custkey", DataType::Int64),
+                ColumnDef::new("c_name", DataType::Str),
+                ColumnDef::new("c_nationkey", DataType::Int64),
+                ColumnDef::new("c_phone", DataType::Str),
+                ColumnDef::new("c_acctbal", DataType::Double),
+                ColumnDef::new("c_mktsegment", DataType::Str),
+                ColumnDef::new("c_comment", DataType::Str),
+            ])
+            .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0]),
+            rows: customer_rows,
+        },
+        GeneratedTable {
+            name: "part",
+            schema: Schema::new(vec![
+                ColumnDef::new("p_partkey", DataType::Int64),
+                ColumnDef::new("p_name", DataType::Str),
+                ColumnDef::new("p_mfgr", DataType::Str),
+                ColumnDef::new("p_brand", DataType::Str),
+                ColumnDef::new("p_type", DataType::Str),
+                ColumnDef::new("p_size", DataType::Int64),
+                ColumnDef::new("p_container", DataType::Str),
+                ColumnDef::new("p_retailprice", DataType::Double),
+            ])
+            .unwrap(),
+            options: TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0]),
+            rows: part_rows,
+        },
+        GeneratedTable {
+            name: "partsupp",
+            schema: Schema::new(vec![
+                ColumnDef::new("ps_partkey", DataType::Int64),
+                ColumnDef::new("ps_suppkey", DataType::Int64),
+                ColumnDef::new("ps_availqty", DataType::Int64),
+                ColumnDef::new("ps_supplycost", DataType::Double),
+            ])
+            .unwrap(),
+            options: TableOptions::new()
+                .with_shard_key(vec![0])
+                .with_unique("pk", vec![0, 1])
+                .with_sort_key(vec![0]),
+            rows: partsupp_rows,
+        },
+        GeneratedTable {
+            name: "orders",
+            schema: Schema::new(vec![
+                ColumnDef::new("o_orderkey", DataType::Int64),
+                ColumnDef::new("o_custkey", DataType::Int64),
+                ColumnDef::new("o_orderstatus", DataType::Str),
+                ColumnDef::new("o_totalprice", DataType::Double),
+                ColumnDef::new("o_orderdate", DataType::Int64),
+                ColumnDef::new("o_orderpriority", DataType::Str),
+                ColumnDef::new("o_shippriority", DataType::Int64),
+            ])
+            .unwrap(),
+            options: TableOptions::new()
+                .with_shard_key(vec![0])
+                .with_unique("pk", vec![0])
+                .with_sort_key(vec![4])
+                .with_index("by_cust", vec![1]),
+            rows: orders_rows,
+        },
+        GeneratedTable {
+            name: "lineitem",
+            schema: Schema::new(vec![
+                ColumnDef::new("l_orderkey", DataType::Int64),
+                ColumnDef::new("l_partkey", DataType::Int64),
+                ColumnDef::new("l_suppkey", DataType::Int64),
+                ColumnDef::new("l_linenumber", DataType::Int64),
+                ColumnDef::new("l_quantity", DataType::Double),
+                ColumnDef::new("l_extendedprice", DataType::Double),
+                ColumnDef::new("l_discount", DataType::Double),
+                ColumnDef::new("l_tax", DataType::Double),
+                ColumnDef::new("l_returnflag", DataType::Str),
+                ColumnDef::new("l_linestatus", DataType::Str),
+                ColumnDef::new("l_shipdate", DataType::Int64),
+                ColumnDef::new("l_commitdate", DataType::Int64),
+                ColumnDef::new("l_receiptdate", DataType::Int64),
+                ColumnDef::new("l_shipinstruct", DataType::Str),
+                ColumnDef::new("l_shipmode", DataType::Str),
+            ])
+            .unwrap(),
+            options: TableOptions::new()
+                .with_shard_key(vec![0])
+                .with_unique("pk", vec![0, 3])
+                .with_sort_key(vec![10])
+                .with_index("by_part", vec![1]),
+            rows: lineitem_rows,
+        },
+    ];
+    TpchData { tables }
+}
+
+fn phone(nation: i64) -> String {
+    format!("{}-555-{:04}", 10 + nation, nation * 137 % 10_000)
+}
+
+fn comment(rng: &mut StdRng, k: i64, kind: &str) -> String {
+    // Occasionally embed the phrases Q13/Q16/Q20-style predicates look for.
+    let tag = match rng.random_range(0..20) {
+        0 => " special requests ",
+        1 => " special pending deposits ",
+        2 => " Customer Complaints ",
+        _ => " carefully final packages ",
+    };
+    format!("{kind}-{k}{tag}sleep quickly according to the furiously even theodolites")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_scale() {
+        let data = generate(0.01, 7);
+        assert_eq!(data.table("region").rows.len(), 5);
+        assert_eq!(data.table("nation").rows.len(), 25);
+        assert_eq!(data.table("supplier").rows.len(), 100);
+        assert_eq!(data.table("customer").rows.len(), 1500);
+        assert_eq!(data.table("orders").rows.len(), 15_000);
+        let li = data.table("lineitem").rows.len();
+        assert!((45_000..75_000).contains(&li), "lineitem {li}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(0.001, 42);
+        let b = generate(0.001, 42);
+        assert_eq!(a.table("orders").rows.len(), b.table("orders").rows.len());
+        assert_eq!(a.table("orders").rows[0], b.table("orders").rows[0]);
+    }
+
+    #[test]
+    fn lineitem_dates_consistent() {
+        let data = generate(0.001, 1);
+        for row in &data.table("lineitem").rows {
+            let ship = row.get(l::SHIPDATE).as_int().unwrap();
+            let receipt = row.get(l::RECEIPTDATE).as_int().unwrap();
+            assert!(receipt > ship);
+        }
+    }
+
+    #[test]
+    fn partsupp_pairs_cover_lineitems() {
+        use std::collections::HashSet;
+        let data = generate(0.001, 1);
+        let pairs: HashSet<(i64, i64)> = data
+            .table("partsupp")
+            .rows
+            .iter()
+            .map(|r| (r.get(0).as_int().unwrap(), r.get(1).as_int().unwrap()))
+            .collect();
+        for row in &data.table("lineitem").rows {
+            let pk = row.get(l::PARTKEY).as_int().unwrap();
+            let sk = row.get(l::SUPPKEY).as_int().unwrap();
+            assert!(pairs.contains(&(pk, sk)), "lineitem references partsupp ({pk},{sk})");
+        }
+    }
+}

@@ -1,0 +1,880 @@
+//! The 22 TPC-H queries expressed against the plan API, with the
+//! specification's validation parameters. Queries that SQL expresses with
+//! scalar subqueries (Q11, Q22) execute in two phases through the
+//! [`PlanRunner`], embedding the intermediate scalar as a literal — which is
+//! what a real optimizer does with uncorrelated scalar subqueries.
+//!
+//! Each query runs unchanged on the unified-storage engine (vectorized,
+//! adaptive), on the CDW comparator (vectorized, no indexes) and on the CDB
+//! comparator (row-at-a-time) through the runner abstraction.
+
+use s2_common::date::days_from_ymd;
+use s2_common::{DataType, Result, Row, Value};
+use s2_exec::{AggFunc, Aggregate, ArithOp, Batch, CmpOp, Expr, JoinType, SortDir};
+use s2_query::Plan;
+
+use super::{c, l, n, o, p, ps, r, s};
+
+/// Executes plans on some engine (S2DB cluster, CDW model, CDB model).
+pub trait PlanRunner {
+    /// Run one plan to completion.
+    fn run(&self, plan: &Plan) -> Result<Batch>;
+}
+
+/// Convert row-engine output to a batch (types inferred; all-null columns
+/// default to Int64).
+pub fn rows_to_batch(rows: &[Row]) -> Result<Batch> {
+    let width = rows.first().map_or(0, Row::len);
+    let mut types = vec![DataType::Int64; width];
+    for (ci, t) in types.iter_mut().enumerate() {
+        for row in rows {
+            if let Some(dt) = row.get(ci).data_type() {
+                *t = dt;
+                break;
+            }
+        }
+    }
+    let cols: Vec<usize> = (0..width).collect();
+    Batch::from_rows(rows, &cols, &types)
+}
+
+fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+fn col(i: usize) -> Expr {
+    Expr::Column(i)
+}
+
+fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Arith(ArithOp::Mul, Box::new(a), Box::new(b))
+}
+
+fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Arith(ArithOp::Sub, Box::new(a), Box::new(b))
+}
+
+fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Arith(ArithOp::Add, Box::new(a), Box::new(b))
+}
+
+fn div(a: Expr, b: Expr) -> Expr {
+    Expr::Arith(ArithOp::Div, Box::new(a), Box::new(b))
+}
+
+fn cmp_cols(a: usize, op: CmpOp, b: usize) -> Expr {
+    Expr::Cmp(op, Box::new(col(a)), Box::new(col(b)))
+}
+
+fn d(y: i32, m: u32, day: u32) -> i64 {
+    days_from_ymd(y, m, day)
+}
+
+fn agg(func: AggFunc, input: Expr) -> Aggregate {
+    Aggregate { func, input }
+}
+
+/// `l_extendedprice * (1 - l_discount)` over batch positions (price, discount).
+fn revenue(price: usize, discount: usize) -> Expr {
+    mul(col(price), sub(lit(1.0), col(discount)))
+}
+
+/// Run query `n` (1..=22).
+pub fn run_query(n: usize, runner: &dyn PlanRunner) -> Result<Batch> {
+    match n {
+        1 => q1(runner),
+        2 => q2(runner),
+        3 => q3(runner),
+        4 => q4(runner),
+        5 => q5(runner),
+        6 => q6(runner),
+        7 => q7(runner),
+        8 => q8(runner),
+        9 => q9(runner),
+        10 => q10(runner),
+        11 => q11(runner),
+        12 => q12(runner),
+        13 => q13(runner),
+        14 => q14(runner),
+        15 => q15(runner),
+        16 => q16(runner),
+        17 => q17(runner),
+        18 => q18(runner),
+        19 => q19(runner),
+        20 => q20(runner),
+        21 => q21(runner),
+        22 => q22(runner),
+        _ => Err(s2_common::Error::InvalidArgument(format!("no TPC-H query {n}"))),
+    }
+}
+
+/// Q1: pricing summary report.
+fn q1(r: &dyn PlanRunner) -> Result<Batch> {
+    // proj: 0 qty, 1 price, 2 disc, 3 tax, 4 flag, 5 status
+    let plan = Plan::scan(
+        "lineitem",
+        vec![l::QUANTITY, l::EXTENDEDPRICE, l::DISCOUNT, l::TAX, l::RETURNFLAG, l::LINESTATUS],
+        Some(Expr::cmp(l::SHIPDATE, CmpOp::Le, d(1998, 9, 2))),
+    )
+    .aggregate(
+        vec![col(4), col(5)],
+        vec![
+            agg(AggFunc::Sum, col(0)),
+            agg(AggFunc::Sum, col(1)),
+            agg(AggFunc::Sum, revenue(1, 2)),
+            agg(AggFunc::Sum, mul(revenue(1, 2), add(lit(1.0), col(3)))),
+            agg(AggFunc::Avg, col(0)),
+            agg(AggFunc::Avg, col(1)),
+            agg(AggFunc::Avg, col(2)),
+            agg(AggFunc::Count, lit(1i64)),
+        ],
+    )
+    .sort(vec![(0, SortDir::Asc), (1, SortDir::Asc)], None);
+    r.run(&plan)
+}
+
+/// Base join for Q2: europe partsupps of brass parts of size 15.
+fn q2_base() -> Plan {
+    // part filtered: proj 0 p_partkey, 1 p_mfgr
+    let part = Plan::scan(
+        "part",
+        vec![p::PARTKEY, p::MFGR],
+        Some(
+            Expr::eq(p::SIZE, 15i64)
+                .and(Expr::Like(Box::new(col(p::TYPE)), "%BRASS".into())),
+        ),
+    );
+    // partsupp: 0 ps_partkey, 1 ps_suppkey, 2 ps_supplycost
+    let partsupp = Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY, ps::SUPPLYCOST], None);
+    // supplier: 0 s_suppkey, 1 s_name, 2 s_nationkey, 3 s_acctbal, 4 s_address, 5 s_phone, 6 s_comment
+    let supplier = Plan::scan(
+        "supplier",
+        vec![s::SUPPKEY, s::NAME, s::NATIONKEY, s::ACCTBAL, s::ADDRESS, s::PHONE, s::COMMENT],
+        None,
+    );
+    // nation: 0 n_nationkey, 1 n_name, 2 n_regionkey
+    let nation = Plan::scan("nation", vec![n::NATIONKEY, n::NAME, n::REGIONKEY], None);
+    let region = Plan::scan("region", vec![r::REGIONKEY], Some(Expr::eq(r::NAME, "EUROPE")));
+    // part(0,1) ⨝ partsupp(2,3,4) ⨝ supplier(5..11) ⨝ nation(12,13,14) ⨝ region(15)
+    part.join(partsupp, vec![0], vec![0])
+        .join(supplier, vec![3], vec![0])
+        .join(nation, vec![7], vec![0])
+        .join(region, vec![14], vec![0])
+}
+
+/// Q2: minimum-cost supplier.
+fn q2(r: &dyn PlanRunner) -> Result<Batch> {
+    let base = q2_base();
+    // positions in base: 0 p_partkey, 1 p_mfgr, 2 ps_partkey, 3 ps_suppkey,
+    // 4 ps_supplycost, 5 s_suppkey, 6 s_name, 7 s_nationkey, 8 s_acctbal,
+    // 9 s_address, 10 s_phone, 11 s_comment, 12 n_nationkey, 13 n_name, ...
+    let mins = base.clone().aggregate(vec![col(0)], vec![agg(AggFunc::Min, col(4))]);
+    // join base to mins on partkey, residual cost == min.
+    let plan = base
+        .join_full(
+            mins,
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+            Some(cmp_cols(4, CmpOp::Eq, 17)), // 16 = mins.partkey, 17 = min cost
+        )
+        .project(vec![
+            (col(8), DataType::Double), // s_acctbal
+            (col(6), DataType::Str),    // s_name
+            (col(13), DataType::Str),   // n_name
+            (col(0), DataType::Int64),  // p_partkey
+            (col(1), DataType::Str),    // p_mfgr
+            (col(9), DataType::Str),    // s_address
+            (col(10), DataType::Str),   // s_phone
+            (col(11), DataType::Str),   // s_comment
+        ])
+        .sort(
+            vec![(0, SortDir::Desc), (2, SortDir::Asc), (1, SortDir::Asc), (3, SortDir::Asc)],
+            Some(100),
+        );
+    r.run(&plan)
+}
+
+/// Q3: shipping priority.
+fn q3(r: &dyn PlanRunner) -> Result<Batch> {
+    let cutoff = d(1995, 3, 15);
+    let customer =
+        Plan::scan("customer", vec![c::CUSTKEY], Some(Expr::eq(c::MKTSEGMENT, "BUILDING")));
+    let orders = Plan::scan(
+        "orders",
+        vec![o::ORDERKEY, o::CUSTKEY, o::ORDERDATE, o::SHIPPRIORITY],
+        Some(Expr::cmp(o::ORDERDATE, CmpOp::Lt, cutoff)),
+    );
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![l::ORDERKEY, l::EXTENDEDPRICE, l::DISCOUNT],
+        Some(Expr::cmp(l::SHIPDATE, CmpOp::Gt, cutoff)),
+    );
+    // orders(0..3) ⨝ customer(4) ⨝ lineitem(5,6,7)
+    let plan = orders
+        .join(customer, vec![1], vec![0])
+        .join(lineitem, vec![0], vec![0])
+        .aggregate(
+            vec![col(0), col(2), col(3)], // orderkey, orderdate, shippriority
+            vec![agg(AggFunc::Sum, revenue(6, 7))],
+        )
+        .sort(vec![(3, SortDir::Desc), (1, SortDir::Asc)], Some(10));
+    r.run(&plan)
+}
+
+/// Q4: order priority checking.
+fn q4(r: &dyn PlanRunner) -> Result<Batch> {
+    let lo = d(1993, 7, 1);
+    let hi = d(1993, 10, 1);
+    let orders = Plan::scan(
+        "orders",
+        vec![o::ORDERKEY, o::ORDERPRIORITY],
+        Some(Expr::cmp(o::ORDERDATE, CmpOp::Ge, lo).and(Expr::cmp(o::ORDERDATE, CmpOp::Lt, hi))),
+    );
+    let late = Plan::scan(
+        "lineitem",
+        vec![l::ORDERKEY],
+        Some(cmp_cols(l::COMMITDATE, CmpOp::Lt, l::RECEIPTDATE)),
+    );
+    let plan = orders
+        .join_full(late, vec![0], vec![0], JoinType::Semi, None)
+        .aggregate(vec![col(1)], vec![agg(AggFunc::Count, lit(1i64))])
+        .sort(vec![(0, SortDir::Asc)], None);
+    r.run(&plan)
+}
+
+/// Q5: local supplier volume.
+fn q5(r: &dyn PlanRunner) -> Result<Batch> {
+    let lo = d(1994, 1, 1);
+    let hi = d(1995, 1, 1);
+    let customer = Plan::scan("customer", vec![c::CUSTKEY, c::NATIONKEY], None);
+    let orders = Plan::scan(
+        "orders",
+        vec![o::ORDERKEY, o::CUSTKEY],
+        Some(Expr::cmp(o::ORDERDATE, CmpOp::Ge, lo).and(Expr::cmp(o::ORDERDATE, CmpOp::Lt, hi))),
+    );
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![l::ORDERKEY, l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT],
+        None,
+    );
+    let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NATIONKEY], None);
+    let nation = Plan::scan("nation", vec![n::NATIONKEY, n::NAME, n::REGIONKEY], None);
+    let region = Plan::scan("region", vec![r::REGIONKEY], Some(Expr::eq(r::NAME, "ASIA")));
+    // orders(0,1) ⨝ customer(2,3) ⨝ lineitem(4..7) ⨝ supplier(8,9 residual s_nation == c_nation)
+    let plan = orders
+        .join(customer, vec![1], vec![0])
+        .join(lineitem, vec![0], vec![0])
+        .join_full(
+            supplier,
+            vec![5],
+            vec![0],
+            JoinType::Inner,
+            Some(cmp_cols(9, CmpOp::Eq, 3)), // s_nationkey == c_nationkey
+        )
+        .join(nation, vec![9], vec![0]) // nation at 10,11,12
+        .join(region, vec![12], vec![0])
+        .aggregate(vec![col(11)], vec![agg(AggFunc::Sum, revenue(6, 7))])
+        .sort(vec![(1, SortDir::Desc)], None);
+    r.run(&plan)
+}
+
+/// Q6: forecasting revenue change.
+fn q6(r: &dyn PlanRunner) -> Result<Batch> {
+    let plan = Plan::scan(
+        "lineitem",
+        vec![l::EXTENDEDPRICE, l::DISCOUNT],
+        Some(
+            Expr::cmp(l::SHIPDATE, CmpOp::Ge, d(1994, 1, 1))
+                .and(Expr::cmp(l::SHIPDATE, CmpOp::Lt, d(1995, 1, 1)))
+                .and(Expr::between(l::DISCOUNT, 0.05 - 1e-9, 0.07 + 1e-9))
+                .and(Expr::cmp(l::QUANTITY, CmpOp::Lt, 24.0)),
+        ),
+    )
+    .aggregate(vec![], vec![agg(AggFunc::Sum, mul(col(0), col(1)))]);
+    r.run(&plan)
+}
+
+/// Q7: volume shipping between FRANCE and GERMANY.
+fn q7(r: &dyn PlanRunner) -> Result<Batch> {
+    let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NATIONKEY], None);
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![l::ORDERKEY, l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT, l::SHIPDATE],
+        Some(Expr::between(l::SHIPDATE, d(1995, 1, 1), d(1996, 12, 31))),
+    );
+    let orders = Plan::scan("orders", vec![o::ORDERKEY, o::CUSTKEY], None);
+    let customer = Plan::scan("customer", vec![c::CUSTKEY, c::NATIONKEY], None);
+    let n1 = Plan::scan("nation", vec![n::NATIONKEY, n::NAME], None);
+    let n2 = Plan::scan("nation", vec![n::NATIONKEY, n::NAME], None);
+    // supplier(0,1) ⨝ lineitem(2..6) ⨝ orders(7,8) ⨝ customer(9,10)
+    //   ⨝ n1(11,12 on s_nation) ⨝ n2(13,14 on c_nation)
+    let nation_pair = Expr::Or(vec![
+        Expr::eq(12, "FRANCE").and(Expr::eq(14, "GERMANY")),
+        Expr::eq(12, "GERMANY").and(Expr::eq(14, "FRANCE")),
+    ]);
+    let plan = supplier
+        .join(lineitem, vec![0], vec![1])
+        .join(orders, vec![2], vec![0])
+        .join(customer, vec![8], vec![0])
+        .join(n1, vec![1], vec![0])
+        .join(n2, vec![10], vec![0])
+        .filter(nation_pair)
+        .project(vec![
+            (col(12), DataType::Str),
+            (col(14), DataType::Str),
+            (Expr::Year(Box::new(col(6))), DataType::Int64),
+            (revenue(4, 5), DataType::Double),
+        ])
+        .aggregate(vec![col(0), col(1), col(2)], vec![agg(AggFunc::Sum, col(3))])
+        .sort(vec![(0, SortDir::Asc), (1, SortDir::Asc), (2, SortDir::Asc)], None);
+    r.run(&plan)
+}
+
+/// Q8: national market share.
+fn q8(r: &dyn PlanRunner) -> Result<Batch> {
+    let part = Plan::scan(
+        "part",
+        vec![p::PARTKEY],
+        Some(Expr::eq(p::TYPE, "ECONOMY ANODIZED STEEL")),
+    );
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![l::ORDERKEY, l::PARTKEY, l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT],
+        None,
+    );
+    let orders = Plan::scan(
+        "orders",
+        vec![o::ORDERKEY, o::CUSTKEY, o::ORDERDATE],
+        Some(Expr::between(o::ORDERDATE, d(1995, 1, 1), d(1996, 12, 31))),
+    );
+    let customer = Plan::scan("customer", vec![c::CUSTKEY, c::NATIONKEY], None);
+    let n1 = Plan::scan("nation", vec![n::NATIONKEY, n::REGIONKEY], None);
+    let region = Plan::scan("region", vec![r::REGIONKEY], Some(Expr::eq(r::NAME, "AMERICA")));
+    let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NATIONKEY], None);
+    let n2 = Plan::scan("nation", vec![n::NATIONKEY, n::NAME], None);
+    // part(0) ⨝ lineitem(1..5) ⨝ orders(6,7,8) ⨝ customer(9,10) ⨝ n1(11,12)
+    //   ⨝ region(13) ⨝ supplier(14,15) ⨝ n2(16,17)
+    let plan = part
+        .join(lineitem, vec![0], vec![1])
+        .join(orders, vec![1], vec![0])
+        .join(customer, vec![7], vec![0])
+        .join(n1, vec![10], vec![0])
+        .join(region, vec![12], vec![0])
+        .join(supplier, vec![3], vec![0])
+        .join(n2, vec![15], vec![0])
+        .project(vec![
+            (Expr::Year(Box::new(col(8))), DataType::Int64),
+            (revenue(4, 5), DataType::Double),
+            (
+                Expr::Case {
+                    when: vec![(Expr::eq(17, "BRAZIL"), revenue(4, 5))],
+                    else_: Box::new(lit(0.0)),
+                },
+                DataType::Double,
+            ),
+        ])
+        .aggregate(
+            vec![col(0)],
+            vec![agg(AggFunc::Sum, col(2)), agg(AggFunc::Sum, col(1))],
+        )
+        .project(vec![
+            (col(0), DataType::Int64),
+            (div(col(1), col(2)), DataType::Double),
+        ])
+        .sort(vec![(0, SortDir::Asc)], None);
+    r.run(&plan)
+}
+
+/// Q9: product type profit measure.
+fn q9(r: &dyn PlanRunner) -> Result<Batch> {
+    let part =
+        Plan::scan("part", vec![p::PARTKEY], Some(Expr::Like(Box::new(col(p::NAME)), "%green%".into())));
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![
+            l::ORDERKEY,
+            l::PARTKEY,
+            l::SUPPKEY,
+            l::QUANTITY,
+            l::EXTENDEDPRICE,
+            l::DISCOUNT,
+        ],
+        None,
+    );
+    let partsupp = Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY, ps::SUPPLYCOST], None);
+    let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NATIONKEY], None);
+    let orders = Plan::scan("orders", vec![o::ORDERKEY, o::ORDERDATE], None);
+    let nation = Plan::scan("nation", vec![n::NATIONKEY, n::NAME], None);
+    // part(0) ⨝ lineitem(1..6) ⨝ partsupp(7,8,9 on pk+sk)
+    //   ⨝ supplier(10,11) ⨝ orders(12,13) ⨝ nation(14,15)
+    let plan = part
+        .join(lineitem, vec![0], vec![1])
+        .join(partsupp, vec![2, 3], vec![0, 1])
+        .join(supplier, vec![3], vec![0])
+        .join(orders, vec![1], vec![0])
+        .join(nation, vec![11], vec![0])
+        .project(vec![
+            (col(15), DataType::Str),
+            (Expr::Year(Box::new(col(13))), DataType::Int64),
+            (sub(revenue(5, 6), mul(col(9), col(4))), DataType::Double),
+        ])
+        .aggregate(vec![col(0), col(1)], vec![agg(AggFunc::Sum, col(2))])
+        .sort(vec![(0, SortDir::Asc), (1, SortDir::Desc)], None);
+    r.run(&plan)
+}
+
+/// Q10: returned item reporting.
+fn q10(r: &dyn PlanRunner) -> Result<Batch> {
+    let lo = d(1993, 10, 1);
+    let hi = d(1994, 1, 1);
+    let customer = Plan::scan(
+        "customer",
+        vec![c::CUSTKEY, c::NAME, c::ACCTBAL, c::PHONE, c::NATIONKEY, c::COMMENT],
+        None,
+    );
+    let orders = Plan::scan(
+        "orders",
+        vec![o::ORDERKEY, o::CUSTKEY],
+        Some(Expr::cmp(o::ORDERDATE, CmpOp::Ge, lo).and(Expr::cmp(o::ORDERDATE, CmpOp::Lt, hi))),
+    );
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![l::ORDERKEY, l::EXTENDEDPRICE, l::DISCOUNT],
+        Some(Expr::eq(l::RETURNFLAG, "R")),
+    );
+    let nation = Plan::scan("nation", vec![n::NATIONKEY, n::NAME], None);
+    // customer(0..5) ⨝ orders(6,7) ⨝ lineitem(8,9,10) ⨝ nation(11,12)
+    let plan = customer
+        .join(orders, vec![0], vec![1])
+        .join(lineitem, vec![6], vec![0])
+        .join(nation, vec![4], vec![0])
+        .aggregate(
+            vec![col(0), col(1), col(2), col(3), col(12), col(5)],
+            vec![agg(AggFunc::Sum, revenue(9, 10))],
+        )
+        .sort(vec![(6, SortDir::Desc)], Some(20));
+    r.run(&plan)
+}
+
+/// Q11: important stock identification (two-phase scalar subquery).
+fn q11(runner: &dyn PlanRunner) -> Result<Batch> {
+    let base = || {
+        let partsupp =
+            Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY, ps::AVAILQTY, ps::SUPPLYCOST], None);
+        let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NATIONKEY], None);
+        let nation =
+            Plan::scan("nation", vec![n::NATIONKEY], Some(Expr::eq(n::NAME, "GERMANY")));
+        // partsupp(0..3) ⨝ supplier(4,5) ⨝ nation(6)
+        partsupp.join(supplier, vec![1], vec![0]).join(nation, vec![5], vec![0])
+    };
+    // Phase 1: total value.
+    let total_plan = base().aggregate(
+        vec![],
+        vec![agg(AggFunc::Sum, mul(col(3), col(2)))], // cost * qty
+    );
+    let total = runner.run(&total_plan)?.value(0, 0).as_double().unwrap_or(0.0);
+    // Phase 2: per-part value with HAVING > fraction * total.
+    let threshold = total * 0.0001;
+    let plan = base()
+        .aggregate(vec![col(0)], vec![agg(AggFunc::Sum, mul(col(3), col(2)))])
+        .filter(Expr::cmp(1, CmpOp::Gt, threshold))
+        .sort(vec![(1, SortDir::Desc)], None);
+    runner.run(&plan)
+}
+
+/// Q12: shipping modes and order priority.
+fn q12(r: &dyn PlanRunner) -> Result<Batch> {
+    let lo = d(1994, 1, 1);
+    let hi = d(1995, 1, 1);
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![l::ORDERKEY, l::SHIPMODE],
+        Some(
+            Expr::InList(
+                Box::new(col(l::SHIPMODE)),
+                vec![Value::str("MAIL"), Value::str("SHIP")],
+            )
+            .and(cmp_cols(l::COMMITDATE, CmpOp::Lt, l::RECEIPTDATE))
+            .and(cmp_cols(l::SHIPDATE, CmpOp::Lt, l::COMMITDATE))
+            .and(Expr::cmp(l::RECEIPTDATE, CmpOp::Ge, lo))
+            .and(Expr::cmp(l::RECEIPTDATE, CmpOp::Lt, hi)),
+        ),
+    );
+    let orders = Plan::scan("orders", vec![o::ORDERKEY, o::ORDERPRIORITY], None);
+    // lineitem(0,1) ⨝ orders(2,3)
+    let high = Expr::InList(
+        Box::new(col(3)),
+        vec![Value::str("1-URGENT"), Value::str("2-HIGH")],
+    );
+    let plan = lineitem
+        .join(orders, vec![0], vec![0])
+        .aggregate(
+            vec![col(1)],
+            vec![
+                agg(
+                    AggFunc::Sum,
+                    Expr::Case {
+                        when: vec![(high.clone(), lit(1.0))],
+                        else_: Box::new(lit(0.0)),
+                    },
+                ),
+                agg(
+                    AggFunc::Sum,
+                    Expr::Case { when: vec![(high, lit(0.0))], else_: Box::new(lit(1.0)) },
+                ),
+            ],
+        )
+        .sort(vec![(0, SortDir::Asc)], None);
+    r.run(&plan)
+}
+
+/// Q13: customer distribution.
+fn q13(r: &dyn PlanRunner) -> Result<Batch> {
+    let customer = Plan::scan("customer", vec![c::CUSTKEY], None);
+    // The SQL filters on `o_comment not like '%special%requests%'`; our
+    // schema carries no order comment, so an equivalent ~20%-selective
+    // anti-filter on o_orderpriority stands in, preserving the query's shape
+    // (distribution over a filtered left join).
+    let orders = Plan::scan(
+        "orders",
+        vec![o::ORDERKEY, o::CUSTKEY],
+        Some(Expr::Not(Box::new(Expr::eq(o::ORDERPRIORITY, "5-LOW")))),
+    );
+    let plan = customer
+        .join_full(orders, vec![0], vec![1], JoinType::Left, None)
+        // positions: 0 c_custkey, 1 o_orderkey, 2 o_custkey
+        .aggregate(vec![col(0)], vec![agg(AggFunc::Count, col(1))])
+        .aggregate(vec![col(1)], vec![agg(AggFunc::Count, lit(1i64))])
+        .sort(vec![(1, SortDir::Desc), (0, SortDir::Desc)], None);
+    r.run(&plan)
+}
+
+/// Q14: promotion effect.
+fn q14(r: &dyn PlanRunner) -> Result<Batch> {
+    let lo = d(1995, 9, 1);
+    let hi = d(1995, 10, 1);
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![l::PARTKEY, l::EXTENDEDPRICE, l::DISCOUNT],
+        Some(Expr::cmp(l::SHIPDATE, CmpOp::Ge, lo).and(Expr::cmp(l::SHIPDATE, CmpOp::Lt, hi))),
+    );
+    let part = Plan::scan("part", vec![p::PARTKEY, p::TYPE], None);
+    // lineitem(0,1,2) ⨝ part(3,4)
+    let plan = lineitem
+        .join(part, vec![0], vec![0])
+        .project(vec![
+            (
+                Expr::Case {
+                    when: vec![(
+                        Expr::Like(Box::new(col(4)), "PROMO%".into()),
+                        revenue(1, 2),
+                    )],
+                    else_: Box::new(lit(0.0)),
+                },
+                DataType::Double,
+            ),
+            (revenue(1, 2), DataType::Double),
+        ])
+        .aggregate(vec![], vec![agg(AggFunc::Sum, col(0)), agg(AggFunc::Sum, col(1))])
+        .project(vec![(mul(lit(100.0), div(col(0), col(1))), DataType::Double)]);
+    r.run(&plan)
+}
+
+/// Q15: top supplier (revenue view + max).
+fn q15(r: &dyn PlanRunner) -> Result<Batch> {
+    let lo = d(1996, 1, 1);
+    let hi = d(1996, 4, 1);
+    let rev = || {
+        Plan::scan(
+            "lineitem",
+            vec![l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT],
+            Some(
+                Expr::cmp(l::SHIPDATE, CmpOp::Ge, lo).and(Expr::cmp(l::SHIPDATE, CmpOp::Lt, hi)),
+            ),
+        )
+        .aggregate(vec![col(0)], vec![agg(AggFunc::Sum, revenue(1, 2))])
+    };
+    let max_rev = rev().aggregate(vec![], vec![agg(AggFunc::Max, col(1))]);
+    let supplier =
+        Plan::scan("supplier", vec![s::SUPPKEY, s::NAME, s::ADDRESS, s::PHONE], None);
+    // supplier(0..3) ⨝ rev(4,5) ⨝ max(6) residual rev == max
+    let plan = supplier
+        .join(rev(), vec![0], vec![0])
+        .join_full(
+            max_rev,
+            vec![], // cross join to the single max-revenue row,
+            vec![], // filtered by the equality residual below
+            JoinType::Inner,
+            Some(cmp_cols(5, CmpOp::Eq, 6)),
+        )
+        .project(vec![
+            (col(0), DataType::Int64),
+            (col(1), DataType::Str),
+            (col(2), DataType::Str),
+            (col(3), DataType::Str),
+            (col(5), DataType::Double),
+        ])
+        .sort(vec![(0, SortDir::Asc)], None);
+    r.run(&plan)
+}
+
+/// Q16: parts/supplier relationship.
+fn q16(r: &dyn PlanRunner) -> Result<Batch> {
+    let part = Plan::scan(
+        "part",
+        vec![p::PARTKEY, p::BRAND, p::TYPE, p::SIZE],
+        Some(
+            Expr::Not(Box::new(Expr::eq(p::BRAND, "Brand#45")))
+                .and(Expr::Not(Box::new(Expr::Like(
+                    Box::new(col(p::TYPE)),
+                    "MEDIUM POLISHED%".into(),
+                ))))
+                .and(Expr::InList(
+                    Box::new(col(p::SIZE)),
+                    vec![
+                        Value::Int(49),
+                        Value::Int(14),
+                        Value::Int(23),
+                        Value::Int(45),
+                        Value::Int(19),
+                        Value::Int(3),
+                        Value::Int(36),
+                        Value::Int(9),
+                    ],
+                )),
+        ),
+    );
+    let partsupp = Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY], None);
+    let complainers = Plan::scan(
+        "supplier",
+        vec![s::SUPPKEY],
+        Some(Expr::Like(Box::new(col(s::COMMENT)), "%Customer%Complaints%".into())),
+    );
+    // partsupp(0,1) ⨝ part(2..5), anti ⨝ complainers
+    let plan = partsupp
+        .join(part, vec![0], vec![0])
+        .join_full(complainers, vec![1], vec![0], JoinType::Anti, None)
+        // distinct (brand, type, size, suppkey) then count per group
+        .aggregate(vec![col(3), col(4), col(5), col(1)], vec![])
+        .aggregate(vec![col(0), col(1), col(2)], vec![agg(AggFunc::Count, lit(1i64))])
+        .sort(
+            vec![(3, SortDir::Desc), (0, SortDir::Asc), (1, SortDir::Asc), (2, SortDir::Asc)],
+            None,
+        );
+    r.run(&plan)
+}
+
+/// Q17: small-quantity-order revenue.
+fn q17(r: &dyn PlanRunner) -> Result<Batch> {
+    let part = Plan::scan(
+        "part",
+        vec![p::PARTKEY],
+        Some(Expr::eq(p::BRAND, "Brand#23").and(Expr::eq(p::CONTAINER, "MED BOX"))),
+    );
+    let lineitem =
+        Plan::scan("lineitem", vec![l::PARTKEY, l::QUANTITY, l::EXTENDEDPRICE], None);
+    let avg_qty = Plan::scan("lineitem", vec![l::PARTKEY, l::QUANTITY], None)
+        .aggregate(vec![col(0)], vec![agg(AggFunc::Avg, col(1))]);
+    // lineitem(0,1,2) ⨝ part(3) ⨝ avg(4,5) residual qty < 0.2*avg
+    let plan = lineitem
+        .join(part, vec![0], vec![0])
+        .join_full(
+            avg_qty,
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+            Some(Expr::Cmp(
+                CmpOp::Lt,
+                Box::new(col(1)),
+                Box::new(mul(lit(0.2), col(5))),
+            )),
+        )
+        .aggregate(vec![], vec![agg(AggFunc::Sum, col(2))])
+        .project(vec![(div(col(0), lit(7.0)), DataType::Double)]);
+    r.run(&plan)
+}
+
+/// Q18: large volume customers.
+fn q18(r: &dyn PlanRunner) -> Result<Batch> {
+    let big = Plan::scan("lineitem", vec![l::ORDERKEY, l::QUANTITY], None)
+        .aggregate(vec![col(0)], vec![agg(AggFunc::Sum, col(1))])
+        .filter(Expr::cmp(1, CmpOp::Gt, 300.0));
+    let orders =
+        Plan::scan("orders", vec![o::ORDERKEY, o::CUSTKEY, o::ORDERDATE, o::TOTALPRICE], None);
+    let customer = Plan::scan("customer", vec![c::CUSTKEY, c::NAME], None);
+    // orders(0..3) ⨝ big(4,5) ⨝ customer(6,7)
+    let plan = orders
+        .join(big, vec![0], vec![0])
+        .join(customer, vec![1], vec![0])
+        .project(vec![
+            (col(7), DataType::Str),
+            (col(1), DataType::Int64),
+            (col(0), DataType::Int64),
+            (col(2), DataType::Int64),
+            (col(3), DataType::Double),
+            (col(5), DataType::Double),
+        ])
+        .sort(vec![(4, SortDir::Desc), (3, SortDir::Asc)], Some(100));
+    r.run(&plan)
+}
+
+/// Q19: discounted revenue (disjunctive bracket predicates).
+fn q19(r: &dyn PlanRunner) -> Result<Batch> {
+    let lineitem = Plan::scan(
+        "lineitem",
+        vec![l::PARTKEY, l::QUANTITY, l::EXTENDEDPRICE, l::DISCOUNT, l::SHIPINSTRUCT, l::SHIPMODE],
+        Some(
+            Expr::eq(l::SHIPINSTRUCT, "DELIVER IN PERSON").and(Expr::InList(
+                Box::new(col(l::SHIPMODE)),
+                vec![Value::str("AIR"), Value::str("REG AIR")],
+            )),
+        ),
+    );
+    let part = Plan::scan("part", vec![p::PARTKEY, p::BRAND, p::CONTAINER, p::SIZE], None);
+    // lineitem(0..5) ⨝ part(6..9)
+    let bracket = |brand: &str, containers: [&str; 4], qlo: f64, qhi: f64, smax: i64| {
+        Expr::eq(7, brand)
+            .and(Expr::InList(
+                Box::new(col(8)),
+                containers.iter().map(|c| Value::str(*c)).collect(),
+            ))
+            .and(Expr::between(1, qlo, qhi))
+            .and(Expr::between(9, 1i64, smax))
+    };
+    let plan = lineitem
+        .join(part, vec![0], vec![0])
+        .filter(Expr::Or(vec![
+            bracket("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5),
+            bracket("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10),
+            bracket("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15),
+        ]))
+        .aggregate(vec![], vec![agg(AggFunc::Sum, revenue(2, 3))]);
+    r.run(&plan)
+}
+
+/// Q20: potential part promotion.
+fn q20(r: &dyn PlanRunner) -> Result<Batch> {
+    let lo = d(1994, 1, 1);
+    let hi = d(1995, 1, 1);
+    let forest = Plan::scan(
+        "part",
+        vec![p::PARTKEY],
+        Some(Expr::Like(Box::new(col(p::NAME)), "forest%".into())),
+    );
+    let shipped = Plan::scan(
+        "lineitem",
+        vec![l::PARTKEY, l::SUPPKEY, l::QUANTITY],
+        Some(Expr::cmp(l::SHIPDATE, CmpOp::Ge, lo).and(Expr::cmp(l::SHIPDATE, CmpOp::Lt, hi))),
+    )
+    .aggregate(vec![col(0), col(1)], vec![agg(AggFunc::Sum, col(2))]);
+    let partsupp = Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY, ps::AVAILQTY], None);
+    // partsupp(0,1,2) semi ⨝ forest, ⨝ shipped(3,4,5) residual avail > 0.5*sum
+    let excess = partsupp
+        .join_full(forest, vec![0], vec![0], JoinType::Semi, None)
+        .join_full(
+            shipped,
+            vec![0, 1],
+            vec![0, 1],
+            JoinType::Inner,
+            Some(Expr::Cmp(
+                CmpOp::Gt,
+                Box::new(col(2)),
+                Box::new(mul(lit(0.5), col(5))),
+            )),
+        );
+    let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NAME, s::ADDRESS, s::NATIONKEY], None);
+    let nation = Plan::scan("nation", vec![n::NATIONKEY], Some(Expr::eq(n::NAME, "CANADA")));
+    let plan = supplier
+        .join(nation, vec![3], vec![0])
+        .join_full(excess, vec![0], vec![1], JoinType::Semi, None)
+        .project(vec![(col(1), DataType::Str), (col(2), DataType::Str)])
+        .sort(vec![(0, SortDir::Asc)], None);
+    r.run(&plan)
+}
+
+/// Q21: suppliers who kept orders waiting.
+fn q21(r: &dyn PlanRunner) -> Result<Batch> {
+    let late = || {
+        Plan::scan(
+            "lineitem",
+            vec![l::ORDERKEY, l::SUPPKEY],
+            Some(cmp_cols(l::RECEIPTDATE, CmpOp::Gt, l::COMMITDATE)),
+        )
+    };
+    let all_lines = Plan::scan("lineitem", vec![l::ORDERKEY, l::SUPPKEY], None);
+    let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NAME, s::NATIONKEY], None);
+    let nation =
+        Plan::scan("nation", vec![n::NATIONKEY], Some(Expr::eq(n::NAME, "SAUDI ARABIA")));
+    let orders =
+        Plan::scan("orders", vec![o::ORDERKEY], Some(Expr::eq(o::ORDERSTATUS, "F")));
+    // l1: late(0,1) ⨝ supplier(2,3,4) ⨝ nation(5) ⨝ orders(6)
+    let l1 = late()
+        .join(supplier, vec![1], vec![0])
+        .join(nation, vec![4], vec![0])
+        .join(orders, vec![0], vec![0]);
+    // EXISTS another supplier in the same order: semi join all_lines on
+    // orderkey, residual "different suppkey" (all_lines lands at 7,8).
+    let with_other = l1.join_full(
+        all_lines,
+        vec![0],
+        vec![0],
+        JoinType::Semi,
+        Some(Expr::Not(Box::new(cmp_cols(1, CmpOp::Eq, 8)))),
+    );
+    // not exists another *late* supplier in same order.
+    let lonely_late = with_other.join_full(
+        late(),
+        vec![0],
+        vec![0],
+        JoinType::Anti,
+        Some(Expr::Not(Box::new(cmp_cols(1, CmpOp::Eq, 8)))),
+    );
+    let plan = lonely_late
+        .aggregate(vec![col(3)], vec![agg(AggFunc::Count, lit(1i64))])
+        .sort(vec![(1, SortDir::Desc), (0, SortDir::Asc)], Some(100));
+    r.run(&plan)
+}
+
+/// Q22: global sales opportunity (two-phase scalar subquery).
+fn q22(runner: &dyn PlanRunner) -> Result<Batch> {
+    let codes: Vec<Value> = ["13", "31", "23", "29", "30", "18", "17"]
+        .iter()
+        .map(|c| Value::str(*c))
+        .collect();
+    let cntrycode = Expr::Substr(Box::new(col(c::PHONE)), 1, 2);
+    // Phase 1: average positive balance among those country codes.
+    let avg_plan = Plan::scan("customer", vec![c::CUSTKEY, c::PHONE, c::ACCTBAL], None)
+        .filter(
+            Expr::cmp(2, CmpOp::Gt, 0.0).and(Expr::InList(
+                Box::new(Expr::Substr(Box::new(col(1)), 1, 2)),
+                codes.clone(),
+            )),
+        )
+        .aggregate(vec![], vec![agg(AggFunc::Avg, col(2))]);
+    let avg_bal = runner.run(&avg_plan)?.value(0, 0).as_double().unwrap_or(0.0);
+    // Phase 2: rich, inactive customers grouped by country code.
+    let customer = Plan::scan(
+        "customer",
+        vec![c::CUSTKEY, c::PHONE, c::ACCTBAL],
+        Some(
+            Expr::cmp(c::ACCTBAL, CmpOp::Gt, avg_bal).and(Expr::InList(
+                Box::new(Expr::Substr(Box::new(col(c::PHONE)), 1, 2)),
+                codes,
+            )),
+        ),
+    );
+    let orders = Plan::scan("orders", vec![o::CUSTKEY], None);
+    let plan = customer
+        .join_full(orders, vec![0], vec![0], JoinType::Anti, None)
+        .project(vec![
+            (cntrycode.remap_columns(&|_| 1), DataType::Str),
+            (col(2), DataType::Double),
+        ])
+        .aggregate(
+            vec![col(0)],
+            vec![agg(AggFunc::Count, lit(1i64)), agg(AggFunc::Sum, col(1))],
+        )
+        .sort(vec![(0, SortDir::Asc)], None);
+    runner.run(&plan)
+}

@@ -1,0 +1,215 @@
+//! Workload-level integration tests. The strongest check here: every TPC-H
+//! query must produce the same result on all three engines (unified-storage
+//! cluster, CDW model, CDB model) — three independent execution paths
+//! cross-validating one another.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use s2_baseline::{CdbEngine, CdwEngine};
+use s2_blob::MemoryStore;
+use s2_cluster::{Cluster, ClusterConfig};
+use s2_common::Value;
+use s2_exec::Batch;
+use s2_query::ExecOptions;
+use s2_workloads::tpcc;
+use s2_workloads::tpcc::backend::{ClusterBackend, TpccBackend};
+use s2_workloads::tpch;
+use s2_workloads::tpch::load::{CdbRunner, CdwRunner, ClusterRunner};
+use s2_workloads::tpch::queries::run_query;
+
+fn small_cluster() -> Arc<Cluster> {
+    Cluster::new(
+        "test",
+        ClusterConfig { partitions: 2, ha_replicas: 0, sync_replication: false, ..Default::default() },
+    )
+    .unwrap()
+}
+
+fn batch_fingerprint(b: &Batch) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = (0..b.rows())
+        .map(|ri| {
+            (0..b.width())
+                .map(|ci| match b.value(ci, ri) {
+                    // Summation order differs across engines; compare doubles
+                    // at 6 significant digits.
+                    Value::Double(d) => format!("{:.5e}", d),
+                    other => other.to_string(),
+                })
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn tpch_queries_agree_across_all_three_engines() {
+    let data = tpch::generate(0.002, 12345);
+
+    let cluster = small_cluster();
+    tpch::load::load_cluster(&cluster, &data).unwrap();
+    let cdw = CdwEngine::new(Arc::new(MemoryStore::new()));
+    tpch::load::load_cdw(&cdw, &data).unwrap();
+    let cdb = CdbEngine::new();
+    tpch::load::load_cdb(&cdb, &data).unwrap();
+
+    let s2 = ClusterRunner { cluster: &cluster, opts: ExecOptions::default() };
+    let cdw_r = CdwRunner(&cdw);
+    let cdb_r = CdbRunner(&cdb);
+
+    for q in 1..=22 {
+        let a = run_query(q, &s2).unwrap_or_else(|e| panic!("q{q} on s2: {e}"));
+        let b = run_query(q, &cdw_r).unwrap_or_else(|e| panic!("q{q} on cdw: {e}"));
+        let c = run_query(q, &cdb_r).unwrap_or_else(|e| panic!("q{q} on cdb: {e}"));
+        let fa = batch_fingerprint(&a);
+        let fb = batch_fingerprint(&b);
+        let fc = batch_fingerprint(&c);
+        assert_eq!(fa, fb, "q{q}: s2 vs cdw");
+        assert_eq!(fa, fc, "q{q}: s2 vs cdb");
+    }
+}
+
+#[test]
+fn tpch_queries_return_sensible_shapes() {
+    let data = tpch::generate(0.002, 999);
+    let cluster = small_cluster();
+    tpch::load::load_cluster(&cluster, &data).unwrap();
+    let s2 = ClusterRunner { cluster: &cluster, opts: ExecOptions::default() };
+
+    // Q1 groups by (returnflag, linestatus): at most 4 combinations here.
+    let q1 = run_query(1, &s2).unwrap();
+    assert!((1..=4).contains(&q1.rows()), "q1 rows {}", q1.rows());
+    assert_eq!(q1.width(), 10);
+
+    // Q6 is a single scalar.
+    let q6 = run_query(6, &s2).unwrap();
+    assert_eq!((q6.rows(), q6.width()), (1, 1));
+    assert!(q6.value(0, 0).as_double().unwrap() > 0.0);
+
+    // Q13's distribution covers every customer.
+    let q13 = run_query(13, &s2).unwrap();
+    let total: i64 = (0..q13.rows()).map(|r| q13.value(1, r).as_int().unwrap()).sum();
+    assert_eq!(total as usize, data.table("customer").rows.len());
+}
+
+#[test]
+fn tpcc_smoke_on_cluster() {
+    let cluster = small_cluster();
+    let scale = tpcc::TpccScale::tiny(2);
+    tpcc::backend::load_cluster(&cluster, &scale, 7).unwrap();
+    let backend = ClusterBackend::new(Arc::clone(&cluster), scale);
+
+    let mut rng = tpcc::TpccRng::new(11);
+    let mut committed = 0;
+    for _ in 0..30 {
+        let p = tpcc::backend::gen_new_order(&mut rng, &scale);
+        if backend.new_order(&p).unwrap() {
+            committed += 1;
+        }
+    }
+    assert!(committed >= 25, "most new-orders commit ({committed}/30)");
+    for _ in 0..10 {
+        let p = tpcc::backend::gen_payment(&mut rng, &scale);
+        backend.payment(&p).unwrap();
+    }
+    for _ in 0..5 {
+        let p = tpcc::backend::gen_order_status(&mut rng, &scale);
+        backend.order_status(&p).unwrap();
+        let p = tpcc::backend::gen_delivery(&mut rng, &scale);
+        backend.delivery(&p).unwrap();
+        let p = tpcc::backend::gen_stock_level(&mut rng, &scale);
+        backend.stock_level(&p).unwrap();
+    }
+
+    // Orders landed: district next_o_id advanced and orders exist.
+    let ol_count = cluster.row_count("order_line").unwrap();
+    assert!(ol_count > 0);
+    let orders = cluster.row_count("orders").unwrap();
+    assert!(orders as i64 >= scale.warehouses * scale.districts * scale.preload_orders);
+}
+
+#[test]
+fn tpcc_cluster_and_cdb_state_converge() {
+    // Run the identical transaction sequence on both engines and compare
+    // aggregate state (balances, ytd sums) — catches logic divergence.
+    let cluster = small_cluster();
+    let scale = tpcc::TpccScale::tiny(1);
+    tpcc::backend::load_cluster(&cluster, &scale, 3).unwrap();
+    let s2 = ClusterBackend::new(Arc::clone(&cluster), scale);
+
+    let cdb = Arc::new(CdbEngine::new());
+    tpcc::backend::load_cdb(&cdb, &scale, 3).unwrap();
+    let cdb_b = tpcc::backend::CdbBackend { engine: Arc::clone(&cdb), scale };
+
+    let mut rng1 = tpcc::TpccRng::new(55);
+    let mut rng2 = tpcc::TpccRng::new(55);
+    for i in 0..40 {
+        match i % 4 {
+            0 | 1 => {
+                let p1 = tpcc::backend::gen_new_order(&mut rng1, &scale);
+                let p2 = tpcc::backend::gen_new_order(&mut rng2, &scale);
+                let a = s2.new_order(&p1).unwrap();
+                let b = cdb_b.new_order(&p2).unwrap();
+                assert_eq!(a, b, "rollback decisions agree");
+            }
+            2 => {
+                let p1 = tpcc::backend::gen_payment(&mut rng1, &scale);
+                let p2 = tpcc::backend::gen_payment(&mut rng2, &scale);
+                s2.payment(&p1).unwrap();
+                cdb_b.payment(&p2).unwrap();
+            }
+            _ => {
+                let p1 = tpcc::backend::gen_delivery(&mut rng1, &scale);
+                let p2 = tpcc::backend::gen_delivery(&mut rng2, &scale);
+                s2.delivery(&p1).unwrap();
+                cdb_b.delivery(&p2).unwrap();
+            }
+        }
+    }
+    // Same number of orders and order lines on both engines.
+    assert_eq!(
+        cluster.row_count("orders").unwrap(),
+        cdb.row_count("orders").unwrap(),
+        "order counts converge"
+    );
+    assert_eq!(
+        cluster.row_count("order_line").unwrap(),
+        cdb.row_count("order_line").unwrap()
+    );
+    assert_eq!(
+        cluster.row_count("new_order").unwrap(),
+        cdb.row_count("new_order").unwrap()
+    );
+}
+
+#[test]
+fn tpcc_driver_short_run() {
+    let cluster = small_cluster();
+    let scale = tpcc::TpccScale::tiny(1);
+    tpcc::backend::load_cluster(&cluster, &scale, 9).unwrap();
+    let backend: Arc<dyn TpccBackend> = Arc::new(ClusterBackend::new(cluster, scale));
+    let config = tpcc::driver::DriverConfig {
+        scale,
+        terminals_per_warehouse: 4,
+        wait_scale: f64::INFINITY, // no waits: raw smoke run
+        duration: Duration::from_millis(500),
+        seed: 1,
+    };
+    let result = tpcc::driver::run(backend, &config);
+    assert!(result.new_orders > 0, "some new-orders committed: {result:?}");
+    assert!(result.payments > 0);
+    assert_eq!(result.errors, 0, "{result:?}");
+}
+
+#[test]
+fn ch_analytics_over_tpcc_tables() {
+    let cluster = small_cluster();
+    let scale = tpcc::TpccScale::tiny(2);
+    tpcc::backend::load_cluster(&cluster, &scale, 21).unwrap();
+    let opts = ExecOptions::default();
+    for (name, plan) in s2_workloads::ch::queries() {
+        let out = cluster.execute(&plan, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.rows() > 0, "{name} returned no rows");
+    }
+}

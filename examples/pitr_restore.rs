@@ -1,0 +1,100 @@
+//! Point-in-time restore (paper §3.2): blob storage as a continuous backup.
+//! An "accident" deletes every account; PITR brings the database back to the
+//! position just before the damage — no explicit backup was ever taken.
+//!
+//! ```sh
+//! cargo run --release --example pitr_restore
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use s2db_repro::blob::{MemoryStore, ObjectStore};
+use s2db_repro::cluster::{restore_from_blob, BlobBackedFileStore, Cluster, ClusterConfig, StorageConfig};
+use s2db_repro::common::schema::ColumnDef;
+use s2db_repro::common::{DataType, Row, Schema, TableOptions, Value};
+
+fn main() {
+    let blob: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let cluster = Cluster::new(
+        "bank",
+        ClusterConfig {
+            partitions: 2,
+            ha_replicas: 1,
+            sync_replication: true,
+            blob: Some(Arc::clone(&blob)),
+            cache_bytes: 64 << 20,
+            storage: StorageConfig { tick: Duration::from_millis(5), ..Default::default() },
+        },
+    )
+    .unwrap();
+
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("balance", DataType::Double),
+    ])
+    .unwrap();
+    cluster
+        .create_table(
+            "accounts",
+            schema,
+            TableOptions::new().with_shard_key(vec![0]).with_unique("pk", vec![0]),
+        )
+        .unwrap();
+
+    // Day 1: accounts created and funded. Commits are durable on replication;
+    // data files / log chunks / snapshots trickle to blob storage async.
+    let mut txn = cluster.begin();
+    for i in 0..5_000i64 {
+        txn.insert("accounts", Row::new(vec![Value::Int(i), Value::Double(100.0)])).unwrap();
+    }
+    txn.commit().unwrap();
+    cluster.flush_table("accounts").unwrap();
+    cluster.sync_to_blob().unwrap();
+    println!("day 1: 5000 accounts committed; blob store now holds the history");
+
+    // Remember "just before the accident" (the paper maps a wall-clock time
+    // to this log position; we address positions directly).
+    let targets: Vec<u64> =
+        (0..cluster.partition_count()).map(|p| cluster.set(p).master().log.end_lp()).collect();
+
+    // Day 2: the accident.
+    let mut txn = cluster.begin();
+    for i in 0..5_000i64 {
+        txn.delete_unique("accounts", &[Value::Int(i)]).unwrap();
+    }
+    txn.commit().unwrap();
+    cluster.sync_to_blob().unwrap();
+    println!("day 2: every account deleted (oops) — live row count: {}",
+        cluster.row_count("accounts").unwrap());
+
+    // PITR: rebuild each partition from blob snapshots + log chunks, bounded
+    // at the pre-accident position. No backup was ever taken explicitly.
+    let mut restored_total = 0usize;
+    for pid in 0..cluster.partition_count() {
+        let set = cluster.set(pid);
+        let files = BlobBackedFileStore::new(Arc::clone(&blob), 64 << 20);
+        let restored = restore_from_blob(
+            &blob,
+            &set.name,
+            files as Arc<dyn s2db_repro::core::DataFileStore>,
+            Some(targets[pid]),
+        )
+        .expect("restore");
+        let t = restored.table_by_name("accounts").unwrap().id;
+        let rows = restored.read_snapshot().table(t).unwrap().live_row_count();
+        println!("  partition {pid}: restored {rows} live rows at lp {}", targets[pid]);
+        restored_total += rows;
+
+        // The restored partition is fully functional — prove it with a point
+        // read of an account this shard owns (id 7 lives on one of them).
+        let txn = restored.begin();
+        if let Some(acct) = txn.get_unique(t, &[Value::Int(7)]).unwrap() {
+            assert_eq!(acct.get(1), &Value::Double(100.0));
+            println!("  partition {pid}: account 7 readable with balance 100");
+        }
+        txn.rollback();
+    }
+    assert_eq!(restored_total, 5_000);
+    println!("restored {restored_total}/5000 accounts — point-in-time restore complete");
+}

@@ -1,0 +1,99 @@
+//! Read-only workspaces (paper §3.2, figure 2): provision isolated read
+//! compute from blob storage in one call, keep it fresh by replicating only
+//! the log tail, and run heavy analytics without touching the primary.
+//!
+//! ```sh
+//! cargo run --release --example workspace_scaling
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use s2db_repro::blob::{MemoryStore, ObjectStore};
+use s2db_repro::cluster::{Cluster, ClusterConfig, StorageConfig, Workspace};
+use s2db_repro::common::schema::ColumnDef;
+use s2db_repro::common::{DataType, Row, Schema, TableOptions, Value};
+use s2db_repro::exec::{AggFunc, Aggregate, Expr};
+use s2db_repro::query::{ExecOptions, Plan};
+
+fn main() {
+    let blob: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let cluster = Cluster::new(
+        "prod",
+        ClusterConfig {
+            partitions: 2,
+            ha_replicas: 1,
+            sync_replication: true,
+            blob: Some(Arc::clone(&blob)),
+            cache_bytes: 128 << 20,
+            storage: StorageConfig { tick: Duration::from_millis(5), ..Default::default() },
+        },
+    )
+    .unwrap();
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("sensor", DataType::Int64),
+        ColumnDef::new("reading", DataType::Double),
+    ])
+    .unwrap();
+    cluster
+        .create_table(
+            "telemetry",
+            schema,
+            TableOptions::new().with_sort_key(vec![0]).with_shard_key(vec![0]).with_unique("pk", vec![0]),
+        )
+        .unwrap();
+
+    let mut txn = cluster.begin();
+    for i in 0..30_000i64 {
+        txn.insert(
+            "telemetry",
+            Row::new(vec![Value::Int(i), Value::Int(i % 100), Value::Double((i % 70) as f64)]),
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    cluster.flush_table("telemetry").unwrap();
+    cluster.sync_to_blob().unwrap();
+    println!("primary loaded with 30k telemetry rows and shipped to blob storage");
+
+    // Provision the analytics workspace: metadata restore from blob, data
+    // files pulled lazily on first use — this is why it's fast.
+    let t0 = Instant::now();
+    let ws = Workspace::provision("analytics", &cluster, &blob, 128 << 20).expect("provision");
+    ws.catch_up(Duration::from_secs(10));
+    println!("workspace provisioned and caught up in {:?}", t0.elapsed());
+
+    // Heavy analytics on the workspace's own compute.
+    let plan = Plan::scan("telemetry", vec![1, 2], None).aggregate(
+        vec![Expr::Column(0)],
+        vec![Aggregate { func: AggFunc::Avg, input: Expr::Column(1) }],
+    );
+    let out = ws.execute(&plan, &ExecOptions::default()).unwrap();
+    println!("workspace answered a 100-group aggregation: {} groups", out.rows());
+
+    // New primary writes stream over the log tail; measure freshness.
+    let mut txn = cluster.begin();
+    for i in 30_000..31_000i64 {
+        txn.insert(
+            "telemetry",
+            Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(1.0)]),
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    let t0 = Instant::now();
+    ws.catch_up(Duration::from_secs(10));
+    println!(
+        "1000 fresh rows visible on the workspace {:?} after commit (lag now {} bytes)",
+        t0.elapsed(),
+        ws.max_lag_bytes()
+    );
+    let count_plan = Plan::scan("telemetry", vec![0], None).aggregate(
+        vec![],
+        vec![Aggregate { func: AggFunc::Count, input: Expr::Literal(Value::Int(1)) }],
+    );
+    let out = ws.execute(&count_plan, &ExecOptions::default()).unwrap();
+    assert_eq!(out.value(0, 0), Value::Int(31_000));
+    println!("workspace sees all 31000 rows; primary never served a single analytical read");
+}

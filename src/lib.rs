@@ -1,0 +1,19 @@
+//! Workspace root helper crate.
+//!
+//! Re-exports the public crates of the S2DB reproduction so that the
+//! integration tests in `tests/` and the runnable binaries in `examples/`
+//! can reach every subsystem through one dependency.
+
+pub use s2_baseline as baseline;
+pub use s2_blob as blob;
+pub use s2_cluster as cluster;
+pub use s2_columnstore as columnstore;
+pub use s2_common as common;
+pub use s2_core as core;
+pub use s2_encoding as encoding;
+pub use s2_exec as exec;
+pub use s2_index as index;
+pub use s2_query as query;
+pub use s2_rowstore as rowstore;
+pub use s2_wal as wal;
+pub use s2_workloads as workloads;

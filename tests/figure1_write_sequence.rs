@@ -1,0 +1,101 @@
+//! Figure 1's write sequence, step by step: (a) insert transactions land in
+//! the in-memory rowstore and the log; (b) the flusher converts rowstore
+//! rows into a columnstore segment whose data file is named after the log
+//! position that created it; (c) deleting a row from a segment only flips a
+//! bit in the (logged) metadata — the data file itself is immutable.
+
+use std::sync::Arc;
+
+use s2db_repro::common::schema::ColumnDef;
+use s2db_repro::common::{DataType, Row, Schema, TableOptions, Value};
+use s2db_repro::core::{DataFileStore, MemFileStore, Partition};
+use s2db_repro::wal::Log;
+
+fn setup() -> (Arc<Partition>, Arc<MemFileStore>, u32) {
+    let files = Arc::new(MemFileStore::new());
+    let p = Partition::new("f1_p0", Arc::new(Log::in_memory()), files.clone());
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("v", DataType::Str),
+    ])
+    .unwrap();
+    let t = p
+        .create_table("t", schema, TableOptions::new().with_unique("pk", vec![0]))
+        .unwrap();
+    (p, files, t)
+}
+
+#[test]
+fn figure1_insert_flush_delete() {
+    let (p, files, t) = setup();
+
+    // (a) Two insert transactions: rows 1,2 then row 3. Both are in the
+    // rowstore and durable in the log; no data files exist yet.
+    let mut txn = p.begin();
+    txn.insert(t, Row::new(vec![Value::Int(1), Value::str("a")])).unwrap();
+    txn.insert(t, Row::new(vec![Value::Int(2), Value::str("b")])).unwrap();
+    txn.commit().unwrap();
+    let mut txn = p.begin();
+    txn.insert(t, Row::new(vec![Value::Int(3), Value::str("c")])).unwrap();
+    txn.commit().unwrap();
+
+    let lp_before_flush = p.log.end_lp();
+    assert!(lp_before_flush > 0, "both transactions logged");
+    assert_eq!(files.file_count(), 0, "no data files before the flush");
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+    assert_eq!(ts.rowstore_rows().len(), 3);
+    assert_eq!(ts.segments.len(), 0);
+
+    // (b) The flush converts rows 1,2,3 into segment 1 and removes them from
+    // the rowstore, in one transaction. The file is named after the log
+    // position at which it was created — logically part of the log stream.
+    assert_eq!(p.flush_table(t, true).unwrap(), 1);
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+    assert_eq!(ts.rowstore_rows().len(), 0, "rows left the rowstore");
+    assert_eq!(ts.segments.len(), 1, "one segment created");
+    let seg = &ts.segments[0];
+    assert_eq!(seg.core.meta.row_count, 3);
+    assert_eq!(
+        seg.core.meta.file_id, lp_before_flush,
+        "data file named after the log position of its creating flush"
+    );
+    assert_eq!(files.file_count(), 1);
+    let file_bytes_after_flush =
+        files.read_file(&s2db_repro::core::file_name("f1_p0", seg.core.meta.file_id, seg.core.meta.id)).unwrap();
+
+    // (c) Delete row 2: only segment *metadata* changes (one deleted bit);
+    // the data file bytes are untouched; the change is logged.
+    let lp_before_delete = p.log.end_lp();
+    let mut txn = p.begin();
+    assert!(txn.delete_unique(t, &[Value::Int(2)]).unwrap());
+    txn.commit().unwrap();
+    assert!(p.log.end_lp() > lp_before_delete, "metadata change was logged");
+
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+    assert_eq!(ts.segments.len(), 1);
+    let seg = &ts.segments[0];
+    assert_eq!(seg.deleted.count_ones(), 1, "exactly one deleted bit set");
+    assert_eq!(seg.live_rows(), 2);
+    let file_bytes_after_delete =
+        files.read_file(&s2db_repro::core::file_name("f1_p0", seg.core.meta.file_id, seg.core.meta.id)).unwrap();
+    assert_eq!(
+        file_bytes_after_flush, file_bytes_after_delete,
+        "the data file is immutable; the delete lives in metadata"
+    );
+
+    // Readers see exactly rows 1 and 3.
+    let txn = p.begin();
+    assert!(txn.get_unique(t, &[Value::Int(1)]).unwrap().is_some());
+    assert!(txn.get_unique(t, &[Value::Int(2)]).unwrap().is_none());
+    assert!(txn.get_unique(t, &[Value::Int(3)]).unwrap().is_some());
+    txn.rollback();
+
+    // And the whole sequence replays identically from the log alone.
+    let p2 = Partition::recover("f1_p0", Arc::clone(&p.log), files, None, None).unwrap();
+    let t2 = p2.table_by_name("t").unwrap().id;
+    let snap = p2.read_snapshot();
+    assert_eq!(snap.table(t2).unwrap().live_row_count(), 2);
+}

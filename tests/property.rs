@@ -1,0 +1,241 @@
+//! Property-based tests over the core data structures and the storage
+//! engine's end-to-end invariants.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use s2db_repro::common::io::ByteWriter;
+use s2db_repro::common::schema::ColumnDef;
+use s2db_repro::common::{DataType, Row, Schema, TableOptions, Value};
+use s2db_repro::core::{MemFileStore, Partition};
+use s2db_repro::encoding::{encode_column, lz, ColumnReader, Encoding};
+use s2db_repro::index::{encode_postings, intersect, PostingsReader};
+use s2db_repro::wal::Log;
+
+fn opt_int() -> impl Strategy<Value = Option<i64>> {
+    prop_oneof![
+        3 => any::<i64>().prop_map(Some),
+        1 => prop::strategy::Just(None),
+        2 => (-100i64..100).prop_map(Some), // clustered values exercise RLE/dict
+    ]
+}
+
+fn opt_str() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        3 => "[a-z]{0,12}".prop_map(Some),
+        1 => prop::strategy::Just(None),
+        2 => prop::sample::select(vec!["alpha", "beta", "gamma"])
+            .prop_map(|s| Some(s.to_string())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int_encodings_roundtrip(values in prop::collection::vec(opt_int(), 0..300)) {
+        let vals: Vec<Value> =
+            values.iter().map(|v| v.map_or(Value::Null, Value::Int)).collect();
+        for enc in [
+            None,
+            Some(Encoding::PlainInt),
+            Some(Encoding::BitPackInt),
+            Some(Encoding::RleInt),
+            Some(Encoding::DictInt),
+        ] {
+            let col = encode_column(&vals, DataType::Int64, enc).unwrap();
+            let r = ColumnReader::open(&col).unwrap();
+            prop_assert_eq!(r.rows(), vals.len());
+            for (i, v) in vals.iter().enumerate() {
+                prop_assert_eq!(&r.value(i).unwrap(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn str_encodings_roundtrip(values in prop::collection::vec(opt_str(), 0..300)) {
+        let vals: Vec<Value> =
+            values.iter().map(|v| v.as_deref().map_or(Value::Null, Value::str)).collect();
+        for enc in [None, Some(Encoding::PlainStr), Some(Encoding::DictStr), Some(Encoding::LzStr)] {
+            let col = encode_column(&vals, DataType::Str, enc).unwrap();
+            let r = ColumnReader::open(&col).unwrap();
+            for (i, v) in vals.iter().enumerate() {
+                prop_assert_eq!(&r.value(i).unwrap(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn lz_roundtrip(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn encoded_filter_matches_regular(values in prop::collection::vec(-20i64..20, 1..400),
+                                      probe in -20i64..20) {
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let col = encode_column(&vals, DataType::Int64, Some(Encoding::DictInt)).unwrap();
+        let r = ColumnReader::open(&col).unwrap();
+        let got = r
+            .encoded_filter(&mut |v| v == &Value::Int(probe), None)
+            .unwrap()
+            .unwrap();
+        let expected: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == probe)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn postings_intersect_matches_naive(
+        a in prop::collection::btree_set(0u32..2_000, 0..300),
+        b in prop::collection::btree_set(0u32..2_000, 0..300),
+    ) {
+        let av: Vec<u32> = a.iter().copied().collect();
+        let bv: Vec<u32> = b.iter().copied().collect();
+        let mut wa = ByteWriter::new();
+        encode_postings(&mut wa, &av);
+        let ba = wa.into_bytes();
+        let mut wb = ByteWriter::new();
+        encode_postings(&mut wb, &bv);
+        let bb = wb.into_bytes();
+        let got = intersect(vec![
+            PostingsReader::open(&ba, 0).unwrap(),
+            PostingsReader::open(&bb, 0).unwrap(),
+        ])
+        .unwrap();
+        let expected: Vec<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// Model-based test of the unified table: a random op sequence applied both
+/// to the engine (with interleaved flush/merge/vacuum/recovery) and to a
+/// `BTreeMap` model; visible state must always match the model.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+    Flush,
+    Merge,
+    Vacuum,
+    Recover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0i64..50, any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        3 => (0i64..50, any::<i64>()).prop_map(|(k, v)| Op::Update(k, v)),
+        2 => (0i64..50).prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Merge),
+        1 => Just(Op::Vacuum),
+        1 => Just(Op::Recover),
+    ]
+}
+
+fn engine_state(p: &Arc<Partition>, t: u32) -> BTreeMap<i64, i64> {
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+    let mut out = BTreeMap::new();
+    // Rowstore side.
+    for (_, row) in ts.rowstore_rows() {
+        out.insert(row.get(0).as_int().unwrap(), row.get(1).as_int().unwrap());
+    }
+    // Segment side.
+    for seg in &ts.segments {
+        for ri in 0..seg.core.meta.row_count {
+            if seg.deleted.get(ri) {
+                continue;
+            }
+            let row = seg.core.reader.row(ri).unwrap();
+            out.insert(row.get(0).as_int().unwrap(), row.get(1).as_int().unwrap());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn unified_table_matches_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let files = Arc::new(MemFileStore::new());
+        let log = Arc::new(Log::in_memory());
+        let mut p = Partition::new("prop", Arc::clone(&log), files.clone());
+        let schema = Schema::new(vec![
+            ColumnDef::new("k", DataType::Int64),
+            ColumnDef::new("v", DataType::Int64),
+        ])
+        .unwrap();
+        let t = p
+            .create_table(
+                "t",
+                schema,
+                TableOptions::new()
+                    .with_sort_key(vec![0])
+                    .with_unique("pk", vec![0])
+                    .with_flush_threshold(8)
+                    .with_segment_rows(16),
+            )
+            .unwrap();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let mut txn = p.begin();
+                    let r = txn.insert(t, Row::new(vec![Value::Int(k), Value::Int(v)]));
+                    match r {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&k), "engine accepted dup {k}");
+                            txn.commit().unwrap();
+                            model.insert(k, v);
+                        }
+                        Err(e) => {
+                            prop_assert!(model.contains_key(&k), "engine rejected new key: {e}");
+                            txn.rollback();
+                        }
+                    }
+                }
+                Op::Update(k, v) => {
+                    let mut txn = p.begin();
+                    let updated = txn
+                        .update_unique(t, &[Value::Int(k)], Row::new(vec![Value::Int(k), Value::Int(v)]))
+                        .unwrap();
+                    txn.commit().unwrap();
+                    prop_assert_eq!(updated, model.contains_key(&k));
+                    if updated {
+                        model.insert(k, v);
+                    }
+                }
+                Op::Delete(k) => {
+                    let mut txn = p.begin();
+                    let deleted = txn.delete_unique(t, &[Value::Int(k)]).unwrap();
+                    txn.commit().unwrap();
+                    prop_assert_eq!(deleted, model.remove(&k).is_some());
+                }
+                Op::Flush => {
+                    p.flush_table(t, true).unwrap();
+                }
+                Op::Merge => {
+                    while p.merge_table(t).unwrap() {}
+                }
+                Op::Vacuum => {
+                    p.vacuum().unwrap();
+                }
+                Op::Recover => {
+                    p = Partition::recover("prop", Arc::clone(&log), files.clone(), None, None)
+                        .unwrap();
+                }
+            }
+            prop_assert_eq!(&engine_state(&p, t), &model);
+        }
+    }
+}
