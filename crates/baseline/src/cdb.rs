@@ -46,8 +46,11 @@ struct CdbTable {
     /// Primary index: PK -> serialized tuple.
     rows: BTreeMap<Vec<Value>, Vec<u8>>,
     /// Secondary indexes: columns -> (key values -> PKs).
-    secondary: Vec<(Vec<usize>, BTreeMap<Vec<Value>, Vec<Vec<Value>>>)>,
+    secondary: Vec<(Vec<usize>, SecondaryIndex)>,
 }
+
+/// One secondary index: key values -> PKs of matching rows.
+type SecondaryIndex = BTreeMap<Vec<Value>, Vec<Vec<Value>>>;
 
 impl CdbTable {
     fn index_row(&mut self, row: &Row) {
@@ -170,12 +173,7 @@ impl CdbEngine {
     }
 
     /// Secondary-index equality lookup.
-    pub fn lookup_secondary(
-        &self,
-        table: &str,
-        cols: &[usize],
-        key: &[Value],
-    ) -> Result<Vec<Row>> {
+    pub fn lookup_secondary(&self, table: &str, cols: &[usize], key: &[Value]) -> Result<Vec<Row>> {
         let t = self.table(table)?;
         let t = t.read();
         let (_, index) = t
@@ -185,11 +183,9 @@ impl CdbEngine {
             .ok_or_else(|| Error::NotFound(format!("secondary index on {cols:?}")))?;
         match index.get(key) {
             None => Ok(Vec::new()),
-            Some(pks) => pks
-                .iter()
-                .filter_map(|pk| t.rows.get(pk))
-                .map(|b| decode_row(b))
-                .collect(),
+            Some(pks) => {
+                pks.iter().filter_map(|pk| t.rows.get(pk)).map(|b| decode_row(b)).collect()
+            }
         }
     }
 
@@ -369,10 +365,7 @@ fn row_aggregate(rows: &[Row], group_by: &[Expr], aggregates: &[Aggregate]) -> R
         let key: Vec<Value> = group_by.iter().map(|g| g.eval(&get)).collect::<Result<_>>()?;
         let states = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            aggregates
-                .iter()
-                .map(|_| State { count: 0, sum: 0.0, min: None, max: None })
-                .collect()
+            aggregates.iter().map(|_| State { count: 0, sum: 0.0, min: None, max: None }).collect()
         });
         for (s, a) in states.iter_mut().zip(aggregates) {
             let v = a.input.eval(&get)?;

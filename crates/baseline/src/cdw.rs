@@ -98,16 +98,14 @@ impl CdwEngine {
     /// Point update: unsupported (no primary keys, no row locks).
     pub fn update(&self, _table: &str, _key: &[Value]) -> Result<()> {
         Err(Error::InvalidArgument(
-            "CDW model does not support point updates (no unique keys or row-level locking)"
-                .into(),
+            "CDW model does not support point updates (no unique keys or row-level locking)".into(),
         ))
     }
 
     /// Point delete: unsupported.
     pub fn delete(&self, _table: &str, _key: &[Value]) -> Result<()> {
         Err(Error::InvalidArgument(
-            "CDW model does not support point deletes (no unique keys or row-level locking)"
-                .into(),
+            "CDW model does not support point deletes (no unique keys or row-level locking)".into(),
         ))
     }
 
@@ -125,8 +123,7 @@ impl CdwEngine {
         let t = t.read();
         let types: Vec<s2_common::DataType> =
             projection.iter().map(|&c| t.schema.column(c).data_type).collect();
-        let conjuncts: Vec<Expr> =
-            filter.map(|f| f.clone().split_conjuncts()).unwrap_or_default();
+        let conjuncts: Vec<Expr> = filter.map(|f| f.clone().split_conjuncts()).unwrap_or_default();
         let ranges: Vec<_> = conjuncts.iter().filter_map(Expr::as_column_range).collect();
         let mut parts: Vec<Batch> = Vec::new();
         for seg in &t.segments {
@@ -262,10 +259,8 @@ mod tests {
     #[test]
     fn aggregates() {
         let e = engine();
-        let plan = Plan::scan("t", vec![1], None).aggregate(
-            vec![],
-            vec![Aggregate { func: AggFunc::Sum, input: Expr::Column(0) }],
-        );
+        let plan = Plan::scan("t", vec![1], None)
+            .aggregate(vec![], vec![Aggregate { func: AggFunc::Sum, input: Expr::Column(0) }]);
         let out = e.execute(&plan).unwrap();
         let expected: f64 = (0..1000).map(|i| i as f64).sum();
         assert_eq!(out.value(0, 0), Value::Double(expected));

@@ -55,8 +55,11 @@ fn bench(c: &mut Criterion) {
     let ts = Arc::clone(snap.table(t).unwrap());
     // Written order: expensive LIKE (passes almost everything) first, then a
     // cheap compare that keeps 1% of rows.
-    let filter = Expr::Like(Box::new(Expr::Column(1)), "%filler%".into())
-        .and(Expr::cmp(2, CmpOp::Lt, 10i64));
+    let filter = Expr::Like(Box::new(Expr::Column(1)), "%filler%".into()).and(Expr::cmp(
+        2,
+        CmpOp::Lt,
+        10i64,
+    ));
 
     let mut group = c.benchmark_group("clause_ordering");
     group.sample_size(15);

@@ -18,11 +18,8 @@ use s2_common::{DataType, Row, Schema, TableOptions, Value};
 const BLOB_LATENCY: Duration = Duration::from_millis(5);
 
 fn schema() -> Schema {
-    Schema::new(vec![
-        ColumnDef::new("id", DataType::Int64),
-        ColumnDef::new("v", DataType::Str),
-    ])
-    .unwrap()
+    Schema::new(vec![ColumnDef::new("id", DataType::Int64), ColumnDef::new("v", DataType::Str)])
+        .unwrap()
 }
 
 fn bench(c: &mut Criterion) {

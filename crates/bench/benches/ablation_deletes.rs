@@ -5,9 +5,9 @@
 use std::collections::HashSet;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use s2_columnstore::{build_segment, SegmentReader};
 use s2_common::schema::ColumnDef;
 use s2_common::{BitVec, DataType, Row, Schema, Value};
-use s2_columnstore::{build_segment, SegmentReader};
 
 const ROWS: i64 = 200_000;
 const DELETED_EVERY: i64 = 10; // 10% deleted
@@ -40,8 +40,7 @@ fn bench(c: &mut Criterion) {
     // then a straight vectorized sum over survivors.
     group.bench_function("deleted_bitvector", |b| {
         b.iter(|| {
-            let sel: Vec<u32> =
-                (0..ROWS as u32).filter(|&i| !bits.get(i as usize)).collect();
+            let sel: Vec<u32> = (0..ROWS as u32).filter(|&i| !bits.get(i as usize)).collect();
             let v = reader.column(1).unwrap().decode_vector(Some(&sel)).unwrap();
             let mut sum = 0.0;
             for i in 0..v.len() {

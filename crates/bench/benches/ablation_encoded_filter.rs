@@ -54,8 +54,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("dictionary_filter");
     group.sample_size(20);
     group.bench_function("encoded", |b| {
-        let opts =
-            ScanOptions { use_encoded: true, use_index: false, adaptive_reorder: false, ..Default::default() };
+        let opts = ScanOptions {
+            use_encoded: true,
+            use_index: false,
+            adaptive_reorder: false,
+            ..Default::default()
+        };
         b.iter(|| {
             let (batch, stats) = scan(&ts, &[2], Some(&filter), &opts).unwrap();
             assert_eq!(batch.rows() as i64, ROWS / 5);
@@ -63,8 +67,12 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.bench_function("regular", |b| {
-        let opts =
-            ScanOptions { use_encoded: false, use_index: false, adaptive_reorder: false, ..Default::default() };
+        let opts = ScanOptions {
+            use_encoded: false,
+            use_index: false,
+            adaptive_reorder: false,
+            ..Default::default()
+        };
         b.iter(|| {
             let (batch, stats) = scan(&ts, &[2], Some(&filter), &opts).unwrap();
             assert_eq!(batch.rows() as i64, ROWS / 5);

@@ -21,17 +21,15 @@ fn setup() -> (Arc<Partition>, u32) {
     ])
     .unwrap();
     // No sort key: ids scatter across segments, the worst case for probing.
-    let opts = TableOptions::new()
-        .with_unique("pk", vec![0])
-        .with_segment_rows(ROWS_PER_SEGMENT as usize);
+    let opts =
+        TableOptions::new().with_unique("pk", vec![0]).with_segment_rows(ROWS_PER_SEGMENT as usize);
     let t = p.create_table("t", schema, opts).unwrap();
     for s in 0..SEGMENTS as i64 {
         let mut txn = p.begin();
         for i in 0..ROWS_PER_SEGMENT {
             // Interleave ids so every segment's [min, max] covers everything.
             let id = i * SEGMENTS as i64 + s;
-            txn.insert(t, Row::new(vec![Value::Int(id), Value::str(format!("row{id}"))]))
-                .unwrap();
+            txn.insert(t, Row::new(vec![Value::Int(id), Value::str(format!("row{id}"))])).unwrap();
         }
         txn.commit().unwrap();
         p.flush_table(t, true).unwrap();
@@ -54,17 +52,16 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_lookup");
     // Two-level index: O(levels) global probes, then exact postings.
     group.bench_function("two_level_index", |b| {
-        let mut nk = next_key.clone();
+        let mut nk = next_key;
         b.iter(|| {
-            let probe =
-                table_snap.index_probe(&[0], &[Value::Int(nk())]).unwrap().unwrap();
+            let probe = table_snap.index_probe(&[0], &[Value::Int(nk())]).unwrap().unwrap();
             assert_eq!(probe.row_count(), 1);
         })
     });
     // Per-segment-only: probe every segment's inverted index (the paper's
     // "checking the index or bloom filter per segment", O(N) in segments).
     group.bench_function("per_segment_probe", |b| {
-        let mut nk = next_key.clone();
+        let mut nk = next_key;
         b.iter(|| {
             let key = Value::Int(nk());
             let mut found = 0;
@@ -80,7 +77,7 @@ fn bench(c: &mut Criterion) {
     // Full scan with the index disabled (min/max can't help: ids interleave).
     group.bench_function("full_scan", |b| {
         let opts = ScanOptions { use_index: false, ..Default::default() };
-        let mut nk = next_key.clone();
+        let mut nk = next_key;
         b.iter(|| {
             let f = Expr::eq(0, nk());
             let (batch, _) = scan(&table_snap, &[0], Some(&f), &opts).unwrap();

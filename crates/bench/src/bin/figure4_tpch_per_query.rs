@@ -46,4 +46,5 @@ fn main() {
         })
         .count();
     println!("\nS2DB fastest or tied on {wins}/22 queries (paper: competitive across the board)");
+    s2_bench::report_metrics();
 }

@@ -28,26 +28,16 @@ fn main() {
         let cluster = bench_cluster(4);
         s2_workloads::tpcc::backend::load_cluster(&cluster, &scale, 7).expect("load");
         let backend: Arc<dyn TpccBackend> = Arc::new(ClusterBackend::new(cluster, scale));
-        let cfg = DriverConfig {
-            scale,
-            terminals_per_warehouse: 10,
-            wait_scale,
-            duration,
-            seed: 42,
-        };
+        let cfg =
+            DriverConfig { scale, terminals_per_warehouse: 10, wait_scale, duration, seed: 42 };
         run_tpcc(backend, &cfg).tpmc(wait_scale)
     };
     let tpmc_cdb = {
         let engine = Arc::new(CdbEngine::new());
         s2_workloads::tpcc::backend::load_cdb(&engine, &scale, 7).expect("load");
         let backend: Arc<dyn TpccBackend> = Arc::new(CdbBackend { engine, scale });
-        let cfg = DriverConfig {
-            scale,
-            terminals_per_warehouse: 10,
-            wait_scale,
-            duration,
-            seed: 42,
-        };
+        let cfg =
+            DriverConfig { scale, terminals_per_warehouse: 10, wait_scale, duration, seed: 42 };
         run_tpcc(backend, &cfg).tpmc(wait_scale)
     };
 
@@ -75,4 +65,5 @@ fn main() {
     println!(
         "\npaper shape check: only S2DB posts strong bars on BOTH sides — the HTAP claim in one figure"
     );
+    s2_bench::report_metrics();
 }

@@ -28,13 +28,8 @@ fn one_run(
     wait_scale: f64,
     duration: Duration,
 ) -> Vec<String> {
-    let config = DriverConfig {
-        scale,
-        terminals_per_warehouse: 10,
-        wait_scale,
-        duration,
-        seed: 42,
-    };
+    let config =
+        DriverConfig { scale, terminals_per_warehouse: 10, wait_scale, duration, seed: 42 };
     let result = run(backend, &config);
     let tpmc = result.tpmc(wait_scale);
     let pct = result.pct_of_max(&config);
@@ -87,5 +82,8 @@ fn main() {
         &["Product", "Size (warehouses)", "Throughput (tpmC)", "Throughput (% of max)", "errors"],
         &rows,
     );
-    println!("\npaper shape check: both engines near the ceiling; S2DB scales ~linearly with warehouses");
+    println!(
+        "\npaper shape check: both engines near the ceiling; S2DB scales ~linearly with warehouses"
+    );
+    s2_bench::report_metrics();
 }

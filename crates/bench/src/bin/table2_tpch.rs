@@ -47,10 +47,17 @@ fn main() {
         })
         .collect();
     print_table(
-        &["Product", "Cluster price/h", "TPC-H geomean (sec)", "TPC-H geomean (cents)", "TPC-H throughput (QPS)"],
+        &[
+            "Product",
+            "Cluster price/h",
+            "TPC-H geomean (sec)",
+            "TPC-H geomean (cents)",
+            "TPC-H throughput (QPS)",
+        ],
         &rows,
     );
     println!(
         "\npaper shape check: S2DB ~ CDW1 ~ CDW2 (within ~1.2x geomean); CDB orders of magnitude slower / DNF"
     );
+    s2_bench::report_metrics();
 }

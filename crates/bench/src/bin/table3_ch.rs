@@ -10,8 +10,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use s2_blob::{MemoryStore, ObjectStore};
 use s2_bench::{env_u64, print_table};
+use s2_blob::{MemoryStore, ObjectStore};
 use s2_cluster::{Cluster, ClusterConfig, StorageConfig, Workspace};
 use s2_query::ExecOptions;
 use s2_workloads::ch;
@@ -191,12 +191,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["Test case / configuration", "vCPU", "TpmC", "Analytical QPS", "ws lag"],
-        &rows,
-    );
+    print_table(&["Test case / configuration", "vCPU", "TpmC", "Analytical QPS", "ws lag"], &rows);
     println!(
         "\npaper shape check: case 3 halves both sides vs 1/2; case 4 restores TW throughput\n\
          and most AW throughput (isolated compute); case 5 ~ case 4 (async blob upload is ~free)"
     );
+    s2_bench::report_metrics();
 }

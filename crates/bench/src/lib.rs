@@ -43,6 +43,25 @@ pub fn blob_latency() -> Duration {
     Duration::from_millis(env_u64("S2_BLOB_LATENCY_MS", 10))
 }
 
+/// Whether this bench run should print an observability snapshot at the
+/// end: opt-in via a `--metrics` argument or `S2_METRICS=1`, so default
+/// bench output stays byte-identical.
+pub fn metrics_enabled() -> bool {
+    std::env::args().any(|a| a == "--metrics")
+        || std::env::var("S2_METRICS").is_ok_and(|v| v == "1" || v == "true")
+}
+
+/// End-of-run metrics hook for every bench binary. The snapshot is always
+/// taken (it doubles as a smoke test that the registry aggregates under
+/// load); it is only printed when [`metrics_enabled`].
+pub fn report_metrics() {
+    let snapshot = s2_obs::global().snapshot();
+    if metrics_enabled() {
+        println!("\n== metrics snapshot ==");
+        print!("{}", snapshot.to_text());
+    }
+}
+
 /// A shared-nothing cluster sized for benchmarks.
 pub fn bench_cluster(partitions: usize) -> Arc<Cluster> {
     Cluster::new(
@@ -216,8 +235,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: &[String]| {
-        let s: Vec<String> =
-            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let s: Vec<String> = cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
         println!("  {}", s.join("  "));
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());

@@ -81,11 +81,13 @@ impl FileCache {
             if let Some(e) = inner.map.get_mut(key) {
                 e.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                s2_obs::counter!("blob.cache.hit").inc();
                 return Ok(Arc::clone(&e.bytes));
             }
         }
         // Fetch outside the lock: a slow blob read must not block other hits.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        s2_obs::counter!("blob.cache.miss").inc();
         let bytes = fetch()?;
         self.insert(key, Arc::clone(&bytes));
         Ok(bytes)
@@ -99,13 +101,13 @@ impl FileCache {
         }
         let stamp = self.tick();
         let mut inner = self.inner.lock();
-        if let Some(old) = inner.map.insert(
-            key.to_string(),
-            Entry { bytes: Arc::clone(&bytes), last_used: stamp },
-        ) {
+        if let Some(old) =
+            inner.map.insert(key.to_string(), Entry { bytes: Arc::clone(&bytes), last_used: stamp })
+        {
             inner.bytes -= old.bytes.len();
         }
         inner.bytes += bytes.len();
+        let mut evicted = 0u64;
         while inner.bytes > self.capacity {
             // Evict the least recently used entry.
             let victim = inner
@@ -116,6 +118,18 @@ impl FileCache {
                 .expect("over budget implies non-empty");
             if let Some(e) = inner.map.remove(&victim) {
                 inner.bytes -= e.bytes.len();
+            }
+            evicted += 1;
+        }
+        if evicted > 0 {
+            s2_obs::counter!("blob.cache.evictions").add(evicted);
+            if evicted >= 8 {
+                // One insert displacing many objects means the budget is far
+                // too small for the working set — worth a structured event.
+                s2_obs::event(
+                    "blob.cache_pressure",
+                    format!("inserting {key} ({} bytes) evicted {evicted} objects", bytes.len()),
+                );
             }
         }
     }
@@ -131,6 +145,49 @@ impl FileCache {
     /// Whether `key` is currently cached (does not touch LRU state).
     pub fn contains(&self, key: &str) -> bool {
         self.inner.lock().map.contains_key(key)
+    }
+}
+
+/// An [`ObjectStore`] view that reads through a [`FileCache`] — the "local
+/// ephemeral SSD" in front of blob storage for paths that read objects
+/// directly (restore / workspace provisioning) rather than through a data
+/// file store. Writes go through to the backing store and warm the cache;
+/// sealed log chunks and snapshots are immutable, so cached reads are safe.
+pub struct CachedStore {
+    inner: Arc<dyn crate::ObjectStore>,
+    cache: FileCache,
+}
+
+impl CachedStore {
+    /// Cache up to `cache_bytes` of objects read from `inner`.
+    pub fn new(inner: Arc<dyn crate::ObjectStore>, cache_bytes: usize) -> CachedStore {
+        CachedStore { inner, cache: FileCache::new(cache_bytes) }
+    }
+
+    /// (cache hits, cache misses).
+    pub fn stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+impl crate::ObjectStore for CachedStore {
+    fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
+        self.inner.put(key, Arc::clone(&bytes))?;
+        self.cache.insert(key, bytes);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+        self.cache.get_or_fetch(key, || self.inner.get(key))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.cache.remove(key);
+        self.inner.delete(key)
     }
 }
 

@@ -67,14 +67,28 @@ impl<S: ObjectStore> FaultyStore<S> {
     /// Start or end a simulated outage. While unavailable every operation
     /// fails with [`Error::Unavailable`].
     pub fn set_unavailable(&self, down: bool) {
-        self.unavailable.store(down, Ordering::SeqCst);
+        let was = self.unavailable.swap(down, Ordering::SeqCst);
+        if was != down {
+            s2_obs::event("blob.outage", if down { "begin" } else { "end" });
+        }
     }
 
     fn check_available(&self) -> Result<()> {
         if self.unavailable.load(Ordering::SeqCst) {
+            s2_obs::counter!("blob.fault.unavailable_rejections").inc();
             Err(Error::Unavailable("simulated blob store outage".into()))
         } else {
             Ok(())
+        }
+    }
+
+    /// Apply one injected-latency sleep, recording it so bench snapshots
+    /// show how much stall the fault layer contributed.
+    fn inject(&self, latency: Duration) {
+        if !latency.is_zero() {
+            s2_obs::counter!("blob.fault.injected_latency_ops").inc();
+            s2_obs::counter!("blob.fault.injected_latency_us").add(latency.as_micros() as u64);
+            std::thread::sleep(latency);
         }
     }
 }
@@ -82,9 +96,7 @@ impl<S: ObjectStore> FaultyStore<S> {
 impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
         self.check_available()?;
-        if !self.put_latency.is_zero() {
-            std::thread::sleep(self.put_latency);
-        }
+        self.inject(self.put_latency);
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_up.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.inner.put(key, bytes)
@@ -92,9 +104,7 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
 
     fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
         self.check_available()?;
-        if !self.get_latency.is_zero() {
-            std::thread::sleep(self.get_latency);
-        }
+        self.inject(self.get_latency);
         let out = self.inner.get(key)?;
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_down.fetch_add(out.len() as u64, Ordering::Relaxed);
@@ -141,11 +151,7 @@ mod tests {
 
     #[test]
     fn latency_is_applied() {
-        let s = FaultyStore::new(
-            MemoryStore::new(),
-            Duration::from_millis(15),
-            Duration::ZERO,
-        );
+        let s = FaultyStore::new(MemoryStore::new(), Duration::from_millis(15), Duration::ZERO);
         let t0 = std::time::Instant::now();
         s.put("k", Arc::new(vec![1])).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(15));

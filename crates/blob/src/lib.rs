@@ -8,7 +8,7 @@ pub mod fault;
 pub mod store;
 pub mod uploader;
 
-pub use cache::FileCache;
+pub use cache::{CachedStore, FileCache};
 pub use fault::{BlobStats, FaultyStore};
 pub use store::{LocalDirStore, MemoryStore, ObjectStore};
 pub use uploader::{UploadJob, Uploader};

@@ -46,12 +46,14 @@ impl Uploader {
                 let completed = Arc::clone(&completed);
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        let timer = s2_obs::histogram!("blob.upload.latency_us").start_timer();
                         let mut outcome = Ok(());
                         for attempt in 0..3 {
                             outcome = store.put(&job.key, Arc::clone(&job.bytes));
                             match &outcome {
                                 Ok(()) => break,
                                 Err(e) if e.is_retryable() && attempt < 2 => {
+                                    s2_obs::counter!("blob.upload.retries").inc();
                                     std::thread::sleep(std::time::Duration::from_millis(
                                         10 << attempt,
                                     ));
@@ -59,8 +61,19 @@ impl Uploader {
                                 Err(_) => break,
                             }
                         }
+                        timer.stop();
+                        match &outcome {
+                            Ok(()) => {
+                                s2_obs::counter!("blob.upload.bytes").add(job.bytes.len() as u64);
+                            }
+                            Err(e) => {
+                                s2_obs::counter!("blob.upload.failures").inc();
+                                s2_obs::event("blob.upload_failed", format!("{}: {e}", job.key));
+                            }
+                        }
                         (job.on_done)(outcome);
                         completed.fetch_add(1, Ordering::Release);
+                        s2_obs::gauge!("blob.upload.queue_depth").dec();
                     }
                 })
             })
@@ -76,6 +89,7 @@ impl Uploader {
         on_done: impl FnOnce(Result<()>) + Send + 'static,
     ) {
         self.enqueued.fetch_add(1, Ordering::Release);
+        s2_obs::gauge!("blob.upload.queue_depth").inc();
         self.tx
             .as_ref()
             .expect("uploader not shut down")
@@ -141,8 +155,11 @@ mod tests {
     #[test]
     fn failure_reported_to_callback() {
         use crate::fault::FaultyStore;
-        let faulty =
-            FaultyStore::new(MemoryStore::new(), std::time::Duration::ZERO, std::time::Duration::ZERO);
+        let faulty = FaultyStore::new(
+            MemoryStore::new(),
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+        );
         faulty.set_unavailable(true);
         let store: Arc<dyn ObjectStore> = Arc::new(faulty);
         let up = Uploader::new(store, 1);

@@ -9,9 +9,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use s2_blob::ObjectStore;
-use s2_common::{
-    Error, LogPosition, Result, Row, Schema, TableId, TableOptions, Timestamp, Value,
-};
+use s2_common::{Error, LogPosition, Result, Row, Schema, TableId, TableOptions, Timestamp, Value};
 use s2_core::{DataFileStore, DuplicatePolicy, InsertReport, MemFileStore, Partition, Txn};
 use s2_exec::Batch;
 use s2_query::{execute_with_stats, ExecOptions, ExecStats, Plan, UnionContext};
@@ -87,12 +85,7 @@ impl PartitionSet {
     /// Maximum replication lag (bytes) across this set's replicas.
     pub fn max_lag(&self) -> u64 {
         let end = self.master().log.end_lp();
-        self.replicas
-            .lock()
-            .iter()
-            .map(|r| end.saturating_sub(r.applied_lp()))
-            .max()
-            .unwrap_or(0)
+        self.replicas.lock().iter().map(|r| end.saturating_sub(r.applied_lp())).max().unwrap_or(0)
     }
 }
 
@@ -128,8 +121,11 @@ impl Cluster {
                 }
                 None => (Arc::new(MemFileStore::new()) as Arc<dyn DataFileStore>, None),
             };
-            let master =
-                Partition::new(pname.clone(), Arc::new(s2_wal::Log::in_memory()), file_store.clone());
+            let master = Partition::new(
+                pname.clone(),
+                Arc::new(s2_wal::Log::in_memory()),
+                file_store.clone(),
+            );
             let mut replicas = Vec::with_capacity(config.ha_replicas);
             for _ in 0..config.ha_replicas {
                 let rp = empty_replica_partition(&pname, file_store.clone(), 0);
@@ -166,6 +162,13 @@ impl Cluster {
             let handle = std::thread::spawn(move || {
                 while !stop.load(std::sync::atomic::Ordering::Acquire) {
                     for set in &sets {
+                        s2_obs::counter!("cluster.heartbeat.ticks").inc();
+                        if set.max_lag() > 0 {
+                            // A replica hasn't caught up to the master's log
+                            // end at tick time: the health probe's
+                            // lag-detected signal.
+                            s2_obs::counter!("cluster.heartbeat.lagging").inc();
+                        }
                         let _ = set.master().maintenance_pass();
                     }
                     std::thread::sleep(Duration::from_millis(100));
@@ -227,8 +230,7 @@ impl Cluster {
 
     fn table_meta<R>(&self, table: &str, f: impl FnOnce(&TableMeta) -> R) -> Result<R> {
         let tables = self.tables.read();
-        let meta =
-            tables.get(table).ok_or_else(|| Error::NotFound(format!("table {table:?}")))?;
+        let meta = tables.get(table).ok_or_else(|| Error::NotFound(format!("table {table:?}")))?;
         Ok(f(meta))
     }
 
@@ -259,7 +261,7 @@ impl Cluster {
                 let pos = unique.iter().position(|c| c == sc)?;
                 shard_vals.push(&key[pos]);
             }
-            let h = s2_common::hash::hash_values(shard_vals.into_iter());
+            let h = s2_common::hash::hash_values(shard_vals);
             Some((h % self.sets.len() as u64) as usize)
         })
     }
@@ -405,6 +407,11 @@ impl Cluster {
                 Some(StorageService::start(Arc::clone(&new_master), Arc::clone(blob), cfg));
         }
         *set.master.write() = new_master;
+        s2_obs::counter!("cluster.failover.promotions").inc();
+        s2_obs::event(
+            "cluster.failover",
+            format!("partition {pid}: master failed, HA replica promoted"),
+        );
         Ok(())
     }
 
@@ -548,11 +555,19 @@ impl ClusterTxn {
         }
         if cluster.sync_commits() {
             for (pid, lp) in acks {
+                let timer = s2_obs::histogram!("cluster.replication.ack_latency_us").start_timer();
                 if !cluster.sets[pid].wait_replicated(lp, Duration::from_secs(10)) {
+                    timer.cancel();
+                    s2_obs::counter!("cluster.replication.ack_timeouts").inc();
+                    s2_obs::event(
+                        "cluster.ack_timeout",
+                        format!("partition {pid} replication ack timed out at lp {lp}"),
+                    );
                     return Err(Error::Unavailable(format!(
                         "partition {pid} replication ack timed out"
                     )));
                 }
+                timer.stop();
             }
         }
         Ok(max_ts)

@@ -85,7 +85,7 @@ pub fn load_log(
         let skip = (cursor - start) as usize;
         let take_end = (upto_lp.min(end) - start) as usize;
         log.append_raw(&bytes[skip..take_end]);
-        cursor = start as u64 + take_end as u64;
+        cursor = start + take_end as u64;
     }
     Ok(log)
 }

@@ -55,13 +55,18 @@ impl Replica {
                 if let Err(e) = applier.feed(&p, &chunk) {
                     // A replica that cannot apply is broken; stop applying so
                     // the failure is observable via lag.
+                    s2_obs::counter!("cluster.replica.apply_errors").inc();
+                    s2_obs::event("cluster.replica_error", format!("apply failed: {e}"));
                     eprintln!("replica apply error: {e}");
                     return false;
                 }
-                applied.store(applier.applied_lp(), Ordering::Release);
+                // Ack the master BEFORE publishing applied_lp: wait_applied()
+                // observers must see the replicated watermark already advanced
+                // once the applied position covers their commit.
                 if let Some(log) = &ack_log {
                     log.set_replicated_lp(applier.applied_lp());
                 }
+                applied.store(applier.applied_lp(), Ordering::Release);
                 true
             };
             if !backlog.bytes.is_empty() && !deliver(backlog) {

@@ -43,11 +43,16 @@ impl Workspace {
         let name = name.into();
         let mut replicas = Vec::with_capacity(cluster.partition_count());
         let mut file_stores = Vec::with_capacity(cluster.partition_count());
+        // Restore reads (snapshots, sealed log chunks) go through a local
+        // read cache too — the chunk that tells us the blob tail position is
+        // the same one the log replay loads a moment later.
+        let cached: Arc<dyn ObjectStore> =
+            Arc::new(s2_blob::CachedStore::new(Arc::clone(blob), cache_bytes / 4));
         for pid in 0..cluster.partition_count() {
             let set = cluster.set(pid);
             let files = BlobBackedFileStore::new(Arc::clone(blob), cache_bytes);
             let restored = restore_from_blob(
-                blob,
+                &cached,
                 &set.name,
                 files.clone() as Arc<dyn s2_core::DataFileStore>,
                 None,
@@ -75,11 +80,7 @@ impl Workspace {
         for pid in 0..cluster.partition_count() {
             let set = cluster.set(pid);
             let master = set.master();
-            let rp = crate::replica::empty_replica_partition(
-                &set.name,
-                set.file_store.clone(),
-                0,
-            );
+            let rp = crate::replica::empty_replica_partition(&set.name, set.file_store.clone(), 0);
             replicas.push(Replica::start(&master, rp, 0, false)?);
         }
         Ok(Workspace { name, replicas, file_stores: Vec::new(), cluster: Arc::clone(cluster) })
@@ -120,14 +121,15 @@ impl Workspace {
         for id in ids {
             names.push((id, first.table(id)?.name.clone()));
         }
-        let snaps: Vec<_> =
-            self.replicas.iter().map(|r| r.partition.read_snapshot()).collect();
+        let snaps: Vec<_> = self.replicas.iter().map(|r| r.partition.read_snapshot()).collect();
         for (id, name) in names {
             let mut per_table: Vec<Arc<TableSnapshot>> = Vec::new();
             for snap in &snaps {
-                per_table.push(Arc::clone(snap.table(id).map_err(|_| {
-                    Error::NotFound(format!("table {name:?} not yet replicated"))
-                })?));
+                per_table.push(Arc::clone(
+                    snap.table(id).map_err(|_| {
+                        Error::NotFound(format!("table {name:?} not yet replicated"))
+                    })?,
+                ));
             }
             ctx.add_table(name, per_table);
         }

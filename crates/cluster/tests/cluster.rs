@@ -80,10 +80,8 @@ fn sharded_writes_and_global_query() {
     assert_eq!(nonempty, 4);
 
     // Aggregate across partitions.
-    let plan = Plan::scan("accounts", vec![2], None).aggregate(
-        vec![],
-        vec![Aggregate { func: AggFunc::Sum, input: Expr::Column(0) }],
-    );
+    let plan = Plan::scan("accounts", vec![2], None)
+        .aggregate(vec![], vec![Aggregate { func: AggFunc::Sum, input: Expr::Column(0) }]);
     let out = cluster.execute(&plan, &ExecOptions::default()).unwrap();
     assert_eq!(out.value(0, 0), Value::Double(100_000.0));
 }
@@ -138,11 +136,8 @@ fn failover_preserves_committed_data() {
 
     // The promoted masters accept new writes.
     let mut txn = cluster.begin();
-    txn.insert(
-        "accounts",
-        Row::new(vec![Value::Int(9999), Value::Int(0), Value::Double(1.0)]),
-    )
-    .unwrap();
+    txn.insert("accounts", Row::new(vec![Value::Int(9999), Value::Int(0), Value::Double(1.0)]))
+        .unwrap();
     txn.commit().unwrap();
     assert_eq!(cluster.row_count("accounts").unwrap(), 501);
 
@@ -179,14 +174,14 @@ fn blob_shipping_and_pitr() {
 
     // PITR to just before the mass delete: all rows back.
     let mut restored_rows = 0;
-    for pid in 0..cluster.partition_count() {
+    for (pid, &target) in targets.iter().enumerate() {
         let set = cluster.set(pid);
         let files = s2_cluster::BlobBackedFileStore::new(Arc::clone(&blob), 16 * 1024 * 1024);
         let restored = restore_from_blob(
             &blob,
             &set.name,
             files as Arc<dyn s2_core::DataFileStore>,
-            Some(targets[pid]),
+            Some(target),
         )
         .unwrap();
         let t = restored.table_by_name("accounts").unwrap().id;
@@ -235,11 +230,8 @@ fn workspace_provision_and_tail_replication() {
     // New primary writes stream to the workspace via the log tail.
     let mut txn = cluster.begin();
     for i in 400..450 {
-        txn.insert(
-            "accounts",
-            Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(5.0)]),
-        )
-        .unwrap();
+        txn.insert("accounts", Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(5.0)]))
+            .unwrap();
     }
     txn.commit().unwrap();
     assert!(ws.catch_up(Duration::from_secs(5)));
@@ -271,11 +263,8 @@ fn blob_outage_does_not_block_commits() {
     let t0 = std::time::Instant::now();
     let mut txn = cluster.begin();
     for i in 50..150 {
-        txn.insert(
-            "accounts",
-            Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(1.0)]),
-        )
-        .unwrap();
+        txn.insert("accounts", Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(1.0)]))
+            .unwrap();
     }
     txn.commit().unwrap();
     assert!(t0.elapsed() < Duration::from_secs(2));

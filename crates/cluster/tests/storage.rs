@@ -13,13 +13,10 @@ use s2_wal::{Log, Snapshot};
 
 #[test]
 fn files_stay_pinned_until_uploaded() {
-    let faulty =
-        Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
     faulty.set_unavailable(true);
-    let store = BlobBackedFileStore::new(
-        Arc::new(Shared(faulty.clone())) as Arc<dyn ObjectStore>,
-        1 << 20,
-    );
+    let store =
+        BlobBackedFileStore::new(Arc::new(Shared(faulty.clone())) as Arc<dyn ObjectStore>, 1 << 20);
     store.write_file("p/files/0001", Arc::new(vec![7u8; 128])).unwrap();
     // Upload fails (outage): the only copy is local and must stay readable.
     std::thread::sleep(Duration::from_millis(100));
@@ -53,7 +50,8 @@ fn reads_fall_back_to_blob_after_local_eviction() {
 #[test]
 fn storage_service_ships_chunks_and_snapshots() {
     let blob: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
-    let p = Partition::new("sp0", Arc::new(Log::in_memory()), Arc::new(s2_core::MemFileStore::new()));
+    let p =
+        Partition::new("sp0", Arc::new(Log::in_memory()), Arc::new(s2_core::MemFileStore::new()));
     let schema = Schema::new(vec![ColumnDef::new("id", DataType::Int64)]).unwrap();
     let t = p.create_table("t", schema, TableOptions::new().with_unique("pk", vec![0])).unwrap();
     for i in 0..500i64 {

@@ -6,7 +6,5 @@
 pub mod merge;
 pub mod segment;
 
-pub use merge::{
-    first_sort_column_range, live_rows, merge_segments, merge_sorted, MergePolicy,
-};
+pub use merge::{first_sort_column_range, live_rows, merge_segments, merge_sorted, MergePolicy};
 pub use segment::{build_segment, SegmentData, SegmentMeta, SegmentReader, SEGMENT_MAGIC};

@@ -102,8 +102,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed for BinaryHeap (max-heap) -> min-heap behaviour; ties
         // broken by source order to keep the merge stable.
-        cmp_on(&other.row, &self.row, self.key())
-            .then_with(|| other.source.cmp(&self.source))
+        cmp_on(&other.row, &self.row, self.key()).then_with(|| other.source.cmp(&self.source))
     }
 }
 
@@ -193,16 +192,15 @@ mod tests {
     use s2_common::schema::{ColumnDef, DataType};
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            ColumnDef::new("k", DataType::Int64),
-            ColumnDef::new("v", DataType::Str),
-        ])
-        .unwrap()
+        Schema::new(vec![ColumnDef::new("k", DataType::Int64), ColumnDef::new("v", DataType::Str)])
+            .unwrap()
     }
 
     fn seg(id: SegmentId, keys: &[i64]) -> (SegmentMeta, SegmentReader) {
-        let rows: Vec<Row> =
-            keys.iter().map(|&k| Row::new(vec![Value::Int(k), Value::str(format!("v{k}"))])).collect();
+        let rows: Vec<Row> = keys
+            .iter()
+            .map(|&k| Row::new(vec![Value::Int(k), Value::str(format!("v{k}"))]))
+            .collect();
         let (meta, data) = build_segment(id, rows, &schema(), &[0]).unwrap();
         (meta, SegmentReader::new(data))
     }
@@ -233,7 +231,8 @@ mod tests {
         let (m2, r2) = seg(2, &[5, 6]);
         m1.deleted.set(1); // delete key 2 (rows sorted: offsets match keys-1)
         let mut next = 10;
-        let out = merge_segments(&[(&m1, &r1), (&m2, &r2)], &schema(), &[0], &mut next, 100).unwrap();
+        let out =
+            merge_segments(&[(&m1, &r1), (&m2, &r2)], &schema(), &[0], &mut next, 100).unwrap();
         assert_eq!(out.len(), 1);
         let MergedSegment { meta, data, .. } = &out[0];
         assert_eq!(meta.id, 10);

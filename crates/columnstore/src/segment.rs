@@ -12,9 +12,7 @@ use std::sync::Arc;
 use std::sync::OnceLock;
 
 use s2_common::io::{ByteReader, ByteWriter};
-use s2_common::{
-    BitVec, DataType, Error, LogPosition, Result, Row, Schema, SegmentId, Value,
-};
+use s2_common::{BitVec, DataType, Error, LogPosition, Result, Row, Schema, SegmentId, Value};
 use s2_encoding::{encode_column, ColumnReader, EncodedColumn, Encoding};
 
 /// Data-file magic ("S2SG").
@@ -68,9 +66,7 @@ impl SegmentMeta {
     pub fn may_overlap_range(&self, col: usize, lo: Option<&Value>, hi: Option<&Value>) -> bool {
         match &self.min_max[col] {
             None => false,
-            Some((min, max)) => {
-                lo.is_none_or(|lo| max >= lo) && hi.is_none_or(|hi| min <= hi)
-            }
+            Some((min, max)) => lo.is_none_or(|lo| max >= lo) && hi.is_none_or(|hi| min <= hi),
         }
     }
 

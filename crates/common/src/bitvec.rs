@@ -102,7 +102,7 @@ impl BitVec {
             words.push(r.get_u64()?);
         }
         // Reject garbage in the tail word so equality stays structural.
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last() {
                 if last >> (len % 64) != 0 {
                     return Err(Error::Corruption("bitvec tail bits set beyond len".into()));

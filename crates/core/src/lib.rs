@@ -26,7 +26,9 @@ pub mod table;
 pub mod txn;
 
 pub use partition::{Partition, PartitionSnapshot};
-pub use record::{EngineRecord, RowOp, REC_COMMIT, REC_CREATE_TABLE, REC_FLUSH, REC_MERGE, REC_MOVE};
+pub use record::{
+    EngineRecord, RowOp, REC_COMMIT, REC_CREATE_TABLE, REC_FLUSH, REC_MERGE, REC_MOVE,
+};
 pub use segfile::{file_name, DataFileStore, MemFileStore, SegmentFile};
 pub use table::{IndexProbe, SegmentCore, SegmentSnap, Table, TableSnapshot};
 pub use txn::{DuplicatePolicy, InsertReport, RowLocation, Txn};

@@ -13,12 +13,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use s2_columnstore::{merge_segments, MergePolicy, SegmentMeta, SegmentReader};
 use s2_common::io::{ByteReader, ByteWriter};
 use s2_common::{
     Error, LogPosition, Result, Row, Schema, SegmentId, TableId, TableOptions, Timestamp, TxnId,
     Value,
 };
-use s2_columnstore::{merge_segments, MergePolicy, SegmentMeta, SegmentReader};
 use s2_wal::{Log, RecordIter, Snapshot};
 
 use crate::record::{self, EngineRecord, RowOp};
@@ -178,20 +178,31 @@ impl Partition {
         ops: Vec<RowOp>,
         keys_by_table: &HashMap<TableId, Vec<Vec<Value>>>,
     ) -> Result<(Timestamp, LogPosition)> {
+        // Timed from before the lock: commit latency includes waiting behind
+        // the group of commits ahead of us.
+        let timer = s2_obs::histogram!("wal.commit.latency_us").start_timer();
         let _g = self.commit_lock.lock();
         let ts = self.commit_ts() + 1;
         for (tid, keys) in keys_by_table {
             let table = self.table(*tid)?;
             table.rowstore.read().commit(txn, ts, keys);
         }
+        s2_obs::counter!("core.txn.commit_ops").add(ops.len() as u64);
         let rec = EngineRecord::Commit { commit_ts: ts, ops };
         let (_, end_lp) = self.log.append(rec.kind(), &rec.encode());
         self.commit_ts.store(ts, Ordering::Release);
+        s2_obs::counter!("core.txn.commits").inc();
+        timer.stop();
         Ok((ts, end_lp))
     }
 
     /// Roll back a transaction's buffered writes (no log record: redo-only).
-    pub(crate) fn rollback_txn(&self, txn: TxnId, keys_by_table: &HashMap<TableId, Vec<Vec<Value>>>) {
+    pub(crate) fn rollback_txn(
+        &self,
+        txn: TxnId,
+        keys_by_table: &HashMap<TableId, Vec<Vec<Value>>>,
+    ) {
+        s2_obs::counter!("core.txn.rollbacks").inc();
         for (tid, keys) in keys_by_table {
             if let Ok(table) = self.table(*tid) {
                 table.rowstore.read().rollback(txn, keys);
@@ -254,6 +265,8 @@ impl Partition {
             }
         }
         drop(state);
+        s2_obs::counter!("core.move.txns").inc();
+        s2_obs::counter!("core.move.rows").add(inserts.len() as u64);
         let rec = EngineRecord::Move {
             table: table.id,
             commit_ts: ts,
@@ -313,6 +326,7 @@ impl Partition {
         if !force && table.rowstore_len() < table.options.flush_threshold_rows {
             return Ok(0);
         }
+        let timer = s2_obs::histogram!("core.flush.latency_us").start_timer();
         let flush_txn = self.alloc_txn();
         let rs = table.rowstore.read();
         let mut keys: Vec<Vec<Value>> = Vec::new();
@@ -327,6 +341,7 @@ impl Partition {
         });
         if rows.is_empty() {
             drop(rs);
+            timer.cancel();
             return Ok(0);
         }
 
@@ -400,6 +415,9 @@ impl Partition {
         let refs: Vec<(u8, &[u8])> = records.iter().map(|(k, p)| (*k, p.as_slice())).collect();
         self.log.append_group(&refs);
         self.commit_ts.store(ts, Ordering::Release);
+        s2_obs::counter!("core.flush.segments").add(n as u64);
+        s2_obs::counter!("core.flush.rows").add(keys.len() as u64);
+        timer.stop();
         Ok(n)
     }
 
@@ -417,10 +435,7 @@ impl Partition {
                 .runs
                 .iter()
                 .map(|run| {
-                    run.iter()
-                        .filter_map(|id| state.segments.get(id))
-                        .map(|c| c.live_rows())
-                        .sum()
+                    run.iter().filter_map(|id| state.segments.get(id)).map(|c| c.live_rows()).sum()
                 })
                 .collect();
             let Some(plan) = self.merge_policy.plan(&run_sizes) else {
@@ -437,6 +452,8 @@ impl Partition {
         if inputs.is_empty() {
             return Ok(false);
         }
+        let timer = s2_obs::histogram!("core.merge.latency_us").start_timer();
+        s2_obs::counter!("core.merge.segments_in").add(inputs.len() as u64);
 
         // Merge with each input's *current* deleted bits (no move can race:
         // we hold the commit lock).
@@ -519,6 +536,8 @@ impl Partition {
             }
         }
         self.commit_ts.store(ts, Ordering::Release);
+        s2_obs::counter!("core.merge.runs").inc();
+        timer.stop();
         Ok(true)
     }
 
@@ -579,6 +598,8 @@ impl Partition {
                 self.file_store.delete_file(&file_name(&self.name, file_id, id))?;
             }
         }
+        s2_obs::counter!("core.vacuum.segments_reclaimed").add(segs_reclaimed as u64);
+        s2_obs::counter!("core.vacuum.versions_freed").add(versions_freed as u64);
         Ok((segs_reclaimed, versions_freed))
     }
 
@@ -693,10 +714,8 @@ impl Partition {
                     let (file, rows) = self.load_segment_file(&meta)?;
                     items_owned.push((meta, file, rows));
                 }
-                let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> = items_owned
-                    .iter()
-                    .map(|(m, f, rws)| (m.clone(), f, rws.as_slice()))
-                    .collect();
+                let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> =
+                    items_owned.iter().map(|(m, f, rws)| (m.clone(), f, rws.as_slice())).collect();
                 table.install_run(items)?;
             }
             {
@@ -853,10 +872,8 @@ impl Partition {
                     let (file, rows) = self.load_segment_file(&meta)?;
                     items_owned.push((meta, file, rows));
                 }
-                let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> = items_owned
-                    .iter()
-                    .map(|(m, f, rws)| (m.clone(), f, rws.as_slice()))
-                    .collect();
+                let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> =
+                    items_owned.iter().map(|(m, f, rws)| (m.clone(), f, rws.as_slice())).collect();
                 t.install_run(items)?;
                 self.bump_commit_ts(commit_ts);
             }

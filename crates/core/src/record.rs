@@ -6,13 +6,13 @@
 //! merges. Replaying these records reconstructs a partition exactly — which
 //! is also how replicas apply the replication stream and how PITR works.
 
+use s2_columnstore::SegmentMeta;
 use s2_common::io::{ByteReader, ByteWriter};
+use s2_common::schema::IndexDef;
 use s2_common::{
     ColumnDef, DataType, Error, Result, Row, Schema, SegmentId, TableId, TableOptions, Timestamp,
     Value,
 };
-use s2_common::schema::IndexDef;
-use s2_columnstore::SegmentMeta;
 
 /// Record kind: table creation.
 pub const REC_CREATE_TABLE: u8 = 1;
@@ -361,7 +361,8 @@ impl EngineRecord {
                 let n = r.get_varint()? as usize;
                 let dropped = (0..n).map(|_| r.get_u64()).collect::<Result<_>>()?;
                 let m = r.get_varint()? as usize;
-                let metas = (0..m).map(|_| SegmentMeta::read_from(&mut r)).collect::<Result<_>>()?;
+                let metas =
+                    (0..m).map(|_| SegmentMeta::read_from(&mut r)).collect::<Result<_>>()?;
                 Ok(EngineRecord::Merge { table, commit_ts, dropped, metas })
             }
             t => Err(Error::Corruption(format!("unknown engine record kind {t}"))),

@@ -11,9 +11,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use s2_columnstore::SegmentData;
 use s2_common::io::{ByteReader, ByteWriter};
 use s2_common::{Error, LogPosition, Result};
-use s2_columnstore::SegmentData;
 use s2_index::InvertedIndex;
 
 /// Data-file magic ("S2DF").
@@ -129,9 +129,9 @@ impl DataFileStore for MemFileStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use s2_columnstore::build_segment;
     use s2_common::schema::{ColumnDef, DataType};
     use s2_common::{Row, Schema, Value};
-    use s2_columnstore::build_segment;
     use s2_index::InvertedIndexBuilder;
 
     #[test]

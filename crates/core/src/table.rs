@@ -14,10 +14,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
+use s2_columnstore::{SegmentMeta, SegmentReader};
 use s2_common::{
     BitVec, Error, Result, Row, Schema, SegmentId, TableId, TableOptions, Timestamp, TxnId, Value,
 };
-use s2_columnstore::{SegmentMeta, SegmentReader};
 use s2_index::{intersect, GlobalIndex, InvertedIndex, InvertedIndexBuilder};
 use s2_rowstore::RowStore;
 
@@ -79,9 +79,7 @@ impl TableIndexes {
             for &c in &def.columns {
                 column.entry(c).or_insert_with(|| GlobalIndex::new(1));
             }
-            if def.columns.len() > 1
-                && !tuple.iter().any(|(cols, _)| cols == &def.columns)
-            {
+            if def.columns.len() > 1 && !tuple.iter().any(|(cols, _)| cols == &def.columns) {
                 tuple.push((def.columns.clone(), GlobalIndex::new(def.columns.len())));
             }
         }
@@ -132,8 +130,7 @@ impl Table {
     /// Create an empty table.
     pub fn new(id: TableId, name: String, schema: Schema, options: TableOptions) -> Result<Table> {
         options.validate(&schema)?;
-        let unique_cols =
-            options.indexes.iter().find(|d| d.unique).map(|d| d.columns.clone());
+        let unique_cols = options.indexes.iter().find(|d| d.unique).map(|d| d.columns.clone());
         let indexes = TableIndexes::new(&options);
         Ok(Table {
             id,
@@ -287,12 +284,7 @@ impl Table {
     /// Current live segments in run order.
     pub fn live_segments(&self) -> Vec<Arc<SegmentCore>> {
         let state = self.state.read();
-        state
-            .runs
-            .iter()
-            .flatten()
-            .filter_map(|id| state.segments.get(id).cloned())
-            .collect()
+        state.runs.iter().flatten().filter_map(|id| state.segments.get(id).cloned()).collect()
     }
 
     /// Lookup live segment row locations for `key_cols == key_vals` using the
@@ -310,8 +302,7 @@ impl Table {
         let mut out = Vec::new();
         for (core, rows) in hits {
             let deleted = core.deleted_bits();
-            let rows: Vec<u32> =
-                rows.into_iter().filter(|&r| !deleted.get(r as usize)).collect();
+            let rows: Vec<u32> = rows.into_iter().filter(|&r| !deleted.get(r as usize)).collect();
             if !rows.is_empty() {
                 out.push((core, rows));
             }
@@ -343,21 +334,15 @@ pub(crate) fn probe_state(
     let is_live = |state: &TableState, seg: SegmentId| -> bool {
         match restrict {
             Some(set) => set.contains(&seg),
-            None => state
-                .segments
-                .get(&seg)
-                .is_some_and(|core| !core.is_dropped()),
+            None => state.segments.get(&seg).is_some_and(|core| !core.is_dropped()),
         }
     };
 
     // Fast path: a tuple index covering exactly these columns skips segments
     // that don't contain the full tuple (paper §4.1.1).
     if key_cols.len() > 1 {
-        if let Some((cols, global)) = state
-            .indexes
-            .tuple
-            .iter()
-            .find(|(cols, _)| cols.as_slice() == key_cols)
+        if let Some((cols, global)) =
+            state.indexes.tuple.iter().find(|(cols, _)| cols.as_slice() == key_cols)
         {
             let h = s2_common::hash::hash_values(key_vals.iter());
             let hits = global.lookup(h, &|s| is_live(state, s));
@@ -369,9 +354,11 @@ pub(crate) fn probe_state(
     // per-segment postings.
     let mut per_col: Vec<HashMap<SegmentId, u32>> = Vec::with_capacity(key_cols.len());
     for (&col, val) in key_cols.iter().zip(key_vals) {
-        let global = state.indexes.column.get(&col).ok_or_else(|| {
-            Error::NotFound(format!("no secondary index on column {col}"))
-        })?;
+        let global = state
+            .indexes
+            .column
+            .get(&col)
+            .ok_or_else(|| Error::NotFound(format!("no secondary index on column {col}")))?;
         let hits = global.lookup(val.hash64(), &|s| is_live(state, s));
         let mut map = HashMap::new();
         for (seg, offs) in hits {
@@ -478,8 +465,7 @@ impl TableSnapshot {
         for id in state.runs.iter().flatten() {
             if let Some(core) = state.segments.get(id) {
                 seg_ids.insert(*id);
-                segments
-                    .push(SegmentSnap { core: Arc::clone(core), deleted: core.deleted_bits() });
+                segments.push(SegmentSnap { core: Arc::clone(core), deleted: core.deleted_bits() });
             }
         }
         TableSnapshot {
@@ -548,9 +534,7 @@ impl TableSnapshot {
         let rowstore: Vec<(Vec<Value>, Row)> = self
             .rowstore_rows()
             .iter()
-            .filter(|(_, row)| {
-                key_cols.iter().zip(key_vals).all(|(&c, v)| row.get(c) == v)
-            })
+            .filter(|(_, row)| key_cols.iter().zip(key_vals).all(|(&c, v)| row.get(c) == v))
             .cloned()
             .collect();
         Ok(Some(IndexProbe { segments, rowstore }))

@@ -261,7 +261,12 @@ impl Txn {
 
     /// Update the row under a unique key with `new_row`. Returns false when
     /// no live row exists.
-    pub fn update_unique(&mut self, table_id: TableId, key: &[Value], new_row: Row) -> Result<bool> {
+    pub fn update_unique(
+        &mut self,
+        table_id: TableId,
+        key: &[Value],
+        new_row: Row,
+    ) -> Result<bool> {
         self.check_active()?;
         let table = self.partition.table(table_id)?;
         let new_row = Row::checked(new_row.into_values(), &table.schema)?;
@@ -361,7 +366,10 @@ impl Txn {
                     self.note_lock(table_id, key.clone());
                     // The row may have been deleted since it was located.
                     if matches!(rs.get_latest_committed(&key), Some(Some(_)))
-                        || matches!(rs.get(&key, s2_common::TS_MAX_COMMITTED, Some(self.id)), Some(Some(_)))
+                        || matches!(
+                            rs.get(&key, s2_common::TS_MAX_COMMITTED, Some(self.id)),
+                            Some(Some(_))
+                        )
                     {
                         rs.write(self.id, &key, None)?;
                         self.ops.push(RowOp::Delete { table: table_id, key });

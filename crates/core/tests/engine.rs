@@ -79,9 +79,7 @@ fn duplicate_key_policies() {
 
     // Replace.
     let mut txn = p.begin();
-    let r = txn
-        .insert_batch(t, vec![user(1, "alice2", 9.0)], DuplicatePolicy::Replace)
-        .unwrap();
+    let r = txn.insert_batch(t, vec![user(1, "alice2", 9.0)], DuplicatePolicy::Replace).unwrap();
     assert_eq!(r.replaced, 1);
     txn.commit().unwrap();
     let txn = p.begin();
@@ -139,23 +137,13 @@ fn update_of_segment_row_uses_move_transaction() {
 
     let new_snap = p.read_snapshot();
     // New snapshot: exactly one row with id 7, updated.
-    let probe = new_snap
-        .table(t)
-        .unwrap()
-        .index_probe(&[0], &[Value::Int(7)])
-        .unwrap()
-        .unwrap();
+    let probe = new_snap.table(t).unwrap().index_probe(&[0], &[Value::Int(7)]).unwrap().unwrap();
     assert_eq!(probe.row_count(), 1);
     let rows = probe.materialize().unwrap();
     assert_eq!(rows[0].get(1), &Value::str("updated"));
 
     // Old snapshot: still exactly one row, with the old value.
-    let probe = old_snap
-        .table(t)
-        .unwrap()
-        .index_probe(&[0], &[Value::Int(7)])
-        .unwrap()
-        .unwrap();
+    let probe = old_snap.table(t).unwrap().index_probe(&[0], &[Value::Int(7)]).unwrap().unwrap();
     assert_eq!(probe.row_count(), 1);
     let rows = probe.materialize().unwrap();
     assert_eq!(rows[0].get(1), &Value::str("u7"));
@@ -275,12 +263,7 @@ fn secondary_index_by_non_unique_column() {
     txn.commit().unwrap();
 
     let snap = p.read_snapshot();
-    let probe = snap
-        .table(t)
-        .unwrap()
-        .index_probe(&[1], &[Value::str("green")])
-        .unwrap()
-        .unwrap();
+    let probe = snap.table(t).unwrap().index_probe(&[1], &[Value::str("green")]).unwrap().unwrap();
     assert_eq!(probe.row_count(), 26, "20 in the segment + 6 in the rowstore");
     // Unindexed column probe falls back to None.
     assert!(snap.table(t).unwrap().index_probe(&[2], &[Value::Double(0.0)]).unwrap().is_none());
@@ -450,12 +433,7 @@ fn delete_at_segment_locations() {
 
     // Locate all "drop" rows via the secondary index and delete them.
     let snap = p.read_snapshot();
-    let probe = snap
-        .table(t)
-        .unwrap()
-        .index_probe(&[1], &[Value::str("drop")])
-        .unwrap()
-        .unwrap();
+    let probe = snap.table(t).unwrap().index_probe(&[1], &[Value::str("drop")]).unwrap().unwrap();
     let mut locations: Vec<RowLocation> = Vec::new();
     for (core, rows) in &probe.segments {
         for &r in rows {

@@ -153,7 +153,9 @@ pub fn choose_encoding(values: &[Value], data_type: DataType) -> Encoding {
             };
             let bitpack = 16 + (rows * width as usize).div_ceil(8);
             let dict = if s.distinct <= DISTINCT_CAP {
-                s.distinct * 8 + (rows * bits_needed(s.distinct.saturating_sub(1) as u128) as usize).div_ceil(8)
+                s.distinct * 8
+                    + (rows * bits_needed(s.distinct.saturating_sub(1) as u128) as usize)
+                        .div_ceil(8)
             } else {
                 usize::MAX
             };
@@ -454,7 +456,8 @@ mod tests {
 
     #[test]
     fn analyzer_picks_bitpack_for_small_range() {
-        let values: Vec<Value> = (0..1000).map(|i| Value::Int(1_000_000 + (i * 37) % 250)).collect();
+        let values: Vec<Value> =
+            (0..1000).map(|i| Value::Int(1_000_000 + (i * 37) % 250)).collect();
         let enc = roundtrip(&values, DataType::Int64, None);
         assert!(matches!(enc, Encoding::BitPackInt | Encoding::DictInt), "got {enc:?}");
     }
@@ -469,7 +472,9 @@ mod tests {
     #[test]
     fn analyzer_picks_lz_for_long_unique_strings() {
         let values: Vec<Value> = (0..300)
-            .map(|i| Value::str(format!("customer comment number {i} with shared boilerplate text")))
+            .map(|i| {
+                Value::str(format!("customer comment number {i} with shared boilerplate text"))
+            })
             .collect();
         assert_eq!(roundtrip(&values, DataType::Str, None), Encoding::LzStr);
     }
@@ -509,7 +514,9 @@ mod tests {
 
     #[test]
     fn wrong_type_rejected() {
-        assert!(encode_column(&[Value::str("x")], DataType::Int64, Some(Encoding::PlainInt)).is_err());
+        assert!(
+            encode_column(&[Value::str("x")], DataType::Int64, Some(Encoding::PlainInt)).is_err()
+        );
         assert!(encode_column(&[Value::Int(1)], DataType::Str, Some(Encoding::PlainInt)).is_err());
     }
 

@@ -34,13 +34,39 @@ fn read_packed(data: &[u8], bits_off: usize, width: u8, idx: usize) -> u64 {
 
 #[derive(Debug)]
 enum Inner {
-    PlainInt { values_off: usize },
-    PlainDouble { values_off: usize },
-    PlainStr { offsets_off: usize, bytes_off: usize },
-    BitPack { base: i64, width: u8, bits_off: usize },
-    Rle { n_runs: usize, values_off: usize, ends_off: usize },
-    DictStr { dict_len: usize, dict_offsets_off: usize, dict_bytes_off: usize, width: u8, codes_off: usize },
-    DictInt { dict_len: usize, dict_off: usize, width: u8, codes_off: usize },
+    PlainInt {
+        values_off: usize,
+    },
+    PlainDouble {
+        values_off: usize,
+    },
+    PlainStr {
+        offsets_off: usize,
+        bytes_off: usize,
+    },
+    BitPack {
+        base: i64,
+        width: u8,
+        bits_off: usize,
+    },
+    Rle {
+        n_runs: usize,
+        values_off: usize,
+        ends_off: usize,
+    },
+    DictStr {
+        dict_len: usize,
+        dict_offsets_off: usize,
+        dict_bytes_off: usize,
+        width: u8,
+        codes_off: usize,
+    },
+    DictInt {
+        dict_len: usize,
+        dict_off: usize,
+        width: u8,
+        codes_off: usize,
+    },
     LzStr {
         /// Byte offset of block `i` relative to `blocks_off`, with a final sentinel.
         dir: Vec<u64>,
@@ -104,7 +130,13 @@ impl ColumnReader {
                 let dict_bytes_off = dict_offsets_off + (dict_len + 1) * 4;
                 r.seek(dict_offsets_off + layout_len)?;
                 let width = r.get_u8()?;
-                Inner::DictStr { dict_len, dict_offsets_off, dict_bytes_off, width, codes_off: r.position() }
+                Inner::DictStr {
+                    dict_len,
+                    dict_offsets_off,
+                    dict_bytes_off,
+                    width,
+                    codes_off: r.position(),
+                }
             }
             Encoding::DictInt => {
                 let dict_len = r.get_varint()? as usize;
@@ -385,15 +417,12 @@ impl ColumnReader {
                 match sel {
                     None => {
                         let mut start = 0u32;
-                        for run in 0..*n_runs {
+                        for (run, pass) in run_pass.iter().enumerate() {
                             let end = self.u32_at(ends_off + run * 4);
-                            if run_pass[run] {
+                            if *pass {
                                 for row in start..end {
-                                    let passes = if self.is_null(row as usize) {
-                                        null_passes
-                                    } else {
-                                        true
-                                    };
+                                    let passes =
+                                        if self.is_null(row as usize) { null_passes } else { true };
                                     if passes {
                                         out.push(row);
                                     }
@@ -485,8 +514,7 @@ mod tests {
 
     #[test]
     fn encoded_filter_dict_str() {
-        let values: Vec<Value> =
-            (0..60).map(|i| Value::str(["a", "b", "c"][i % 3])).collect();
+        let values: Vec<Value> = (0..60).map(|i| Value::str(["a", "b", "c"][i % 3])).collect();
         let r = reader(&values, DataType::Str, Some(Encoding::DictStr));
         let sel = r
             .encoded_filter(&mut |v| matches!(v, Value::Str(s) if s.as_ref() == "b"), None)
@@ -521,9 +549,8 @@ mod tests {
 
     #[test]
     fn encoded_filter_handles_nulls() {
-        let values: Vec<Value> = (0..30)
-            .map(|i| if i % 10 == 0 { Value::Null } else { Value::Int(i % 3) })
-            .collect();
+        let values: Vec<Value> =
+            (0..30).map(|i| if i % 10 == 0 { Value::Null } else { Value::Int(i % 3) }).collect();
         let r = reader(&values, DataType::Int64, Some(Encoding::DictInt));
         // IS NULL predicate.
         let sel = r.encoded_filter(&mut |v| v.is_null(), None).unwrap().unwrap();

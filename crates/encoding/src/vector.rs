@@ -42,9 +42,7 @@ impl ColumnVector {
         match data_type {
             DataType::Int64 => ColumnVector::Int { values: Vec::new(), nulls: None },
             DataType::Double => ColumnVector::Double { values: Vec::new(), nulls: None },
-            DataType::Str => {
-                ColumnVector::Str { offsets: vec![0], bytes: Vec::new(), nulls: None }
-            }
+            DataType::Str => ColumnVector::Str { offsets: vec![0], bytes: Vec::new(), nulls: None },
         }
     }
 
@@ -261,9 +259,7 @@ impl VectorBuilder {
         match self.data_type {
             DataType::Int64 => ColumnVector::Int { values: self.ints, nulls },
             DataType::Double => ColumnVector::Double { values: self.doubles, nulls },
-            DataType::Str => {
-                ColumnVector::Str { offsets: self.offsets, bytes: self.bytes, nulls }
-            }
+            DataType::Str => ColumnVector::Str { offsets: self.offsets, bytes: self.bytes, nulls },
         }
     }
 }

@@ -248,10 +248,7 @@ impl Expr {
                 Expr::Arith(*op, Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
             }
             Expr::Case { when, else_ } => Expr::Case {
-                when: when
-                    .iter()
-                    .map(|(c, r)| (c.remap_columns(f), r.remap_columns(f)))
-                    .collect(),
+                when: when.iter().map(|(c, r)| (c.remap_columns(f), r.remap_columns(f))).collect(),
                 else_: Box::new(else_.remap_columns(f)),
             },
             Expr::Year(x) => Expr::Year(Box::new(x.remap_columns(f))),
@@ -466,11 +463,7 @@ mod tests {
     #[test]
     fn arithmetic() {
         let get = row(vec![Value::Int(10), Value::Double(2.5)]);
-        let e = Expr::Arith(
-            ArithOp::Mul,
-            Box::new(Expr::Column(0)),
-            Box::new(Expr::Column(1)),
-        );
+        let e = Expr::Arith(ArithOp::Mul, Box::new(Expr::Column(0)), Box::new(Expr::Column(1)));
         assert_eq!(e.eval(&get).unwrap(), Value::Double(25.0));
         let div0 = Expr::Arith(
             ArithOp::Div,
@@ -513,10 +506,7 @@ mod tests {
     #[test]
     fn range_extraction() {
         let e = Expr::between(2, 10i64, 20i64);
-        assert_eq!(
-            e.as_column_range(),
-            Some((2, Some(Value::Int(10)), Some(Value::Int(20))))
-        );
+        assert_eq!(e.as_column_range(), Some((2, Some(Value::Int(10)), Some(Value::Int(20)))));
         let e = Expr::cmp(1, CmpOp::Lt, 5i64);
         assert_eq!(e.as_column_range(), Some((1, None, Some(Value::Int(5)))));
         let e = Expr::eq(0, "x");

@@ -220,18 +220,13 @@ impl AggState {
 /// Hash group-by aggregation. Output columns: group keys (in order) then one
 /// column per aggregate. With no group keys, emits exactly one row (global
 /// aggregate over zero input rows included, SQL-style).
-pub fn hash_aggregate(
-    batch: &Batch,
-    group_by: &[Expr],
-    aggregates: &[Aggregate],
-) -> Result<Batch> {
+pub fn hash_aggregate(batch: &Batch, group_by: &[Expr], aggregates: &[Aggregate]) -> Result<Batch> {
     // Evaluate group keys and aggregate inputs per row.
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new(); // stable first-seen order
     for ri in 0..batch.rows() {
         let get = |c: usize| batch.value(c, ri);
-        let key: Vec<Value> =
-            group_by.iter().map(|g| g.eval(&get)).collect::<Result<_>>()?;
+        let key: Vec<Value> = group_by.iter().map(|g| g.eval(&get)).collect::<Result<_>>()?;
         let states = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
             vec![AggState::new(); aggregates.len()]
@@ -384,11 +379,8 @@ mod tests {
         let left = batch(vec![ints(&[1, 5]), ints(&[1, 50])], &[DataType::Int64, DataType::Int64]);
         let right = batch(vec![ints(&[1, 10])], &[DataType::Int64, DataType::Int64]);
         // residual: left.col1 < right.col1  (positions: 0,1 left; 2,3 right)
-        let res = Expr::Cmp(
-            crate::expr::CmpOp::Lt,
-            Box::new(Expr::Column(1)),
-            Box::new(Expr::Column(3)),
-        );
+        let res =
+            Expr::Cmp(crate::expr::CmpOp::Lt, Box::new(Expr::Column(1)), Box::new(Expr::Column(3)));
         let out = hash_join(&left, &right, &[0], &[0], JoinType::Inner, Some(&res)).unwrap();
         assert_eq!(out.rows(), 1);
         assert_eq!(out.value(1, 0), Value::Int(5));
@@ -426,12 +418,9 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_input() {
         let b = Batch::empty(&[DataType::Int64]);
-        let out = hash_aggregate(
-            &b,
-            &[],
-            &[Aggregate { func: AggFunc::Count, input: Expr::Column(0) }],
-        )
-        .unwrap();
+        let out =
+            hash_aggregate(&b, &[], &[Aggregate { func: AggFunc::Count, input: Expr::Column(0) }])
+                .unwrap();
         assert_eq!(out.rows(), 1);
         assert_eq!(out.value(0, 0), Value::Int(0));
     }

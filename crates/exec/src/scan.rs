@@ -154,9 +154,9 @@ pub fn scan(
     let mut out_batches: Vec<Batch> = Vec::new();
 
     // Map segment id -> probed rows when an index probe ran.
-    let probed_rows: Option<HashMap<u64, Vec<u32>>> = probe_result.as_ref().map(|p| {
-        p.segments.iter().map(|(core, rows)| (core.meta.id, rows.clone())).collect()
-    });
+    let probed_rows: Option<HashMap<u64, Vec<u32>>> = probe_result
+        .as_ref()
+        .map(|p| p.segments.iter().map(|(core, rows)| (core.meta.id, rows.clone())).collect());
 
     for seg in &snapshot.segments {
         let meta = &seg.core.meta;
@@ -173,10 +173,7 @@ pub fn scan(
         };
         // Min/max elimination (§5.1: after the index check, which cheaply
         // reduced the candidate set).
-        if ranges
-            .iter()
-            .any(|(c, lo, hi)| !meta.may_overlap_range(*c, lo.as_ref(), hi.as_ref()))
-        {
+        if ranges.iter().any(|(c, lo, hi)| !meta.may_overlap_range(*c, lo.as_ref(), hi.as_ref())) {
             stats.segments_skipped_minmax += 1;
             continue;
         }
@@ -231,8 +228,7 @@ pub fn scan(
         needed.dedup();
         let types: Vec<DataType> = needed.iter().map(|&c| schema.column(c).data_type).collect();
         let batch = Batch::from_rows(&rowstore_rows, &needed, &types)?;
-        let pos: HashMap<usize, usize> =
-            needed.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let pos: HashMap<usize, usize> = needed.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let mut sel: Option<Vec<u32>> = None;
         for clause in &residual {
             let remapped = clause.remap_columns(&|c| pos[&c]);
@@ -257,7 +253,23 @@ pub fn scan(
     } else {
         Batch::concat(&out_batches)?
     };
+    record_scan_stats(&stats);
     Ok((result, stats))
+}
+
+/// Fold one scan's [`ScanStats`] into the global metrics registry, so
+/// aggregate skip rates and filter-strategy choices are visible in a metrics
+/// snapshot without threading per-query stats around.
+fn record_scan_stats(stats: &ScanStats) {
+    s2_obs::counter!("exec.scan.scans").inc();
+    s2_obs::counter!("exec.scan.segments_total").add(stats.segments_total as u64);
+    s2_obs::counter!("exec.scan.segments_skipped_index").add(stats.segments_skipped_index as u64);
+    s2_obs::counter!("exec.scan.segments_skipped_minmax").add(stats.segments_skipped_minmax as u64);
+    s2_obs::counter!("exec.scan.index_filters").add(stats.index_filters as u64);
+    s2_obs::counter!("exec.scan.encoded_filters").add(stats.encoded_filters as u64);
+    s2_obs::counter!("exec.scan.regular_filters").add(stats.regular_filters as u64);
+    s2_obs::counter!("exec.scan.group_filters").add(stats.group_filters as u64);
+    s2_obs::counter!("exec.scan.rows_output").add(stats.rows_output as u64);
 }
 
 /// Accumulates several [`s2_core::IndexProbe`] results into one (used to
@@ -271,11 +283,7 @@ struct ProbeAccum {
 impl ProbeAccum {
     fn absorb(&mut self, p: s2_core::IndexProbe) {
         for (core, rows) in p.segments {
-            self.segments
-                .entry(core.meta.id)
-                .or_insert_with(|| (core, Vec::new()))
-                .1
-                .extend(rows);
+            self.segments.entry(core.meta.id).or_insert_with(|| (core, Vec::new())).1.extend(rows);
         }
         // Probe values are distinct, so rowstore matches cannot repeat.
         self.rowstore.extend(p.rowstore);
@@ -471,8 +479,7 @@ mod tests {
     use std::sync::Arc;
 
     fn setup() -> (Arc<Partition>, u32) {
-        let p =
-            Partition::new("p0", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+        let p = Partition::new("p0", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
         let schema = Schema::new(vec![
             ColumnDef::new("id", DataType::Int64),
             ColumnDef::new("grp", DataType::Str),
@@ -523,8 +530,8 @@ mod tests {
     fn full_scan_no_filter() {
         let (p, t) = setup();
         let snap = p.read_snapshot();
-        let (batch, stats) = scan(snap.table(t).unwrap(), &[0, 2], None, &ScanOptions::default())
-            .unwrap();
+        let (batch, stats) =
+            scan(snap.table(t).unwrap(), &[0, 2], None, &ScanOptions::default()).unwrap();
         assert_eq!(batch.rows(), 325);
         assert_eq!(stats.segments_total, 3);
     }
@@ -611,8 +618,7 @@ mod tests {
         assert!(txn.delete_unique(t, &[Value::Int(310)]).unwrap()); // rowstore row
         txn.commit().unwrap();
         let snap = p.read_snapshot();
-        let (batch, _) =
-            scan(snap.table(t).unwrap(), &[0], None, &ScanOptions::default()).unwrap();
+        let (batch, _) = scan(snap.table(t).unwrap(), &[0], None, &ScanOptions::default()).unwrap();
         assert_eq!(batch.rows(), 323);
     }
 
@@ -622,8 +628,11 @@ mod tests {
         let snap = p.read_snapshot();
         // Both clauses pass almost every row -> grouped into one evaluation
         // per segment under the adaptive planner.
-        let f = Expr::cmp(2, crate::expr::CmpOp::Ge, 1.0)
-            .and(Expr::cmp(0, crate::expr::CmpOp::Ge, 1i64));
+        let f = Expr::cmp(2, crate::expr::CmpOp::Ge, 1.0).and(Expr::cmp(
+            0,
+            crate::expr::CmpOp::Ge,
+            1i64,
+        ));
         let (batch, stats) =
             scan(snap.table(t).unwrap(), &[0], Some(&f), &ScanOptions::default()).unwrap();
         assert_eq!(batch.rows(), 324, "ids 1..=324");

@@ -53,11 +53,7 @@ impl HashLevel {
             covered.insert(seg);
             match entries.last_mut() {
                 Some(e) if e.hash == hash => e.len += 1,
-                _ => entries.push(LevelEntry {
-                    hash,
-                    start: pair_segments.len() as u32,
-                    len: 1,
-                }),
+                _ => entries.push(LevelEntry { hash, start: pair_segments.len() as u32, len: 1 }),
             }
             pair_segments.push(seg);
             pair_offsets.extend_from_slice(&offs);

@@ -120,11 +120,10 @@ impl InvertedIndex {
     /// Iterate `(value_hash, absolute_entry_offset)` pairs for global-index
     /// construction.
     pub fn iter_entries(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
-        (0..self.n_entries)
-            .map(move |i| {
-                let (hash, rel) = self.dir_entry(i);
-                (hash, (self.entries_start + rel as usize) as u32)
-            })
+        (0..self.n_entries).map(move |i| {
+            let (hash, rel) = self.dir_entry(i);
+            (hash, (self.entries_start + rel as usize) as u32)
+        })
     }
 
     /// Open the entry at `entry_off` (an offset produced by

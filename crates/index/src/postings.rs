@@ -102,7 +102,9 @@ impl<'a> PostingsReader<'a> {
         Ok(v)
     }
 
-    /// Next row offset, or `None` at end.
+    /// Next row offset, or `None` at end. Not an [`Iterator`]: decoding can
+    /// fail, so the signature is `Result<Option<_>>` rather than `Option<_>`.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<u32>> {
         if self.consumed >= self.count {
             return Ok(None);
@@ -123,9 +125,7 @@ impl<'a> PostingsReader<'a> {
     /// directory, and return it (or `None` if the list is exhausted).
     pub fn seek(&mut self, target: u32) -> Result<Option<u32>> {
         // Jump over blocks whose successor block still starts below target.
-        while self.block + 1 < self.directory.len()
-            && self.directory[self.block + 1].0 <= target
-        {
+        while self.block + 1 < self.directory.len() && self.directory[self.block + 1].0 <= target {
             self.block += 1;
             self.in_block = 0;
             self.cursor = self.payload_start + self.directory[self.block].1 as usize;
@@ -221,12 +221,9 @@ mod tests {
 
     #[test]
     fn roundtrip_small_and_large() {
-        for rows in [
-            vec![],
-            vec![0u32],
-            vec![5, 10, 1000],
-            (0..1000).map(|i| i * 3).collect::<Vec<u32>>(),
-        ] {
+        for rows in
+            [vec![], vec![0u32], vec![5, 10, 1000], (0..1000).map(|i| i * 3).collect::<Vec<u32>>()]
+        {
             let buf = encode(&rows);
             let mut r = PostingsReader::open(&buf, 0).unwrap();
             assert_eq!(r.len(), rows.len());
@@ -299,11 +296,9 @@ mod tests {
     fn union_dedups() {
         let a = encode(&[1, 3, 5]);
         let b = encode(&[3, 4, 5, 6]);
-        let got = union(vec![
-            PostingsReader::open(&a, 0).unwrap(),
-            PostingsReader::open(&b, 0).unwrap(),
-        ])
-        .unwrap();
+        let got =
+            union(vec![PostingsReader::open(&a, 0).unwrap(), PostingsReader::open(&b, 0).unwrap()])
+                .unwrap();
         assert_eq!(got, vec![1, 3, 4, 5, 6]);
     }
 

@@ -1,0 +1,148 @@
+//! Sharded monotonic counters and point-in-time gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of independent shards per counter. Increments from different
+/// threads usually land on different cache lines, so hot counters don't
+/// serialize on one atomic.
+pub const SHARDS: usize = 16;
+
+/// One cache line per shard so increments from different threads don't
+/// false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard(AtomicU64);
+
+/// Index of the shard this thread increments. Assigned round-robin on first
+/// use and then fixed for the thread's lifetime.
+fn shard_idx() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static IDX: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    IDX.with(|c| {
+        let mut i = c.get();
+        if i == usize::MAX {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            i = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            c.set(i);
+        }
+        i
+    })
+}
+
+/// A monotonically increasing event count. Increments are relaxed atomic
+/// adds to a per-thread shard; reads aggregate across shards, so `get` is
+/// the expensive direction — exactly the right trade for metrics.
+#[derive(Default)]
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_idx()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total, aggregated across shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Reset to zero (test/bench support; racy against concurrent writers).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time signed value (queue depths, lag). Unlike [`Counter`] it
+/// supports decrement and absolute set, so it is a single atomic: gauges
+/// track states, not per-operation event streams, and stay uncontended.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (test/bench support).
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_aggregates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_directions() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+}

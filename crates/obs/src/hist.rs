@@ -1,0 +1,263 @@
+//! Log-bucketed latency histograms with lock-free recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of buckets. Bucket 0 holds zeros; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`; the last bucket absorbs everything from `2^62` up. For
+/// microsecond latencies that spans sub-µs to ~146 years — no value is ever
+/// out of range.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket (used as the reported quantile value).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Exclusive-lower/inclusive-upper value bounds `[lo, hi]` of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else {
+        (1u64 << (i - 1), bucket_upper(i))
+    }
+}
+
+/// A fixed-layout power-of-two histogram. `record` is a few relaxed atomic
+/// RMWs (bucket, count, sum, max) — no locks, no allocation, safe on any
+/// hot path. Quantiles are computed on snapshot by a cumulative rank walk.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Start an RAII timer that records elapsed microseconds on drop.
+    pub fn start_timer(&self) -> ScopedTimer<'_> {
+        ScopedTimer { hist: self, start: Instant::now(), armed: true }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the raw bucket counts.
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Summarize into counts plus p50/p95/p99/max. Not atomic with respect
+    /// to concurrent `record`s; each loaded cell is individually consistent,
+    /// which is all a metrics reader needs.
+    pub fn summary(&self) -> HistogramSummary {
+        let buckets = self.buckets();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum: self.sum(),
+            max,
+            p50: quantile(&buckets, count, max, 0.50),
+            p95: quantile(&buckets, count, max, 0.95),
+            p99: quantile(&buckets, count, max, 0.99),
+        }
+    }
+
+    /// Reset to empty (test/bench support; racy against concurrent writers).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Value at quantile `q`: the upper bound of the bucket holding the rank'th
+/// recorded value, clamped to the recorded max (the true maximum is known
+/// exactly, so the top bucket never over-reports).
+fn quantile(buckets: &[u64; BUCKETS], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        cum += n;
+        if cum >= rank {
+            return bucket_upper(i).min(max);
+        }
+    }
+    max
+}
+
+/// Snapshot of a histogram's distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median (upper bound of the median's bucket).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// RAII guard recording elapsed wall-clock microseconds into a histogram on
+/// drop. Obtain via [`Histogram::start_timer`].
+pub struct ScopedTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl ScopedTimer<'_> {
+    /// Record now and disarm the drop (for early exits that should count).
+    pub fn stop(mut self) -> u64 {
+        let us = self.start.elapsed().as_micros() as u64;
+        self.hist.record(us);
+        self.armed = false;
+        us
+    }
+
+    /// Disarm without recording (for paths that shouldn't count, e.g. error
+    /// returns).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_distribution() {
+        let h = Histogram::new();
+        // 90 fast ops (~100 µs), 10 slow ops (~100 ms).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100_000);
+        assert!(s.p50 < 256, "median in the fast bucket, got {}", s.p50);
+        assert!(s.p95 >= 65_536, "p95 in the slow bucket, got {}", s.p95);
+        assert!(s.p99 <= 100_000, "p99 clamped to max, got {}", s.p99);
+        assert_eq!(s.sum, 90 * 100 + 10 * 100_000);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!((s.count, s.sum, s.max, s.p50, s.p95, s.p99), (0, 0, 0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn scoped_timer_records_once() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        let t = h.start_timer();
+        t.stop();
+        assert_eq!(h.count(), 2);
+        let t = h.start_timer();
+        t.cancel();
+        assert_eq!(h.count(), 2);
+    }
+}

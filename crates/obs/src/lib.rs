@@ -1,0 +1,237 @@
+//! Zero-dependency observability for the S2DB reproduction.
+//!
+//! Production cloud databases live and die by their telemetry; the paper's
+//! own evaluation leans on internal latency and skip-rate counters. This
+//! crate provides the reproduction's equivalent: a global [`Registry`] of
+//! named metrics designed so an instrumented hot path costs a couple of
+//! relaxed atomic operations and an *un*-instrumented build pays nothing.
+//!
+//! Three primitives:
+//! - [`Counter`] / [`Gauge`] — sharded monotonic counts and point-in-time
+//!   values (`wal.append.bytes`, `blob.upload.queue_depth`).
+//! - [`Histogram`] — fixed 64-bucket power-of-two latency histograms with a
+//!   lock-free `record` and p50/p95/p99/max on snapshot, plus the RAII
+//!   [`ScopedTimer`] (`wal.commit.latency_us`).
+//! - [`EventRing`] — a bounded ring of rare structured events
+//!   (`cluster.failover`, `blob.outage`).
+//!
+//! Metric names follow `subsystem.noun.verb` (see DESIGN.md): the subsystem
+//! prefix matches the crate (`wal.`, `blob.`, `core.`, `exec.`,
+//! `cluster.`, `rowstore.`), and latency histograms end in `latency_us`.
+//!
+//! Hot paths use the caching macros so the name→metric map is consulted
+//! once per call site, not per operation:
+//!
+//! ```
+//! s2_obs::counter!("doc.example.ops").inc();
+//! s2_obs::histogram!("doc.example.latency_us").record(42);
+//! {
+//!     let _t = s2_obs::histogram!("doc.example.latency_us").start_timer();
+//!     // ... timed work ...
+//! }
+//! s2_obs::gauge!("doc.example.depth").add(1);
+//! s2_obs::event("doc.example.state_change", "details");
+//! let snap = s2_obs::global().snapshot();
+//! assert!(snap.counter("doc.example.ops") >= 1);
+//! ```
+
+mod counter;
+mod hist;
+mod ring;
+mod snapshot;
+
+pub use counter::{Counter, Gauge};
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSummary, ScopedTimer, BUCKETS};
+pub use ring::{Event, EventRing};
+pub use snapshot::Snapshot;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// How many events the global ring retains.
+const EVENT_RING_CAPACITY: usize = 256;
+
+/// A namespace of metrics. Most code uses the process-wide [`global`]
+/// registry via the [`counter!`], [`gauge!`] and [`histogram!`] macros;
+/// tests can build private registries for isolation.
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    events: EventRing,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+macro_rules! get_or_register {
+    ($map:expr, $name:expr, $ty:ty) => {{
+        if let Some(m) = $map.read().unwrap_or_else(|e| e.into_inner()).get($name) {
+            return Arc::clone(m);
+        }
+        let mut w = $map.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(w.entry($name.to_string()).or_insert_with(|| Arc::new(<$ty>::new())))
+    }};
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            events: EventRing::new(EVENT_RING_CAPACITY),
+        }
+    }
+
+    /// The counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register!(self.counters, name, Counter)
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register!(self.gauges, name, Gauge)
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_register!(self.histograms, name, Histogram)
+    }
+
+    /// Record a rare structured event.
+    pub fn event(&self, name: impl Into<String>, detail: impl Into<String>) {
+        self.events.record(name, detail);
+    }
+
+    /// The event ring (for direct inspection).
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Capture every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(n, h)| (n.clone(), h.summary()))
+                .collect(),
+            events: self.events.snapshot(),
+        }
+    }
+
+    /// Zero every metric and drop retained events, keeping registrations
+    /// (and cached macro handles) valid. Test/bench support.
+    pub fn reset(&self) {
+        for c in self.counters.read().unwrap_or_else(|e| e.into_inner()).values() {
+            c.reset();
+        }
+        for g in self.gauges.read().unwrap_or_else(|e| e.into_inner()).values() {
+            g.reset();
+        }
+        for h in self.histograms.read().unwrap_or_else(|e| e.into_inner()).values() {
+            h.reset();
+        }
+        self.events.reset();
+    }
+}
+
+/// The process-wide registry, created on first use.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Record a rare structured event in the global registry.
+pub fn event(name: impl Into<String>, detail: impl Into<String>) {
+    global().event(name, detail);
+}
+
+/// Handle to the named global counter, resolved once per call site and
+/// cached in a hidden `static` — after the first hit, using the counter is
+/// one relaxed atomic add with no map lookup.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Handle to the named global gauge (cached per call site; see [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Handle to the named global histogram (cached per call site; see
+/// [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_hands_out_shared_metrics() {
+        let r = Registry::new();
+        r.counter("x.a").add(2);
+        r.counter("x.a").add(3);
+        assert_eq!(r.counter("x.a").get(), 5);
+        r.gauge("x.g").set(-7);
+        r.histogram("x.h").record(100);
+        r.event("x.e", "detail");
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x.a"), 5);
+        assert_eq!(snap.gauge("x.g"), -7);
+        assert_eq!(snap.histogram("x.h").unwrap().count, 1);
+        assert_eq!(snap.events.len(), 1);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn macros_cache_and_hit_the_global_registry() {
+        counter!("obs.test.macro_counter").add(4);
+        counter!("obs.test.macro_counter").inc();
+        gauge!("obs.test.macro_gauge").set(9);
+        histogram!("obs.test.macro_hist").record(17);
+        let snap = global().snapshot();
+        assert_eq!(snap.counter("obs.test.macro_counter"), 5);
+        assert_eq!(snap.gauge("obs.test.macro_gauge"), 9);
+        assert_eq!(snap.histogram("obs.test.macro_hist").unwrap().count, 1);
+    }
+}

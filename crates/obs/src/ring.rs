@@ -1,0 +1,121 @@
+//! Bounded ring buffer for rare structured events (failovers, outages,
+//! retry storms). Writers claim a slot with one atomic increment, so the
+//! ring never blocks the hot path it is reporting on; old events are
+//! overwritten once the ring wraps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (monotone; survives ring wrap).
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch at record time.
+    pub unix_ms: u64,
+    /// Event name, `subsystem.noun` style (e.g. `cluster.failover`).
+    pub name: String,
+    /// Free-form detail payload.
+    pub detail: String,
+}
+
+/// Fixed-capacity MPMC event ring. The write cursor is lock-free; each slot
+/// has a tiny mutex so a slow writer can't tear an event a reader sees.
+/// Events are rare by contract (state changes, not per-op records), so slot
+/// contention is effectively nil.
+pub struct EventRing {
+    slots: Vec<Mutex<Option<Event>>>,
+    cursor: AtomicU64,
+}
+
+impl EventRing {
+    /// Ring holding the most recent `capacity` events.
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "event ring needs capacity");
+        EventRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Record an event, overwriting the oldest once full.
+    pub fn record(&self, name: impl Into<String>, detail: impl Into<String>) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let unix_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+        let event = Event { seq, unix_ms, name: name.into(), detail: detail.into() };
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        // A racing writer that lapped the ring may already have stored a
+        // newer event in this slot; keep the newest.
+        if guard.as_ref().is_none_or(|old| old.seq < seq) {
+            *guard = Some(event);
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Drop all retained events (test/bench support).
+    pub fn reset(&self) {
+        for s in &self.slots {
+            *s.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_most_recent_events() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.record("test.event", format!("e{i}"));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(ring.recorded(), 10);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(events[3].detail, "e9");
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_newest() {
+        let ring = std::sync::Arc::new(EventRing::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        ring.record("race", format!("{t}:{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 4000);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 8);
+        // Every retained event is from the last full wrap.
+        assert!(events.iter().all(|e| e.seq >= 4000 - 8 * 2));
+    }
+}

@@ -1,0 +1,219 @@
+//! Point-in-time view of every registered metric, with text and JSON
+//! exporters.
+
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSummary;
+use crate::ring::Event;
+
+/// A consistent-enough copy of the registry: each metric is read atomically,
+/// the set as a whole is not (fine for reporting).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, total)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// True when nothing has been recorded anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|(_, v)| *v == 0)
+            && self.gauges.iter().all(|(_, v)| *v == 0)
+            && self.histograms.iter().all(|(_, h)| h.count == 0)
+            && self.events.is_empty()
+    }
+
+    /// Counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Human-readable dump: one aligned line per metric, skipping metrics
+    /// that never fired so quiet subsystems don't drown the interesting ones.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        let mut wrote = false;
+        for (name, v) in &self.counters {
+            if *v != 0 {
+                let _ = writeln!(out, "{name:<width$}  {v}");
+                wrote = true;
+            }
+        }
+        for (name, v) in &self.gauges {
+            if *v != 0 {
+                let _ = writeln!(out, "{name:<width$}  {v}");
+                wrote = true;
+            }
+        }
+        for (name, h) in &self.histograms {
+            if h.count != 0 {
+                let _ = writeln!(
+                    out,
+                    "{name:<width$}  count={} mean={:.1} p50={} p95={} p99={} max={}",
+                    h.count,
+                    h.mean(),
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max
+                );
+                wrote = true;
+            }
+        }
+        for e in &self.events {
+            let _ = writeln!(out, "event[{}] {} {} {}", e.seq, e.unix_ms, e.name, e.detail);
+            wrote = true;
+        }
+        if !wrote {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// JSON object (hand-rolled: this crate takes no dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_str(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_str(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                json_str(name),
+                h.count,
+                h.sum,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            );
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"unix_ms\":{},\"name\":{},\"detail\":{}}}",
+                e.seq,
+                e.unix_ms,
+                json_str(&e.name),
+                json_str(&e.detail)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("a.b.c".into(), 3), ("quiet".into(), 0)],
+            gauges: vec![("g.depth".into(), -2)],
+            histograms: vec![(
+                "h.lat_us".into(),
+                HistogramSummary { count: 2, sum: 30, max: 20, p50: 15, p95: 20, p99: 20 },
+            )],
+            events: vec![Event {
+                seq: 0,
+                unix_ms: 1,
+                name: "x.y".into(),
+                detail: "d \"q\"".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn text_skips_zero_metrics() {
+        let text = sample().to_text();
+        assert!(text.contains("a.b.c"));
+        assert!(!text.contains("quiet"));
+        assert!(text.contains("p95=20"));
+        assert!(text.contains("event[0]"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_complete() {
+        let json = sample().to_json();
+        assert!(json.contains("\"a.b.c\":3"));
+        assert!(json.contains("\"quiet\":0"));
+        assert!(json.contains("\"g.depth\":-2"));
+        assert!(json.contains("\"detail\":\"d \\\"q\\\"\""));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = sample();
+        assert_eq!(s.counter("a.b.c"), 3);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.gauge("g.depth"), -2);
+        assert_eq!(s.histogram("h.lat_us").unwrap().count, 2);
+        assert!(!s.is_empty());
+        assert!(Snapshot::default().is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Property tests for the histogram bucket layout: every recorded value
+//! must land in a bucket whose bounds contain it, and summaries must respect
+//! ordering invariants.
+
+use proptest::prelude::*;
+use s2_obs::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_lands_in_bucket_containing_it(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn small_values_land_in_their_bucket(v in 0u64..10_000_000) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v && v <= hi);
+    }
+
+    #[test]
+    fn recorded_values_show_up_in_their_bucket(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        for &v in &values {
+            prop_assert!(buckets[bucket_index(v)] > 0, "bucket for {v} empty");
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().copied().fold(0u64, u64::wrapping_add));
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap());
+        // Quantiles are ordered and clamped to the observed max.
+        prop_assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+}

@@ -1,0 +1,84 @@
+//! Concurrency hammer: many threads pounding the same counter and histogram
+//! must never lose an increment or a sample.
+
+use std::sync::Arc;
+
+use s2_obs::{Histogram, Registry};
+
+const THREADS: usize = 8;
+const OPS: u64 = 100_000;
+
+#[test]
+fn hammered_counter_total_is_exact() {
+    let registry = Arc::new(Registry::new());
+    let threads: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let c = registry.counter("hammer.counter.ops");
+                for _ in 0..OPS {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(registry.counter("hammer.counter.ops").get(), THREADS as u64 * OPS);
+}
+
+#[test]
+fn hammered_histogram_count_and_sum_are_exact() {
+    let hist = Arc::new(Histogram::new());
+    // Each thread records a fixed value spread so the expected sum is exact.
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                let mut local_sum = 0u64;
+                for i in 0..OPS {
+                    let v = (t as u64 + 1) * (i % 1024);
+                    hist.record(v);
+                    local_sum += v;
+                }
+                local_sum
+            })
+        })
+        .collect();
+    let expected_sum: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+
+    let summary = hist.summary();
+    assert_eq!(summary.count, THREADS as u64 * OPS, "every record counted");
+    assert_eq!(summary.sum, expected_sum, "sum matches what threads recorded");
+    assert_eq!(
+        hist.buckets().iter().sum::<u64>(),
+        THREADS as u64 * OPS,
+        "bucket counts account for every sample"
+    );
+    // Max recorded value is 8 * 1023.
+    assert_eq!(summary.max, THREADS as u64 * 1023);
+    assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+    assert!(summary.p99 <= summary.max);
+}
+
+#[test]
+fn hammered_gauge_balances_to_zero() {
+    let registry = Arc::new(Registry::new());
+    let threads: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let g = registry.gauge("hammer.gauge.depth");
+                for _ in 0..OPS {
+                    g.inc();
+                    g.dec();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(registry.gauge("hammer.gauge.depth").get(), 0);
+}

@@ -13,9 +13,7 @@ use std::sync::Arc;
 
 use s2_common::{Result, Value};
 use s2_core::TableSnapshot;
-use s2_exec::{
-    hash_aggregate, hash_join, scan, sort_batch, Batch, Expr, ScanOptions, ScanStats,
-};
+use s2_exec::{hash_aggregate, hash_join, scan, sort_batch, Batch, Expr, ScanOptions, ScanStats};
 
 use crate::plan::Plan;
 
@@ -93,8 +91,7 @@ pub fn execute_with_stats(
                     let handles: Vec<_> = snaps
                         .iter()
                         .map(|snap| {
-                            scope
-                                .spawn(move || scan(snap, projection, filter.as_ref(), &opts.scan))
+                            scope.spawn(move || scan(snap, projection, filter.as_ref(), &opts.scan))
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join().expect("scan thread")).collect()
@@ -129,8 +126,7 @@ pub fn execute_with_stats(
             // into a probe-side scan.
             // Only Inner/Semi joins may restrict the probe side: Left and
             // Anti joins must still see unmatched probe rows.
-            let filter_ok =
-                matches!(join_type, s2_exec::JoinType::Inner | s2_exec::JoinType::Semi);
+            let filter_ok = matches!(join_type, s2_exec::JoinType::Inner | s2_exec::JoinType::Semi);
             let left_plan = if filter_ok {
                 maybe_push_join_filter(left, &right_batch, left_keys, right_keys, opts, stats)
             } else {
@@ -225,11 +221,7 @@ pub fn format_batch(batch: &Batch, headers: &[&str]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cols: &[String], widths: &[usize]| -> String {
-        cols.iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cols.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     out.push_str(&fmt_row(&header_cells, &widths));

@@ -96,8 +96,7 @@ fn join_index_filter_fires_for_small_build_side() {
         vec![0],
     );
     let mut stats = ExecStats::default();
-    let out =
-        execute_with_stats(&plan, &snap, &ExecOptions::default(), &mut stats).unwrap();
+    let out = execute_with_stats(&plan, &snap, &ExecOptions::default(), &mut stats).unwrap();
     // Customers 1,4,7,10,13,16,19 (c % 3 == 1): 7 customers × 25 orders each.
     assert_eq!(out.rows(), 175);
     assert_eq!(stats.join_index_filters, 1);
@@ -187,18 +186,12 @@ fn project_with_case_expression() {
     let plan = Plan::scan("orders", vec![2], None)
         .project(vec![(
             Expr::Case {
-                when: vec![(
-                    Expr::cmp(0, CmpOp::Ge, 25.0),
-                    Expr::Literal(Value::Double(1.0)),
-                )],
+                when: vec![(Expr::cmp(0, CmpOp::Ge, 25.0), Expr::Literal(Value::Double(1.0)))],
                 else_: Box::new(Expr::Literal(Value::Double(0.0))),
             },
             DataType::Double,
         )])
-        .aggregate(
-            vec![],
-            vec![Aggregate { func: AggFunc::Avg, input: Expr::Column(0) }],
-        );
+        .aggregate(vec![], vec![Aggregate { func: AggFunc::Avg, input: Expr::Column(0) }]);
     let out = execute(&plan, &snap, &ExecOptions::default()).unwrap();
     assert_eq!(out.value(0, 0), Value::Double(0.5));
 }

@@ -191,6 +191,7 @@ impl RowLock {
         if self.try_lock(txn) {
             return Ok(());
         }
+        s2_obs::counter!("rowstore.lock.conflicts").inc();
         let deadline = Instant::now() + timeout;
         let mut spins = 0u32;
         loop {
@@ -198,12 +199,15 @@ impl RowLock {
                 return Ok(());
             }
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 if Instant::now() >= deadline {
-                    return Err(Error::LockConflict(format!(
-                        "row locked by txn {}",
-                        self.owner.load(Ordering::Relaxed)
-                    )));
+                    let owner = self.owner.load(Ordering::Relaxed);
+                    s2_obs::counter!("rowstore.lock.timeouts").inc();
+                    s2_obs::event(
+                        "rowstore.lock_timeout",
+                        format!("txn {txn} timed out waiting for txn {owner}"),
+                    );
+                    return Err(Error::LockConflict(format!("row locked by txn {owner}")));
                 }
                 std::thread::yield_now();
             } else {

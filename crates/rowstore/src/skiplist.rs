@@ -329,7 +329,8 @@ mod tests {
             list.insert_or_get(&k(i), || ());
         }
         let from = k(35);
-        let got: Vec<i64> = list.iter_from(Some(&from)).map(|n| n.key[0].as_int().unwrap()).collect();
+        let got: Vec<i64> =
+            list.iter_from(Some(&from)).map(|n| n.key[0].as_int().unwrap()).collect();
         assert_eq!(got, vec![40, 50, 60, 70, 80, 90]);
     }
 
@@ -339,8 +340,7 @@ mod tests {
         list.insert_or_get(&[Value::Int(1), Value::str("b")], || ());
         list.insert_or_get(&[Value::Int(1), Value::str("a")], || ());
         list.insert_or_get(&[Value::Int(0), Value::str("z")], || ());
-        let keys: Vec<String> =
-            list.iter().map(|n| format!("{}{}", n.key[0], n.key[1])).collect();
+        let keys: Vec<String> = list.iter().map(|n| format!("{}{}", n.key[0], n.key[1])).collect();
         assert_eq!(keys, vec!["0z", "1a", "1b"]);
     }
 

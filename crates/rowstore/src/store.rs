@@ -341,8 +341,7 @@ mod tests {
                 let rs = Arc::clone(&rs);
                 std::thread::spawn(move || {
                     let txn = t + 1;
-                    let keys: Vec<Vec<Value>> =
-                        (0..200).map(|i| k((i * 8 + t) as i64)).collect();
+                    let keys: Vec<Vec<Value>> = (0..200).map(|i| k((i * 8 + t) as i64)).collect();
                     for key in &keys {
                         rs.write(txn, key, Some(row(key[0].as_int().unwrap(), "w"))).unwrap();
                     }

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand` crate (0.9-style API).
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the slice of `rand` it uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `random_range`
+//! (over integer and float ranges) and `random_bool`. The generator is
+//! SplitMix64 — fast, full-period for a u64 state, and statistically fine
+//! for workload generation (this is not a cryptographic RNG).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value generation. The supertrait-free subset used here.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// Generic over the output type (like real rand) so untyped literal
+    /// ranges infer their element type from the call site.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample_with(&mut next)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// Map 64 random bits to a uniform f64 in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can be sampled uniformly to produce a `T`.
+pub trait SampleRange<T> {
+    /// Draw one value using `next` as the bit source.
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Types with a uniform distribution over a bounded range. The single
+/// blanket `SampleRange` impl below goes through this trait (as in real
+/// rand) so type inference unifies a literal range's element type with the
+/// call site's expected output type.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn sample(lo: Self, hi: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample(self.start, self.end, false, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample(lo, hi, true, next)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(lo: $t, hi: $t, inclusive: bool, next: &mut dyn FnMut() -> u64) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "empty range");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    if span == u64::MAX {
+                        return next() as $t; // full-width range
+                    }
+                    lo.wrapping_add((next() % (span + 1)) as $t)
+                } else {
+                    assert!(lo < hi, "empty range");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    lo.wrapping_add((next() % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(lo: $t, hi: $t, _inclusive: bool, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(lo < hi, "empty range");
+                lo + (hi - lo) * unit_f64(next()) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w = rng.random_range(3usize..=9);
+            assert!((3..=9).contains(&w));
+            let f = rng.random_range(-999.99f64..9999.99);
+            assert!((-999.99..9999.99).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn values_look_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0u32; 16];
+        for _ in 0..160_000 {
+            buckets[rng.random_range(0usize..16)] += 1;
+        }
+        for b in buckets {
+            assert!((9_000..11_000).contains(&b), "{buckets:?}");
+        }
+    }
+}

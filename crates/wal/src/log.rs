@@ -124,6 +124,8 @@ impl Log {
         for (kind, payload) in records {
             encode_record(&mut chunk, *kind, payload);
         }
+        s2_obs::counter!("wal.append.records").add(records.len() as u64);
+        s2_obs::counter!("wal.append.bytes").add(chunk.len() as u64);
         let mut inner = self.inner.lock();
         let start = inner.end_lp;
         inner.mem.extend_from_slice(&chunk);
@@ -140,6 +142,7 @@ impl Log {
     /// replica's log must mirror the master's bytes and positions so the
     /// replica can be promoted and continue the stream).
     pub fn append_raw(&self, bytes: &[u8]) -> (LogPosition, LogPosition) {
+        s2_obs::counter!("wal.append.bytes").add(bytes.len() as u64);
         let mut inner = self.inner.lock();
         let start = inner.end_lp;
         inner.mem.extend_from_slice(bytes);
@@ -186,6 +189,9 @@ impl Log {
         let end = inner.end_lp;
         let from = inner.durable_lp;
         if from < end {
+            // Lag observed by this sync: bytes appended since the last one.
+            s2_obs::gauge!("wal.fsync.lag_bytes").set((end - from) as i64);
+            let timer = s2_obs::histogram!("wal.fsync.latency_us").start_timer();
             if inner.file.is_some() {
                 let start = (from - inner.mem_start_lp) as usize;
                 let stop = (end - inner.mem_start_lp) as usize;
@@ -195,6 +201,7 @@ impl Log {
                 file.write_all(&bytes)?;
                 file.flush()?;
             }
+            timer.stop();
             inner.durable_lp = end;
         }
         Ok(end)
@@ -212,8 +219,7 @@ impl Log {
             )));
         }
         let start = (from_lp - inner.mem_start_lp) as usize;
-        let backlog =
-            LogChunk { start_lp: from_lp, bytes: Arc::new(inner.mem[start..].to_vec()) };
+        let backlog = LogChunk { start_lp: from_lp, bytes: Arc::new(inner.mem[start..].to_vec()) };
         let (tx, rx) = unbounded();
         inner.subscribers.push(tx);
         Ok((backlog, rx))
@@ -331,7 +337,8 @@ mod tests {
         log.append(2, b"late");
         let live = rx.try_recv().unwrap();
         assert_eq!(live.start_lp, backlog.end_lp());
-        let recs: Vec<_> = RecordIter::new(&live.bytes, live.start_lp).map(|r| r.unwrap()).collect();
+        let recs: Vec<_> =
+            RecordIter::new(&live.bytes, live.start_lp).map(|r| r.unwrap()).collect();
         assert_eq!(recs[0].payload, b"late");
     }
 

@@ -77,6 +77,22 @@ pub fn queries() -> Vec<(&'static str, Plan)> {
                 .sort(vec![(0, SortDir::Asc)], None),
         ),
         (
+            // Revenue from orders placed during the live run (Q6-flavoured:
+            // a tight range over the fact table). `TpccScale::bench` preloads
+            // 100 orders per district, so `ol_o_id >= 101` selects exactly
+            // the lines written by concurrent transaction workers — and
+            // min/max segment elimination prunes every segment holding only
+            // preloaded history.
+            "live_revenue",
+            Plan::scan("order_line", vec![2, 8], Some(Expr::cmp(2, CmpOp::Ge, 101i64))).aggregate(
+                vec![],
+                vec![
+                    agg(AggFunc::Sum, Expr::Column(1)),
+                    agg(AggFunc::Count, Expr::Literal(Value::Int(1))),
+                ],
+            ),
+        ),
+        (
             // Hot items (Q18-flavoured: heavy group-by on the fact table).
             "hot_items",
             Plan::scan("order_line", vec![4, 7, 8], None)

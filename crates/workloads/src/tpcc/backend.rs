@@ -7,8 +7,8 @@
 
 use std::sync::Arc;
 
-use s2_cluster::Cluster;
 use s2_baseline::CdbEngine;
+use s2_cluster::Cluster;
 use s2_common::{Error, Result, Row, Value};
 use s2_core::DuplicatePolicy;
 use s2_exec::{Expr, SortDir};
@@ -221,11 +221,7 @@ impl ClusterBackend {
                 let plan = Plan::scan(
                     "customer",
                     vec![2, 3],
-                    Some(
-                        Expr::eq(0, w)
-                            .and(Expr::eq(1, d))
-                            .and(Expr::eq(4, name.as_str())),
-                    ),
+                    Some(Expr::eq(0, w).and(Expr::eq(1, d)).and(Expr::eq(4, name.as_str()))),
                 )
                 .sort(vec![(1, SortDir::Asc)], None);
                 let out = self.cluster.execute(&plan, &self.opts)?;
@@ -248,12 +244,13 @@ impl TpccBackend for ClusterBackend {
             .as_double()?;
         // Read and bump the district's next order id.
         let mut o_id = 0;
-        let ok = txn.update_unique_with("district", &[Value::Int(p.w), Value::Int(p.d)], |row| {
-            o_id = row.get(5).as_int().unwrap();
-            let mut v = row.values().to_vec();
-            v[5] = Value::Int(o_id + 1);
-            Row::new(v)
-        })?;
+        let ok =
+            txn.update_unique_with("district", &[Value::Int(p.w), Value::Int(p.d)], |row| {
+                o_id = row.get(5).as_int().unwrap();
+                let mut v = row.values().to_vec();
+                v[5] = Value::Int(o_id + 1);
+                Row::new(v)
+            })?;
         if !ok {
             return Err(Error::NotFound("district".into()));
         }
@@ -304,8 +301,11 @@ impl TpccBackend for ClusterBackend {
                 |row| {
                     let mut v = row.values().to_vec();
                     let q = row.get(2).as_double().unwrap();
-                    let new_q =
-                        if q >= *qty as f64 + 10.0 { q - *qty as f64 } else { q - *qty as f64 + 91.0 };
+                    let new_q = if q >= *qty as f64 + 10.0 {
+                        q - *qty as f64
+                    } else {
+                        q - *qty as f64 + 91.0
+                    };
                     v[2] = Value::Double(new_q);
                     v[3] = Value::Double(row.get(3).as_double().unwrap() + *qty as f64);
                     v[4] = Value::Int(row.get(4).as_int().unwrap() + 1);
@@ -410,10 +410,8 @@ impl TpccBackend for ClusterBackend {
             // (district before customer) consistent with payment.
             let mut del_o = 0;
             let mut next_o = 0;
-            let ok = txn.update_unique_with(
-                "district",
-                &[Value::Int(p.w), Value::Int(d)],
-                |row| {
+            let ok =
+                txn.update_unique_with("district", &[Value::Int(p.w), Value::Int(d)], |row| {
                     del_o = row.get(6).as_int().unwrap();
                     next_o = row.get(5).as_int().unwrap();
                     let mut v = row.values().to_vec();
@@ -421,8 +419,7 @@ impl TpccBackend for ClusterBackend {
                         v[6] = Value::Int(del_o + 1);
                     }
                     Row::new(v)
-                },
-            )?;
+                })?;
             if !ok {
                 txn.rollback();
                 return Err(Error::NotFound("district".into()));
@@ -431,10 +428,8 @@ impl TpccBackend for ClusterBackend {
                 txn.rollback();
                 continue; // nothing to deliver in this district
             }
-            let _ = txn.delete_unique(
-                "new_order",
-                &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)],
-            )?;
+            let _ = txn
+                .delete_unique("new_order", &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)])?;
             let mut ol_cnt = 0;
             let mut c_id = 0;
             let updated = txn.update_unique_with(
@@ -502,9 +497,7 @@ impl TpccBackend for ClusterBackend {
         }
         let mut low = 0;
         for item in items {
-            if let Some(stock) =
-                txn.get_unique("stock", &[Value::Int(p.w), Value::Int(item)])?
-            {
+            if let Some(stock) = txn.get_unique("stock", &[Value::Int(p.w), Value::Int(item)])? {
                 if stock.get(2).as_double()? < p.threshold {
                     low += 1;
                 }
@@ -592,10 +585,7 @@ impl TpccBackend for CdbBackend {
                 Value::Int(p.lines.len() as i64),
             ]),
         )?;
-        e.insert(
-            "new_order",
-            Row::new(vec![Value::Int(p.w), Value::Int(p.d), Value::Int(o_id)]),
-        )?;
+        e.insert("new_order", Row::new(vec![Value::Int(p.w), Value::Int(p.d), Value::Int(o_id)]))?;
         for (number, (item, supply_w, qty)) in p.lines.iter().enumerate() {
             let item_row = e
                 .get("item", &[Value::Int(*item)])?
@@ -696,14 +686,17 @@ impl TpccBackend for CdbBackend {
             e.delete("new_order", &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)])?;
             let mut ol_cnt = 0;
             let mut c_id = 0;
-            let updated =
-                e.update_with("orders", &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)], |row| {
+            let updated = e.update_with(
+                "orders",
+                &[Value::Int(p.w), Value::Int(d), Value::Int(del_o)],
+                |row| {
                     ol_cnt = row.get(6).as_int().unwrap();
                     c_id = row.get(3).as_int().unwrap();
                     let mut v = row.values().to_vec();
                     v[5] = Value::Int(p.carrier);
                     Row::new(v)
-                })?;
+                },
+            )?;
             if updated {
                 let mut total = 0.0;
                 for ol in 1..=ol_cnt {

@@ -40,13 +40,7 @@ pub struct DriverConfig {
 impl DriverConfig {
     /// A short scaled run: waits divided by 1000.
     pub fn quick(scale: TpccScale, duration: Duration) -> DriverConfig {
-        DriverConfig {
-            scale,
-            terminals_per_warehouse: 10,
-            wait_scale: 1000.0,
-            duration,
-            seed: 42,
-        }
+        DriverConfig { scale, terminals_per_warehouse: 10, wait_scale: 1000.0, duration, seed: 42 }
     }
 }
 

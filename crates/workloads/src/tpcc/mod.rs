@@ -34,7 +34,13 @@ pub struct TpccScale {
 impl TpccScale {
     /// Specification cardinalities.
     pub fn full(warehouses: i64) -> TpccScale {
-        TpccScale { warehouses, districts: 10, customers: 3000, items: 100_000, preload_orders: 3000 }
+        TpccScale {
+            warehouses,
+            districts: 10,
+            customers: 3000,
+            items: 100_000,
+            preload_orders: 3000,
+        }
     }
 
     /// Laptop-bench cardinalities.
@@ -339,7 +345,11 @@ pub fn generate_rows(scale: &TpccScale, seed: u64) -> Vec<(&'static str, Vec<Row
                     Value::Int(d),
                     Value::Int(c),
                     Value::str(format!("First{c}")),
-                    Value::str(last_name(if c <= 1000 { c - 1 } else { rng.random_range(0..1000) })),
+                    Value::str(last_name(if c <= 1000 {
+                        c - 1
+                    } else {
+                        rng.random_range(0..1000)
+                    })),
                     Value::Double(-10.0),
                     Value::Double(10.0),
                     Value::Int(1),

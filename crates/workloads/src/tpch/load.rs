@@ -53,13 +53,8 @@ pub fn load_cdb(engine: &CdbEngine, data: &TpchData) -> Result<()> {
             .find(|d| d.unique)
             .map(|d| d.columns.clone())
             .unwrap_or_else(|| vec![0]);
-        let secondary: Vec<Vec<usize>> = t
-            .options
-            .indexes
-            .iter()
-            .filter(|d| !d.unique)
-            .map(|d| d.columns.clone())
-            .collect();
+        let secondary: Vec<Vec<usize>> =
+            t.options.indexes.iter().filter(|d| !d.unique).map(|d| d.columns.clone()).collect();
         engine.create_table(t.name, t.schema.clone(), pk, secondary)?;
         for row in &t.rows {
             engine.insert(t.name, row.clone())?;

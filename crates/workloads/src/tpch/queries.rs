@@ -139,10 +139,7 @@ fn q2_base() -> Plan {
     let part = Plan::scan(
         "part",
         vec![p::PARTKEY, p::MFGR],
-        Some(
-            Expr::eq(p::SIZE, 15i64)
-                .and(Expr::Like(Box::new(col(p::TYPE)), "%BRASS".into())),
-        ),
+        Some(Expr::eq(p::SIZE, 15i64).and(Expr::Like(Box::new(col(p::TYPE)), "%BRASS".into()))),
     );
     // partsupp: 0 ps_partkey, 1 ps_suppkey, 2 ps_supplycost
     let partsupp = Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY, ps::SUPPLYCOST], None);
@@ -253,11 +250,8 @@ fn q5(r: &dyn PlanRunner) -> Result<Batch> {
         vec![o::ORDERKEY, o::CUSTKEY],
         Some(Expr::cmp(o::ORDERDATE, CmpOp::Ge, lo).and(Expr::cmp(o::ORDERDATE, CmpOp::Lt, hi))),
     );
-    let lineitem = Plan::scan(
-        "lineitem",
-        vec![l::ORDERKEY, l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT],
-        None,
-    );
+    let lineitem =
+        Plan::scan("lineitem", vec![l::ORDERKEY, l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT], None);
     let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NATIONKEY], None);
     let nation = Plan::scan("nation", vec![n::NATIONKEY, n::NAME, n::REGIONKEY], None);
     let region = Plan::scan("region", vec![r::REGIONKEY], Some(Expr::eq(r::NAME, "ASIA")));
@@ -333,11 +327,8 @@ fn q7(r: &dyn PlanRunner) -> Result<Batch> {
 
 /// Q8: national market share.
 fn q8(r: &dyn PlanRunner) -> Result<Batch> {
-    let part = Plan::scan(
-        "part",
-        vec![p::PARTKEY],
-        Some(Expr::eq(p::TYPE, "ECONOMY ANODIZED STEEL")),
-    );
+    let part =
+        Plan::scan("part", vec![p::PARTKEY], Some(Expr::eq(p::TYPE, "ECONOMY ANODIZED STEEL")));
     let lineitem = Plan::scan(
         "lineitem",
         vec![l::ORDERKEY, l::PARTKEY, l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT],
@@ -374,32 +365,22 @@ fn q8(r: &dyn PlanRunner) -> Result<Batch> {
                 DataType::Double,
             ),
         ])
-        .aggregate(
-            vec![col(0)],
-            vec![agg(AggFunc::Sum, col(2)), agg(AggFunc::Sum, col(1))],
-        )
-        .project(vec![
-            (col(0), DataType::Int64),
-            (div(col(1), col(2)), DataType::Double),
-        ])
+        .aggregate(vec![col(0)], vec![agg(AggFunc::Sum, col(2)), agg(AggFunc::Sum, col(1))])
+        .project(vec![(col(0), DataType::Int64), (div(col(1), col(2)), DataType::Double)])
         .sort(vec![(0, SortDir::Asc)], None);
     r.run(&plan)
 }
 
 /// Q9: product type profit measure.
 fn q9(r: &dyn PlanRunner) -> Result<Batch> {
-    let part =
-        Plan::scan("part", vec![p::PARTKEY], Some(Expr::Like(Box::new(col(p::NAME)), "%green%".into())));
+    let part = Plan::scan(
+        "part",
+        vec![p::PARTKEY],
+        Some(Expr::Like(Box::new(col(p::NAME)), "%green%".into())),
+    );
     let lineitem = Plan::scan(
         "lineitem",
-        vec![
-            l::ORDERKEY,
-            l::PARTKEY,
-            l::SUPPKEY,
-            l::QUANTITY,
-            l::EXTENDEDPRICE,
-            l::DISCOUNT,
-        ],
+        vec![l::ORDERKEY, l::PARTKEY, l::SUPPKEY, l::QUANTITY, l::EXTENDEDPRICE, l::DISCOUNT],
         None,
     );
     let partsupp = Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY, ps::SUPPLYCOST], None);
@@ -460,11 +441,13 @@ fn q10(r: &dyn PlanRunner) -> Result<Batch> {
 /// Q11: important stock identification (two-phase scalar subquery).
 fn q11(runner: &dyn PlanRunner) -> Result<Batch> {
     let base = || {
-        let partsupp =
-            Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY, ps::AVAILQTY, ps::SUPPLYCOST], None);
+        let partsupp = Plan::scan(
+            "partsupp",
+            vec![ps::PARTKEY, ps::SUPPKEY, ps::AVAILQTY, ps::SUPPLYCOST],
+            None,
+        );
         let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NATIONKEY], None);
-        let nation =
-            Plan::scan("nation", vec![n::NATIONKEY], Some(Expr::eq(n::NAME, "GERMANY")));
+        let nation = Plan::scan("nation", vec![n::NATIONKEY], Some(Expr::eq(n::NAME, "GERMANY")));
         // partsupp(0..3) ⨝ supplier(4,5) ⨝ nation(6)
         partsupp.join(supplier, vec![1], vec![0]).join(nation, vec![5], vec![0])
     };
@@ -491,22 +474,16 @@ fn q12(r: &dyn PlanRunner) -> Result<Batch> {
         "lineitem",
         vec![l::ORDERKEY, l::SHIPMODE],
         Some(
-            Expr::InList(
-                Box::new(col(l::SHIPMODE)),
-                vec![Value::str("MAIL"), Value::str("SHIP")],
-            )
-            .and(cmp_cols(l::COMMITDATE, CmpOp::Lt, l::RECEIPTDATE))
-            .and(cmp_cols(l::SHIPDATE, CmpOp::Lt, l::COMMITDATE))
-            .and(Expr::cmp(l::RECEIPTDATE, CmpOp::Ge, lo))
-            .and(Expr::cmp(l::RECEIPTDATE, CmpOp::Lt, hi)),
+            Expr::InList(Box::new(col(l::SHIPMODE)), vec![Value::str("MAIL"), Value::str("SHIP")])
+                .and(cmp_cols(l::COMMITDATE, CmpOp::Lt, l::RECEIPTDATE))
+                .and(cmp_cols(l::SHIPDATE, CmpOp::Lt, l::COMMITDATE))
+                .and(Expr::cmp(l::RECEIPTDATE, CmpOp::Ge, lo))
+                .and(Expr::cmp(l::RECEIPTDATE, CmpOp::Lt, hi)),
         ),
     );
     let orders = Plan::scan("orders", vec![o::ORDERKEY, o::ORDERPRIORITY], None);
     // lineitem(0,1) ⨝ orders(2,3)
-    let high = Expr::InList(
-        Box::new(col(3)),
-        vec![Value::str("1-URGENT"), Value::str("2-HIGH")],
-    );
+    let high = Expr::InList(Box::new(col(3)), vec![Value::str("1-URGENT"), Value::str("2-HIGH")]);
     let plan = lineitem
         .join(orders, vec![0], vec![0])
         .aggregate(
@@ -514,10 +491,7 @@ fn q12(r: &dyn PlanRunner) -> Result<Batch> {
             vec![
                 agg(
                     AggFunc::Sum,
-                    Expr::Case {
-                        when: vec![(high.clone(), lit(1.0))],
-                        else_: Box::new(lit(0.0)),
-                    },
+                    Expr::Case { when: vec![(high.clone(), lit(1.0))], else_: Box::new(lit(0.0)) },
                 ),
                 agg(
                     AggFunc::Sum,
@@ -566,10 +540,7 @@ fn q14(r: &dyn PlanRunner) -> Result<Batch> {
         .project(vec![
             (
                 Expr::Case {
-                    when: vec![(
-                        Expr::Like(Box::new(col(4)), "PROMO%".into()),
-                        revenue(1, 2),
-                    )],
+                    when: vec![(Expr::Like(Box::new(col(4)), "PROMO%".into()), revenue(1, 2))],
                     else_: Box::new(lit(0.0)),
                 },
                 DataType::Double,
@@ -589,15 +560,12 @@ fn q15(r: &dyn PlanRunner) -> Result<Batch> {
         Plan::scan(
             "lineitem",
             vec![l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT],
-            Some(
-                Expr::cmp(l::SHIPDATE, CmpOp::Ge, lo).and(Expr::cmp(l::SHIPDATE, CmpOp::Lt, hi)),
-            ),
+            Some(Expr::cmp(l::SHIPDATE, CmpOp::Ge, lo).and(Expr::cmp(l::SHIPDATE, CmpOp::Lt, hi))),
         )
         .aggregate(vec![col(0)], vec![agg(AggFunc::Sum, revenue(1, 2))])
     };
     let max_rev = rev().aggregate(vec![], vec![agg(AggFunc::Max, col(1))]);
-    let supplier =
-        Plan::scan("supplier", vec![s::SUPPKEY, s::NAME, s::ADDRESS, s::PHONE], None);
+    let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NAME, s::ADDRESS, s::PHONE], None);
     // supplier(0..3) ⨝ rev(4,5) ⨝ max(6) residual rev == max
     let plan = supplier
         .join(rev(), vec![0], vec![0])
@@ -672,8 +640,7 @@ fn q17(r: &dyn PlanRunner) -> Result<Batch> {
         vec![p::PARTKEY],
         Some(Expr::eq(p::BRAND, "Brand#23").and(Expr::eq(p::CONTAINER, "MED BOX"))),
     );
-    let lineitem =
-        Plan::scan("lineitem", vec![l::PARTKEY, l::QUANTITY, l::EXTENDEDPRICE], None);
+    let lineitem = Plan::scan("lineitem", vec![l::PARTKEY, l::QUANTITY, l::EXTENDEDPRICE], None);
     let avg_qty = Plan::scan("lineitem", vec![l::PARTKEY, l::QUANTITY], None)
         .aggregate(vec![col(0)], vec![agg(AggFunc::Avg, col(1))]);
     // lineitem(0,1,2) ⨝ part(3) ⨝ avg(4,5) residual qty < 0.2*avg
@@ -684,11 +651,7 @@ fn q17(r: &dyn PlanRunner) -> Result<Batch> {
             vec![0],
             vec![0],
             JoinType::Inner,
-            Some(Expr::Cmp(
-                CmpOp::Lt,
-                Box::new(col(1)),
-                Box::new(mul(lit(0.2), col(5))),
-            )),
+            Some(Expr::Cmp(CmpOp::Lt, Box::new(col(1)), Box::new(mul(lit(0.2), col(5))))),
         )
         .aggregate(vec![], vec![agg(AggFunc::Sum, col(2))])
         .project(vec![(div(col(0), lit(7.0)), DataType::Double)]);
@@ -724,12 +687,10 @@ fn q19(r: &dyn PlanRunner) -> Result<Batch> {
     let lineitem = Plan::scan(
         "lineitem",
         vec![l::PARTKEY, l::QUANTITY, l::EXTENDEDPRICE, l::DISCOUNT, l::SHIPINSTRUCT, l::SHIPMODE],
-        Some(
-            Expr::eq(l::SHIPINSTRUCT, "DELIVER IN PERSON").and(Expr::InList(
-                Box::new(col(l::SHIPMODE)),
-                vec![Value::str("AIR"), Value::str("REG AIR")],
-            )),
-        ),
+        Some(Expr::eq(l::SHIPINSTRUCT, "DELIVER IN PERSON").and(Expr::InList(
+            Box::new(col(l::SHIPMODE)),
+            vec![Value::str("AIR"), Value::str("REG AIR")],
+        ))),
     );
     let part = Plan::scan("part", vec![p::PARTKEY, p::BRAND, p::CONTAINER, p::SIZE], None);
     // lineitem(0..5) ⨝ part(6..9)
@@ -770,20 +731,15 @@ fn q20(r: &dyn PlanRunner) -> Result<Batch> {
     .aggregate(vec![col(0), col(1)], vec![agg(AggFunc::Sum, col(2))]);
     let partsupp = Plan::scan("partsupp", vec![ps::PARTKEY, ps::SUPPKEY, ps::AVAILQTY], None);
     // partsupp(0,1,2) semi ⨝ forest, ⨝ shipped(3,4,5) residual avail > 0.5*sum
-    let excess = partsupp
-        .join_full(forest, vec![0], vec![0], JoinType::Semi, None)
-        .join_full(
-            shipped,
-            vec![0, 1],
-            vec![0, 1],
-            JoinType::Inner,
-            Some(Expr::Cmp(
-                CmpOp::Gt,
-                Box::new(col(2)),
-                Box::new(mul(lit(0.5), col(5))),
-            )),
-        );
-    let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NAME, s::ADDRESS, s::NATIONKEY], None);
+    let excess = partsupp.join_full(forest, vec![0], vec![0], JoinType::Semi, None).join_full(
+        shipped,
+        vec![0, 1],
+        vec![0, 1],
+        JoinType::Inner,
+        Some(Expr::Cmp(CmpOp::Gt, Box::new(col(2)), Box::new(mul(lit(0.5), col(5))))),
+    );
+    let supplier =
+        Plan::scan("supplier", vec![s::SUPPKEY, s::NAME, s::ADDRESS, s::NATIONKEY], None);
     let nation = Plan::scan("nation", vec![n::NATIONKEY], Some(Expr::eq(n::NAME, "CANADA")));
     let plan = supplier
         .join(nation, vec![3], vec![0])
@@ -804,15 +760,14 @@ fn q21(r: &dyn PlanRunner) -> Result<Batch> {
     };
     let all_lines = Plan::scan("lineitem", vec![l::ORDERKEY, l::SUPPKEY], None);
     let supplier = Plan::scan("supplier", vec![s::SUPPKEY, s::NAME, s::NATIONKEY], None);
-    let nation =
-        Plan::scan("nation", vec![n::NATIONKEY], Some(Expr::eq(n::NAME, "SAUDI ARABIA")));
-    let orders =
-        Plan::scan("orders", vec![o::ORDERKEY], Some(Expr::eq(o::ORDERSTATUS, "F")));
+    let nation = Plan::scan("nation", vec![n::NATIONKEY], Some(Expr::eq(n::NAME, "SAUDI ARABIA")));
+    let orders = Plan::scan("orders", vec![o::ORDERKEY], Some(Expr::eq(o::ORDERSTATUS, "F")));
     // l1: late(0,1) ⨝ supplier(2,3,4) ⨝ nation(5) ⨝ orders(6)
-    let l1 = late()
-        .join(supplier, vec![1], vec![0])
-        .join(nation, vec![4], vec![0])
-        .join(orders, vec![0], vec![0]);
+    let l1 = late().join(supplier, vec![1], vec![0]).join(nation, vec![4], vec![0]).join(
+        orders,
+        vec![0],
+        vec![0],
+    );
     // EXISTS another supplier in the same order: semi join all_lines on
     // orderkey, residual "different suppkey" (all_lines lands at 7,8).
     let with_other = l1.join_full(
@@ -838,18 +793,14 @@ fn q21(r: &dyn PlanRunner) -> Result<Batch> {
 
 /// Q22: global sales opportunity (two-phase scalar subquery).
 fn q22(runner: &dyn PlanRunner) -> Result<Batch> {
-    let codes: Vec<Value> = ["13", "31", "23", "29", "30", "18", "17"]
-        .iter()
-        .map(|c| Value::str(*c))
-        .collect();
+    let codes: Vec<Value> =
+        ["13", "31", "23", "29", "30", "18", "17"].iter().map(|c| Value::str(*c)).collect();
     let cntrycode = Expr::Substr(Box::new(col(c::PHONE)), 1, 2);
     // Phase 1: average positive balance among those country codes.
     let avg_plan = Plan::scan("customer", vec![c::CUSTKEY, c::PHONE, c::ACCTBAL], None)
         .filter(
-            Expr::cmp(2, CmpOp::Gt, 0.0).and(Expr::InList(
-                Box::new(Expr::Substr(Box::new(col(1)), 1, 2)),
-                codes.clone(),
-            )),
+            Expr::cmp(2, CmpOp::Gt, 0.0)
+                .and(Expr::InList(Box::new(Expr::Substr(Box::new(col(1)), 1, 2)), codes.clone())),
         )
         .aggregate(vec![], vec![agg(AggFunc::Avg, col(2))]);
     let avg_bal = runner.run(&avg_plan)?.value(0, 0).as_double().unwrap_or(0.0);
@@ -858,23 +809,15 @@ fn q22(runner: &dyn PlanRunner) -> Result<Batch> {
         "customer",
         vec![c::CUSTKEY, c::PHONE, c::ACCTBAL],
         Some(
-            Expr::cmp(c::ACCTBAL, CmpOp::Gt, avg_bal).and(Expr::InList(
-                Box::new(Expr::Substr(Box::new(col(c::PHONE)), 1, 2)),
-                codes,
-            )),
+            Expr::cmp(c::ACCTBAL, CmpOp::Gt, avg_bal)
+                .and(Expr::InList(Box::new(Expr::Substr(Box::new(col(c::PHONE)), 1, 2)), codes)),
         ),
     );
     let orders = Plan::scan("orders", vec![o::CUSTKEY], None);
     let plan = customer
         .join_full(orders, vec![0], vec![0], JoinType::Anti, None)
-        .project(vec![
-            (cntrycode.remap_columns(&|_| 1), DataType::Str),
-            (col(2), DataType::Double),
-        ])
-        .aggregate(
-            vec![col(0)],
-            vec![agg(AggFunc::Count, lit(1i64)), agg(AggFunc::Sum, col(1))],
-        )
+        .project(vec![(cntrycode.remap_columns(&|_| 1), DataType::Str), (col(2), DataType::Double)])
+        .aggregate(vec![col(0)], vec![agg(AggFunc::Count, lit(1i64)), agg(AggFunc::Sum, col(1))])
         .sort(vec![(0, SortDir::Asc)], None);
     runner.run(&plan)
 }

@@ -21,7 +21,12 @@ use s2_workloads::tpch::queries::run_query;
 fn small_cluster() -> Arc<Cluster> {
     Cluster::new(
         "test",
-        ClusterConfig { partitions: 2, ha_replicas: 0, sync_replication: false, ..Default::default() },
+        ClusterConfig {
+            partitions: 2,
+            ha_replicas: 0,
+            sync_replication: false,
+            ..Default::default()
+        },
     )
     .unwrap()
 }
@@ -173,14 +178,8 @@ fn tpcc_cluster_and_cdb_state_converge() {
         cdb.row_count("orders").unwrap(),
         "order counts converge"
     );
-    assert_eq!(
-        cluster.row_count("order_line").unwrap(),
-        cdb.row_count("order_line").unwrap()
-    );
-    assert_eq!(
-        cluster.row_count("new_order").unwrap(),
-        cdb.row_count("new_order").unwrap()
-    );
+    assert_eq!(cluster.row_count("order_line").unwrap(), cdb.row_count("order_line").unwrap());
+    assert_eq!(cluster.row_count("new_order").unwrap(), cdb.row_count("new_order").unwrap());
 }
 
 #[test]

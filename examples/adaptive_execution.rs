@@ -15,7 +15,12 @@ use s2db_repro::query::{execute_with_stats, ExecOptions, ExecStats, Plan};
 fn main() {
     let cluster = Cluster::new(
         "adaptive",
-        ClusterConfig { partitions: 1, ha_replicas: 0, sync_replication: false, ..Default::default() },
+        ClusterConfig {
+            partitions: 1,
+            ha_replicas: 0,
+            sync_replication: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let schema = Schema::new(vec![
@@ -105,8 +110,8 @@ fn main() {
     let mut stats = ExecStats::default();
     let t0 = std::time::Instant::now();
     let plan = Plan::scan("events", vec![0, 1], None).join(dim, vec![0], vec![0]);
-    let out = execute_with_stats(&plan, &cluster.context().unwrap(), &opts_no_jif, &mut stats)
-        .unwrap();
+    let out =
+        execute_with_stats(&plan, &cluster.context().unwrap(), &opts_no_jif, &mut stats).unwrap();
     println!("same join, index filter disabled (hash join fallback):");
     println!("  rows out             : {}", out.rows());
     println!("  elapsed              : {:?}", t0.elapsed());

@@ -24,7 +24,12 @@ use s2db_repro::query::{ExecOptions, Plan};
 fn main() {
     let cluster = Cluster::new(
         "htap",
-        ClusterConfig { partitions: 2, ha_replicas: 0, sync_replication: false, ..Default::default() },
+        ClusterConfig {
+            partitions: 2,
+            ha_replicas: 0,
+            sync_replication: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let schema = Schema::new(vec![

@@ -10,7 +10,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use s2db_repro::blob::{MemoryStore, ObjectStore};
-use s2db_repro::cluster::{restore_from_blob, BlobBackedFileStore, Cluster, ClusterConfig, StorageConfig};
+use s2db_repro::cluster::{
+    restore_from_blob, BlobBackedFileStore, Cluster, ClusterConfig, StorageConfig,
+};
 use s2db_repro::common::schema::ColumnDef;
 use s2db_repro::common::{DataType, Row, Schema, TableOptions, Value};
 
@@ -65,25 +67,27 @@ fn main() {
     }
     txn.commit().unwrap();
     cluster.sync_to_blob().unwrap();
-    println!("day 2: every account deleted (oops) — live row count: {}",
-        cluster.row_count("accounts").unwrap());
+    println!(
+        "day 2: every account deleted (oops) — live row count: {}",
+        cluster.row_count("accounts").unwrap()
+    );
 
     // PITR: rebuild each partition from blob snapshots + log chunks, bounded
     // at the pre-accident position. No backup was ever taken explicitly.
     let mut restored_total = 0usize;
-    for pid in 0..cluster.partition_count() {
+    for (pid, &target) in targets.iter().enumerate() {
         let set = cluster.set(pid);
         let files = BlobBackedFileStore::new(Arc::clone(&blob), 64 << 20);
         let restored = restore_from_blob(
             &blob,
             &set.name,
             files as Arc<dyn s2db_repro::core::DataFileStore>,
-            Some(targets[pid]),
+            Some(target),
         )
         .expect("restore");
         let t = restored.table_by_name("accounts").unwrap().id;
         let rows = restored.read_snapshot().table(t).unwrap().live_row_count();
-        println!("  partition {pid}: restored {rows} live rows at lp {}", targets[pid]);
+        println!("  partition {pid}: restored {rows} live rows at lp {target}");
         restored_total += rows;
 
         // The restored partition is fully functional — prove it with a point

@@ -16,7 +16,12 @@ fn main() {
     // for in-memory replication (the paper's default durability rule).
     let cluster = Cluster::new(
         "quickstart",
-        ClusterConfig { partitions: 4, ha_replicas: 1, sync_replication: true, ..Default::default() },
+        ClusterConfig {
+            partitions: 4,
+            ha_replicas: 1,
+            sync_replication: true,
+            ..Default::default()
+        },
     )
     .expect("cluster");
 
@@ -68,10 +73,8 @@ fn main() {
     txn.commit().unwrap();
 
     let mut txn = cluster.begin();
-    let dup = txn.insert(
-        "payments",
-        Row::new(vec![Value::Int(42), Value::str("dup"), Value::Double(0.0)]),
-    );
+    let dup = txn
+        .insert("payments", Row::new(vec![Value::Int(42), Value::str("dup"), Value::Double(0.0)]));
     println!("duplicate insert rejected: {}", dup.unwrap_err());
     txn.rollback();
 

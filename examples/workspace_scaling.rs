@@ -40,7 +40,10 @@ fn main() {
         .create_table(
             "telemetry",
             schema,
-            TableOptions::new().with_sort_key(vec![0]).with_shard_key(vec![0]).with_unique("pk", vec![0]),
+            TableOptions::new()
+                .with_sort_key(vec![0])
+                .with_shard_key(vec![0])
+                .with_unique("pk", vec![0]),
         )
         .unwrap();
 
@@ -75,11 +78,8 @@ fn main() {
     // New primary writes stream over the log tail; measure freshness.
     let mut txn = cluster.begin();
     for i in 30_000..31_000i64 {
-        txn.insert(
-            "telemetry",
-            Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(1.0)]),
-        )
-        .unwrap();
+        txn.insert("telemetry", Row::new(vec![Value::Int(i), Value::Int(0), Value::Double(1.0)]))
+            .unwrap();
     }
     txn.commit().unwrap();
     let t0 = Instant::now();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo CI gate. Offline-friendly: every dependency is a workspace path dep
+# (see crates/shims/), so no network access is needed. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pass --offline everywhere so a machine without registry access (the normal
+# case for this repo) never stalls on an index update.
+CARGO_FLAGS=(--offline)
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
+
+echo "== tier-1: release build + root tests =="
+cargo build --release "${CARGO_FLAGS[@]}"
+cargo test -q "${CARGO_FLAGS[@]}"
+
+echo "== workspace tests =="
+cargo test -q --workspace "${CARGO_FLAGS[@]}"
+
+echo "CI green."

@@ -13,6 +13,7 @@ pub use s2_core as core;
 pub use s2_encoding as encoding;
 pub use s2_exec as exec;
 pub use s2_index as index;
+pub use s2_obs as obs;
 pub use s2_query as query;
 pub use s2_rowstore as rowstore;
 pub use s2_wal as wal;

@@ -19,9 +19,7 @@ fn setup() -> (Arc<Partition>, Arc<MemFileStore>, u32) {
         ColumnDef::new("v", DataType::Str),
     ])
     .unwrap();
-    let t = p
-        .create_table("t", schema, TableOptions::new().with_unique("pk", vec![0]))
-        .unwrap();
+    let t = p.create_table("t", schema, TableOptions::new().with_unique("pk", vec![0])).unwrap();
     (p, files, t)
 }
 
@@ -62,8 +60,9 @@ fn figure1_insert_flush_delete() {
         "data file named after the log position of its creating flush"
     );
     assert_eq!(files.file_count(), 1);
-    let file_bytes_after_flush =
-        files.read_file(&s2db_repro::core::file_name("f1_p0", seg.core.meta.file_id, seg.core.meta.id)).unwrap();
+    let file_bytes_after_flush = files
+        .read_file(&s2db_repro::core::file_name("f1_p0", seg.core.meta.file_id, seg.core.meta.id))
+        .unwrap();
 
     // (c) Delete row 2: only segment *metadata* changes (one deleted bit);
     // the data file bytes are untouched; the change is logged.
@@ -79,8 +78,9 @@ fn figure1_insert_flush_delete() {
     let seg = &ts.segments[0];
     assert_eq!(seg.deleted.count_ones(), 1, "exactly one deleted bit set");
     assert_eq!(seg.live_rows(), 2);
-    let file_bytes_after_delete =
-        files.read_file(&s2db_repro::core::file_name("f1_p0", seg.core.meta.file_id, seg.core.meta.id)).unwrap();
+    let file_bytes_after_delete = files
+        .read_file(&s2db_repro::core::file_name("f1_p0", seg.core.meta.file_id, seg.core.meta.id))
+        .unwrap();
     assert_eq!(
         file_bytes_after_flush, file_bytes_after_delete,
         "the data file is immutable; the delete lives in metadata"

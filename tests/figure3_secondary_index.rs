@@ -32,11 +32,8 @@ fn figure3_two_level_lookup() {
         let mut txn = p.begin();
         for i in 0..90 {
             let id = batch * 90 + i;
-            txn.insert(
-                t,
-                Row::new(vec![Value::Int(id), Value::str(users[(id % 3) as usize])]),
-            )
-            .unwrap();
+            txn.insert(t, Row::new(vec![Value::Int(id), Value::str(users[(id % 3) as usize])]))
+                .unwrap();
         }
         txn.commit().unwrap();
         p.flush_table(t, true).unwrap();

@@ -63,7 +63,7 @@ proptest! {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            let take = 1 + (x as usize % 97).min(bytes.len() - pos - 1).max(0);
+            let take = 1 + (x as usize % 97).min(bytes.len() - pos - 1);
             let chunk = LogChunk {
                 start_lp: pos as u64,
                 bytes: Arc::new(bytes[pos..pos + take].to_vec()),
