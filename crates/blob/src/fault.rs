@@ -96,6 +96,7 @@ impl<S: ObjectStore> FaultyStore<S> {
 impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
         self.check_available()?;
+        s2_common::fault::failpoint("blob.put")?;
         self.inject(self.put_latency);
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_up.fetch_add(bytes.len() as u64, Ordering::Relaxed);
@@ -104,6 +105,7 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
 
     fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
         self.check_available()?;
+        s2_common::fault::failpoint("blob.get")?;
         self.inject(self.get_latency);
         let out = self.inner.get(key)?;
         self.stats.gets.fetch_add(1, Ordering::Relaxed);

@@ -49,7 +49,12 @@ impl Uploader {
                         let timer = s2_obs::histogram!("blob.upload.latency_us").start_timer();
                         let mut outcome = Ok(());
                         for attempt in 0..3 {
-                            outcome = store.put(&job.key, Arc::clone(&job.bytes));
+                            // Each attempt is separately injectable, so the
+                            // retry loop itself is under test. Runs on the
+                            // worker thread: plans must opt sites into
+                            // cross-thread (error-only) injection.
+                            outcome = s2_common::fault::failpoint("blob.uploader.attempt")
+                                .and_then(|()| store.put(&job.key, Arc::clone(&job.bytes)));
                             match &outcome {
                                 Ok(()) => break,
                                 Err(e) if e.is_retryable() && attempt < 2 => {

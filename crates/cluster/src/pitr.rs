@@ -105,6 +105,9 @@ pub fn restore_from_blob(
     file_store: Arc<dyn DataFileStore>,
     target_lp: Option<LogPosition>,
 ) -> Result<Arc<Partition>> {
+    // Restores are idempotent reads over immutable blob objects: a failure
+    // or crash here is always safe to retry from scratch.
+    s2_common::fault::failpoint("pitr.restore")?;
     let snapshot = find_snapshot(blob, partition, target_lp)?;
     let start_lp = snapshot.as_ref().map_or(0, |s| s.lp);
     let max_lp = max_uploaded_lp(blob, partition)?;

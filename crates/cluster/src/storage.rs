@@ -192,25 +192,51 @@ impl StorageService {
         config: &StorageConfig,
         last_snapshot_lp: &Arc<AtomicU64>,
     ) -> Result<()> {
-        // Seal and upload log chunks below the safe position.
+        // Seal and upload log chunks below the safe position. Only positions
+        // that are locally durable — and replicated, when acks are required —
+        // may be uploaded (paper §3.1: "only positions below fully durable
+        // and replicated may be uploaded"). Uploading past the durable point
+        // would let a crash leave blob history ahead of the surviving log,
+        // and the restarted timeline would diverge from the uploaded chunks.
+        let durable = partition.log.sync()?;
         let safe_lp = if config.require_replicated {
-            partition.log.replicated_lp()
+            durable.min(partition.log.replicated_lp())
         } else {
-            partition.log.end_lp()
+            durable
         };
         while let Some(chunk) = partition.log.seal_chunk(safe_lp, config.chunk_bytes) {
             let key = log_chunk_key(&partition.name, chunk.start_lp);
             blob.put(&key, Arc::clone(&chunk.bytes))?;
             partition.log.mark_uploaded(chunk.end_lp());
         }
-        // Snapshot when enough new log accumulated.
+        // Snapshot when enough new log accumulated. The vacuum horizon
+        // (`mark_snapshot_durable`) advances only after the snapshot is in
+        // blob storage and the log is synced past its position — never
+        // before, or a failed put would let vacuum delete files recovery
+        // still needs.
         let upto = partition.log.uploaded_lp();
         let since = upto.saturating_sub(last_snapshot_lp.load(Ordering::Acquire));
         if since >= config.snapshot_interval_bytes {
             let snap = partition.write_snapshot()?;
-            let key = Snapshot::object_key(&partition.name, snap.lp);
-            blob.put(&key, Arc::new(snap.encode()))?;
-            last_snapshot_lp.store(snap.lp, Ordering::Release);
+            let durable = partition.log.sync()?;
+            // The safe-position rule applies to snapshots exactly as it does
+            // to chunks: a snapshot is taken at the current log end, which may
+            // not be replicated yet. Uploading it early would let a failover
+            // to a replica that applied less leave blob history ahead of the
+            // surviving timeline. Skip for now; a later pass retries once
+            // replication catches up.
+            let snap_safe = if config.require_replicated {
+                durable.min(partition.log.replicated_lp())
+            } else {
+                durable
+            };
+            if snap.lp <= snap_safe {
+                s2_common::fault::crash_point("storage.snapshot.put");
+                let key = Snapshot::object_key(&partition.name, snap.lp);
+                blob.put(&key, Arc::new(snap.encode()))?;
+                partition.mark_snapshot_durable(snap.lp);
+                last_snapshot_lp.store(snap.lp, Ordering::Release);
+            }
         }
         Ok(())
     }

@@ -1,0 +1,154 @@
+//! Failpoint registry for deterministic fault injection (used by s2-sim).
+//!
+//! Production code marks *sites* — named points in the commit, flush, merge,
+//! upload and restore paths — with [`failpoint`] (fallible: the site may be
+//! told to return an error) or [`crash_point`] (infallible in normal
+//! operation: the site may only be told to "crash", modelled as a panic with
+//! a [`CrashPoint`] payload that a harness catches with `catch_unwind` before
+//! recovering a fresh engine over the surviving bytes).
+//!
+//! With no hook installed — the production configuration — both entry points
+//! are a single relaxed atomic load, so sites are free to sit on hot paths.
+//! The module keeps zero dependencies (std only) so every crate in the
+//! workspace can call into it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::{Error, Result};
+
+/// What an installed hook wants a site to do.
+pub enum FaultAction {
+    /// Proceed normally.
+    Continue,
+    /// Return this error from the site ([`failpoint`] only; [`crash_point`]
+    /// sites are infallible and treat this as [`FaultAction::Continue`]).
+    Error(Error),
+    /// Simulate a hard crash: unwind with a [`CrashPoint`] panic payload.
+    Crash,
+}
+
+/// Decides the fate of each site hit. Implementations must be deterministic
+/// given their own state if runs are to be replayable.
+pub trait FaultHook: Send + Sync {
+    /// Called once per site hit while the hook is installed.
+    fn evaluate(&self, site: &str) -> FaultAction;
+}
+
+/// Panic payload for a simulated crash. Harnesses downcast the payload of a
+/// caught unwind to this type to distinguish injected crashes from real bugs.
+#[derive(Debug, Clone)]
+pub struct CrashPoint {
+    /// The site that crashed.
+    pub site: String,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static HOOK: RwLock<Option<Arc<dyn FaultHook>>> = RwLock::new(None);
+
+/// Install a hook; subsequent site hits consult it. Replaces any prior hook.
+pub fn install(hook: Arc<dyn FaultHook>) {
+    let mut slot = HOOK.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(hook);
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Remove the installed hook; sites return to zero-cost pass-through.
+pub fn clear() {
+    ARMED.store(false, Ordering::SeqCst);
+    let mut slot = HOOK.write().unwrap_or_else(|e| e.into_inner());
+    *slot = None;
+}
+
+/// True while a hook is installed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+fn current_hook() -> Option<Arc<dyn FaultHook>> {
+    HOOK.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+fn crash(site: &str) -> ! {
+    // panic_any keeps the payload downcastable; the guard is dropped before
+    // we get here so the registry itself never poisons.
+    std::panic::panic_any(CrashPoint { site: site.to_string() })
+}
+
+/// A fallible injection site. Returns `Ok(())` unless an installed hook
+/// injects an error; may also unwind with a [`CrashPoint`] payload.
+#[inline]
+pub fn failpoint(site: &str) -> Result<()> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    match current_hook() {
+        None => Ok(()),
+        Some(hook) => match hook.evaluate(site) {
+            FaultAction::Continue => Ok(()),
+            FaultAction::Error(e) => Err(e),
+            FaultAction::Crash => crash(site),
+        },
+    }
+}
+
+/// An infallible injection site: the only injectable fault is a crash.
+/// Used where an error return would wedge the engine rather than model a
+/// power failure (e.g. mid-commit after row locks are resolved).
+#[inline]
+pub fn crash_point(site: &str) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(hook) = current_hook() {
+        if matches!(hook.evaluate(site), FaultAction::Crash) {
+            crash(site);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    // The registry is process-global; serialize tests that install hooks.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    struct Always(fn() -> FaultAction);
+    impl FaultHook for Always {
+        fn evaluate(&self, _site: &str) -> FaultAction {
+            (self.0)()
+        }
+    }
+
+    #[test]
+    fn unarmed_sites_pass_through() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        assert!(failpoint("x").is_ok());
+        crash_point("x"); // must not panic
+    }
+
+    #[test]
+    fn error_injection_and_clear() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        install(Arc::new(Always(|| FaultAction::Error(Error::Unavailable("inj".into())))));
+        assert!(matches!(failpoint("s"), Err(Error::Unavailable(_))));
+        // crash_point ignores Error actions: the site is infallible.
+        crash_point("s");
+        clear();
+        assert!(failpoint("s").is_ok());
+    }
+
+    #[test]
+    fn crash_payload_is_downcastable() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        install(Arc::new(Always(|| FaultAction::Crash)));
+        let err = catch_unwind(AssertUnwindSafe(|| failpoint("wal.sync"))).unwrap_err();
+        let cp = err.downcast_ref::<CrashPoint>().expect("CrashPoint payload");
+        assert_eq!(cp.site, "wal.sync");
+        clear();
+    }
+}

@@ -10,6 +10,7 @@ pub mod bitvec;
 pub mod crc;
 pub mod date;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod io;
 pub mod row;

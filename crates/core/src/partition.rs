@@ -189,6 +189,10 @@ impl Partition {
         }
         s2_obs::counter!("core.txn.commit_ops").add(ops.len() as u64);
         let rec = EngineRecord::Commit { commit_ts: ts, ops };
+        // Crash here = power loss after version resolution but before the
+        // redo record exists: the commit was never acknowledged and must be
+        // invisible after recovery.
+        s2_common::fault::crash_point("core.commit.log");
         let (_, end_lp) = self.log.append(rec.kind(), &rec.encode());
         self.commit_ts.store(ts, Ordering::Release);
         s2_obs::counter!("core.txn.commits").inc();
@@ -267,11 +271,16 @@ impl Partition {
         drop(state);
         s2_obs::counter!("core.move.txns").inc();
         s2_obs::counter!("core.move.rows").add(inserts.len() as u64);
+        // Canonical segment order keeps the record bytes (and therefore log
+        // positions) independent of hash-map iteration order — replayable
+        // runs depend on the log stream being a pure function of the workload.
+        let mut deleted: Vec<(SegmentId, Vec<u32>)> = bits_by_seg.into_iter().collect();
+        deleted.sort_by_key(|(seg, _)| *seg);
         let rec = EngineRecord::Move {
             table: table.id,
             commit_ts: ts,
             inserts: inserts.clone(),
-            deleted: bits_by_seg.into_iter().collect(),
+            deleted,
         };
         self.log.append(rec.kind(), &rec.encode());
         self.commit_ts.store(ts, Ordering::Release);
@@ -381,6 +390,9 @@ impl Partition {
                 built.push((meta, SegmentFile { data, inverted }, chunk.to_vec()));
             }
         }
+        // Crash here = power loss before any flush effect reached disk; the
+        // rowstore rows are still the only copy and recovery must keep them.
+        s2_common::fault::crash_point("core.flush.write_files");
         for (meta, file, _) in &built {
             self.file_store
                 .write_file(&file_name(&self.name, file_id, meta.id), Arc::new(file.encode()))?;
@@ -399,21 +411,29 @@ impl Partition {
             built.iter().map(|(m, f, r)| (m.clone(), f, r.as_slice())).collect();
         table.install_run(items)?;
 
-        // Log: one Flush record per segment; removed keys ride on the first.
-        let mut records: Vec<(u8, Vec<u8>)> = Vec::with_capacity(n);
-        for (i, (meta, _, _)) in built.iter().enumerate() {
-            let mut meta = meta.clone();
-            meta.deleted = s2_common::BitVec::zeros(meta.row_count);
-            let rec = EngineRecord::Flush {
-                table: table.id,
-                commit_ts: ts,
-                meta,
-                removed_keys: if i == 0 { keys.clone() } else { Vec::new() },
-            };
-            records.push((rec.kind(), rec.encode()));
-        }
-        let refs: Vec<(u8, &[u8])> = records.iter().map(|(k, p)| (*k, p.as_slice())).collect();
-        self.log.append_group(&refs);
+        // Log: ONE Flush record covering every segment plus the key removals.
+        // A single frame is all-or-nothing under torn-tail truncation; with
+        // one record per segment, a crash could persist the removals with
+        // only a prefix of the segments and lose the rest of the rows.
+        let metas: Vec<SegmentMeta> = built
+            .iter()
+            .map(|(m, _, _)| {
+                let mut m = m.clone();
+                m.deleted = s2_common::BitVec::zeros(m.row_count);
+                m
+            })
+            .collect();
+        let rec = EngineRecord::Flush {
+            table: table.id,
+            commit_ts: ts,
+            metas,
+            removed_keys: keys.clone(),
+        };
+        // Crash here = files written and state installed but record unlogged:
+        // recovery must come back with the rows still in the rowstore (the
+        // orphaned data files are unreferenced and harmless).
+        s2_common::fault::crash_point("core.flush.log");
+        self.log.append(rec.kind(), &rec.encode());
         self.commit_ts.store(ts, Ordering::Release);
         s2_obs::counter!("core.flush.segments").add(n as u64);
         s2_obs::counter!("core.flush.rows").add(keys.len() as u64);
@@ -492,6 +512,9 @@ impl Partition {
                 inverted_map.iter().map(|(c, ix)| (*c, (**ix).clone())).collect();
             built.push((meta, SegmentFile { data: m.data, inverted }, m.rows));
         }
+        // A failed write aborts the merge before any state changed (inputs
+        // are only retired below); a crash discards the engine outright.
+        s2_common::fault::failpoint("core.merge.write_files")?;
         for (meta, file, _) in &built {
             self.file_store
                 .write_file(&file_name(&self.name, file_id, meta.id), Arc::new(file.encode()))?;
@@ -526,6 +549,10 @@ impl Partition {
             dropped: input_ids.clone(),
             metas: out_metas,
         };
+        // Crash here = merge applied in memory but unlogged: recovery replays
+        // the pre-merge structure, which is content-equivalent (merges are
+        // content-preserving reorganizations).
+        s2_common::fault::crash_point("core.merge.log");
         let (_, merge_end_lp) = self.log.append(rec.kind(), &rec.encode());
         {
             let state = table.state.read();
@@ -618,10 +645,15 @@ impl Partition {
     /// Serialize the partition state as a rowstore snapshot at the current
     /// log position (paper §2.1.1, §3.1). Only masters take snapshots; with
     /// separated storage they're written directly to blob storage.
+    /// Note: serializing the snapshot does NOT advance the vacuum horizon
+    /// (`last_snapshot_lp`) — the caller must persist the snapshot (and sync
+    /// the log up to its position) first, then call
+    /// [`Partition::mark_snapshot_durable`]. Advancing the horizon before the
+    /// blob put succeeds would let vacuum delete data files that recovery
+    /// still needs if the put fails or the node crashes mid-upload.
     pub fn write_snapshot(&self) -> Result<Snapshot> {
         let _g = self.commit_lock.lock();
         let lp = self.log.end_lp();
-        self.last_snapshot_lp.store(lp, Ordering::Release);
         let mut w = ByteWriter::new();
         w.put_u32(PARTITION_SNAPSHOT_MAGIC);
         w.put_u64(self.commit_ts());
@@ -668,6 +700,14 @@ impl Partition {
             }
         }
         Ok(Snapshot { lp, data: w.into_bytes() })
+    }
+
+    /// Record that a snapshot at `lp` is durably stored (uploaded to blob
+    /// storage, with the log synced past `lp`). Monotonic. Vacuum uses this
+    /// as its data-file retention bound: replay from the newest durable
+    /// snapshot never revisits records below it.
+    pub fn mark_snapshot_durable(&self, lp: LogPosition) {
+        self.last_snapshot_lp.fetch_max(lp, Ordering::AcqRel);
     }
 
     /// Restore partition state from a snapshot blob.
@@ -776,7 +816,19 @@ impl Partition {
         if end_lp > start_lp {
             let bytes = p.log.read_range(start_lp, end_lp)?;
             for rec in RecordIter::new(&bytes, start_lp) {
-                let rec = rec?;
+                let rec = match rec {
+                    Ok(rec) => rec,
+                    Err(e) => {
+                        // A corrupt frame ends replay: everything past the
+                        // longest checksummed prefix is a torn tail from a
+                        // crash mid-write. Nothing there was ever
+                        // acknowledged — acks only cover synced,
+                        // CRC-complete prefixes — so stopping is lossless.
+                        s2_obs::counter!("core.recover.torn_tail_stops").add(1);
+                        s2_obs::event("core.recover_truncated", format!("{e}"));
+                        break;
+                    }
+                };
                 let engine_rec = EngineRecord::decode(rec.kind, rec.payload)?;
                 p.apply_record(engine_rec)?;
             }
@@ -819,10 +871,18 @@ impl Partition {
                 }
                 self.bump_commit_ts(commit_ts);
             }
-            EngineRecord::Flush { table, commit_ts, meta, removed_keys } => {
+            EngineRecord::Flush { table, commit_ts, metas, removed_keys } => {
                 let t = self.table(table)?;
-                let (file, rows) = self.load_segment_file(&meta)?;
-                t.install_run(vec![(meta, &file, rows.as_slice())])?;
+                // Install every segment as ONE run, mirroring the live flush
+                // (a flush produces a single sorted run).
+                let mut items_owned: Vec<(SegmentMeta, SegmentFile, Vec<Row>)> = Vec::new();
+                for meta in metas {
+                    let (file, rows) = self.load_segment_file(&meta)?;
+                    items_owned.push((meta, file, rows));
+                }
+                let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> =
+                    items_owned.iter().map(|(m, f, rws)| (m.clone(), f, rws.as_slice())).collect();
+                t.install_run(items)?;
                 if !removed_keys.is_empty() {
                     let txn = self.alloc_txn();
                     let rs = t.rowstore.read();

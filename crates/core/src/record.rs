@@ -67,16 +67,20 @@ pub enum EngineRecord {
         /// Row operations in execution order.
         ops: Vec<RowOp>,
     },
-    /// A flush: `removed_keys` left the rowstore, `meta` (and its data file,
-    /// named by `meta.file_id`) entered the columnstore, atomically.
+    /// A flush: `removed_keys` left the rowstore, `metas` (and their data
+    /// files, named by each meta's `file_id`) entered the columnstore,
+    /// atomically. One flush is always ONE record, even when it produces
+    /// several segments: if the segments and the key removals were split
+    /// across frames, a torn tail could persist the removals with only some
+    /// of the segments and recovery would lose the rest of the flushed rows.
     Flush {
         /// Target table.
         table: TableId,
         /// Commit timestamp of the flush transaction.
         commit_ts: Timestamp,
-        /// New segment's metadata.
-        meta: SegmentMeta,
-        /// Rowstore keys whose rows moved into the segment.
+        /// Metadata of every segment the flush produced, in run order.
+        metas: Vec<SegmentMeta>,
+        /// Rowstore keys whose rows moved into the segments.
         removed_keys: Vec<Vec<Value>>,
     },
     /// A move transaction (paper §4.2): rows copied from segments into the
@@ -252,10 +256,13 @@ impl EngineRecord {
                     }
                 }
             }
-            EngineRecord::Flush { table, commit_ts, meta, removed_keys } => {
+            EngineRecord::Flush { table, commit_ts, metas, removed_keys } => {
                 w.put_u32(*table);
                 w.put_u64(*commit_ts);
-                meta.write_to(&mut w);
+                w.put_varint(metas.len() as u64);
+                for m in metas {
+                    m.write_to(&mut w);
+                }
                 w.put_varint(removed_keys.len() as u64);
                 for k in removed_keys {
                     put_key(&mut w, k);
@@ -330,10 +337,12 @@ impl EngineRecord {
             REC_FLUSH => {
                 let table = r.get_u32()?;
                 let commit_ts = r.get_u64()?;
-                let meta = SegmentMeta::read_from(&mut r)?;
+                let m = r.get_varint()? as usize;
+                let metas =
+                    (0..m).map(|_| SegmentMeta::read_from(&mut r)).collect::<Result<Vec<_>>>()?;
                 let n = r.get_varint()? as usize;
                 let removed_keys = (0..n).map(|_| get_key(&mut r)).collect::<Result<_>>()?;
-                Ok(EngineRecord::Flush { table, commit_ts, meta, removed_keys })
+                Ok(EngineRecord::Flush { table, commit_ts, metas, removed_keys })
             }
             REC_MOVE => {
                 let table = r.get_u32()?;
@@ -422,10 +431,12 @@ mod tests {
             deleted: BitVec::zeros(3),
             sorted: true,
         };
+        let mut meta2 = meta.clone();
+        meta2.id = 6;
         roundtrip(EngineRecord::Flush {
             table: 1,
             commit_ts: 10,
-            meta: meta.clone(),
+            metas: vec![meta.clone(), meta2],
             removed_keys: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
         });
         roundtrip(EngineRecord::Merge {

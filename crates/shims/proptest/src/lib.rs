@@ -5,8 +5,8 @@
 //! with `prop_map`, `Just`, weighted unions via [`prop_oneof!`], integer /
 //! float range strategies, `any::<T>()` for primitives, a char-class regex
 //! strategy for `&str` patterns like `"[a-z]{0,12}"`, `collection::{vec,
-//! btree_set}`, `sample::select`, and the [`proptest!`] / [`prop_assert!`]
-//! family of macros.
+//! btree_set}`, `option::of`, `sample::select`, and the [`proptest!`] /
+//! [`prop_assert!`] family of macros.
 //!
 //! Differences from real proptest, chosen for zero dependencies:
 //! - **No shrinking.** A failing case reports the generated inputs via the
@@ -390,6 +390,34 @@ pub mod collection {
     }
 }
 
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise (real
+    /// proptest's default weights Some 3:1 too).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// Sampling strategies.
 pub mod sample {
     use crate::strategy::Strategy;
@@ -423,7 +451,7 @@ pub mod prelude {
 
     /// Namespaced access mirroring proptest's `prop::` module tree.
     pub mod prop {
-        pub use crate::{collection, sample, strategy};
+        pub use crate::{collection, option, sample, strategy};
     }
 }
 

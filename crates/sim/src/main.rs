@@ -1,0 +1,54 @@
+//! CLI for the crash-recovery simulator.
+//!
+//! ```text
+//! cargo run -p s2-sim -- --seed 42 --scenarios 200 [--verbose]
+//! ```
+//!
+//! Exit code 0 means every scenario upheld every invariant; 1 means at
+//! least one violation (each printed with its replayable seed and
+//! kill-point trace).
+
+fn main() {
+    let mut seed = 42u64;
+    let mut scenarios = 200usize;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--scenarios" => {
+                scenarios = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scenarios needs an integer"));
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("usage: s2-sim [--seed N] [--scenarios N] [--verbose]");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    println!("s2-sim: {scenarios} scenarios from seed {seed}");
+    let summary = s2_sim::run_many(seed, scenarios, verbose);
+    println!("{}", summary.summary_line());
+    if !summary.failures.is_empty() {
+        println!("\nreproduce with:");
+        for v in &summary.failures {
+            println!("  cargo run -p s2-sim -- --seed {} --scenarios 1", v.seed);
+        }
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("s2-sim: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,175 @@
+//! Acceptance tests for the crash-recovery harness: the seeded smoke sweep,
+//! byte-for-byte trace reproducibility, and targeted kill-point checks.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use s2_blob::{MemoryStore, ObjectStore, Uploader};
+use s2_cluster::{StorageConfig, StorageService};
+use s2_common::fault::{CrashPoint, FaultHook};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_core::{DataFileStore, MemFileStore, Partition};
+use s2_sim::{harness_lock, install_quiet_panic_hook, run_many, run_scenario, FaultPlan};
+use s2_wal::Log;
+
+/// The CI smoke: 200 randomized crash-recovery scenarios under a fixed
+/// seed must uphold every invariant.
+#[test]
+fn smoke_200_scenarios_zero_violations() {
+    let summary = run_many(42, 200, false);
+    assert_eq!(summary.scenarios, 200);
+    assert!(
+        summary.failures.is_empty(),
+        "invariant violations: {:?}",
+        summary.failures.iter().map(|v| v.seed).collect::<Vec<_>>()
+    );
+    // The sweep must actually exercise the machinery, not vacuously pass.
+    assert!(summary.crashes > 50, "only {} crashes injected", summary.crashes);
+    assert!(summary.commits > 1000, "only {} commits", summary.commits);
+    assert!(summary.pitr_checks > 100, "only {} PITR checks", summary.pitr_checks);
+    assert!(summary.replica_scenarios > 20, "only {} replica runs", summary.replica_scenarios);
+}
+
+/// Same seed ⇒ identical kill-point trace and identical outcome.
+#[test]
+fn same_seed_reproduces_identical_trace() {
+    for seed in [7u64, 1234, 0xDEAD] {
+        let a = run_scenario(seed).expect("scenario passes");
+        let b = run_scenario(seed).expect("scenario passes");
+        assert_eq!(a.trace, b.trace, "trace diverged for seed {seed}");
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.recoveries, b.recoveries);
+        assert_eq!(a.pitr_checks, b.pitr_checks);
+        assert_eq!(a.replica_mode, b.replica_mode);
+    }
+}
+
+/// Different seeds explore different interleavings (not the same scripted
+/// path every time).
+#[test]
+fn different_seeds_diverge() {
+    let a = run_scenario(1).expect("scenario passes");
+    let b = run_scenario(2).expect("scenario passes");
+    assert_ne!(
+        (a.trace.clone(), a.commits, a.steps),
+        (b.trace.clone(), b.commits, b.steps),
+        "seeds 1 and 2 produced identical runs"
+    );
+}
+
+/// The uploader's per-attempt failpoint fires on its worker thread (error
+/// injection only) and the bounded retry loop surfaces the failure.
+#[test]
+fn uploader_cross_thread_error_injection() {
+    let _guard = harness_lock();
+    let mut plan = FaultPlan::new(99);
+    plan.site_any_thread("blob.uploader.attempt", 1.0, 0.0);
+    s2_common::fault::install(Arc::new(plan) as Arc<dyn FaultHook>);
+
+    let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let up = Uploader::new(Arc::clone(&store), 1);
+    let outcome: Arc<Mutex<Option<bool>>> = Arc::new(Mutex::new(None));
+    let flag = Arc::clone(&outcome);
+    up.enqueue("k/fail", Arc::new(vec![1]), move |r| {
+        *flag.lock().unwrap() = Some(r.is_err());
+    });
+    up.drain();
+    assert_eq!(*outcome.lock().unwrap(), Some(true), "every attempt injected, job must fail");
+
+    // Clear the plan: the same store works again.
+    s2_common::fault::clear();
+    let outcome2: Arc<Mutex<Option<bool>>> = Arc::new(Mutex::new(None));
+    let flag2 = Arc::clone(&outcome2);
+    up.enqueue("k/ok", Arc::new(vec![2]), move |r| {
+        *flag2.lock().unwrap() = Some(r.is_err());
+    });
+    up.drain();
+    assert_eq!(*outcome2.lock().unwrap(), Some(false));
+    assert_eq!(store.get("k/ok").unwrap().as_slice(), &[2]);
+}
+
+fn small_partition() -> (Arc<Partition>, u32) {
+    let p = Partition::new(
+        "killpoint",
+        Arc::new(Log::in_memory()),
+        Arc::new(MemFileStore::new()) as Arc<dyn DataFileStore>,
+    );
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int64),
+        ColumnDef::new("v", DataType::Int64),
+    ])
+    .unwrap();
+    let t = p.create_table("t", schema, TableOptions::new().with_unique("pk", vec![0])).unwrap();
+    for i in 0..20 {
+        let mut txn = p.begin();
+        txn.insert(t, Row::new(vec![Value::Int(i), Value::Int(i * 10)])).unwrap();
+        txn.commit().unwrap();
+    }
+    (p, t)
+}
+
+/// A crash between writing a snapshot and uploading it must leave the blob
+/// store without the snapshot (so vacuum's horizon never advances early) —
+/// and the next pass must publish it cleanly.
+#[test]
+fn snapshot_put_crash_keeps_blob_consistent() {
+    let _guard = harness_lock();
+    install_quiet_panic_hook();
+    let (p, _t) = small_partition();
+    let blob: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let cfg = StorageConfig {
+        chunk_bytes: 1 << 20,
+        snapshot_interval_bytes: 1,
+        tick: Duration::from_millis(1),
+        require_replicated: false,
+    };
+    let last_snap = Arc::new(AtomicU64::new(0));
+
+    let mut plan = FaultPlan::new(5);
+    plan.site("storage.snapshot.put", 0.0, 1.0);
+    s2_common::fault::install(Arc::new(plan) as Arc<dyn FaultHook>);
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| StorageService::pass(&p, &blob, &cfg, &last_snap)));
+    s2_common::fault::clear();
+
+    let payload = outcome.expect_err("pass must crash at the kill point");
+    let cp = payload.downcast_ref::<CrashPoint>().expect("CrashPoint payload");
+    assert_eq!(cp.site, "storage.snapshot.put");
+    // Log chunks uploaded before the kill point are fine; the snapshot must
+    // not exist (its durability marker was never set).
+    assert!(blob.list("killpoint/snapshots/").unwrap().is_empty());
+    assert_eq!(last_snap.load(Ordering::Acquire), 0);
+
+    // Uninstrumented retry publishes the snapshot.
+    StorageService::pass(&p, &blob, &cfg, &last_snap).unwrap();
+    assert_eq!(blob.list("killpoint/snapshots/").unwrap().len(), 1);
+    assert!(last_snap.load(Ordering::Acquire) > 0);
+}
+
+/// The commit kill point fires before the redo record is appended: the log
+/// never contains a record for the crashed commit.
+#[test]
+fn commit_crash_leaves_no_partial_record() {
+    let _guard = harness_lock();
+    install_quiet_panic_hook();
+    let (p, t) = small_partition();
+    let end_before = p.log.end_lp();
+
+    let mut plan = FaultPlan::new(11);
+    plan.site("core.commit.log", 0.0, 1.0);
+    s2_common::fault::install(Arc::new(plan) as Arc<dyn FaultHook>);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut txn = p.begin();
+        txn.insert(t, Row::new(vec![Value::Int(777), Value::Int(1)])).unwrap();
+        txn.commit()
+    }));
+    s2_common::fault::clear();
+
+    let payload = outcome.expect_err("commit must crash at the kill point");
+    assert!(payload.downcast_ref::<CrashPoint>().is_some());
+    assert_eq!(p.log.end_lp(), end_before, "crashed commit appended log bytes");
+}

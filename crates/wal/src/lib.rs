@@ -12,5 +12,7 @@ pub mod record;
 pub mod snapshot;
 
 pub use log::{Log, LogChunk};
-pub use record::{encode_record, DecodedRecord, RecordIter, RECORD_MAGIC, RECORD_OVERHEAD};
+pub use record::{
+    encode_record, valid_prefix_len, DecodedRecord, RecordIter, RECORD_MAGIC, RECORD_OVERHEAD,
+};
 pub use snapshot::{Snapshot, SNAPSHOT_MAGIC};

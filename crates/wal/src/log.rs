@@ -91,12 +91,28 @@ impl Log {
 
     /// Log backed by a local file. If the file exists its contents are loaded
     /// (recovery reads through [`Log::read_range`] + `RecordIter`).
+    ///
+    /// A torn final frame — a crash mid-append persisted only a prefix of the
+    /// last record, or garbage past the last sync — is truncated away at the
+    /// longest checksum-valid prefix rather than surfaced as corruption.
+    /// Nothing past that prefix was ever acknowledged: `durable_lp` (the
+    /// position commits ack against) only advances over fully synced frames.
     pub fn open(path: impl AsRef<Path>) -> Result<Log> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
         let mut mem = Vec::new();
         file.seek(SeekFrom::Start(0))?;
         file.read_to_end(&mut mem)?;
+        let valid = crate::record::valid_prefix_len(&mem);
+        if valid < mem.len() {
+            s2_obs::counter!("wal.open.torn_tail_truncations").add(1);
+            s2_obs::event(
+                "wal.torn_tail",
+                format!("dropped {} trailing bytes at lp {valid}", mem.len() - valid),
+            );
+            file.set_len(valid as u64)?;
+            mem.truncate(valid);
+        }
         let end = mem.len() as u64;
         Ok(Log {
             inner: Mutex::new(LogInner {
@@ -120,6 +136,9 @@ impl Log {
 
     /// Append several records contiguously (group commit); returns the span.
     pub fn append_group(&self, records: &[(u8, &[u8])]) -> (LogPosition, LogPosition) {
+        // Crash here models power loss before the record reached the log
+        // buffer: the whole group is atomically absent from the stream.
+        s2_common::fault::crash_point("wal.append");
         let mut chunk = Vec::new();
         for (kind, payload) in records {
             encode_record(&mut chunk, *kind, payload);
@@ -185,6 +204,9 @@ impl Log {
     /// advances `durable_lp` (an in-memory log is "as durable as it gets";
     /// the replication layer provides the real guarantee, paper §3).
     pub fn sync(&self) -> Result<LogPosition> {
+        // A dropped/failed fsync must not advance `durable_lp`: the caller
+        // may not ack commits past a position that never reached disk.
+        s2_common::fault::failpoint("wal.sync")?;
         let mut inner = self.inner.lock();
         let end = inner.end_lp;
         let from = inner.durable_lp;
@@ -358,6 +380,43 @@ mod tests {
         let bytes = log2.read_range(0, end).unwrap();
         let recs: Vec<_> = RecordIter::new(&bytes, 0).map(|r| r.unwrap()).collect();
         assert_eq!(recs[0].payload, b"persisted");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_truncates_torn_final_frame() {
+        let dir = std::env::temp_dir().join(format!("s2wal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.log");
+        let _ = std::fs::remove_file(&path);
+        let good_end = {
+            let log = Log::open(&path).unwrap();
+            log.append(1, b"kept-record");
+            let end = log.sync().unwrap();
+            log.append(2, b"torn-record");
+            log.sync().unwrap();
+            end
+        };
+        // Simulate a crash that persisted only a prefix of the second frame.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..good_end as usize + 7]).unwrap();
+        let log2 = Log::open(&path).unwrap();
+        assert_eq!(log2.end_lp(), good_end, "torn tail truncated at last valid checksum");
+        assert_eq!(log2.durable_lp(), good_end);
+        let bytes = log2.read_range(0, good_end).unwrap();
+        let recs: Vec<_> = RecordIter::new(&bytes, 0).map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].payload, b"kept-record");
+        // Appends after recovery land at the truncated position on disk too.
+        log2.append(3, b"after-recovery");
+        let end2 = log2.sync().unwrap();
+        drop(log2);
+        let log3 = Log::open(&path).unwrap();
+        assert_eq!(log3.end_lp(), end2);
+        let bytes = log3.read_range(0, end2).unwrap();
+        let recs: Vec<_> = RecordIter::new(&bytes, 0).map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].payload, b"after-recovery");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -29,6 +29,20 @@ pub fn encode_record(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
     out.extend_from_slice(&crc.to_le_bytes());
 }
 
+/// Length of the longest prefix of `buf` made of whole, checksum-valid
+/// frames. Recovery truncates the log here: anything past it is a torn tail
+/// from a crash mid-append (or trailing garbage) and was never acknowledged —
+/// acks only ever cover synced, CRC-complete prefixes.
+pub fn valid_prefix_len(buf: &[u8]) -> usize {
+    let mut it = RecordIter::new(buf, 0);
+    for rec in it.by_ref() {
+        if rec.is_err() {
+            break;
+        }
+    }
+    it.consumed_lp() as usize
+}
+
 /// One decoded record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodedRecord<'a> {
@@ -160,6 +174,22 @@ mod tests {
         let mut it = RecordIter::new(&buf, 0);
         assert!(it.next().unwrap().is_err());
         assert!(it.next().is_none(), "iteration halts after corruption");
+    }
+
+    #[test]
+    fn valid_prefix_stops_at_truncation_and_corruption() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, 1, b"first");
+        let b1 = buf.len();
+        encode_record(&mut buf, 2, b"second");
+        let b2 = buf.len();
+        assert_eq!(valid_prefix_len(&buf), b2);
+        assert_eq!(valid_prefix_len(&buf[..b2 - 3]), b1, "torn second frame");
+        assert_eq!(valid_prefix_len(&buf[..b1 + 2]), b1, "tiny tail fragment");
+        let mut corrupt = buf.clone();
+        corrupt[b1 + 1] ^= 0xFF; // kind byte of second frame -> CRC mismatch
+        assert_eq!(valid_prefix_len(&corrupt), b1);
+        assert_eq!(valid_prefix_len(&[]), 0);
     }
 
     #[test]

@@ -21,4 +21,11 @@ cargo test -q "${CARGO_FLAGS[@]}"
 echo "== workspace tests =="
 cargo test -q --workspace "${CARGO_FLAGS[@]}"
 
+echo "== sim: crash-recovery smoke (200 seeded scenarios) =="
+# Deterministic fault-injection sweep over the commit/upload/restore path.
+# A failure prints replayable seeds — record them in EXPERIMENTS.md
+# ("Sim failure seeds") alongside the commit hash before fixing.
+cargo test -p s2-sim -q "${CARGO_FLAGS[@]}"
+cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --seed 42 --scenarios 200
+
 echo "CI green."

@@ -85,3 +85,75 @@ proptest! {
         txn.rollback();
     }
 }
+
+// --------------------------------------------------------------------------
+// Replica failure and re-attach: the replicated watermark must never move
+// backwards — not when the replica dies mid-ack, not while a fresh replica
+// replays the stream from scratch (guards the ack-before-publish ordering
+// in Replica's apply loop).
+
+#[test]
+fn replica_killed_mid_ack_watermark_stays_monotonic() {
+    use s2db_repro::cluster::{empty_replica_partition, Replica};
+    use std::time::{Duration, Instant};
+
+    let files = Arc::new(MemFileStore::new());
+    let master = Partition::new("rs_ha", Arc::new(Log::in_memory()), files.clone());
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("v", DataType::Int64),
+    ])
+    .unwrap();
+    let t =
+        master.create_table("t", schema, TableOptions::new().with_unique("pk", vec![0])).unwrap();
+    let commit_range = |from: i64, to: i64| {
+        for i in from..to {
+            let mut txn = master.begin();
+            txn.insert(t, Row::new(vec![Value::Int(i), Value::Int(i)])).unwrap();
+            txn.commit().unwrap();
+        }
+    };
+
+    // Phase 1: an acking replica follows along.
+    let rp1 = empty_replica_partition("rs_ha", files.clone(), 0);
+    let r1 = Replica::start(&master, rp1, 0, true).unwrap();
+    commit_range(0, 30);
+    assert!(r1.wait_applied(master.log.end_lp(), Duration::from_secs(5)));
+    // Ack-before-publish: once applied covers a position, the master's
+    // replicated watermark covers it too.
+    assert!(master.log.replicated_lp() >= r1.applied_lp());
+
+    // Phase 2: more commits land, then the replica is killed mid-stream
+    // (no wait — it may die between applying and acking).
+    commit_range(30, 50);
+    let w_at_kill = master.log.replicated_lp();
+    drop(r1);
+
+    // Detached: commits proceed, the watermark freezes but never regresses.
+    commit_range(50, 80);
+    let w_detached = master.log.replicated_lp();
+    assert!(w_detached >= w_at_kill, "watermark regressed after replica death");
+
+    // Phase 3: a fresh replica re-attaches from position 0 and catches up;
+    // the watermark climbs monotonically the whole way.
+    let rp2 = empty_replica_partition("rs_ha", files.clone(), 0);
+    let r2 = Replica::start(&master, rp2, 0, true).unwrap();
+    let end = master.log.end_lp();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut last = w_detached;
+    loop {
+        let w = master.log.replicated_lp();
+        assert!(w >= last, "watermark regressed during catch-up: {last} -> {w}");
+        last = w;
+        if w >= end {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replica catch-up timed out at {w}/{end}");
+        std::thread::yield_now();
+    }
+    assert!(r2.wait_applied(end, Duration::from_secs(5)));
+
+    // The re-attached replica converged to the full master state.
+    let t2 = r2.partition.table_by_name("t").unwrap().id;
+    assert_eq!(r2.partition.read_snapshot().table(t2).unwrap().live_row_count(), 80);
+}
