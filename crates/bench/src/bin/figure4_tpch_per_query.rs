@@ -3,21 +3,46 @@
 //! omits CDB, which did not finish), printed as a table plus ASCII bars.
 //!
 //! Knobs: `S2_SF` (default 0.01), `S2_WARM_RUNS` (default 2).
+//! Flags: `--threads N` (scan pool size), `--json` (machine-readable output).
 
 use std::time::Duration;
 
 use s2_bench::{bar, env_f64, env_u64, load_all_engines, print_table, run_tpch_comparison};
 
 fn main() {
+    s2_bench::apply_thread_flag();
+    let json = s2_bench::json_enabled();
     let sf = env_f64("S2_SF", 0.01);
     let warm = env_u64("S2_WARM_RUNS", 2) as usize;
-    println!("== Figure 4: TPC-H (sf {sf}) per-query runtimes, lower is better ==");
+    if !json {
+        println!("== Figure 4: TPC-H (sf {sf}) per-query runtimes, lower is better ==");
+    }
     let data = s2_workloads::tpch::generate(sf, 42);
     let engines = load_all_engines(&data, 4).expect("load");
     // CDB is excluded from the figure, as in the paper; budget 0 skips it.
     let results = run_tpch_comparison(&engines, warm, Duration::ZERO);
 
     let ms = |d: Option<Duration>| d.map_or(f64::NAN, |d| d.as_secs_f64() * 1e3);
+    if json {
+        let series: Vec<String> = results[..3]
+            .iter()
+            .map(|r| {
+                let q: Vec<String> = r
+                    .per_query
+                    .iter()
+                    .map(|d| s2_bench::json_f64(d.map(|d| d.as_secs_f64() * 1e3)))
+                    .collect();
+                format!("{{\"name\":\"{}\",\"query_ms\":[{}]}}", r.name, q.join(","))
+            })
+            .collect();
+        println!(
+            "{{\"bench\":\"figure4_tpch_per_query\",\"scale_factor\":{sf},\"threads\":{},\
+             \"engines\":[{}]}}",
+            s2_exec::effective_threads(0),
+            series.join(",")
+        );
+        return;
+    }
     let max_ms = results[..3]
         .iter()
         .flat_map(|r| r.per_query.iter().map(|d| ms(*d)))

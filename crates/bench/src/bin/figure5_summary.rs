@@ -4,6 +4,7 @@
 //!
 //! Knobs: `S2_SF` (default 0.005), `S2_WAREHOUSES` (default 2),
 //! `S2_DURATION_SECS` (default 8), `S2_WAIT_SCALE` (default 300; on a single-core host higher values saturate the CPU before the terminals do).
+//! Flags: `--threads N` (scan pool size), `--json` (machine-readable output).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -15,12 +16,16 @@ use s2_workloads::tpcc::driver::{run as run_tpcc, DriverConfig};
 use s2_workloads::tpcc::TpccScale;
 
 fn main() {
+    s2_bench::apply_thread_flag();
+    let json = s2_bench::json_enabled();
     let sf = env_f64("S2_SF", 0.005);
     let w = env_u64("S2_WAREHOUSES", 2) as i64;
     let duration = Duration::from_secs(env_u64("S2_DURATION_SECS", 8));
     let wait_scale = env_f64("S2_WAIT_SCALE", 300.0);
 
-    println!("== Figure 5: Summary of TPC-C and TPC-H throughputs (higher is better) ==\n");
+    if !json {
+        println!("== Figure 5: Summary of TPC-C and TPC-H throughputs (higher is better) ==\n");
+    }
 
     // TPC-C side: S2DB and CDB (CDWs cannot run it).
     let scale = TpccScale::bench(w);
@@ -46,6 +51,26 @@ fn main() {
     let engines = load_all_engines(&data, 4).expect("load");
     let tpch = run_tpch_comparison(&engines, 2, Duration::from_secs(30));
 
+    if json {
+        let engines_json: Vec<String> = tpch
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\":\"{}\",\"timed_out\":{},\"qps\":{}}}",
+                    r.name,
+                    r.timed_out,
+                    s2_bench::json_f64((!r.timed_out).then(|| r.qps())),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bench\":\"figure5_summary\",\"threads\":{},\"tpmc\":{{\"S2DB\":{tpmc_s2:.1},\
+             \"CDB\":{tpmc_cdb:.1}}},\"tpch\":[{}]}}",
+            s2_exec::effective_threads(0),
+            engines_json.join(",")
+        );
+        return;
+    }
     println!("TPC-C throughput (tpmC, spec-equivalent):");
     let max_tpmc = tpmc_s2.max(tpmc_cdb);
     println!("  S2DB  {:>8.1}  {}", tpmc_s2, bar(tpmc_s2, max_tpmc, 40));

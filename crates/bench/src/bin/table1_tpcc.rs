@@ -11,6 +11,7 @@
 //!
 //! Knobs: `S2_WAREHOUSES` (default 2), `S2_DURATION_SECS` (default 10),
 //! `S2_WAIT_SCALE` (default 300; on a single-core host higher values saturate the CPU before the terminals do).
+//! Flags: `--threads N` (scan pool size), `--json` (machine-readable output).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,35 +22,45 @@ use s2_workloads::tpcc::backend::{CdbBackend, ClusterBackend, TpccBackend};
 use s2_workloads::tpcc::driver::{run, DriverConfig, MAX_TPMC_PER_WAREHOUSE};
 use s2_workloads::tpcc::TpccScale;
 
+struct RunResult {
+    label: String,
+    warehouses: i64,
+    tpmc: f64,
+    pct_of_max: f64,
+    errors: u64,
+}
+
 fn one_run(
     label: &str,
     backend: Arc<dyn TpccBackend>,
     scale: TpccScale,
     wait_scale: f64,
     duration: Duration,
-) -> Vec<String> {
+) -> RunResult {
     let config =
         DriverConfig { scale, terminals_per_warehouse: 10, wait_scale, duration, seed: 42 };
     let result = run(backend, &config);
-    let tpmc = result.tpmc(wait_scale);
-    let pct = result.pct_of_max(&config);
-    vec![
-        label.to_string(),
-        format!("{}", scale.warehouses),
-        format!("{tpmc:.1}"),
-        format!("{pct:.1}%"),
-        format!("{}", result.errors),
-    ]
+    RunResult {
+        label: label.to_string(),
+        warehouses: scale.warehouses,
+        tpmc: result.tpmc(wait_scale),
+        pct_of_max: result.pct_of_max(&config),
+        errors: result.errors,
+    }
 }
 
 fn main() {
+    s2_bench::apply_thread_flag();
+    let json = s2_bench::json_enabled();
     let w = env_u64("S2_WAREHOUSES", 2) as i64;
     let duration = Duration::from_secs(env_u64("S2_DURATION_SECS", 10));
     let wait_scale = env_f64("S2_WAIT_SCALE", 300.0);
-    println!(
-        "== Table 1: TPC-C results (ceiling {:.2} tpmC/warehouse; waits / {wait_scale}) ==",
-        MAX_TPMC_PER_WAREHOUSE
-    );
+    if !json {
+        println!(
+            "== Table 1: TPC-C results (ceiling {:.2} tpmC/warehouse; waits / {wait_scale}) ==",
+            MAX_TPMC_PER_WAREHOUSE
+        );
+    }
 
     let mut rows = Vec::new();
 
@@ -78,9 +89,39 @@ fn main() {
         rows.push(one_run("S2DB", backend, scale, wait_scale, duration));
     }
 
+    if json {
+        let runs: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"product\":\"{}\",\"warehouses\":{},\"tpmc\":{:.1},\
+                     \"pct_of_max\":{:.1},\"errors\":{}}}",
+                    r.label, r.warehouses, r.tpmc, r.pct_of_max, r.errors
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bench\":\"table1_tpcc\",\"threads\":{},\"runs\":[{}]}}",
+            s2_exec::effective_threads(0),
+            runs.join(",")
+        );
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{}", r.warehouses),
+                format!("{:.1}", r.tpmc),
+                format!("{:.1}%", r.pct_of_max),
+                format!("{}", r.errors),
+            ]
+        })
+        .collect();
     print_table(
         &["Product", "Size (warehouses)", "Throughput (tpmC)", "Throughput (% of max)", "errors"],
-        &rows,
+        &cells,
     );
     println!(
         "\npaper shape check: both engines near the ceiling; S2DB scales ~linearly with warehouses"

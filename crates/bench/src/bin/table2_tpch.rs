@@ -5,25 +5,57 @@
 //! Knobs: `S2_SF` (scale factor, default 0.01), `S2_WARM_RUNS` (default 2),
 //! `S2_CDB_BUDGET_SECS` (default 60; the paper gave CDB 24 hours and it did
 //! not finish — the budget scales that cap to the scale factor).
+//! Flags: `--threads N` (scan pool size), `--json` (machine-readable output).
 
 use std::time::{Duration, Instant};
 
-use s2_bench::{env_f64, env_u64, load_all_engines, print_table, run_tpch_comparison};
+use s2_bench::{env_f64, env_u64, json_f64, load_all_engines, print_table, run_tpch_comparison};
 
 fn main() {
+    s2_bench::apply_thread_flag();
+    let json = s2_bench::json_enabled();
     let sf = env_f64("S2_SF", 0.01);
     let warm = env_u64("S2_WARM_RUNS", 2) as usize;
     let cdb_budget = Duration::from_secs(env_u64("S2_CDB_BUDGET_SECS", 60));
 
-    println!("== Table 2: Summary of TPC-H (sf {sf}) results ==");
+    if !json {
+        println!("== Table 2: Summary of TPC-H (sf {sf}) results ==");
+    }
     let t0 = Instant::now();
     let data = s2_workloads::tpch::generate(sf, 42);
-    println!("generated {} lineitems in {:?}", data.table("lineitem").rows.len(), t0.elapsed());
+    if !json {
+        println!("generated {} lineitems in {:?}", data.table("lineitem").rows.len(), t0.elapsed());
+    }
     let t0 = Instant::now();
     let engines = load_all_engines(&data, 4).expect("load");
-    println!("loaded all four engines in {:?}\n", t0.elapsed());
+    if !json {
+        println!("loaded all four engines in {:?}\n", t0.elapsed());
+    }
 
     let results = run_tpch_comparison(&engines, warm, cdb_budget);
+    if json {
+        let engines_json: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\":\"{}\",\"price_per_hour\":{:.2},\"timed_out\":{},\
+                     \"geomean_secs\":{},\"geomean_cents\":{},\"qps\":{}}}",
+                    r.name,
+                    r.price_per_hour,
+                    r.timed_out,
+                    json_f64((!r.timed_out).then(|| r.geomean_secs())),
+                    json_f64((!r.timed_out).then(|| r.geomean_cents())),
+                    json_f64((!r.timed_out).then(|| r.qps())),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bench\":\"table2_tpch\",\"scale_factor\":{sf},\"threads\":{},\"engines\":[{}]}}",
+            s2_exec::effective_threads(0),
+            engines_json.join(",")
+        );
+        return;
+    }
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {

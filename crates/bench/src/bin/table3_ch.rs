@@ -6,6 +6,7 @@
 //!
 //! Knobs: `S2_WAREHOUSES` (default 2), `S2_TW` (default 8), `S2_AW`
 //! (default 2), `S2_DURATION_SECS` (default 5; paper ran 20 minutes).
+//! Flags: `--threads N` (scan pool size), `--json` (machine-readable output).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -60,20 +61,24 @@ fn tw_config(scale: TpccScale, tws: usize, duration: Duration) -> DriverConfig {
 }
 
 fn main() {
+    s2_bench::apply_thread_flag();
+    let json = s2_bench::json_enabled();
     let w = env_u64("S2_WAREHOUSES", 2) as i64;
     let tws = env_u64("S2_TW", 8) as usize;
     let aws = env_u64("S2_AW", 2) as usize;
     let duration = Duration::from_secs(env_u64("S2_DURATION_SECS", 5));
     let scale = TpccScale::bench(w);
-    println!(
-        "== Table 3: CH-BenCHmark ({w} warehouses, {tws} TWs, {aws} AWs, {duration:?} runs) =="
-    );
-    if std::thread::available_parallelism().map_or(1, |n| n.get()) == 1 {
+    if !json {
         println!(
-            "NOTE: single-core host — workspace isolation (cases 4/5) cannot add compute,
+            "== Table 3: CH-BenCHmark ({w} warehouses, {tws} TWs, {aws} AWs, {duration:?} runs) =="
+        );
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) == 1 {
+            println!(
+                "NOTE: single-core host — workspace isolation (cases 4/5) cannot add compute,
              so TW throughput will not recover to case 1 as it does on multi-core hosts;
              the lock/snapshot isolation effect on AW QPS is still visible."
-        );
+            );
+        }
     }
     let mut results: Vec<CaseResult> = Vec::new();
 
@@ -179,6 +184,27 @@ fn main() {
         });
     }
 
+    if json {
+        let cases: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"case\":\"{}\",\"vcpu\":\"{}\",\"tpmc\":{},\"qps\":{},\"lag_bytes\":{}}}",
+                    s2_bench::json_escape(&r.label),
+                    r.vcpu,
+                    s2_bench::json_f64(r.tpmc),
+                    s2_bench::json_f64(r.qps),
+                    r.lag.map_or("null".into(), |v| v.to_string()),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bench\":\"table3_ch\",\"threads\":{},\"cases\":[{}]}}",
+            s2_exec::effective_threads(0),
+            cases.join(",")
+        );
+        return;
+    }
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {

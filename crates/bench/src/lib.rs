@@ -38,6 +38,64 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Value of a `--flag value` or `--flag=value` CLI argument, if present.
+pub fn cli_value(flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Apply a `--threads N` CLI override by exporting `S2_SCAN_THREADS`.
+/// Every bench binary calls this first thing so the flag wins over the
+/// inherited environment; it must run before the first scan (the pool
+/// reads the variable once, lazily). Returns the override, if any.
+pub fn apply_thread_flag() -> Option<usize> {
+    let n: usize = cli_value("--threads")?.parse().ok()?;
+    std::env::set_var("S2_SCAN_THREADS", n.to_string());
+    Some(n)
+}
+
+/// Whether this bench run should emit machine-readable JSON instead of
+/// (or alongside) the text tables: `--json` or `S2_JSON=1`.
+pub fn json_enabled() -> bool {
+    std::env::args().any(|a| a == "--json")
+        || std::env::var("S2_JSON").is_ok_and(|v| v == "1" || v == "true")
+}
+
+/// Escape a string for inclusion in a JSON string literal (no serde in
+/// this workspace; benches hand-assemble their small documents).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `Option<f64>` as a JSON number or `null`.
+pub fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.6}"),
+        _ => "null".into(),
+    }
+}
+
 /// Simulated blob round-trip latency used where an experiment needs one.
 pub fn blob_latency() -> Duration {
     Duration::from_millis(env_u64("S2_BLOB_LATENCY_MS", 10))

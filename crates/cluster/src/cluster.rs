@@ -304,23 +304,34 @@ impl Cluster {
         execute_with_stats(plan, &ctx, opts, stats)
     }
 
-    /// Run flush/merge/vacuum across every partition.
+    /// Run flush/merge/vacuum across every partition. Partitions are
+    /// independent (each pass runs under its own commit lock), so the passes
+    /// fan out on the shared scan pool.
     pub fn maintenance(&self) -> Result<()> {
-        for set in &self.sets {
-            set.master().maintenance_pass()?;
+        let masters: Vec<Arc<Partition>> = self.sets.iter().map(|s| s.master()).collect();
+        let threads = s2_exec::effective_threads(0);
+        for r in
+            s2_exec::ScanPool::global().run(threads, masters, |master| master.maintenance_pass())
+        {
+            r?;
         }
         Ok(())
     }
 
     /// Force-flush a table everywhere and reclaim the rowstore tombstones
-    /// the flush leaves behind (benchmark / bulk-load setup).
+    /// the flush leaves behind (benchmark / bulk-load setup). Fans out over
+    /// partitions like [`Cluster::maintenance`].
     pub fn flush_table(&self, table: &str) -> Result<()> {
         let id = self.table_meta(table, |m| m.id)?;
-        for set in &self.sets {
-            let master = set.master();
+        let masters: Vec<Arc<Partition>> = self.sets.iter().map(|s| s.master()).collect();
+        let threads = s2_exec::effective_threads(0);
+        for r in s2_exec::ScanPool::global().run(threads, masters, move |master| -> Result<()> {
             master.flush_table(id, true)?;
             while master.merge_table(id)? {}
             master.vacuum()?;
+            Ok(())
+        }) {
+            r?;
         }
         Ok(())
     }

@@ -436,7 +436,10 @@ pub struct TableSnapshot {
     rowstore_rows: OnceLock<Vec<(Vec<Value>, Row)>>,
 }
 
-/// One segment as seen by a snapshot.
+/// One segment as seen by a snapshot. Cloning is two `Arc` bumps, which is
+/// what lets the parallel scan executor hand segments to pool workers as
+/// owned (`'static`) morsels.
+#[derive(Clone)]
 pub struct SegmentSnap {
     /// Shared segment core (metadata + readers + inverted indexes).
     pub core: Arc<SegmentCore>,
@@ -540,6 +543,20 @@ impl TableSnapshot {
         Ok(Some(IndexProbe { segments, rowstore }))
     }
 }
+
+// The parallel scan executor ships snapshots and segments across threads;
+// these compile-time assertions are the audit that everything a reader can
+// reach is `Send + Sync` (interior mutability is confined to locks and
+// atomics). A non-thread-safe field added to any of these types fails the
+// build here rather than at a distant pool call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SegmentCore>();
+    assert_send_sync::<SegmentSnap>();
+    assert_send_sync::<TableSnapshot>();
+    assert_send_sync::<IndexProbe>();
+    assert_send_sync::<Table>();
+};
 
 /// Result of a snapshot index probe.
 pub struct IndexProbe {

@@ -1,0 +1,218 @@
+//! Per-segment adaptive-decision cache (paper §5.2, amortized).
+//!
+//! The adaptive scan prices every residual clause on a per-segment sample
+//! each time it runs — the sampling pass is what buys the paper's "no query
+//! optimizer statistics" claim, but for a repeated query it is pure
+//! overhead: the segment is immutable, so the measured selectivities and
+//! the chosen clause order cannot change. This cache remembers the outcome
+//! of the §5.2 planning pass keyed by *(table instance, segment id, filter
+//! fingerprint)* and replays it on the next scan of the same segment with
+//! the same residual filter, skipping the sampling entirely.
+//!
+//! Invalidation:
+//! - **Merges** rewrite data into *new* segment ids (ids are never reused),
+//!   so a merged segment's entries can no longer be hit; they age out via
+//!   the capacity sweep below.
+//! - **Deletes** flip a segment's delete bits, which shifts selectivities.
+//!   Each entry records the deleted-row count it was planned under and is
+//!   treated as a miss (and replaced) when the count moved.
+//! - **Capacity**: the cache holds at most [`CAPACITY`] entries; on
+//!   overflow the oldest half (by insertion epoch) is evicted.
+//!
+//! A cached decision is a pure heuristic — replaying a stale one can only
+//! cost time, never correctness, because every strategy evaluates the same
+//! predicate exactly.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use crate::expr::Expr;
+
+/// Maximum cached decisions before an eviction sweep.
+pub const CAPACITY: usize = 8192;
+
+/// One planned residual clause: which conjunct, the chosen strategy, and
+/// the sampled pass rate that drives group-filter formation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedClause {
+    /// Index into the residual conjunct list.
+    pub idx: usize,
+    /// Evaluate on compressed data (encoded filter) instead of decoding.
+    pub encoded: bool,
+    /// Sampled fraction of rows passing this clause.
+    pub selectivity: f64,
+}
+
+/// Cache key: the table's live `Arc` address disambiguates equal segment
+/// ids across tables/partitions; a recycled address after a table drop can
+/// at worst replay a valid-looking heuristic.
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct Key {
+    table: usize,
+    segment: u64,
+    fingerprint: u64,
+}
+
+struct Entry {
+    plan: Vec<PlannedClause>,
+    /// Deleted-row count the plan was sampled under.
+    deleted: usize,
+    /// Insertion order, for the eviction sweep.
+    epoch: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Key, Entry>,
+    epoch: u64,
+}
+
+/// The process-wide decision cache.
+#[derive(Default)]
+pub struct DecisionCache {
+    inner: Mutex<Inner>,
+}
+
+/// The global cache used by [`crate::scan`].
+pub fn global() -> &'static DecisionCache {
+    static GLOBAL: std::sync::OnceLock<DecisionCache> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(DecisionCache::default)
+}
+
+/// Fingerprint a residual filter plus the planning-relevant options. Uses
+/// the structural `Debug` form — stable within a process, which is the
+/// cache's lifetime.
+pub fn fingerprint(residual: &[Expr], use_encoded: bool, sample_rows: usize) -> u64 {
+    let mut h = DefaultHasher::new();
+    for clause in residual {
+        format!("{clause:?}").hash(&mut h);
+    }
+    use_encoded.hash(&mut h);
+    sample_rows.hash(&mut h);
+    h.finish()
+}
+
+impl DecisionCache {
+    /// Look up the cached plan for `(table, segment, fingerprint)`. A hit
+    /// requires the segment's deleted-row count to match what the plan was
+    /// sampled under; entries that mismatch are dropped (the caller will
+    /// re-plan and re-insert).
+    pub fn get(
+        &self,
+        table: usize,
+        segment: u64,
+        fingerprint: u64,
+        deleted: usize,
+    ) -> Option<Vec<PlannedClause>> {
+        let key = Key { table, segment, fingerprint };
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.map.get(&key) {
+            Some(e) if e.deleted == deleted => {
+                s2_obs::counter!("exec.scan.decision_cache_hits").inc();
+                Some(e.plan.clone())
+            }
+            Some(_) => {
+                inner.map.remove(&key);
+                s2_obs::counter!("exec.scan.decision_cache_invalidations").inc();
+                s2_obs::counter!("exec.scan.decision_cache_misses").inc();
+                None
+            }
+            None => {
+                s2_obs::counter!("exec.scan.decision_cache_misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly sampled plan.
+    pub fn put(
+        &self,
+        table: usize,
+        segment: u64,
+        fingerprint: u64,
+        deleted: usize,
+        plan: Vec<PlannedClause>,
+    ) {
+        let key = Key { table, segment, fingerprint };
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        inner.map.insert(key, Entry { plan, deleted, epoch });
+        if inner.map.len() > CAPACITY {
+            // Evict the older half so merged-away segments age out.
+            let mut epochs: Vec<u64> = inner.map.values().map(|e| e.epoch).collect();
+            epochs.sort_unstable();
+            let cutoff = epochs[epochs.len() / 2];
+            let before = inner.map.len();
+            inner.map.retain(|_, e| e.epoch > cutoff);
+            let evicted = (before - inner.map.len()) as u64;
+            s2_obs::counter!("exec.scan.decision_cache_evictions").add(evicted);
+        }
+        s2_obs::gauge!("exec.scan.decision_cache_entries").set(inner.map.len() as i64);
+    }
+
+    /// Drop every entry for `table` (table drop / tests).
+    pub fn invalidate_table(&self, table: usize) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.map.retain(|k, _| k.table != table);
+    }
+
+    /// Entry count (tests, metrics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_matching_delete_count() {
+        let c = DecisionCache::default();
+        let plan = vec![PlannedClause { idx: 0, encoded: false, selectivity: 0.5 }];
+        c.put(1, 10, 99, 0, plan.clone());
+        assert_eq!(c.get(1, 10, 99, 0), Some(plan));
+        assert_eq!(c.get(1, 10, 99, 3), None, "delete-count change invalidates");
+        assert_eq!(c.get(1, 10, 99, 0), None, "invalidation removed the entry");
+    }
+
+    #[test]
+    fn keys_distinguish_table_segment_filter() {
+        let c = DecisionCache::default();
+        let plan = vec![PlannedClause { idx: 1, encoded: true, selectivity: 0.1 }];
+        c.put(1, 10, 99, 0, plan.clone());
+        assert!(c.get(2, 10, 99, 0).is_none());
+        assert!(c.get(1, 11, 99, 0).is_none());
+        assert!(c.get(1, 10, 98, 0).is_none());
+        assert_eq!(c.get(1, 10, 99, 0), Some(plan));
+    }
+
+    #[test]
+    fn capacity_sweep_evicts_oldest() {
+        let c = DecisionCache::default();
+        for i in 0..(CAPACITY as u64 + 1) {
+            c.put(1, i, 0, 0, Vec::new());
+        }
+        assert!(c.len() <= CAPACITY / 2 + 1);
+        // The newest entry survives the sweep.
+        assert!(c.get(1, CAPACITY as u64, 0, 0).is_some());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_filters() {
+        let a = fingerprint(&[Expr::eq(0, 1i64)], true, 1024);
+        let b = fingerprint(&[Expr::eq(0, 2i64)], true, 1024);
+        let c = fingerprint(&[Expr::eq(0, 1i64)], false, 1024);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, fingerprint(&[Expr::eq(0, 1i64)], true, 1024));
+    }
+}

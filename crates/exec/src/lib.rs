@@ -1,14 +1,20 @@
 //! Vectorized, adaptive query execution over unified table storage
-//! (paper §5): expressions, column batches, the adaptive table scan
-//! (segment skipping, filter-strategy selection, dynamic clause reordering)
-//! and relational kernels (hash join, aggregation, sort).
+//! (paper §5): expressions, column batches, the morsel-parallel adaptive
+//! table scan (segment skipping, filter-strategy selection, dynamic clause
+//! reordering, cached per-segment decisions) and relational kernels
+//! (hash join, aggregation, sort). Parallel work runs on the process-wide
+//! work-stealing [`pool::ScanPool`].
 
 pub mod batch;
+pub mod cache;
 pub mod expr;
 pub mod kernels;
+pub mod pool;
 pub mod scan;
 
 pub use batch::Batch;
+pub use cache::DecisionCache;
 pub use expr::{like_match, ArithOp, CmpOp, Expr};
 pub use kernels::{hash_aggregate, hash_join, sort_batch, AggFunc, Aggregate, JoinType, SortDir};
+pub use pool::{effective_threads, ScanPool};
 pub use scan::{scan, ScanOptions, ScanStats};

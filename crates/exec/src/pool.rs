@@ -1,0 +1,288 @@
+//! Morsel-driven parallel execution: a process-wide worker pool.
+//!
+//! The executor parallelizes work the way HyPer's morsel-driven model does:
+//! a query breaks into small self-contained tasks ("morsels" — here one
+//! columnstore segment, or one partition snapshot at the aggregator), the
+//! tasks go into per-worker queues, and idle workers *steal* from their
+//! peers so a skewed segment-size distribution cannot strand cores. The
+//! calling thread participates too — it drains queues while waiting — which
+//! keeps a 1-thread configuration strictly serial (zero pool overhead, no
+//! cross-thread handoff) and makes nested `run` calls (a partition-level
+//! task fanning its segments out) deadlock-free: a caller blocked on its
+//! own morsels executes queued work instead of sleeping.
+//!
+//! The pool is lazily initialized and sized by `S2_SCAN_THREADS` (env),
+//! falling back to `std::thread::available_parallelism`. Workers are
+//! spawned on demand up to the requested size and live for the process;
+//! they sleep on a condvar when no work is queued.
+//!
+//! Determinism: `run` returns results **in input order** regardless of
+//! which thread executed what, so scan output is byte-identical across
+//! thread counts.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard ceiling on pool threads (queue slots are allocated up front).
+pub const MAX_THREADS: usize = 32;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One deque per potential worker. Submission round-robins over the
+    /// spawned prefix; everyone steals from everyone.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep lock + condvar for idle workers.
+    idle: Mutex<()>,
+    ready: Condvar,
+    /// Jobs queued but not yet picked up (wakeup check).
+    pending: AtomicUsize,
+    /// Workers actually spawned.
+    spawned: AtomicUsize,
+}
+
+impl Shared {
+    /// Pop a job: `own` queue front first (FIFO for cache locality), then
+    /// steal from peers' backs. `own == usize::MAX` for submitting callers,
+    /// which have no home queue; their pops are not counted as steals.
+    fn pop(&self, own: usize) -> Option<Job> {
+        if own != usize::MAX {
+            if let Some(job) =
+                self.queues[own].lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+            {
+                self.note_pop();
+                return Some(job);
+            }
+        }
+        let slots = self.spawned.load(Ordering::Acquire).max(1);
+        for k in 0..slots {
+            if k == own {
+                continue;
+            }
+            if let Some(job) = self.queues[k].lock().unwrap_or_else(|e| e.into_inner()).pop_back() {
+                self.note_pop();
+                if own != usize::MAX {
+                    s2_obs::counter!("exec.pool.steals").inc();
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn note_pop(&self) {
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+        s2_obs::gauge!("exec.pool.queue_depth").dec();
+    }
+}
+
+/// The shared scan worker pool. Use [`ScanPool::global`].
+pub struct ScanPool {
+    shared: Arc<Shared>,
+    /// Round-robin submission cursor.
+    next: AtomicUsize,
+    /// Guards worker spawning.
+    grow: Mutex<()>,
+}
+
+impl ScanPool {
+    fn new() -> ScanPool {
+        ScanPool {
+            shared: Arc::new(Shared {
+                queues: (0..MAX_THREADS).map(|_| Mutex::new(VecDeque::new())).collect(),
+                idle: Mutex::new(()),
+                ready: Condvar::new(),
+                pending: AtomicUsize::new(0),
+                spawned: AtomicUsize::new(0),
+            }),
+            next: AtomicUsize::new(0),
+            grow: Mutex::new(()),
+        }
+    }
+
+    /// The process-wide pool.
+    pub fn global() -> &'static ScanPool {
+        static POOL: OnceLock<ScanPool> = OnceLock::new();
+        POOL.get_or_init(ScanPool::new)
+    }
+
+    /// Workers currently spawned (excluding participating callers).
+    pub fn workers(&self) -> usize {
+        self.shared.spawned.load(Ordering::Acquire)
+    }
+
+    /// Spawn workers until at least `target` exist (capped at [`MAX_THREADS`]).
+    fn ensure_workers(&self, target: usize) {
+        let target = target.min(MAX_THREADS);
+        if self.workers() >= target {
+            return;
+        }
+        let _g = self.grow.lock().unwrap_or_else(|e| e.into_inner());
+        while self.shared.spawned.load(Ordering::Acquire) < target {
+            let id = self.shared.spawned.load(Ordering::Acquire);
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("s2-scan-{id}"))
+                .spawn(move || worker_loop(shared, id))
+                .expect("spawn scan worker");
+            self.shared.spawned.fetch_add(1, Ordering::Release);
+            s2_obs::gauge!("exec.pool.workers").inc();
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let slots = self.workers().max(1);
+        let q = self.next.fetch_add(1, Ordering::Relaxed) % slots;
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        s2_obs::gauge!("exec.pool.queue_depth").inc();
+        self.shared.queues[q].lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        // Take the sleep lock so a worker between its pending-check and its
+        // wait cannot miss this notification.
+        let _g = self.shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+        self.shared.ready.notify_one();
+    }
+
+    /// Execute `f` over `items` with up to `threads` executing threads (the
+    /// caller counts as one), returning results in input order. `threads <=
+    /// 1` or a single item short-circuits to a serial loop with no pool
+    /// involvement at all.
+    ///
+    /// Panics in `f` are forwarded to the caller after every item finished
+    /// or was drained.
+    pub fn run<I, T, F>(&self, threads: usize, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+        F: Fn(I) -> T + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        self.ensure_workers(threads - 1);
+        s2_obs::counter!("exec.pool.runs").inc();
+        let f = Arc::new(f);
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        for (idx, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.submit(Box::new(move || {
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(item)));
+                s2_obs::counter!("exec.pool.morsels").inc();
+                let _ = tx.send((idx, out));
+            }));
+        }
+        drop(tx);
+        // Participate: execute queued morsels (ours or anyone's) instead of
+        // blocking, then wait for the stragglers running on workers.
+        let mut results: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
+        let mut got = 0;
+        while got < n {
+            if let Some(job) = self.shared.pop(usize::MAX) {
+                s2_obs::counter!("exec.pool.caller_morsels").inc();
+                job();
+                while let Ok((idx, r)) = rx.try_recv() {
+                    results[idx] = Some(r);
+                    got += 1;
+                }
+            } else {
+                let (idx, r) = rx.recv().expect("scan pool result channel");
+                results[idx] = Some(r);
+                got += 1;
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| match r.expect("all results collected") {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, id: usize) {
+    loop {
+        if let Some(job) = shared.pop(id) {
+            s2_obs::counter!("exec.pool.morsels").inc();
+            job();
+            continue;
+        }
+        let guard = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+        if shared.pending.load(Ordering::Acquire) > 0 {
+            continue; // raced with a submit; retry the queues
+        }
+        // Timed wait so a missed wakeup can only ever cost one tick.
+        let _ = shared.ready.wait_timeout(guard, Duration::from_millis(50));
+    }
+}
+
+/// Resolve a thread-count request: an explicit `requested > 0` wins,
+/// otherwise `S2_SCAN_THREADS`, otherwise the host's available parallelism.
+/// Always at least 1, at most [`MAX_THREADS`].
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested.clamp(1, MAX_THREADS);
+    }
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("S2_SCAN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .clamp(1, MAX_THREADS)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_when_one_thread() {
+        let out = ScanPool::global().run(1, vec![1, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(ScanPool::global().run(8, vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_preserves_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = ScanPool::global().run(8, items.clone(), |x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        assert!(ScanPool::global().workers() >= 1);
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock() {
+        let out = ScanPool::global().run(4, (0u64..8).collect(), |x| {
+            ScanPool::global().run(4, (0u64..8).collect(), move |y| x * 8 + y).iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8).map(|x| (0..8).map(|y| x * 8 + y).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let res = std::panic::catch_unwind(|| {
+            ScanPool::global().run(4, vec![0, 1, 2], |x| {
+                if x == 1 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn effective_thread_resolution() {
+        assert_eq!(effective_threads(3), 3);
+        assert_eq!(effective_threads(10_000), MAX_THREADS);
+        assert!(effective_threads(0) >= 1);
+    }
+}

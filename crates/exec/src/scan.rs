@@ -1,4 +1,4 @@
-//! The adaptive table scan (paper §5).
+//! The adaptive table scan (paper §5), morsel-parallel.
 //!
 //! Data access has three steps: (1) find the segments to read — global
 //! secondary-index probes first, then min/max metadata elimination (§5.1);
@@ -7,16 +7,28 @@
 //! filters, and dynamically reordering clauses by `(1 - P) / cost` measured
 //! on a sample (§5.2); (3) selectively decode only the projected columns for
 //! the rows that survived (late materialization).
+//!
+//! Parallelism: step (1) and the per-segment *skip* checks run on the
+//! calling thread (they are cheap and their order defines the stats), then
+//! each surviving segment becomes one morsel on the shared [`crate::pool`]
+//! — filtered, decoded and materialized independently — and the fragments
+//! are reassembled **in segment order**, so results are byte-identical at
+//! every thread count. Rowstore (L0) rows are always handled on the calling
+//! thread: OLTP point reads never touch the pool. The §5.2 sampling pass is
+//! amortized by the per-segment [`crate::cache`] of planning decisions.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use s2_common::{DataType, Result, Row, Value};
-use s2_core::TableSnapshot;
+use s2_core::{SegmentSnap, TableSnapshot};
 use s2_encoding::ColumnVector;
 
 use crate::batch::Batch;
+use crate::cache::{self, PlannedClause};
 use crate::expr::Expr;
+use crate::pool::{self, ScanPool};
 
 /// Knobs controlling the adaptive machinery — each maps to an ablation bench.
 #[derive(Debug, Clone)]
@@ -33,6 +45,13 @@ pub struct ScanOptions {
     /// (paper §5.1: "dynamically disables the use of a secondary index if
     /// the number of keys to look up is too high relative to the table size").
     pub index_key_divisor: usize,
+    /// Executing threads for segment morsels and partition fan-out
+    /// (0 = `S2_SCAN_THREADS` env, falling back to available parallelism;
+    /// 1 = strictly serial on the calling thread).
+    pub threads: usize,
+    /// Reuse cached per-segment planning decisions (clause order + filter
+    /// strategy) instead of re-sampling on every scan.
+    pub decision_cache: bool,
 }
 
 impl Default for ScanOptions {
@@ -43,12 +62,14 @@ impl Default for ScanOptions {
             adaptive_reorder: true,
             sample_rows: 1024,
             index_key_divisor: 64,
+            threads: 0,
+            decision_cache: true,
         }
     }
 }
 
 /// Counters describing what a scan actually did.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ScanStats {
     /// Segments in the snapshot.
     pub segments_total: usize,
@@ -67,6 +88,35 @@ pub struct ScanStats {
     pub group_filters: usize,
     /// Rows emitted.
     pub rows_output: usize,
+    /// Segments whose §5.2 planning pass was answered from the decision
+    /// cache (no sampling).
+    pub decision_cache_hits: usize,
+    /// Segments that had to run the sampling pass.
+    pub decision_cache_misses: usize,
+}
+
+impl ScanStats {
+    /// Fold another stats block into this one (per-worker fragments, and
+    /// per-scan aggregation in the query executor).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.segments_total += other.segments_total;
+        self.segments_skipped_index += other.segments_skipped_index;
+        self.segments_skipped_minmax += other.segments_skipped_minmax;
+        self.index_filters += other.index_filters;
+        self.encoded_filters += other.encoded_filters;
+        self.regular_filters += other.regular_filters;
+        self.group_filters += other.group_filters;
+        self.rows_output += other.rows_output;
+        self.decision_cache_hits += other.decision_cache_hits;
+        self.decision_cache_misses += other.decision_cache_misses;
+    }
+}
+
+/// One queued segment morsel: the segment (cheap `Arc` clones) plus the
+/// initial selection the caller-side skip checks produced.
+struct SegMorsel {
+    seg: SegmentSnap,
+    sel: Option<Vec<u32>>,
 }
 
 /// Scan `snapshot`, returning the projected columns of rows passing `filter`.
@@ -150,14 +200,13 @@ pub fn scan(
     let ranges: Vec<(usize, Option<Value>, Option<Value>)> =
         conjuncts.iter().filter_map(Expr::as_column_range).collect();
 
-    // ---- per-segment filtering ------------------------------------------
-    let mut out_batches: Vec<Batch> = Vec::new();
-
+    // ---- per-segment skip checks (caller thread) ------------------------
     // Map segment id -> probed rows when an index probe ran.
     let probed_rows: Option<HashMap<u64, Vec<u32>>> = probe_result
         .as_ref()
         .map(|p| p.segments.iter().map(|(core, rows)| (core.meta.id, rows.clone())).collect());
 
+    let mut morsels: Vec<SegMorsel> = Vec::new();
     for seg in &snapshot.segments {
         let meta = &seg.core.meta;
         // Index skipping: a probe that didn't return this segment rules it out.
@@ -197,23 +246,38 @@ pub fn scan(
         if sel.as_ref().is_some_and(Vec::is_empty) {
             continue;
         }
-
-        let sel = apply_clauses(seg, &residual, sel, opts, &mut stats)?;
-        if sel.as_ref().is_some_and(Vec::is_empty) {
-            continue;
-        }
-        let n_out = sel.as_ref().map_or(meta.row_count, Vec::len);
-        stats.rows_output += n_out;
-
-        // Step 3: late materialization of the projection.
-        let mut cols = Vec::with_capacity(projection.len());
-        for &c in projection {
-            cols.push(seg.core.reader.column(c)?.decode_vector(sel.as_deref())?);
-        }
-        out_batches.push(Batch::new(cols));
+        morsels.push(SegMorsel { seg: seg.clone(), sel });
     }
 
-    // ---- rowstore level ---------------------------------------------------
+    // ---- per-segment filtering + materialization (morsel-parallel) ------
+    // The table's Arc address keys the decision cache (segment ids repeat
+    // across tables).
+    let table_key = Arc::as_ptr(&snapshot.table) as usize;
+    let threads = pool::effective_threads(opts.threads);
+    let fragments: Vec<Result<(Option<Batch>, ScanStats)>> = if threads > 1 && morsels.len() > 1 {
+        let shared = Arc::new((residual.clone(), opts.clone(), projection.to_vec()));
+        ScanPool::global().run(threads, morsels, move |m| {
+            let (residual, opts, projection) = &*shared;
+            scan_segment(&m.seg, m.sel, residual, opts, projection, table_key)
+        })
+    } else {
+        morsels
+            .into_iter()
+            .map(|m| scan_segment(&m.seg, m.sel, &residual, opts, projection, table_key))
+            .collect()
+    };
+
+    // Deterministic reassembly: fragments arrive in segment order.
+    let mut out_batches: Vec<Batch> = Vec::new();
+    for fragment in fragments {
+        let (batch, frag_stats) = fragment?;
+        stats.merge(&frag_stats);
+        if let Some(batch) = batch {
+            out_batches.push(batch);
+        }
+    }
+
+    // ---- rowstore level (always on the calling thread) -------------------
     let rowstore_rows: Vec<Row> = match &probe_result {
         Some(p) => p.rowstore.iter().map(|(_, r)| r.clone()).collect(),
         None => snapshot.rowstore_rows().iter().map(|(_, r)| r.clone()).collect(),
@@ -257,9 +321,36 @@ pub fn scan(
     Ok((result, stats))
 }
 
+/// Filter and materialize one segment morsel. Runs on any pool thread; all
+/// state it touches is shared immutable (`Arc`) data.
+fn scan_segment(
+    seg: &SegmentSnap,
+    sel: Option<Vec<u32>>,
+    residual: &[Expr],
+    opts: &ScanOptions,
+    projection: &[usize],
+    table_key: usize,
+) -> Result<(Option<Batch>, ScanStats)> {
+    let mut stats = ScanStats::default();
+    let sel = apply_clauses(seg, residual, sel, opts, &mut stats, table_key)?;
+    if sel.as_ref().is_some_and(Vec::is_empty) {
+        return Ok((None, stats));
+    }
+    let n_out = sel.as_ref().map_or(seg.core.meta.row_count, Vec::len);
+    stats.rows_output += n_out;
+
+    // Step 3: late materialization of the projection.
+    let mut cols = Vec::with_capacity(projection.len());
+    for &c in projection {
+        cols.push(seg.core.reader.column(c)?.decode_vector(sel.as_deref())?);
+    }
+    Ok((Some(Batch::new(cols)), stats))
+}
+
 /// Fold one scan's [`ScanStats`] into the global metrics registry, so
 /// aggregate skip rates and filter-strategy choices are visible in a metrics
-/// snapshot without threading per-query stats around.
+/// snapshot without threading per-query stats around. (Decision-cache
+/// hit/miss counters are recorded at the cache itself.)
 fn record_scan_stats(stats: &ScanStats) {
     s2_obs::counter!("exec.scan.scans").inc();
     s2_obs::counter!("exec.scan.segments_total").add(stats.segments_total as u64);
@@ -304,78 +395,111 @@ impl ProbeAccum {
 }
 
 /// Evaluate residual clauses over one segment with per-segment strategy
-/// choice and adaptive ordering.
+/// choice and adaptive ordering. The plan (clause order, per-clause
+/// strategy, sampled selectivities) is remembered in the decision cache so
+/// a repeated query skips the sampling pass.
 fn apply_clauses(
-    seg: &s2_core::SegmentSnap,
+    seg: &SegmentSnap,
     residual: &[Expr],
     mut sel: Option<Vec<u32>>,
     opts: &ScanOptions,
     stats: &mut ScanStats,
+    table_key: usize,
 ) -> Result<Option<Vec<u32>>> {
     if residual.is_empty() {
         return Ok(sel);
     }
     let seg_rows = seg.core.meta.row_count;
     let sel_len = |sel: &Option<Vec<u32>>| sel.as_ref().map_or(seg_rows, Vec::len);
-    // Plan: measure each clause on a sample of the current selection.
-    struct Planned {
-        idx: usize,
-        encoded: bool,
-        priority: f64,
-        selectivity: f64,
-    }
-    let mut planned: Vec<Planned> = Vec::with_capacity(residual.len());
-    let sample: Vec<u32> = match &sel {
-        Some(s) => s.iter().copied().take(opts.sample_rows.max(16)).collect(),
-        None => (0..seg_rows.min(opts.sample_rows.max(16)) as u32).collect(),
+
+    // Cache lookup: only adaptive plans are cached (non-adaptive planning
+    // does no sampling, so there is nothing worth remembering).
+    let use_cache = opts.decision_cache && opts.adaptive_reorder;
+    let fp = cache::fingerprint(residual, opts.use_encoded, opts.sample_rows);
+    let deleted = seg.deleted.count_ones();
+    let cached: Option<Vec<PlannedClause>> = if use_cache {
+        cache::global().get(table_key, seg.core.meta.id, fp, deleted)
+    } else {
+        None
     };
-    for (idx, clause) in residual.iter().enumerate() {
-        let cols = clause.referenced_columns();
-        let single = cols.len() == 1;
-        // Encoded execution pays a fixed cost proportional to the compressed
-        // domain (dictionary entries / runs) and then near-zero per row; it
-        // wins when the domain is small relative to the rows under
-        // consideration (paper §5.2: "ideal with a small set of possible
-        // values ... worse if the dictionary size is greater than the number
-        // of rows that passed the previous filters").
-        let can_encode = opts.use_encoded && single && {
-            let reader = seg.core.reader.column(cols[0])?;
-            reader.encoding().supports_encoded_execution()
-                && reader
-                    .encoded_domain_size()
-                    .is_some_and(|domain| domain * 4 <= sel_len(&sel).max(1))
-        };
-        if !opts.adaptive_reorder {
-            planned.push(Planned { idx, encoded: can_encode, priority: 0.0, selectivity: 0.5 });
-            continue;
-        }
-        // Time the chosen strategy on a prefix sample to estimate cost and
-        // selectivity; clauses are then ordered by `(1-P)/cost` (the paper's
-        // per-segment costing, §5.2). The cost in the formula is the
-        // *projected full-selection* cost: a regular filter scales linearly
-        // with rows, while an encoded filter's cost is dominated by the
-        // fixed pass over its compressed domain, which the sample already
-        // paid in full.
-        let t0 = Instant::now();
-        let out = if can_encode {
-            eval_encoded(seg, clause, cols[0], Some(&sample))?
+    if use_cache {
+        if cached.is_some() {
+            stats.decision_cache_hits += 1;
         } else {
-            eval_regular(seg, clause, &cols, Some(&sample))?
-        };
-        let sample_cost = t0.elapsed().as_nanos() as f64;
-        let scale = sel_len(&sel).max(1) as f64 / sample.len().max(1) as f64;
-        let est_total_cost = if can_encode { sample_cost } else { sample_cost * scale };
-        let selectivity = out.len() as f64 / sample.len().max(1) as f64;
-        planned.push(Planned {
-            idx,
-            encoded: can_encode,
-            priority: (1.0 - selectivity) / est_total_cost.max(1.0),
-            selectivity,
-        });
+            stats.decision_cache_misses += 1;
+        }
     }
-    if opts.adaptive_reorder {
-        planned.sort_by(|a, b| b.priority.total_cmp(&a.priority));
-    }
+
+    let planned: Vec<PlannedClause> = match cached {
+        Some(plan) => plan,
+        None => {
+            // Plan: measure each clause on a sample of the current selection.
+            struct Costed {
+                clause: PlannedClause,
+                priority: f64,
+            }
+            let mut costed: Vec<Costed> = Vec::with_capacity(residual.len());
+            let sample: Vec<u32> = match &sel {
+                Some(s) => s.iter().copied().take(opts.sample_rows.max(16)).collect(),
+                None => (0..seg_rows.min(opts.sample_rows.max(16)) as u32).collect(),
+            };
+            for (idx, clause) in residual.iter().enumerate() {
+                let cols = clause.referenced_columns();
+                let single = cols.len() == 1;
+                // Encoded execution pays a fixed cost proportional to the
+                // compressed domain (dictionary entries / runs) and then
+                // near-zero per row; it wins when the domain is small relative
+                // to the rows under consideration (paper §5.2: "ideal with a
+                // small set of possible values ... worse if the dictionary
+                // size is greater than the number of rows that passed the
+                // previous filters").
+                let can_encode = opts.use_encoded && single && {
+                    let reader = seg.core.reader.column(cols[0])?;
+                    reader.encoding().supports_encoded_execution()
+                        && reader
+                            .encoded_domain_size()
+                            .is_some_and(|domain| domain * 4 <= sel_len(&sel).max(1))
+                };
+                if !opts.adaptive_reorder {
+                    costed.push(Costed {
+                        clause: PlannedClause { idx, encoded: can_encode, selectivity: 0.5 },
+                        priority: 0.0,
+                    });
+                    continue;
+                }
+                // Time the chosen strategy on a prefix sample to estimate cost
+                // and selectivity; clauses are then ordered by `(1-P)/cost`
+                // (the paper's per-segment costing, §5.2). The cost in the
+                // formula is the *projected full-selection* cost: a regular
+                // filter scales linearly with rows, while an encoded filter's
+                // cost is dominated by the fixed pass over its compressed
+                // domain, which the sample already paid in full.
+                let t0 = Instant::now();
+                let out = if can_encode {
+                    eval_encoded(seg, clause, cols[0], Some(&sample))?
+                } else {
+                    eval_regular(seg, clause, &cols, Some(&sample))?
+                };
+                let sample_cost = t0.elapsed().as_nanos() as f64;
+                let scale = sel_len(&sel).max(1) as f64 / sample.len().max(1) as f64;
+                let est_total_cost = if can_encode { sample_cost } else { sample_cost * scale };
+                let selectivity = out.len() as f64 / sample.len().max(1) as f64;
+                costed.push(Costed {
+                    clause: PlannedClause { idx, encoded: can_encode, selectivity },
+                    priority: (1.0 - selectivity) / est_total_cost.max(1.0),
+                });
+            }
+            if opts.adaptive_reorder {
+                costed.sort_by(|a, b| b.priority.total_cmp(&a.priority));
+            }
+            let plan: Vec<PlannedClause> = costed.into_iter().map(|c| c.clause).collect();
+            if use_cache {
+                cache::global().put(table_key, seg.core.meta.id, fp, deleted, plan.clone());
+            }
+            plan
+        }
+    };
+
     // Group filter (paper §5.2's fourth strategy): when adjacent clauses in
     // the chosen order are all non-selective ("most rows pass each individual
     // filter clause"), evaluating them together on the decoded columns avoids
@@ -428,7 +552,7 @@ fn apply_clauses(
 /// Regular filter: decode the clause's columns for the selected rows, then
 /// evaluate the predicate on the decoded values.
 fn eval_regular(
-    seg: &s2_core::SegmentSnap,
+    seg: &SegmentSnap,
     clause: &Expr,
     cols: &[usize],
     sel: Option<&[u32]>,
@@ -450,7 +574,7 @@ fn eval_regular(
 /// Encoded filter: evaluate the predicate on the compressed domain
 /// (dictionary entries / runs) without decoding (paper §5.2).
 fn eval_encoded(
-    seg: &s2_core::SegmentSnap,
+    seg: &SegmentSnap,
     clause: &Expr,
     col: usize,
     sel: Option<&[u32]>,
@@ -665,5 +789,22 @@ mod tests {
             }
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let (p, t) = setup();
+        let snap = p.read_snapshot();
+        let f = Expr::cmp(2, crate::expr::CmpOp::Lt, 260.0);
+        let mut rendered = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let opts = ScanOptions { threads, ..Default::default() };
+            let (batch, _) = scan(snap.table(t).unwrap(), &[0, 1, 2], Some(&f), &opts).unwrap();
+            let rows: Vec<String> =
+                (0..batch.rows()).map(|i| format!("{:?}", batch.row(i))).collect();
+            rendered.push(rows);
+        }
+        assert!(rendered.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(rendered[0].len(), 260);
     }
 }

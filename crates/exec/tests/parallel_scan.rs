@@ -1,0 +1,280 @@
+//! Parallel-scan equivalence and adaptive-decision-cache behaviour.
+//!
+//! The morsel executor must be invisible in results: any thread count
+//! produces the identical batch (fragments reassemble in segment order) and
+//! — once the decision cache is warm, so the sampled plan is shared — the
+//! identical merged [`ScanStats`]. The cache itself must be observably hit
+//! on a repeated scan and observably missed after a columnstore merge
+//! rewrites segments under new ids, and after deletes change a segment's
+//! visible row set.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_core::{MemFileStore, Partition};
+use s2_exec::expr::CmpOp;
+use s2_exec::{scan, Batch, Expr, ScanOptions, ScanStats};
+use s2_wal::Log;
+
+/// Deterministic splitmix64 for seed-derived table shapes.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Build a partition with a multi-segment table derived from `seed`:
+/// several flushed batches (small segments), randomized deletes, and a
+/// rowstore tail that never hits the pool.
+fn build_table(seed: u64) -> (Arc<Partition>, u32) {
+    let mut rng = seed;
+    let p = Partition::new("pp", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("grp", DataType::Str),
+        ColumnDef::new("amount", DataType::Double),
+    ])
+    .unwrap();
+    let opts = TableOptions::new()
+        .with_sort_key(vec![0])
+        .with_unique("pk", vec![0])
+        .with_index("by_grp", vec![1])
+        .with_segment_rows(32 + (next(&mut rng) % 48) as usize);
+    let t = p.create_table("rt", schema, opts).unwrap();
+    let batches = 3 + (next(&mut rng) % 3) as i64; // 3..=5 flushed batches
+    let per_batch = 40 + (next(&mut rng) % 60) as i64;
+    let mut id = 0i64;
+    for _ in 0..batches {
+        let mut txn = p.begin();
+        for _ in 0..per_batch {
+            txn.insert(
+                t,
+                Row::new(vec![
+                    Value::Int(id),
+                    Value::str(["a", "b", "c", "d", "e"][(next(&mut rng) % 5) as usize]),
+                    Value::Double((next(&mut rng) % 1000) as f64),
+                ]),
+            )
+            .unwrap();
+            id += 1;
+        }
+        txn.commit().unwrap();
+        p.flush_table(t, true).unwrap();
+    }
+    // Randomized deletes across the flushed segments.
+    let deletes = next(&mut rng) % (id as u64 / 4).max(1);
+    let mut txn = p.begin();
+    for _ in 0..deletes {
+        let victim = (next(&mut rng) % id as u64) as i64;
+        let _ = txn.delete_unique(t, &[Value::Int(victim)]).unwrap();
+    }
+    txn.commit().unwrap();
+    // Rowstore tail (stays on the calling thread).
+    let mut txn = p.begin();
+    for _ in 0..(next(&mut rng) % 30) {
+        txn.insert(
+            t,
+            Row::new(vec![
+                Value::Int(id),
+                Value::str("tail"),
+                Value::Double((next(&mut rng) % 1000) as f64),
+            ]),
+        )
+        .unwrap();
+        id += 1;
+    }
+    txn.commit().unwrap();
+    (p, t)
+}
+
+/// Render a batch as a sorted multiset of row strings.
+fn sorted_rows(b: &Batch) -> Vec<String> {
+    let mut rows: Vec<String> = (0..b.rows()).map(|i| format!("{:?}", b.row(i))).collect();
+    rows.sort();
+    rows
+}
+
+fn opts_with_threads(threads: usize) -> ScanOptions {
+    ScanOptions { threads, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite: `S2_SCAN_THREADS=1` and `=8` equivalents (explicit
+    /// `threads` option) must produce identical sorted result sets and
+    /// identical merged skip/filter counters on randomized multi-segment
+    /// tables with deletes.
+    #[test]
+    fn one_and_eight_threads_agree(seed in any::<u64>()) {
+        let (p, t) = build_table(seed);
+        let snap = p.read_snapshot();
+        let ts = snap.table(t).unwrap();
+        let filters: Vec<Option<Expr>> = vec![
+            None,
+            Some(Expr::cmp(2, CmpOp::Lt, 500.0)),
+            Some(Expr::eq(1, "b")),
+            // Two non-selective clauses: exercises group-filter formation.
+            Some(Expr::cmp(2, CmpOp::Ge, 1.0).and(Expr::cmp(0, CmpOp::Ge, 1i64))),
+            // Index probe + residual.
+            Some(Expr::eq(1, "c").and(Expr::cmp(2, CmpOp::Lt, 800.0))),
+        ];
+        for filter in &filters {
+            // Warm the decision cache so serial and parallel runs replay the
+            // same sampled plan (the sampling pass itself is timing-driven).
+            scan(ts, &[0, 1, 2], filter.as_ref(), &opts_with_threads(1)).unwrap();
+            let (b1, s1) = scan(ts, &[0, 1, 2], filter.as_ref(), &opts_with_threads(1)).unwrap();
+            let (b8, s8) = scan(ts, &[0, 1, 2], filter.as_ref(), &opts_with_threads(8)).unwrap();
+            // Parallel reassembly is in segment order: results are not just
+            // set-equal but byte-identical.
+            prop_assert_eq!(b1.rows(), b8.rows(), "filter {:?}", filter);
+            for i in 0..b1.rows() {
+                prop_assert_eq!(format!("{:?}", b1.row(i)), format!("{:?}", b8.row(i)));
+            }
+            prop_assert_eq!(sorted_rows(&b1), sorted_rows(&b8));
+            let (mut m1, mut m8) = (ScanStats::default(), ScanStats::default());
+            m1.merge(&s1);
+            m8.merge(&s8);
+            prop_assert_eq!(m1, m8, "filter {:?}", filter);
+        }
+    }
+}
+
+#[test]
+fn thread_count_sweep_is_deterministic() {
+    let (p, t) = build_table(0xfeed);
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+    let f = Expr::cmp(2, CmpOp::Lt, 750.0);
+    let baseline = scan(ts, &[0, 1, 2], Some(&f), &opts_with_threads(1)).unwrap().0;
+    for threads in [2usize, 3, 4, 8, 16] {
+        let (b, _) = scan(ts, &[0, 1, 2], Some(&f), &opts_with_threads(threads)).unwrap();
+        assert_eq!(sorted_rows(&baseline), sorted_rows(&b), "threads={threads}");
+    }
+}
+
+/// Satellite: cached clause order is used on the second scan (observable
+/// via per-scan stats *and* the global obs counters) and invalidated after
+/// a columnstore merge rewrites the segments.
+#[test]
+fn decision_cache_hits_then_merge_invalidates() {
+    let p = Partition::new("pc", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("grp", DataType::Str),
+        ColumnDef::new("amount", DataType::Double),
+    ])
+    .unwrap();
+    let topts =
+        TableOptions::new().with_sort_key(vec![0]).with_unique("pk", vec![0]).with_segment_rows(50);
+    let t = p.create_table("ct", schema, topts).unwrap();
+    // 5 flushed runs so the default merge policy (max_runs = 4) has work.
+    for batch in 0..5i64 {
+        let mut txn = p.begin();
+        for i in 0..50i64 {
+            let id = batch * 50 + i;
+            txn.insert(
+                t,
+                Row::new(vec![
+                    Value::Int(id),
+                    Value::str(["x", "y"][(id % 2) as usize]),
+                    Value::Double(id as f64),
+                ]),
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        p.flush_table(t, true).unwrap();
+    }
+    // A residual-only filter with literals unique to this test, so the cache
+    // key cannot alias another test's entries.
+    let f = Expr::cmp(2, CmpOp::Ge, 17.25).and(Expr::cmp(2, CmpOp::Lt, 231.75));
+    let opts = opts_with_threads(1);
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+
+    let obs_hits_before = s2_obs::global().snapshot().counter("exec.scan.decision_cache_hits");
+    let (_, cold) = scan(ts, &[0, 2], Some(&f), &opts).unwrap();
+    assert!(cold.decision_cache_misses > 0, "{cold:?}");
+    assert_eq!(cold.decision_cache_hits, 0, "{cold:?}");
+
+    let (_, warm) = scan(ts, &[0, 2], Some(&f), &opts).unwrap();
+    assert_eq!(warm.decision_cache_misses, 0, "{warm:?}");
+    assert_eq!(warm.decision_cache_hits, cold.decision_cache_misses, "{warm:?}");
+    let obs_hits_after = s2_obs::global().snapshot().counter("exec.scan.decision_cache_hits");
+    assert!(
+        obs_hits_after >= obs_hits_before + warm.decision_cache_hits as u64,
+        "global counter must reflect the hits: {obs_hits_before} -> {obs_hits_after}"
+    );
+
+    // Merge rewrites data into new segment ids -> the cached decisions can
+    // no longer be reached.
+    let mut merged = false;
+    while p.merge_table(t).unwrap() {
+        merged = true;
+    }
+    assert!(merged, "expected at least one merge with 5 runs");
+    let snap2 = p.read_snapshot();
+    let ts2 = snap2.table(t).unwrap();
+    let (_, post) = scan(ts2, &[0, 2], Some(&f), &opts).unwrap();
+    assert!(post.decision_cache_misses > 0, "merged segments must re-plan: {post:?}");
+}
+
+/// Deletes shift selectivities, so they invalidate the affected segment's
+/// cached plan (delete-count mismatch) while untouched segments still hit.
+#[test]
+fn decision_cache_invalidated_by_deletes() {
+    let (p, t) = build_table(0xdead_0001);
+    let f = Expr::cmp(2, CmpOp::Ge, 3.125).and(Expr::cmp(0, CmpOp::Ge, 1i64));
+    let opts = opts_with_threads(1);
+    {
+        let snap = p.read_snapshot();
+        let ts = snap.table(t).unwrap();
+        scan(ts, &[0], Some(&f), &opts).unwrap();
+        let (_, warm) = scan(ts, &[0], Some(&f), &opts).unwrap();
+        assert_eq!(warm.decision_cache_misses, 0, "{warm:?}");
+        assert!(warm.decision_cache_hits > 0, "{warm:?}");
+    }
+    // Delete one row from the first flushed segment (id 0 is columnstore).
+    let mut txn = p.begin();
+    assert!(txn.delete_unique(t, &[Value::Int(0)]).unwrap());
+    txn.commit().unwrap();
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+    let (_, post) = scan(ts, &[0], Some(&f), &opts).unwrap();
+    assert!(post.decision_cache_misses > 0, "deleted segment must re-plan: {post:?}");
+    assert!(post.decision_cache_hits > 0, "untouched segments still hit: {post:?}");
+}
+
+/// The cache can be disabled per scan; every adaptive scan then re-samples.
+#[test]
+fn decision_cache_opt_out() {
+    let (p, t) = build_table(0xdead_0002);
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+    let f = Expr::cmp(2, CmpOp::Ge, 41.5).and(Expr::cmp(0, CmpOp::Ge, 2i64));
+    let opts = ScanOptions { threads: 1, decision_cache: false, ..Default::default() };
+    let (_, s1) = scan(ts, &[0], Some(&f), &opts).unwrap();
+    let (_, s2) = scan(ts, &[0], Some(&f), &opts).unwrap();
+    assert_eq!(s1.decision_cache_hits, 0);
+    assert_eq!(s2.decision_cache_hits, 0);
+    assert_eq!(s1.decision_cache_misses, 0, "opted out: not even counted");
+    assert_eq!(s2.decision_cache_misses, 0);
+}
+
+/// Pool metrics advance when a parallel scan runs.
+#[test]
+fn pool_metrics_advance() {
+    let (p, t) = build_table(0xdead_0003);
+    let snap = p.read_snapshot();
+    let ts = snap.table(t).unwrap();
+    let before = s2_obs::global().snapshot().counter("exec.pool.morsels");
+    let f = Expr::cmp(2, CmpOp::Ge, 0.0);
+    scan(ts, &[0, 1, 2], Some(&f), &opts_with_threads(4)).unwrap();
+    let after = s2_obs::global().snapshot().counter("exec.pool.morsels");
+    assert!(after > before, "parallel scan must execute morsels on the pool: {before} -> {after}");
+}

@@ -52,19 +52,6 @@ pub struct ExecStats {
     pub hash_joins: usize,
 }
 
-impl ExecStats {
-    fn absorb_scan(&mut self, s: &ScanStats) {
-        self.scan.segments_total += s.segments_total;
-        self.scan.segments_skipped_index += s.segments_skipped_index;
-        self.scan.segments_skipped_minmax += s.segments_skipped_minmax;
-        self.scan.index_filters += s.index_filters;
-        self.scan.encoded_filters += s.encoded_filters;
-        self.scan.regular_filters += s.regular_filters;
-        self.scan.group_filters += s.group_filters;
-        self.scan.rows_output += s.rows_output;
-    }
-}
-
 /// Execute `plan` against `ctx`.
 pub fn execute(plan: &Plan, ctx: &dyn QueryContext, opts: &ExecOptions) -> Result<Batch> {
     let mut stats = ExecStats::default();
@@ -81,20 +68,19 @@ pub fn execute_with_stats(
     match plan {
         Plan::Scan { table, projection, filter } => {
             let snaps = ctx.snapshots(table)?;
-            // Scatter: partitions scan in parallel, like the paper's leaves
-            // ("leaf nodes ... are responsible for the bulk of compute").
-            // On a single-core host threads only add overhead, so gate on
-            // actual parallelism.
-            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-            let parts: Vec<Result<(Batch, ScanStats)>> = if snaps.len() > 1 && cores > 1 {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = snaps
-                        .iter()
-                        .map(|snap| {
-                            scope.spawn(move || scan(snap, projection, filter.as_ref(), &opts.scan))
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("scan thread")).collect()
+            // Scatter: partition snapshots fan into the shared morsel pool,
+            // like the paper's leaves ("leaf nodes ... are responsible for
+            // the bulk of compute"). Each partition scan then fans its own
+            // segments into the same pool (nested runs are deadlock-free:
+            // the waiting caller drains queued morsels itself). Results come
+            // back in partition order, so output is deterministic.
+            let threads = s2_exec::effective_threads(opts.scan.threads);
+            let parts: Vec<Result<(Batch, ScanStats)>> = if snaps.len() > 1 && threads > 1 {
+                let projection = projection.clone();
+                let filter = filter.clone();
+                let scan_opts = opts.scan.clone();
+                s2_exec::ScanPool::global().run(threads, snaps, move |snap| {
+                    scan(&snap, &projection, filter.as_ref(), &scan_opts)
                 })
             } else {
                 snaps.iter().map(|s| scan(s, projection, filter.as_ref(), &opts.scan)).collect()
@@ -102,7 +88,7 @@ pub fn execute_with_stats(
             let mut batches = Vec::with_capacity(parts.len());
             for p in parts {
                 let (batch, s) = p?;
-                stats.absorb_scan(&s);
+                stats.scan.merge(&s);
                 batches.push(batch);
             }
             Batch::concat(&batches)

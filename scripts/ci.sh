@@ -21,6 +21,14 @@ cargo test -q "${CARGO_FLAGS[@]}"
 echo "== workspace tests =="
 cargo test -q --workspace "${CARGO_FLAGS[@]}"
 
+echo "== parallel scan: tier-1 at 1 and 8 scan threads =="
+# The morsel executor must be invisible to correctness: the whole tier-1
+# suite runs pinned serial and heavily oversubscribed, and the s2-exec
+# tests additionally race each other across 8 test threads.
+S2_SCAN_THREADS=1 cargo test -q "${CARGO_FLAGS[@]}"
+S2_SCAN_THREADS=8 cargo test -q "${CARGO_FLAGS[@]}"
+cargo test -q -p s2-exec "${CARGO_FLAGS[@]}" -- --test-threads=8
+
 echo "== sim: crash-recovery smoke (200 seeded scenarios) =="
 # Deterministic fault-injection sweep over the commit/upload/restore path.
 # A failure prints replayable seeds — record them in EXPERIMENTS.md
