@@ -17,11 +17,38 @@ struct Entry {
     bytes: Arc<Vec<u8>>,
     /// LRU clock value at last touch.
     last_used: u64,
+    /// Pinned entries are the only copy of a file whose upload has not
+    /// landed yet — structurally exempt from eviction (paper §3.1: files are
+    /// "removed from local disk once uploaded", never before).
+    pinned: bool,
 }
 
 struct CacheInner {
     map: HashMap<String, Entry>,
     bytes: usize,
+}
+
+impl CacheInner {
+    /// Evict unpinned LRU entries until the budget holds (or only pinned
+    /// entries remain — pinned bytes may exceed the budget; durability wins
+    /// over the cap). Returns the number of evictions.
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.bytes > capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, e)| !e.pinned)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.bytes.len();
+            }
+            evicted += 1;
+        }
+        evicted
+    }
 }
 
 /// LRU object cache with a byte budget.
@@ -99,28 +126,32 @@ impl FileCache {
         if bytes.len() > self.capacity {
             return;
         }
+        self.insert_impl(key, bytes, false);
+    }
+
+    /// Insert an object that must not be evicted until [`FileCache::unpin`]
+    /// is called — used for files whose upload has not landed, where the
+    /// cache holds the only copy. Pinned entries bypass the size cap (even
+    /// oversized objects are kept: losing them would lose data).
+    pub fn insert_pinned(&self, key: &str, bytes: Arc<Vec<u8>>) {
+        self.insert_impl(key, bytes, true);
+    }
+
+    fn insert_impl(&self, key: &str, bytes: Arc<Vec<u8>>, pinned: bool) {
         let stamp = self.tick();
         let mut inner = self.inner.lock();
-        if let Some(old) =
-            inner.map.insert(key.to_string(), Entry { bytes: Arc::clone(&bytes), last_used: stamp })
+        if let Some(old) = inner
+            .map
+            .insert(key.to_string(), Entry { bytes: Arc::clone(&bytes), last_used: stamp, pinned })
         {
             inner.bytes -= old.bytes.len();
         }
         inner.bytes += bytes.len();
-        let mut evicted = 0u64;
-        while inner.bytes > self.capacity {
-            // Evict the least recently used entry.
-            let victim = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("over budget implies non-empty");
-            if let Some(e) = inner.map.remove(&victim) {
-                inner.bytes -= e.bytes.len();
-            }
-            evicted += 1;
+        if pinned {
+            s2_obs::gauge!("blob.cache.pinned_bytes")
+                .set(inner.map.values().filter(|e| e.pinned).map(|e| e.bytes.len() as i64).sum());
         }
+        let evicted = inner.evict_to(self.capacity);
         if evicted > 0 {
             s2_obs::counter!("blob.cache.evictions").add(evicted);
             if evicted >= 8 {
@@ -132,6 +163,43 @@ impl FileCache {
                 );
             }
         }
+    }
+
+    /// Release a pin (the upload landed): the entry becomes an ordinary LRU
+    /// citizen and an eviction pass reclaims any budget overshoot the pin
+    /// was allowed.
+    pub fn unpin(&self, key: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.map.get_mut(key) {
+            if !e.pinned {
+                return;
+            }
+            e.pinned = false;
+        } else {
+            return;
+        }
+        s2_obs::gauge!("blob.cache.pinned_bytes")
+            .set(inner.map.values().filter(|e| e.pinned).map(|e| e.bytes.len() as i64).sum());
+        let evicted = inner.evict_to(self.capacity);
+        if evicted > 0 {
+            s2_obs::counter!("blob.cache.evictions").add(evicted);
+        }
+    }
+
+    /// Bytes held by pinned (not-yet-uploaded) entries.
+    pub fn pinned_bytes(&self) -> usize {
+        self.inner.lock().map.values().filter(|e| e.pinned).map(|e| e.bytes.len()).sum()
+    }
+
+    /// Whether `key` is currently pinned.
+    pub fn is_pinned(&self, key: &str) -> bool {
+        self.inner.lock().map.get(key).is_some_and(|e| e.pinned)
+    }
+
+    /// Read `key` without touching LRU state (re-upload paths that must not
+    /// distort recency).
+    pub fn peek(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.inner.lock().map.get(key).map(|e| Arc::clone(&e.bytes))
     }
 
     /// Drop an object (e.g. after its segment was merged away).
@@ -237,6 +305,39 @@ mod tests {
         c.insert("a", obj(50));
         assert_eq!(c.used_bytes(), 50);
         c.remove("a");
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_pressure() {
+        let c = FileCache::new(250);
+        c.insert_pinned("pinned", obj(100));
+        c.insert("a", obj(100));
+        c.insert("b", obj(100)); // over budget: an unpinned entry must go
+        assert!(c.contains("pinned"), "pinned entry evicted under pressure");
+        assert!(c.is_pinned("pinned"));
+        assert_eq!(c.pinned_bytes(), 100);
+        assert!(c.used_bytes() <= 250);
+        // Unpinning makes it evictable again.
+        c.unpin("pinned");
+        assert!(!c.is_pinned("pinned"));
+        assert_eq!(c.pinned_bytes(), 0);
+        c.insert("d", obj(100));
+        c.insert("e", obj(100));
+        assert!(!c.contains("pinned"), "oldest unpinned entry must be the victim");
+    }
+
+    #[test]
+    fn pinned_bytes_may_exceed_budget() {
+        let c = FileCache::new(50);
+        // Oversized but pinned: the only copy of a not-yet-uploaded file is
+        // kept regardless of the cap.
+        c.insert_pinned("big", obj(200));
+        assert!(c.contains("big"));
+        assert_eq!(c.used_bytes(), 200);
+        // Once the upload lands the cap applies again.
+        c.unpin("big");
+        assert!(!c.contains("big"));
         assert_eq!(c.used_bytes(), 0);
     }
 

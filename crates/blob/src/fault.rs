@@ -48,6 +48,9 @@ pub struct FaultyStore<S> {
     put_latency: Duration,
     get_latency: Duration,
     unavailable: AtomicBool,
+    /// Extra per-op latency (µs) on top of the fixed put/get latencies —
+    /// outage drills use this for latency-spike phases.
+    extra_latency_us: AtomicU64,
     /// Shared so benches can read counters while the engine owns the store.
     pub stats: Arc<BlobStats>,
 }
@@ -60,6 +63,7 @@ impl<S: ObjectStore> FaultyStore<S> {
             put_latency,
             get_latency,
             unavailable: AtomicBool::new(false),
+            extra_latency_us: AtomicU64::new(0),
             stats: Arc::new(BlobStats::default()),
         }
     }
@@ -70,6 +74,18 @@ impl<S: ObjectStore> FaultyStore<S> {
         let was = self.unavailable.swap(down, Ordering::SeqCst);
         if was != down {
             s2_obs::event("blob.outage", if down { "begin" } else { "end" });
+        }
+    }
+
+    /// Begin (non-zero) or end (zero) a latency spike: every put/get takes
+    /// this much longer until reset.
+    pub fn set_extra_latency(&self, extra: Duration) {
+        let was = self.extra_latency_us.swap(extra.as_micros() as u64, Ordering::SeqCst);
+        if (was == 0) != extra.is_zero() {
+            s2_obs::event(
+                "blob.latency_spike",
+                if extra.is_zero() { "end".to_string() } else { format!("begin +{extra:?}") },
+            );
         }
     }
 
@@ -85,6 +101,7 @@ impl<S: ObjectStore> FaultyStore<S> {
     /// Apply one injected-latency sleep, recording it so bench snapshots
     /// show how much stall the fault layer contributed.
     fn inject(&self, latency: Duration) {
+        let latency = latency + Duration::from_micros(self.extra_latency_us.load(Ordering::SeqCst));
         if !latency.is_zero() {
             s2_obs::counter!("blob.fault.injected_latency_ops").inc();
             s2_obs::counter!("blob.fault.injected_latency_us").add(latency.as_micros() as u64);

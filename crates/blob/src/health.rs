@@ -1,0 +1,554 @@
+//! Blob-store health tracking: a circuit breaker per store plus the
+//! process-global registry behind it.
+//!
+//! The paper's availability claim (§3) is that blob storage is off the
+//! commit path: commits stay durable from the local replicated WAL while
+//! uploads and cold reads *tolerate* an unreliable object store. Tolerating
+//! means distinguishing a transient blip (retry with backoff) from a
+//! sustained outage (stop hammering the store, fail queries fast, park the
+//! upload backlog, and probe for recovery). That distinction is this
+//! module's job.
+//!
+//! - [`BreakerCore`] is the pure Closed → Open → HalfOpen state machine,
+//!   driven by a logical millisecond clock so tests (including the proptest
+//!   suite) can exercise every transition deterministically.
+//! - [`BlobHealth`] wraps a core with a real clock and exports state through
+//!   s2-obs: gauge `blob.health.state` (0 healthy / 1 degraded / 2 outage),
+//!   event `blob.breaker` on every transition.
+//! - [`store_health`] is the process-global per-store registry: every layer
+//!   touching the same store (uploader, cold reads, snapshot shipping)
+//!   shares one health view, so the first layer to see an outage shields
+//!   the rest.
+//! - [`ResilientStore`] wraps any [`ObjectStore`] with the breaker plus a
+//!   bounded [`RetryPolicy`]: fail-fast when open, jittered bounded retries
+//!   when closed, outcomes recorded into the shared health.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use s2_common::retry::{retry, salt_from_key};
+use s2_common::{Error, Result, RetryClass, RetryPolicy};
+
+use crate::store::ObjectStore;
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long Open rejects everything before allowing a HalfOpen probe.
+    pub open_cooldown: Duration,
+    /// Cooldown escalation cap (doubles on every failed probe).
+    pub max_cooldown: Duration,
+    /// Probe successes required to close from HalfOpen.
+    pub probe_successes: u32,
+    /// A failure within this window keeps health at Degraded even while the
+    /// breaker stays Closed.
+    pub degraded_window: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(100),
+            max_cooldown: Duration::from_secs(2),
+            probe_successes: 1,
+            degraded_window: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Breaker states (the classic three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// Sustained failure: reject immediately until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe request at a time tests for recovery.
+    HalfOpen,
+}
+
+/// Coarse store health derived from breaker state and recent outcomes —
+/// what dashboards and degraded-mode decisions consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// No recent failures.
+    Healthy,
+    /// Breaker closed but failures seen recently (transient blips, or
+    /// recovery still being confirmed).
+    Degraded,
+    /// Breaker open or probing: the store is treated as down.
+    Outage,
+}
+
+impl StoreHealth {
+    /// Gauge encoding (0/1/2) for `blob.health.state`.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            StoreHealth::Healthy => 0,
+            StoreHealth::Degraded => 1,
+            StoreHealth::Outage => 2,
+        }
+    }
+}
+
+/// The pure breaker state machine, on a logical millisecond clock. All
+/// transitions happen inside [`BreakerCore::allow`], [`BreakerCore::on_success`]
+/// and [`BreakerCore::on_failure`]; the caller supplies `now_ms` monotonic
+/// non-decreasing.
+#[derive(Debug)]
+pub struct BreakerCore {
+    cfg: BreakerConfig,
+    state: CircuitState,
+    consecutive_failures: u32,
+    /// When the current Open period started.
+    opened_at_ms: u64,
+    /// Current (escalating) cooldown, ms.
+    cooldown_ms: u64,
+    /// A HalfOpen probe is in flight; further requests are rejected.
+    probe_inflight: bool,
+    probe_successes: u32,
+    last_failure_ms: Option<u64>,
+}
+
+impl BreakerCore {
+    /// A closed breaker with `cfg`.
+    pub fn new(cfg: BreakerConfig) -> BreakerCore {
+        BreakerCore {
+            cooldown_ms: cfg.open_cooldown.as_millis() as u64,
+            cfg,
+            state: CircuitState::Closed,
+            consecutive_failures: 0,
+            opened_at_ms: 0,
+            probe_inflight: false,
+            probe_successes: 0,
+            last_failure_ms: None,
+        }
+    }
+
+    /// Current state (transitions lazily on `allow`).
+    pub fn state(&self) -> CircuitState {
+        self.state
+    }
+
+    /// May a request proceed at `now_ms`? Open transitions to HalfOpen once
+    /// the cooldown has elapsed; HalfOpen admits a single probe at a time.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            CircuitState::Closed => true,
+            CircuitState::Open => {
+                if now_ms.saturating_sub(self.opened_at_ms) >= self.cooldown_ms {
+                    self.state = CircuitState::HalfOpen;
+                    self.probe_inflight = true;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            CircuitState::HalfOpen => {
+                if self.probe_inflight {
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful request.
+    pub fn on_success(&mut self, _now_ms: u64) {
+        match self.state {
+            CircuitState::Closed => self.consecutive_failures = 0,
+            CircuitState::HalfOpen => {
+                self.probe_inflight = false;
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.probe_successes {
+                    self.state = CircuitState::Closed;
+                    self.consecutive_failures = 0;
+                    self.cooldown_ms = self.cfg.open_cooldown.as_millis() as u64;
+                }
+            }
+            // A straggler that got its token before the breaker opened:
+            // evidence of life, but recovery is only believed via a probe.
+            CircuitState::Open => {}
+        }
+    }
+
+    /// Record a failed (transient-class) request.
+    pub fn on_failure(&mut self, now_ms: u64) {
+        self.last_failure_ms = Some(now_ms);
+        match self.state {
+            CircuitState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.state = CircuitState::Open;
+                    self.opened_at_ms = now_ms;
+                }
+            }
+            CircuitState::HalfOpen => {
+                // Failed probe: back to Open with an escalated cooldown.
+                self.probe_inflight = false;
+                self.probe_successes = 0;
+                self.state = CircuitState::Open;
+                self.opened_at_ms = now_ms;
+                self.cooldown_ms =
+                    (self.cooldown_ms * 2).min(self.cfg.max_cooldown.as_millis() as u64).max(1);
+            }
+            // Stragglers while Open don't extend the cooldown (nothing new
+            // is being attempted; extending would fight the probe timer).
+            CircuitState::Open => {}
+        }
+    }
+
+    /// Coarse health at `now_ms` (see [`StoreHealth`]).
+    pub fn health(&self, now_ms: u64) -> StoreHealth {
+        match self.state {
+            CircuitState::Open | CircuitState::HalfOpen => StoreHealth::Outage,
+            CircuitState::Closed => {
+                let recent = self.last_failure_ms.is_some_and(|t| {
+                    now_ms.saturating_sub(t) < self.cfg.degraded_window.as_millis() as u64
+                });
+                if self.consecutive_failures > 0 || recent {
+                    StoreHealth::Degraded
+                } else {
+                    StoreHealth::Healthy
+                }
+            }
+        }
+    }
+
+    /// While Open: ms until a probe will be admitted (0 = now). `None` when
+    /// not Open.
+    pub fn retry_in_ms(&self, now_ms: u64) -> Option<u64> {
+        match self.state {
+            CircuitState::Open => {
+                Some((self.opened_at_ms + self.cooldown_ms).saturating_sub(now_ms))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Shared health for one blob store: [`BreakerCore`] + real clock + obs.
+pub struct BlobHealth {
+    label: String,
+    core: Mutex<BreakerCore>,
+    epoch: Instant,
+}
+
+impl BlobHealth {
+    /// Health tracker with default tuning.
+    pub fn new(label: impl Into<String>) -> Arc<BlobHealth> {
+        BlobHealth::with_config(label, BreakerConfig::default())
+    }
+
+    /// Health tracker with explicit breaker tuning.
+    pub fn with_config(label: impl Into<String>, cfg: BreakerConfig) -> Arc<BlobHealth> {
+        Arc::new(BlobHealth {
+            label: label.into(),
+            core: Mutex::new(BreakerCore::new(cfg)),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// The store label (registry key / event prefix).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn observe<R>(&self, f: impl FnOnce(&mut BreakerCore, u64) -> R) -> R {
+        let now = self.now_ms();
+        let mut core = self.core.lock();
+        let before = (core.state(), core.health(now));
+        let out = f(&mut core, now);
+        let after = (core.state(), core.health(now));
+        if before != after {
+            s2_obs::gauge!("blob.health.state").set(after.1.as_gauge());
+            if before.0 != after.0 {
+                s2_obs::counter!("blob.breaker.transitions").inc();
+                s2_obs::event(
+                    "blob.breaker",
+                    format!("{}: {:?} -> {:?}", self.label, before.0, after.0),
+                );
+            }
+        }
+        out
+    }
+
+    /// May a request proceed right now? (May grant a HalfOpen probe token —
+    /// callers that take `true` must report the outcome via
+    /// [`BlobHealth::on_success`] / [`BlobHealth::on_failure`].)
+    pub fn allow(&self) -> bool {
+        self.observe(|c, now| c.allow(now))
+    }
+
+    /// Record a success.
+    pub fn on_success(&self) {
+        self.observe(|c, now| c.on_success(now));
+    }
+
+    /// Record a transient-class failure.
+    pub fn on_failure(&self) {
+        self.observe(|c, now| c.on_failure(now));
+    }
+
+    /// Record the outcome of an attempt. Only transient errors count
+    /// against the breaker; permanent errors (NotFound, bad keys) say
+    /// nothing about store health.
+    pub fn on_outcome<T>(&self, r: &Result<T>) {
+        match r {
+            Ok(_) => self.on_success(),
+            Err(e) if e.retry_class() == RetryClass::Transient => self.on_failure(),
+            Err(_) => {}
+        }
+    }
+
+    /// Current breaker state.
+    pub fn state(&self) -> CircuitState {
+        self.core.lock().state()
+    }
+
+    /// Coarse health now.
+    pub fn health(&self) -> StoreHealth {
+        let now = self.now_ms();
+        self.core.lock().health(now)
+    }
+
+    /// While Open: how long until a probe will be admitted. `None` when the
+    /// breaker is not Open (requests may proceed, or a probe is running).
+    pub fn retry_in(&self) -> Option<Duration> {
+        let now = self.now_ms();
+        self.core.lock().retry_in_ms(now).map(Duration::from_millis)
+    }
+}
+
+static REGISTRY: OnceLock<RwLock<BTreeMap<String, Arc<BlobHealth>>>> = OnceLock::new();
+
+/// Process-global per-store health: every caller naming the same store
+/// label shares one breaker, so the uploader tripping it also shields cold
+/// reads and snapshot shipping (and vice versa).
+pub fn store_health(label: &str) -> Arc<BlobHealth> {
+    let reg = REGISTRY.get_or_init(|| RwLock::new(BTreeMap::new()));
+    if let Some(h) = reg.read().get(label) {
+        return Arc::clone(h);
+    }
+    let mut w = reg.write();
+    Arc::clone(w.entry(label.to_string()).or_insert_with(|| BlobHealth::new(label)))
+}
+
+/// An [`ObjectStore`] wrapper enforcing the resilience contract on every
+/// operation: fail fast with [`Error::Unavailable`] while the breaker is
+/// open, bounded jittered retries while it is closed, outcomes recorded
+/// into the shared [`BlobHealth`].
+pub struct ResilientStore {
+    inner: Arc<dyn ObjectStore>,
+    health: Arc<BlobHealth>,
+    policy: RetryPolicy,
+}
+
+impl ResilientStore {
+    /// Wrap `inner`, guarding it with `health` under `policy`.
+    pub fn new(
+        inner: Arc<dyn ObjectStore>,
+        health: Arc<BlobHealth>,
+        policy: RetryPolicy,
+    ) -> ResilientStore {
+        ResilientStore { inner, health, policy }
+    }
+
+    /// The shared health this wrapper reports into.
+    pub fn health(&self) -> &Arc<BlobHealth> {
+        &self.health
+    }
+
+    fn guarded<T>(&self, key: &str, mut attempt: impl FnMut() -> Result<T>) -> Result<T> {
+        let salt = salt_from_key(key);
+        let health = &self.health;
+        retry(&self.policy, salt, || {
+            if !health.allow() {
+                s2_obs::counter!("blob.breaker.fail_fast").inc();
+                return Err(Error::Unavailable(format!(
+                    "blob store {:?} circuit open",
+                    health.label()
+                )));
+            }
+            let r = attempt();
+            health.on_outcome(&r);
+            r
+        })
+        .map(|(v, _)| v)
+    }
+}
+
+impl ObjectStore for ResilientStore {
+    fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
+        self.guarded(key, || self.inner.put(key, Arc::clone(&bytes)))
+    }
+
+    fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+        self.guarded(key, || self.inner.get(key))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.guarded(prefix, || self.inner.list(prefix))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.guarded(key, || self.inner.delete(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultyStore;
+    use crate::store::MemoryStore;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(100),
+            max_cooldown: Duration::from_millis(400),
+            probe_successes: 1,
+            degraded_window: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn closed_to_open_on_consecutive_failures() {
+        let mut b = BreakerCore::new(cfg());
+        assert!(b.allow(0));
+        b.on_failure(0);
+        b.on_success(1); // success resets the streak
+        b.on_failure(2);
+        b.on_failure(3);
+        assert_eq!(b.state(), CircuitState::Closed);
+        b.on_failure(4);
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.allow(5), "open rejects immediately");
+        assert_eq!(b.retry_in_ms(5), Some(99));
+    }
+
+    #[test]
+    fn open_half_open_probe_cycle() {
+        let mut b = BreakerCore::new(cfg());
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.allow(50));
+        // Cooldown elapses: exactly one probe admitted.
+        assert!(b.allow(102));
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        assert!(!b.allow(103), "second request while probe in flight");
+        // Failed probe: back to Open, cooldown doubled.
+        b.on_failure(104);
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.allow(204), "escalated cooldown (200ms) not elapsed");
+        assert!(b.allow(305));
+        b.on_success(306);
+        assert_eq!(b.state(), CircuitState::Closed);
+        // Cooldown resets after closing.
+        for t in 310..313 {
+            b.on_failure(t);
+        }
+        assert_eq!(b.retry_in_ms(313), Some(99));
+    }
+
+    #[test]
+    fn health_tracks_degraded_and_outage() {
+        let mut b = BreakerCore::new(cfg());
+        assert_eq!(b.health(0), StoreHealth::Healthy);
+        b.on_failure(10);
+        assert_eq!(b.health(11), StoreHealth::Degraded);
+        b.on_failure(12);
+        b.on_failure(13);
+        assert_eq!(b.health(14), StoreHealth::Outage);
+        // Recover via probe.
+        assert!(b.allow(150));
+        b.on_success(151);
+        // Closed, but a failure is still inside the degraded window.
+        assert_eq!(b.health(152), StoreHealth::Degraded);
+        assert_eq!(b.health(13 + 501), StoreHealth::Healthy);
+    }
+
+    #[test]
+    fn resilient_store_fails_fast_when_open_and_recovers() {
+        let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+        faulty.put("k", Arc::new(vec![1])).unwrap();
+        // Generous cooldown so the "still open" probe below cannot race it.
+        let health = BlobHealth::with_config(
+            "test-store",
+            BreakerConfig { open_cooldown: Duration::from_millis(300), ..cfg() },
+        );
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            deadline: Duration::from_millis(200),
+        };
+        let rs = ResilientStore::new(
+            Arc::clone(&faulty) as Arc<dyn ObjectStore>,
+            Arc::clone(&health),
+            policy,
+        );
+        assert_eq!(rs.get("k").unwrap().as_slice(), &[1]);
+        assert_eq!(health.health(), StoreHealth::Healthy);
+
+        faulty.set_unavailable(true);
+        // Enough failed ops to trip the breaker (2 attempts each).
+        assert!(rs.get("k").is_err());
+        assert!(rs.get("k").is_err());
+        assert_eq!(health.state(), CircuitState::Open);
+        assert_eq!(health.health(), StoreHealth::Outage);
+        // Heal the store but not the breaker: the next read must still fail
+        // fast without touching the store — proof the rejection is the
+        // breaker's, not the store's.
+        faulty.set_unavailable(false);
+        let (_, gets_before, _, _) = faulty.stats.snapshot();
+        let t0 = Instant::now();
+        assert!(matches!(rs.get("k"), Err(Error::Unavailable(_))));
+        let (_, gets_after, _, _) = faulty.stats.snapshot();
+        assert_eq!(gets_before, gets_after, "open breaker must not touch the store");
+        assert!(t0.elapsed() < Duration::from_millis(250), "fail-fast, not cooldown-blocked");
+
+        // Recovery: after the cooldown a probe closes the breaker.
+        std::thread::sleep(Duration::from_millis(330));
+        assert_eq!(rs.get("k").unwrap().as_slice(), &[1]);
+        assert_eq!(health.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn not_found_is_not_a_health_signal() {
+        let health = BlobHealth::with_config("nf-store", cfg());
+        let rs = ResilientStore::new(
+            Arc::new(MemoryStore::new()) as Arc<dyn ObjectStore>,
+            Arc::clone(&health),
+            RetryPolicy::no_retries(),
+        );
+        for _ in 0..10 {
+            assert!(matches!(rs.get("missing"), Err(Error::NotFound(_))));
+        }
+        assert_eq!(health.state(), CircuitState::Closed);
+        assert_eq!(health.health(), StoreHealth::Healthy);
+    }
+
+    #[test]
+    fn registry_shares_one_health_per_label() {
+        let a = store_health("shared-store-x");
+        let b = store_health("shared-store-x");
+        let c = store_health("shared-store-y");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -2,14 +2,35 @@
 //! storage asynchronously, off the commit path (paper §3.1: "newly committed
 //! columnstore data files are uploaded asynchronously to blob storage as
 //! quickly as possible after being committed").
+//!
+//! Resilience contract (paper §3: commits must tolerate an unreliable
+//! object store):
+//!
+//! - the backlog is **bounded**: once `capacity` jobs are outstanding,
+//!   `enqueue` blocks — that block *is* the backpressure signal, surfaced
+//!   through the `blob.upload.backpressure_waits` counter and the
+//!   `blob.upload.queue_depth` gauge;
+//! - a failed attempt **re-queues with jittered exponential backoff**
+//!   instead of sleeping on the worker thread, so one failing key cannot
+//!   stall a worker for its whole retry window;
+//! - under a sustained outage the shared [`BlobHealth`] breaker opens and
+//!   jobs **park** (re-queued until the breaker admits a probe) rather than
+//!   burning their attempt budget — nothing is dropped because the store is
+//!   down; the backlog drains after recovery;
+//! - `enqueue` after shutdown returns [`Error::Unavailable`] instead of
+//!   panicking, and shutdown completes parked jobs with an error callback
+//!   (their files stay pinned locally — durability is never the uploader's
+//!   to lose).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
-use s2_common::Result;
+use s2_common::retry::{jittered_backoff, salt_from_key};
+use s2_common::{Error, Result, RetryClass};
 
+use crate::health::{BlobHealth, CircuitState};
 use crate::store::ObjectStore;
 
 /// One upload job: an object plus a completion callback (e.g. "advance
@@ -21,106 +42,345 @@ pub struct UploadJob {
     pub bytes: Arc<Vec<u8>>,
     /// Invoked with the upload outcome on the uploader thread.
     pub on_done: Box<dyn FnOnce(Result<()>) + Send>,
+    /// Transient attempts made while the breaker was closed. Reset when the
+    /// job parks under an open breaker: an outage must not consume the
+    /// budget meant for genuine per-key trouble.
+    attempts: u32,
+    /// Jitter salt (key hash) de-correlating concurrent retry schedules.
+    salt: u64,
 }
 
-/// Asynchronous upload service with a worker-thread pool.
-pub struct Uploader {
-    tx: Option<Sender<UploadJob>>,
-    workers: Vec<JoinHandle<()>>,
-    enqueued: Arc<AtomicU64>,
-    completed: Arc<AtomicU64>,
+/// Uploader tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct UploaderConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Maximum outstanding jobs (queued + deferred + in flight). `enqueue`
+    /// blocks at the bound — the backpressure signal.
+    pub capacity: usize,
+    /// Transient failures per job (while the breaker is closed) before the
+    /// failure is reported to the callback.
+    pub max_attempts: u32,
+    /// First retry delay (pre-jitter).
+    pub base_backoff: Duration,
+    /// Retry delay cap.
+    pub max_backoff: Duration,
 }
 
-impl Uploader {
-    /// Start `threads` workers uploading to `store`. Failed uploads are
-    /// retried a bounded number of times (blob stores have transient errors)
-    /// before reporting the failure to the job's callback.
-    pub fn new(store: Arc<dyn ObjectStore>, threads: usize) -> Uploader {
-        let (tx, rx) = unbounded::<UploadJob>();
-        let enqueued = Arc::new(AtomicU64::new(0));
-        let completed = Arc::new(AtomicU64::new(0));
-        let workers = (0..threads.max(1))
-            .map(|_| {
-                let rx = rx.clone();
-                let store = Arc::clone(&store);
-                let completed = Arc::clone(&completed);
-                std::thread::spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        let timer = s2_obs::histogram!("blob.upload.latency_us").start_timer();
-                        let mut outcome = Ok(());
-                        for attempt in 0..3 {
-                            // Each attempt is separately injectable, so the
-                            // retry loop itself is under test. Runs on the
-                            // worker thread: plans must opt sites into
-                            // cross-thread (error-only) injection.
-                            outcome = s2_common::fault::failpoint("blob.uploader.attempt")
-                                .and_then(|()| store.put(&job.key, Arc::clone(&job.bytes)));
-                            match &outcome {
-                                Ok(()) => break,
-                                Err(e) if e.is_retryable() && attempt < 2 => {
-                                    s2_obs::counter!("blob.upload.retries").inc();
-                                    std::thread::sleep(std::time::Duration::from_millis(
-                                        10 << attempt,
-                                    ));
-                                }
-                                Err(_) => break,
-                            }
-                        }
-                        timer.stop();
-                        match &outcome {
-                            Ok(()) => {
-                                s2_obs::counter!("blob.upload.bytes").add(job.bytes.len() as u64);
-                            }
-                            Err(e) => {
-                                s2_obs::counter!("blob.upload.failures").inc();
-                                s2_obs::event("blob.upload_failed", format!("{}: {e}", job.key));
-                            }
-                        }
-                        (job.on_done)(outcome);
-                        completed.fetch_add(1, Ordering::Release);
-                        s2_obs::gauge!("blob.upload.queue_depth").dec();
-                    }
-                })
-            })
-            .collect();
-        Uploader { tx: Some(tx), workers, enqueued, completed }
+impl Default for UploaderConfig {
+    fn default() -> Self {
+        UploaderConfig {
+            threads: 2,
+            capacity: 4096,
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+struct QueueState {
+    /// Jobs ready to attempt now.
+    ready: VecDeque<UploadJob>,
+    /// Jobs waiting out a backoff or an open breaker: `(not_before, job)`.
+    /// Small and scanned linearly — the backlog bound caps it.
+    deferred: Vec<(Instant, UploadJob)>,
+    /// Jobs currently being attempted by a worker.
+    inflight: usize,
+    /// Monotonic totals; `pending = enqueued - completed` is read under
+    /// this one lock so it can never transiently observe `completed >
+    /// enqueued` (the old two-atomics underflow).
+    enqueued: u64,
+    completed: u64,
+    shutdown: bool,
+}
+
+impl QueueState {
+    fn outstanding(&self) -> usize {
+        self.ready.len() + self.deferred.len() + self.inflight
     }
 
-    /// Queue an upload. Returns immediately; `on_done` fires later.
+    /// Move due deferred jobs (all of them under shutdown) into `ready`;
+    /// returns the earliest not-yet-due deadline, if any.
+    fn promote_due(&mut self, now: Instant) -> Option<Instant> {
+        let mut earliest = None;
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if self.shutdown || self.deferred[i].0 <= now {
+                let (_, job) = self.deferred.swap_remove(i);
+                self.ready.push_back(job);
+            } else {
+                let t = self.deferred[i].0;
+                earliest = Some(earliest.map_or(t, |e: Instant| e.min(t)));
+                i += 1;
+            }
+        }
+        earliest
+    }
+}
+
+struct Inner {
+    store: Arc<dyn ObjectStore>,
+    health: Arc<BlobHealth>,
+    cfg: UploaderConfig,
+    state: Mutex<QueueState>,
+    /// Workers wait here for work (new jobs, due deferrals, shutdown).
+    work_cv: Condvar,
+    /// `enqueue` (space) and `drain` (completion) wait here.
+    done_cv: Condvar,
+}
+
+/// Asynchronous upload service with a worker-thread pool (see module docs
+/// for the resilience contract).
+pub struct Uploader {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+static ANON: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl Uploader {
+    /// Start `threads` workers uploading to `store` with default tuning and
+    /// a private health tracker.
+    pub fn new(store: Arc<dyn ObjectStore>, threads: usize) -> Uploader {
+        let n = ANON.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Uploader::with_config(
+            store,
+            UploaderConfig { threads, ..UploaderConfig::default() },
+            BlobHealth::new(format!("uploader#{n}")),
+        )
+    }
+
+    /// Start an uploader with explicit tuning, reporting outcomes into a
+    /// (possibly shared) [`BlobHealth`].
+    pub fn with_config(
+        store: Arc<dyn ObjectStore>,
+        cfg: UploaderConfig,
+        health: Arc<BlobHealth>,
+    ) -> Uploader {
+        let inner = Arc::new(Inner {
+            store,
+            health,
+            cfg,
+            state: Mutex::new(QueueState {
+                ready: VecDeque::new(),
+                deferred: Vec::new(),
+                inflight: 0,
+                enqueued: 0,
+                completed: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..cfg.threads.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Uploader { inner, workers }
+    }
+
+    /// The health tracker this uploader reports into.
+    pub fn health(&self) -> &Arc<BlobHealth> {
+        &self.inner.health
+    }
+
+    /// Queue an upload; `on_done` fires later on a worker thread.
+    ///
+    /// Blocks while the backlog is at capacity (backpressure). Returns
+    /// [`Error::Unavailable`] after shutdown instead of panicking.
     pub fn enqueue(
         &self,
         key: impl Into<String>,
         bytes: Arc<Vec<u8>>,
         on_done: impl FnOnce(Result<()>) + Send + 'static,
-    ) {
-        self.enqueued.fetch_add(1, Ordering::Release);
+    ) -> Result<()> {
+        let key = key.into();
+        let inner = &self.inner;
+        let mut st = lock(&inner.state);
+        loop {
+            if st.shutdown {
+                return Err(Error::Unavailable("uploader shut down".into()));
+            }
+            if st.outstanding() < inner.cfg.capacity {
+                break;
+            }
+            s2_obs::counter!("blob.upload.backpressure_waits").inc();
+            st = wait(&inner.done_cv, st);
+        }
+        st.enqueued += 1;
+        let salt = salt_from_key(&key);
+        st.ready.push_back(UploadJob { key, bytes, on_done: Box::new(on_done), attempts: 0, salt });
         s2_obs::gauge!("blob.upload.queue_depth").inc();
-        self.tx
-            .as_ref()
-            .expect("uploader not shut down")
-            .send(UploadJob { key: key.into(), bytes, on_done: Box::new(on_done) })
-            .expect("uploader workers alive");
+        drop(st);
+        inner.work_cv.notify_one();
+        Ok(())
     }
 
-    /// Jobs enqueued but not yet completed.
+    /// Jobs enqueued but not yet completed (one consistent read — both
+    /// counters live under the queue lock).
     pub fn pending(&self) -> u64 {
-        self.enqueued.load(Ordering::Acquire) - self.completed.load(Ordering::Acquire)
+        let st = lock(&self.inner.state);
+        st.enqueued - st.completed
     }
 
-    /// Block until every queued job has completed (test/shutdown aid).
+    /// True while the backlog is at (or beyond) capacity — the signal
+    /// callers poll to shed or delay optional work.
+    pub fn backlogged(&self) -> bool {
+        lock(&self.inner.state).outstanding() >= self.inner.cfg.capacity
+    }
+
+    /// Block until every queued job has completed (condvar wait, not a
+    /// busy-spin). Under an outage this blocks until recovery or shutdown —
+    /// parked jobs count as pending.
     pub fn drain(&self) {
-        while self.pending() > 0 {
-            std::thread::yield_now();
+        let inner = &self.inner;
+        let mut st = lock(&inner.state);
+        while st.enqueued > st.completed {
+            st = wait(&inner.done_cv, st);
         }
     }
 }
 
 impl Drop for Uploader {
     fn drop(&mut self) {
-        self.tx.take(); // close the channel so workers exit
+        {
+            let mut st = lock(&self.inner.state);
+            st.shutdown = true;
+        }
+        // Wake everyone: workers finish the backlog (parked jobs get a final
+        // attempt or an error callback), blocked enqueuers bail out.
+        self.inner.work_cv.notify_all();
+        self.inner.done_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+fn lock(m: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, QueueState>) -> MutexGuard<'a, QueueState> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut st = lock(&inner.state);
+            loop {
+                let earliest = st.promote_due(Instant::now());
+                if let Some(job) = st.ready.pop_front() {
+                    st.inflight += 1;
+                    break job;
+                }
+                if st.shutdown {
+                    // promote_due under shutdown moved everything to ready;
+                    // both empty means this worker is done.
+                    return;
+                }
+                st = match earliest {
+                    Some(t) => {
+                        let timeout = t.saturating_duration_since(Instant::now());
+                        inner
+                            .work_cv
+                            .wait_timeout(st, timeout.max(Duration::from_millis(1)))
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                    None => wait(&inner.work_cv, st),
+                };
+            }
+        };
+        attempt(inner, job);
+    }
+}
+
+/// Park or re-queue `job` to run no earlier than `delay` from now. The job
+/// leaves the in-flight set but stays pending.
+fn defer(inner: &Inner, job: UploadJob, delay: Duration) {
+    s2_obs::counter!("blob.upload.requeues").inc();
+    let mut st = lock(&inner.state);
+    st.inflight -= 1;
+    st.deferred.push((Instant::now() + delay, job));
+    drop(st);
+    // Deadlines changed: wake a waiter so it recomputes its timeout.
+    inner.work_cv.notify_one();
+}
+
+/// Complete `job` with `outcome`: callback, counters, completion signal.
+fn finish(inner: &Inner, job: UploadJob, outcome: Result<()>) {
+    match &outcome {
+        Ok(()) => {
+            s2_obs::counter!("blob.upload.bytes").add(job.bytes.len() as u64);
+        }
+        Err(e) => {
+            s2_obs::counter!("blob.upload.failures").inc();
+            s2_obs::event("blob.upload_failed", format!("{}: {e}", job.key));
+        }
+    }
+    (job.on_done)(outcome);
+    let mut st = lock(&inner.state);
+    st.inflight -= 1;
+    st.completed += 1;
+    drop(st);
+    s2_obs::gauge!("blob.upload.queue_depth").dec();
+    inner.done_cv.notify_all();
+}
+
+/// One attempt at `job`, gated by the breaker. Runs on a worker thread with
+/// no locks held; never sleeps — waiting happens by re-queueing.
+fn attempt(inner: &Inner, mut job: UploadJob) {
+    let shutdown = lock(&inner.state).shutdown;
+    if !inner.health.allow() {
+        if shutdown {
+            finish(inner, job, Err(Error::Unavailable("uploader shut down during outage".into())));
+        } else {
+            // Park until the breaker will admit a probe. Attempts reset: the
+            // outage is the store's fault, not this key's.
+            job.attempts = 0;
+            let delay = inner.health.retry_in().unwrap_or(inner.cfg.base_backoff);
+            defer(inner, job, delay.max(Duration::from_millis(1)));
+        }
+        return;
+    }
+    let timer = s2_obs::histogram!("blob.upload.latency_us").start_timer();
+    // Each attempt is separately injectable, so the retry loop itself is
+    // under test. Runs on the worker thread: plans must opt sites into
+    // cross-thread (error-only) injection.
+    let outcome = s2_common::fault::failpoint("blob.uploader.attempt")
+        .and_then(|()| inner.store.put(&job.key, Arc::clone(&job.bytes)));
+    timer.stop();
+    inner.health.on_outcome(&outcome);
+    match outcome {
+        Ok(()) => finish(inner, job, Ok(())),
+        Err(e) if e.retry_class() == RetryClass::Transient => {
+            s2_obs::counter!("blob.upload.retries").inc();
+            job.attempts += 1;
+            if shutdown {
+                finish(inner, job, Err(e));
+            } else if inner.health.state() == CircuitState::Open {
+                // This failure tripped (or confirmed) the outage: park.
+                job.attempts = 0;
+                let delay = inner.health.retry_in().unwrap_or(inner.cfg.base_backoff);
+                defer(inner, job, delay.max(Duration::from_millis(1)));
+            } else if job.attempts >= inner.cfg.max_attempts {
+                finish(inner, job, Err(e));
+            } else {
+                let delay = jittered_backoff(
+                    inner.cfg.base_backoff,
+                    inner.cfg.max_backoff,
+                    job.attempts - 1,
+                    job.salt,
+                );
+                defer(inner, job, delay);
+            }
+        }
+        Err(e) => finish(inner, job, Err(e)),
     }
 }
 
@@ -128,7 +388,7 @@ impl Drop for Uploader {
 mod tests {
     use super::*;
     use crate::store::MemoryStore;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     #[test]
     fn uploads_complete_asynchronously() {
@@ -139,7 +399,8 @@ mod tests {
         up.enqueue("files/f1", Arc::new(b"data".to_vec()), move |r| {
             r.unwrap();
             flag.store(true, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         up.drain();
         assert!(done.load(Ordering::SeqCst));
         assert_eq!(store.get("files/f1").unwrap().as_slice(), b"data");
@@ -150,7 +411,7 @@ mod tests {
         let store = Arc::new(MemoryStore::new());
         let up = Uploader::new(store.clone() as Arc<dyn ObjectStore>, 4);
         for i in 0..100 {
-            up.enqueue(format!("k/{i}"), Arc::new(vec![i as u8]), |r| r.unwrap());
+            up.enqueue(format!("k/{i}"), Arc::new(vec![i as u8]), |r| r.unwrap()).unwrap();
         }
         up.drain();
         assert_eq!(store.object_count(), 100);
@@ -158,7 +419,7 @@ mod tests {
     }
 
     #[test]
-    fn failure_reported_to_callback() {
+    fn outage_parks_jobs_and_shutdown_reports_failure() {
         use crate::fault::FaultyStore;
         let faulty = FaultyStore::new(
             MemoryStore::new(),
@@ -170,8 +431,139 @@ mod tests {
         let up = Uploader::new(store, 1);
         let failed = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&failed);
-        up.enqueue("k", Arc::new(vec![1]), move |r| flag.store(r.is_err(), Ordering::SeqCst));
+        up.enqueue("k", Arc::new(vec![1]), move |r| flag.store(r.is_err(), Ordering::SeqCst))
+            .unwrap();
+        // The job parks under the open breaker instead of being dropped; it
+        // stays pending until shutdown delivers the final error callback.
+        drop(up);
+        assert!(failed.load(Ordering::SeqCst), "shutdown must complete parked jobs with Err");
+    }
+
+    #[test]
+    fn enqueue_after_shutdown_returns_unavailable() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let mut up = Uploader::new(store, 1);
+        up.enqueue("a", Arc::new(vec![1]), |r| r.unwrap()).unwrap();
         up.drain();
-        assert!(failed.load(Ordering::SeqCst));
+        // Simulate shutdown without dropping the handle.
+        {
+            let mut st = lock(&up.inner.state);
+            st.shutdown = true;
+        }
+        up.inner.work_cv.notify_all();
+        up.inner.done_cv.notify_all();
+        for w in up.workers.drain(..) {
+            let _ = w.join();
+        }
+        let r = up.enqueue("b", Arc::new(vec![2]), |_| {});
+        assert!(matches!(r, Err(Error::Unavailable(_))));
+    }
+
+    #[test]
+    fn one_failing_key_does_not_stall_other_uploads() {
+        /// Fails every put of keys containing "bad" with a transient error.
+        struct SelectiveStore {
+            inner: MemoryStore,
+            bad_puts: AtomicU64,
+        }
+        impl ObjectStore for SelectiveStore {
+            fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
+                if key.contains("bad") {
+                    self.bad_puts.fetch_add(1, Ordering::SeqCst);
+                    return Err(Error::Unavailable("selective failure".into()));
+                }
+                self.inner.put(key, bytes)
+            }
+            fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+                self.inner.get(key)
+            }
+            fn list(&self, prefix: &str) -> Result<Vec<String>> {
+                self.inner.list(prefix)
+            }
+            fn delete(&self, key: &str) -> Result<()> {
+                self.inner.delete(key)
+            }
+        }
+        let store =
+            Arc::new(SelectiveStore { inner: MemoryStore::new(), bad_puts: AtomicU64::new(0) });
+        // One worker: with on-thread retry sleeps the bad key would serialize
+        // in front of every good one for its whole backoff window.
+        let up = Uploader::with_config(
+            Arc::clone(&store) as Arc<dyn ObjectStore>,
+            UploaderConfig {
+                threads: 1,
+                // Wide spacing between bad-key retries; good keys must slip
+                // through the gaps instead of waiting them out.
+                base_backoff: Duration::from_millis(50),
+                max_backoff: Duration::from_millis(200),
+                max_attempts: 4,
+                ..UploaderConfig::default()
+            },
+            // High threshold: this test is about per-key retry scheduling,
+            // not the breaker — the bad key must exhaust its own budget
+            // instead of tripping an outage and parking forever.
+            crate::health::BlobHealth::with_config(
+                "selective-test",
+                crate::health::BreakerConfig { failure_threshold: 100, ..Default::default() },
+            ),
+        );
+        let bad_failed = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&bad_failed);
+        up.enqueue("bad/key", Arc::new(vec![0]), move |r| flag.store(r.is_err(), Ordering::SeqCst))
+            .unwrap();
+        for i in 0..20 {
+            up.enqueue(format!("good/{i}"), Arc::new(vec![i as u8]), |r| r.unwrap()).unwrap();
+        }
+        // All good keys land while the bad key is still inside its backoff
+        // schedule (4 attempts ≥ 150ms of spacing; 20 in-memory puts are
+        // orders of magnitude faster than that).
+        let t0 = Instant::now();
+        while store.inner.object_count() < 20 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "good uploads stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            store.bad_puts.load(Ordering::SeqCst) < 4,
+            "good keys finished before the bad key's backoff schedule did"
+        );
+        up.drain();
+        assert!(bad_failed.load(Ordering::SeqCst), "bad key reported failure after its budget");
+        assert_eq!(up.pending(), 0);
+    }
+
+    #[test]
+    fn bounded_backlog_applies_backpressure() {
+        use crate::fault::FaultyStore;
+        let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+        faulty.set_unavailable(true);
+        let up = Arc::new(Uploader::with_config(
+            Arc::clone(&faulty) as Arc<dyn ObjectStore>,
+            UploaderConfig { threads: 1, capacity: 4, ..UploaderConfig::default() },
+            BlobHealth::new("backpressure-test"),
+        ));
+        // Fill the backlog during the outage (jobs park, nothing completes).
+        for i in 0..4 {
+            up.enqueue(format!("k/{i}"), Arc::new(vec![i as u8]), |_| {}).unwrap();
+        }
+        let t0 = Instant::now();
+        while !up.backlogged() {
+            assert!(t0.elapsed() < Duration::from_secs(5), "backlog never filled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The fifth enqueue blocks until the store recovers and a slot frees.
+        let up2 = Arc::clone(&up);
+        let unblocked = Arc::new(AtomicBool::new(false));
+        let unblocked2 = Arc::clone(&unblocked);
+        let h = std::thread::spawn(move || {
+            up2.enqueue("k/extra", Arc::new(vec![9]), |r| r.unwrap()).unwrap();
+            unblocked2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!unblocked.load(Ordering::SeqCst), "enqueue must block at capacity");
+        faulty.set_unavailable(false);
+        h.join().unwrap();
+        assert!(unblocked.load(Ordering::SeqCst));
+        up.drain();
+        assert_eq!(up.pending(), 0);
     }
 }

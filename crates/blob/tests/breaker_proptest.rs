@@ -1,0 +1,296 @@
+//! Property tests for the circuit-breaker state machine ([`BreakerCore`]).
+//!
+//! The breaker runs on a logical millisecond clock, so randomized sequences
+//! of successes, failures and time advances are fully deterministic. A
+//! reference model (written independently from the documented semantics)
+//! is stepped alongside the real core; every divergence — in admission
+//! decisions, state, health, or retry hints — is a failure with a shrunk
+//! counterexample.
+//!
+//! On top of model equivalence, each step asserts the structural
+//! invariants the resilience layer leans on:
+//!
+//! - Open fails fast: no request is admitted before the cooldown elapses;
+//! - transitions follow Closed → Open → HalfOpen → {Closed, Open} only;
+//! - Closed trips to Open exactly at the consecutive-failure threshold;
+//! - HalfOpen admits a single probe at a time;
+//! - `retry_in_ms` is `Some` exactly while Open, and counts down to the
+//!   probe admission.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use s2_blob::{BreakerConfig, BreakerCore, CircuitState, StoreHealth};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Advance the logical clock.
+    Advance(u64),
+    /// Ask for admission; if admitted, report this outcome.
+    Attempt { succeed: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..250).prop_map(Op::Advance),
+        5 => any::<bool>().prop_map(|succeed| Op::Attempt { succeed }),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = BreakerConfig> {
+    (1u32..6, 10u64..200, 1u64..8, 1u32..4, 50u64..500).prop_map(
+        |(threshold, cooldown, escalation, probes, window)| BreakerConfig {
+            failure_threshold: threshold,
+            open_cooldown: Duration::from_millis(cooldown),
+            max_cooldown: Duration::from_millis(cooldown * escalation),
+            probe_successes: probes,
+            degraded_window: Duration::from_millis(window),
+        },
+    )
+}
+
+/// Reference implementation of the documented breaker semantics.
+struct Model {
+    cfg: BreakerConfig,
+    state: CircuitState,
+    consec: u32,
+    opened_at: u64,
+    cooldown_ms: u64,
+    probe_inflight: bool,
+    probe_ok: u32,
+    last_failure: Option<u64>,
+}
+
+impl Model {
+    fn new(cfg: BreakerConfig) -> Model {
+        Model {
+            cooldown_ms: cfg.open_cooldown.as_millis() as u64,
+            cfg,
+            state: CircuitState::Closed,
+            consec: 0,
+            opened_at: 0,
+            probe_inflight: false,
+            probe_ok: 0,
+            last_failure: None,
+        }
+    }
+
+    fn allow(&mut self, now: u64) -> bool {
+        match self.state {
+            CircuitState::Closed => true,
+            CircuitState::Open => {
+                if now.saturating_sub(self.opened_at) >= self.cooldown_ms {
+                    self.state = CircuitState::HalfOpen;
+                    self.probe_inflight = true;
+                    self.probe_ok = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            CircuitState::HalfOpen => {
+                if self.probe_inflight {
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    fn on_success(&mut self) {
+        match self.state {
+            CircuitState::Closed => self.consec = 0,
+            CircuitState::HalfOpen => {
+                self.probe_inflight = false;
+                self.probe_ok += 1;
+                if self.probe_ok >= self.cfg.probe_successes {
+                    self.state = CircuitState::Closed;
+                    self.consec = 0;
+                    self.cooldown_ms = self.cfg.open_cooldown.as_millis() as u64;
+                }
+            }
+            CircuitState::Open => {}
+        }
+    }
+
+    fn on_failure(&mut self, now: u64) {
+        self.last_failure = Some(now);
+        match self.state {
+            CircuitState::Closed => {
+                self.consec += 1;
+                if self.consec >= self.cfg.failure_threshold {
+                    self.state = CircuitState::Open;
+                    self.opened_at = now;
+                }
+            }
+            CircuitState::HalfOpen => {
+                self.probe_inflight = false;
+                self.probe_ok = 0;
+                self.state = CircuitState::Open;
+                self.opened_at = now;
+                self.cooldown_ms =
+                    (self.cooldown_ms * 2).min(self.cfg.max_cooldown.as_millis() as u64).max(1);
+            }
+            CircuitState::Open => {}
+        }
+    }
+
+    fn health(&self, now: u64) -> StoreHealth {
+        match self.state {
+            CircuitState::Open | CircuitState::HalfOpen => StoreHealth::Outage,
+            CircuitState::Closed => {
+                let recent = self.last_failure.is_some_and(|t| {
+                    now.saturating_sub(t) < self.cfg.degraded_window.as_millis() as u64
+                });
+                if self.consec > 0 || recent {
+                    StoreHealth::Degraded
+                } else {
+                    StoreHealth::Healthy
+                }
+            }
+        }
+    }
+}
+
+fn legal_transition(from: CircuitState, to: CircuitState) -> bool {
+    use CircuitState::*;
+    matches!(
+        (from, to),
+        (Closed, Closed)
+            | (Closed, Open)
+            | (Open, Open)
+            | (Open, HalfOpen)
+            | (HalfOpen, HalfOpen)
+            | (HalfOpen, Open)
+            | (HalfOpen, Closed)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn breaker_matches_reference_model(
+        cfg in config_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut core = BreakerCore::new(cfg);
+        let mut model = Model::new(cfg);
+        let mut now = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Advance(dt) => now += dt,
+                Op::Attempt { succeed } => {
+                    let prev = core.state();
+                    let hint = core.retry_in_ms(now);
+
+                    // retry_in_ms is the Open-state countdown, nothing else.
+                    prop_assert_eq!(hint.is_some(), prev == CircuitState::Open);
+
+                    let admitted = core.allow(now);
+                    let model_admitted = model.allow(now);
+                    prop_assert_eq!(admitted, model_admitted,
+                        "admission diverged at t={} (state {:?})", now, prev);
+
+                    // Open fails fast until the countdown hits zero; once it
+                    // does, the next attempt is admitted as a probe.
+                    if let Some(ms) = hint {
+                        prop_assert_eq!(admitted, ms == 0,
+                            "open breaker admission disagrees with retry hint {}ms", ms);
+                    }
+                    // `allow` may lazily move Open → HalfOpen; nothing else.
+                    let mid = core.state();
+                    prop_assert!(
+                        mid == prev
+                            || (prev == CircuitState::Open && mid == CircuitState::HalfOpen),
+                        "allow() made illegal transition {:?} -> {:?}", prev, mid);
+
+                    if admitted {
+                        if succeed {
+                            core.on_success(now);
+                            model.on_success();
+                        } else {
+                            core.on_failure(now);
+                            model.on_failure(now);
+                        }
+                    }
+
+                    prop_assert_eq!(core.state(), model.state,
+                        "state diverged at t={}", now);
+                    prop_assert!(legal_transition(mid, core.state()),
+                        "illegal transition {:?} -> {:?}", mid, core.state());
+                    prop_assert_eq!(core.health(now), model.health(now),
+                        "health diverged at t={}", now);
+                }
+            }
+        }
+    }
+
+    /// The canonical arc under any tuning: hammer failures until Open,
+    /// verify fail-fast for the whole cooldown, then recover through
+    /// HalfOpen probes back to Closed.
+    #[test]
+    fn full_recovery_cycle(cfg in config_strategy()) {
+        let mut core = BreakerCore::new(cfg);
+        let mut now = 5u64;
+
+        // Trip: exactly `failure_threshold` consecutive failures open it.
+        for i in 0..cfg.failure_threshold {
+            prop_assert_eq!(core.state(), CircuitState::Closed, "tripped early at {}", i);
+            prop_assert!(core.allow(now));
+            core.on_failure(now);
+        }
+        prop_assert_eq!(core.state(), CircuitState::Open);
+
+        // Fail fast for the entire cooldown.
+        let cooldown = cfg.open_cooldown.as_millis() as u64;
+        for dt in [0, cooldown / 2, cooldown.saturating_sub(1)] {
+            if dt < cooldown {
+                prop_assert!(!core.allow(now + dt), "admitted {}ms into a {}ms cooldown", dt, cooldown);
+            }
+        }
+        prop_assert_eq!(core.retry_in_ms(now), Some(cooldown));
+
+        // Cooldown over: exactly one probe is admitted at a time.
+        now += cooldown;
+        prop_assert!(core.allow(now));
+        prop_assert_eq!(core.state(), CircuitState::HalfOpen);
+        prop_assert!(!core.allow(now), "second concurrent probe admitted");
+
+        // Enough probe successes close it again.
+        core.on_success(now);
+        for _ in 1..cfg.probe_successes {
+            prop_assert!(core.allow(now));
+            core.on_success(now);
+        }
+        prop_assert_eq!(core.state(), CircuitState::Closed);
+        prop_assert!(core.allow(now));
+    }
+
+    /// Failed probes escalate the cooldown (doubling, capped), so a dead
+    /// store is probed less and less often — but never less than the cap
+    /// allows.
+    #[test]
+    fn failed_probes_escalate_cooldown(cfg in config_strategy()) {
+        let mut core = BreakerCore::new(cfg);
+        let mut now = 0u64;
+        for _ in 0..cfg.failure_threshold {
+            prop_assert!(core.allow(now));
+            core.on_failure(now);
+        }
+        let cap = cfg.max_cooldown.as_millis() as u64;
+        let mut expected = cfg.open_cooldown.as_millis() as u64;
+        for round in 0..6 {
+            prop_assert_eq!(core.retry_in_ms(now), Some(expected),
+                "cooldown wrong before probe round {}", round);
+            now += expected;
+            prop_assert!(core.allow(now), "probe not admitted after cooldown");
+            core.on_failure(now); // probe fails: reopen, escalate
+            prop_assert_eq!(core.state(), CircuitState::Open);
+            expected = (expected * 2).min(cap).max(1);
+        }
+    }
+}

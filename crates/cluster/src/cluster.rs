@@ -8,8 +8,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
-use s2_blob::ObjectStore;
-use s2_common::{Error, LogPosition, Result, Row, Schema, TableId, TableOptions, Timestamp, Value};
+use s2_blob::{BlobHealth, ObjectStore, ResilientStore};
+use s2_common::{
+    Error, LogPosition, Result, RetryPolicy, Row, Schema, TableId, TableOptions, Timestamp, Value,
+};
 use s2_core::{DataFileStore, DuplicatePolicy, InsertReport, MemFileStore, Partition, Txn};
 use s2_exec::Batch;
 use s2_query::{execute_with_stats, ExecOptions, ExecStats, Plan, UnionContext};
@@ -103,20 +105,38 @@ pub struct Cluster {
     config: ClusterConfig,
     sets: Vec<Arc<PartitionSet>>,
     tables: RwLock<HashMap<String, TableMeta>>,
+    /// One health view for the cluster's blob store, shared by every
+    /// partition's uploader, cold reads and shipping service: the first
+    /// layer to see an outage shields all the others.
+    blob_health: Option<Arc<BlobHealth>>,
     maintenance_stop: Arc<std::sync::atomic::AtomicBool>,
     maintenance_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
+
+static CLUSTER_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Cluster {
     /// Bring up a cluster.
     pub fn new(name: impl Into<String>, config: ClusterConfig) -> Result<Arc<Cluster>> {
         let name = name.into();
+        // Private (per-cluster) health rather than the global registry:
+        // parallel tests each get an isolated breaker. The sharing that
+        // matters — across this cluster's partitions and layers — is wired
+        // explicitly below.
+        let blob_health = config.blob.as_ref().map(|_| {
+            let seq = CLUSTER_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            BlobHealth::new(format!("{name}-blob#{seq}"))
+        });
         let mut sets = Vec::with_capacity(config.partitions);
         for pid in 0..config.partitions {
             let pname = format!("{name}_p{pid}");
             let (file_store, blob_files): (Arc<dyn DataFileStore>, _) = match &config.blob {
                 Some(blob) => {
-                    let bf = BlobBackedFileStore::new(Arc::clone(blob), config.cache_bytes);
+                    let bf = BlobBackedFileStore::with_health(
+                        Arc::clone(blob),
+                        config.cache_bytes,
+                        Arc::clone(blob_health.as_ref().expect("health exists when blob does")),
+                    );
                     (bf.clone() as Arc<dyn DataFileStore>, Some(bf))
                 }
                 None => (Arc::new(MemFileStore::new()) as Arc<dyn DataFileStore>, None),
@@ -134,7 +154,16 @@ impl Cluster {
             let storage_service = config.blob.as_ref().map(|blob| {
                 let mut cfg = config.storage.clone();
                 cfg.require_replicated = config.sync_replication && config.ha_replicas > 0;
-                StorageService::start(Arc::clone(&master), Arc::clone(blob), cfg)
+                let health =
+                    Arc::clone(blob_health.as_ref().expect("health exists when blob does"));
+                // Shipping puts go through the breaker too: chunk/snapshot
+                // failures feed the same health that pauses the loop.
+                let resilient = Arc::new(ResilientStore::new(
+                    Arc::clone(blob),
+                    Arc::clone(&health),
+                    RetryPolicy::blob_default(),
+                )) as Arc<dyn ObjectStore>;
+                StorageService::start_with_health(Arc::clone(&master), resilient, cfg, Some(health))
             });
             sets.push(Arc::new(PartitionSet {
                 name: pname,
@@ -150,6 +179,7 @@ impl Cluster {
             config,
             sets,
             tables: RwLock::new(HashMap::new()),
+            blob_health,
             maintenance_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             maintenance_thread: Mutex::new(None),
         });
@@ -170,6 +200,15 @@ impl Cluster {
                             s2_obs::counter!("cluster.heartbeat.lagging").inc();
                         }
                         let _ = set.master().maintenance_pass();
+                        // Re-queue uploads whose per-key retry budget ran
+                        // out (they stayed pinned locally in the meantime).
+                        if let Some(bf) = &set.blob_files {
+                            let n = bf.resubmit_failed();
+                            if n > 0 {
+                                s2_obs::counter!("cluster.maintenance.upload_resubmits")
+                                    .add(n as u64);
+                            }
+                        }
                     }
                     std::thread::sleep(Duration::from_millis(100));
                 }
@@ -177,6 +216,11 @@ impl Cluster {
             *cluster.maintenance_thread.lock() = Some(handle);
         }
         Ok(cluster)
+    }
+
+    /// The shared blob-store health view, when separated storage is on.
+    pub fn blob_health(&self) -> Option<&Arc<BlobHealth>> {
+        self.blob_health.as_ref()
     }
 
     /// Partition count.
@@ -414,8 +458,21 @@ impl Cluster {
             // mark everything known-uploaded in blob as uploaded.
             let shipped = crate::pitr::max_uploaded_lp(blob, &set.name)?;
             new_master.log.mark_uploaded(shipped);
-            *set.storage_service.lock() =
-                Some(StorageService::start(Arc::clone(&new_master), Arc::clone(blob), cfg));
+            let health = self.blob_health.as_ref().map(Arc::clone);
+            let store = match &health {
+                Some(h) => Arc::new(ResilientStore::new(
+                    Arc::clone(blob),
+                    Arc::clone(h),
+                    RetryPolicy::blob_default(),
+                )) as Arc<dyn ObjectStore>,
+                None => Arc::clone(blob),
+            };
+            *set.storage_service.lock() = Some(StorageService::start_with_health(
+                Arc::clone(&new_master),
+                store,
+                cfg,
+                health,
+            ));
         }
         *set.master.write() = new_master;
         s2_obs::counter!("cluster.failover.promotions").inc();

@@ -10,46 +10,100 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::RwLock;
-use s2_blob::{FileCache, ObjectStore, Uploader};
-use s2_common::{Error, LogPosition, Result};
+use s2_blob::{
+    BlobHealth, FileCache, ObjectStore, ResilientStore, StoreHealth, Uploader, UploaderConfig,
+};
+use s2_common::{DeadlineBudget, Error, LogPosition, Result, RetryPolicy};
 use s2_core::{DataFileStore, Partition};
 use s2_wal::Snapshot;
 
 /// Data files backed by blob storage with a local cache:
 /// - writes land locally and upload asynchronously ("uploaded ... as quickly
 ///   as possible after being committed");
-/// - files not yet uploaded are pinned locally (they are the only copy);
-/// - reads hit the cache, then the pinned set, then the blob store (cold
-///   data pulled on demand, paper §3.1), with a retry loop because a
-///   replica can observe a log record slightly before the file upload lands.
+/// - files not yet uploaded are pinned *in the cache itself* (they are the
+///   only copy) — eviction structurally cannot touch them until the upload
+///   callback unpins;
+/// - reads hit the cache (pinned entries included), then the blob store
+///   (cold data pulled on demand, paper §3.1) under a deadline budget: a
+///   replica can observe a log record slightly before the file upload lands
+///   (bounded NotFound retry), and an open circuit breaker fails the read
+///   fast with [`Error::Unavailable`] instead of hanging a query.
 pub struct BlobBackedFileStore {
-    blob: Arc<dyn ObjectStore>,
-    cache: FileCache,
+    /// Blob reads go through the breaker + bounded-retry wrapper.
+    blob: ResilientStore,
+    cache: Arc<FileCache>,
     uploader: Arc<Uploader>,
-    /// Files whose only copy is local (upload not yet complete). Shared with
-    /// uploader callbacks, which unpin on success.
-    pinned: Arc<RwLock<std::collections::HashMap<String, Arc<Vec<u8>>>>>,
+    health: Arc<BlobHealth>,
     uploaded: Arc<RwLock<HashSet<String>>>,
-    read_retry: Duration,
+    /// Files whose upload exhausted its per-key retry budget (still pinned
+    /// locally); [`BlobBackedFileStore::resubmit_failed`] re-queues them.
+    failed: Arc<RwLock<HashSet<String>>>,
+    read_budget: Duration,
 }
 
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
 impl BlobBackedFileStore {
-    /// Create a store with `cache_bytes` of local cache over `blob`.
+    /// Create a store with `cache_bytes` of local cache over `blob` and a
+    /// private health tracker (tests, standalone use). Cluster wiring shares
+    /// one health across every layer via
+    /// [`BlobBackedFileStore::with_health`].
     pub fn new(blob: Arc<dyn ObjectStore>, cache_bytes: usize) -> Arc<BlobBackedFileStore> {
-        let uploader = Arc::new(Uploader::new(Arc::clone(&blob), 2));
-        Arc::new(BlobBackedFileStore {
+        let n = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        BlobBackedFileStore::with_health(
             blob,
-            cache: FileCache::new(cache_bytes),
+            cache_bytes,
+            BlobHealth::new(format!("filestore#{n}")),
+        )
+    }
+
+    /// Create a store whose uploader and cold reads report into (and are
+    /// gated by) a shared [`BlobHealth`].
+    pub fn with_health(
+        blob: Arc<dyn ObjectStore>,
+        cache_bytes: usize,
+        health: Arc<BlobHealth>,
+    ) -> Arc<BlobBackedFileStore> {
+        BlobBackedFileStore::with_tuning(
+            blob,
+            cache_bytes,
+            UploaderConfig::default(),
+            health,
+            Duration::from_secs(2),
+        )
+    }
+
+    /// Fully-tuned constructor: uploader shape and cold-read deadline budget
+    /// are caller-chosen (the sim harness shrinks both so outage drills run
+    /// in milliseconds, not wall-clock seconds).
+    pub fn with_tuning(
+        blob: Arc<dyn ObjectStore>,
+        cache_bytes: usize,
+        uploader_cfg: UploaderConfig,
+        health: Arc<BlobHealth>,
+        read_budget: Duration,
+    ) -> Arc<BlobBackedFileStore> {
+        let uploader =
+            Arc::new(Uploader::with_config(Arc::clone(&blob), uploader_cfg, Arc::clone(&health)));
+        Arc::new(BlobBackedFileStore {
+            blob: ResilientStore::new(blob, Arc::clone(&health), RetryPolicy::blob_default()),
+            cache: Arc::new(FileCache::new(cache_bytes)),
             uploader,
-            pinned: Arc::new(RwLock::new(std::collections::HashMap::new())),
+            health,
             uploaded: Arc::new(RwLock::new(HashSet::new())),
-            read_retry: Duration::from_secs(5),
+            failed: Arc::new(RwLock::new(HashSet::new())),
+            read_budget,
         })
+    }
+
+    /// The shared health view gating this store's blob traffic.
+    pub fn health(&self) -> &Arc<BlobHealth> {
+        &self.health
     }
 
     /// Bytes pinned locally awaiting upload.
     pub fn pinned_bytes(&self) -> usize {
-        self.pinned.read().values().map(|b| b.len()).sum()
+        self.cache.pinned_bytes()
     }
 
     /// (cache hits, cache misses).
@@ -58,6 +112,7 @@ impl BlobBackedFileStore {
     }
 
     /// Block until all queued uploads finish (tests / clean shutdown).
+    /// During an outage this waits for recovery: parked uploads count.
     pub fn drain_uploads(&self) {
         self.uploader.drain();
     }
@@ -66,43 +121,96 @@ impl BlobBackedFileStore {
     pub fn uploaded_count(&self) -> usize {
         self.uploaded.read().len()
     }
+
+    /// Keys known to be fully uploaded (test / convergence-audit aid).
+    pub fn uploaded_keys(&self) -> Vec<String> {
+        self.uploaded.read().iter().cloned().collect()
+    }
+
+    /// True while the upload backlog is at capacity — callers shed or delay
+    /// optional flushes.
+    pub fn backlogged(&self) -> bool {
+        self.uploader.backlogged()
+    }
+
+    /// Uploads enqueued but not yet landed.
+    pub fn pending_uploads(&self) -> u64 {
+        self.uploader.pending()
+    }
+
+    /// Re-queue files whose upload previously exhausted its retry budget
+    /// (maintenance path). Returns how many were resubmitted.
+    pub fn resubmit_failed(&self) -> usize {
+        let keys: Vec<String> = {
+            let mut failed = self.failed.write();
+            let keys = failed.iter().cloned().collect();
+            failed.clear();
+            keys
+        };
+        let mut n = 0;
+        for key in keys {
+            // Peek, not get: a maintenance sweep must not distort recency.
+            if let Some(bytes) = self.cache.peek(&key) {
+                self.submit(key, bytes);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Hand one pinned file to the uploader; the callback unpins on success
+    /// and records budget-exhausted failures for resubmission.
+    fn submit(&self, key: String, bytes: Arc<Vec<u8>>) {
+        let uploaded = Arc::clone(&self.uploaded);
+        let failed = Arc::clone(&self.failed);
+        let cache = Arc::clone(&self.cache);
+        let cb_key = key.clone();
+        let res = self.uploader.enqueue(key.clone(), bytes, move |r| match r {
+            Ok(()) => {
+                uploaded.write().insert(cb_key.clone());
+                failed.write().remove(&cb_key);
+                cache.unpin(&cb_key);
+            }
+            Err(_) => {
+                // Still pinned locally: durability preserved. Remembered so a
+                // maintenance pass can resubmit once the store behaves.
+                failed.write().insert(cb_key.clone());
+            }
+        });
+        if let Err(e) = res {
+            // Uploader already shut down (teardown race): the file stays
+            // pinned; record it so a restart's resubmission sweep ships it.
+            self.failed.write().insert(key.clone());
+            s2_obs::event("blob.upload_enqueue_failed", format!("{key}: {e}"));
+        }
+    }
 }
 
 impl DataFileStore for BlobBackedFileStore {
     fn write_file(&self, name: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
-        // Local first: the commit path never waits on the blob store.
-        self.pinned.write().insert(name.to_string(), Arc::clone(&bytes));
-        self.cache.insert(name, Arc::clone(&bytes));
-        let key = name.to_string();
-        let uploaded = Arc::clone(&self.uploaded);
-        let pinned = Arc::clone(&self.pinned);
-        self.uploader.enqueue(key.clone(), bytes, move |r| {
-            if r.is_ok() {
-                uploaded.write().insert(key.clone());
-                pinned.write().remove(&key);
-            }
-            // On failure the file stays pinned locally; durability preserved,
-            // a later write or maintenance retry can re-enqueue.
-        });
+        // Local first: the commit path never waits on the blob store. The
+        // pin makes "never evict before upload" structural — there is no
+        // separate side table to fall out of sync with the cache.
+        self.cache.insert_pinned(name, Arc::clone(&bytes));
+        self.submit(name.to_string(), bytes);
         Ok(())
     }
 
     fn read_file(&self, name: &str) -> Result<Arc<Vec<u8>>> {
-        if let Some(b) = self.pinned.read().get(name) {
-            return Ok(Arc::clone(b));
-        }
-        let deadline = std::time::Instant::now() + self.read_retry;
+        let budget = DeadlineBudget::new(self.read_budget);
         loop {
             match self.cache.get_or_fetch(name, || self.blob.get(name)) {
                 Ok(b) => return Ok(b),
-                Err(Error::NotFound(_)) if std::time::Instant::now() < deadline => {
+                Err(Error::NotFound(_)) if !budget.expired() => {
                     // A replica can observe the log record referencing this
-                    // file slightly before the async upload lands; retry.
-                    if let Some(b) = self.pinned.read().get(name) {
-                        return Ok(Arc::clone(b));
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
+                    // file slightly before the async upload lands; retry
+                    // inside the budget (the cache re-check on the next loop
+                    // also catches a concurrent local write).
+                    budget.sleep(Duration::from_millis(5));
                 }
+                // Unavailable surfaces here once the breaker/bounded retries
+                // inside `ResilientStore` give up: fail the query fast
+                // rather than hanging it for the whole outage.
                 Err(e) => return Err(e),
             }
         }
@@ -113,8 +221,8 @@ impl DataFileStore for BlobBackedFileStore {
         // store "acts as a continuous backup" (paper §3.2), so point-in-time
         // restores to before the deleting merge keep working. A retention
         // policy (not modeled) would garbage-collect old objects.
-        self.pinned.write().remove(name);
         self.cache.remove(name);
+        self.failed.write().remove(name);
         Ok(())
     }
 }
@@ -169,16 +277,49 @@ impl StorageService {
         blob: Arc<dyn ObjectStore>,
         config: StorageConfig,
     ) -> StorageService {
+        StorageService::start_with_health(partition, blob, config, None)
+    }
+
+    /// Start the service with a shared health view: while the breaker
+    /// reports an outage the shipping loop pauses (no chunk/snapshot puts
+    /// hammering a dead store, no spurious pass errors) and resumes on
+    /// recovery — both observable as `storage.pause` / `storage.resume`
+    /// events. Callers that pass a health should also wrap `blob` in a
+    /// [`ResilientStore`] reporting into it, so pass failures feed the
+    /// breaker that pauses the loop.
+    pub fn start_with_health(
+        partition: Arc<Partition>,
+        blob: Arc<dyn ObjectStore>,
+        config: StorageConfig,
+        health: Option<Arc<BlobHealth>>,
+    ) -> StorageService {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let last_snapshot_lp = Arc::new(AtomicU64::new(0));
         let last_snap = Arc::clone(&last_snapshot_lp);
         let thread = std::thread::spawn(move || {
+            let mut paused = false;
             while !stop2.load(Ordering::Acquire) {
-                let _ = Self::pass(&partition, &blob, &config, &last_snap);
+                let outage = health.as_ref().is_some_and(|h| h.health() == StoreHealth::Outage);
+                if outage != paused {
+                    paused = outage;
+                    s2_obs::gauge!("storage.shipping_paused").set(paused as i64);
+                    s2_obs::event(
+                        if paused { "storage.pause" } else { "storage.resume" },
+                        format!(
+                            "{}: blob outage {}",
+                            partition.name,
+                            if paused { "began" } else { "ended" }
+                        ),
+                    );
+                }
+                if !paused {
+                    let _ = Self::pass(&partition, &blob, &config, &last_snap);
+                }
                 std::thread::sleep(config.tick);
             }
-            // Final drain so shutdown leaves a complete blob image.
+            // Final drain so shutdown leaves a complete blob image (best
+            // effort during an outage — the put fails fast, stays pending).
             let _ = Self::pass(&partition, &blob, &config, &last_snap);
         });
         StorageService { stop, thread: Some(thread), last_snapshot_lp }

@@ -1,15 +1,31 @@
 //! Unit-level tests of the separated-storage plumbing: pinned-until-uploaded
-//! data files, read-through caching, and log/snapshot shipping.
+//! data files, read-through caching, log/snapshot shipping, and the
+//! degraded modes the resilience layer guarantees during blob outages.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use s2_blob::{FaultyStore, MemoryStore, ObjectStore};
+use s2_blob::{
+    BlobHealth, BreakerConfig, CircuitState, FaultyStore, MemoryStore, ObjectStore, ResilientStore,
+    StoreHealth, UploaderConfig,
+};
 use s2_cluster::{log_chunk_key, BlobBackedFileStore, StorageConfig, StorageService};
 use s2_common::schema::ColumnDef;
-use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_common::{DataType, Error, RetryPolicy, Row, Schema, TableOptions, Value};
 use s2_core::{DataFileStore, Partition};
 use s2_wal::{Log, Snapshot};
+
+/// Breaker tuning fast enough for tests but with a cooldown long enough
+/// that "fail fast while open" is observable.
+fn fast_breaker() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: 2,
+        open_cooldown: Duration::from_millis(200),
+        max_cooldown: Duration::from_secs(1),
+        probe_successes: 1,
+        degraded_window: Duration::from_millis(100),
+    }
+}
 
 #[test]
 fn files_stay_pinned_until_uploaded() {
@@ -85,6 +101,163 @@ fn storage_service_ships_chunks_and_snapshots() {
     assert!(!snaps.is_empty());
     let snap = Snapshot::decode(&blob.get(snaps.last().unwrap()).unwrap()).unwrap();
     assert!(snap.lp <= p.log.end_lp());
+}
+
+#[test]
+fn cold_reads_fail_fast_when_breaker_open() {
+    let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    let blob = Arc::new(Shared(faulty.clone())) as Arc<dyn ObjectStore>;
+    let health = BlobHealth::with_config("t-cold-fail-fast", fast_breaker());
+    let store = BlobBackedFileStore::with_tuning(
+        blob,
+        1 << 20,
+        UploaderConfig::default(),
+        Arc::clone(&health),
+        Duration::from_millis(400),
+    );
+    store.write_file("f/1", Arc::new(vec![1u8; 64])).unwrap();
+    store.drain_uploads();
+    store.delete_file("f/1").unwrap(); // cold-read target: blob-only copy
+
+    faulty.set_unavailable(true);
+    // The first cold read burns its bounded retries and trips the breaker.
+    assert!(store.read_file("f/1").is_err());
+    assert_eq!(health.state(), CircuitState::Open);
+
+    // With the breaker open, the next read fails immediately — a query
+    // never hangs for the duration of the outage.
+    let t = Instant::now();
+    assert!(matches!(store.read_file("f/1"), Err(Error::Unavailable(_))));
+    assert!(t.elapsed() < Duration::from_millis(150), "not fail-fast: {:?}", t.elapsed());
+
+    // Recovery: once the cooldown admits a probe, the same read succeeds.
+    faulty.set_unavailable(false);
+    let t0 = Instant::now();
+    loop {
+        match store.read_file("f/1") {
+            Ok(b) => {
+                assert_eq!(b.len(), 64);
+                break;
+            }
+            Err(_) if t0.elapsed() < Duration::from_secs(3) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("cold read never recovered: {e}"),
+        }
+    }
+}
+
+#[test]
+fn outage_cannot_evict_unuploaded_files() {
+    let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    faulty.set_unavailable(true);
+    let blob = Arc::new(Shared(faulty.clone())) as Arc<dyn ObjectStore>;
+    // 256-byte cache budget, then 500 bytes of un-uploadable files: the pin
+    // must win over the budget — these are the only copies in existence.
+    let store = BlobBackedFileStore::with_tuning(
+        blob,
+        256,
+        UploaderConfig {
+            threads: 1,
+            capacity: 16,
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+        },
+        BlobHealth::with_config("t-no-evict", fast_breaker()),
+        Duration::from_millis(200),
+    );
+    for i in 0..5u8 {
+        store.write_file(&format!("f/{i}"), Arc::new(vec![i; 100])).unwrap();
+    }
+    assert!(store.pinned_bytes() >= 500, "pinned {} of 500 bytes", store.pinned_bytes());
+    for i in 0..5u8 {
+        let b = store.read_file(&format!("f/{i}")).unwrap();
+        assert_eq!((b.len(), b[0]), (100, i), "local copy must stay readable during outage");
+    }
+
+    // Recovery: parked and budget-exhausted uploads all land, nothing stays
+    // pinned, and the blob store holds every file.
+    faulty.set_unavailable(false);
+    let t0 = Instant::now();
+    while store.uploaded_count() < 5 {
+        store.resubmit_failed();
+        assert!(t0.elapsed() < Duration::from_secs(5), "backlog did not drain after recovery");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    store.drain_uploads();
+    assert_eq!(store.pinned_bytes(), 0);
+    for i in 0..5u8 {
+        assert_eq!(faulty.get(&format!("f/{i}")).unwrap()[0], i);
+    }
+}
+
+#[test]
+fn shipping_pauses_during_outage_and_resumes() {
+    let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    let blob = Arc::new(Shared(faulty.clone())) as Arc<dyn ObjectStore>;
+    let health = BlobHealth::with_config("t-ship-pause", fast_breaker());
+    let ship = Arc::new(ResilientStore::new(
+        Arc::clone(&blob),
+        Arc::clone(&health),
+        RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            deadline: Duration::from_millis(100),
+        },
+    )) as Arc<dyn ObjectStore>;
+
+    let p = Partition::new(
+        "pause0",
+        Arc::new(Log::in_memory()),
+        Arc::new(s2_core::MemFileStore::new()),
+    );
+    let schema = Schema::new(vec![ColumnDef::new("id", DataType::Int64)]).unwrap();
+    let t = p.create_table("t", schema, TableOptions::new().with_unique("pk", vec![0])).unwrap();
+    for i in 0..100i64 {
+        let mut txn = p.begin();
+        txn.insert(t, Row::new(vec![Value::Int(i)])).unwrap();
+        txn.commit().unwrap();
+    }
+
+    // Trip the breaker before the service starts: it must come up paused.
+    faulty.set_unavailable(true);
+    for _ in 0..2 {
+        let _ = ship.put("t-ship-pause/probe", Arc::new(vec![0]));
+    }
+    assert_eq!(health.health(), StoreHealth::Outage);
+    let mut svc = StorageService::start_with_health(
+        Arc::clone(&p),
+        Arc::clone(&ship),
+        StorageConfig {
+            chunk_bytes: 256,
+            snapshot_interval_bytes: 1 << 30, // no snapshots in this test
+            tick: Duration::from_millis(2),
+            require_replicated: false,
+        },
+        Some(Arc::clone(&health)),
+    );
+    std::thread::sleep(Duration::from_millis(80));
+    assert_eq!(p.log.uploaded_lp(), 0, "paused service must not ship during an outage");
+
+    // The store recovers; a probe (here: any guarded operation — in the
+    // cluster the uploader's parked jobs do this) closes the breaker, and
+    // the service resumes shipping on its next tick.
+    faulty.set_unavailable(false);
+    let t0 = Instant::now();
+    while health.health() == StoreHealth::Outage {
+        let _ = ship.put("t-ship-pause/probe", Arc::new(vec![0]));
+        assert!(t0.elapsed() < Duration::from_secs(3), "breaker never closed after recovery");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let t0 = Instant::now();
+    while p.log.uploaded_lp() < p.log.durable_lp() {
+        assert!(t0.elapsed() < Duration::from_secs(3), "shipping did not resume");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    svc.stop();
+    assert!(!faulty.list("pause0/log/").unwrap().is_empty());
 }
 
 /// Share a typed `FaultyStore` as `Arc<dyn ObjectStore>`.

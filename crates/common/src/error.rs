@@ -52,10 +52,36 @@ impl From<std::io::Error> for Error {
     }
 }
 
+/// How a failed operation should be retried, if at all. The blob resilience
+/// layer (`s2_common::retry`, `s2_blob::health`) keys its backoff and
+/// circuit-breaker decisions off this classification rather than matching
+/// error variants ad hoc at every call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Retrying cannot help (corruption, bad arguments, internal bugs,
+    /// missing objects). Fail immediately; never burn a retry budget.
+    Permanent,
+    /// The backend may recover on its own (blob-store unavailability,
+    /// transient IO). Retry with backoff; counts against breaker health.
+    Transient,
+    /// Another actor holds a resource (row locks). Retry quickly without
+    /// exponential spacing; says nothing about backend health.
+    Contended,
+}
+
 impl Error {
+    /// Classify this error for retry/backoff/circuit-breaker purposes.
+    pub fn retry_class(&self) -> RetryClass {
+        match self {
+            Error::Unavailable(_) | Error::Io(_) => RetryClass::Transient,
+            Error::LockConflict(_) => RetryClass::Contended,
+            _ => RetryClass::Permanent,
+        }
+    }
+
     /// True when retrying the same operation may succeed (lock conflicts,
-    /// transient blob-store unavailability).
+    /// transient blob-store unavailability or IO).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::LockConflict(_) | Error::Unavailable(_))
+        self.retry_class() != RetryClass::Permanent
     }
 }

@@ -13,13 +13,15 @@ pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod io;
+pub mod retry;
 pub mod row;
 pub mod schema;
 pub mod types;
 pub mod value;
 
 pub use bitvec::BitVec;
-pub use error::{Error, Result};
+pub use error::{Error, Result, RetryClass};
+pub use retry::{DeadlineBudget, RetryPolicy};
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema, TableOptions};
 pub use types::{

@@ -19,16 +19,26 @@
 //!   every captured position.
 //! - [`runner::run_many`] sweeps seed ranges; every failure prints the seed
 //!   and kill-point trace, and the same seed replays the identical trace.
+//! - [`outage::run_outage_scenario`] drills the blob-resilience layer:
+//!   transient error bursts, a sustained 100% outage, and a latency spike,
+//!   checking that commits keep acknowledging, cold reads fail fast within
+//!   their budget, and the upload backlog fully drains (blob/local
+//!   convergence) after recovery.
 //!
-//! Run it: `cargo run -p s2-sim -- --seed 42 --scenarios 200`.
+//! Run it: `cargo run -p s2-sim -- --seed 42 --scenarios 200`, or
+//! `cargo run -p s2-sim -- --scenario outage --seed 7 --scenarios 10`.
 
 pub mod oracle;
+pub mod outage;
 pub mod plan;
 pub mod runner;
 pub mod scenario;
 pub mod storage;
 
 pub use oracle::{Model, Oracle};
+pub use outage::{
+    run_outage_many, run_outage_scenario, OutageReport, OutageSummary, OUTAGE_PARTITION,
+};
 pub use plan::{FaultPlan, SiteConfig};
 pub use runner::{run_many, RunSummary};
 pub use scenario::{

@@ -2,16 +2,19 @@
 //!
 //! ```text
 //! cargo run -p s2-sim -- --seed 42 --scenarios 200 [--verbose]
+//! cargo run -p s2-sim -- --scenario outage --seed 7 --scenarios 10
 //! ```
 //!
-//! Exit code 0 means every scenario upheld every invariant; 1 means at
-//! least one violation (each printed with its replayable seed and
-//! kill-point trace).
+//! `--scenario crash` (default) runs the crash-recovery sweep; `outage`
+//! runs blob-outage drills against the resilience layer. Exit code 0 means
+//! every scenario upheld every invariant; 1 means at least one violation
+//! (each printed with its replayable seed and decision trace).
 
 fn main() {
     let mut seed = 42u64;
     let mut scenarios = 200usize;
     let mut verbose = false;
+    let mut scenario = "crash".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -27,13 +30,38 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--scenarios needs an integer"));
             }
+            "--scenario" => {
+                scenario = args.next().unwrap_or_else(|| die("--scenario needs crash|outage"));
+                if scenario != "crash" && scenario != "outage" {
+                    die("--scenario needs crash|outage");
+                }
+            }
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
-                println!("usage: s2-sim [--seed N] [--scenarios N] [--verbose]");
+                println!(
+                    "usage: s2-sim [--scenario crash|outage] [--seed N] [--scenarios N] [--verbose]"
+                );
                 return;
             }
             other => die(&format!("unknown argument {other:?}")),
         }
+    }
+
+    if scenario == "outage" {
+        println!("s2-sim: {scenarios} outage drills from seed {seed}");
+        let summary = s2_sim::run_outage_many(seed, scenarios, verbose);
+        println!("{}", summary.summary_line());
+        if !summary.failures.is_empty() {
+            println!("\nreproduce with:");
+            for v in &summary.failures {
+                println!(
+                    "  cargo run -p s2-sim -- --scenario outage --seed {} --scenarios 1",
+                    v.seed
+                );
+            }
+            std::process::exit(1);
+        }
+        return;
     }
 
     println!("s2-sim: {scenarios} scenarios from seed {seed}");

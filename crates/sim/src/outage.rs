@@ -1,0 +1,575 @@
+//! Blob-outage drill: a seed-driven scenario exercising the resilience
+//! layer end to end — circuit breaker, parked uploads, fail-fast cold
+//! reads, shipping pause/resume — against the paper's availability contract
+//! (§3, §3.1): the blob store is *off the commit path*, so commits must
+//! keep acknowledging while it is down, and everything that does talk to it
+//! must degrade within a bounded budget instead of hanging.
+//!
+//! Phases, each drawn from the seed:
+//!
+//! 1. **Warmup** (healthy): commits, flushes, shipping; a probe file is
+//!    uploaded and its local copy dropped so later phases have a guaranteed
+//!    cold-read target.
+//! 2. **Transient burst**: `blob.put` / `blob.get` fail with seeded
+//!    probability on every thread; commits must be untouched and uploads
+//!    retry through.
+//! 3. **Sustained outage**: the store rejects 100% of traffic. Checked:
+//!    commits still acknowledge, the breaker reaches `Outage`, the upload
+//!    backlog grows but stays pinned locally, cold reads fail fast within
+//!    their deadline budget, and local reads (rowstore + cached segments)
+//!    still serve the full, correct state.
+//! 4. **Latency spike**: the store recovers but every op is slow; cold
+//!    reads must come back as the breaker probes shut.
+//! 5. **Recovery**: the backlog (including budget-exhausted resubmissions)
+//!    must fully drain, pinned bytes drop to zero, blob and local state
+//!    converge (verified by a full restore-from-blob diffed against the
+//!    oracle), and health returns to `Healthy`.
+//!
+//! Like the crash scenarios, a failing seed replays its decision trace —
+//! the trace records only main-thread RNG decisions (worker-thread
+//! injection counts are timing-dependent and excluded).
+
+use std::collections::btree_map::Entry;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2_blob::{
+    BlobHealth, BreakerConfig, FaultyStore, MemoryStore, ObjectStore, ResilientStore, StoreHealth,
+    UploaderConfig,
+};
+use s2_cluster::{restore_from_blob, BlobBackedFileStore, StorageConfig, StorageService};
+use s2_common::fault::FaultHook;
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Error, Row, Schema, TableOptions, Value};
+use s2_core::{DataFileStore, Partition};
+use s2_wal::Log;
+
+use crate::oracle::Oracle;
+use crate::plan::FaultPlan;
+use crate::scenario::{engine_state, harness_lock, install_quiet_panic_hook, Violation};
+use crate::storage::BlobReadFileStore;
+
+/// Partition name used by every outage drill.
+pub const OUTAGE_PARTITION: &str = "sim_outage";
+
+/// Cold-read probe object (never referenced by the engine's log).
+const PROBE_KEY: &str = "probe/cold";
+
+/// Outcome of a clean (violation-free) outage drill.
+#[derive(Debug)]
+pub struct OutageReport {
+    /// Seed that produced this drill.
+    pub seed: u64,
+    /// Total transactions committed and acknowledged.
+    pub commits: u64,
+    /// Commits acknowledged while the store rejected 100% of traffic.
+    pub commits_during_outage: u64,
+    /// Largest upload backlog observed (queued + deferred + in flight).
+    pub backlog_peak: u64,
+    /// Slowest fail-fast cold read observed during the outage (ms).
+    pub cold_read_fail_ms: u64,
+    /// Wall-clock from store recovery to a fully drained backlog (ms).
+    pub drain_ms: u64,
+    /// Main-thread decision trace (replayable: same seed, same trace).
+    pub trace: Vec<String>,
+}
+
+/// Run one outage drill. `Err` carries the violation and its trace.
+pub fn run_outage_scenario(seed: u64) -> Result<OutageReport, Violation> {
+    let _guard = harness_lock();
+    install_quiet_panic_hook();
+    let mut trace: Vec<String> = Vec::new();
+    match drive(seed, &mut trace) {
+        Ok(report) => Ok(report),
+        Err(message) => Err(Violation { seed, message, trace }),
+    }
+}
+
+/// Engine handles shared by every phase.
+struct Drill {
+    master: Arc<Partition>,
+    files: Arc<BlobBackedFileStore>,
+    /// The raw store (outage / latency control happens here).
+    faulty: Arc<FaultyStore<MemoryStore>>,
+    /// Breaker-guarded view used for chunk/snapshot shipping.
+    ship: Arc<dyn ObjectStore>,
+    health: Arc<BlobHealth>,
+    cfg: StorageConfig,
+    last_snap: Arc<AtomicU64>,
+    table: u32,
+    key_space: i64,
+    commits: u64,
+    backlog_peak: u64,
+}
+
+impl Drill {
+    /// One shipping pass; `Unavailable` (outage / injected) is tolerated,
+    /// anything else is a violation.
+    fn pass_tolerant(&self) -> Result<(), String> {
+        match StorageService::pass(&self.master, &self.ship, &self.cfg, &self.last_snap) {
+            Ok(()) => Ok(()),
+            Err(Error::Unavailable(_)) => Ok(()),
+            Err(e) => Err(format!("storage pass failed: {e}")),
+        }
+    }
+
+    fn note_backlog(&mut self) {
+        self.backlog_peak = self.backlog_peak.max(self.files.pending_uploads());
+    }
+}
+
+/// Clears the global fault hook even on an error path, so a violation in
+/// the burst phase can't leak injection into the next drill.
+struct HookGuard;
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        s2_common::fault::clear();
+    }
+}
+
+fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4f55_5441_4745_5631);
+    let key_space: i64 = rng.random_range(8..32);
+    let cfg = StorageConfig {
+        chunk_bytes: rng.random_range(64..512_usize),
+        snapshot_interval_bytes: rng.random_range(200..500_u64),
+        tick: Duration::from_millis(1),
+        require_replicated: false,
+    };
+
+    // Fast breaker/uploader tuning so the drill's outage arcs play out in
+    // milliseconds; semantics are identical to the production defaults.
+    let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    let blob: Arc<dyn ObjectStore> = Arc::clone(&faulty) as Arc<dyn ObjectStore>;
+    let health = BlobHealth::with_config(
+        format!("outage-drill#{seed:x}"),
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(20),
+            max_cooldown: Duration::from_millis(100),
+            probe_successes: 1,
+            degraded_window: Duration::from_millis(150),
+        },
+    );
+    let files = BlobBackedFileStore::with_tuning(
+        Arc::clone(&blob),
+        256 * 1024,
+        UploaderConfig {
+            threads: 2,
+            capacity: 64,
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+        },
+        Arc::clone(&health),
+        Duration::from_millis(300),
+    );
+    let ship: Arc<dyn ObjectStore> = Arc::new(ResilientStore::new(
+        Arc::clone(&blob),
+        Arc::clone(&health),
+        s2_common::RetryPolicy::blob_default(),
+    ));
+    let master = Partition::new(
+        OUTAGE_PARTITION,
+        Arc::new(Log::in_memory()),
+        Arc::clone(&files) as Arc<dyn DataFileStore>,
+    );
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int64),
+        ColumnDef::new("v", DataType::Int64),
+    ])
+    .map_err(|e| format!("schema: {e}"))?;
+    let options = TableOptions::new()
+        .with_sort_key(vec![0])
+        .with_unique("pk", vec![0])
+        .with_flush_threshold(rng.random_range(4..12_usize))
+        .with_segment_rows(rng.random_range(4..16_usize));
+    let table =
+        master.create_table("t", schema, options).map_err(|e| format!("create_table: {e}"))?;
+    master.log.sync().map_err(|e| format!("setup sync: {e}"))?;
+
+    let mut d = Drill {
+        master,
+        files,
+        faulty,
+        ship,
+        health,
+        cfg,
+        last_snap: Arc::new(AtomicU64::new(0)),
+        table,
+        key_space,
+        commits: 0,
+        backlog_peak: 0,
+    };
+    let mut oracle = Oracle::new();
+    oracle.ack_up_to(d.master.log.durable_lp());
+
+    // ---------------------------------------------------- phase 1: warmup
+    let n_warm: u32 = rng.random_range(8..14);
+    for i in 0..n_warm {
+        commit_txn(&mut d, &mut oracle, &mut rng)?;
+        if i % 3 == 2 {
+            d.master.flush_table(d.table, true).map_err(|e| format!("warmup flush: {e}"))?;
+        }
+        d.pass_tolerant()?;
+    }
+    trace.push(format!("phase:warmup commits={n_warm}"));
+
+    // Seed the cold-read probe: uploaded, then the local copy dropped so a
+    // read must go to the blob store.
+    d.files
+        .write_file(PROBE_KEY, Arc::new(vec![0xAB; 64]))
+        .map_err(|e| format!("probe write: {e}"))?;
+    d.files.drain_uploads();
+    if !d.files.uploaded_keys().iter().any(|k| k == PROBE_KEY) {
+        return Err("probe file did not upload while healthy".to_string());
+    }
+    d.files.delete_file(PROBE_KEY).map_err(|e| format!("probe delete: {e}"))?;
+    match d.files.read_file(PROBE_KEY) {
+        Ok(b) if b.len() == 64 => trace.push("probe:cold-read-healthy ok".to_string()),
+        Ok(b) => return Err(format!("healthy cold read returned {} bytes, expected 64", b.len())),
+        Err(e) => return Err(format!("healthy cold read failed: {e}")),
+    }
+
+    // --------------------------------------- phase 2: transient burst
+    let put_p: f64 = rng.random_range(0.25..0.55);
+    let get_p: f64 = rng.random_range(0.10..0.30);
+    let n_burst: u32 = rng.random_range(6..12);
+    {
+        let mut plan = FaultPlan::new(seed);
+        plan.site_any_thread("blob.put", put_p, 0.0);
+        plan.site_any_thread("blob.get", get_p, 0.0);
+        s2_common::fault::install(Arc::new(plan) as Arc<dyn FaultHook>);
+        let _hook = HookGuard;
+        for i in 0..n_burst {
+            commit_txn(&mut d, &mut oracle, &mut rng)?;
+            if i % 3 == 1 {
+                d.master.flush_table(d.table, true).map_err(|e| format!("burst flush: {e}"))?;
+            }
+            d.pass_tolerant()?;
+            d.note_backlog();
+        }
+    }
+    trace.push(format!("phase:burst commits={n_burst} put_p={put_p:.2} get_p={get_p:.2}"));
+
+    // --------------------------------------- phase 3: sustained outage
+    d.faulty.set_unavailable(true);
+    let n_outage: u32 = rng.random_range(8..14);
+    for i in 0..n_outage {
+        // The whole point: every commit acknowledges from the local WAL
+        // while the blob store rejects 100% of traffic.
+        commit_txn(&mut d, &mut oracle, &mut rng)
+            .map_err(|e| format!("commit path touched the dead blob store: {e}"))?;
+        if i % 2 == 1 {
+            d.master.flush_table(d.table, true).map_err(|e| format!("outage flush: {e}"))?;
+        }
+        if i % 3 == 2 {
+            d.pass_tolerant()?;
+        }
+        d.note_backlog();
+    }
+    let commits_during_outage = u64::from(n_outage);
+
+    // Ballast: one guaranteed insert + flush so the backlog provably holds
+    // at least one file that cannot upload.
+    {
+        let mut scratch = oracle.model.clone();
+        let mut txn = d.master.begin();
+        let k = d.key_space + 1;
+        txn.insert(d.table, Row::new(vec![Value::Int(k), Value::Int(-1)]))
+            .map_err(|e| format!("ballast insert: {e}"))?;
+        scratch.insert(k, -1);
+        let (_ts, end_lp) = txn.commit().map_err(|e| format!("ballast commit: {e}"))?;
+        oracle.record_commit(end_lp, scratch);
+        let durable = d.master.log.sync().map_err(|e| format!("ballast sync: {e}"))?;
+        oracle.ack_up_to(durable);
+        d.commits += 1;
+        d.master.flush_table(d.table, true).map_err(|e| format!("ballast flush: {e}"))?;
+    }
+    d.note_backlog();
+    if d.files.pending_uploads() == 0 {
+        return Err("upload backlog empty during a total outage (uploads are landing?)".into());
+    }
+
+    // The breaker must observe the outage: keep feeding it failures (pass
+    // attempts) until it reports one.
+    let t0 = Instant::now();
+    while d.health.health() != StoreHealth::Outage {
+        if t0.elapsed() > Duration::from_secs(3) {
+            return Err(format!(
+                "breaker never reached Outage during a 100% outage (health {:?})",
+                d.health.health()
+            ));
+        }
+        d.pass_tolerant()?;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Cold reads fail fast — bounded by the retry deadline, not the outage.
+    let mut cold_read_fail_ms = 0u64;
+    for _ in 0..2 {
+        d.files.delete_file(PROBE_KEY).map_err(|e| format!("probe delete: {e}"))?;
+        let t = Instant::now();
+        match d.files.read_file(PROBE_KEY) {
+            Ok(_) => return Err("cold read succeeded against a dead store".to_string()),
+            Err(Error::Unavailable(_)) | Err(Error::Io(_)) => {}
+            Err(e) => return Err(format!("cold read failed with unexpected class: {e}")),
+        }
+        let ms = t.elapsed().as_millis() as u64;
+        cold_read_fail_ms = cold_read_fail_ms.max(ms);
+        if ms > 1500 {
+            return Err(format!("cold read blocked {ms}ms during outage (budget ~800ms)"));
+        }
+        trace.push("probe:cold-read-outage fail-fast".to_string());
+    }
+
+    // Local reads still serve the full committed state: everything written
+    // during the outage is pinned in the cache (the only copy).
+    let (state, _) = engine_state(&d.master, d.table)?;
+    if state != oracle.model {
+        return Err(format!(
+            "local reads diverged during outage: {} engine keys vs {} model",
+            state.len(),
+            oracle.model.len()
+        ));
+    }
+    trace.push(format!("phase:outage commits={n_outage} local-reads ok"));
+
+    // ---------------------------------------- phase 4: latency spike
+    d.faulty.set_unavailable(false);
+    d.faulty.set_extra_latency(Duration::from_millis(2));
+    let n_spike: u32 = rng.random_range(3..6);
+    for _ in 0..n_spike {
+        commit_txn(&mut d, &mut oracle, &mut rng)?;
+        d.note_backlog();
+    }
+    // The store answers again (slowly): cold reads must come back as the
+    // breaker probes shut. The first tries may still hit the open window.
+    let t0 = Instant::now();
+    loop {
+        d.files.delete_file(PROBE_KEY).map_err(|e| format!("probe delete: {e}"))?;
+        match d.files.read_file(PROBE_KEY) {
+            Ok(_) => break,
+            Err(_) if t0.elapsed() < Duration::from_secs(3) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("cold reads never recovered after outage: {e}")),
+        }
+    }
+    d.faulty.set_extra_latency(Duration::ZERO);
+    trace.push(format!("phase:spike commits={n_spike}"));
+
+    // -------------------------------------------- phase 5: recovery
+    let recovery_start = Instant::now();
+    let end_lp = d.master.log.end_lp();
+    let snapshot_required = end_lp >= d.cfg.snapshot_interval_bytes;
+    loop {
+        d.pass_tolerant()?;
+        d.files.resubmit_failed();
+        d.note_backlog();
+        let drained = d.files.pending_uploads() == 0
+            && d.master.log.uploaded_lp() == d.master.log.end_lp()
+            && (!snapshot_required || d.last_snap.load(std::sync::atomic::Ordering::Acquire) > 0);
+        if drained {
+            break;
+        }
+        if recovery_start.elapsed() > Duration::from_secs(10) {
+            return Err(format!(
+                "backlog failed to drain after recovery: {} pending, log {}/{} uploaded",
+                d.files.pending_uploads(),
+                d.master.log.uploaded_lp(),
+                d.master.log.end_lp()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    d.files.drain_uploads();
+    let drain_ms = recovery_start.elapsed().as_millis() as u64;
+
+    // Convergence: nothing left pinned, every uploaded object readable.
+    if d.files.pinned_bytes() != 0 {
+        return Err(format!("{} bytes still pinned after full drain", d.files.pinned_bytes()));
+    }
+    for key in d.files.uploaded_keys() {
+        blob.get(&key).map_err(|e| format!("uploaded key {key} unreadable in blob: {e}"))?;
+    }
+
+    // Blob and local state converge: a full restore from blob alone must
+    // reproduce the oracle model.
+    let end = d.master.log.end_lp();
+    oracle.ack_up_to(end);
+    let fs: Arc<dyn DataFileStore> = Arc::new(BlobReadFileStore::new(Arc::clone(&blob)));
+    let restored = restore_from_blob(&blob, OUTAGE_PARTITION, fs, None)
+        .map_err(|e| format!("restore after recovery failed: {e}"))?;
+    let (restored_state, _) = engine_state(&restored, d.table)?;
+    if restored_state != oracle.model {
+        return Err(format!(
+            "blob/local divergence after recovery: restored {} keys, model {}",
+            restored_state.len(),
+            oracle.model.len()
+        ));
+    }
+
+    // Health returns to Healthy once the degraded window ages out.
+    let t0 = Instant::now();
+    while d.health.health() != StoreHealth::Healthy {
+        if t0.elapsed() > Duration::from_secs(3) {
+            return Err(format!("health stuck at {:?} after recovery", d.health.health()));
+        }
+        let _ = d.ship.get(PROBE_KEY);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A missing object is still answered within the deadline budget — the
+    // NotFound retry window is bounded, not a hang.
+    let t = Instant::now();
+    match d.files.read_file("probe/never-existed") {
+        Err(Error::NotFound(_)) => {}
+        Err(e) => return Err(format!("missing-object read failed oddly: {e}")),
+        Ok(_) => return Err("read of a never-written object succeeded".to_string()),
+    }
+    if t.elapsed() > Duration::from_secs(2) {
+        return Err(format!("missing-object read blocked {:?} (budget 300ms)", t.elapsed()));
+    }
+    trace.push("probe:missing-notfound bounded".to_string());
+
+    // Final local state check.
+    let (final_state, _) = engine_state(&d.master, d.table)?;
+    if final_state != oracle.model {
+        return Err("final local state diverges from model".to_string());
+    }
+    trace.push(format!("finale commits={} ok", d.commits));
+
+    Ok(OutageReport {
+        seed,
+        commits: d.commits,
+        commits_during_outage,
+        backlog_peak: d.backlog_peak,
+        cold_read_fail_ms,
+        drain_ms,
+        trace: trace.clone(),
+    })
+}
+
+/// One committed-and-acknowledged transaction (1–3 ops). Commit *and* the
+/// durability ack must succeed in every phase — that is the contract under
+/// test.
+fn commit_txn(d: &mut Drill, o: &mut Oracle, rng: &mut StdRng) -> Result<(), String> {
+    let mut scratch = o.model.clone();
+    let mut txn = d.master.begin();
+    let nops: usize = rng.random_range(1..=3);
+    for _ in 0..nops {
+        let k: i64 = rng.random_range(0..d.key_space);
+        let key = [Value::Int(k)];
+        match scratch.entry(k) {
+            Entry::Occupied(mut slot) => {
+                if rng.random_bool(0.25) {
+                    let deleted = txn
+                        .delete_unique(d.table, &key)
+                        .map_err(|e| format!("delete_unique({k}): {e}"))?;
+                    if !deleted {
+                        return Err(format!("delete_unique missed present key {k}"));
+                    }
+                    slot.remove();
+                } else {
+                    let v: i64 = rng.random_range(-1000..1000);
+                    let updated = txn
+                        .update_unique(d.table, &key, Row::new(vec![Value::Int(k), Value::Int(v)]))
+                        .map_err(|e| format!("update_unique({k}): {e}"))?;
+                    if !updated {
+                        return Err(format!("update_unique missed present key {k}"));
+                    }
+                    slot.insert(v);
+                }
+            }
+            Entry::Vacant(slot) => {
+                let v: i64 = rng.random_range(-1000..1000);
+                txn.insert(d.table, Row::new(vec![Value::Int(k), Value::Int(v)]))
+                    .map_err(|e| format!("insert({k}): {e}"))?;
+                slot.insert(v);
+            }
+        }
+    }
+    let (_ts, end_lp) = txn.commit().map_err(|e| format!("commit failed: {e}"))?;
+    o.record_commit(end_lp, scratch);
+    let durable = d.master.log.sync().map_err(|e| format!("durability ack failed: {e}"))?;
+    o.ack_up_to(durable);
+    d.commits += 1;
+    Ok(())
+}
+
+/// Aggregate over a seed sweep of outage drills.
+#[derive(Debug)]
+pub struct OutageSummary {
+    /// Drills run.
+    pub scenarios: usize,
+    /// Total commits acknowledged.
+    pub commits: u64,
+    /// Commits acknowledged while the store was fully down.
+    pub commits_during_outage: u64,
+    /// Largest backlog across all drills.
+    pub backlog_peak: u64,
+    /// Slowest fail-fast cold read across all drills (ms).
+    pub cold_read_fail_ms: u64,
+    /// Violations (empty on success).
+    pub failures: Vec<Violation>,
+}
+
+impl OutageSummary {
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} outage drills: {} commits ({} during total outage), backlog peak {}, \
+             slowest fail-fast cold read {}ms, {} violations",
+            self.scenarios,
+            self.commits,
+            self.commits_during_outage,
+            self.backlog_peak,
+            self.cold_read_fail_ms,
+            self.failures.len()
+        )
+    }
+}
+
+/// Run `count` outage drills starting at `base_seed`.
+pub fn run_outage_many(base_seed: u64, count: usize, verbose: bool) -> OutageSummary {
+    let mut summary = OutageSummary {
+        scenarios: count,
+        commits: 0,
+        commits_during_outage: 0,
+        backlog_peak: 0,
+        cold_read_fail_ms: 0,
+        failures: Vec::new(),
+    };
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i as u64);
+        match run_outage_scenario(seed) {
+            Ok(r) => {
+                if verbose {
+                    println!(
+                        "seed {seed}: {} commits ({} in outage), backlog peak {}, \
+                         cold-read fail {}ms, drain {}ms",
+                        r.commits,
+                        r.commits_during_outage,
+                        r.backlog_peak,
+                        r.cold_read_fail_ms,
+                        r.drain_ms
+                    );
+                }
+                summary.commits += r.commits;
+                summary.commits_during_outage += r.commits_during_outage;
+                summary.backlog_peak = summary.backlog_peak.max(r.backlog_peak);
+                summary.cold_read_fail_ms = summary.cold_read_fail_ms.max(r.cold_read_fail_ms);
+            }
+            Err(v) => {
+                println!("{v}");
+                summary.failures.push(v);
+            }
+        }
+    }
+    summary
+}

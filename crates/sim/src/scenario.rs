@@ -751,7 +751,7 @@ fn promote(e: &mut Engine, o: &mut Oracle) -> Result<(), String> {
 /// Read the full table state (rowstore + segments minus delete bits).
 /// Returns the keyed state plus the raw live-row count (which differs from
 /// the map size exactly when duplicate live rows exist — itself a bug).
-fn engine_state(p: &Arc<Partition>, table: u32) -> Result<(Model, usize), String> {
+pub(crate) fn engine_state(p: &Arc<Partition>, table: u32) -> Result<(Model, usize), String> {
     let snap = p.read_snapshot();
     let ts = snap.table(table).map_err(|er| format!("table snapshot: {er}"))?;
     let mut out = Model::new();

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use s2_blob::{MemoryStore, ObjectStore, Uploader};
+use s2_blob::{BlobHealth, BreakerConfig, MemoryStore, ObjectStore, Uploader, UploaderConfig};
 use s2_cluster::{StorageConfig, StorageService};
 use s2_common::fault::{CrashPoint, FaultHook};
 use s2_common::schema::ColumnDef;
@@ -71,12 +71,23 @@ fn uploader_cross_thread_error_injection() {
     s2_common::fault::install(Arc::new(plan) as Arc<dyn FaultHook>);
 
     let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
-    let up = Uploader::new(Arc::clone(&store), 1);
+    // A breaker that never opens: this test is about the per-job retry
+    // budget surfacing the failure. (Under the default threshold a 100%
+    // injection rate reads as an outage and the job parks instead.)
+    let up = Uploader::with_config(
+        Arc::clone(&store),
+        UploaderConfig { threads: 1, ..UploaderConfig::default() },
+        BlobHealth::with_config(
+            "sim-inject",
+            BreakerConfig { failure_threshold: u32::MAX, ..BreakerConfig::default() },
+        ),
+    );
     let outcome: Arc<Mutex<Option<bool>>> = Arc::new(Mutex::new(None));
     let flag = Arc::clone(&outcome);
     up.enqueue("k/fail", Arc::new(vec![1]), move |r| {
         *flag.lock().unwrap() = Some(r.is_err());
-    });
+    })
+    .unwrap();
     up.drain();
     assert_eq!(*outcome.lock().unwrap(), Some(true), "every attempt injected, job must fail");
 
@@ -86,7 +97,8 @@ fn uploader_cross_thread_error_injection() {
     let flag2 = Arc::clone(&outcome2);
     up.enqueue("k/ok", Arc::new(vec![2]), move |r| {
         *flag2.lock().unwrap() = Some(r.is_err());
-    });
+    })
+    .unwrap();
     up.drain();
     assert_eq!(*outcome2.lock().unwrap(), Some(false));
     assert_eq!(store.get("k/ok").unwrap().as_slice(), &[2]);

@@ -36,4 +36,11 @@ echo "== sim: crash-recovery smoke (200 seeded scenarios) =="
 cargo test -p s2-sim -q "${CARGO_FLAGS[@]}"
 cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --seed 42 --scenarios 200
 
+echo "== sim: blob-outage drills (25 seeded drills) =="
+# Resilience-layer contract under transient bursts, a sustained 100% blob
+# outage, and latency spikes: commits keep acking, cold reads fail fast
+# within budget, and the upload backlog fully drains after recovery.
+# Failing seeds replay with --scenario outage --seed N --scenarios 1.
+cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --scenario outage --seed 42 --scenarios 25
+
 echo "CI green."
