@@ -140,6 +140,11 @@ impl FileCache {
     fn insert_impl(&self, key: &str, bytes: Arc<Vec<u8>>, pinned: bool) {
         let stamp = self.tick();
         let mut inner = self.inner.lock();
+        // An overwrite keeps an existing pin: a plain `insert` (e.g.
+        // `get_or_fetch` populating concurrently with `insert_pinned`) must
+        // not silently unpin the only local copy of a not-yet-uploaded
+        // file. Only `unpin` — the upload-landed callback — releases pins.
+        let pinned = pinned || inner.map.get(key).is_some_and(|e| e.pinned);
         if let Some(old) = inner
             .map
             .insert(key.to_string(), Entry { bytes: Arc::clone(&bytes), last_used: stamp, pinned })
@@ -339,6 +344,22 @@ mod tests {
         c.unpin("big");
         assert!(!c.contains("big"));
         assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn plain_insert_preserves_pin() {
+        let c = FileCache::new(250);
+        c.insert_pinned("p", obj(100));
+        // A concurrent plain insert (cache-population path) must not unpin.
+        c.insert("p", obj(120));
+        assert!(c.is_pinned("p"), "overwrite dropped the pin");
+        assert_eq!(c.pinned_bytes(), 120);
+        c.insert("a", obj(100));
+        c.insert("b", obj(100)); // pressure: the pinned entry must survive
+        assert!(c.contains("p"));
+        // Only unpin releases it.
+        c.unpin("p");
+        assert!(!c.is_pinned("p"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
-use s2_common::retry::{retry, salt_from_key};
+use s2_common::retry::salt_from_key;
 use s2_common::{Error, Result, RetryClass, RetryPolicy};
 
 use crate::store::ObjectStore;
@@ -109,8 +109,12 @@ pub struct BreakerCore {
     opened_at_ms: u64,
     /// Current (escalating) cooldown, ms.
     cooldown_ms: u64,
-    /// A HalfOpen probe is in flight; further requests are rejected.
+    /// A HalfOpen probe is in flight; further requests are rejected until
+    /// it reports — or until the probe timeout (the current cooldown)
+    /// passes, after which the token is presumed lost and reissued.
     probe_inflight: bool,
+    /// When the in-flight probe token was granted.
+    probe_started_ms: u64,
     probe_successes: u32,
     last_failure_ms: Option<u64>,
 }
@@ -125,6 +129,7 @@ impl BreakerCore {
             consecutive_failures: 0,
             opened_at_ms: 0,
             probe_inflight: false,
+            probe_started_ms: 0,
             probe_successes: 0,
             last_failure_ms: None,
         }
@@ -137,6 +142,11 @@ impl BreakerCore {
 
     /// May a request proceed at `now_ms`? Open transitions to HalfOpen once
     /// the cooldown has elapsed; HalfOpen admits a single probe at a time.
+    ///
+    /// A probe token that is never reported back (its holder died, or the
+    /// outcome was swallowed) expires after the current cooldown: the next
+    /// `allow` reissues it, so a lost token degrades into one extra probe
+    /// instead of wedging the breaker in HalfOpen forever.
     pub fn allow(&mut self, now_ms: u64) -> bool {
         match self.state {
             CircuitState::Closed => true,
@@ -144,6 +154,7 @@ impl BreakerCore {
                 if now_ms.saturating_sub(self.opened_at_ms) >= self.cooldown_ms {
                     self.state = CircuitState::HalfOpen;
                     self.probe_inflight = true;
+                    self.probe_started_ms = now_ms;
                     self.probe_successes = 0;
                     true
                 } else {
@@ -151,10 +162,14 @@ impl BreakerCore {
                 }
             }
             CircuitState::HalfOpen => {
-                if self.probe_inflight {
+                let probe_timeout = self.cooldown_ms.max(1);
+                if self.probe_inflight
+                    && now_ms.saturating_sub(self.probe_started_ms) < probe_timeout
+                {
                     false
                 } else {
                     self.probe_inflight = true;
+                    self.probe_started_ms = now_ms;
                     true
                 }
             }
@@ -303,13 +318,17 @@ impl BlobHealth {
     }
 
     /// Record the outcome of an attempt. Only transient errors count
-    /// against the breaker; permanent errors (NotFound, bad keys) say
-    /// nothing about store health.
+    /// against the breaker. A permanent-class error (NotFound, bad key) is
+    /// a *completed round trip*: the store answered, which is positive
+    /// evidence of reachability — so it counts as a success. This matters
+    /// most in HalfOpen: the probe token must be released on every
+    /// completed attempt, or a NotFound probe (e.g. the first cold read
+    /// after an outage racing a parked upload) would leak the token and
+    /// wedge the breaker in HalfOpen forever.
     pub fn on_outcome<T>(&self, r: &Result<T>) {
         match r {
-            Ok(_) => self.on_success(),
             Err(e) if e.retry_class() == RetryClass::Transient => self.on_failure(),
-            Err(_) => {}
+            Ok(_) | Err(_) => self.on_success(),
         }
     }
 
@@ -372,21 +391,42 @@ impl ResilientStore {
     }
 
     fn guarded<T>(&self, key: &str, mut attempt: impl FnMut() -> Result<T>) -> Result<T> {
+        // Mirrors `s2_common::retry::retry`, with one difference: a breaker
+        // rejection is synthesized here, not a real store attempt, so it
+        // returns immediately — an open breaker must cost microseconds, not
+        // a retry schedule's worth of backoff sleeps.
         let salt = salt_from_key(key);
-        let health = &self.health;
-        retry(&self.policy, salt, || {
-            if !health.allow() {
+        let started = Instant::now();
+        let mut attempt_no = 0u32;
+        loop {
+            if !self.health.allow() {
                 s2_obs::counter!("blob.breaker.fail_fast").inc();
                 return Err(Error::Unavailable(format!(
                     "blob store {:?} circuit open",
-                    health.label()
+                    self.health.label()
                 )));
             }
             let r = attempt();
-            health.on_outcome(&r);
-            r
-        })
-        .map(|(v, _)| v)
+            self.health.on_outcome(&r);
+            let e = match r {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let class = e.retry_class();
+            if class == RetryClass::Permanent || attempt_no + 1 >= self.policy.max_attempts {
+                return Err(e);
+            }
+            let sleep = match class {
+                // Contended errors retry on a short fixed tick.
+                RetryClass::Contended => self.policy.base_delay,
+                _ => self.policy.delay(attempt_no, salt),
+            };
+            if started.elapsed() + sleep > self.policy.deadline {
+                return Err(e);
+            }
+            std::thread::sleep(sleep);
+            attempt_no += 1;
+        }
     }
 }
 
@@ -541,6 +581,81 @@ mod tests {
         }
         assert_eq!(health.state(), CircuitState::Closed);
         assert_eq!(health.health(), StoreHealth::Healthy);
+    }
+
+    #[test]
+    fn not_found_probe_releases_token_and_closes() {
+        // The review-found wedge: during an outage uploads park, so the
+        // first cold read after the cooldown probes a not-yet-uploaded key
+        // and gets NotFound. That completed round trip must release the
+        // probe token (and close the breaker — the store answered), not
+        // leak it and reject everything forever.
+        let mut b = BreakerCore::new(cfg());
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(b.allow(150), "probe admitted after cooldown");
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        // Probe outcome is NotFound: BlobHealth maps it to on_success.
+        b.on_success(151);
+        assert_eq!(b.state(), CircuitState::Closed, "reachable store closes the breaker");
+        assert!(b.allow(152), "breaker must not stay wedged");
+
+        // And end to end through on_outcome: a NotFound during HalfOpen.
+        let health = BlobHealth::with_config("nf-probe", cfg());
+        for _ in 0..3 {
+            health.on_failure();
+        }
+        assert_eq!(health.state(), CircuitState::Open);
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(health.allow(), "probe after cooldown");
+        health.on_outcome::<()>(&Err(Error::NotFound("missing".into())));
+        assert_eq!(health.state(), CircuitState::Closed);
+        assert!(health.allow());
+    }
+
+    #[test]
+    fn lost_probe_token_self_heals() {
+        let mut b = BreakerCore::new(cfg());
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(b.allow(150), "probe admitted after cooldown");
+        assert!(!b.allow(151), "token out, second request rejected");
+        // The probe holder dies without reporting. After the probe timeout
+        // (= current cooldown, 100ms) a replacement token is issued.
+        assert!(!b.allow(249), "still inside the probe timeout");
+        assert!(b.allow(250), "lost token reissued after the probe timeout");
+        b.on_success(251);
+        assert_eq!(b.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn open_breaker_rejection_skips_retry_sleeps() {
+        let health = BlobHealth::with_config("fast-reject", cfg());
+        for _ in 0..3 {
+            health.on_failure();
+        }
+        assert_eq!(health.state(), CircuitState::Open);
+        // Long backoffs: if the synthesized rejection went through the
+        // retry loop, this call would sleep ~hundreds of ms.
+        let rs = ResilientStore::new(
+            Arc::new(MemoryStore::new()) as Arc<dyn ObjectStore>,
+            Arc::clone(&health),
+            RetryPolicy {
+                max_attempts: 5,
+                base_delay: Duration::from_millis(200),
+                max_delay: Duration::from_millis(400),
+                deadline: Duration::from_secs(5),
+            },
+        );
+        let t0 = Instant::now();
+        assert!(matches!(rs.get("k"), Err(Error::Unavailable(_))));
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "breaker-open rejection slept through the retry schedule: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

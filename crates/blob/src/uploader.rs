@@ -9,7 +9,11 @@
 //! - the backlog is **bounded**: once `capacity` jobs are outstanding,
 //!   `enqueue` blocks — that block *is* the backpressure signal, surfaced
 //!   through the `blob.upload.backpressure_waits` counter and the
-//!   `blob.upload.queue_depth` gauge;
+//!   `blob.upload.queue_depth` gauge. Callers that must never wait on the
+//!   blob store (the commit path above all) use [`Uploader::try_enqueue`]
+//!   instead, which reports a full backlog without blocking so the caller
+//!   can defer the job (the file stays pinned locally; a maintenance sweep
+//!   resubmits it);
 //! - a failed attempt **re-queues with jittered exponential backoff**
 //!   instead of sleeping on the worker thread, so one failing key cannot
 //!   stall a worker for its whole retry window;
@@ -210,13 +214,36 @@ impl Uploader {
             s2_obs::counter!("blob.upload.backpressure_waits").inc();
             st = wait(&inner.done_cv, st);
         }
-        st.enqueued += 1;
-        let salt = salt_from_key(&key);
-        st.ready.push_back(UploadJob { key, bytes, on_done: Box::new(on_done), attempts: 0, salt });
-        s2_obs::gauge!("blob.upload.queue_depth").inc();
-        drop(st);
-        inner.work_cv.notify_one();
+        push_job(inner, st, key, bytes, Box::new(on_done));
         Ok(())
+    }
+
+    /// Queue an upload without ever blocking: returns `Ok(true)` when the
+    /// job was queued, `Ok(false)` when the backlog is at capacity (the job
+    /// was *not* queued — the caller keeps ownership of the work, e.g. by
+    /// leaving the file pinned and deferring to a maintenance resubmit),
+    /// and [`Error::Unavailable`] after shutdown.
+    ///
+    /// This is the commit path's entry point: commits must keep acking
+    /// during a sustained blob outage, so a full backlog defers instead of
+    /// parking the committer until recovery.
+    pub fn try_enqueue(
+        &self,
+        key: impl Into<String>,
+        bytes: Arc<Vec<u8>>,
+        on_done: impl FnOnce(Result<()>) + Send + 'static,
+    ) -> Result<bool> {
+        let inner = &self.inner;
+        let st = lock(&inner.state);
+        if st.shutdown {
+            return Err(Error::Unavailable("uploader shut down".into()));
+        }
+        if st.outstanding() >= inner.cfg.capacity {
+            s2_obs::counter!("blob.upload.deferred_full").inc();
+            return Ok(false);
+        }
+        push_job(inner, st, key.into(), bytes, Box::new(on_done));
+        Ok(true)
     }
 
     /// Jobs enqueued but not yet completed (one consistent read — both
@@ -262,6 +289,23 @@ impl Drop for Uploader {
 
 fn lock(m: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Append a job to the ready queue (caller has already checked shutdown and
+/// capacity) and wake a worker.
+fn push_job(
+    inner: &Inner,
+    mut st: MutexGuard<'_, QueueState>,
+    key: String,
+    bytes: Arc<Vec<u8>>,
+    on_done: Box<dyn FnOnce(Result<()>) + Send>,
+) {
+    st.enqueued += 1;
+    let salt = salt_from_key(&key);
+    st.ready.push_back(UploadJob { key, bytes, on_done, attempts: 0, salt });
+    s2_obs::gauge!("blob.upload.queue_depth").inc();
+    drop(st);
+    inner.work_cv.notify_one();
 }
 
 fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, QueueState>) -> MutexGuard<'a, QueueState> {
@@ -529,6 +573,56 @@ mod tests {
         up.drain();
         assert!(bad_failed.load(Ordering::SeqCst), "bad key reported failure after its budget");
         assert_eq!(up.pending(), 0);
+    }
+
+    #[test]
+    fn try_enqueue_never_blocks_at_capacity() {
+        use crate::fault::FaultyStore;
+        let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+        faulty.set_unavailable(true);
+        let up = Uploader::with_config(
+            Arc::clone(&faulty) as Arc<dyn ObjectStore>,
+            UploaderConfig { threads: 1, capacity: 2, ..UploaderConfig::default() },
+            BlobHealth::new("try-enqueue-test"),
+        );
+        // Fill the backlog during the outage; jobs park, nothing completes.
+        let mut queued = 0;
+        let t0 = Instant::now();
+        while queued < 2 {
+            if up.try_enqueue(format!("k/{queued}"), Arc::new(vec![1]), |_| {}).unwrap() {
+                queued += 1;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5), "backlog never filled");
+        }
+        // At capacity: try_enqueue reports full immediately instead of
+        // parking the caller until recovery.
+        let t0 = Instant::now();
+        let mut deferred = false;
+        // In-flight jobs requeue continuously, so a slot can transiently
+        // open; what matters is that no call ever blocks.
+        for i in 0..50 {
+            let r = up.try_enqueue(format!("extra/{i}"), Arc::new(vec![2]), |_| {}).unwrap();
+            deferred |= !r;
+        }
+        assert!(deferred, "a full backlog must report Ok(false) at least once");
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "try_enqueue blocked: {:?}",
+            t0.elapsed()
+        );
+        faulty.set_unavailable(false);
+        up.drain();
+        // After shutdown: Unavailable, not a panic or a block.
+        drop(up);
+        let up2 = Uploader::new(Arc::new(MemoryStore::new()) as Arc<dyn ObjectStore>, 1);
+        {
+            let mut st = lock(&up2.inner.state);
+            st.shutdown = true;
+        }
+        assert!(matches!(
+            up2.try_enqueue("x", Arc::new(vec![1]), |_| {}),
+            Err(Error::Unavailable(_))
+        ));
     }
 
     #[test]

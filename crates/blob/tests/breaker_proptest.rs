@@ -13,7 +13,10 @@
 //! - Open fails fast: no request is admitted before the cooldown elapses;
 //! - transitions follow Closed → Open → HalfOpen → {Closed, Open} only;
 //! - Closed trips to Open exactly at the consecutive-failure threshold;
-//! - HalfOpen admits a single probe at a time;
+//! - HalfOpen admits a single probe at a time — but a probe token whose
+//!   holder never reports back expires after the current cooldown and is
+//!   reissued, so a lost token cannot wedge the breaker in HalfOpen
+//!   (exercised by the `Lost` op: admission taken, outcome never reported);
 //! - `retry_in_ms` is `Some` exactly while Open, and counts down to the
 //!   probe admission.
 
@@ -28,12 +31,16 @@ enum Op {
     Advance(u64),
     /// Ask for admission; if admitted, report this outcome.
     Attempt { succeed: bool },
+    /// Ask for admission and, if admitted, never report back — a caller
+    /// that died (or swallowed its outcome) mid-probe.
+    Lost,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         3 => (0u64..250).prop_map(Op::Advance),
         5 => any::<bool>().prop_map(|succeed| Op::Attempt { succeed }),
+        1 => Just(Op::Lost),
     ]
 }
 
@@ -57,6 +64,7 @@ struct Model {
     opened_at: u64,
     cooldown_ms: u64,
     probe_inflight: bool,
+    probe_started: u64,
     probe_ok: u32,
     last_failure: Option<u64>,
 }
@@ -70,6 +78,7 @@ impl Model {
             consec: 0,
             opened_at: 0,
             probe_inflight: false,
+            probe_started: 0,
             probe_ok: 0,
             last_failure: None,
         }
@@ -82,6 +91,7 @@ impl Model {
                 if now.saturating_sub(self.opened_at) >= self.cooldown_ms {
                     self.state = CircuitState::HalfOpen;
                     self.probe_inflight = true;
+                    self.probe_started = now;
                     self.probe_ok = 0;
                     true
                 } else {
@@ -89,10 +99,14 @@ impl Model {
                 }
             }
             CircuitState::HalfOpen => {
-                if self.probe_inflight {
+                // A token older than the probe timeout (= current cooldown)
+                // was lost in flight; reissue it.
+                let timeout = self.cooldown_ms.max(1);
+                if self.probe_inflight && now.saturating_sub(self.probe_started) < timeout {
                     false
                 } else {
                     self.probe_inflight = true;
+                    self.probe_started = now;
                     true
                 }
             }
@@ -183,7 +197,7 @@ proptest! {
         for op in ops {
             match op {
                 Op::Advance(dt) => now += dt,
-                Op::Attempt { succeed } => {
+                op @ (Op::Attempt { .. } | Op::Lost) => {
                     let prev = core.state();
                     let hint = core.retry_in_ms(now);
 
@@ -209,12 +223,19 @@ proptest! {
                         "allow() made illegal transition {:?} -> {:?}", prev, mid);
 
                     if admitted {
-                        if succeed {
-                            core.on_success(now);
-                            model.on_success();
-                        } else {
-                            core.on_failure(now);
-                            model.on_failure(now);
+                        match op {
+                            Op::Attempt { succeed: true } => {
+                                core.on_success(now);
+                                model.on_success();
+                            }
+                            Op::Attempt { succeed: false } => {
+                                core.on_failure(now);
+                                model.on_failure(now);
+                            }
+                            // Lost: the token is taken but the outcome is
+                            // never reported — the self-heal path must
+                            // reissue it after the probe timeout.
+                            _ => {}
                         }
                     }
 
@@ -268,6 +289,36 @@ proptest! {
         }
         prop_assert_eq!(core.state(), CircuitState::Closed);
         prop_assert!(core.allow(now));
+    }
+
+    /// A probe token whose holder never reports back is reissued after the
+    /// probe timeout, no matter how many times in a row it is lost — the
+    /// breaker can always still recover to Closed afterwards.
+    #[test]
+    fn lost_probe_token_always_self_heals(cfg in config_strategy(), lost in 1u32..5) {
+        let mut core = BreakerCore::new(cfg);
+        let mut now = 0u64;
+        for _ in 0..cfg.failure_threshold {
+            prop_assert!(core.allow(now));
+            core.on_failure(now);
+        }
+        let cooldown = (cfg.open_cooldown.as_millis() as u64).max(1);
+        now += cooldown;
+        prop_assert!(core.allow(now), "probe not admitted after cooldown");
+        for round in 0..lost {
+            // The token is lost; within the timeout nothing is admitted...
+            prop_assert!(!core.allow(now + cooldown - 1), "early reissue in round {}", round);
+            // ...and at the timeout a replacement is granted.
+            now += cooldown;
+            prop_assert!(core.allow(now), "lost token never reissued (round {})", round);
+        }
+        // The surviving probe can still close the breaker normally.
+        core.on_success(now);
+        for _ in 1..cfg.probe_successes {
+            prop_assert!(core.allow(now));
+            core.on_success(now);
+        }
+        prop_assert_eq!(core.state(), CircuitState::Closed);
     }
 
     /// Failed probes escalate the cooldown (doubling, capped), so a dead

@@ -35,8 +35,9 @@ pub struct BlobBackedFileStore {
     uploader: Arc<Uploader>,
     health: Arc<BlobHealth>,
     uploaded: Arc<RwLock<HashSet<String>>>,
-    /// Files whose upload exhausted its per-key retry budget (still pinned
-    /// locally); [`BlobBackedFileStore::resubmit_failed`] re-queues them.
+    /// Files whose upload exhausted its per-key retry budget or was
+    /// deferred because the backlog was full (still pinned locally);
+    /// [`BlobBackedFileStore::resubmit_failed`] re-queues them.
     failed: Arc<RwLock<HashSet<String>>>,
     read_budget: Duration,
 }
@@ -138,8 +139,9 @@ impl BlobBackedFileStore {
         self.uploader.pending()
     }
 
-    /// Re-queue files whose upload previously exhausted its retry budget
-    /// (maintenance path). Returns how many were resubmitted.
+    /// Re-queue files whose upload previously exhausted its retry budget or
+    /// was deferred by a full backlog (maintenance path). Returns how many
+    /// were resubmitted.
     pub fn resubmit_failed(&self) -> usize {
         let keys: Vec<String> = {
             let mut failed = self.failed.write();
@@ -153,19 +155,38 @@ impl BlobBackedFileStore {
             if let Some(bytes) = self.cache.peek(&key) {
                 self.submit(key, bytes);
                 n += 1;
+            } else {
+                // The local copy is gone — should be impossible while the
+                // entry is pinned. Keep the key visible instead of silently
+                // dropping it from the failed set; the event flags the
+                // invariant breach for the operator.
+                s2_obs::event("blob.upload_lost_local_copy", key.clone());
+                self.failed.write().insert(key);
             }
         }
         n
     }
 
+    /// Files awaiting a maintenance resubmission (budget-exhausted or
+    /// deferred by a full backlog). Zero once the store has converged.
+    pub fn failed_count(&self) -> usize {
+        self.failed.read().len()
+    }
+
     /// Hand one pinned file to the uploader; the callback unpins on success
     /// and records budget-exhausted failures for resubmission.
+    ///
+    /// Never blocks: `write_file` sits on the commit path, which must keep
+    /// acking during a sustained outage even with the upload backlog at
+    /// capacity. A full backlog defers the key to the `failed` set (the
+    /// file stays pinned — durability is local) for the maintenance
+    /// resubmit sweep to ship once slots free up.
     fn submit(&self, key: String, bytes: Arc<Vec<u8>>) {
         let uploaded = Arc::clone(&self.uploaded);
         let failed = Arc::clone(&self.failed);
         let cache = Arc::clone(&self.cache);
         let cb_key = key.clone();
-        let res = self.uploader.enqueue(key.clone(), bytes, move |r| match r {
+        let res = self.uploader.try_enqueue(key.clone(), bytes, move |r| match r {
             Ok(()) => {
                 uploaded.write().insert(cb_key.clone());
                 failed.write().remove(&cb_key);
@@ -177,11 +198,19 @@ impl BlobBackedFileStore {
                 failed.write().insert(cb_key.clone());
             }
         });
-        if let Err(e) = res {
-            // Uploader already shut down (teardown race): the file stays
-            // pinned; record it so a restart's resubmission sweep ships it.
-            self.failed.write().insert(key.clone());
-            s2_obs::event("blob.upload_enqueue_failed", format!("{key}: {e}"));
+        match res {
+            Ok(true) => {}
+            Ok(false) => {
+                // Backlog full (sustained outage with ongoing writes): defer
+                // rather than block the committer until recovery.
+                self.failed.write().insert(key);
+            }
+            Err(e) => {
+                // Uploader already shut down (teardown race): the file stays
+                // pinned; record it so a restart's resubmission sweep ships it.
+                self.failed.write().insert(key.clone());
+                s2_obs::event("blob.upload_enqueue_failed", format!("{key}: {e}"));
+            }
         }
     }
 }

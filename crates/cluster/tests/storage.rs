@@ -193,6 +193,64 @@ fn outage_cannot_evict_unuploaded_files() {
 }
 
 #[test]
+fn commit_path_never_blocks_on_full_backlog() {
+    let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    faulty.set_unavailable(true);
+    let blob = Arc::new(Shared(faulty.clone())) as Arc<dyn ObjectStore>;
+    // Tiny uploader capacity: writes 3..10 land while the backlog is full.
+    let store = BlobBackedFileStore::with_tuning(
+        blob,
+        1 << 20,
+        UploaderConfig {
+            threads: 1,
+            capacity: 2,
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+        },
+        BlobHealth::with_config("t-commit-noblock", fast_breaker()),
+        Duration::from_millis(200),
+    );
+    // Every write_file must return promptly during a sustained outage with
+    // the backlog at capacity — the commit path never waits on the blob
+    // store. (Before the try_enqueue fix, write 3+ parked until recovery.)
+    let t0 = Instant::now();
+    for i in 0..10u8 {
+        store.write_file(&format!("f/{i}"), Arc::new(vec![i; 64])).unwrap();
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(1),
+        "write_file blocked on a full backlog: {:?}",
+        t0.elapsed()
+    );
+    // Overflow keys are deferred (pinned + failed set), not dropped.
+    assert!(store.pinned_bytes() >= 10 * 64, "every file stays pinned");
+    assert!(store.failed_count() > 0, "overflow writes recorded for resubmission");
+    for i in 0..10u8 {
+        assert_eq!(store.read_file(&format!("f/{i}")).unwrap()[0], i);
+    }
+
+    // Recovery: maintenance resubmits converge the store to local state.
+    faulty.set_unavailable(false);
+    let t0 = Instant::now();
+    while store.uploaded_count() < 10 || store.failed_count() > 0 {
+        store.resubmit_failed();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "deferred backlog did not converge: {} uploaded, {} failed",
+            store.uploaded_count(),
+            store.failed_count()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    store.drain_uploads();
+    assert_eq!(store.pinned_bytes(), 0);
+    for i in 0..10u8 {
+        assert_eq!(faulty.get(&format!("f/{i}")).unwrap()[0], i);
+    }
+}
+
+#[test]
 fn shipping_pauses_during_outage_and_resumes() {
     let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
     let blob = Arc::new(Shared(faulty.clone())) as Arc<dyn ObjectStore>;

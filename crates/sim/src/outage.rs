@@ -371,7 +371,11 @@ fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
         d.pass_tolerant()?;
         d.files.resubmit_failed();
         d.note_backlog();
+        // Drained = nothing queued with the uploader *and* nothing waiting
+        // on a maintenance resubmit (budget-exhausted or deferred because
+        // the backlog was full during the outage).
         let drained = d.files.pending_uploads() == 0
+            && d.files.failed_count() == 0
             && d.master.log.uploaded_lp() == d.master.log.end_lp()
             && (!snapshot_required || d.last_snap.load(std::sync::atomic::Ordering::Acquire) > 0);
         if drained {
@@ -379,8 +383,10 @@ fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
         }
         if recovery_start.elapsed() > Duration::from_secs(10) {
             return Err(format!(
-                "backlog failed to drain after recovery: {} pending, log {}/{} uploaded",
+                "backlog failed to drain after recovery: {} pending, {} awaiting resubmit, \
+                 log {}/{} uploaded",
                 d.files.pending_uploads(),
+                d.files.failed_count(),
                 d.master.log.uploaded_lp(),
                 d.master.log.end_lp()
             ));
