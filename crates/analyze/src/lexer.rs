@@ -1,0 +1,280 @@
+//! A minimal Rust surface lexer: splits each source line into *code*,
+//! *comment text* and *string-literal contents* so rules can match tokens
+//! without being fooled by strings or comments (including this file's own
+//! rule descriptions).
+//!
+//! This is not a full Rust lexer — it understands exactly what the rules
+//! need: line comments, nested block comments, string literals (with
+//! escapes), raw strings (`r"…"`, `r#"…"#`, any hash depth, multiline),
+//! byte strings, and character literals vs. lifetimes. Everything else
+//! passes through as code.
+
+/// One source line, split by syntactic role.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments removed and every string/char literal replaced by
+    /// an empty `""` placeholder (so `"x.unwrap()"` cannot trip a rule).
+    pub code: String,
+    /// Concatenated comment text on this line (line + block comments).
+    pub comment: String,
+    /// Contents of string literals that *start* on this line.
+    pub strings: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// `doc: true` for `///` and `//!` comments, whose text is discarded:
+    /// markers and SAFETY tags live in plain `//` comments, and doc text
+    /// routinely *describes* markers without meaning them.
+    LineComment {
+        doc: bool,
+    },
+    BlockComment(u32),
+    Str {
+        raw_hashes: Option<u32>,
+    },
+}
+
+/// Lex `src` into per-line buffers. Multiline constructs (block comments,
+/// raw strings) contribute to every line they span.
+pub fn lex(src: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut cur_str = String::new();
+    let mut state = State::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+
+    macro_rules! newline {
+        () => {{
+            lines.push(std::mem::take(&mut cur));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '\n' => {
+                    newline!();
+                    i += 1;
+                }
+                '/' if next == Some('/') => {
+                    let third = chars.get(i + 2).copied();
+                    state = State::LineComment { doc: third == Some('/') || third == Some('!') };
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str { raw_hashes: None };
+                    cur_str.clear();
+                    i += 1;
+                }
+                'r' | 'b' => {
+                    // r"…", r#"…"#, br"…", b"…" — count hashes after the
+                    // prefix and enter raw/byte string mode when a quote
+                    // follows. A bare identifier containing r/b stays code.
+                    let prev_ident =
+                        cur.code.chars().last().is_some_and(|p| p.is_alphanumeric() || p == '_');
+                    let mut j = i + 1;
+                    if !prev_ident {
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let is_raw = j > i + 1 || hashes > 0;
+                        if chars.get(j) == Some(&'"') && (is_raw || c == 'b') {
+                            state =
+                                State::Str { raw_hashes: if is_raw { Some(hashes) } else { None } };
+                            cur_str.clear();
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    cur.code.push(c);
+                    i += 1;
+                }
+                '\'' => {
+                    // Character literal vs. lifetime. A literal is 'x' or
+                    // '\…'; a lifetime is 'ident with no closing quote.
+                    let is_escape = next == Some('\\');
+                    let closes = if is_escape {
+                        // Scan from past the escaped character, so '\'' and
+                        // multi-char escapes like '\u{7f}' terminate right.
+                        let mut j = i + 3;
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        chars.get(j) == Some(&'\'')
+                    } else {
+                        chars.get(i + 2) == Some(&'\'')
+                    };
+                    if closes {
+                        // Swallow the whole literal.
+                        cur.code.push_str("\"\"");
+                        let mut j = if is_escape { i + 3 } else { i + 1 };
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c); // lifetime tick stays in code
+                        i += 1;
+                    }
+                }
+                _ => {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment { doc } => {
+                if c == '\n' {
+                    state = State::Code;
+                    newline!();
+                } else if !doc {
+                    cur.comment.push(c);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    newline!();
+                    i += 1;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            // Keep escapes verbatim in the captured content;
+                            // rules only substring-match, exactness is moot.
+                            if let Some(n) = next {
+                                cur_str.push(c);
+                                if n != '\n' {
+                                    cur_str.push(n);
+                                }
+                                i += 2;
+                                if n == '\n' {
+                                    newline!();
+                                }
+                                continue;
+                            }
+                            i += 1;
+                        } else if c == '"' {
+                            cur.code.push_str("\"\"");
+                            cur.strings.push(std::mem::take(&mut cur_str));
+                            state = State::Code;
+                            i += 1;
+                        } else {
+                            if c == '\n' {
+                                cur_str.push('\n');
+                                newline!();
+                            } else {
+                                cur_str.push(c);
+                            }
+                            i += 1;
+                        }
+                    }
+                    Some(hashes) => {
+                        let mut closed = false;
+                        if c == '"' {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if chars.get(i + 1 + k as usize) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                cur.code.push_str("\"\"");
+                                cur.strings.push(std::mem::take(&mut cur_str));
+                                state = State::Code;
+                                i += 1 + hashes as usize;
+                                closed = true;
+                            }
+                        }
+                        if !closed {
+                            if c == '\n' {
+                                cur_str.push('\n');
+                                newline!();
+                            } else {
+                                cur_str.push(c);
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Flush the final (unterminated) line.
+    if !cur.code.is_empty() || !cur.comment.is_empty() || !cur.strings.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_leave_code() {
+        let src = "let x = \"a.unwrap()\"; // call .unwrap() later\nfoo();";
+        let lines = lex(src);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].code.contains(".unwrap()"), "string content leaked: {}", lines[0].code);
+        assert!(lines[0].comment.contains(".unwrap()"));
+        assert_eq!(lines[0].strings, vec!["a.unwrap()".to_string()]);
+        assert_eq!(lines[1].code, "foo();");
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "a /* x /* y */ z */ b\nlet s = r#\"multi\nline \"quoted\"\"#; c";
+        let lines = lex(src);
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[0].comment.contains('y'));
+        assert!(lines[1].code.contains("let s ="));
+        assert_eq!(lines[2].strings, vec!["multi\nline \"quoted\"".to_string()]);
+        assert!(lines[2].code.contains("; c"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\n'; let q = '\"'; }";
+        let lines = lex(src);
+        assert!(lines[0].code.contains("<'a>"), "lifetime mangled: {}", lines[0].code);
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[0].code.contains("\\n"));
+        // The '"' literal must not open a string state.
+        assert!(lines[0].code.ends_with('}'));
+    }
+
+    #[test]
+    fn multiline_plain_string() {
+        let src = "let s = \"line one\nline two\"; done();";
+        let lines = lex(src);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].strings, vec!["line one\nline two".to_string()]);
+        assert!(lines[1].code.contains("done();"));
+    }
+}

@@ -1,0 +1,16 @@
+//! s2-lint: the workspace's static-analysis engine.
+//!
+//! Zero dependencies, hand-rolled lexer, named rules with an allow-marker
+//! escape hatch. See DESIGN.md "Static analysis & concurrency discipline"
+//! for the rule table and the marker grammar.
+//!
+//! Run it with `cargo run -p s2-lint`; it prints one machine-readable line
+//! per finding (`path:line: ID/rule: message`) and exits nonzero when any
+//! finding survives.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_source, Finding};
+pub use rules::all_rules;

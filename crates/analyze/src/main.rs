@@ -1,0 +1,83 @@
+//! CLI driver: lint every `crates/**/src/**/*.rs` file in the workspace.
+//!
+//! Output is one line per finding, `path:line: ID/rule: message`, sorted by
+//! path then line, plus a trailing per-rule summary on stderr. Exit status
+//! is nonzero iff any finding was produced, so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use s2_lint::{all_rules, lint_source};
+
+/// Workspace root: this crate lives at `<root>/crates/analyze`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Collect every `.rs` file under a `src/` directory of any crate, sorted
+/// for deterministic output.
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && path.components().any(|c| c.as_os_str() == "src")
+            {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let rules = all_rules();
+    let mut total = 0usize;
+    let mut by_rule: Vec<(String, usize)> = Vec::new();
+
+    for path in collect_sources(&root) {
+        let rel = path.strip_prefix(&root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("s2-lint: cannot read {rel}: {e}");
+                total += 1;
+                continue;
+            }
+        };
+        for finding in lint_source(&rel, &src, &rules) {
+            println!("{finding}");
+            total += 1;
+            let key = format!("{}/{}", finding.id, finding.rule);
+            match by_rule.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => by_rule.push((key, 1)),
+            }
+        }
+    }
+
+    if total == 0 {
+        eprintln!("s2-lint: clean ({} rules)", rules.len());
+        ExitCode::SUCCESS
+    } else {
+        by_rule.sort();
+        let summary: Vec<String> = by_rule.iter().map(|(k, n)| format!("{k}: {n}")).collect();
+        eprintln!("s2-lint: {total} finding(s) [{}]", summary.join(", "));
+        ExitCode::FAILURE
+    }
+}

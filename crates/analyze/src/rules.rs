@@ -1,0 +1,111 @@
+//! The rule table. Every rule has a stable id (`R1`..`R5`), a marker name
+//! (what `s2-lint: allow(<name>, …)` refers to), and a scope predicate over
+//! repo-relative paths. Adding a rule = adding an entry to [`all_rules`] and
+//! a line to DESIGN.md's rule table.
+
+/// A token-presence rule: flag lines of non-test code whose stripped code
+/// contains any of `tokens`, within the files selected by `applies`.
+pub struct TokenRule {
+    pub id: &'static str,
+    pub name: &'static str,
+    pub tokens: &'static [&'static str],
+    pub message: &'static str,
+    pub applies: fn(&str) -> bool,
+}
+
+/// R4: every `unsafe` must be annotated with a `// SAFETY:` comment on the
+/// same line or on the contiguous comment/attribute block above it.
+pub struct SafetyCommentRule {
+    pub id: &'static str,
+    pub name: &'static str,
+}
+
+/// R5: string literals passed at metric/event registration sites must be
+/// `subsystem.noun_verb` style.
+pub struct MetricNameRule {
+    pub id: &'static str,
+    pub name: &'static str,
+    pub callsites: &'static [&'static str],
+}
+
+pub enum RuleKind {
+    Token(TokenRule),
+    SafetyComment(SafetyCommentRule),
+    MetricName(MetricNameRule),
+}
+
+pub struct Rule {
+    pub kind: RuleKind,
+}
+
+/// R1 scope: modules that must stay deterministic — the pure breaker core,
+/// the fault-injection registry, and the whole simulation harness. These are
+/// replayed from seeds; a wall-clock read makes replays diverge.
+fn deterministic_module(path: &str) -> bool {
+    path == "crates/blob/src/health.rs"
+        || path == "crates/common/src/fault.rs"
+        || path.starts_with("crates/sim/src/")
+}
+
+/// R2/R3 scope: crates on the commit path, where a panic or a blocking call
+/// stalls every writer behind the partition commit lock.
+fn commit_path_crate(path: &str) -> bool {
+    path.starts_with("crates/wal/src/")
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/rowstore/src/")
+        || path == "crates/blob/src/uploader.rs"
+}
+
+/// R3 scope: the modules that run while holding the commit lock. Narrower
+/// than R2: the rowstore and uploader never sleep by construction, and the
+/// cluster crate's sleeps are legitimate tick/wait loops.
+fn commit_critical_section(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/wal/src/")
+}
+
+/// Names usable in allow-markers. `malformed-marker` is not allowlistable.
+pub fn rule_names() -> &'static [&'static str] {
+    &["wall-clock", "unwrap", "blocking", "safety-comment", "metric-name"]
+}
+
+pub fn all_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            kind: RuleKind::Token(TokenRule {
+                id: "R1",
+                name: "wall-clock",
+                tokens: &["Instant::now", "SystemTime::now"],
+                message: "wall-clock read in a deterministic module",
+                applies: deterministic_module,
+            }),
+        },
+        Rule {
+            kind: RuleKind::Token(TokenRule {
+                id: "R2",
+                name: "unwrap",
+                tokens: &[".unwrap()", ".expect("],
+                message: "forbidden panic path on a commit-path crate",
+                applies: commit_path_crate,
+            }),
+        },
+        Rule {
+            kind: RuleKind::Token(TokenRule {
+                id: "R3",
+                name: "blocking",
+                tokens: &["thread::sleep", ".enqueue("],
+                message: "blocking call inside the commit critical section",
+                applies: commit_critical_section,
+            }),
+        },
+        Rule {
+            kind: RuleKind::SafetyComment(SafetyCommentRule { id: "R4", name: "safety-comment" }),
+        },
+        Rule {
+            kind: RuleKind::MetricName(MetricNameRule {
+                id: "R5",
+                name: "metric-name",
+                callsites: &["counter!(", "gauge!(", "histogram!(", "s2_obs::event(", ".event("],
+            }),
+        },
+    ]
+}

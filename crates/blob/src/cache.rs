@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use s2_common::sync::{rank, Mutex};
 use s2_common::Result;
 
 struct Entry {
@@ -64,7 +64,7 @@ impl FileCache {
     /// Cache holding at most `capacity` bytes.
     pub fn new(capacity: usize) -> FileCache {
         FileCache {
-            inner: Mutex::new(CacheInner { map: HashMap::new(), bytes: 0 }),
+            inner: Mutex::new(&rank::BLOB_CACHE, CacheInner { map: HashMap::new(), bytes: 0 }),
             capacity,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),

@@ -27,8 +27,8 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
 use s2_common::retry::salt_from_key;
+use s2_common::sync::{rank, Mutex, RwLock};
 use s2_common::{Error, Result, RetryClass, RetryPolicy};
 
 use crate::store::ObjectStore;
@@ -267,7 +267,8 @@ impl BlobHealth {
     pub fn with_config(label: impl Into<String>, cfg: BreakerConfig) -> Arc<BlobHealth> {
         Arc::new(BlobHealth {
             label: label.into(),
-            core: Mutex::new(BreakerCore::new(cfg)),
+            core: Mutex::new(&rank::BLOB_BREAKER, BreakerCore::new(cfg)),
+            // s2-lint: allow(wall-clock, BlobHealth is the real-clock adapter over the pure BreakerCore)
             epoch: Instant::now(),
         })
     }
@@ -357,7 +358,7 @@ static REGISTRY: OnceLock<RwLock<BTreeMap<String, Arc<BlobHealth>>>> = OnceLock:
 /// label shares one breaker, so the uploader tripping it also shields cold
 /// reads and snapshot shipping (and vice versa).
 pub fn store_health(label: &str) -> Arc<BlobHealth> {
-    let reg = REGISTRY.get_or_init(|| RwLock::new(BTreeMap::new()));
+    let reg = REGISTRY.get_or_init(|| RwLock::new(&rank::BLOB_HEALTH_REGISTRY, BTreeMap::new()));
     if let Some(h) = reg.read().get(label) {
         return Arc::clone(h);
     }
@@ -396,6 +397,7 @@ impl ResilientStore {
         // returns immediately — an open breaker must cost microseconds, not
         // a retry schedule's worth of backoff sleeps.
         let salt = salt_from_key(key);
+        // s2-lint: allow(wall-clock, retry deadlines are real elapsed time; sim covers this via FaultyStore)
         let started = Instant::now();
         let mut attempt_no = 0u32;
         loop {

@@ -9,7 +9,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use s2_common::sync::{rank, RwLock};
 use s2_common::{Error, Result};
 
 /// Abstract blob store. Keys are `/`-separated paths; objects are immutable
@@ -34,15 +34,20 @@ pub trait ObjectStore: Send + Sync {
 }
 
 /// In-memory blob store (the default test/bench backend).
-#[derive(Default)]
 pub struct MemoryStore {
     objects: RwLock<BTreeMap<String, Arc<Vec<u8>>>>,
+}
+
+impl Default for MemoryStore {
+    fn default() -> MemoryStore {
+        MemoryStore::new()
+    }
 }
 
 impl MemoryStore {
     /// Empty store.
     pub fn new() -> MemoryStore {
-        MemoryStore::default()
+        MemoryStore { objects: RwLock::new(&rank::BLOB_STORE, BTreeMap::new()) }
     }
 
     /// Total bytes stored (diagnostics).

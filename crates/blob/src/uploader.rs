@@ -27,11 +27,12 @@
 //!   to lose).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use s2_common::retry::{jittered_backoff, salt_from_key};
+use s2_common::sync::{rank, Condvar, Mutex, MutexGuard};
 use s2_common::{Error, Result, RetryClass};
 
 use crate::health::{BlobHealth, CircuitState};
@@ -166,14 +167,17 @@ impl Uploader {
             store,
             health,
             cfg,
-            state: Mutex::new(QueueState {
-                ready: VecDeque::new(),
-                deferred: Vec::new(),
-                inflight: 0,
-                enqueued: 0,
-                completed: 0,
-                shutdown: false,
-            }),
+            state: Mutex::new(
+                &rank::BLOB_UPLOADER,
+                QueueState {
+                    ready: VecDeque::new(),
+                    deferred: Vec::new(),
+                    inflight: 0,
+                    enqueued: 0,
+                    completed: 0,
+                    shutdown: false,
+                },
+            ),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
@@ -203,7 +207,7 @@ impl Uploader {
     ) -> Result<()> {
         let key = key.into();
         let inner = &self.inner;
-        let mut st = lock(&inner.state);
+        let mut st = inner.state.lock();
         loop {
             if st.shutdown {
                 return Err(Error::Unavailable("uploader shut down".into()));
@@ -212,7 +216,7 @@ impl Uploader {
                 break;
             }
             s2_obs::counter!("blob.upload.backpressure_waits").inc();
-            st = wait(&inner.done_cv, st);
+            st = inner.done_cv.wait(st);
         }
         push_job(inner, st, key, bytes, Box::new(on_done));
         Ok(())
@@ -234,7 +238,7 @@ impl Uploader {
         on_done: impl FnOnce(Result<()>) + Send + 'static,
     ) -> Result<bool> {
         let inner = &self.inner;
-        let st = lock(&inner.state);
+        let st = inner.state.lock();
         if st.shutdown {
             return Err(Error::Unavailable("uploader shut down".into()));
         }
@@ -249,14 +253,14 @@ impl Uploader {
     /// Jobs enqueued but not yet completed (one consistent read — both
     /// counters live under the queue lock).
     pub fn pending(&self) -> u64 {
-        let st = lock(&self.inner.state);
+        let st = self.inner.state.lock();
         st.enqueued - st.completed
     }
 
     /// True while the backlog is at (or beyond) capacity — the signal
     /// callers poll to shed or delay optional work.
     pub fn backlogged(&self) -> bool {
-        lock(&self.inner.state).outstanding() >= self.inner.cfg.capacity
+        self.inner.state.lock().outstanding() >= self.inner.cfg.capacity
     }
 
     /// Block until every queued job has completed (condvar wait, not a
@@ -264,9 +268,9 @@ impl Uploader {
     /// parked jobs count as pending.
     pub fn drain(&self) {
         let inner = &self.inner;
-        let mut st = lock(&inner.state);
+        let mut st = inner.state.lock();
         while st.enqueued > st.completed {
-            st = wait(&inner.done_cv, st);
+            st = inner.done_cv.wait(st);
         }
     }
 }
@@ -274,7 +278,7 @@ impl Uploader {
 impl Drop for Uploader {
     fn drop(&mut self) {
         {
-            let mut st = lock(&self.inner.state);
+            let mut st = self.inner.state.lock();
             st.shutdown = true;
         }
         // Wake everyone: workers finish the backlog (parked jobs get a final
@@ -285,10 +289,6 @@ impl Drop for Uploader {
             let _ = w.join();
         }
     }
-}
-
-fn lock(m: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Append a job to the ready queue (caller has already checked shutdown and
@@ -308,14 +308,10 @@ fn push_job(
     inner.work_cv.notify_one();
 }
 
-fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, QueueState>) -> MutexGuard<'a, QueueState> {
-    cv.wait(g).unwrap_or_else(|e| e.into_inner())
-}
-
 fn worker_loop(inner: &Inner) {
     loop {
         let job = {
-            let mut st = lock(&inner.state);
+            let mut st = inner.state.lock();
             loop {
                 let earliest = st.promote_due(Instant::now());
                 if let Some(job) = st.ready.pop_front() {
@@ -330,13 +326,9 @@ fn worker_loop(inner: &Inner) {
                 st = match earliest {
                     Some(t) => {
                         let timeout = t.saturating_duration_since(Instant::now());
-                        inner
-                            .work_cv
-                            .wait_timeout(st, timeout.max(Duration::from_millis(1)))
-                            .unwrap_or_else(|e| e.into_inner())
-                            .0
+                        inner.work_cv.wait_timeout(st, timeout.max(Duration::from_millis(1))).0
                     }
-                    None => wait(&inner.work_cv, st),
+                    None => inner.work_cv.wait(st),
                 };
             }
         };
@@ -348,7 +340,7 @@ fn worker_loop(inner: &Inner) {
 /// leaves the in-flight set but stays pending.
 fn defer(inner: &Inner, job: UploadJob, delay: Duration) {
     s2_obs::counter!("blob.upload.requeues").inc();
-    let mut st = lock(&inner.state);
+    let mut st = inner.state.lock();
     st.inflight -= 1;
     st.deferred.push((Instant::now() + delay, job));
     drop(st);
@@ -368,7 +360,7 @@ fn finish(inner: &Inner, job: UploadJob, outcome: Result<()>) {
         }
     }
     (job.on_done)(outcome);
-    let mut st = lock(&inner.state);
+    let mut st = inner.state.lock();
     st.inflight -= 1;
     st.completed += 1;
     drop(st);
@@ -379,7 +371,7 @@ fn finish(inner: &Inner, job: UploadJob, outcome: Result<()>) {
 /// One attempt at `job`, gated by the breaker. Runs on a worker thread with
 /// no locks held; never sleeps — waiting happens by re-queueing.
 fn attempt(inner: &Inner, mut job: UploadJob) {
-    let shutdown = lock(&inner.state).shutdown;
+    let shutdown = inner.state.lock().shutdown;
     if !inner.health.allow() {
         if shutdown {
             finish(inner, job, Err(Error::Unavailable("uploader shut down during outage".into())));
@@ -491,7 +483,7 @@ mod tests {
         up.drain();
         // Simulate shutdown without dropping the handle.
         {
-            let mut st = lock(&up.inner.state);
+            let mut st = up.inner.state.lock();
             st.shutdown = true;
         }
         up.inner.work_cv.notify_all();
@@ -616,7 +608,7 @@ mod tests {
         drop(up);
         let up2 = Uploader::new(Arc::new(MemoryStore::new()) as Arc<dyn ObjectStore>, 1);
         {
-            let mut st = lock(&up2.inner.state);
+            let mut st = up2.inner.state.lock();
             st.shutdown = true;
         }
         assert!(matches!(

@@ -7,8 +7,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
 use s2_blob::{BlobHealth, ObjectStore, ResilientStore};
+use s2_common::sync::{rank, Mutex, RwLock};
 use s2_common::{
     Error, LogPosition, Result, RetryPolicy, Row, Schema, TableId, TableOptions, Timestamp, Value,
 };
@@ -167,21 +167,21 @@ impl Cluster {
             });
             sets.push(Arc::new(PartitionSet {
                 name: pname,
-                master: RwLock::new(master),
-                replicas: Mutex::new(replicas),
+                master: RwLock::new(&rank::CLUSTER_TOPOLOGY, master),
+                replicas: Mutex::new(&rank::CLUSTER_TOPOLOGY, replicas),
                 file_store,
                 blob_files,
-                storage_service: Mutex::new(storage_service),
+                storage_service: Mutex::new(&rank::CLUSTER_TOPOLOGY, storage_service),
             }));
         }
         let cluster = Arc::new(Cluster {
             name,
             config,
             sets,
-            tables: RwLock::new(HashMap::new()),
+            tables: RwLock::new(&rank::CLUSTER_TABLES, HashMap::new()),
             blob_health,
             maintenance_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
-            maintenance_thread: Mutex::new(None),
+            maintenance_thread: Mutex::new(&rank::CLUSTER_TOPOLOGY, None),
         });
         // Background flusher/merger/vacuum (paper §2.1.2's background
         // processes): keeps rowstore levels small and reclaims MVCC garbage
@@ -318,9 +318,11 @@ impl Cluster {
     /// A consistent-per-partition query context over every master.
     pub fn context(&self) -> Result<UnionContext> {
         let mut ctx = UnionContext::new();
-        let tables = self.tables.read();
-        // One snapshot per partition, shared across tables.
+        // One snapshot per partition, shared across tables. Captured before
+        // the tables map is locked: resolving a master takes the topology
+        // lock, which ranks below the tables map.
         let snaps: Vec<_> = self.sets.iter().map(|s| s.master().read_snapshot()).collect();
+        let tables = self.tables.read();
         for (name, meta) in tables.iter() {
             let mut per_table = Vec::with_capacity(snaps.len());
             for snap in &snaps {

@@ -9,10 +9,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::RwLock;
 use s2_blob::{
     BlobHealth, FileCache, ObjectStore, ResilientStore, StoreHealth, Uploader, UploaderConfig,
 };
+use s2_common::sync::{rank, RwLock};
 use s2_common::{DeadlineBudget, Error, LogPosition, Result, RetryPolicy};
 use s2_core::{DataFileStore, Partition};
 use s2_wal::Snapshot;
@@ -91,8 +91,8 @@ impl BlobBackedFileStore {
             cache: Arc::new(FileCache::new(cache_bytes)),
             uploader,
             health,
-            uploaded: Arc::new(RwLock::new(HashSet::new())),
-            failed: Arc::new(RwLock::new(HashSet::new())),
+            uploaded: Arc::new(RwLock::new(&rank::CLUSTER_STORAGE_SETS, HashSet::new())),
+            failed: Arc::new(RwLock::new(&rank::CLUSTER_STORAGE_SETS, HashSet::new())),
             read_budget,
         })
     }

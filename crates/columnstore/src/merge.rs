@@ -83,6 +83,8 @@ struct HeapEntry {
 
 impl HeapEntry {
     fn key(&self) -> &[usize] {
+        // SAFETY: sort_key points at the merge call's sort-key slice, which
+        // outlives every HeapEntry (entries never escape merge_runs).
         unsafe { &*self.sort_key }
     }
 }

@@ -13,8 +13,9 @@
 //! workspace can call into it.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
+use crate::sync::{rank, RwLock};
 use crate::{Error, Result};
 
 /// What an installed hook wants a site to do.
@@ -44,11 +45,11 @@ pub struct CrashPoint {
 }
 
 static ARMED: AtomicBool = AtomicBool::new(false);
-static HOOK: RwLock<Option<Arc<dyn FaultHook>>> = RwLock::new(None);
+static HOOK: RwLock<Option<Arc<dyn FaultHook>>> = RwLock::new(&rank::FAULT_REGISTRY, None);
 
 /// Install a hook; subsequent site hits consult it. Replaces any prior hook.
 pub fn install(hook: Arc<dyn FaultHook>) {
-    let mut slot = HOOK.write().unwrap_or_else(|e| e.into_inner());
+    let mut slot = HOOK.write();
     *slot = Some(hook);
     ARMED.store(true, Ordering::SeqCst);
 }
@@ -56,7 +57,7 @@ pub fn install(hook: Arc<dyn FaultHook>) {
 /// Remove the installed hook; sites return to zero-cost pass-through.
 pub fn clear() {
     ARMED.store(false, Ordering::SeqCst);
-    let mut slot = HOOK.write().unwrap_or_else(|e| e.into_inner());
+    let mut slot = HOOK.write();
     *slot = None;
 }
 
@@ -66,7 +67,9 @@ pub fn armed() -> bool {
 }
 
 fn current_hook() -> Option<Arc<dyn FaultHook>> {
-    HOOK.read().unwrap_or_else(|e| e.into_inner()).clone()
+    // The guard is dropped before the hook is evaluated, so hooks may take
+    // locks of any rank without ordering against the registry.
+    HOOK.read().clone()
 }
 
 fn crash(site: &str) -> ! {

@@ -16,6 +16,7 @@ pub mod io;
 pub mod retry;
 pub mod row;
 pub mod schema;
+pub mod sync;
 pub mod types;
 pub mod value;
 

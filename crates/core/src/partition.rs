@@ -12,9 +12,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
 use s2_columnstore::{merge_segments, MergePolicy, SegmentMeta, SegmentReader};
 use s2_common::io::{ByteReader, ByteWriter};
+use s2_common::sync::{rank, Mutex, RwLock};
 use s2_common::{
     Error, LogPosition, Result, Row, Schema, SegmentId, TableId, TableOptions, Timestamp, TxnId,
     Value,
@@ -62,13 +62,13 @@ impl Partition {
             name: name.into(),
             log,
             file_store,
-            tables: RwLock::new(HashMap::new()),
-            table_names: RwLock::new(HashMap::new()),
+            tables: RwLock::new(&rank::CORE_TABLES, HashMap::new()),
+            table_names: RwLock::new(&rank::CORE_TABLES, HashMap::new()),
             next_table_id: AtomicU64::new(1),
-            commit_lock: Mutex::new(()),
+            commit_lock: Mutex::new(&rank::CORE_COMMIT, ()),
             commit_ts: AtomicU64::new(0),
             next_txn: AtomicU64::new(1),
-            pinned: Mutex::new(BTreeMap::new()),
+            pinned: Mutex::new(&rank::CORE_PINNED, BTreeMap::new()),
             merge_policy: MergePolicy::default(),
             last_snapshot_lp: AtomicU64::new(0),
         })

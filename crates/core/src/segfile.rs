@@ -10,9 +10,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use s2_columnstore::SegmentData;
 use s2_common::io::{ByteReader, ByteWriter};
+use s2_common::sync::{rank, RwLock};
 use s2_common::{Error, LogPosition, Result};
 use s2_index::InvertedIndex;
 
@@ -84,15 +84,20 @@ pub trait DataFileStore: Send + Sync {
 }
 
 /// In-memory data-file store (local-disk stand-in for single-node use).
-#[derive(Default)]
 pub struct MemFileStore {
     files: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+}
+
+impl Default for MemFileStore {
+    fn default() -> MemFileStore {
+        MemFileStore::new()
+    }
 }
 
 impl MemFileStore {
     /// Empty store.
     pub fn new() -> MemFileStore {
-        MemFileStore::default()
+        MemFileStore { files: RwLock::new(&rank::CORE_SEGFILES, HashMap::new()) }
     }
 
     /// Number of files held.

@@ -13,8 +13,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
 use s2_columnstore::{SegmentMeta, SegmentReader};
+use s2_common::sync::{rank, RwLock};
 use s2_common::{
     BitVec, Error, Result, Row, Schema, SegmentId, TableId, TableOptions, Timestamp, TxnId, Value,
 };
@@ -137,13 +137,16 @@ impl Table {
             name,
             schema,
             options,
-            rowstore: RwLock::new(RowStore::new()),
-            state: RwLock::new(TableState {
-                segments: HashMap::new(),
-                runs: Vec::new(),
-                indexes,
-                next_segment_id: 1,
-            }),
+            rowstore: RwLock::new(&rank::CORE_ROWSTORE, RowStore::new()),
+            state: RwLock::new(
+                &rank::CORE_TABLE_STATE,
+                TableState {
+                    segments: HashMap::new(),
+                    runs: Vec::new(),
+                    indexes,
+                    next_segment_id: 1,
+                },
+            ),
             unique_cols,
             auto_key: AtomicU64::new(1),
         })
@@ -263,7 +266,7 @@ impl Table {
                 file.inverted.iter().map(|(c, ix)| (*c, Arc::new(ix.clone()))).collect();
             let core = Arc::new(SegmentCore {
                 meta,
-                deleted: RwLock::new(deleted),
+                deleted: RwLock::new(&rank::CORE_SEG_DELETED, deleted),
                 dropped_ts: AtomicU64::new(u64::MAX),
                 dropped_lp: AtomicU64::new(u64::MAX),
                 reader: SegmentReader::new(file.data.clone()),

@@ -206,6 +206,7 @@ impl Txn {
         if let Some(Some(_)) = table.rowstore.read().get(key, latest, Some(self.id)) {
             return Ok(Some(RowLocation::Rowstore(key.to_vec())));
         }
+        // s2-lint: allow(unwrap, callers guard on table.unique_cols.is_some() before resolving by unique key)
         let cols = table.unique_cols.as_ref().expect("caller checked");
         let hits = table.index_probe_latest(cols, key)?;
         for (core, rows) in hits {
@@ -249,6 +250,7 @@ impl Txn {
         if let Some(Some(row)) = table.rowstore.read().get(key, latest, Some(self.id)) {
             return Ok(Some(row));
         }
+        // s2-lint: allow(unwrap, callers guard on table.unique_cols.is_some() before resolving by unique key)
         let cols = table.unique_cols.as_ref().expect("checked");
         let hits = table.index_probe_latest(cols, key)?;
         for (core, rows) in hits {

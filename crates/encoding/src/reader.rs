@@ -5,8 +5,8 @@
 //! the bytes needed for that row — O(1) for plain/bit-packed/dictionary
 //! columns, O(log runs) for RLE, and one block decompression (cached) for LZ.
 
+use s2_common::sync::{rank, Mutex};
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use s2_common::io::ByteReader;
 use s2_common::{BitVec, DataType, Error, Result, Value};
@@ -151,7 +151,11 @@ impl ColumnReader {
                 for _ in 0..=n_blocks {
                     dir.push(r.get_varint()?);
                 }
-                Inner::LzStr { dir, blocks_off: r.position(), cache: Mutex::new(None) }
+                Inner::LzStr {
+                    dir,
+                    blocks_off: r.position(),
+                    cache: Mutex::new(&rank::ENCODING_READER, None),
+                }
             }
         };
         Ok(ColumnReader { data, rows, encoding: col.encoding, nulls, inner })
@@ -245,7 +249,7 @@ impl ColumnReader {
     fn lz_block(&self, block: usize) -> Result<Arc<Vec<u8>>> {
         if let Inner::LzStr { dir, blocks_off, cache } = &self.inner {
             {
-                let guard = cache.lock().unwrap();
+                let guard = cache.lock();
                 if let Some((idx, layout)) = guard.as_ref() {
                     if *idx == block {
                         return Ok(Arc::clone(layout));
@@ -255,7 +259,7 @@ impl ColumnReader {
             let start = blocks_off + dir[block] as usize;
             let end = blocks_off + dir[block + 1] as usize;
             let layout = Arc::new(crate::lz::decompress(&self.data[start..end])?);
-            *cache.lock().unwrap() = Some((block, Arc::clone(&layout)));
+            *cache.lock() = Some((block, Arc::clone(&layout)));
             Ok(layout)
         } else {
             unreachable!()

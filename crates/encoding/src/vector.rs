@@ -114,7 +114,9 @@ impl ColumnVector {
             ColumnVector::Str { offsets, bytes, .. } => {
                 let s = offsets[i] as usize;
                 let e = offsets[i + 1] as usize;
-                // Bytes came from validated UTF-8; skip re-validation on the hot path.
+                // SAFETY: these bytes were produced by encoding valid &str
+                // values and the offsets delimit whole strings, so the slice
+                // is valid UTF-8; re-validation is skipped on the hot path.
                 unsafe { std::str::from_utf8_unchecked(&bytes[s..e]) }
             }
             _ => panic!("str_at on non-str vector"),

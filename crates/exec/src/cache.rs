@@ -26,7 +26,8 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+
+use s2_common::sync::{rank, Mutex};
 
 use crate::expr::Expr;
 
@@ -70,9 +71,14 @@ struct Inner {
 }
 
 /// The process-wide decision cache.
-#[derive(Default)]
 pub struct DecisionCache {
     inner: Mutex<Inner>,
+}
+
+impl Default for DecisionCache {
+    fn default() -> DecisionCache {
+        DecisionCache { inner: Mutex::new(&rank::EXEC_DECISION_CACHE, Inner::default()) }
+    }
 }
 
 /// The global cache used by [`crate::scan`].
@@ -107,7 +113,7 @@ impl DecisionCache {
         deleted: usize,
     ) -> Option<Vec<PlannedClause>> {
         let key = Key { table, segment, fingerprint };
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         match inner.map.get(&key) {
             Some(e) if e.deleted == deleted => {
                 s2_obs::counter!("exec.scan.decision_cache_hits").inc();
@@ -136,7 +142,7 @@ impl DecisionCache {
         plan: Vec<PlannedClause>,
     ) {
         let key = Key { table, segment, fingerprint };
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         inner.epoch += 1;
         let epoch = inner.epoch;
         inner.map.insert(key, Entry { plan, deleted, epoch });
@@ -155,13 +161,13 @@ impl DecisionCache {
 
     /// Drop every entry for `table` (table drop / tests).
     pub fn invalidate_table(&self, table: usize) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         inner.map.retain(|k, _| k.table != table);
     }
 
     /// Entry count (tests, metrics).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+        self.inner.lock().map.len()
     }
 
     /// Whether the cache is empty.

@@ -24,8 +24,10 @@ use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use s2_common::sync::{rank, Condvar, Mutex};
 
 /// Hard ceiling on pool threads (queue slots are allocated up front).
 pub const MAX_THREADS: usize = 32;
@@ -51,9 +53,7 @@ impl Shared {
     /// which have no home queue; their pops are not counted as steals.
     fn pop(&self, own: usize) -> Option<Job> {
         if own != usize::MAX {
-            if let Some(job) =
-                self.queues[own].lock().unwrap_or_else(|e| e.into_inner()).pop_front()
-            {
+            if let Some(job) = self.queues[own].lock().pop_front() {
                 self.note_pop();
                 return Some(job);
             }
@@ -63,7 +63,7 @@ impl Shared {
             if k == own {
                 continue;
             }
-            if let Some(job) = self.queues[k].lock().unwrap_or_else(|e| e.into_inner()).pop_back() {
+            if let Some(job) = self.queues[k].lock().pop_back() {
                 self.note_pop();
                 if own != usize::MAX {
                     s2_obs::counter!("exec.pool.steals").inc();
@@ -93,14 +93,16 @@ impl ScanPool {
     fn new() -> ScanPool {
         ScanPool {
             shared: Arc::new(Shared {
-                queues: (0..MAX_THREADS).map(|_| Mutex::new(VecDeque::new())).collect(),
-                idle: Mutex::new(()),
+                queues: (0..MAX_THREADS)
+                    .map(|_| Mutex::new(&rank::EXEC_POOL_QUEUE, VecDeque::new()))
+                    .collect(),
+                idle: Mutex::new(&rank::EXEC_POOL_IDLE, ()),
                 ready: Condvar::new(),
                 pending: AtomicUsize::new(0),
                 spawned: AtomicUsize::new(0),
             }),
             next: AtomicUsize::new(0),
-            grow: Mutex::new(()),
+            grow: Mutex::new(&rank::EXEC_POOL_GROW, ()),
         }
     }
 
@@ -121,7 +123,7 @@ impl ScanPool {
         if self.workers() >= target {
             return;
         }
-        let _g = self.grow.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = self.grow.lock();
         while self.shared.spawned.load(Ordering::Acquire) < target {
             let id = self.shared.spawned.load(Ordering::Acquire);
             let shared = Arc::clone(&self.shared);
@@ -139,10 +141,10 @@ impl ScanPool {
         let q = self.next.fetch_add(1, Ordering::Relaxed) % slots;
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
         s2_obs::gauge!("exec.pool.queue_depth").inc();
-        self.shared.queues[q].lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        self.shared.queues[q].lock().push_back(job);
         // Take the sleep lock so a worker between its pending-check and its
         // wait cannot miss this notification.
-        let _g = self.shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = self.shared.idle.lock();
         self.shared.ready.notify_one();
     }
 
@@ -212,7 +214,7 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
             job();
             continue;
         }
-        let guard = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = shared.idle.lock();
         if shared.pending.load(Ordering::Acquire) > 0 {
             continue; // raced with a submit; retry the queues
         }

@@ -46,7 +46,9 @@ pub use ring::{Event, EventRing};
 pub use snapshot::Snapshot;
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
+
+use s2_common::sync::{rank, RwLock};
 
 /// How many events the global ring retains.
 const EVENT_RING_CAPACITY: usize = 256;
@@ -69,10 +71,10 @@ impl Default for Registry {
 
 macro_rules! get_or_register {
     ($map:expr, $name:expr, $ty:ty) => {{
-        if let Some(m) = $map.read().unwrap_or_else(|e| e.into_inner()).get($name) {
+        if let Some(m) = $map.read().get($name) {
             return Arc::clone(m);
         }
-        let mut w = $map.write().unwrap_or_else(|e| e.into_inner());
+        let mut w = $map.write();
         Arc::clone(w.entry($name.to_string()).or_insert_with(|| Arc::new(<$ty>::new())))
     }};
 }
@@ -81,9 +83,9 @@ impl Registry {
     /// New empty registry.
     pub fn new() -> Registry {
         Registry {
-            counters: RwLock::new(BTreeMap::new()),
-            gauges: RwLock::new(BTreeMap::new()),
-            histograms: RwLock::new(BTreeMap::new()),
+            counters: RwLock::new(&rank::OBS_REGISTRY, BTreeMap::new()),
+            gauges: RwLock::new(&rank::OBS_REGISTRY, BTreeMap::new()),
+            histograms: RwLock::new(&rank::OBS_REGISTRY, BTreeMap::new()),
             events: EventRing::new(EVENT_RING_CAPACITY),
         }
     }
@@ -116,24 +118,11 @@ impl Registry {
     /// Capture every registered metric.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            counters: self
-                .counters
-                .read()
-                .unwrap_or_else(|e| e.into_inner())
-                .iter()
-                .map(|(n, c)| (n.clone(), c.get()))
-                .collect(),
-            gauges: self
-                .gauges
-                .read()
-                .unwrap_or_else(|e| e.into_inner())
-                .iter()
-                .map(|(n, g)| (n.clone(), g.get()))
-                .collect(),
+            counters: self.counters.read().iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+            gauges: self.gauges.read().iter().map(|(n, g)| (n.clone(), g.get())).collect(),
             histograms: self
                 .histograms
                 .read()
-                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(n, h)| (n.clone(), h.summary()))
                 .collect(),
@@ -144,13 +133,13 @@ impl Registry {
     /// Zero every metric and drop retained events, keeping registrations
     /// (and cached macro handles) valid. Test/bench support.
     pub fn reset(&self) {
-        for c in self.counters.read().unwrap_or_else(|e| e.into_inner()).values() {
+        for c in self.counters.read().values() {
             c.reset();
         }
-        for g in self.gauges.read().unwrap_or_else(|e| e.into_inner()).values() {
+        for g in self.gauges.read().values() {
             g.reset();
         }
-        for h in self.histograms.read().unwrap_or_else(|e| e.into_inner()).values() {
+        for h in self.histograms.read().values() {
             h.reset();
         }
         self.events.reset();

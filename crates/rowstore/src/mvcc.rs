@@ -41,9 +41,10 @@ impl Default for VersionChain {
     }
 }
 
-// Safety: versions are immutable except for the one-shot `ts` atomic, and are
+// SAFETY: versions are immutable except for the one-shot `ts` atomic, and are
 // only freed under exclusive access (gc / Drop).
 unsafe impl Send for VersionChain {}
+// SAFETY: see the Send impl above — same argument.
 unsafe impl Sync for VersionChain {}
 
 impl VersionChain {
@@ -65,6 +66,8 @@ impl VersionChain {
     pub fn visible(&self, read_ts: Timestamp, self_txn: Option<TxnId>) -> Option<&Version> {
         let mut curr = self.head.load(Ordering::Acquire);
         while !curr.is_null() {
+            // SAFETY: curr was loaded from the live chain; versions are only
+            // freed under exclusive access (gc / Drop), never under &self.
             let v = unsafe { &*curr };
             let ts = v.timestamp();
             let is_visible = if ts == TS_UNCOMMITTED {
@@ -85,6 +88,8 @@ impl VersionChain {
     pub fn latest_committed(&self) -> Option<&Version> {
         let mut curr = self.head.load(Ordering::Acquire);
         while !curr.is_null() {
+            // SAFETY: curr was loaded from the live chain; versions are only
+            // freed under exclusive access (gc / Drop), never under &self.
             let v = unsafe { &*curr };
             let ts = v.timestamp();
             if ts != TS_UNCOMMITTED && ts != TS_ABORTED {
@@ -100,6 +105,8 @@ impl VersionChain {
     pub fn resolve(&self, txn: TxnId, outcome: Option<Timestamp>) {
         let mut curr = self.head.load(Ordering::Acquire);
         while !curr.is_null() {
+            // SAFETY: curr was loaded from the live chain; versions are only
+            // freed under exclusive access (gc / Drop), never under &self.
             let v = unsafe { &*curr };
             if v.txn == txn && v.timestamp() == TS_UNCOMMITTED {
                 v.ts.store(outcome.unwrap_or(TS_ABORTED), Ordering::Release);
@@ -114,6 +121,9 @@ impl VersionChain {
     /// whether any version remains and how many were freed.
     pub fn gc(&mut self, horizon: Timestamp) -> (bool, usize) {
         let mut freed = 0;
+        // SAFETY: &mut self guarantees no concurrent readers, so unlinking
+        // and freeing superseded versions is exclusive; every pointer walked
+        // came from the chain and is freed at most once.
         unsafe {
             // Phase 1: unlink aborted versions anywhere in the chain.
             let mut link: *mut *mut Version = self.head.as_ptr();
@@ -162,7 +172,10 @@ impl Drop for VersionChain {
     fn drop(&mut self) {
         let mut curr = *self.head.get_mut();
         while !curr.is_null() {
+            // SAFETY: Drop has exclusive access; each version was allocated
+            // via Box::into_raw and is freed exactly once here.
             let next = unsafe { (*curr).next };
+            // SAFETY: same exclusivity argument as the read above.
             drop(unsafe { Box::from_raw(curr) });
             curr = next;
         }

@@ -53,9 +53,10 @@ pub struct SkipList<T> {
     rng: AtomicU64,
 }
 
-// Safety: all shared mutation is via atomics; nodes are only freed under
+// SAFETY: all shared mutation is via atomics; nodes are only freed under
 // exclusive access (&mut self or Drop). `T` must itself be shareable.
 unsafe impl<T: Send + Sync> Send for SkipList<T> {}
+// SAFETY: see the Send impl above — same argument.
 unsafe impl<T: Send + Sync> Sync for SkipList<T> {}
 
 impl<T: Default> Default for SkipList<T> {
@@ -108,10 +109,12 @@ impl<T> SkipList<T> {
         let mut succs = [ptr::null_mut(); MAX_HEIGHT];
         let mut pred = self.head;
         for lvl in (0..MAX_HEIGHT).rev() {
-            // Safety: pred is head or a node reachable from head; never freed
+            // SAFETY: pred is head or a node reachable from head; never freed
             // while &self is alive.
             let mut curr = unsafe { (*pred).tower[lvl].load(Ordering::Acquire) };
             while !curr.is_null() {
+                // SAFETY: curr was loaded from a live tower and is non-null;
+                // nodes are never freed while &self is alive.
                 let curr_ref = unsafe { &*curr };
                 if cmp_keys(&curr_ref.key, key) == std::cmp::Ordering::Less {
                     pred = curr;
@@ -133,6 +136,8 @@ impl<T> SkipList<T> {
         if cand.is_null() {
             return None;
         }
+        // SAFETY: cand is non-null and reachable from head; nodes are never
+        // freed while &self is alive, so the reference lives as long as &self.
         let node = unsafe { &*cand };
         (cmp_keys(&node.key, key) == std::cmp::Ordering::Equal).then_some(node)
     }
@@ -146,10 +151,15 @@ impl<T> SkipList<T> {
         loop {
             let (preds, succs) = self.find(key);
             if !succs[0].is_null() {
+                // SAFETY: non-null successor reachable from head; never
+                // freed while &self is alive.
                 let cand = unsafe { &*succs[0] };
                 if cmp_keys(&cand.key, key) == std::cmp::Ordering::Equal {
                     // Lost the race (or key already present): free our draft node.
                     if !new_node.is_null() {
+                        // SAFETY: new_node came from Box::into_raw below and
+                        // was never published (the level-0 CAS did not
+                        // succeed), so this thread still owns it exclusively.
                         drop(unsafe { Box::from_raw(new_node) });
                     }
                     return (cand, false);
@@ -161,14 +171,20 @@ impl<T> SkipList<T> {
                     (0..height).map(|_| AtomicPtr::new(ptr::null_mut())).collect();
                 new_node = Box::into_raw(Box::new(Node {
                     key: key.to_vec().into_boxed_slice(),
+                    // s2-lint: allow(unwrap, make is consumed exactly once: the CAS-retry loop reuses new_node instead of re-entering this arm)
                     payload: (make.take().expect("make called once"))(),
                     tower: tower.into_boxed_slice(),
                 }));
             }
+            // SAFETY: new_node is a valid allocation this thread owns until
+            // the level-0 CAS publishes it; after that it stays live for the
+            // list's lifetime.
             let node_ref = unsafe { &*new_node };
             let height = node_ref.height();
             node_ref.tower[0].store(succs[0], Ordering::Relaxed);
             // Level-0 CAS decides success.
+            // SAFETY: preds[0] is head or a reachable node; never freed
+            // while &self is alive.
             let pred0 = unsafe { &*preds[0] };
             if pred0.tower[0]
                 .compare_exchange(succs[0], new_node, Ordering::AcqRel, Ordering::Acquire)
@@ -187,6 +203,7 @@ impl<T> SkipList<T> {
                         break; // already linked at this level
                     }
                     node_ref.tower[lvl].store(succs[lvl], Ordering::Relaxed);
+                    // SAFETY: as for pred0 — reachable, never freed under &self.
                     let pred = unsafe { &*preds[lvl] };
                     if pred.tower[lvl]
                         .compare_exchange(succs[lvl], new_node, Ordering::AcqRel, Ordering::Acquire)
@@ -196,6 +213,8 @@ impl<T> SkipList<T> {
                     }
                 }
             }
+            // SAFETY: new_node was published by the level-0 CAS and is now
+            // owned by the list, which outlives the returned reference.
             return (unsafe { &*new_node }, true);
         }
     }
@@ -204,6 +223,7 @@ impl<T> SkipList<T> {
     /// (or from the beginning when `from` is `None`).
     pub fn iter_from(&self, from: Option<&[Value]>) -> Iter<'_, T> {
         let start = match from {
+            // SAFETY: head is a valid allocation for the list's lifetime.
             None => unsafe { (*self.head).tower[0].load(Ordering::Acquire) },
             Some(key) => self.find(key).1[0],
         };
@@ -220,6 +240,9 @@ impl<T> SkipList<T> {
     /// collect a version chain while deciding). Exclusive access makes the
     /// unlink + free safe: no concurrent readers can exist behind `&mut`.
     pub fn retain_mut(&mut self, mut dead: impl FnMut(&mut Node<T>) -> bool) -> usize {
+        // SAFETY: &mut self guarantees no concurrent readers or writers, so
+        // raw traversal, mutable node access, unlinking and freeing are all
+        // exclusive; every pointer walked is head or reachable from it.
         unsafe {
             // Pass 1: decide deaths walking level 0 (each node visited once).
             let mut victims: std::collections::HashSet<usize> = std::collections::HashSet::new();
@@ -257,6 +280,8 @@ impl<T> SkipList<T> {
 
 impl<T> Drop for SkipList<T> {
     fn drop(&mut self) {
+        // SAFETY: Drop has exclusive access; every node (and head) was
+        // allocated via Box::into_raw and is freed exactly once here.
         unsafe {
             let mut curr = (*self.head).tower[0].load(Ordering::Relaxed);
             while !curr.is_null() {
@@ -282,6 +307,8 @@ impl<'a, T> Iterator for Iter<'a, T> {
         if self.curr.is_null() {
             return None;
         }
+        // SAFETY: curr is non-null and reachable from head; nodes are never
+        // freed while the iterator borrows the list.
         let node = unsafe { &*self.curr };
         self.curr = node.tower[0].load(Ordering::Acquire);
         Some(node)

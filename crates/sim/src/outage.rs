@@ -297,6 +297,7 @@ fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
 
     // The breaker must observe the outage: keep feeding it failures (pass
     // attempts) until it reports one.
+    // s2-lint: allow(wall-clock, outage drills time real breaker cooldowns and retry deadlines)
     let t0 = Instant::now();
     while d.health.health() != StoreHealth::Outage {
         if t0.elapsed() > Duration::from_secs(3) {
@@ -313,6 +314,7 @@ fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
     let mut cold_read_fail_ms = 0u64;
     for _ in 0..2 {
         d.files.delete_file(PROBE_KEY).map_err(|e| format!("probe delete: {e}"))?;
+        // s2-lint: allow(wall-clock, outage drills time real breaker cooldowns and retry deadlines)
         let t = Instant::now();
         match d.files.read_file(PROBE_KEY) {
             Ok(_) => return Err("cold read succeeded against a dead store".to_string()),
@@ -349,6 +351,7 @@ fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
     }
     // The store answers again (slowly): cold reads must come back as the
     // breaker probes shut. The first tries may still hit the open window.
+    // s2-lint: allow(wall-clock, outage drills time real breaker cooldowns and retry deadlines)
     let t0 = Instant::now();
     loop {
         d.files.delete_file(PROBE_KEY).map_err(|e| format!("probe delete: {e}"))?;
@@ -364,6 +367,7 @@ fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
     trace.push(format!("phase:spike commits={n_spike}"));
 
     // -------------------------------------------- phase 5: recovery
+    // s2-lint: allow(wall-clock, outage drills time real breaker cooldowns and retry deadlines)
     let recovery_start = Instant::now();
     let end_lp = d.master.log.end_lp();
     let snapshot_required = end_lp >= d.cfg.snapshot_interval_bytes;
@@ -421,6 +425,7 @@ fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
     }
 
     // Health returns to Healthy once the degraded window ages out.
+    // s2-lint: allow(wall-clock, outage drills time real breaker cooldowns and retry deadlines)
     let t0 = Instant::now();
     while d.health.health() != StoreHealth::Healthy {
         if t0.elapsed() > Duration::from_secs(3) {
@@ -432,6 +437,7 @@ fn drive(seed: u64, trace: &mut Vec<String>) -> Result<OutageReport, String> {
 
     // A missing object is still answered within the deadline budget — the
     // NotFound retry window is bounded, not a hang.
+    // s2-lint: allow(wall-clock, outage drills time real breaker cooldowns and retry deadlines)
     let t = Instant::now();
     match d.files.read_file("probe/never-existed") {
         Err(Error::NotFound(_)) => {}

@@ -8,9 +8,9 @@
 //! addresses — the same seed over the same workload reproduces the exact
 //! same injection trace, byte for byte.
 
+use s2_common::sync::{rank, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 use std::thread::ThreadId;
 
 use s2_common::fault::{FaultAction, FaultHook};
@@ -58,7 +58,7 @@ impl FaultPlan {
             seed,
             armed_thread: std::thread::current().id(),
             sites: HashMap::new(),
-            state: Mutex::new(PlanState::default()),
+            state: Mutex::new(&rank::SIM_PLAN, PlanState::default()),
             quiet: AtomicBool::new(false),
         }
     }
@@ -82,29 +82,17 @@ impl FaultPlan {
 
     /// The injection trace so far (cloned).
     pub fn trace(&self) -> Vec<String> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).trace.clone()
+        self.state.lock().trace.clone()
     }
 
     /// Number of Crash decisions issued.
     pub fn crash_count(&self) -> u64 {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .trace
-            .iter()
-            .filter(|t| t.ends_with(":crash"))
-            .count() as u64
+        self.state.lock().trace.iter().filter(|t| t.ends_with(":crash")).count() as u64
     }
 
     /// Number of Error decisions issued.
     pub fn error_count(&self) -> u64 {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .trace
-            .iter()
-            .filter(|t| t.ends_with(":error"))
-            .count() as u64
+        self.state.lock().trace.iter().filter(|t| t.ends_with(":error")).count() as u64
     }
 }
 
@@ -142,7 +130,7 @@ impl FaultHook for FaultPlan {
         if foreign && !cfg.any_thread {
             return FaultAction::Continue;
         }
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock();
         let hit = st.hits.entry(site.to_string()).or_insert(0);
         let n = *hit;
         *hit += 1;

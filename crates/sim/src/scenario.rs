@@ -22,7 +22,9 @@ use std::collections::btree_map::Entry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex, MutexGuard, Once};
+use std::sync::{Arc, Once};
+
+use s2_common::sync::{rank, Mutex, MutexGuard};
 use std::time::Duration;
 
 use crossbeam::channel::Receiver;
@@ -88,16 +90,27 @@ impl std::fmt::Display for Violation {
     }
 }
 
-static SIM_LOCK: Mutex<()> = Mutex::new(());
+static SIM_LOCK: Mutex<()> = Mutex::new(&rank::SIM_HARNESS, ());
 
 /// Serialize access to the process-global fault hook. Every test that
 /// installs a plan must hold this for its duration; `run_scenario` takes it
 /// internally.
 pub fn harness_lock() -> MutexGuard<'static, ()> {
-    SIM_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    SIM_LOCK.lock()
 }
 
 static HOOK_INIT: Once = Once::new();
+
+/// Replace the global event ring's wall clock with a logical tick counter.
+/// Event timestamps then depend only on the order events are recorded, so a
+/// scenario's event trace is byte-identical for identical seeds. First
+/// installer wins process-wide; idempotent across scenarios.
+pub fn install_logical_event_clock() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    s2_obs::global()
+        .events()
+        .set_clock(Box::new(|| TICKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed)));
+}
 
 /// Silence the default panic printer for injected `CrashPoint` panics (they
 /// are simulated power losses, not bugs); forward everything else.
@@ -159,6 +172,7 @@ enum RecErr {
 pub fn run_scenario(seed: u64) -> Result<ScenarioReport, Violation> {
     let _guard = harness_lock();
     install_quiet_panic_hook();
+    install_logical_event_clock();
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_5353_494d_5531);
     let replica_mode = rng.random_bool(0.5);

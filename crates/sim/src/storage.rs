@@ -8,7 +8,9 @@
 //! a local overlay for anything the restored partition writes afterwards.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use s2_common::sync::{rank, Mutex};
 
 use s2_blob::ObjectStore;
 use s2_common::{Error, Result};
@@ -21,15 +23,20 @@ struct SimFiles {
 }
 
 /// Local file store with harness-pumped uploads (see module docs).
-#[derive(Default)]
 pub struct SimFileStore {
     inner: Mutex<SimFiles>,
+}
+
+impl Default for SimFileStore {
+    fn default() -> SimFileStore {
+        SimFileStore::new()
+    }
 }
 
 impl SimFileStore {
     /// An empty store.
     pub fn new() -> SimFileStore {
-        SimFileStore::default()
+        SimFileStore { inner: Mutex::new(&rank::SIM_STORAGE, SimFiles::default()) }
     }
 
     /// Upload every local file not yet in blob storage. Returns the number
@@ -38,7 +45,7 @@ impl SimFileStore {
     /// off.
     pub fn upload_pending(&self, blob: &Arc<dyn ObjectStore>) -> Result<usize> {
         let todo: Vec<(String, Arc<Vec<u8>>)> = {
-            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let inner = self.inner.lock();
             inner
                 .local
                 .iter()
@@ -49,7 +56,7 @@ impl SimFileStore {
         let mut n = 0;
         for (key, bytes) in todo {
             blob.put(&key, bytes)?;
-            self.inner.lock().unwrap_or_else(|e| e.into_inner()).uploaded.insert(key);
+            self.inner.lock().uploaded.insert(key);
             n += 1;
         }
         Ok(n)
@@ -57,19 +64,19 @@ impl SimFileStore {
 
     /// Files written but not yet uploaded.
     pub fn pending_uploads(&self) -> usize {
-        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = self.inner.lock();
         inner.local.keys().filter(|k| !inner.uploaded.contains(*k)).count()
     }
 
     /// Number of files held locally.
     pub fn local_files(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).local.len()
+        self.inner.lock().local.len()
     }
 }
 
 impl DataFileStore for SimFileStore {
     fn write_file(&self, name: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         inner.local.insert(name.to_string(), bytes);
         // A crash-recovered engine can reuse a file name with different
         // content; the stale blob object must not shadow the new bytes.
@@ -80,7 +87,6 @@ impl DataFileStore for SimFileStore {
     fn read_file(&self, name: &str) -> Result<Arc<Vec<u8>>> {
         self.inner
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
             .local
             .get(name)
             .cloned()
@@ -89,7 +95,7 @@ impl DataFileStore for SimFileStore {
 
     fn delete_file(&self, name: &str) -> Result<()> {
         // Local copy only — the blob object is history (continuous backup).
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).local.remove(name);
+        self.inner.lock().local.remove(name);
         Ok(())
     }
 }
@@ -104,25 +110,25 @@ pub struct BlobReadFileStore {
 impl BlobReadFileStore {
     /// A store reading through `blob`.
     pub fn new(blob: Arc<dyn ObjectStore>) -> BlobReadFileStore {
-        BlobReadFileStore { blob, overlay: Mutex::new(HashMap::new()) }
+        BlobReadFileStore { blob, overlay: Mutex::new(&rank::SIM_STORAGE, HashMap::new()) }
     }
 }
 
 impl DataFileStore for BlobReadFileStore {
     fn write_file(&self, name: &str, bytes: Arc<Vec<u8>>) -> Result<()> {
-        self.overlay.lock().unwrap_or_else(|e| e.into_inner()).insert(name.to_string(), bytes);
+        self.overlay.lock().insert(name.to_string(), bytes);
         Ok(())
     }
 
     fn read_file(&self, name: &str) -> Result<Arc<Vec<u8>>> {
-        if let Some(b) = self.overlay.lock().unwrap_or_else(|e| e.into_inner()).get(name) {
+        if let Some(b) = self.overlay.lock().get(name) {
             return Ok(Arc::clone(b));
         }
         self.blob.get(name)
     }
 
     fn delete_file(&self, name: &str) -> Result<()> {
-        self.overlay.lock().unwrap_or_else(|e| e.into_inner()).remove(name);
+        self.overlay.lock().remove(name);
         Ok(())
     }
 }

@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use s2_common::sync::{rank, Mutex};
 use s2_common::{Error, LogPosition, Result};
 
 use crate::record::encode_record;
@@ -75,17 +75,20 @@ impl Log {
     /// positions from the snapshot point onward.
     pub fn in_memory_from(start_lp: LogPosition) -> Log {
         Log {
-            inner: Mutex::new(LogInner {
-                mem: Vec::new(),
-                mem_start_lp: start_lp,
-                end_lp: start_lp,
-                durable_lp: start_lp,
-                replicated_lp: 0,
-                uploaded_lp: start_lp,
-                file: None,
-                file_path: None,
-                subscribers: Vec::new(),
-            }),
+            inner: Mutex::new(
+                &rank::WAL_LOG,
+                LogInner {
+                    mem: Vec::new(),
+                    mem_start_lp: start_lp,
+                    end_lp: start_lp,
+                    durable_lp: start_lp,
+                    replicated_lp: 0,
+                    uploaded_lp: start_lp,
+                    file: None,
+                    file_path: None,
+                    subscribers: Vec::new(),
+                },
+            ),
         }
     }
 
@@ -115,17 +118,20 @@ impl Log {
         }
         let end = mem.len() as u64;
         Ok(Log {
-            inner: Mutex::new(LogInner {
-                mem,
-                mem_start_lp: 0,
-                end_lp: end,
-                durable_lp: end,
-                replicated_lp: 0,
-                uploaded_lp: 0,
-                file: Some(file),
-                file_path: Some(path),
-                subscribers: Vec::new(),
-            }),
+            inner: Mutex::new(
+                &rank::WAL_LOG,
+                LogInner {
+                    mem,
+                    mem_start_lp: 0,
+                    end_lp: end,
+                    durable_lp: end,
+                    replicated_lp: 0,
+                    uploaded_lp: 0,
+                    file: Some(file),
+                    file_path: Some(path),
+                    subscribers: Vec::new(),
+                },
+            ),
         })
     }
 
@@ -214,13 +220,13 @@ impl Log {
             // Lag observed by this sync: bytes appended since the last one.
             s2_obs::gauge!("wal.fsync.lag_bytes").set((end - from) as i64);
             let timer = s2_obs::histogram!("wal.fsync.latency_us").start_timer();
-            if inner.file.is_some() {
-                let start = (from - inner.mem_start_lp) as usize;
-                let stop = (end - inner.mem_start_lp) as usize;
-                // Copy out so the borrow of mem ends before using the file.
-                let bytes = inner.mem[start..stop].to_vec();
-                let file = inner.file.as_mut().expect("checked above");
-                file.write_all(&bytes)?;
+            let start = (from - inner.mem_start_lp) as usize;
+            let stop = (end - inner.mem_start_lp) as usize;
+            // Split the borrows so the write can read `mem` while holding
+            // the file mutably.
+            let LogInner { file, mem, .. } = &mut *inner;
+            if let Some(file) = file.as_mut() {
+                file.write_all(&mem[start..stop])?;
                 file.flush()?;
             }
             timer.stop();

@@ -82,6 +82,16 @@ impl<'a> RecordIter<'a> {
     }
 }
 
+/// Read a little-endian u32 at `at`; the caller has already verified the
+/// slice is long enough, so a short slice is handled without panicking by
+/// reading what would be an impossible length/magic (all-ones).
+fn le_u32(buf: &[u8], at: usize) -> u32 {
+    match buf.get(at..at + 4) {
+        Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+        None => u32::MAX,
+    }
+}
+
 impl<'a> Iterator for RecordIter<'a> {
     type Item = Result<DecodedRecord<'a>>;
 
@@ -93,7 +103,7 @@ impl<'a> Iterator for RecordIter<'a> {
         if rest.len() < RECORD_OVERHEAD {
             return None; // truncated tail
         }
-        let magic = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        let magic = le_u32(rest, 0);
         if magic != RECORD_MAGIC {
             self.failed = true;
             return Some(Err(Error::Corruption(format!(
@@ -102,13 +112,13 @@ impl<'a> Iterator for RecordIter<'a> {
             ))));
         }
         let kind = rest[4];
-        let len = u32::from_le_bytes(rest[5..9].try_into().unwrap()) as usize;
+        let len = le_u32(rest, 5) as usize;
         let total = RECORD_OVERHEAD + len;
         if rest.len() < total {
             return None; // truncated tail
         }
         let payload = &rest[9..9 + len];
-        let stored_crc = u32::from_le_bytes(rest[9 + len..total].try_into().unwrap());
+        let stored_crc = le_u32(rest, 9 + len);
         let actual = crc32(&rest[4..9 + len]);
         if stored_crc != actual {
             self.failed = true;

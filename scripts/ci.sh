@@ -11,6 +11,12 @@ CARGO_FLAGS=(--offline)
 echo "== fmt =="
 cargo fmt --all -- --check
 
+echo "== analyze =="
+# Workspace lint engine (crates/analyze): commit-path unwrap/blocking
+# discipline, deterministic-module wall-clock bans, SAFETY comments,
+# metric-name style. One line per finding, nonzero exit on any.
+cargo run -q -p s2-lint "${CARGO_FLAGS[@]}"
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 
