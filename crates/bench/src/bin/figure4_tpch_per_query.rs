@@ -3,7 +3,8 @@
 //! omits CDB, which did not finish), printed as a table plus ASCII bars.
 //!
 //! Knobs: `S2_SF` (default 0.01), `S2_WARM_RUNS` (default 2).
-//! Flags: `--threads N` (scan pool size), `--json` (machine-readable output).
+//! Flags: `--threads N` (scan pool size), `--json` (machine-readable
+//! output), `--sql "<query>"` (ad-hoc SQL over the loaded TPC-H data).
 
 use std::time::Duration;
 
@@ -13,6 +14,14 @@ fn main() {
     s2_bench::apply_thread_flag();
     let json = s2_bench::json_enabled();
     let sf = env_f64("S2_SF", 0.01);
+    if let Some(sql) = s2_bench::sql_flag() {
+        let data = s2_workloads::tpch::generate(sf, 42);
+        let cluster = s2_bench::bench_cluster(4);
+        s2_workloads::tpch::load::load_cluster(&cluster, &data).expect("load tpch");
+        let ctx = cluster.context().expect("context");
+        s2_bench::run_adhoc_sql(&ctx, &sql);
+        return;
+    }
     let warm = env_u64("S2_WARM_RUNS", 2) as usize;
     if !json {
         println!("== Figure 4: TPC-H (sf {sf}) per-query runtimes, lower is better ==");

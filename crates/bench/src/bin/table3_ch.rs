@@ -6,7 +6,8 @@
 //!
 //! Knobs: `S2_WAREHOUSES` (default 2), `S2_TW` (default 8), `S2_AW`
 //! (default 2), `S2_DURATION_SECS` (default 5; paper ran 20 minutes).
-//! Flags: `--threads N` (scan pool size), `--json` (machine-readable output).
+//! Flags: `--threads N` (scan pool size), `--json` (machine-readable
+//! output), `--sql "<query>"` (ad-hoc SQL over the loaded TPC-C data).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -68,6 +69,12 @@ fn main() {
     let aws = env_u64("S2_AW", 2) as usize;
     let duration = Duration::from_secs(env_u64("S2_DURATION_SECS", 5));
     let scale = TpccScale::bench(w);
+    if let Some(sql) = s2_bench::sql_flag() {
+        let cluster = new_cluster(None, &scale, 7);
+        let ctx = cluster.context().expect("context");
+        s2_bench::run_adhoc_sql(&ctx, &sql);
+        return;
+    }
     if !json {
         println!(
             "== Table 3: CH-BenCHmark ({w} warehouses, {tws} TWs, {aws} AWs, {duration:?} runs) =="

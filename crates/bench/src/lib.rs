@@ -53,6 +53,48 @@ pub fn cli_value(flag: &str) -> Option<String> {
     None
 }
 
+/// The `--sql "<query>"` flag: run one ad-hoc query against the bin's
+/// loaded data instead of the benchmark sweep.
+pub fn sql_flag() -> Option<String> {
+    cli_value("--sql")
+}
+
+/// Run an ad-hoc `--sql` query against `ctx`: print the annotated `EXPLAIN`
+/// tree, then execute and print the results under the statement's output
+/// column names.
+pub fn run_adhoc_sql(ctx: &dyn s2_query::QueryContext, sql: &str) {
+    let compiled = match s2_sql::plan(ctx, sql) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sql error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("== explain ==");
+    match s2_sql::explain(ctx, sql) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("sql error: {e}");
+            std::process::exit(1);
+        }
+    }
+    if compiled.explain {
+        return;
+    }
+    let t0 = Instant::now();
+    match s2_query::execute(&compiled.plan, ctx, &ExecOptions::default()) {
+        Ok(batch) => {
+            let names: Vec<&str> = compiled.fields.iter().map(|(n, _)| n.as_str()).collect();
+            println!("== results: {} rows in {:?} ==", batch.rows(), t0.elapsed());
+            print!("{}", s2_query::format_batch(&batch, &names));
+        }
+        Err(e) => {
+            eprintln!("execution error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Apply a `--threads N` CLI override by exporting `S2_SCAN_THREADS`.
 /// Every bench binary calls this first thing so the flag wins over the
 /// inherited environment; it must run before the first scan (the pool

@@ -1,6 +1,8 @@
-//! Logical query plans. Queries are built through this typed API (the
-//! paper's SQL surface is out of scope; plans map 1:1 onto what its planner
-//! would emit for the benchmark queries).
+//! Logical query plans. Queries are built through this typed API directly,
+//! or compiled from SQL text by the `s2-sql` front end (lexer → parser →
+//! planner → optimizer), which lowers every statement to these nodes; the
+//! hand-built benchmark plans and their SQL-text forms are asserted
+//! byte-identical in `s2-workloads`.
 
 use s2_common::DataType;
 use s2_exec::{Aggregate, Expr, JoinType, SortDir};

@@ -33,6 +33,7 @@ pub mod outage;
 pub mod plan;
 pub mod runner;
 pub mod scenario;
+pub mod sqlgen;
 pub mod storage;
 
 pub use oracle::{Model, Oracle};
@@ -44,4 +45,5 @@ pub use runner::{run_many, RunSummary};
 pub use scenario::{
     harness_lock, install_quiet_panic_hook, run_scenario, ScenarioReport, Violation, PARTITION,
 };
+pub use sqlgen::{run_sql_many, SqlSummary};
 pub use storage::{BlobReadFileStore, SimFileStore};

@@ -6,9 +6,11 @@
 //! ```
 //!
 //! `--scenario crash` (default) runs the crash-recovery sweep; `outage`
-//! runs blob-outage drills against the resilience layer. Exit code 0 means
-//! every scenario upheld every invariant; 1 means at least one violation
-//! (each printed with its replayable seed and decision trace).
+//! runs blob-outage drills against the resilience layer; `sql` runs
+//! generated queries through the full s2-sql pipeline against a plain-Rust
+//! oracle. Exit code 0 means every scenario upheld every invariant; 1 means
+//! at least one violation (each printed with its replayable seed and
+//! decision trace).
 
 fn main() {
     let mut seed = 42u64;
@@ -31,20 +33,35 @@ fn main() {
                     .unwrap_or_else(|| die("--scenarios needs an integer"));
             }
             "--scenario" => {
-                scenario = args.next().unwrap_or_else(|| die("--scenario needs crash|outage"));
-                if scenario != "crash" && scenario != "outage" {
-                    die("--scenario needs crash|outage");
+                scenario = args.next().unwrap_or_else(|| die("--scenario needs crash|outage|sql"));
+                if scenario != "crash" && scenario != "outage" && scenario != "sql" {
+                    die("--scenario needs crash|outage|sql");
                 }
             }
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: s2-sim [--scenario crash|outage] [--seed N] [--scenarios N] [--verbose]"
+                    "usage: s2-sim [--scenario crash|outage|sql] [--seed N] [--scenarios N] \
+                     [--verbose]"
                 );
                 return;
             }
             other => die(&format!("unknown argument {other:?}")),
         }
+    }
+
+    if scenario == "sql" {
+        println!("s2-sim: {scenarios} sql drills from seed {seed}");
+        let summary = s2_sim::run_sql_many(seed, scenarios, verbose);
+        println!("{}", summary.summary_line());
+        if !summary.failures.is_empty() {
+            println!("\nreproduce with:");
+            for v in &summary.failures {
+                println!("  cargo run -p s2-sim -- --scenario sql --seed {} --scenarios 1", v.seed);
+            }
+            std::process::exit(1);
+        }
+        return;
     }
 
     if scenario == "outage" {

@@ -1,0 +1,350 @@
+//! Randomized SQL scenario: generated queries against a seeded partition,
+//! cross-checked against a plain-Rust oracle.
+//!
+//! Each drill builds a two-table partition (`t(k, grp, v, s)` joined to
+//! `u(id, name)`) from the seed, mirrors every row into vectors, then runs a
+//! batch of generated SELECTs through the full `s2-sql` pipeline (lex →
+//! parse → plan → optimize → execute) and recomputes each result in plain
+//! Rust. Any cell mismatch, row-count mismatch, or planner/executor error is
+//! a violation with a replayable seed.
+//!
+//! Query values stay small integers so `SUM`/`AVG` (f64 accumulators) are
+//! exact and order-independent, and every generated query carries an ORDER
+//! BY over a unique key so both sides agree on row order. Deterministic by
+//! construction: no wall-clock reads, everything derives from the seed.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_core::{MemFileStore, Partition};
+use s2_sql::SqlContext;
+use s2_wal::Log;
+
+use crate::scenario::Violation;
+
+/// Per-drill oracle state: every row of both tables, in key order.
+struct Data {
+    /// `t` rows as (k, grp, v, s).
+    t: Vec<(i64, i64, i64, &'static str)>,
+    /// `u` rows as (id, name).
+    u: Vec<(i64, String)>,
+}
+
+const STRINGS: &[&str] = &["amber", "blue", "green", "red", "violet"];
+
+/// Build the seeded partition plus its oracle mirror.
+fn build(seed: u64) -> Result<(Arc<Partition>, Data), String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0501);
+    let p = Partition::new("sql", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+
+    let t_schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int64),
+        ColumnDef::new("grp", DataType::Int64),
+        ColumnDef::new("v", DataType::Int64),
+        ColumnDef::new("s", DataType::Str),
+    ])
+    .map_err(|e| e.to_string())?;
+    let t_opts =
+        TableOptions::new().with_sort_key(vec![0]).with_unique("pk", vec![0]).with_segment_rows(64);
+    let t = p.create_table("t", t_schema, t_opts).map_err(|e| e.to_string())?;
+
+    let u_schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("name", DataType::Str),
+    ])
+    .map_err(|e| e.to_string())?;
+    let u_opts = TableOptions::new().with_sort_key(vec![0]).with_unique("pk", vec![0]);
+    let u = p.create_table("u", u_schema, u_opts).map_err(|e| e.to_string())?;
+
+    let groups = rng.random_range(3..10i64);
+    let rows = rng.random_range(40..200usize);
+    let mut data = Data { t: Vec::with_capacity(rows), u: Vec::new() };
+
+    let mut txn = p.begin();
+    for id in 0..groups {
+        let name = format!("group-{id}");
+        txn.insert(u, Row::new(vec![Value::Int(id), Value::str(name.clone())]))
+            .map_err(|e| e.to_string())?;
+        data.u.push((id, name));
+    }
+    for k in 0..rows as i64 {
+        let grp = rng.random_range(0..groups);
+        let v = rng.random_range(-100..100i64);
+        let s = STRINGS[rng.random_range(0..STRINGS.len())];
+        txn.insert(t, Row::new(vec![Value::Int(k), Value::Int(grp), Value::Int(v), Value::str(s)]))
+            .map_err(|e| e.to_string())?;
+        data.t.push((k, grp, v, s));
+    }
+    txn.commit().map_err(|e| e.to_string())?;
+
+    // Sometimes flush to columnstore (and sometimes keep a rowstore tail) so
+    // the generated queries cross both storage paths.
+    if rng.random_bool(0.7) {
+        p.flush_table(t, true).map_err(|e| e.to_string())?;
+        p.flush_table(u, true).map_err(|e| e.to_string())?;
+        if rng.random_bool(0.5) {
+            let mut txn = p.begin();
+            let extra = rng.random_range(5..30usize);
+            for i in 0..extra as i64 {
+                let k = rows as i64 + i;
+                let grp = rng.random_range(0..groups);
+                let v = rng.random_range(-100..100i64);
+                let s = STRINGS[rng.random_range(0..STRINGS.len())];
+                txn.insert(
+                    t,
+                    Row::new(vec![Value::Int(k), Value::Int(grp), Value::Int(v), Value::str(s)]),
+                )
+                .map_err(|e| e.to_string())?;
+                data.t.push((k, grp, v, s));
+            }
+            txn.commit().map_err(|e| e.to_string())?;
+        }
+    }
+    Ok((p, data))
+}
+
+/// One generated query: the SQL text plus the oracle's expected rows.
+struct Case {
+    sql: String,
+    expect: Vec<Vec<Value>>,
+}
+
+fn sum_value(vals: &[i64]) -> Value {
+    if vals.is_empty() {
+        Value::Null
+    } else {
+        Value::Double(vals.iter().map(|&v| v as f64).sum())
+    }
+}
+
+fn gen_case(rng: &mut StdRng, d: &Data) -> Case {
+    match rng.random_range(0..7u32) {
+        // Projection + conjunctive filter + sort direction + optional limit.
+        0 => {
+            let x = rng.random_range(-100..100i64);
+            let y = rng.random_range(0..d.t.len() as i64 + 1);
+            let desc = rng.random_bool(0.5);
+            let limit =
+                if rng.random_bool(0.5) { Some(rng.random_range(1..40usize)) } else { None };
+            let mut rows: Vec<(i64, i64)> =
+                d.t.iter().filter(|r| r.2 >= x && r.0 < y).map(|r| (r.0, r.2)).collect();
+            rows.sort_by_key(|r| if desc { -r.0 } else { r.0 });
+            if let Some(l) = limit {
+                rows.truncate(l);
+            }
+            Case {
+                sql: format!(
+                    "SELECT k, v FROM t WHERE v >= {x} AND k < {y} ORDER BY k{}{}",
+                    if desc { " DESC" } else { "" },
+                    limit.map(|l| format!(" LIMIT {l}")).unwrap_or_default()
+                ),
+                expect: rows.into_iter().map(|(k, v)| vec![Value::Int(k), Value::Int(v)]).collect(),
+            }
+        }
+        // Global aggregates over a (possibly empty) group slice.
+        1 => {
+            let g = rng.random_range(0..12i64);
+            let vs: Vec<i64> = d.t.iter().filter(|r| r.1 == g).map(|r| r.2).collect();
+            let min = vs.iter().min().map_or(Value::Null, |&v| Value::Int(v));
+            let max = vs.iter().max().map_or(Value::Null, |&v| Value::Int(v));
+            Case {
+                sql: format!("SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t WHERE grp = {g}"),
+                expect: vec![vec![Value::Int(vs.len() as i64), sum_value(&vs), min, max]],
+            }
+        }
+        // Group-by with count and sum, ordered by the group key.
+        2 => {
+            let mut gs: Vec<i64> = d.t.iter().map(|r| r.1).collect();
+            gs.sort_unstable();
+            gs.dedup();
+            let expect = gs
+                .into_iter()
+                .map(|g| {
+                    let vs: Vec<i64> = d.t.iter().filter(|r| r.1 == g).map(|r| r.2).collect();
+                    vec![Value::Int(g), Value::Int(vs.len() as i64), sum_value(&vs)]
+                })
+                .collect();
+            Case {
+                sql: "SELECT grp, COUNT(*), SUM(v) FROM t GROUP BY grp ORDER BY grp".into(),
+                expect,
+            }
+        }
+        // DISTINCT over the low-cardinality string column.
+        3 => {
+            let desc = rng.random_bool(0.5);
+            let mut ss: Vec<&str> = d.t.iter().map(|r| r.3).collect();
+            ss.sort_unstable();
+            ss.dedup();
+            if desc {
+                ss.reverse();
+            }
+            Case {
+                sql: format!(
+                    "SELECT DISTINCT s FROM t ORDER BY s{}",
+                    if desc { " DESC" } else { "" }
+                ),
+                expect: ss.into_iter().map(|s| vec![Value::str(s)]).collect(),
+            }
+        }
+        // Join to the dimension table through the group key.
+        4 => {
+            let x = rng.random_range(-100..100i64);
+            let mut rows: Vec<(i64, String)> =
+                d.t.iter()
+                    .filter(|r| r.2 > x)
+                    .filter_map(|r| {
+                        d.u.iter().find(|(id, _)| *id == r.1).map(|(_, n)| (r.0, n.clone()))
+                    })
+                    .collect();
+            rows.sort_by_key(|r| r.0);
+            Case {
+                sql: format!("SELECT k, name FROM t JOIN u ON grp = id WHERE v > {x} ORDER BY k"),
+                expect: rows.into_iter().map(|(k, n)| vec![Value::Int(k), Value::str(n)]).collect(),
+            }
+        }
+        // HAVING over the grouped count.
+        5 => {
+            let h = rng.random_range(0..40i64);
+            let mut gs: Vec<i64> = d.t.iter().map(|r| r.1).collect();
+            gs.sort_unstable();
+            gs.dedup();
+            let expect = gs
+                .into_iter()
+                .filter_map(|g| {
+                    let n = d.t.iter().filter(|r| r.1 == g).count() as i64;
+                    (n > h).then(|| vec![Value::Int(g), Value::Int(n)])
+                })
+                .collect();
+            Case {
+                sql: format!(
+                    "SELECT grp, COUNT(*) AS n FROM t GROUP BY grp HAVING COUNT(*) > {h} \
+                     ORDER BY grp"
+                ),
+                expect,
+            }
+        }
+        // CASE expression in the projection.
+        _ => {
+            let lim = rng.random_range(5..60usize);
+            let mut rows: Vec<(i64, i64)> =
+                d.t.iter().map(|r| (r.0, i64::from(r.2 >= 0))).collect();
+            rows.sort_by_key(|r| r.0);
+            rows.truncate(lim);
+            Case {
+                sql: format!(
+                    "SELECT k, CASE WHEN v >= 0 THEN 1 ELSE 0 END FROM t \
+                     ORDER BY k LIMIT {lim}"
+                ),
+                expect: rows.into_iter().map(|(k, f)| vec![Value::Int(k), Value::Int(f)]).collect(),
+            }
+        }
+    }
+}
+
+const QUERIES_PER_DRILL: usize = 24;
+
+/// Run one SQL drill; `Err` carries the violation.
+fn run_sql_scenario(seed: u64) -> Result<(usize, usize), Violation> {
+    let fail = |message: String, trace: Vec<String>| Violation { seed, message, trace };
+    let (p, data) = build(seed).map_err(|e| fail(format!("setup failed: {e}"), Vec::new()))?;
+    let snap = p.read_snapshot();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DDC_A5E0);
+    let mut rows_checked = 0usize;
+    for qi in 0..QUERIES_PER_DRILL {
+        let case = gen_case(&mut rng, &data);
+        let trace = |msg: &str| vec![format!("query {qi}: {}", case.sql), msg.to_string()];
+        let got = snap.query(&case.sql).map_err(|e| {
+            fail(format!("query {qi} failed to plan/execute"), trace(&format!("error: {e}")))
+        })?;
+        if got.rows() != case.expect.len() {
+            return Err(fail(
+                format!("query {qi}: {} rows, oracle expects {}", got.rows(), case.expect.len()),
+                trace(&format!("first expected rows: {:?}", case.expect.iter().take(3))),
+            ));
+        }
+        for (ri, want) in case.expect.iter().enumerate() {
+            if got.width() != want.len() {
+                return Err(fail(
+                    format!("query {qi}: width {} vs oracle {}", got.width(), want.len()),
+                    trace(""),
+                ));
+            }
+            for (ci, w) in want.iter().enumerate() {
+                let g = got.value(ci, ri);
+                if g != *w {
+                    return Err(fail(
+                        format!("query {qi}: cell ({ri},{ci}) = {g:?}, oracle expects {w:?}"),
+                        trace(&format!("expected row: {want:?}")),
+                    ));
+                }
+            }
+            rows_checked += 1;
+        }
+    }
+    Ok((QUERIES_PER_DRILL, rows_checked))
+}
+
+/// Aggregate over a seed sweep of SQL drills.
+#[derive(Debug)]
+pub struct SqlSummary {
+    /// Drills run.
+    pub scenarios: usize,
+    /// Generated queries executed.
+    pub queries: usize,
+    /// Result rows compared cell-by-cell against the oracle.
+    pub rows_checked: usize,
+    /// Violations (empty on success).
+    pub failures: Vec<Violation>,
+}
+
+impl SqlSummary {
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} sql drills: {} generated queries, {} result rows oracle-checked, {} violations",
+            self.scenarios,
+            self.queries,
+            self.rows_checked,
+            self.failures.len()
+        )
+    }
+}
+
+/// Run `count` SQL drills starting at `base_seed`.
+pub fn run_sql_many(base_seed: u64, count: usize, verbose: bool) -> SqlSummary {
+    let mut summary =
+        SqlSummary { scenarios: count, queries: 0, rows_checked: 0, failures: Vec::new() };
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i as u64);
+        match run_sql_scenario(seed) {
+            Ok((queries, rows)) => {
+                if verbose {
+                    println!("seed {seed}: {queries} queries, {rows} rows checked");
+                }
+                summary.queries += queries;
+                summary.rows_checked += rows;
+            }
+            Err(v) => {
+                println!("{v}");
+                summary.failures.push(v);
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_seeds_zero_violations() {
+        let summary = run_sql_many(42, 10, false);
+        assert!(summary.failures.is_empty(), "{:?}", summary.failures);
+        assert_eq!(summary.queries, 10 * QUERIES_PER_DRILL);
+        assert!(summary.rows_checked > 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! SQL abstract syntax tree and its pretty-printer. The printer emits fully
+//! parenthesized text whose reparse yields an identical AST (property-tested
+//! in `tests/roundtrip.rs`).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use s2_exec::{AggFunc, ArithOp, CmpOp};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query.
+    Select(Select),
+    /// `EXPLAIN <select>`: plan tree plus cost estimates, no execution.
+    Explain(Select),
+}
+
+/// One SELECT query (possibly nested as a derived table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Output expressions.
+    pub items: Vec<SelectItem>,
+    /// Comma-separated FROM items, each with its trailing explicit joins.
+    pub from: Vec<FromItem>,
+    /// WHERE predicate.
+    pub where_: Option<SqlExpr>,
+    /// GROUP BY expressions (bare integers are 1-based output positions).
+    pub group_by: Vec<SqlExpr>,
+    /// HAVING predicate.
+    pub having: Option<SqlExpr>,
+    /// ORDER BY items (bare integers are 1-based output positions).
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// One SELECT-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`: every visible column in join order.
+    Wildcard,
+    /// An expression with an optional output alias.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// One comma-separated FROM entry: a base relation plus explicit joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// Leading relation.
+    pub rel: TableRef,
+    /// Explicit joins applied left to right.
+    pub joins: Vec<Join>,
+}
+
+/// A relation in FROM: a named table or a parenthesized subquery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table, optionally aliased.
+    Table {
+        /// Table name (lowercased).
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// Derived table: `(SELECT ...) AS alias`.
+    Derived {
+        /// The subquery.
+        select: Box<Select>,
+        /// Required alias.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name this relation binds in scope.
+    pub fn binding(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// One explicit join step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Join flavor.
+    pub kind: JoinKind,
+    /// Right-hand relation.
+    pub rel: TableRef,
+    /// ON predicate (absent for CROSS JOIN).
+    pub on: Option<SqlExpr>,
+}
+
+/// Join flavors surfaced in the grammar. SEMI/ANTI are first-class because
+/// the execution engine supports them natively (EXISTS/NOT EXISTS sugar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`.
+    Inner,
+    /// `LEFT [OUTER] JOIN`.
+    Left,
+    /// `SEMI JOIN`.
+    Semi,
+    /// `ANTI JOIN`.
+    Anti,
+    /// `CROSS JOIN`.
+    Cross,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Key expression (bare integer = 1-based output position).
+    pub expr: SqlExpr,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// Scalar functions surfaced in the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuncName {
+    /// `YEAR(date)` over days-since-epoch ints.
+    Year,
+    /// `SUBSTR(str, start, len)`, 1-based start.
+    Substr,
+}
+
+/// A scalar SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference, optionally qualified: `[rel.]name`.
+    Column {
+        /// Relation alias or table name.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal (also carries parsed DATE literals as epoch days).
+    Int(i64),
+    /// Float literal.
+    Double(f64),
+    /// String literal.
+    Str(String),
+    /// NULL literal.
+    Null,
+    /// Comparison.
+    Cmp(CmpOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Conjunction (binary in the AST; flattened during lowering).
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// Disjunction.
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    /// Negation.
+    Not(Box<SqlExpr>),
+    /// `IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<SqlExpr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `[NOT] IN (list)`.
+    InList {
+        /// Tested expression.
+        expr: Box<SqlExpr>,
+        /// Literal list members.
+        list: Vec<SqlExpr>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `[NOT] LIKE 'pattern'`.
+    Like {
+        /// Tested expression.
+        expr: Box<SqlExpr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: String,
+        /// `NOT LIKE`.
+        negated: bool,
+    },
+    /// `[NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<SqlExpr>,
+        /// Lower bound (inclusive).
+        lo: Box<SqlExpr>,
+        /// Upper bound (inclusive).
+        hi: Box<SqlExpr>,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// Searched CASE.
+    Case {
+        /// (condition, result) arms.
+        when: Vec<(SqlExpr, SqlExpr)>,
+        /// ELSE result.
+        else_: Option<Box<SqlExpr>>,
+    },
+    /// Scalar function call.
+    Func(FuncName, Vec<SqlExpr>),
+    /// Aggregate call; `arg: None` is `COUNT(*)`.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Argument (absent for `COUNT(*)`).
+        arg: Option<Box<SqlExpr>>,
+    },
+}
+
+impl SqlExpr {
+    /// True if any `Agg` node occurs in this expression.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            SqlExpr::Agg { .. } => true,
+            SqlExpr::Column { .. }
+            | SqlExpr::Int(_)
+            | SqlExpr::Double(_)
+            | SqlExpr::Str(_)
+            | SqlExpr::Null => false,
+            SqlExpr::Cmp(_, a, b) | SqlExpr::Arith(_, a, b) => a.has_agg() || b.has_agg(),
+            SqlExpr::And(a, b) | SqlExpr::Or(a, b) => a.has_agg() || b.has_agg(),
+            SqlExpr::Not(e) | SqlExpr::IsNull { expr: e, .. } | SqlExpr::Like { expr: e, .. } => {
+                e.has_agg()
+            }
+            SqlExpr::InList { expr, list, .. } => {
+                expr.has_agg() || list.iter().any(SqlExpr::has_agg)
+            }
+            SqlExpr::Between { expr, lo, hi, .. } => expr.has_agg() || lo.has_agg() || hi.has_agg(),
+            SqlExpr::Case { when, else_ } => {
+                when.iter().any(|(c, r)| c.has_agg() || r.has_agg())
+                    || else_.as_ref().is_some_and(|e| e.has_agg())
+            }
+            SqlExpr::Func(_, args) => args.iter().any(SqlExpr::has_agg),
+        }
+    }
+}
+
+fn escape_str(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlExpr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            SqlExpr::Column { qualifier: None, name } => write!(f, "{name}"),
+            SqlExpr::Int(v) => write!(f, "{v}"),
+            SqlExpr::Double(v) => write!(f, "{v:?}"),
+            SqlExpr::Str(s) => write!(f, "'{}'", escape_str(s)),
+            SqlExpr::Null => write!(f, "NULL"),
+            SqlExpr::Cmp(op, a, b) => {
+                let sym = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            SqlExpr::Arith(op, a, b) => {
+                let sym = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            SqlExpr::And(a, b) => write!(f, "({a} AND {b})"),
+            SqlExpr::Or(a, b) => write!(f, "({a} OR {b})"),
+            SqlExpr::Not(e) => write!(f, "(NOT {e})"),
+            SqlExpr::IsNull { expr, negated: false } => write!(f, "({expr} IS NULL)"),
+            SqlExpr::IsNull { expr, negated: true } => write!(f, "({expr} IS NOT NULL)"),
+            SqlExpr::InList { expr, list, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({expr} {not}IN (")?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "))")
+            }
+            SqlExpr::Like { expr, pattern, negated: false } => {
+                write!(f, "({expr} LIKE '{}')", escape_str(pattern))
+            }
+            SqlExpr::Like { expr, pattern, negated: true } => {
+                write!(f, "({expr} NOT LIKE '{}')", escape_str(pattern))
+            }
+            SqlExpr::Between { expr, lo, hi, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({expr} {not}BETWEEN {lo} AND {hi})")
+            }
+            SqlExpr::Case { when, else_ } => {
+                write!(f, "(CASE")?;
+                for (c, r) in when {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END)")
+            }
+            SqlExpr::Func(FuncName::Year, args) => {
+                write!(f, "YEAR({})", args.first().map(|a| a.to_string()).unwrap_or_default())
+            }
+            SqlExpr::Func(FuncName::Substr, args) => {
+                write!(f, "SUBSTR(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            SqlExpr::Agg { func, arg } => {
+                let name = match func {
+                    AggFunc::Count => "COUNT",
+                    AggFunc::Sum => "SUM",
+                    AggFunc::Avg => "AVG",
+                    AggFunc::Min => "MIN",
+                    AggFunc::Max => "MAX",
+                };
+                match arg {
+                    Some(a) => write!(f, "{name}({a})"),
+                    None => write!(f, "{name}(*)"),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias: None } => write!(f, "{name}"),
+            TableRef::Table { name, alias: Some(a) } => write!(f, "{name} AS {a}"),
+            TableRef::Derived { select, alias } => write!(f, "({select}) AS {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::from("SELECT ");
+        if self.distinct {
+            s.push_str("DISTINCT ");
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match item {
+                SelectItem::Wildcard => s.push('*'),
+                SelectItem::Expr { expr, alias: None } => {
+                    let _ = write!(s, "{expr}");
+                }
+                SelectItem::Expr { expr, alias: Some(a) } => {
+                    let _ = write!(s, "{expr} AS {a}");
+                }
+            }
+        }
+        if !self.from.is_empty() {
+            s.push_str(" FROM ");
+            for (i, item) in self.from.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{}", item.rel);
+                for j in &item.joins {
+                    let kw = match j.kind {
+                        JoinKind::Inner => "INNER JOIN",
+                        JoinKind::Left => "LEFT JOIN",
+                        JoinKind::Semi => "SEMI JOIN",
+                        JoinKind::Anti => "ANTI JOIN",
+                        JoinKind::Cross => "CROSS JOIN",
+                    };
+                    let _ = write!(s, " {kw} {}", j.rel);
+                    if let Some(on) = &j.on {
+                        let _ = write!(s, " ON {on}");
+                    }
+                }
+            }
+        }
+        if let Some(w) = &self.where_ {
+            let _ = write!(s, " WHERE {w}");
+        }
+        if !self.group_by.is_empty() {
+            s.push_str(" GROUP BY ");
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{g}");
+            }
+        }
+        if let Some(h) = &self.having {
+            let _ = write!(s, " HAVING {h}");
+        }
+        if !self.order_by.is_empty() {
+            s.push_str(" ORDER BY ");
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{}", o.expr);
+                if o.desc {
+                    s.push_str(" DESC");
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            let _ = write!(s, " LIMIT {n}");
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! SQL lexer: byte-span tokens over a `&str`. Total over arbitrary input —
+//! every byte sequence yields either a token stream or a [`ParseError`]
+//! pointing at the offending offset; it never panics.
+
+use std::fmt;
+
+/// A lexical or syntactic error with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the original SQL text.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Build an error at `offset`.
+    pub fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError { offset, message: message.into() }
+    }
+
+    /// Render a single-line caret diagnostic: the source line containing the
+    /// error with a `^` marker under the offending column.
+    pub fn render(&self, sql: &str) -> String {
+        let offset = self.offset.min(sql.len());
+        let line_start = sql[..offset].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = sql[offset..].find('\n').map(|i| offset + i).unwrap_or(sql.len());
+        let line = &sql[line_start..line_end];
+        let col = sql[line_start..offset].chars().count();
+        let line_no = sql[..line_start].matches('\n').count() + 1;
+        format!(
+            "parse error at line {line_no}, offset {}: {}\n  {line}\n  {}^",
+            self.offset,
+            self.message,
+            " ".repeat(col)
+        )
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+/// Token kinds. Keywords are matched case-insensitively and carried as
+/// `Keyword`; identifiers are lowercased.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword (uppercased canonical spelling).
+    Keyword(&'static str),
+    /// Identifier, lowercased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation or operator: `( ) , . ; * + - / = <> < <= > >=`.
+    Sym(&'static str),
+}
+
+/// A token plus its byte span in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+/// Reserved words recognized as keywords (canonical uppercase spelling).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND",
+    "OR", "NOT", "IN", "LIKE", "IS", "NULL", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "JOIN", "INNER", "LEFT", "OUTER", "SEMI", "ANTI", "CROSS", "ON", "ASC", "DESC", "DATE",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "YEAR", "SUBSTR", "EXPLAIN", "TRUE", "FALSE",
+];
+
+fn keyword_of(word: &str) -> Option<&'static str> {
+    KEYWORDS.iter().find(|k| k.eq_ignore_ascii_case(word)).copied()
+}
+
+/// Tokenize `sql`. Returns every token with its byte span, or the first
+/// lexical error encountered.
+pub fn lex(sql: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments: `-- ...`.
+        if b == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // String literal with '' escape.
+        if b == b'\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => return Err(ParseError::new(start, "unterminated string literal")),
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // Consume one full UTF-8 character so multi-byte
+                        // input cannot split a char boundary.
+                        let ch = sql[i..].chars().next().unwrap_or('\u{fffd}');
+                        s.push(ch);
+                        i += ch.len_utf8().max(1);
+                    }
+                }
+            }
+            out.push(Token { tok: Tok::Str(s), start, end: i });
+            continue;
+        }
+        // Number: digits [. digits] [e[+-]digits].
+        if b.is_ascii_digit() {
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let mut is_float = false;
+            if j < bytes.len()
+                && bytes[j] == b'.'
+                && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+            {
+                is_float = true;
+                j += 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+            }
+            if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                let mut k = j + 1;
+                if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k].is_ascii_digit() {
+                    is_float = true;
+                    j = k;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+            }
+            let text = &sql[i..j];
+            let tok = if is_float {
+                match text.parse::<f64>() {
+                    Ok(v) => Tok::Double(v),
+                    Err(_) => return Err(ParseError::new(start, "malformed number")),
+                }
+            } else {
+                match text.parse::<i64>() {
+                    Ok(v) => Tok::Int(v),
+                    Err(_) => return Err(ParseError::new(start, "integer literal out of range")),
+                }
+            };
+            out.push(Token { tok, start, end: j });
+            i = j;
+            continue;
+        }
+        // Identifier or keyword.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            let word = &sql[i..j];
+            let tok = match keyword_of(word) {
+                Some(k) => Tok::Keyword(k),
+                None => Tok::Ident(word.to_ascii_lowercase()),
+            };
+            out.push(Token { tok, start, end: j });
+            i = j;
+            continue;
+        }
+        // Operators and punctuation.
+        let two: Option<&'static str> = match (b, bytes.get(i + 1)) {
+            (b'<', Some(b'=')) => Some("<="),
+            (b'>', Some(b'=')) => Some(">="),
+            (b'<', Some(b'>')) => Some("<>"),
+            (b'!', Some(b'=')) => Some("<>"),
+            _ => None,
+        };
+        if let Some(sym) = two {
+            out.push(Token { tok: Tok::Sym(sym), start, end: i + 2 });
+            i += 2;
+            continue;
+        }
+        let one: Option<&'static str> = match b {
+            b'(' => Some("("),
+            b')' => Some(")"),
+            b',' => Some(","),
+            b'.' => Some("."),
+            b';' => Some(";"),
+            b'*' => Some("*"),
+            b'+' => Some("+"),
+            b'-' => Some("-"),
+            b'/' => Some("/"),
+            b'=' => Some("="),
+            b'<' => Some("<"),
+            b'>' => Some(">"),
+            _ => None,
+        };
+        match one {
+            Some(sym) => {
+                out.push(Token { tok: Tok::Sym(sym), start, end: i + 1 });
+                i += 1;
+            }
+            None => {
+                let ch = sql[i..].chars().next().unwrap_or('\u{fffd}');
+                return Err(ParseError::new(i, format!("unexpected character {ch:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_spans_and_kinds() {
+        let toks = lex("SELECT a.b, 'it''s' FROM t WHERE x <= 1.5e-2").unwrap();
+        assert_eq!(toks[0].tok, Tok::Keyword("SELECT"));
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[1].tok, Tok::Ident("a".into()));
+        assert_eq!(toks[4].tok, Tok::Sym(","));
+        assert_eq!(toks[5].tok, Tok::Str("it's".into()));
+        assert!(toks.iter().any(|t| t.tok == Tok::Sym("<=")));
+        assert!(toks.iter().any(|t| t.tok == Tok::Double(1.5e-2)));
+    }
+
+    #[test]
+    fn reports_bad_input_with_offset() {
+        let err = lex("select `x`").unwrap_err();
+        assert_eq!(err.offset, 7);
+        let err = lex("select 'oops").unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(err.render("select 'oops").contains('^'));
+    }
+
+    #[test]
+    fn caret_points_at_column() {
+        let err = ParseError::new(10, "boom");
+        let rendered = err.render("select a b from t");
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1], "  select a b from t");
+        assert_eq!(lines[2], format!("  {}^", " ".repeat(10)));
+    }
+}

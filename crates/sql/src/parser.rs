@@ -1,0 +1,614 @@
+//! Recursive-descent SQL parser. Total over arbitrary input: every failure
+//! is a [`ParseError`] with a byte offset (property-tested), never a panic.
+//!
+//! Precedence, loosest to tightest: `OR` < `AND` < `NOT` < comparison /
+//! `BETWEEN` / `IN` / `LIKE` / `IS` < `+ -` < `* /` < unary minus < primary.
+
+use s2_common::date::days_from_ymd;
+use s2_exec::{AggFunc, ArithOp, CmpOp};
+
+use crate::ast::{
+    FromItem, FuncName, Join, JoinKind, OrderItem, Select, SelectItem, SqlExpr, Statement, TableRef,
+};
+use crate::lexer::{lex, ParseError, Tok, Token};
+
+/// Parse one SQL statement (`SELECT ...` or `EXPLAIN SELECT ...`, optional
+/// trailing `;`).
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0, end: sql.len(), depth: 0 };
+    let explain = p.eat_kw("EXPLAIN");
+    let select = p.select()?;
+    p.eat_sym(";");
+    if let Some(t) = p.peek() {
+        return Err(ParseError::new(t.start, "unexpected trailing input"));
+    }
+    Ok(if explain { Statement::Explain(select) } else { Statement::Select(select) })
+}
+
+/// Nesting limit for parenthesized expressions and subqueries, so deeply
+/// nested adversarial input errors out instead of overflowing the stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    end: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map(|t| t.start).unwrap_or(self.end)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::new(self.offset(), msg))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(t) if matches!(&t.tok, Tok::Keyword(k) if *k == kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(t) if matches!(&t.tok, Tok::Sym(s) if *s == sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}"))
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            self.err(format!("expected {sym:?}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token { tok: Tok::Ident(name), .. }) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err("expression nesting too deep");
+        }
+        Ok(())
+    }
+
+    fn select(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(",") {
+            items.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            from.push(self.from_item()?);
+            while self.eat_sym(",") {
+                from.push(self.from_item()?);
+            }
+        }
+        let where_ = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_sym(",") {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.peek() {
+                Some(Token { tok: Tok::Int(n), .. }) if *n >= 0 => {
+                    let n = *n as u64;
+                    self.pos += 1;
+                    Some(n)
+                }
+                _ => return self.err("expected row count after LIMIT"),
+            }
+        } else {
+            None
+        };
+        Ok(Select { distinct, items, from, where_, group_by, having, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_sym("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses a FROM item, not a conversion
+    fn from_item(&mut self) -> Result<FromItem, ParseError> {
+        let rel = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_kw("CROSS") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Cross
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_kw("SEMI") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Semi
+            } else if self.eat_kw("ANTI") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Anti
+            } else if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let rel = self.table_ref()?;
+            let on = if kind == JoinKind::Cross {
+                None
+            } else {
+                self.expect_kw("ON")?;
+                Some(self.expr()?)
+            };
+            joins.push(Join { kind, rel, on });
+        }
+        Ok(FromItem { rel, joins })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat_sym("(") {
+            self.enter()?;
+            let select = self.select()?;
+            self.depth -= 1;
+            self.expect_sym(")")?;
+            self.eat_kw("AS");
+            let alias = self.ident()?;
+            return Ok(TableRef::Derived { select: Box::new(select), alias });
+        }
+        let name = self.ident()?;
+        // An alias is a bare identifier (`lineitem l`) or `AS ident`;
+        // keywords (WHERE, JOIN, ...) end the reference.
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token { tok: Tok::Ident(a), .. }) = self.peek() {
+            let a = a.clone();
+            self.pos += 1;
+            Some(a)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    fn expr(&mut self) -> Result<SqlExpr, ParseError> {
+        self.enter()?;
+        let r = self.or_expr();
+        self.depth -= 1;
+        r
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            e = SqlExpr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            e = SqlExpr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.eat_kw("NOT") {
+            self.enter()?;
+            let inner = self.not_expr()?;
+            self.depth -= 1;
+            return Ok(SqlExpr::Not(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<SqlExpr, ParseError> {
+        let lhs = self.add_expr()?;
+        // Comparison.
+        let cmp = match self.peek().map(|t| &t.tok) {
+            Some(Tok::Sym("=")) => Some(CmpOp::Eq),
+            Some(Tok::Sym("<>")) => Some(CmpOp::Ne),
+            Some(Tok::Sym("<")) => Some(CmpOp::Lt),
+            Some(Tok::Sym("<=")) => Some(CmpOp::Le),
+            Some(Tok::Sym(">")) => Some(CmpOp::Gt),
+            Some(Tok::Sym(">=")) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = cmp {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            return Ok(SqlExpr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        // IS [NOT] NULL.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(SqlExpr::IsNull { expr: Box::new(lhs), negated });
+        }
+        // [NOT] BETWEEN / IN / LIKE.
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("BETWEEN") {
+            let lo = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.add_expr()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_sym("(")?;
+            let mut list = vec![self.add_expr()?];
+            while self.eat_sym(",") {
+                list.push(self.add_expr()?);
+            }
+            self.expect_sym(")")?;
+            return Ok(SqlExpr::InList { expr: Box::new(lhs), list, negated });
+        }
+        if self.eat_kw("LIKE") {
+            match self.peek() {
+                Some(Token { tok: Tok::Str(pat), .. }) => {
+                    let pattern = pat.clone();
+                    self.pos += 1;
+                    return Ok(SqlExpr::Like { expr: Box::new(lhs), pattern, negated });
+                }
+                _ => return self.err("expected string pattern after LIKE"),
+            }
+        }
+        if negated {
+            return self.err("expected BETWEEN, IN or LIKE after NOT");
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                ArithOp::Add
+            } else if self.eat_sym("-") {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.mul_expr()?;
+            e = SqlExpr::Arith(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                ArithOp::Mul
+            } else if self.eat_sym("/") {
+                ArithOp::Div
+            } else {
+                break;
+            };
+            let rhs = self.unary_expr()?;
+            e = SqlExpr::Arith(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.eat_sym("-") {
+            self.enter()?;
+            let inner = self.unary_expr()?;
+            self.depth -= 1;
+            return Ok(match inner {
+                SqlExpr::Int(v) => SqlExpr::Int(v.wrapping_neg()),
+                SqlExpr::Double(v) => SqlExpr::Double(-v),
+                other => SqlExpr::Arith(ArithOp::Sub, Box::new(SqlExpr::Int(0)), Box::new(other)),
+            });
+        }
+        if self.eat_sym("+") {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn agg(&mut self, func: AggFunc) -> Result<SqlExpr, ParseError> {
+        self.expect_sym("(")?;
+        if func == AggFunc::Count && self.eat_sym("*") {
+            self.expect_sym(")")?;
+            return Ok(SqlExpr::Agg { func, arg: None });
+        }
+        let arg = self.expr()?;
+        self.expect_sym(")")?;
+        Ok(SqlExpr::Agg { func, arg: Some(Box::new(arg)) })
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, ParseError> {
+        let Some(token) = self.peek() else {
+            return self.err("unexpected end of input");
+        };
+        let start = token.start;
+        match token.tok.clone() {
+            Tok::Int(v) => {
+                self.pos += 1;
+                Ok(SqlExpr::Int(v))
+            }
+            Tok::Double(v) => {
+                self.pos += 1;
+                Ok(SqlExpr::Double(v))
+            }
+            Tok::Str(s) => {
+                self.pos += 1;
+                Ok(SqlExpr::Str(s))
+            }
+            Tok::Keyword("NULL") => {
+                self.pos += 1;
+                Ok(SqlExpr::Null)
+            }
+            Tok::Keyword("TRUE") => {
+                self.pos += 1;
+                Ok(SqlExpr::Int(1))
+            }
+            Tok::Keyword("FALSE") => {
+                self.pos += 1;
+                Ok(SqlExpr::Int(0))
+            }
+            Tok::Keyword("DATE") => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(Token { tok: Tok::Str(s), start, .. }) => {
+                        let (s, start) = (s.clone(), *start);
+                        self.pos += 1;
+                        parse_date(&s)
+                            .map(SqlExpr::Int)
+                            .ok_or_else(|| ParseError::new(start, "malformed date literal"))
+                    }
+                    _ => self.err("expected 'yyyy-mm-dd' after DATE"),
+                }
+            }
+            Tok::Keyword("CASE") => {
+                self.pos += 1;
+                self.enter()?;
+                let mut when = Vec::new();
+                while self.eat_kw("WHEN") {
+                    let c = self.expr()?;
+                    self.expect_kw("THEN")?;
+                    let r = self.expr()?;
+                    when.push((c, r));
+                }
+                if when.is_empty() {
+                    return self.err("CASE requires at least one WHEN arm");
+                }
+                let else_ = if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+                self.expect_kw("END")?;
+                self.depth -= 1;
+                Ok(SqlExpr::Case { when, else_ })
+            }
+            Tok::Keyword("COUNT") => {
+                self.pos += 1;
+                self.agg(AggFunc::Count)
+            }
+            Tok::Keyword("SUM") => {
+                self.pos += 1;
+                self.agg(AggFunc::Sum)
+            }
+            Tok::Keyword("AVG") => {
+                self.pos += 1;
+                self.agg(AggFunc::Avg)
+            }
+            Tok::Keyword("MIN") => {
+                self.pos += 1;
+                self.agg(AggFunc::Min)
+            }
+            Tok::Keyword("MAX") => {
+                self.pos += 1;
+                self.agg(AggFunc::Max)
+            }
+            Tok::Keyword("YEAR") => {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let arg = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(SqlExpr::Func(FuncName::Year, vec![arg]))
+            }
+            Tok::Keyword("SUBSTR") => {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let arg = self.expr()?;
+                self.expect_sym(",")?;
+                let lo = self.expr()?;
+                self.expect_sym(",")?;
+                let len = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(SqlExpr::Func(FuncName::Substr, vec![arg, lo, len]))
+            }
+            Tok::Ident(name) => {
+                self.pos += 1;
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    Ok(SqlExpr::Column { qualifier: Some(name), name: col })
+                } else {
+                    Ok(SqlExpr::Column { qualifier: None, name })
+                }
+            }
+            Tok::Sym("(") => {
+                self.pos += 1;
+                self.enter()?;
+                let e = self.expr()?;
+                self.depth -= 1;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            _ => Err(ParseError::new(start, "expected expression")),
+        }
+    }
+}
+
+/// Parse `yyyy-mm-dd` into days since epoch, validating ranges.
+fn parse_date(s: &str) -> Option<i64> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    if !(1000..=9999).contains(&y) {
+        return None;
+    }
+    Some(days_from_ymd(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> Select {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s,
+            Statement::Explain(_) => panic!("expected SELECT"),
+        }
+    }
+
+    #[test]
+    fn parses_basic_select() {
+        let s = sel("SELECT a, b + 1 AS c FROM t WHERE a < 5 ORDER BY 1 DESC LIMIT 3");
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.len(), 1);
+        assert!(s.where_.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(3));
+    }
+
+    #[test]
+    fn parses_joins_and_subquery() {
+        let s = sel("SELECT x.a FROM (SELECT a FROM t) AS x \
+             INNER JOIN u ON x.a = u.a LEFT JOIN v ON u.b = v.b \
+             SEMI JOIN w ON u.c = w.c CROSS JOIN z");
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].joins.len(), 4);
+        assert_eq!(s.from[0].joins[3].kind, JoinKind::Cross);
+        assert!(s.from[0].joins[3].on.is_none());
+    }
+
+    #[test]
+    fn date_literal_desugars_to_days() {
+        let s = sel("SELECT 1 FROM t WHERE d <= DATE '1998-09-02'");
+        let w = s.where_.unwrap();
+        match w {
+            SqlExpr::Cmp(CmpOp::Le, _, rhs) => {
+                assert_eq!(*rhs, SqlExpr::Int(days_from_ymd(1998, 9, 2)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_matches_sql() {
+        // a = 1 OR b = 2 AND c = 3  parses as  a = 1 OR (b = 2 AND c = 3).
+        let s = sel("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        assert!(matches!(s.where_.unwrap(), SqlExpr::Or(_, _)));
+        // NOT binds looser than comparison: NOT a = 1  is  NOT (a = 1).
+        let s = sel("SELECT 1 FROM t WHERE NOT a = 1");
+        match s.where_.unwrap() {
+            SqlExpr::Not(inner) => assert!(matches!(*inner, SqlExpr::Cmp(..))),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Arithmetic precedence: 1 + 2 * 3 is 1 + (2 * 3).
+        let s = sel("SELECT 1 + 2 * 3 FROM t");
+        match &s.items[0] {
+            SelectItem::Expr { expr: SqlExpr::Arith(ArithOp::Add, _, rhs), .. } => {
+                assert!(matches!(**rhs, SqlExpr::Arith(ArithOp::Mul, _, _)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("SELECT a FROM").unwrap_err();
+        assert_eq!(err.offset, 13);
+        let err = parse("SELECT a FROM t WHERE").unwrap_err();
+        assert_eq!(err.offset, 21);
+        let err = parse("SELECT FROM t").unwrap_err();
+        assert_eq!(err.offset, 7);
+        let err = parse("SELECT a FROM t extra garbage, here").unwrap_err();
+        assert!(err.offset >= 16);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let mut sql = String::from("SELECT ");
+        sql.push_str(&"(".repeat(5000));
+        sql.push('1');
+        sql.push_str(&")".repeat(5000));
+        sql.push_str(" FROM t");
+        let err = parse(&sql).unwrap_err();
+        assert!(err.message.contains("nesting"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Planner-side table statistics and the static `(1 - P(X)) / cost(X)`
+//! clause-ranking model from paper §5. The adaptive scan executor measures
+//! true selectivities and per-clause costs at run time; the planner uses the
+//! same formula with *estimates* derived from segment metadata (row counts
+//! plus per-column min/max) to pick an initial clause order and join order.
+
+use std::sync::Arc;
+
+use s2_common::{DataType, Value};
+use s2_core::TableSnapshot;
+use s2_exec::{CmpOp, Expr};
+
+/// Per-column statistics merged across every segment of every partition.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    /// Smallest and largest non-null value seen in segment metadata, if any
+    /// segment recorded one.
+    pub min_max: Option<(Value, Value)>,
+}
+
+/// Table-level statistics driving cost estimates.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Total live rows across all partitions (rowstore + segments).
+    pub rows: f64,
+    /// Column types in ordinal order.
+    pub types: Vec<DataType>,
+    /// Per-ordinal stats.
+    pub cols: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect stats from the snapshots backing one logical table.
+    pub fn collect(snaps: &[Arc<TableSnapshot>]) -> TableStats {
+        let width = snaps.first().map(|s| s.schema().len()).unwrap_or(0);
+        let types = snaps
+            .first()
+            .map(|s| s.schema().columns().iter().map(|c| c.data_type).collect())
+            .unwrap_or_default();
+        let mut cols = vec![ColumnStats::default(); width];
+        let mut rows = 0usize;
+        for snap in snaps {
+            rows += snap.live_row_count();
+            for seg in &snap.segments {
+                for (ord, mm) in seg.core.meta.min_max.iter().enumerate().take(width) {
+                    let Some((lo, hi)) = mm else { continue };
+                    let entry = &mut cols[ord].min_max;
+                    match entry {
+                        None => *entry = Some((lo.clone(), hi.clone())),
+                        Some((cur_lo, cur_hi)) => {
+                            if lo.total_cmp(cur_lo).is_lt() {
+                                *cur_lo = lo.clone();
+                            }
+                            if hi.total_cmp(cur_hi).is_gt() {
+                                *cur_hi = hi.clone();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        TableStats { rows: rows as f64, types, cols }
+    }
+
+    /// Empty stats for a derived relation of an estimated size.
+    pub fn unknown(rows: f64) -> TableStats {
+        TableStats { rows, types: Vec::new(), cols: Vec::new() }
+    }
+
+    /// Estimated fraction of rows passing `filter` (column refs are table
+    /// ordinals).
+    pub fn selectivity(&self, filter: &Expr) -> f64 {
+        clamp01(self.sel(filter))
+    }
+
+    /// Estimated rows surviving an optional scan filter.
+    pub fn filtered_rows(&self, filter: Option<&Expr>) -> f64 {
+        match filter {
+            Some(f) => self.rows * self.selectivity(f),
+            None => self.rows,
+        }
+    }
+
+    fn col_range(&self, ord: usize) -> Option<(f64, f64)> {
+        let (lo, hi) = self.cols.get(ord)?.min_max.as_ref()?;
+        Some((lo.as_double().ok()?, hi.as_double().ok()?))
+    }
+
+    /// Selectivity of one equality against a column, using the value range
+    /// as a proxy for distinct count on ints and a flat guess elsewhere.
+    fn eq_sel(&self, ord: usize) -> f64 {
+        match self.col_range(ord) {
+            Some((lo, hi)) if hi > lo => clamp01(1.0 / (hi - lo + 1.0)).max(1e-4),
+            _ => 0.1,
+        }
+    }
+
+    fn sel(&self, e: &Expr) -> f64 {
+        match e {
+            Expr::And(parts) => parts.iter().map(|p| self.sel(p)).product(),
+            Expr::Or(parts) => {
+                1.0 - parts.iter().map(|p| 1.0 - clamp01(self.sel(p))).product::<f64>()
+            }
+            Expr::Not(inner) => 1.0 - clamp01(self.sel(inner)),
+            Expr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Column(ord), Expr::Literal(v)) => self.cmp_sel(*op, *ord, v),
+                (Expr::Literal(v), Expr::Column(ord)) => self.cmp_sel(flip(*op), *ord, v),
+                _ => 0.3,
+            },
+            Expr::InList(inner, list) => match inner.as_ref() {
+                Expr::Column(ord) => clamp01(list.len() as f64 * self.eq_sel(*ord)),
+                _ => 0.3,
+            },
+            Expr::Like(_, pattern) => {
+                if pattern.starts_with('%') {
+                    0.5
+                } else {
+                    0.25
+                }
+            }
+            Expr::IsNull(_) => 0.02,
+            Expr::Literal(v) => {
+                // A constant predicate either keeps or drops everything.
+                match v {
+                    Value::Int(0) | Value::Null => 0.0,
+                    Value::Double(d) if *d == 0.0 => 0.0,
+                    _ => 1.0,
+                }
+            }
+            _ => 0.33,
+        }
+    }
+
+    fn cmp_sel(&self, op: CmpOp, ord: usize, v: &Value) -> f64 {
+        match op {
+            CmpOp::Eq => self.eq_sel(ord),
+            CmpOp::Ne => 1.0 - self.eq_sel(ord),
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                let Some((lo, hi)) = self.col_range(ord) else { return 0.3 };
+                let Ok(x) = v.as_double() else { return 0.3 };
+                if hi <= lo {
+                    return 0.5;
+                }
+                let frac = clamp01((x - lo) / (hi - lo));
+                match op {
+                    CmpOp::Lt | CmpOp::Le => frac,
+                    _ => 1.0 - frac,
+                }
+            }
+        }
+    }
+
+    /// Paper §5 ranking signal: clauses with the highest `(1 - P) / cost`
+    /// run first. Higher is better.
+    pub fn priority(&self, clause: &Expr) -> f64 {
+        (1.0 - self.selectivity(clause)) / eval_cost(clause, &self.types).max(1.0)
+    }
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+/// Estimated per-row evaluation cost of an expression, in comparison units.
+/// String work costs more than numeric work; LIKE dominates.
+pub fn eval_cost(expr: &Expr, types: &[DataType]) -> f64 {
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) => 0.0,
+        Expr::Cmp(_, a, b) => {
+            let string_side = [a, b].iter().any(|e| is_str(e, types));
+            let base = if string_side { 3.0 } else { 1.0 };
+            base + eval_cost(a, types) + eval_cost(b, types)
+        }
+        Expr::And(parts) | Expr::Or(parts) => parts.iter().map(|p| 0.2 + eval_cost(p, types)).sum(),
+        Expr::Not(e) | Expr::IsNull(e) => 0.2 + eval_cost(e, types),
+        Expr::InList(e, list) => 1.0 + 0.2 * list.len() as f64 + eval_cost(e, types),
+        Expr::Like(e, _) => 8.0 + eval_cost(e, types),
+        Expr::Arith(_, a, b) => 1.0 + eval_cost(a, types) + eval_cost(b, types),
+        Expr::Case { when, else_ } => {
+            let arms: f64 =
+                when.iter().map(|(c, r)| eval_cost(c, types) + eval_cost(r, types)).sum();
+            1.0 + arms + eval_cost(else_, types)
+        }
+        Expr::Year(e) => 2.0 + eval_cost(e, types),
+        Expr::Substr(e, _, _) => 4.0 + eval_cost(e, types),
+    }
+}
+
+fn is_str(e: &Expr, types: &[DataType]) -> bool {
+    match e {
+        Expr::Column(ord) => types.get(*ord) == Some(&DataType::Str),
+        Expr::Literal(v) => v.data_type() == Some(DataType::Str),
+        Expr::Substr(..) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_stats(rows: f64, lo: i64, hi: i64) -> TableStats {
+        TableStats {
+            rows,
+            types: vec![DataType::Int64],
+            cols: vec![ColumnStats { min_max: Some((Value::Int(lo), Value::Int(hi))) }],
+        }
+    }
+
+    #[test]
+    fn range_selectivity_uses_min_max() {
+        let s = int_stats(1000.0, 0, 99);
+        let half = s.selectivity(&Expr::cmp(0, CmpOp::Lt, 50i64));
+        assert!((half - 0.505).abs() < 0.01, "{half}");
+        let none = s.selectivity(&Expr::cmp(0, CmpOp::Lt, 0i64));
+        assert!(none < 0.01);
+        let all = s.selectivity(&Expr::cmp(0, CmpOp::Ge, 0i64));
+        assert!(all > 0.99);
+    }
+
+    #[test]
+    fn cheap_selective_clause_wins_priority() {
+        let s = TableStats {
+            rows: 1000.0,
+            types: vec![DataType::Int64, DataType::Str],
+            cols: vec![
+                ColumnStats { min_max: Some((Value::Int(0), Value::Int(9))) },
+                ColumnStats::default(),
+            ],
+        };
+        // A selective int equality outranks an expensive LIKE.
+        let eq = Expr::eq(0, 3i64);
+        let like = Expr::Like(Box::new(Expr::Column(1)), "%x%".into());
+        assert!(s.priority(&eq) > s.priority(&like));
+    }
+}

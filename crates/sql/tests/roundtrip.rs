@@ -1,0 +1,226 @@
+//! Property tests for the SQL front end.
+//!
+//! 1. Pretty-print round-trip: a generated AST, printed via `Display` and
+//!    re-parsed, yields the identical AST.
+//! 2. Totality: the parser never panics on arbitrary input — it returns
+//!    either a statement or a [`s2_sql::ParseError`].
+
+use proptest::prelude::*;
+use s2_exec::{AggFunc, ArithOp, CmpOp};
+use s2_sql::ast::{
+    FromItem, FuncName, Join, JoinKind, OrderItem, Select, SelectItem, SqlExpr, Statement, TableRef,
+};
+use s2_sql::parse;
+
+/// Deterministic helper RNG so the generator can make many draws from one
+/// proptest-provided seed.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed | 1 }
+    }
+    fn next(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
+
+const IDENTS: &[&str] = &["a", "b", "c", "x1", "y2", "col_a", "val"];
+const TABLES: &[&str] = &["t", "u", "v", "orders_t"];
+const STRINGS: &[&str] = &["", "x", "it's", "100%", "a_b", "Ms. O''Hara"];
+
+fn ident(g: &mut Gen) -> String {
+    IDENTS[g.below(IDENTS.len() as u64) as usize].to_string()
+}
+
+fn expr(g: &mut Gen, depth: usize) -> SqlExpr {
+    let leaf = depth == 0;
+    let pick = if leaf { g.below(5) } else { g.below(16) };
+    match pick {
+        0 => SqlExpr::Column { qualifier: None, name: ident(g) },
+        1 => {
+            SqlExpr::Column { qualifier: Some(TABLES[g.below(4) as usize].into()), name: ident(g) }
+        }
+        2 => SqlExpr::Int(g.below(20_000) as i64 - 10_000),
+        3 => {
+            let v = (g.below(4_000) as f64 - 2_000.0) / 8.0;
+            SqlExpr::Double(v)
+        }
+        4 => SqlExpr::Str(STRINGS[g.below(STRINGS.len() as u64) as usize].into()),
+        5 => SqlExpr::Null,
+        6 => {
+            let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+            SqlExpr::Cmp(
+                ops[g.below(6) as usize],
+                Box::new(expr(g, depth - 1)),
+                Box::new(expr(g, depth - 1)),
+            )
+        }
+        7 => {
+            let ops = [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div];
+            SqlExpr::Arith(
+                ops[g.below(4) as usize],
+                Box::new(expr(g, depth - 1)),
+                Box::new(expr(g, depth - 1)),
+            )
+        }
+        8 => SqlExpr::And(Box::new(expr(g, depth - 1)), Box::new(expr(g, depth - 1))),
+        9 => SqlExpr::Or(Box::new(expr(g, depth - 1)), Box::new(expr(g, depth - 1))),
+        10 => SqlExpr::Not(Box::new(expr(g, depth - 1))),
+        11 => SqlExpr::IsNull { expr: Box::new(expr(g, depth - 1)), negated: g.flag() },
+        12 => {
+            let n = 1 + g.below(3);
+            let list = (0..n).map(|_| expr(g, depth - 1)).collect();
+            SqlExpr::InList { expr: Box::new(expr(g, depth - 1)), list, negated: g.flag() }
+        }
+        13 => SqlExpr::Like {
+            expr: Box::new(expr(g, depth - 1)),
+            pattern: STRINGS[g.below(STRINGS.len() as u64) as usize].into(),
+            negated: g.flag(),
+        },
+        14 => SqlExpr::Between {
+            expr: Box::new(expr(g, depth - 1)),
+            lo: Box::new(expr(g, depth - 1)),
+            hi: Box::new(expr(g, depth - 1)),
+            negated: g.flag(),
+        },
+        _ => match g.below(4) {
+            0 => {
+                let n = 1 + g.below(2);
+                let when = (0..n).map(|_| (expr(g, depth - 1), expr(g, depth - 1))).collect();
+                let else_ = if g.flag() { Some(Box::new(expr(g, depth - 1))) } else { None };
+                SqlExpr::Case { when, else_ }
+            }
+            1 => SqlExpr::Func(FuncName::Year, vec![expr(g, depth - 1)]),
+            2 => SqlExpr::Func(
+                FuncName::Substr,
+                vec![
+                    expr(g, depth - 1),
+                    SqlExpr::Int(1 + g.below(5) as i64),
+                    SqlExpr::Int(g.below(9) as i64),
+                ],
+            ),
+            _ => {
+                let funcs =
+                    [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+                let func = funcs[g.below(5) as usize];
+                let arg = if func == AggFunc::Count && g.flag() {
+                    None
+                } else {
+                    Some(Box::new(expr(g, depth - 1)))
+                };
+                SqlExpr::Agg { func, arg }
+            }
+        },
+    }
+}
+
+fn table_ref(g: &mut Gen, depth: usize) -> TableRef {
+    if depth > 0 && g.below(4) == 0 {
+        TableRef::Derived {
+            select: Box::new(select(g, depth - 1)),
+            alias: format!("d{}", g.below(4)),
+        }
+    } else {
+        TableRef::Table {
+            name: TABLES[g.below(TABLES.len() as u64) as usize].into(),
+            alias: if g.flag() { Some(format!("al{}", g.below(4))) } else { None },
+        }
+    }
+}
+
+fn select(g: &mut Gen, depth: usize) -> Select {
+    let items = if g.below(8) == 0 {
+        vec![SelectItem::Wildcard]
+    } else {
+        let n = 1 + g.below(3);
+        (0..n)
+            .map(|i| SelectItem::Expr {
+                expr: expr(g, 2),
+                alias: if g.flag() { Some(format!("o{i}")) } else { None },
+            })
+            .collect()
+    };
+    let n_from = 1 + g.below(2);
+    let from = (0..n_from)
+        .map(|_| {
+            let n_joins = g.below(3);
+            let joins = (0..n_joins)
+                .map(|_| {
+                    let kind = match g.below(5) {
+                        0 => JoinKind::Inner,
+                        1 => JoinKind::Left,
+                        2 => JoinKind::Semi,
+                        3 => JoinKind::Anti,
+                        _ => JoinKind::Cross,
+                    };
+                    let on = if kind == JoinKind::Cross { None } else { Some(expr(g, 2)) };
+                    Join { kind, rel: table_ref(g, depth), on }
+                })
+                .collect();
+            FromItem { rel: table_ref(g, depth), joins }
+        })
+        .collect();
+    let group_by = if g.below(3) == 0 {
+        (0..1 + g.below(2)).map(|_| expr(g, 1)).collect()
+    } else {
+        Vec::new()
+    };
+    Select {
+        distinct: g.below(8) == 0,
+        items,
+        from,
+        where_: if g.flag() { Some(expr(g, 2)) } else { None },
+        group_by: group_by.clone(),
+        having: if !group_by.is_empty() && g.flag() { Some(expr(g, 1)) } else { None },
+        order_by: if g.flag() {
+            (0..1 + g.below(2)).map(|_| OrderItem { expr: expr(g, 1), desc: g.flag() }).collect()
+        } else {
+            Vec::new()
+        },
+        limit: if g.flag() { Some(g.below(1000)) } else { None },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_print_roundtrips(seed in proptest::arbitrary::any::<u64>()) {
+        let mut g = Gen::new(seed);
+        let sel = select(&mut g, 2);
+        let stmt =
+            if g.flag() { Statement::Explain(sel) } else { Statement::Select(sel) };
+        let text = stmt.to_string();
+        let reparsed = parse(&text);
+        prop_assert!(
+            reparsed.as_ref() == Ok(&stmt),
+            "sql: {text}\nwant: {stmt:?}\ngot: {reparsed:?}"
+        );
+    }
+
+    #[test]
+    fn parser_is_total_over_bytes(bytes in proptest::collection::vec(
+        proptest::arbitrary::any::<u8>(), 0..160)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_is_total_over_sqlish_text(s in "[a-zA-Z0-9_'(),.*<>= ]{0,120}") {
+        let _ = parse(&s);
+    }
+}

@@ -109,6 +109,45 @@ pub fn queries() -> Vec<(&'static str, Plan)> {
     ]
 }
 
+/// SQL-text forms of the analytic query set, paired by name with
+/// [`queries`]. Each is written to mirror its hand-built plan's shape so the
+/// `s2-sql` planner returns byte-identical results
+/// (`tests/sql_equivalence.rs` asserts this).
+pub fn queries_sql() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "revenue_by_district",
+            "SELECT ol_w_id, ol_d_id, SUM(ol_amount), AVG(ol_quantity), COUNT(*) \
+             FROM order_line GROUP BY ol_w_id, ol_d_id ORDER BY ol_w_id, ol_d_id",
+        ),
+        (
+            "stock_value",
+            "SELECT s_w_id, SUM(s_quantity * i_price) \
+             FROM stock JOIN item ON s_i_id = i_id \
+             GROUP BY s_w_id ORDER BY s_w_id",
+        ),
+        (
+            "top_customers",
+            "SELECT c_w_id, c_d_id, c_id, c_last, c_balance \
+             FROM customer WHERE c_balance < 0.0 ORDER BY c_balance LIMIT 20",
+        ),
+        (
+            "pending_orders",
+            "SELECT o_w_id, COUNT(*), SUM(ol_amount) \
+             FROM orders JOIN order_line \
+               ON o_w_id = ol_w_id AND o_d_id = ol_d_id AND o_id = ol_o_id \
+             WHERE o_carrier_id IS NULL \
+             GROUP BY o_w_id ORDER BY o_w_id",
+        ),
+        ("live_revenue", "SELECT SUM(ol_amount), COUNT(*) FROM order_line WHERE ol_o_id >= 101"),
+        (
+            "hot_items",
+            "SELECT ol_i_id, COUNT(*), SUM(ol_quantity), SUM(ol_amount) \
+             FROM order_line GROUP BY ol_i_id ORDER BY 4 DESC LIMIT 10",
+        ),
+    ]
+}
+
 /// Outcome of an analytics run.
 #[derive(Debug, Default)]
 pub struct AnalyticsResult {

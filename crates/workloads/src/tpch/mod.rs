@@ -8,6 +8,7 @@
 
 pub mod load;
 pub mod queries;
+pub mod sql;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

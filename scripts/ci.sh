@@ -49,4 +49,14 @@ echo "== sim: blob-outage drills (25 seeded drills) =="
 # Failing seeds replay with --scenario outage --seed N --scenarios 1.
 cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --scenario outage --seed 42 --scenarios 25
 
+echo "== sql: planner suites + bench equivalence + randomized oracle =="
+# The SQL front end's contract: parser total + round-trip (proptests),
+# planner pushdown/pruning/cost tests, every TPC-H/CH bench query's SQL
+# form byte-identical to its hand-built plan, and seeded generated
+# SELECTs checked cell-by-cell against a plain-Rust oracle. Failing
+# drill seeds replay with --scenario sql --seed N --scenarios 1.
+cargo test -q -p s2-sql "${CARGO_FLAGS[@]}"
+cargo test -q -p s2-workloads --test sql_equivalence "${CARGO_FLAGS[@]}"
+cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --scenario sql --seed 42 --scenarios 12
+
 echo "CI green."
