@@ -71,17 +71,12 @@ impl PartitionSet {
         Arc::clone(&self.master.read())
     }
 
-    /// Block until the master's log is replicated up to `lp`.
+    /// Block until the master's log is replicated up to `lp`. Parks on the
+    /// log's replication condvar (woken by replica acks) rather than
+    /// spinning; one wait on a batch-end position acks a whole group-commit
+    /// batch.
     pub fn wait_replicated(&self, lp: LogPosition, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        let master = self.master();
-        while master.log.replicated_lp() < lp {
-            if std::time::Instant::now() > deadline {
-                return false;
-            }
-            std::thread::yield_now();
-        }
-        true
+        self.master().log.wait_replicated(lp, timeout)
     }
 
     /// Maximum replication lag (bytes) across this set's replicas.
@@ -226,6 +221,21 @@ impl Cluster {
     /// Partition count.
     pub fn partition_count(&self) -> usize {
         self.sets.len()
+    }
+
+    /// Toggle the group-commit pipeline on every master (tests, benches).
+    pub fn set_group_commit(&self, on: bool) {
+        for set in &self.sets {
+            set.master().set_group_commit(on);
+        }
+    }
+
+    /// Set every master's group-commit flush window: how long a leader waits
+    /// for its batch to grow before appending (0 = append immediately).
+    pub fn set_group_flush_window_us(&self, us: u64) {
+        for set in &self.sets {
+            set.master().set_group_flush_window_us(us);
+        }
     }
 
     /// Partition set by ordinal.
@@ -624,6 +634,11 @@ impl ClusterTxn {
             acks.push((pid, end_lp));
         }
         if cluster.sync_commits() {
+            // With group commit on, `lp` is the batch end: every commit in
+            // the batch waits on the same position, so the replica's single
+            // ack of the batch releases all of them at once — one condvar
+            // wake per batch, not one spin loop per commit — and the wait
+            // overlaps the next batch's append on the commit path.
             for (pid, lp) in acks {
                 let timer = s2_obs::histogram!("cluster.replication.ack_latency_us").start_timer();
                 if !cluster.sets[pid].wait_replicated(lp, Duration::from_secs(10)) {

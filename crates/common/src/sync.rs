@@ -71,6 +71,9 @@ pub mod rank {
     pub static CORE_SEG_DELETED: LockClass = LockClass { order: 325, name: "core.seg_deleted" };
     /// Data-file store map.
     pub static CORE_SEGFILES: LockClass = LockClass { order: 330, name: "core.segfiles" };
+    /// Group-commit queue state (taken under the commit lock by submitters;
+    /// the leader takes the WAL interior lock beneath it while appending).
+    pub static WAL_GROUP: LockClass = LockClass { order: 390, name: "wal.group" };
     /// WAL log interior (buffers + watermarks).
     pub static WAL_LOG: LockClass = LockClass { order: 400, name: "wal.log" };
     /// Storage-service uploaded/failed key sets.

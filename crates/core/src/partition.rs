@@ -19,7 +19,7 @@ use s2_common::{
     Error, LogPosition, Result, Row, Schema, SegmentId, TableId, TableOptions, Timestamp, TxnId,
     Value,
 };
-use s2_wal::{Log, RecordIter, Snapshot};
+use s2_wal::{GroupCommit, Log, RecordIter, Snapshot};
 
 use crate::record::{self, EngineRecord, RowOp};
 use crate::segfile::{file_name, DataFileStore, SegmentFile};
@@ -41,6 +41,9 @@ pub struct Partition {
     next_table_id: AtomicU64,
     /// Serializes commits and snapshot acquisition.
     commit_lock: Mutex<()>,
+    /// Group-commit queue: commit redo records are submitted here under the
+    /// commit lock and appended+synced in batches by a leader outside it.
+    group: GroupCommit,
     commit_ts: AtomicU64,
     next_txn: AtomicU64,
     /// Active read snapshots: read_ts -> count (pins GC horizons).
@@ -66,6 +69,7 @@ impl Partition {
             table_names: RwLock::new(&rank::CORE_TABLES, HashMap::new()),
             next_table_id: AtomicU64::new(1),
             commit_lock: Mutex::new(&rank::CORE_COMMIT, ()),
+            group: GroupCommit::new(),
             commit_ts: AtomicU64::new(0),
             next_txn: AtomicU64::new(1),
             pinned: Mutex::new(&rank::CORE_PINNED, BTreeMap::new()),
@@ -77,6 +81,27 @@ impl Partition {
     /// Last committed timestamp.
     pub fn commit_ts(&self) -> Timestamp {
         self.commit_ts.load(Ordering::Acquire)
+    }
+
+    /// Whether commits go through the group-commit pipeline
+    /// (`S2_GROUP_COMMIT`, default on).
+    pub fn group_commit_enabled(&self) -> bool {
+        self.group.enabled()
+    }
+
+    /// Toggle the group-commit pipeline at runtime (tests, benches, sim).
+    /// Serialized against commits; any queued records are appended first so
+    /// no submission is stranded by the switch.
+    pub fn set_group_commit(&self, on: bool) {
+        let _g = self.commit_lock.lock();
+        self.group.flush_queued(&self.log);
+        self.group.set_enabled(on);
+    }
+
+    /// Set the leader flush window: how long a group-commit leader waits for
+    /// its batch to grow before appending (0 = append immediately).
+    pub fn set_group_flush_window_us(&self, us: u64) {
+        self.group.set_flush_window_us(us);
     }
 
     /// Allocate a transaction id.
@@ -93,6 +118,11 @@ impl Partition {
     ) -> Result<TableId> {
         let name = name.into();
         let _g = self.commit_lock.lock();
+        // Direct appenders drain the group-commit queue first: we hold the
+        // commit lock (no submission can race), and every queued commit
+        // record must precede ours in the stream so replay order matches
+        // commit order.
+        self.group.flush_queued(&self.log);
         if self.table_names.read().contains_key(&name) {
             return Err(Error::InvalidArgument(format!("table {name:?} already exists")));
         }
@@ -170,32 +200,57 @@ impl Partition {
 
     /// Commit a user transaction's buffered writes: resolve rowstore versions
     /// at a fresh timestamp and log the redo record. Returns (commit
-    /// timestamp, log end position — the position replication must ack for
-    /// the commit to be durable, paper §3).
+    /// timestamp, log position — the position replication must ack for the
+    /// commit to be durable, paper §3; with group commit on, the batch end,
+    /// already synced to the local log).
+    ///
+    /// With group commit on, the commit lock covers only timestamp resolution
+    /// and queueing the redo record; the append + fsync happen in the
+    /// group-commit leader with the lock released, so the next commit's
+    /// timestamp resolves while this batch is being made durable.
     pub(crate) fn commit_txn(
         &self,
         txn: TxnId,
         ops: Vec<RowOp>,
         keys_by_table: &HashMap<TableId, Vec<Vec<Value>>>,
     ) -> Result<(Timestamp, LogPosition)> {
-        // Timed from before the lock: commit latency includes waiting behind
-        // the group of commits ahead of us.
+        // Timed from before the lock to local durability: commit latency is
+        // the full enqueue->durable span the committer experiences, including
+        // waiting behind the group ahead of us and the batch fsync. (It used
+        // to stop before any sync, under-reporting by the whole fsync cost.)
         let timer = s2_obs::histogram!("wal.commit.latency_us").start_timer();
-        let _g = self.commit_lock.lock();
-        let ts = self.commit_ts() + 1;
-        for (tid, keys) in keys_by_table {
-            let table = self.table(*tid)?;
-            table.rowstore.read().commit(txn, ts, keys);
+        let mut ticket = None;
+        let (ts, mut end_lp) = {
+            let _g = self.commit_lock.lock();
+            let ts = self.commit_ts() + 1;
+            for (tid, keys) in keys_by_table {
+                let table = self.table(*tid)?;
+                table.rowstore.read().commit(txn, ts, keys);
+            }
+            s2_obs::counter!("core.txn.commit_ops").add(ops.len() as u64);
+            let rec = EngineRecord::Commit { commit_ts: ts, ops };
+            // Crash here = power loss after version resolution but before the
+            // redo record exists: the commit was never acknowledged and must
+            // be invisible after recovery.
+            s2_common::fault::crash_point("core.commit.log");
+            let end_lp = if self.group.enabled() {
+                ticket = Some(self.group.submit(rec.kind(), rec.encode()));
+                0
+            } else {
+                let (_, end_lp) = self.log.append(rec.kind(), &rec.encode());
+                end_lp
+            };
+            self.commit_ts.store(ts, Ordering::Release);
+            s2_obs::counter!("core.txn.commits").inc();
+            (ts, end_lp)
+        };
+        if let Some(t) = ticket {
+            // Park outside the commit lock until a leader has appended and
+            // fsynced the batch containing our record. The returned position
+            // is the batch end — one replication ack there covers every
+            // commit in the batch.
+            end_lp = self.group.wait_durable(&self.log, t)?;
         }
-        s2_obs::counter!("core.txn.commit_ops").add(ops.len() as u64);
-        let rec = EngineRecord::Commit { commit_ts: ts, ops };
-        // Crash here = power loss after version resolution but before the
-        // redo record exists: the commit was never acknowledged and must be
-        // invisible after recovery.
-        s2_common::fault::crash_point("core.commit.log");
-        let (_, end_lp) = self.log.append(rec.kind(), &rec.encode());
-        self.commit_ts.store(ts, Ordering::Release);
-        s2_obs::counter!("core.txn.commits").inc();
         timer.stop();
         Ok((ts, end_lp))
     }
@@ -229,6 +284,8 @@ impl Partition {
         targets: &[(Arc<SegmentCore>, u32)],
     ) -> Result<Vec<(Vec<Value>, Row)>> {
         let _g = self.commit_lock.lock();
+        // Queued commit records must precede the Move record in the stream.
+        self.group.flush_queued(&self.log);
         let ts = self.commit_ts() + 1;
         let mut inserts: Vec<(Vec<Value>, Row)> = Vec::with_capacity(targets.len());
         let mut bits_by_seg: HashMap<SegmentId, Vec<u32>> = HashMap::new();
@@ -332,6 +389,10 @@ impl Partition {
     pub fn flush_table(&self, table_id: TableId, force: bool) -> Result<usize> {
         let table = self.table(table_id)?;
         let _g = self.commit_lock.lock();
+        // Queued commit records must precede the Flush record: the Flush
+        // removes rowstore keys those commits wrote, so replaying it before
+        // them would resurrect the rows.
+        self.group.flush_queued(&self.log);
         if !force && table.rowstore_len() < table.options.flush_threshold_rows {
             return Ok(0);
         }
@@ -448,6 +509,8 @@ impl Partition {
     pub fn merge_table(&self, table_id: TableId) -> Result<bool> {
         let table = self.table(table_id)?;
         let _g = self.commit_lock.lock();
+        // Queued commit records must precede the Merge record in the stream.
+        self.group.flush_queued(&self.log);
 
         let (input_ids, inputs, mut next_id) = {
             let state = table.state.read();
@@ -653,6 +716,9 @@ impl Partition {
     /// still needs if the put fails or the node crashes mid-upload.
     pub fn write_snapshot(&self) -> Result<Snapshot> {
         let _g = self.commit_lock.lock();
+        // The snapshot position must cover every committed record: drain any
+        // queued commit records so `end_lp` includes them.
+        self.group.flush_queued(&self.log);
         let lp = self.log.end_lp();
         let mut w = ByteWriter::new();
         w.put_u32(PARTITION_SNAPSHOT_MAGIC);

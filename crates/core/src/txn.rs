@@ -437,7 +437,9 @@ impl Txn {
         Ok(n)
     }
 
-    /// Commit. Returns (commit timestamp, log position replication must ack).
+    /// Commit. Returns (commit timestamp, log position replication must ack
+    /// — with group commit on, the containing batch's end position, already
+    /// fsynced by the group-commit leader before this returns).
     pub fn commit(mut self) -> Result<(Timestamp, LogPosition)> {
         self.check_active()?;
         self.finished = true;

@@ -1,0 +1,173 @@
+//! Randomized battery for the group-commit pipeline (§3: commits are
+//! durable once in the local WAL; group commit amortizes the fsync).
+//!
+//! Three properties, each over proptest-generated shapes:
+//! - **acked ⇒ durable**: every key whose `commit()` returned is present
+//!   after recovering a fresh partition from the durable log prefix alone;
+//! - **monotonic timestamps**: commit timestamps across N racing
+//!   committers are distinct and gapless — strictly monotonic per
+//!   partition;
+//! - **on/off equivalence**: the same single-threaded op sequence produces
+//!   byte-identical log contents and an identical recovered state whether
+//!   the group pipeline is on or off.
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableOptions, Value};
+use s2_core::{MemFileStore, Partition};
+use s2_wal::Log;
+
+fn kv_schema() -> Schema {
+    Schema::new(vec![ColumnDef::new("k", DataType::Int64), ColumnDef::new("v", DataType::Int64)])
+        .unwrap()
+}
+
+fn kv_options() -> TableOptions {
+    TableOptions::new()
+        .with_sort_key(vec![0])
+        .with_unique("pk", vec![0])
+        .with_flush_threshold(16)
+        .with_segment_rows(32)
+}
+
+fn new_partition(group_on: bool) -> (Arc<Partition>, u32) {
+    let p = Partition::new("gc_p0", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+    p.set_group_commit(group_on);
+    let t = p.create_table("t", kv_schema(), kv_options()).unwrap();
+    p.log.sync().unwrap();
+    (p, t)
+}
+
+/// Recover a fresh partition from exactly the first `upto` log bytes.
+fn recover_prefix(p: &Arc<Partition>, upto: u64) -> Arc<Partition> {
+    let bytes = p.log.read_range(0, upto).unwrap();
+    let log = Log::in_memory();
+    log.append_raw(&bytes);
+    Partition::recover("gc_rec", Arc::new(log), Arc::new(MemFileStore::new()), None, None).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// N committer threads race on one partition with the pipeline on.
+    /// Afterwards: (a) every acked key survives recovery from the durable
+    /// prefix alone, (b) the commit timestamps handed back are distinct and
+    /// gapless (strictly monotonic per partition).
+    #[test]
+    fn racing_committers_acked_durable_and_ts_monotonic(
+        n_threads in 2usize..=6,
+        commits_per_thread in 1usize..=10,
+        window_us in prop_oneof![1 => Just(0u64), 1 => Just(50), 1 => Just(200)],
+    ) {
+        let (p, t) = new_partition(true);
+        p.set_group_flush_window_us(window_us);
+
+        let mut handles = Vec::new();
+        for tid in 0..n_threads {
+            let p = Arc::clone(&p);
+            handles.push(thread::spawn(move || {
+                let mut out = Vec::new();
+                for i in 0..commits_per_thread {
+                    let k = (tid * 10_000 + i) as i64;
+                    let mut txn = p.begin();
+                    txn.insert(t, Row::new(vec![Value::Int(k), Value::Int(k * 7)])).unwrap();
+                    let (ts, end_lp) = txn.commit().unwrap();
+                    out.push((k, ts, end_lp));
+                }
+                out
+            }));
+        }
+        let results: Vec<(i64, u64, u64)> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        prop_assert_eq!(results.len(), n_threads * commits_per_thread);
+
+        // (b) timestamps distinct and gapless.
+        let mut tss: Vec<u64> = results.iter().map(|(_, ts, _)| *ts).collect();
+        tss.sort_unstable();
+        tss.dedup();
+        prop_assert_eq!(tss.len(), results.len(), "commit timestamps must be distinct");
+        prop_assert_eq!(
+            tss[tss.len() - 1] - tss[0] + 1,
+            results.len() as u64,
+            "commit timestamps must be gapless"
+        );
+
+        // (a) every returned end_lp is already durable, and recovering from
+        // the durable prefix alone reproduces every acked key.
+        let durable = p.log.durable_lp();
+        for (_, _, end_lp) in &results {
+            prop_assert!(*end_lp <= durable, "acked position {end_lp} beyond durable {durable}");
+        }
+        let rp = recover_prefix(&p, durable);
+        let txn = rp.begin();
+        for (k, _, _) in &results {
+            let got = txn.get_unique(t, &[Value::Int(*k)]).unwrap();
+            let v = got.as_ref().and_then(|r| r.get(1).as_int().ok());
+            prop_assert_eq!(v, Some(k * 7), "acked key {} lost after recovery", k);
+        }
+        txn.rollback();
+    }
+
+    /// The same deterministic single-threaded op sequence, run once with the
+    /// pipeline on and once off, leaves byte-identical logs and recovers to
+    /// identical states: the pipeline changes batching, never content.
+    #[test]
+    fn group_on_off_equivalence(seed in any::<u64>(), n_ops in 10usize..=60) {
+        let (p_on, t_on) = new_partition(true);
+        let (p_off, t_off) = new_partition(false);
+        for (p, t) in [(&p_on, t_on), (&p_off, t_off)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut present: Vec<i64> = Vec::new();
+            for _ in 0..n_ops {
+                let mut txn = p.begin();
+                let roll: u32 = rng.random_range(0..10);
+                if roll < 5 || present.is_empty() {
+                    let k: i64 = rng.random_range(0..1_000_000);
+                    if !present.contains(&k) {
+                        txn.insert(t, Row::new(vec![Value::Int(k), Value::Int(k + 1)])).unwrap();
+                        present.push(k);
+                    }
+                } else if roll < 8 {
+                    let k = present[rng.random_range(0..present.len())];
+                    let v: i64 = rng.random_range(-1000..1000);
+                    txn.update_unique(t, &[Value::Int(k)],
+                        Row::new(vec![Value::Int(k), Value::Int(v)])).unwrap();
+                } else {
+                    let k = present.swap_remove(rng.random_range(0..present.len()));
+                    txn.delete_unique(t, &[Value::Int(k)]).unwrap();
+                }
+                txn.commit().unwrap();
+            }
+        }
+        let end_on = p_on.log.end_lp();
+        let end_off = p_off.log.end_lp();
+        prop_assert_eq!(end_on, end_off, "log lengths diverge");
+        prop_assert_eq!(
+            p_on.log.read_range(0, end_on).unwrap(),
+            p_off.log.read_range(0, end_off).unwrap(),
+            "log bytes diverge between group-commit on and off"
+        );
+
+        let ra = recover_prefix(&p_on, end_on);
+        let rb = recover_prefix(&p_off, end_off);
+        let (sa, sb) = (ra.read_snapshot(), rb.read_snapshot());
+        let (ta, tb) = (sa.table(t_on).unwrap(), sb.table(t_off).unwrap());
+        prop_assert_eq!(ta.live_row_count(), tb.live_row_count());
+        let rows_a: Vec<(i64, i64)> = ta
+            .rowstore_rows()
+            .iter()
+            .map(|(_, r)| (r.get(0).as_int().unwrap(), r.get(1).as_int().unwrap()))
+            .collect();
+        let rows_b: Vec<(i64, i64)> = tb
+            .rowstore_rows()
+            .iter()
+            .map(|(_, r)| (r.get(0).as_int().unwrap(), r.get(1).as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(rows_a, rows_b, "recovered states diverge");
+    }
+}

@@ -41,9 +41,10 @@ pub use outage::{
     run_outage_many, run_outage_scenario, OutageReport, OutageSummary, OUTAGE_PARTITION,
 };
 pub use plan::{FaultPlan, SiteConfig};
-pub use runner::{run_many, RunSummary};
+pub use runner::{run_group_many, run_many, RunSummary};
 pub use scenario::{
-    harness_lock, install_quiet_panic_hook, run_scenario, ScenarioReport, Violation, PARTITION,
+    harness_lock, install_quiet_panic_hook, run_group_scenario, run_scenario, GroupMode,
+    ScenarioReport, Violation, PARTITION,
 };
 pub use sqlgen::{run_sql_many, SqlSummary};
 pub use storage::{BlobReadFileStore, SimFileStore};

@@ -5,12 +5,13 @@
 //! cargo run -p s2-sim -- --scenario outage --seed 7 --scenarios 10
 //! ```
 //!
-//! `--scenario crash` (default) runs the crash-recovery sweep; `outage`
-//! runs blob-outage drills against the resilience layer; `sql` runs
-//! generated queries through the full s2-sql pipeline against a plain-Rust
-//! oracle. Exit code 0 means every scenario upheld every invariant; 1 means
-//! at least one violation (each printed with its replayable seed and
-//! decision trace).
+//! `--scenario crash` (default) runs the crash-recovery sweep; `group`
+//! forces the group-commit pipeline on with boosted `wal.group.*` kill
+//! points; `outage` runs blob-outage drills against the resilience layer;
+//! `sql` runs generated queries through the full s2-sql pipeline against a
+//! plain-Rust oracle. Exit code 0 means every scenario upheld every
+//! invariant; 1 means at least one violation (each printed with its
+//! replayable seed and decision trace).
 
 fn main() {
     let mut seed = 42u64;
@@ -33,15 +34,20 @@ fn main() {
                     .unwrap_or_else(|| die("--scenarios needs an integer"));
             }
             "--scenario" => {
-                scenario = args.next().unwrap_or_else(|| die("--scenario needs crash|outage|sql"));
-                if scenario != "crash" && scenario != "outage" && scenario != "sql" {
-                    die("--scenario needs crash|outage|sql");
+                scenario =
+                    args.next().unwrap_or_else(|| die("--scenario needs crash|group|outage|sql"));
+                if scenario != "crash"
+                    && scenario != "group"
+                    && scenario != "outage"
+                    && scenario != "sql"
+                {
+                    die("--scenario needs crash|group|outage|sql");
                 }
             }
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: s2-sim [--scenario crash|outage|sql] [--seed N] [--scenarios N] \
+                    "usage: s2-sim [--scenario crash|group|outage|sql] [--seed N] [--scenarios N] \
                      [--verbose]"
                 );
                 return;
@@ -58,6 +64,23 @@ fn main() {
             println!("\nreproduce with:");
             for v in &summary.failures {
                 println!("  cargo run -p s2-sim -- --scenario sql --seed {} --scenarios 1", v.seed);
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if scenario == "group" {
+        println!("s2-sim: {scenarios} group-commit crash drills from seed {seed}");
+        let summary = s2_sim::run_group_many(seed, scenarios, verbose);
+        println!("{}", summary.summary_line());
+        if !summary.failures.is_empty() {
+            println!("\nreproduce with:");
+            for v in &summary.failures {
+                println!(
+                    "  cargo run -p s2-sim -- --scenario group --seed {} --scenarios 1",
+                    v.seed
+                );
             }
             std::process::exit(1);
         }

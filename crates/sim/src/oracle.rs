@@ -25,12 +25,19 @@ pub struct Oracle {
     history: Vec<(LogPosition, Model)>,
     /// Highest commit position acknowledged as durable to the "client".
     pub acked_lp: LogPosition,
+    /// Model state of a commit that is *in flight*: `commit()` was called
+    /// but has not returned. With the group-commit pipeline a crash can
+    /// strike after the leader made the batch durable but before the
+    /// committer woke — the record legally survives recovery even though
+    /// the client was never acknowledged. Recovery reconciles against this
+    /// (see `scenario::reconcile_pending`) and always clears it.
+    pub pending: Option<Model>,
 }
 
 impl Oracle {
     /// An empty oracle: no rows, nothing acknowledged.
     pub fn new() -> Oracle {
-        Oracle { model: Model::new(), history: vec![(0, Model::new())], acked_lp: 0 }
+        Oracle { model: Model::new(), history: vec![(0, Model::new())], acked_lp: 0, pending: None }
     }
 
     /// Record a successful commit whose record ends at `end_lp`.

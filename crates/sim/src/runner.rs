@@ -1,6 +1,6 @@
 //! Batch scenario runner: sweep a seed range, aggregate, report failures.
 
-use crate::scenario::{run_scenario, Violation};
+use crate::scenario::{run_group_scenario, run_scenario, ScenarioReport, Violation};
 
 /// Aggregate results of a seed sweep.
 #[derive(Debug, Default)]
@@ -9,6 +9,8 @@ pub struct RunSummary {
     pub scenarios: usize,
     /// Scenarios that ran with a synchronous replica (failover mode).
     pub replica_scenarios: usize,
+    /// Scenarios whose commits went through the group-commit pipeline.
+    pub group_scenarios: usize,
     /// Committed transactions across all scenarios.
     pub commits: u64,
     /// Injected crashes survived.
@@ -27,10 +29,11 @@ impl RunSummary {
     /// One-line human summary.
     pub fn summary_line(&self) -> String {
         format!(
-            "{} scenarios ({} replicated): {} commits, {} crashes, {} recoveries, \
-             {} injected errors, {} PITR checks, {} violations",
+            "{} scenarios ({} replicated, {} group-commit): {} commits, {} crashes, \
+             {} recoveries, {} injected errors, {} PITR checks, {} violations",
             self.scenarios,
             self.replica_scenarios,
+            self.group_scenarios,
             self.commits,
             self.crashes,
             self.recoveries,
@@ -43,13 +46,29 @@ impl RunSummary {
 
 /// Run `count` scenarios on seeds `base_seed..base_seed+count`.
 pub fn run_many(base_seed: u64, count: usize, verbose: bool) -> RunSummary {
+    sweep(base_seed, count, verbose, run_scenario)
+}
+
+/// Run `count` group-commit crash drills (pipeline forced on, `wal.group.*`
+/// kill points boosted) on seeds `base_seed..base_seed+count`.
+pub fn run_group_many(base_seed: u64, count: usize, verbose: bool) -> RunSummary {
+    sweep(base_seed, count, verbose, run_group_scenario)
+}
+
+fn sweep(
+    base_seed: u64,
+    count: usize,
+    verbose: bool,
+    run: fn(u64) -> Result<ScenarioReport, Violation>,
+) -> RunSummary {
     let mut sum = RunSummary::default();
     for i in 0..count {
         let seed = base_seed.wrapping_add(i as u64);
         sum.scenarios += 1;
-        match run_scenario(seed) {
+        match run(seed) {
             Ok(r) => {
                 sum.replica_scenarios += r.replica_mode as usize;
+                sum.group_scenarios += r.group_commit as usize;
                 sum.commits += r.commits;
                 sum.crashes += r.crashes;
                 sum.recoveries += r.recoveries;
@@ -57,8 +76,14 @@ pub fn run_many(base_seed: u64, count: usize, verbose: bool) -> RunSummary {
                 sum.pitr_checks += r.pitr_checks;
                 if verbose {
                     eprintln!(
-                        "seed {seed}: ok ({} steps, {} commits, {} crashes, {} pitr, replica={})",
-                        r.steps, r.commits, r.crashes, r.pitr_checks, r.replica_mode
+                        "seed {seed}: ok ({} steps, {} commits, {} crashes, {} pitr, \
+                         replica={}, group={})",
+                        r.steps,
+                        r.commits,
+                        r.crashes,
+                        r.pitr_checks,
+                        r.replica_mode,
+                        r.group_commit
                     );
                 }
             }

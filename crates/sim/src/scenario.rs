@@ -68,8 +68,21 @@ pub struct ScenarioReport {
     pub pitr_checks: u64,
     /// Whether this scenario ran with a synchronous replica (failover mode).
     pub replica_mode: bool,
+    /// Whether commits went through the group-commit pipeline.
+    pub group_commit: bool,
     /// The full injection trace (`site#hit:crash` / `site#hit:error`).
     pub trace: Vec<String>,
+}
+
+/// How a scenario chooses the commit path.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum GroupMode {
+    /// Coin-flip per seed: the default sweep covers both the group-commit
+    /// pipeline and the legacy per-commit append path.
+    Random,
+    /// Force the group-commit pipeline on and boost its crash sites — the
+    /// dedicated `--scenario group` drill.
+    Forced,
 }
 
 /// An invariant violation: the seed reproduces it exactly.
@@ -159,6 +172,10 @@ struct Engine {
     /// happened only if this is non-zero).
     vacuumed: usize,
     commits: u64,
+    /// Whether commits run through the group-commit pipeline. Recovery
+    /// builds fresh partitions (which default to the env setting), so the
+    /// choice is re-applied after every restart/promotion.
+    group_on: bool,
 }
 
 enum RecErr {
@@ -170,12 +187,26 @@ enum RecErr {
 
 /// Run one scenario. `Err` carries the violation with its replayable trace.
 pub fn run_scenario(seed: u64) -> Result<ScenarioReport, Violation> {
+    run_scenario_mode(seed, GroupMode::Random)
+}
+
+/// Run one group-commit crash drill: the pipeline is forced on and the
+/// `wal.group.*` crash sites fire at boosted rates.
+pub fn run_group_scenario(seed: u64) -> Result<ScenarioReport, Violation> {
+    run_scenario_mode(seed, GroupMode::Forced)
+}
+
+fn run_scenario_mode(seed: u64, mode: GroupMode) -> Result<ScenarioReport, Violation> {
     let _guard = harness_lock();
     install_quiet_panic_hook();
     install_logical_event_clock();
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_5353_494d_5531);
     let replica_mode = rng.random_bool(0.5);
+    // Drawn unconditionally so both modes consume the same PRNG stream: a
+    // seed replays the identical workload whether forced or not.
+    let group_coin = rng.random_bool(0.5);
+    let group_on = mode == GroupMode::Forced || group_coin;
     let steps = rng.random_range(40..90_usize);
     let key_space: i64 = rng.random_range(8..48);
     let cfg = StorageConfig {
@@ -207,6 +238,7 @@ pub fn run_scenario(seed: u64) -> Result<ScenarioReport, Violation> {
         .with_unique("pk", vec![0])
         .with_flush_threshold(rng.random_range(4..16_usize))
         .with_segment_rows(rng.random_range(4..24_usize));
+    master.set_group_commit(group_on);
     let table = master
         .create_table("t", schema, options)
         .map_err(|e| viol(format!("create_table: {e}"), vec![]))?;
@@ -226,13 +258,15 @@ pub fn run_scenario(seed: u64) -> Result<ScenarioReport, Violation> {
         restarts: 0,
         vacuumed: 0,
         commits: 0,
+        group_on,
     };
     if replica_mode {
         engine.replica =
             Some(new_sync_replica(&engine.master, &engine.files).map_err(|m| viol(m, vec![]))?);
     }
 
-    let plan = Arc::new(build_plan(seed, &mut rng));
+    let group_boost = if mode == GroupMode::Forced { 4.0 } else { 1.0 };
+    let plan = Arc::new(build_plan(seed, &mut rng, group_boost));
     s2_common::fault::install(Arc::clone(&plan) as Arc<dyn FaultHook>);
     let _fault_guard = FaultGuard;
 
@@ -278,13 +312,21 @@ pub fn run_scenario(seed: u64) -> Result<ScenarioReport, Violation> {
         injected_errors: plan.error_count(),
         pitr_checks,
         replica_mode,
+        group_commit: group_on,
         trace: plan.trace(),
     })
 }
 
-fn build_plan(seed: u64, rng: &mut StdRng) -> FaultPlan {
+fn build_plan(seed: u64, rng: &mut StdRng, group_boost: f64) -> FaultPlan {
     let mut p = FaultPlan::new(seed);
     let s: f64 = rng.random_range(0.5..1.5);
+    // Group-commit pipeline kill points: leader about to append the drained
+    // batch, batch appended but not yet synced, and batch durable but
+    // leadership not yet handed off. Crash-only — the sites sit on a path
+    // where an error return would wedge parked followers.
+    p.site("wal.group.append", 0.0, 0.012 * s * group_boost);
+    p.site("wal.group.sync", 0.0, 0.012 * s * group_boost);
+    p.site("wal.group.handoff", 0.0, 0.012 * s * group_boost);
     p.site("wal.append", 0.0, 0.012 * s);
     p.site("wal.sync", 0.04 * s, 0.012 * s);
     p.site("core.commit.log", 0.0, 0.012 * s);
@@ -441,17 +483,39 @@ fn step_txn(e: &mut Engine, o: &mut Oracle, rng: &mut StdRng, commit: bool) -> R
         txn.rollback();
         return Ok(());
     }
-    let (_ts, end_lp) = txn.commit().map_err(|er| format!("commit failed: {er}"))?;
+    // Stash the would-be post-commit state before calling into the engine:
+    // with the group-commit pipeline a kill point can fire after the leader
+    // made the record durable but before `commit()` returns, so the record
+    // may survive recovery even though this call never completes. Recovery
+    // reconciles against the stash (durable-but-unacknowledged is legal).
+    o.pending = Some(scratch.clone());
+    let (_ts, end_lp) = match txn.commit() {
+        Ok(v) => v,
+        Err(er) => {
+            o.pending = None;
+            return Err(format!("commit failed: {er}"));
+        }
+    };
+    o.pending = None;
     o.record_commit(end_lp, scratch);
     e.commits += 1;
     // The client sometimes waits for durability (sync / replica ack) before
     // treating the commit as acknowledged; only acknowledged commits are
     // required to survive a crash.
     if e.replica.is_some() {
+        // Replica-mode acks only come from replica application: the failover
+        // survivor is the replica's applied prefix, so local durability
+        // (which group commit provides on every return) never acks here.
         if rng.random_bool(0.6) {
             let applied = drain_replica(e)?;
             o.ack_up_to(applied);
         }
+    } else if e.group_on {
+        // Group commit returned ⇒ the leader's fsync covered this record:
+        // the commit is acknowledged-durable the moment it returns. This is
+        // the durability oracle for the pipeline — any crash after this
+        // point that loses the record is a violation.
+        o.ack_up_to(end_lp);
     } else if rng.random_bool(0.5) {
         match e.master.log.sync() {
             Ok(durable) => o.ack_up_to(durable),
@@ -582,6 +646,7 @@ fn recover_after_crash(
         let res = promote(e, o);
         plan.set_quiet(false);
         res?;
+        reconcile_pending(e, o)?;
         return check_invariants(e, o);
     }
     // A single node restarts over its surviving bytes. Faults can strike
@@ -597,7 +662,10 @@ fn recover_after_crash(
             plan.set_quiet(false);
         }
         match outcome {
-            Ok(Ok(())) => return check_invariants(e, o),
+            Ok(Ok(())) => {
+                reconcile_pending(e, o)?;
+                return check_invariants(e, o);
+            }
             Ok(Err(RecErr::Violation(m))) => return Err(m),
             Ok(Err(RecErr::Retry(reason))) => {
                 last_retry = reason;
@@ -717,6 +785,9 @@ fn local_restart(
         Err(er) => return Err(RecErr::Violation(format!("max_uploaded_lp: {er}"))),
     }
 
+    // Recovery builds a fresh partition, which defaults to the env setting:
+    // re-apply this scenario's commit-path choice.
+    recovered.set_group_commit(e.group_on);
     e.master = recovered;
     e.restarts += 1;
     o.rewind_to(vp);
@@ -753,6 +824,9 @@ fn promote(e: &mut Engine, o: &mut Oracle) -> Result<(), String> {
         }
         Err(er) => return Err(format!("max_uploaded_lp during failover: {er}")),
     }
+    // The promoted replica was built by `empty_replica_partition` with the
+    // env-default commit path: re-apply this scenario's choice.
+    partition.set_group_commit(e.group_on);
     e.master = partition;
     e.restarts += 1;
     o.rewind_to(applied);
@@ -805,6 +879,26 @@ fn diff_summary(engine: &Model, model: &Model) -> String {
     format!(
         "engine-only keys {only_engine:?}, model-only keys {only_model:?}, wrong values {wrong:?}"
     )
+}
+
+/// Resolve a commit that was in flight when the crash struck. Its record
+/// may have been made durable by the group leader (or shipped to the
+/// replica) before `commit()` unwound — durable-but-unacknowledged, the
+/// classic group-commit outcome. If the recovered state matches the
+/// in-flight model, adopt it as a real commit at the survivor position so
+/// later acks/rewinds see a consistent history; if the record was lost,
+/// the rewound model already matches and there is nothing to do. Either
+/// way the pending slot is consumed: at most one commit is ever in flight.
+fn reconcile_pending(e: &Engine, o: &mut Oracle) -> Result<(), String> {
+    let Some(pending) = o.pending.take() else { return Ok(()) };
+    if pending == o.model {
+        return Ok(()); // read-only or redundant in-flight txn: indistinguishable
+    }
+    let (state, _) = engine_state(&e.master, e.table)?;
+    if state == pending {
+        o.record_commit(e.master.log.end_lp(), pending);
+    }
+    Ok(())
 }
 
 /// Post-recovery checks: contents match the model, the unique index agrees

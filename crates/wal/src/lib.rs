@@ -7,10 +7,12 @@
 //! *semantics* (what an upsert/flush/merge means) live in `s2-core`, which
 //! serializes operations into opaque payloads.
 
+pub mod group;
 pub mod log;
 pub mod record;
 pub mod snapshot;
 
+pub use group::GroupCommit;
 pub use log::{Log, LogChunk};
 pub use record::{
     encode_record, valid_prefix_len, DecodedRecord, RecordIter, RECORD_MAGIC, RECORD_OVERHEAD,

@@ -49,6 +49,23 @@ echo "== sim: blob-outage drills (25 seeded drills) =="
 # Failing seeds replay with --scenario outage --seed N --scenarios 1.
 cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --scenario outage --seed 42 --scenarios 25
 
+echo "== tpcc: group-commit pipeline (contended smoke + crash drills) =="
+# Contended TPC-C over a sync-replicated cluster: TPC-C consistency under
+# 8 racing terminals plus the fsyncs-strictly-under-commits batching check.
+cargo test -q --release --test tpcc_contended "${CARGO_FLAGS[@]}"
+# Randomized committer interleavings: acked ⇒ durable, monotonic commit
+# timestamps, and byte-identical on/off log equivalence.
+cargo test -q --release -p s2-core --test group_commit "${CARGO_FLAGS[@]}"
+# The wal/core suites must pass with the pipeline pinned both ways (the
+# runtime switch keeps the legacy per-commit path on S2_GROUP_COMMIT=0).
+S2_GROUP_COMMIT=0 cargo test -q -p s2-wal -p s2-core "${CARGO_FLAGS[@]}"
+S2_GROUP_COMMIT=1 cargo test -q -p s2-wal -p s2-core "${CARGO_FLAGS[@]}"
+# Group-commit crash drills: wal.group.{append,sync,handoff} kill points at
+# boosted rates; a crash between batch append and fsync must never surface
+# an acked commit, and a leader killed mid-handoff must not strand parked
+# followers. Failing seeds replay with --scenario group --seed N.
+cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --scenario group --seed 42 --scenarios 30
+
 echo "== sql: planner suites + bench equivalence + randomized oracle =="
 # The SQL front end's contract: parser total + round-trip (proptests),
 # planner pushdown/pruning/cost tests, every TPC-H/CH bench query's SQL
