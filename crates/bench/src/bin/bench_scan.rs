@@ -13,7 +13,8 @@
 //! Knobs: `S2_SF` (default 0.02), `S2_SEGMENT_ROWS` (default 4096 — small
 //! segments so every table yields many morsels), `S2_RUNS` (timed runs per
 //! query per thread count, default 3), `S2_WAREHOUSES` (default 2).
-//! Flags: `--json` (machine-readable output only).
+//! Flags: `--json` (machine-readable output only), `--threads N` (sweep a
+//! single thread count instead of 1/2/4/8 — used by `scripts/bench_gate.sh`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,7 +45,7 @@ fn render(batch: &Batch) -> String {
 struct QueryResult {
     suite: &'static str,
     name: String,
-    /// Mean runtime in ms, one per entry of [`THREAD_COUNTS`].
+    /// Mean runtime in ms, one per swept thread count.
     mean_ms: Vec<f64>,
     /// Rendered results identical across all thread counts.
     identical: bool,
@@ -56,13 +57,14 @@ struct QueryResult {
 fn sweep(
     suite: &'static str,
     name: &str,
+    thread_counts: &[usize],
     runs: usize,
     mut f: impl FnMut(usize) -> Batch,
 ) -> QueryResult {
-    let mut mean_ms = Vec::with_capacity(THREAD_COUNTS.len());
+    let mut mean_ms = Vec::with_capacity(thread_counts.len());
     let mut reference: Option<String> = None;
     let mut identical = true;
-    for &t in &THREAD_COUNTS {
+    for &t in thread_counts {
         let warm = render(&f(t));
         match &reference {
             None => reference = Some(warm),
@@ -98,12 +100,24 @@ fn ch_cluster(warehouses: i64) -> Arc<Cluster> {
     cluster
 }
 
+/// `--threads N` restricts the sweep to a single thread count.
+fn parse_threads() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
 fn main() {
     let json = s2_bench::json_enabled();
     let sf = env_f64("S2_SF", 0.02);
     let segment_rows = env_u64("S2_SEGMENT_ROWS", 4096) as usize;
     let runs = env_u64("S2_RUNS", 3) as usize;
     let warehouses = env_u64("S2_WAREHOUSES", 2) as i64;
+    let thread_counts: Vec<usize> = parse_threads().map_or(THREAD_COUNTS.to_vec(), |t| vec![t]);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     if !json {
@@ -119,7 +133,7 @@ fn main() {
     // (tight range filter over the fact table).
     let tpch = tpch_cluster(sf, segment_rows);
     for q in [1usize, 6] {
-        results.push(sweep("tpch", &format!("q{q}"), runs, |t| {
+        results.push(sweep("tpch", &format!("q{q}"), &thread_counts, runs, |t| {
             let mut opts = ExecOptions::default();
             opts.scan.threads = t;
             let runner = ClusterRunner { cluster: &tpch, opts };
@@ -136,14 +150,14 @@ fn main() {
             continue;
         }
         let cluster = Arc::clone(&ch);
-        results.push(sweep("ch", name, runs, move |t| {
+        results.push(sweep("ch", name, &thread_counts, runs, move |t| {
             let mut opts = ExecOptions::default();
             opts.scan.threads = t;
             cluster.execute(&plan, &opts).expect("query")
         }));
     }
 
-    let speedup = |r: &QueryResult| r.mean_ms[0] / r.mean_ms[THREAD_COUNTS.len() - 1];
+    let speedup = |r: &QueryResult| r.mean_ms[0] / r.mean_ms[thread_counts.len() - 1];
     let geomean_speedup = (results.iter().map(|r| speedup(r).max(1e-9).ln()).sum::<f64>()
         / results.len() as f64)
         .exp();
@@ -153,7 +167,7 @@ fn main() {
         let queries: Vec<String> = results
             .iter()
             .map(|r| {
-                let per_thread: Vec<String> = THREAD_COUNTS
+                let per_thread: Vec<String> = thread_counts
                     .iter()
                     .zip(&r.mean_ms)
                     .map(|(t, ms)| format!("{{\"threads\":{t},\"mean_ms\":{ms:.3}}}"))
@@ -169,11 +183,13 @@ fn main() {
                 )
             })
             .collect();
+        let counts: Vec<String> = thread_counts.iter().map(usize::to_string).collect();
         println!(
             "{{\"bench\":\"bench_scan\",\"host_parallelism\":{host},\"scale_factor\":{sf},\
              \"segment_rows\":{segment_rows},\"runs_per_config\":{runs},\
-             \"thread_counts\":[1,2,4,8],\"all_identical\":{all_identical},\
+             \"thread_counts\":[{}],\"all_identical\":{all_identical},\
              \"geomean_speedup_at_8\":{geomean_speedup:.3},\"queries\":[{}]}}",
+            counts.join(","),
             queries.join(",")
         );
         return;
@@ -189,8 +205,16 @@ fn main() {
             row
         })
         .collect();
-    print_table(&["Query", "1T ms", "2T ms", "4T ms", "8T ms", "speedup@8", "identical"], &rows);
-    println!("\ngeomean speedup at 8 threads: {geomean_speedup:.2}x (host parallelism {host})");
+    let mut headers: Vec<String> = vec!["Query".into()];
+    headers.extend(thread_counts.iter().map(|t| format!("{t}T ms")));
+    headers.push("speedup".into());
+    headers.push("identical".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    println!(
+        "\ngeomean speedup at {} threads: {geomean_speedup:.2}x (host parallelism {host})",
+        thread_counts.last().copied().unwrap_or(1)
+    );
     println!(
         "results byte-identical across thread counts: {}",
         if all_identical { "yes" } else { "NO" }

@@ -20,6 +20,23 @@ impl BitVec {
         BitVec { words: vec![0; len.div_ceil(64)], len }
     }
 
+    /// All-one bit vector of `len` bits (tail bits beyond `len` stay zero so
+    /// equality and serialization remain structural).
+    pub fn ones(len: usize) -> BitVec {
+        let mut b = BitVec { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.mask_tail();
+        b
+    }
+
+    /// Zero any bits at positions >= `len` in the final word.
+    fn mask_tail(&mut self) {
+        if !self.len.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (self.len % 64)) - 1;
+            }
+        }
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len
@@ -51,9 +68,61 @@ impl BitVec {
         self.words[i / 64] &= !(1 << (i % 64));
     }
 
+    /// Set bit `i` to `v`.
+    #[inline]
+    pub fn set_to(&mut self, i: usize, v: bool) {
+        if v {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+
+    /// Set every bit in `[start, end)` to 1, word-at-a-time.
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        debug_assert!(start <= end && end <= self.len);
+        let mut i = start;
+        while i < end {
+            let word = i / 64;
+            let lo = i % 64;
+            let hi = (end - word * 64).min(64);
+            let mask = if hi - lo == 64 { u64::MAX } else { ((1u64 << (hi - lo)) - 1) << lo };
+            self.words[word] |= mask;
+            i = word * 64 + hi;
+        }
+    }
+
+    /// Set every bit in `[start, end)` to 0, word-at-a-time.
+    pub fn clear_range(&mut self, start: usize, end: usize) {
+        debug_assert!(start <= end && end <= self.len);
+        let mut i = start;
+        while i < end {
+            let word = i / 64;
+            let lo = i % 64;
+            let hi = (end - word * 64).min(64);
+            let mask = if hi - lo == 64 { u64::MAX } else { ((1u64 << (hi - lo)) - 1) << lo };
+            self.words[word] &= !mask;
+            i = word * 64 + hi;
+        }
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise AND with another vector of the same length.
+    pub fn intersect_with(&mut self, other: &BitVec) -> Result<()> {
+        if self.len != other.len {
+            return Err(Error::InvalidArgument(format!(
+                "bitvec length mismatch: {} vs {}",
+                self.len, other.len
+            )));
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        Ok(())
     }
 
     /// Bitwise OR with another vector of the same length.
@@ -151,6 +220,44 @@ mod tests {
         assert!(a.get(1) && a.get(69));
         let c = BitVec::zeros(71);
         assert!(a.union_with(&c).is_err());
+    }
+
+    #[test]
+    fn ones_and_ranges() {
+        let b = BitVec::ones(130);
+        assert_eq!(b.count_ones(), 130);
+        assert!(b.get(0) && b.get(129));
+        // Tail bits stay zero: ones() round-trips through serialization.
+        let mut w = ByteWriter::new();
+        b.write_to(&mut w);
+        let buf = w.into_bytes();
+        assert_eq!(BitVec::read_from(&mut ByteReader::new(&buf)).unwrap(), b);
+
+        let mut r = BitVec::zeros(200);
+        r.set_range(3, 170);
+        assert_eq!(r.count_ones(), 167);
+        assert!(!r.get(2) && r.get(3) && r.get(169) && !r.get(170));
+        r.clear_range(64, 128);
+        assert_eq!(r.count_ones(), 167 - 64);
+        assert!(r.get(63) && !r.get(64) && !r.get(127) && r.get(128));
+        r.set_range(100, 100); // empty range is a no-op
+        assert!(!r.get(100));
+    }
+
+    #[test]
+    fn intersect() {
+        let mut a = BitVec::ones(70);
+        let mut b = BitVec::zeros(70);
+        b.set(1);
+        b.set(69);
+        a.intersect_with(&b).unwrap();
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 69]);
+        let c = BitVec::zeros(71);
+        assert!(a.intersect_with(&c).is_err());
+        let mut d = BitVec::zeros(70);
+        d.set_to(5, true);
+        d.set_to(5, false);
+        assert_eq!(d.count_ones(), 0);
     }
 
     #[test]

@@ -18,5 +18,5 @@ pub mod reader;
 pub mod vector;
 
 pub use encode::{choose_encoding, encode_column, EncodedColumn, Encoding};
-pub use reader::ColumnReader;
+pub use reader::{CodePredicate, ColumnReader};
 pub use vector::{ColumnVector, VectorBuilder};

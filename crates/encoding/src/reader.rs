@@ -14,6 +14,33 @@ use s2_common::{BitVec, DataType, Error, Result, Value};
 use crate::encode::{EncodedColumn, Encoding};
 use crate::vector::{ColumnVector, VectorBuilder};
 
+/// Sequentially unpack `n` `width`-bit lanes starting at byte `bits_off`,
+/// using a rolling accumulator instead of a per-lane buffered read. This is
+/// the bulk path behind full-column decode and code-slice extraction; the
+/// per-lane [`read_packed`] remains for point reads and sparse selections.
+fn unpack_all(data: &[u8], bits_off: usize, width: u8, n: usize) -> Vec<u64> {
+    if width == 0 {
+        return vec![0; n];
+    }
+    let width = width as u32;
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mut out = Vec::with_capacity(n);
+    let mut acc: u128 = 0;
+    let mut bits: u32 = 0;
+    let mut pos = bits_off;
+    for _ in 0..n {
+        while bits < width {
+            acc |= (data[pos] as u128) << bits;
+            pos += 1;
+            bits += 8;
+        }
+        out.push((acc as u64) & mask);
+        acc >>= width;
+        bits -= width;
+    }
+    out
+}
+
 /// Read one `width`-bit lane at `idx` from a packed bit stream starting at
 /// byte `bits_off`.
 #[inline]
@@ -24,11 +51,16 @@ fn read_packed(data: &[u8], bits_off: usize, width: u8, idx: usize) -> u64 {
     let bit_start = idx * width as usize;
     let byte_start = bits_off + bit_start / 8;
     let shift = bit_start % 8;
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    // Fast path: the lane fits in one aligned-enough u64 window.
+    if byte_start + 8 <= data.len() && shift + width as usize <= 64 {
+        let v = u64::from_le_bytes(data[byte_start..byte_start + 8].try_into().unwrap()) >> shift;
+        return v & mask;
+    }
     let mut buf = [0u8; 16];
     let avail = (data.len() - byte_start).min(16);
     buf[..avail].copy_from_slice(&data[byte_start..byte_start + avail]);
     let v = u128::from_le_bytes(buf) >> shift;
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
     (v as u64) & mask
 }
 
@@ -74,6 +106,26 @@ enum Inner {
         /// Cache of the most recently decompressed block (block idx, plain layout).
         cache: Mutex<Option<(usize, Arc<Vec<u8>>)>>,
     },
+}
+
+/// A filter clause compiled into one segment column's code domain
+/// (paper §5.2 "encoded filter"): one accept bit per dictionary entry or
+/// run, plus the predicate's verdict on NULL. Built once per segment by
+/// [`ColumnReader::compile_predicate`], evaluated bitmap-first over every
+/// row by [`ColumnReader::predicate_mask`].
+#[derive(Debug, Clone)]
+pub struct CodePredicate {
+    /// `accept[d]` = the predicate passes for domain entry `d`.
+    accept: BitVec,
+    /// Whether a NULL row passes.
+    null_passes: bool,
+}
+
+impl CodePredicate {
+    /// Number of accepted domain entries (filter costing / tests).
+    pub fn accepted(&self) -> usize {
+        self.accept.count_ones()
+    }
 }
 
 /// A parsed, random-access view over one encoded column.
@@ -209,6 +261,134 @@ impl ColumnReader {
         self.nulls.as_ref().is_some_and(|n| n.get(i))
     }
 
+    /// The column's null bitmap, if any rows are NULL (zero-copy view).
+    pub fn nulls(&self) -> Option<&BitVec> {
+        self.nulls.as_ref()
+    }
+
+    /// Bulk-unpacked dictionary code per row, for dictionary encodings.
+    /// NULL rows carry the code the encoder stored for them (a real dict
+    /// entry holding the default value) — callers must mask with
+    /// [`Self::nulls`].
+    pub fn codes(&self) -> Option<Vec<u32>> {
+        match &self.inner {
+            Inner::DictStr { width, codes_off, .. } | Inner::DictInt { width, codes_off, .. } => {
+                Some(
+                    unpack_all(&self.data, *codes_off, *width, self.rows)
+                        .into_iter()
+                        .map(|c| c as u32)
+                        .collect(),
+                )
+            }
+            _ => None,
+        }
+    }
+
+    /// Decode one dictionary entry as a [`Value`] (group-key
+    /// materialization on the encoded aggregation path).
+    pub fn dict_value(&self, code: usize) -> Option<Value> {
+        match &self.inner {
+            Inner::DictStr { .. } => Some(Value::str(self.dict_str_entry(code))),
+            Inner::DictInt { dict_off, .. } => Some(Value::Int(self.i64_at(dict_off + code * 8))),
+            _ => None,
+        }
+    }
+
+    /// RLE runs as `(value, start, end)` row ranges, for run-length columns.
+    /// NULL rows sit inside runs like any other — mask with [`Self::nulls`].
+    pub fn runs(&self) -> Option<Vec<(i64, u32, u32)>> {
+        if let Inner::Rle { n_runs, values_off, ends_off } = &self.inner {
+            let mut out = Vec::with_capacity(*n_runs);
+            let mut start = 0u32;
+            for run in 0..*n_runs {
+                let end = self.u32_at(ends_off + run * 4);
+                out.push((self.i64_at(values_off + run * 8), start, end));
+                start = end;
+            }
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Compile `pred` into the column's code domain (paper §5.2): the
+    /// predicate is evaluated once per dictionary entry (or run value) into
+    /// an accept bitmap, after which per-row evaluation is a single bitmap
+    /// probe via [`Self::predicate_mask`]. Returns `None` when the encoding
+    /// has no compressed domain to compile against.
+    pub fn compile_predicate(&self, pred: &mut dyn FnMut(&Value) -> bool) -> Option<CodePredicate> {
+        let null_passes = pred(&Value::Null);
+        let accept = match &self.inner {
+            Inner::DictStr { dict_len, .. } => {
+                let mut a = BitVec::zeros(*dict_len);
+                for code in 0..*dict_len {
+                    if pred(&Value::str(self.dict_str_entry(code))) {
+                        a.set(code);
+                    }
+                }
+                a
+            }
+            Inner::DictInt { dict_len, dict_off, .. } => {
+                let mut a = BitVec::zeros(*dict_len);
+                for code in 0..*dict_len {
+                    if pred(&Value::Int(self.i64_at(dict_off + code * 8))) {
+                        a.set(code);
+                    }
+                }
+                a
+            }
+            Inner::Rle { n_runs, values_off, .. } => {
+                let mut a = BitVec::zeros(*n_runs);
+                for run in 0..*n_runs {
+                    if pred(&Value::Int(self.i64_at(values_off + run * 8))) {
+                        a.set(run);
+                    }
+                }
+                a
+            }
+            _ => return None,
+        };
+        Some(CodePredicate { accept, null_passes })
+    }
+
+    /// Evaluate a [`CodePredicate`] bitmap-first over every row: one bit per
+    /// row, set when the row passes. Dictionary codes probe the accept
+    /// bitmap; RLE runs clear whole rejected ranges word-at-a-time; NULL
+    /// rows are fixed up last (their stored code/run value is a placeholder).
+    pub fn predicate_mask(&self, p: &CodePredicate) -> BitVec {
+        let mut mask = match &self.inner {
+            Inner::DictStr { width, codes_off, .. } | Inner::DictInt { width, codes_off, .. } => {
+                let codes = unpack_all(&self.data, *codes_off, *width, self.rows);
+                let mut m = BitVec::zeros(self.rows);
+                for (row, &code) in codes.iter().enumerate() {
+                    if p.accept.get(code as usize) {
+                        m.set(row);
+                    }
+                }
+                m
+            }
+            Inner::Rle { n_runs, ends_off, .. } => {
+                let mut m = BitVec::ones(self.rows);
+                let mut start = 0u32;
+                for run in 0..*n_runs {
+                    let end = self.u32_at(ends_off + run * 4);
+                    if !p.accept.get(run) {
+                        m.clear_range(start as usize, end as usize);
+                    }
+                    start = end;
+                }
+                m
+            }
+            _ => unreachable!("predicate_mask requires a compile_predicate encoding"),
+        };
+        if let Some(nulls) = &self.nulls {
+            for row in nulls.iter_ones() {
+                mask.set_to(row, p.null_passes);
+            }
+        }
+        mask
+    }
+
     #[inline]
     fn i64_at(&self, off: usize) -> i64 {
         i64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
@@ -330,54 +510,240 @@ impl ColumnReader {
     /// Decode rows into a typed vector. With `sel = None` decodes every row;
     /// otherwise only the selected row offsets (late materialization,
     /// paper §2.1.2: "only decoding columns if data in them qualifies").
+    ///
+    /// Each encoding has a bulk path (sequential unpack, run expansion,
+    /// dictionary gather) instead of a per-row dispatch loop; `LzStr`
+    /// decompresses each block once per call rather than locking the block
+    /// cache per row.
     pub fn decode_vector(&self, sel: Option<&[u32]>) -> Result<ColumnVector> {
+        match &self.inner {
+            Inner::PlainInt { values_off } => {
+                let off = *values_off;
+                Ok(self.build_int(sel, |row| self.i64_at(off + row * 8)))
+            }
+            Inner::PlainDouble { values_off } => {
+                let off = *values_off;
+                Ok(self.build_double(sel, |row| f64::from_bits(self.i64_at(off + row * 8) as u64)))
+            }
+            Inner::BitPack { base, width, bits_off } => {
+                let base = *base;
+                Ok(match sel {
+                    None => {
+                        let deltas = unpack_all(&self.data, *bits_off, *width, self.rows);
+                        self.build_int(None, |row| (base as i128 + deltas[row] as i128) as i64)
+                    }
+                    Some(s) if s.len() * 4 >= self.rows => {
+                        // Dense selection: one bulk unpack beats per-row
+                        // bit extraction.
+                        let deltas = unpack_all(&self.data, *bits_off, *width, self.rows);
+                        self.build_int(sel, |row| (base as i128 + deltas[row] as i128) as i64)
+                    }
+                    Some(_) => {
+                        let (bits_off, width) = (*bits_off, *width);
+                        self.build_int(sel, |row| {
+                            let delta = read_packed(&self.data, bits_off, width, row);
+                            (base as i128 + delta as i128) as i64
+                        })
+                    }
+                })
+            }
+            Inner::Rle { n_runs, values_off, ends_off } => {
+                let (n_runs, values_off, ends_off) = (*n_runs, *values_off, *ends_off);
+                Ok(match sel {
+                    None => {
+                        // Expand runs directly instead of binary-searching per row.
+                        let mut values = Vec::with_capacity(self.rows);
+                        let mut start = 0usize;
+                        for run in 0..n_runs {
+                            let end = self.u32_at(ends_off + run * 4) as usize;
+                            let v = self.i64_at(values_off + run * 8);
+                            values.resize(end.min(self.rows), v);
+                            start = end;
+                        }
+                        debug_assert_eq!(start.min(self.rows), self.rows);
+                        self.finish_int(values, None)
+                    }
+                    Some(s) => {
+                        // Selections are ascending: walk runs with a cursor.
+                        let mut run = 0usize;
+                        let mut run_end = if n_runs == 0 { 0 } else { self.u32_at(ends_off) };
+                        let mut values = Vec::with_capacity(s.len());
+                        for &row in s {
+                            while row >= run_end && run + 1 < n_runs {
+                                run += 1;
+                                run_end = self.u32_at(ends_off + run * 4);
+                            }
+                            values.push(self.i64_at(values_off + run * 8));
+                        }
+                        self.finish_int(values, sel)
+                    }
+                })
+            }
+            Inner::DictInt { dict_off, width, codes_off, dict_len } => {
+                let dict: Vec<i64> =
+                    (0..*dict_len).map(|c| self.i64_at(dict_off + c * 8)).collect();
+                Ok(match sel {
+                    None => {
+                        let codes = unpack_all(&self.data, *codes_off, *width, self.rows);
+                        self.build_int(None, |row| dict[codes[row] as usize])
+                    }
+                    Some(_) => {
+                        let (codes_off, width) = (*codes_off, *width);
+                        self.build_int(sel, |row| {
+                            dict[read_packed(&self.data, codes_off, width, row) as usize]
+                        })
+                    }
+                })
+            }
+            Inner::DictStr { width, codes_off, .. } => {
+                let (codes_off, width) = (*codes_off, *width);
+                Ok(match sel {
+                    None => {
+                        let codes = unpack_all(&self.data, codes_off, width, self.rows);
+                        self.build_str(None, |row| self.dict_str_entry(codes[row] as usize))
+                    }
+                    Some(_) => self.build_str(sel, |row| {
+                        self.dict_str_entry(read_packed(&self.data, codes_off, width, row) as usize)
+                    }),
+                })
+            }
+            Inner::PlainStr { offsets_off, bytes_off } => {
+                let (offsets_off, bytes_off) = (*offsets_off, *bytes_off);
+                Ok(self.build_str(sel, |row| {
+                    let s = self.u32_at(offsets_off + row * 4) as usize;
+                    let e = self.u32_at(offsets_off + (row + 1) * 4) as usize;
+                    // SAFETY: validated as UTF-8 when the column was encoded
+                    // from &str values; offsets delimit whole strings.
+                    unsafe {
+                        std::str::from_utf8_unchecked(&self.data[bytes_off + s..bytes_off + e])
+                    }
+                }))
+            }
+            Inner::LzStr { .. } => self.decode_lz(sel),
+        }
+    }
+
+    /// Build an Int vector via `f`, honoring the null bitmap (null rows hold
+    /// the default 0, matching [`VectorBuilder::push_null`]).
+    fn build_int(&self, sel: Option<&[u32]>, f: impl Fn(usize) -> i64) -> ColumnVector {
+        let values: Vec<i64> = match (sel, &self.nulls) {
+            (None, None) => (0..self.rows).map(&f).collect(),
+            (None, Some(n)) => {
+                (0..self.rows).map(|row| if n.get(row) { 0 } else { f(row) }).collect()
+            }
+            (Some(s), None) => s.iter().map(|&row| f(row as usize)).collect(),
+            (Some(s), Some(n)) => {
+                s.iter().map(|&row| if n.get(row as usize) { 0 } else { f(row as usize) }).collect()
+            }
+        };
+        self.finish_int(values, sel)
+    }
+
+    fn finish_int(&self, mut values: Vec<i64>, sel: Option<&[u32]>) -> ColumnVector {
+        let nulls = self.out_nulls(sel);
+        if let Some(n) = &nulls {
+            for row in n.iter_ones() {
+                values[row] = 0;
+            }
+        }
+        ColumnVector::Int { values, nulls }
+    }
+
+    /// Build a Double vector via `f` (null rows hold the default 0.0).
+    fn build_double(&self, sel: Option<&[u32]>, f: impl Fn(usize) -> f64) -> ColumnVector {
+        let values: Vec<f64> = match (sel, &self.nulls) {
+            (None, None) => (0..self.rows).map(&f).collect(),
+            (None, Some(n)) => {
+                (0..self.rows).map(|row| if n.get(row) { 0.0 } else { f(row) }).collect()
+            }
+            (Some(s), None) => s.iter().map(|&row| f(row as usize)).collect(),
+            (Some(s), Some(n)) => s
+                .iter()
+                .map(|&row| if n.get(row as usize) { 0.0 } else { f(row as usize) })
+                .collect(),
+        };
+        ColumnVector::Double { values, nulls: self.out_nulls(sel) }
+    }
+
+    /// Build a Str vector via `f` (null rows hold the empty string).
+    fn build_str<'a>(&'a self, sel: Option<&[u32]>, f: impl Fn(usize) -> &'a str) -> ColumnVector {
         let count = sel.map_or(self.rows, <[u32]>::len);
-        let mut b = VectorBuilder::new(self.data_type(), count);
+        let mut offsets = Vec::with_capacity(count + 1);
+        offsets.push(0u32);
+        let mut bytes = Vec::new();
+        let mut append = |row: usize| {
+            if !self.is_null(row) {
+                bytes.extend_from_slice(f(row).as_bytes());
+            }
+            offsets.push(bytes.len() as u32);
+        };
+        match sel {
+            None => (0..self.rows).for_each(&mut append),
+            Some(s) => s.iter().for_each(|&row| append(row as usize)),
+        }
+        ColumnVector::Str { offsets, bytes, nulls: self.out_nulls(sel) }
+    }
+
+    /// Null bitmap over the output rows of a decode with selection `sel`.
+    fn out_nulls(&self, sel: Option<&[u32]>) -> Option<BitVec> {
+        let nulls = self.nulls.as_ref()?;
+        match sel {
+            None => Some(nulls.clone()),
+            Some(s) => {
+                let mut out = BitVec::zeros(s.len());
+                let mut any = false;
+                for (i, &row) in s.iter().enumerate() {
+                    if nulls.get(row as usize) {
+                        out.set(i);
+                        any = true;
+                    }
+                }
+                any.then_some(out)
+            }
+        }
+    }
+
+    /// LZ decode: decompress each touched block once, then slice rows out of
+    /// the block's plain layout.
+    fn decode_lz(&self, sel: Option<&[u32]>) -> Result<ColumnVector> {
+        let count = sel.map_or(self.rows, <[u32]>::len);
+        let mut b = VectorBuilder::new(DataType::Str, count);
+        let mut current: Option<(usize, Arc<Vec<u8>>)> = None;
+        let mut push =
+            |row: usize, b: &mut VectorBuilder| -> Result<()> {
+                if self.is_null(row) {
+                    b.push_null();
+                    return Ok(());
+                }
+                let block = row / crate::encode::LZ_BLOCK_ROWS;
+                let local = row % crate::encode::LZ_BLOCK_ROWS;
+                if current.as_ref().map(|(i, _)| *i) != Some(block) {
+                    current = Some((block, self.lz_block(block)?));
+                }
+                let layout = &current.as_ref().expect("just set").1;
+                let block_rows = self.block_rows(block);
+                let s = u32_from(layout, local * 4) as usize;
+                let e = u32_from(layout, (local + 1) * 4) as usize;
+                let bytes_base = (block_rows + 1) * 4;
+                let raw = &layout[bytes_base + s..bytes_base + e];
+                b.push_str(std::str::from_utf8(raw).map_err(|e| {
+                    Error::Corruption(format!("invalid utf-8 in lz str column: {e}"))
+                })?);
+                Ok(())
+            };
         match sel {
             None => {
                 for row in 0..self.rows {
-                    self.push_row(&mut b, row)?;
+                    push(row, &mut b)?;
                 }
             }
-            Some(sel) => {
-                for &row in sel {
-                    self.push_row(&mut b, row as usize)?;
+            Some(s) => {
+                for &row in s {
+                    push(row as usize, &mut b)?;
                 }
             }
         }
         Ok(b.finish())
-    }
-
-    #[inline]
-    fn push_row(&self, b: &mut VectorBuilder, row: usize) -> Result<()> {
-        if self.is_null(row) {
-            b.push_null();
-            return Ok(());
-        }
-        match &self.inner {
-            Inner::PlainInt { values_off } => b.push_int(self.i64_at(values_off + row * 8)),
-            Inner::PlainDouble { values_off } => {
-                b.push_double(f64::from_bits(self.i64_at(values_off + row * 8) as u64))
-            }
-            Inner::BitPack { base, width, bits_off } => {
-                let delta = read_packed(&self.data, *bits_off, *width, row);
-                b.push_int((*base as i128 + delta as i128) as i64);
-            }
-            Inner::Rle { n_runs, values_off, ends_off } => {
-                let run = self.rle_run_of(row, *n_runs, *ends_off);
-                b.push_int(self.i64_at(values_off + run * 8));
-            }
-            Inner::DictInt { dict_off, width, codes_off, .. } => {
-                let code = read_packed(&self.data, *codes_off, *width, row) as usize;
-                b.push_int(self.i64_at(dict_off + code * 8));
-            }
-            _ => match self.value(row)? {
-                Value::Str(s) => b.push_str(&s),
-                Value::Null => b.push_null(),
-                v => b.push(&v)?,
-            },
-        }
-        Ok(())
     }
 
     /// Decode every row into owned values (test/debug convenience).
@@ -593,5 +959,142 @@ mod tests {
         let r = reader(&values, DataType::Int64, Some(Encoding::RleInt));
         assert_eq!(r.value(9).unwrap(), Value::Int(5));
         assert_eq!(r.value(10).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn codes_and_dict_round_trip() {
+        let values: Vec<Value> = (0..60).map(|i| Value::str(["a", "b", "c"][i % 3])).collect();
+        let r = reader(&values, DataType::Str, Some(Encoding::DictStr));
+        let codes = r.codes().unwrap();
+        assert_eq!(codes.len(), 60);
+        for (row, &code) in codes.iter().enumerate() {
+            assert_eq!(r.dict_value(code as usize).unwrap(), values[row]);
+        }
+        let ints: Vec<Value> = (0..50).map(|i| Value::Int(i % 5)).collect();
+        let ri = reader(&ints, DataType::Int64, Some(Encoding::DictInt));
+        let codes = ri.codes().unwrap();
+        for (row, &code) in codes.iter().enumerate() {
+            assert_eq!(ri.dict_value(code as usize).unwrap(), ints[row]);
+        }
+        // Non-dictionary encodings expose no code view.
+        let plain = reader(&ints, DataType::Int64, Some(Encoding::PlainInt));
+        assert!(plain.codes().is_none());
+    }
+
+    #[test]
+    fn runs_cover_rows_in_order() {
+        let values: Vec<Value> = (0..90).map(|i| Value::Int(i / 30)).collect();
+        let r = reader(&values, DataType::Int64, Some(Encoding::RleInt));
+        let runs = r.runs().unwrap();
+        assert_eq!(runs, vec![(0, 0, 30), (1, 30, 60), (2, 60, 90)]);
+    }
+
+    #[test]
+    fn compile_predicate_and_mask_dict() {
+        let values: Vec<Value> = (0..30)
+            .map(|i| if i % 10 == 0 { Value::Null } else { Value::str(["a", "b", "c"][i % 3]) })
+            .collect();
+        let r = reader(&values, DataType::Str, Some(Encoding::DictStr));
+        let p =
+            r.compile_predicate(&mut |v| matches!(v, Value::Str(s) if s.as_ref() == "b")).unwrap();
+        let mask = r.predicate_mask(&p);
+        let expect: Vec<usize> = (0..30).filter(|i| i % 10 != 0 && i % 3 == 1).collect();
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), expect);
+        // IS NULL compiles to a null-passes predicate with an empty accept set.
+        let p = r.compile_predicate(&mut |v| v.is_null()).unwrap();
+        let mask = r.predicate_mask(&p);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn compile_predicate_and_mask_rle() {
+        let values: Vec<Value> = (0..90).map(|i| Value::Int(i / 30)).collect();
+        let r = reader(&values, DataType::Int64, Some(Encoding::RleInt));
+        let p = r.compile_predicate(&mut |v| matches!(v, Value::Int(i) if *i != 1)).unwrap();
+        let mask = r.predicate_mask(&p);
+        let got: Vec<usize> = mask.iter_ones().collect();
+        assert_eq!(got, (0..30).chain(60..90).collect::<Vec<_>>());
+        // Plain encodings have no code domain to compile into.
+        let plain = reader(&values, DataType::Int64, Some(Encoding::PlainInt));
+        assert!(plain.compile_predicate(&mut |_| true).is_none());
+    }
+
+    #[test]
+    fn bulk_decode_matches_per_row_all_encodings() {
+        let cases: Vec<(Vec<Value>, DataType, Option<Encoding>)> = vec![
+            ((0..300).map(|i| Value::Int(i * 3 + 7)).collect(), DataType::Int64, None),
+            (
+                (0..300)
+                    .map(|i| if i % 7 == 0 { Value::Null } else { Value::Int(i % 4) })
+                    .collect(),
+                DataType::Int64,
+                Some(Encoding::DictInt),
+            ),
+            (
+                (0..300)
+                    .map(|i| if i % 11 == 0 { Value::Null } else { Value::Int(i / 40) })
+                    .collect(),
+                DataType::Int64,
+                Some(Encoding::RleInt),
+            ),
+            (
+                (0..300).map(|i| Value::Int(1_000_000 + i)).collect(),
+                DataType::Int64,
+                Some(Encoding::BitPackInt),
+            ),
+            (
+                (0..300)
+                    .map(|i| if i % 5 == 0 { Value::Null } else { Value::Double(i as f64 / 3.0) })
+                    .collect(),
+                DataType::Double,
+                None,
+            ),
+            (
+                (0..300)
+                    .map(|i| {
+                        if i % 9 == 0 {
+                            Value::Null
+                        } else {
+                            Value::str(["x", "yy", "zzz"][i % 3])
+                        }
+                    })
+                    .collect(),
+                DataType::Str,
+                Some(Encoding::DictStr),
+            ),
+            (
+                (0..300).map(|i| Value::str(format!("row-{i}"))).collect(),
+                DataType::Str,
+                Some(Encoding::PlainStr),
+            ),
+            (
+                (0..1200)
+                    .map(|i| {
+                        if i % 13 == 0 {
+                            Value::Null
+                        } else {
+                            Value::str(format!("payload payload payload {i}"))
+                        }
+                    })
+                    .collect(),
+                DataType::Str,
+                Some(Encoding::LzStr),
+            ),
+        ];
+        for (values, dt, enc) in cases {
+            let r = reader(&values, dt, enc);
+            let full = r.decode_vector(None).unwrap();
+            assert_eq!(full.len(), values.len());
+            for (row, v) in values.iter().enumerate() {
+                assert_eq!(&full.value(row), v, "row {row} enc {enc:?}");
+            }
+            let sel: Vec<u32> =
+                (0..values.len() as u32).filter(|i| i % 3 == 0 || i % 7 == 2).collect();
+            let picked = r.decode_vector(Some(&sel)).unwrap();
+            assert_eq!(picked.len(), sel.len());
+            for (out, &row) in sel.iter().enumerate() {
+                assert_eq!(picked.value(out), values[row as usize], "sel row {row} enc {enc:?}");
+            }
+        }
     }
 }

@@ -34,14 +34,38 @@ use crate::expr::Expr;
 /// Maximum cached decisions before an eviction sweep.
 pub const CAPACITY: usize = 8192;
 
+/// How one residual clause is evaluated against a segment (paper §5.2's
+/// filter strategies, minus index filters which are consumed before
+/// planning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClauseStrategy {
+    /// Decode the clause's columns for the current selection, then
+    /// evaluate the predicate on the decoded values.
+    Regular,
+    /// Evaluate on compressed data by probing each distinct domain value
+    /// through the scalar predicate (legacy encoded filter).
+    Encoded,
+    /// Compile the predicate into a per-dictionary-entry accept bitmap
+    /// once, then answer every row with a code lookup — no `Value` is
+    /// ever built (encoded-domain execution, `S2_ENCODED_EXEC`).
+    EncodedBitmap,
+}
+
+impl ClauseStrategy {
+    /// True for both encoded variants (strategy choice, stats).
+    pub fn is_encoded(self) -> bool {
+        !matches!(self, ClauseStrategy::Regular)
+    }
+}
+
 /// One planned residual clause: which conjunct, the chosen strategy, and
 /// the sampled pass rate that drives group-filter formation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedClause {
     /// Index into the residual conjunct list.
     pub idx: usize,
-    /// Evaluate on compressed data (encoded filter) instead of decoding.
-    pub encoded: bool,
+    /// Chosen evaluation strategy.
+    pub strategy: ClauseStrategy,
     /// Sampled fraction of rows passing this clause.
     pub selectivity: f64,
 }
@@ -90,12 +114,18 @@ pub fn global() -> &'static DecisionCache {
 /// Fingerprint a residual filter plus the planning-relevant options. Uses
 /// the structural `Debug` form — stable within a process, which is the
 /// cache's lifetime.
-pub fn fingerprint(residual: &[Expr], use_encoded: bool, sample_rows: usize) -> u64 {
+pub fn fingerprint(
+    residual: &[Expr],
+    use_encoded: bool,
+    encoded_exec: bool,
+    sample_rows: usize,
+) -> u64 {
     let mut h = DefaultHasher::new();
     for clause in residual {
         format!("{clause:?}").hash(&mut h);
     }
     use_encoded.hash(&mut h);
+    encoded_exec.hash(&mut h);
     sample_rows.hash(&mut h);
     h.finish()
 }
@@ -183,7 +213,8 @@ mod tests {
     #[test]
     fn hit_requires_matching_delete_count() {
         let c = DecisionCache::default();
-        let plan = vec![PlannedClause { idx: 0, encoded: false, selectivity: 0.5 }];
+        let plan =
+            vec![PlannedClause { idx: 0, strategy: ClauseStrategy::Regular, selectivity: 0.5 }];
         c.put(1, 10, 99, 0, plan.clone());
         assert_eq!(c.get(1, 10, 99, 0), Some(plan));
         assert_eq!(c.get(1, 10, 99, 3), None, "delete-count change invalidates");
@@ -193,7 +224,8 @@ mod tests {
     #[test]
     fn keys_distinguish_table_segment_filter() {
         let c = DecisionCache::default();
-        let plan = vec![PlannedClause { idx: 1, encoded: true, selectivity: 0.1 }];
+        let plan =
+            vec![PlannedClause { idx: 1, strategy: ClauseStrategy::Encoded, selectivity: 0.1 }];
         c.put(1, 10, 99, 0, plan.clone());
         assert!(c.get(2, 10, 99, 0).is_none());
         assert!(c.get(1, 11, 99, 0).is_none());
@@ -214,11 +246,13 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_filters() {
-        let a = fingerprint(&[Expr::eq(0, 1i64)], true, 1024);
-        let b = fingerprint(&[Expr::eq(0, 2i64)], true, 1024);
-        let c = fingerprint(&[Expr::eq(0, 1i64)], false, 1024);
+        let a = fingerprint(&[Expr::eq(0, 1i64)], true, true, 1024);
+        let b = fingerprint(&[Expr::eq(0, 2i64)], true, true, 1024);
+        let c = fingerprint(&[Expr::eq(0, 1i64)], false, true, 1024);
+        let d = fingerprint(&[Expr::eq(0, 1i64)], true, false, 1024);
         assert_ne!(a, b);
         assert_ne!(a, c);
-        assert_eq!(a, fingerprint(&[Expr::eq(0, 1i64)], true, 1024));
+        assert_ne!(a, d);
+        assert_eq!(a, fingerprint(&[Expr::eq(0, 1i64)], true, true, 1024));
     }
 }

@@ -392,7 +392,7 @@ impl Expr {
 }
 
 #[inline]
-fn truthy(v: &Value) -> bool {
+pub(crate) fn truthy(v: &Value) -> bool {
     match v {
         Value::Int(i) => *i != 0,
         Value::Double(d) => *d != 0.0,

@@ -162,19 +162,19 @@ pub struct Aggregate {
 }
 
 #[derive(Clone)]
-struct AggState {
-    count: u64,
-    sum: f64,
-    min: Option<Value>,
-    max: Option<Value>,
+pub(crate) struct AggState {
+    pub(crate) count: u64,
+    pub(crate) sum: f64,
+    pub(crate) min: Option<Value>,
+    pub(crate) max: Option<Value>,
 }
 
 impl AggState {
-    fn new() -> AggState {
+    pub(crate) fn new() -> AggState {
         AggState { count: 0, sum: 0.0, min: None, max: None }
     }
 
-    fn update(&mut self, v: &Value) {
+    pub(crate) fn update(&mut self, v: &Value) {
         if v.is_null() {
             return;
         }
@@ -194,7 +194,7 @@ impl AggState {
         }
     }
 
-    fn finish(&self, func: AggFunc) -> Value {
+    pub(crate) fn finish(&self, func: AggFunc) -> Value {
         match func {
             AggFunc::Count => Value::Int(self.count as i64),
             AggFunc::Sum => {
@@ -222,27 +222,44 @@ impl AggState {
 /// aggregate over zero input rows included, SQL-style).
 pub fn hash_aggregate(batch: &Batch, group_by: &[Expr], aggregates: &[Aggregate]) -> Result<Batch> {
     // Evaluate group keys and aggregate inputs per row.
-    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new(); // stable first-seen order
+    let mut states: Vec<Vec<AggState>> = Vec::new(); // parallel to `order`
     for ri in 0..batch.rows() {
         let get = |c: usize| batch.value(c, ri);
         let key: Vec<Value> = group_by.iter().map(|g| g.eval(&get)).collect::<Result<_>>()?;
-        let states = groups.entry(key.clone()).or_insert_with(|| {
+        let slot = *groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            vec![AggState::new(); aggregates.len()]
+            states.push(vec![AggState::new(); aggregates.len()]);
+            states.len() - 1
         });
-        for (s, a) in states.iter_mut().zip(aggregates) {
+        for (s, a) in states[slot].iter_mut().zip(aggregates) {
             s.update(&a.input.eval(&get)?);
         }
     }
-    if group_by.is_empty() && groups.is_empty() {
-        groups.insert(Vec::new(), vec![AggState::new(); aggregates.len()]);
+    assemble_aggregate_output(group_by.len(), order, states, aggregates)
+}
+
+/// Build the output batch of an aggregation from first-seen-ordered group
+/// keys and their accumulator states. Shared by [`hash_aggregate`] and the
+/// encoded-domain fused path (`crate::encoded`) so the SQL edge cases —
+/// global aggregate over zero rows emits one row, grouped aggregate over
+/// zero rows emits zero with default types, types inferred from the first
+/// group — behave identically on both.
+pub(crate) fn assemble_aggregate_output(
+    group_by_len: usize,
+    mut order: Vec<Vec<Value>>,
+    mut states: Vec<Vec<AggState>>,
+    aggregates: &[Aggregate],
+) -> Result<Batch> {
+    if group_by_len == 0 && order.is_empty() {
         order.push(Vec::new());
+        states.push(vec![AggState::new(); aggregates.len()]);
     }
     if order.is_empty() {
         // Grouped aggregate over zero rows: zero groups. Types default to
         // Int64 keys / per-function aggregate types.
-        let mut types = vec![DataType::Int64; group_by.len()];
+        let mut types = vec![DataType::Int64; group_by_len];
         for a in aggregates {
             types.push(match a.func {
                 AggFunc::Count => DataType::Int64,
@@ -254,7 +271,7 @@ pub fn hash_aggregate(batch: &Batch, group_by: &[Expr], aggregates: &[Aggregate]
 
     // Infer output column types from the first group.
     let first = &order[0];
-    let first_states = &groups[first];
+    let first_states = &states[0];
     let mut types: Vec<DataType> = Vec::new();
     for v in first {
         types.push(v.data_type().unwrap_or(DataType::Int64));
@@ -267,8 +284,7 @@ pub fn hash_aggregate(batch: &Batch, group_by: &[Expr], aggregates: &[Aggregate]
     }
     let mut builders: Vec<VectorBuilder> =
         types.iter().map(|&t| VectorBuilder::new(t, order.len())).collect();
-    for key in &order {
-        let states = &groups[key];
+    for (key, states) in order.iter().zip(&states) {
         for (ci, v) in key.iter().enumerate() {
             builders[ci].push(v)?;
         }

@@ -7,14 +7,18 @@
 
 pub mod batch;
 pub mod cache;
+pub mod encoded;
 pub mod expr;
 pub mod kernels;
 pub mod pool;
 pub mod scan;
+pub mod veval;
 
 pub use batch::Batch;
 pub use cache::DecisionCache;
+pub use encoded::scan_aggregate;
 pub use expr::{like_match, ArithOp, CmpOp, Expr};
 pub use kernels::{hash_aggregate, hash_join, sort_batch, AggFunc, Aggregate, JoinType, SortDir};
 pub use pool::{effective_threads, ScanPool};
 pub use scan::{scan, ScanOptions, ScanStats};
+pub use veval::{eval_vector, filter_mask, EvalVec};

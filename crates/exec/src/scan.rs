@@ -1,4 +1,5 @@
-//! The adaptive table scan (paper §5), morsel-parallel.
+//! The adaptive table scan (paper §5), morsel-parallel, encoded-domain
+//! aware.
 //!
 //! Data access has three steps: (1) find the segments to read — global
 //! secondary-index probes first, then min/max metadata elimination (§5.1);
@@ -8,14 +9,29 @@
 //! on a sample (§5.2); (3) selectively decode only the projected columns for
 //! the rows that survived (late materialization).
 //!
+//! Step (2) has two execution modes. With `S2_ENCODED_EXEC` on (the
+//! default, [`ScanOptions::encoded_exec`]), clauses over dictionary/RLE
+//! columns compile into the code domain once per segment — one accept bit
+//! per dictionary entry or run ([`s2_encoding::CodePredicate`]) — and every
+//! row is answered by a code lookup into that bitmap; remaining clauses run
+//! through the vectorized evaluator ([`crate::veval`]) over typed column
+//! lanes. With it off, the legacy paths run: per-distinct-value predicate
+//! probes on encoded data and row-at-a-time `Expr::eval` on decoded data.
+//! Both modes produce byte-identical selections. Aggregations directly over
+//! a scan can additionally bypass materialization entirely via the fused
+//! encoded-domain path in [`crate::encoded`].
+//!
 //! Parallelism: step (1) and the per-segment *skip* checks run on the
 //! calling thread (they are cheap and their order defines the stats), then
 //! each surviving segment becomes one morsel on the shared [`crate::pool`]
 //! — filtered, decoded and materialized independently — and the fragments
 //! are reassembled **in segment order**, so results are byte-identical at
-//! every thread count. Rowstore (L0) rows are always handled on the calling
-//! thread: OLTP point reads never touch the pool. The §5.2 sampling pass is
-//! amortized by the per-segment [`crate::cache`] of planning decisions.
+//! every thread count. Scans whose candidate rows fit in a single morsel
+//! ([`SMALL_SCAN_INLINE_ROWS`]) skip the pool and run inline: pool handoff
+//! costs more than it saves on sub-morsel work. Rowstore (L0) rows are
+//! always handled on the calling thread: OLTP point reads never touch the
+//! pool. The §5.2 sampling pass is amortized by the per-segment
+//! [`crate::cache`] of planning decisions.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -26,9 +42,15 @@ use s2_core::{SegmentSnap, TableSnapshot};
 use s2_encoding::ColumnVector;
 
 use crate::batch::Batch;
-use crate::cache::{self, PlannedClause};
+use crate::cache::{self, ClauseStrategy, PlannedClause};
 use crate::expr::Expr;
 use crate::pool::{self, ScanPool};
+
+/// Scans whose total candidate rows are at or below this run inline on the
+/// calling thread even when a pool is available: the handoff + wakeup cost
+/// of a sub-morsel scan exceeds the scan itself (the `live_revenue` bench
+/// point regressed 2.4× at threads≥2 before this gate).
+pub const SMALL_SCAN_INLINE_ROWS: usize = 4096;
 
 /// Knobs controlling the adaptive machinery — each maps to an ablation bench.
 #[derive(Debug, Clone)]
@@ -52,6 +74,13 @@ pub struct ScanOptions {
     /// Reuse cached per-segment planning decisions (clause order + filter
     /// strategy) instead of re-sampling on every scan.
     pub decision_cache: bool,
+    /// Encoded-domain execution: compile predicates into per-segment code
+    /// bitmaps, evaluate remaining clauses through the vectorized
+    /// evaluator, and let aggregates run fused over codes/lanes
+    /// (`crate::encoded`). Defaults from `S2_ENCODED_EXEC` (unset/`1` =
+    /// on, `0` = legacy decode-first evaluation). Results are
+    /// byte-identical either way.
+    pub encoded_exec: bool,
 }
 
 impl Default for ScanOptions {
@@ -64,8 +93,14 @@ impl Default for ScanOptions {
             index_key_divisor: 64,
             threads: 0,
             decision_cache: true,
+            encoded_exec: encoded_exec_default(),
         }
     }
+}
+
+/// Read the `S2_ENCODED_EXEC` runtime switch (default on).
+fn encoded_exec_default() -> bool {
+    std::env::var("S2_ENCODED_EXEC").map_or(true, |v| v != "0")
 }
 
 /// Counters describing what a scan actually did.
@@ -93,6 +128,15 @@ pub struct ScanStats {
     pub decision_cache_hits: usize,
     /// Segments that had to run the sampling pass.
     pub decision_cache_misses: usize,
+    /// Clauses answered from a compiled code-domain bitmap
+    /// (`ClauseStrategy::EncodedBitmap`), a subset of `encoded_filters`.
+    pub encoded_clause_total: usize,
+    /// Rows aggregated by the fused encoded-domain path without building
+    /// an intermediate batch (`crate::encoded`).
+    pub encoded_agg_rows: usize,
+    /// Row-decodes skipped by the fused path: projected columns that no
+    /// group key or aggregate references are never decoded.
+    pub decode_skipped_rows: usize,
 }
 
 impl ScanStats {
@@ -109,14 +153,57 @@ impl ScanStats {
         self.rows_output += other.rows_output;
         self.decision_cache_hits += other.decision_cache_hits;
         self.decision_cache_misses += other.decision_cache_misses;
+        self.encoded_clause_total += other.encoded_clause_total;
+        self.encoded_agg_rows += other.encoded_agg_rows;
+        self.decode_skipped_rows += other.decode_skipped_rows;
     }
 }
 
 /// One queued segment morsel: the segment (cheap `Arc` clones) plus the
 /// initial selection the caller-side skip checks produced.
-struct SegMorsel {
-    seg: SegmentSnap,
-    sel: Option<Vec<u32>>,
+pub(crate) struct SegMorsel {
+    pub(crate) seg: SegmentSnap,
+    pub(crate) sel: Option<Vec<u32>>,
+}
+
+impl SegMorsel {
+    /// Rows still under consideration.
+    pub(crate) fn candidate_rows(&self) -> usize {
+        self.sel.as_ref().map_or(self.seg.core.meta.row_count, Vec::len)
+    }
+}
+
+/// The caller-thread front half of a scan: index probes, residual-clause
+/// extraction, per-segment skip checks and rowstore row collection.
+/// Shared by [`scan`] and the fused aggregation path (`crate::encoded`).
+pub(crate) struct ScanPrep {
+    /// Conjuncts not answered by the index probe.
+    pub(crate) residual: Vec<Expr>,
+    /// Surviving segments with their initial selections, in segment order.
+    pub(crate) morsels: Vec<SegMorsel>,
+    /// Live rowstore (L0) rows — probe-matched when a probe ran.
+    pub(crate) rowstore_rows: Vec<Row>,
+}
+
+/// Conservative candidate-row estimate for a scan, from metadata only
+/// (min/max range elimination plus deleted counts — no index probe, no
+/// filter evaluation). The query layer uses this to keep small scans off
+/// the partition fan-out path.
+pub fn estimate_scan_rows(snapshot: &TableSnapshot, filter: Option<&Expr>) -> usize {
+    let ranges: Vec<(usize, Option<Value>, Option<Value>)> = match filter {
+        None => Vec::new(),
+        Some(f) => f.clone().split_conjuncts().iter().filter_map(Expr::as_column_range).collect(),
+    };
+    let seg_rows: usize = snapshot
+        .segments
+        .iter()
+        .filter(|seg| {
+            let meta = &seg.core.meta;
+            ranges.iter().all(|(c, lo, hi)| meta.may_overlap_range(*c, lo.as_ref(), hi.as_ref()))
+        })
+        .map(|seg| seg.core.meta.row_count - seg.deleted.count_ones())
+        .sum();
+    seg_rows + snapshot.rowstore_rows().len()
 }
 
 /// Scan `snapshot`, returning the projected columns of rows passing `filter`.
@@ -131,6 +218,88 @@ pub fn scan(
     let proj_types: Vec<DataType> =
         projection.iter().map(|&c| schema.column(c).data_type).collect();
 
+    let ScanPrep { residual, morsels, rowstore_rows } =
+        prepare_scan(snapshot, filter, opts, &mut stats)?;
+
+    // ---- per-segment filtering + materialization (morsel-parallel) ------
+    // The table's Arc address keys the decision cache (segment ids repeat
+    // across tables).
+    let table_key = Arc::as_ptr(&snapshot.table) as usize;
+    let threads = pool::effective_threads(opts.threads);
+    let candidate_rows: usize = morsels.iter().map(SegMorsel::candidate_rows).sum();
+    let fragments: Vec<Result<(Option<Batch>, ScanStats)>> =
+        if threads > 1 && morsels.len() > 1 && candidate_rows > SMALL_SCAN_INLINE_ROWS {
+            let shared = Arc::new((residual.clone(), opts.clone(), projection.to_vec()));
+            ScanPool::global().run(threads, morsels, move |m| {
+                let (residual, opts, projection) = &*shared;
+                scan_segment(&m.seg, m.sel, residual, opts, projection, table_key)
+            })
+        } else {
+            morsels
+                .into_iter()
+                .map(|m| scan_segment(&m.seg, m.sel, &residual, opts, projection, table_key))
+                .collect()
+        };
+
+    // Deterministic reassembly: fragments arrive in segment order.
+    let mut out_batches: Vec<Batch> = Vec::new();
+    for fragment in fragments {
+        let (batch, frag_stats) = fragment?;
+        stats.merge(&frag_stats);
+        if let Some(batch) = batch {
+            out_batches.push(batch);
+        }
+    }
+
+    // ---- rowstore level (always on the calling thread) -------------------
+    if !rowstore_rows.is_empty() {
+        // Build a batch over projection + residual-filter columns.
+        let mut needed: Vec<usize> = projection.to_vec();
+        for c in &residual {
+            needed.extend(c.referenced_columns());
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        let types: Vec<DataType> = needed.iter().map(|&c| schema.column(c).data_type).collect();
+        let batch = Batch::from_rows(&rowstore_rows, &needed, &types)?;
+        let pos: HashMap<usize, usize> = needed.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut sel: Option<Vec<u32>> = None;
+        for clause in &residual {
+            let remapped = clause.remap_columns(&|c| pos[&c]);
+            sel = Some(batch.filter(&remapped, sel.as_deref())?);
+            stats.regular_filters += 1;
+        }
+        let sel = match sel {
+            Some(s) => s,
+            None => (0..batch.rows() as u32).collect(),
+        };
+        if !sel.is_empty() {
+            stats.rows_output += sel.len();
+            let gathered = batch.gather(&sel);
+            let cols: Vec<ColumnVector> =
+                projection.iter().map(|c| gathered.columns[pos[c]].clone()).collect();
+            out_batches.push(Batch::new(cols));
+        }
+    }
+
+    let result = if out_batches.is_empty() {
+        Batch::empty(&proj_types)
+    } else {
+        Batch::concat(&out_batches)?
+    };
+    record_scan_stats(&stats);
+    Ok((result, stats))
+}
+
+/// Run the caller-thread front half of a scan: split the filter, probe
+/// secondary indexes, apply per-segment skip checks, and collect the live
+/// rowstore rows. Counters for skips and index filters land in `stats`.
+pub(crate) fn prepare_scan(
+    snapshot: &TableSnapshot,
+    filter: Option<&Expr>,
+    opts: &ScanOptions,
+    stats: &mut ScanStats,
+) -> Result<ScanPrep> {
     let conjuncts: Vec<Expr> = match filter {
         None => Vec::new(),
         Some(f) => f.clone().split_conjuncts(),
@@ -249,76 +418,13 @@ pub fn scan(
         morsels.push(SegMorsel { seg: seg.clone(), sel });
     }
 
-    // ---- per-segment filtering + materialization (morsel-parallel) ------
-    // The table's Arc address keys the decision cache (segment ids repeat
-    // across tables).
-    let table_key = Arc::as_ptr(&snapshot.table) as usize;
-    let threads = pool::effective_threads(opts.threads);
-    let fragments: Vec<Result<(Option<Batch>, ScanStats)>> = if threads > 1 && morsels.len() > 1 {
-        let shared = Arc::new((residual.clone(), opts.clone(), projection.to_vec()));
-        ScanPool::global().run(threads, morsels, move |m| {
-            let (residual, opts, projection) = &*shared;
-            scan_segment(&m.seg, m.sel, residual, opts, projection, table_key)
-        })
-    } else {
-        morsels
-            .into_iter()
-            .map(|m| scan_segment(&m.seg, m.sel, &residual, opts, projection, table_key))
-            .collect()
-    };
-
-    // Deterministic reassembly: fragments arrive in segment order.
-    let mut out_batches: Vec<Batch> = Vec::new();
-    for fragment in fragments {
-        let (batch, frag_stats) = fragment?;
-        stats.merge(&frag_stats);
-        if let Some(batch) = batch {
-            out_batches.push(batch);
-        }
-    }
-
-    // ---- rowstore level (always on the calling thread) -------------------
+    // Rowstore (L0) rows: probe-matched when a probe ran, else all live.
     let rowstore_rows: Vec<Row> = match &probe_result {
         Some(p) => p.rowstore.iter().map(|(_, r)| r.clone()).collect(),
         None => snapshot.rowstore_rows().iter().map(|(_, r)| r.clone()).collect(),
     };
-    if !rowstore_rows.is_empty() {
-        // Build a batch over projection + residual-filter columns.
-        let mut needed: Vec<usize> = projection.to_vec();
-        for c in &residual {
-            needed.extend(c.referenced_columns());
-        }
-        needed.sort_unstable();
-        needed.dedup();
-        let types: Vec<DataType> = needed.iter().map(|&c| schema.column(c).data_type).collect();
-        let batch = Batch::from_rows(&rowstore_rows, &needed, &types)?;
-        let pos: HashMap<usize, usize> = needed.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-        let mut sel: Option<Vec<u32>> = None;
-        for clause in &residual {
-            let remapped = clause.remap_columns(&|c| pos[&c]);
-            sel = Some(batch.filter(&remapped, sel.as_deref())?);
-            stats.regular_filters += 1;
-        }
-        let sel = match sel {
-            Some(s) => s,
-            None => (0..batch.rows() as u32).collect(),
-        };
-        if !sel.is_empty() {
-            stats.rows_output += sel.len();
-            let gathered = batch.gather(&sel);
-            let cols: Vec<ColumnVector> =
-                projection.iter().map(|c| gathered.columns[pos[c]].clone()).collect();
-            out_batches.push(Batch::new(cols));
-        }
-    }
 
-    let result = if out_batches.is_empty() {
-        Batch::empty(&proj_types)
-    } else {
-        Batch::concat(&out_batches)?
-    };
-    record_scan_stats(&stats);
-    Ok((result, stats))
+    Ok(ScanPrep { residual, morsels, rowstore_rows })
 }
 
 /// Filter and materialize one segment morsel. Runs on any pool thread; all
@@ -351,7 +457,7 @@ fn scan_segment(
 /// aggregate skip rates and filter-strategy choices are visible in a metrics
 /// snapshot without threading per-query stats around. (Decision-cache
 /// hit/miss counters are recorded at the cache itself.)
-fn record_scan_stats(stats: &ScanStats) {
+pub(crate) fn record_scan_stats(stats: &ScanStats) {
     s2_obs::counter!("exec.scan.scans").inc();
     s2_obs::counter!("exec.scan.segments_total").add(stats.segments_total as u64);
     s2_obs::counter!("exec.scan.segments_skipped_index").add(stats.segments_skipped_index as u64);
@@ -361,6 +467,9 @@ fn record_scan_stats(stats: &ScanStats) {
     s2_obs::counter!("exec.scan.regular_filters").add(stats.regular_filters as u64);
     s2_obs::counter!("exec.scan.group_filters").add(stats.group_filters as u64);
     s2_obs::counter!("exec.scan.rows_output").add(stats.rows_output as u64);
+    s2_obs::counter!("exec.scan.encoded_clause_total").add(stats.encoded_clause_total as u64);
+    s2_obs::counter!("exec.scan.encoded_agg_rows").add(stats.encoded_agg_rows as u64);
+    s2_obs::counter!("exec.scan.decode_skipped_rows").add(stats.decode_skipped_rows as u64);
 }
 
 /// Accumulates several [`s2_core::IndexProbe`] results into one (used to
@@ -398,7 +507,7 @@ impl ProbeAccum {
 /// choice and adaptive ordering. The plan (clause order, per-clause
 /// strategy, sampled selectivities) is remembered in the decision cache so
 /// a repeated query skips the sampling pass.
-fn apply_clauses(
+pub(crate) fn apply_clauses(
     seg: &SegmentSnap,
     residual: &[Expr],
     mut sel: Option<Vec<u32>>,
@@ -415,7 +524,7 @@ fn apply_clauses(
     // Cache lookup: only adaptive plans are cached (non-adaptive planning
     // does no sampling, so there is nothing worth remembering).
     let use_cache = opts.decision_cache && opts.adaptive_reorder;
-    let fp = cache::fingerprint(residual, opts.use_encoded, opts.sample_rows);
+    let fp = cache::fingerprint(residual, opts.use_encoded, opts.encoded_exec, opts.sample_rows);
     let deleted = seg.deleted.count_ones();
     let cached: Option<Vec<PlannedClause>> = if use_cache {
         cache::global().get(table_key, seg.core.meta.id, fp, deleted)
@@ -460,9 +569,10 @@ fn apply_clauses(
                             .encoded_domain_size()
                             .is_some_and(|domain| domain * 4 <= sel_len(&sel).max(1))
                 };
+                let strategy = strategy_for(can_encode, opts.encoded_exec);
                 if !opts.adaptive_reorder {
                     costed.push(Costed {
-                        clause: PlannedClause { idx, encoded: can_encode, selectivity: 0.5 },
+                        clause: PlannedClause { idx, strategy, selectivity: 0.5 },
                         priority: 0.0,
                     });
                     continue;
@@ -475,17 +585,22 @@ fn apply_clauses(
                 // cost is dominated by the fixed pass over its compressed
                 // domain, which the sample already paid in full.
                 let t0 = Instant::now();
-                let out = if can_encode {
-                    eval_encoded(seg, clause, cols[0], Some(&sample))?
-                } else {
-                    eval_regular(seg, clause, &cols, Some(&sample))?
+                let mut scratch = ScanStats::default();
+                let out = match strategy {
+                    ClauseStrategy::EncodedBitmap => {
+                        eval_encoded_bitmap(seg, clause, cols[0], Some(&sample), &mut scratch)?
+                    }
+                    ClauseStrategy::Encoded => eval_encoded(seg, clause, cols[0], Some(&sample))?,
+                    ClauseStrategy::Regular => {
+                        eval_regular(seg, clause, &cols, Some(&sample), opts.encoded_exec)?
+                    }
                 };
                 let sample_cost = t0.elapsed().as_nanos() as f64;
                 let scale = sel_len(&sel).max(1) as f64 / sample.len().max(1) as f64;
                 let est_total_cost = if can_encode { sample_cost } else { sample_cost * scale };
                 let selectivity = out.len() as f64 / sample.len().max(1) as f64;
                 costed.push(Costed {
-                    clause: PlannedClause { idx, encoded: can_encode, selectivity },
+                    clause: PlannedClause { idx, strategy, selectivity },
                     priority: (1.0 - selectivity) / est_total_cost.max(1.0),
                 });
             }
@@ -512,9 +627,15 @@ fn apply_clauses(
             break;
         }
         let p = &planned[i];
-        if p.encoded {
+        if p.strategy.is_encoded() {
             let clause = &residual[p.idx];
-            sel = Some(eval_encoded(seg, clause, clause.referenced_columns()[0], sel.as_deref())?);
+            let col = clause.referenced_columns()[0];
+            sel = Some(match p.strategy {
+                ClauseStrategy::EncodedBitmap => {
+                    eval_encoded_bitmap(seg, clause, col, sel.as_deref(), stats)?
+                }
+                _ => eval_encoded(seg, clause, col, sel.as_deref())?,
+            });
             stats.encoded_filters += 1;
             i += 1;
             continue;
@@ -523,7 +644,7 @@ fn apply_clauses(
         let mut group_end = i + 1;
         if opts.adaptive_reorder && p.selectivity >= GROUP_PASS_RATE {
             while group_end < planned.len()
-                && !planned[group_end].encoded
+                && !planned[group_end].strategy.is_encoded()
                 && planned[group_end].selectivity >= GROUP_PASS_RATE
             {
                 group_end += 1;
@@ -536,12 +657,12 @@ fn apply_clauses(
                 .reduce(Expr::and)
                 .expect("at least two clauses");
             let cols = combined.referenced_columns();
-            sel = Some(eval_regular(seg, &combined, &cols, sel.as_deref())?);
+            sel = Some(eval_regular(seg, &combined, &cols, sel.as_deref(), opts.encoded_exec)?);
             stats.group_filters += 1;
         } else {
             let clause = &residual[p.idx];
             let cols = clause.referenced_columns();
-            sel = Some(eval_regular(seg, clause, &cols, sel.as_deref())?);
+            sel = Some(eval_regular(seg, clause, &cols, sel.as_deref(), opts.encoded_exec)?);
             stats.regular_filters += 1;
         }
         i = group_end;
@@ -549,13 +670,26 @@ fn apply_clauses(
     Ok(sel)
 }
 
+/// Choose a clause's evaluation strategy from what the data allows
+/// (`can_encode`) and the execution mode.
+fn strategy_for(can_encode: bool, encoded_exec: bool) -> ClauseStrategy {
+    match (can_encode, encoded_exec) {
+        (true, true) => ClauseStrategy::EncodedBitmap,
+        (true, false) => ClauseStrategy::Encoded,
+        (false, _) => ClauseStrategy::Regular,
+    }
+}
+
 /// Regular filter: decode the clause's columns for the selected rows, then
-/// evaluate the predicate on the decoded values.
+/// evaluate the predicate on the decoded values — row-at-a-time
+/// (`Expr::eval` via `Batch::filter`) or through the vectorized evaluator
+/// when encoded execution is on. Both produce the same selection.
 fn eval_regular(
     seg: &SegmentSnap,
     clause: &Expr,
     cols: &[usize],
     sel: Option<&[u32]>,
+    vectorized: bool,
 ) -> Result<Vec<u32>> {
     let mut vectors = Vec::with_capacity(cols.len());
     for &c in cols {
@@ -563,8 +697,14 @@ fn eval_regular(
     }
     let pos: HashMap<usize, usize> = cols.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let remapped = clause.remap_columns(&|c| pos[&c]);
-    let batch = Batch::new(vectors);
-    let local = batch.filter(&remapped, None)?;
+    let local: Vec<u32> = if vectorized {
+        let rows = sel.map_or(seg.core.meta.row_count, <[u32]>::len);
+        let mask = crate::veval::filter_mask(&vectors, rows, &remapped)?;
+        mask.iter_ones().map(|i| i as u32).collect()
+    } else {
+        let batch = Batch::new(vectors);
+        batch.filter(&remapped, None)?
+    };
     Ok(match sel {
         Some(sel) => local.into_iter().map(|i| sel[i as usize]).collect(),
         None => local,
@@ -589,7 +729,40 @@ fn eval_encoded(
     };
     match reader.encoded_filter(&mut pred, sel)? {
         Some(rows) => Ok(rows),
-        None => eval_regular(seg, clause, &[col], sel),
+        None => eval_regular(seg, clause, &[col], sel, false),
+    }
+}
+
+/// Encoded-domain bitmap filter (`ClauseStrategy::EncodedBitmap`): compile
+/// the predicate into one accept bit per dictionary entry / run value, then
+/// answer every candidate row with a code lookup — no `Value` is built per
+/// row. Falls back to the vectorized regular filter when the column's
+/// encoding cannot compile (plain/bit-packed data).
+fn eval_encoded_bitmap(
+    seg: &SegmentSnap,
+    clause: &Expr,
+    col: usize,
+    sel: Option<&[u32]>,
+    stats: &mut ScanStats,
+) -> Result<Vec<u32>> {
+    let reader = seg.core.reader.column(col)?;
+    let mut pred = |v: &Value| {
+        let get = |c: usize| {
+            debug_assert_eq!(c, col);
+            v.clone()
+        };
+        clause.eval_bool(&get).unwrap_or(false)
+    };
+    match reader.compile_predicate(&mut pred) {
+        Some(compiled) => {
+            let mask = reader.predicate_mask(&compiled);
+            stats.encoded_clause_total += 1;
+            Ok(match sel {
+                Some(sel) => sel.iter().copied().filter(|&r| mask.get(r as usize)).collect(),
+                None => mask.iter_ones().map(|r| r as u32).collect(),
+            })
+        }
+        None => eval_regular(seg, clause, &[col], sel, true),
     }
 }
 

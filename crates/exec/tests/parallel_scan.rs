@@ -266,14 +266,57 @@ fn decision_cache_opt_out() {
     assert_eq!(s2.decision_cache_misses, 0);
 }
 
-/// Pool metrics advance when a parallel scan runs.
+/// Pool metrics advance when a parallel scan over a large table runs, and
+/// small scans (at or below [`s2_exec::scan::SMALL_SCAN_INLINE_ROWS`]) stay
+/// inline on the calling thread even at high thread counts.
 #[test]
 fn pool_metrics_advance() {
-    let (p, t) = build_table(0xdead_0003);
+    // Small table: a few hundred rows across several segments -> inline.
+    let (p_small, t_small) = build_table(0xdead_0003);
+    let snap = p_small.read_snapshot();
+    let ts_small = snap.table(t_small).unwrap();
+    let f = Expr::cmp(2, CmpOp::Ge, 0.0);
+    let before_small = s2_obs::global().snapshot().counter("exec.pool.morsels");
+    scan(ts_small, &[0, 1, 2], Some(&f), &opts_with_threads(4)).unwrap();
+    let after_small = s2_obs::global().snapshot().counter("exec.pool.morsels");
+    assert_eq!(
+        after_small, before_small,
+        "sub-morsel scans must run inline, not on the pool: {before_small} -> {after_small}"
+    );
+
+    // Large table: well above the inline threshold -> pool morsels.
+    let p = Partition::new("pm", Arc::new(Log::in_memory()), Arc::new(MemFileStore::new()));
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("grp", DataType::Str),
+        ColumnDef::new("amount", DataType::Double),
+    ])
+    .unwrap();
+    let topts = TableOptions::new()
+        .with_sort_key(vec![0])
+        .with_unique("pk", vec![0])
+        .with_segment_rows(2000);
+    let t = p.create_table("big", schema, topts).unwrap();
+    for batch in 0..3i64 {
+        let mut txn = p.begin();
+        for i in 0..2000i64 {
+            let id = batch * 2000 + i;
+            txn.insert(
+                t,
+                Row::new(vec![
+                    Value::Int(id),
+                    Value::str(["x", "y"][(id % 2) as usize]),
+                    Value::Double(id as f64),
+                ]),
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        p.flush_table(t, true).unwrap();
+    }
     let snap = p.read_snapshot();
     let ts = snap.table(t).unwrap();
     let before = s2_obs::global().snapshot().counter("exec.pool.morsels");
-    let f = Expr::cmp(2, CmpOp::Ge, 0.0);
     scan(ts, &[0, 1, 2], Some(&f), &opts_with_threads(4)).unwrap();
     let after = s2_obs::global().snapshot().counter("exec.pool.morsels");
     assert!(after > before, "parallel scan must execute morsels on the pool: {before} -> {after}");

@@ -74,8 +74,14 @@ pub fn execute_with_stats(
             // segments into the same pool (nested runs are deadlock-free:
             // the waiting caller drains queued morsels itself). Results come
             // back in partition order, so output is deterministic.
+            // Small scans (by metadata estimate) stay serial: pool handoff
+            // costs more than sub-morsel scans save.
             let threads = s2_exec::effective_threads(opts.scan.threads);
-            let parts: Vec<Result<(Batch, ScanStats)>> = if snaps.len() > 1 && threads > 1 {
+            let est: usize =
+                snaps.iter().map(|s| s2_exec::scan::estimate_scan_rows(s, filter.as_ref())).sum();
+            let fan_out =
+                snaps.len() > 1 && threads > 1 && est > s2_exec::scan::SMALL_SCAN_INLINE_ROWS;
+            let parts: Vec<Result<(Batch, ScanStats)>> = if fan_out {
                 let projection = projection.clone();
                 let filter = filter.clone();
                 let scan_opts = opts.scan.clone();
@@ -135,6 +141,24 @@ pub fn execute_with_stats(
             )
         }
         Plan::Aggregate { input, group_by, aggregates } => {
+            // Aggregate-over-scan fuses into the encoded-domain path: group
+            // keys on dictionary codes, typed accumulation lanes, no
+            // intermediate batch. Bit-identical to scan + hash_aggregate.
+            if let Plan::Scan { table, projection, filter } = input.as_ref() {
+                if opts.scan.encoded_exec {
+                    let snaps = ctx.snapshots(table)?;
+                    let (batch, s) = s2_exec::scan_aggregate(
+                        &snaps,
+                        projection,
+                        filter.as_ref(),
+                        group_by,
+                        aggregates,
+                        &opts.scan,
+                    )?;
+                    stats.scan.merge(&s);
+                    return Ok(batch);
+                }
+            }
             let batch = execute_with_stats(input, ctx, opts, stats)?;
             hash_aggregate(&batch, group_by, aggregates)
         }

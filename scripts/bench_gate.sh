@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Performance gate for the encoded-domain scan path: re-runs bench_scan at
+# one thread and fails if TPC-H Q1 or Q6 regresses more than 15% against
+# the committed BENCH_scan.json baseline (or if results stop being
+# byte-identical across runs). Run from the repo root; offline-friendly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_scan.json
+THRESHOLD=1.15
+RUNS="${S2_RUNS:-3}"
+
+[[ -f "$BASELINE" ]] || { echo "bench_gate: missing $BASELINE" >&2; exit 1; }
+
+echo "== bench_gate: building bench_scan (release) =="
+cargo build --release --offline -p s2-bench >/dev/null
+
+echo "== bench_gate: running bench_scan --threads 1 ($RUNS runs/query) =="
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+S2_RUNS="$RUNS" ./target/release/bench_scan --threads 1 --json > "$out"
+
+# mean_ms at threads=1 for one query name, from the single-line JSON.
+mean_at_1t() {
+  grep -o "\"name\":\"$2\"[^]]*" "$1" | grep -o '"threads":1,"mean_ms":[0-9.]*' \
+    | head -1 | sed 's/.*://'
+}
+
+fail=0
+for q in q1 q6; do
+  base=$(mean_at_1t "$BASELINE" "$q")
+  new=$(mean_at_1t "$out" "$q")
+  [[ -n "$base" && -n "$new" ]] || { echo "bench_gate: could not parse $q" >&2; exit 1; }
+  if awk -v n="$new" -v b="$base" -v t="$THRESHOLD" 'BEGIN { exit !(n > b * t) }'; then
+    echo "bench_gate: FAIL $q ${new} ms vs baseline ${base} ms (over ${THRESHOLD}x)"
+    fail=1
+  else
+    echo "bench_gate: ok   $q ${new} ms vs baseline ${base} ms"
+  fi
+done
+
+grep -q '"all_identical":true' "$out" \
+  || { echo "bench_gate: FAIL results not byte-identical across runs"; fail=1; }
+
+exit "$fail"

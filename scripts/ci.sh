@@ -76,4 +76,18 @@ cargo test -q -p s2-sql "${CARGO_FLAGS[@]}"
 cargo test -q -p s2-workloads --test sql_equivalence "${CARGO_FLAGS[@]}"
 cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --scenario sql --seed 42 --scenarios 12
 
+echo "== encoded: domain-execution equivalence pinned both ways =="
+# Encoded-domain execution's contract: randomized multi-segment tables
+# (every encoding x NULLs x deletes) and the fused scan+aggregate path are
+# byte-identical to decode-first scalar execution, and the exec/workloads
+# suites pass with the runtime switch pinned off and on.
+cargo test -q -p s2-exec --test encoded_equivalence "${CARGO_FLAGS[@]}"
+cargo test -q -p s2-workloads --test sql_equivalence "${CARGO_FLAGS[@]}" \
+  tpch_encoded_exec_matches_decoded ch_encoded_exec_matches_decoded
+S2_ENCODED_EXEC=0 cargo test -q -p s2-exec "${CARGO_FLAGS[@]}"
+S2_ENCODED_EXEC=1 cargo test -q -p s2-exec "${CARGO_FLAGS[@]}"
+# Perf gate: Q1/Q6 at one thread must stay within 15% of the committed
+# BENCH_scan.json baseline (scripts/bench_gate.sh re-runs the bench).
+scripts/bench_gate.sh
+
 echo "CI green."
