@@ -40,6 +40,7 @@ fn bench(c: &mut Criterion) {
                 blob: Some(blob),
                 cache_bytes: 64 << 20,
                 storage: StorageConfig::default(),
+                breaker: None,
             },
         )
         .unwrap();

@@ -43,6 +43,7 @@ fn new_cluster(blob: Option<Arc<dyn ObjectStore>>, scale: &TpccScale, seed: u64)
                 snapshot_interval_bytes: 1 << 20,
                 ..Default::default()
             },
+            breaker: None,
         },
     )
     .expect("cluster");

@@ -36,6 +36,9 @@ pub struct ClusterConfig {
     pub cache_bytes: usize,
     /// Log/snapshot shipping tuning.
     pub storage: StorageConfig,
+    /// Blob-breaker tuning (None = production defaults). Drills use fast
+    /// cooldowns so outage arcs play out in milliseconds.
+    pub breaker: Option<s2_blob::BreakerConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -47,6 +50,7 @@ impl Default for ClusterConfig {
             blob: None,
             cache_bytes: 256 * 1024 * 1024,
             storage: StorageConfig::default(),
+            breaker: None,
         }
     }
 }
@@ -120,7 +124,10 @@ impl Cluster {
         // explicitly below.
         let blob_health = config.blob.as_ref().map(|_| {
             let seq = CLUSTER_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            BlobHealth::new(format!("{name}-blob#{seq}"))
+            match &config.breaker {
+                Some(b) => BlobHealth::with_config(format!("{name}-blob#{seq}"), *b),
+                None => BlobHealth::new(format!("{name}-blob#{seq}")),
+            }
         });
         let mut sets = Vec::with_capacity(config.partitions);
         for pid in 0..config.partitions {
@@ -216,6 +223,12 @@ impl Cluster {
     /// The shared blob-store health view, when separated storage is on.
     pub fn blob_health(&self) -> Option<&Arc<BlobHealth>> {
         self.blob_health.as_ref()
+    }
+
+    /// The configured blob store, when separated storage is on (workspace
+    /// provisioning restores from it).
+    pub fn blob_store(&self) -> Option<&Arc<dyn ObjectStore>> {
+        self.config.blob.as_ref()
     }
 
     /// Partition count.

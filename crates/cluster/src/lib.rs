@@ -4,12 +4,14 @@
 //! and read-only workspaces (paper §2 and §3).
 
 pub mod cluster;
+pub mod manager;
 pub mod pitr;
 pub mod replica;
 pub mod storage;
 pub mod workspace;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterTxn, PartitionSet};
+pub use manager::{WorkspaceManager, WorkspaceManagerConfig};
 pub use pitr::{find_snapshot, load_log, max_uploaded_lp, restore_from_blob};
 pub use replica::{empty_replica_partition, Replica, StreamApplier};
 pub use storage::{log_chunk_key, BlobBackedFileStore, StorageConfig, StorageService};

@@ -64,6 +64,7 @@ pub fn load_log(
     let prefix = format!("{partition}/log/");
     let keys = blob.list(&prefix)?;
     let log = Arc::new(Log::in_memory_from(from_lp));
+    let mut buf = Vec::new();
     let mut cursor = from_lp;
     for key in keys {
         let start = lp_from_chunk_key(&key)
@@ -84,9 +85,15 @@ pub fn load_log(
         }
         let skip = (cursor - start) as usize;
         let take_end = (upto_lp.min(end) - start) as usize;
-        log.append_raw(&bytes[skip..take_end]);
+        buf.extend_from_slice(&bytes[skip..take_end]);
         cursor = start + take_end as u64;
     }
+    // Sealed chunks cut at a byte budget (`Log::seal_chunk` max_bytes), so
+    // the uploaded stream can end mid-record. The restored log must end on
+    // a record boundary: a workspace subscribes the primary's tail at
+    // `end_lp()`, and a promoted PITR restore appends new records there —
+    // either continuing from inside a torn frame corrupts the stream.
+    log.append_raw(&buf[..s2_wal::valid_prefix_len(&buf)]);
     Ok(log)
 }
 

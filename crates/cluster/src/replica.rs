@@ -13,20 +13,69 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use s2_common::{LogPosition, Result};
+use s2_common::sync::{rank, Condvar, Mutex};
+use s2_common::{Error, LogPosition, Result};
 use s2_core::{DataFileStore, EngineRecord, Partition};
 use s2_wal::{Log, LogChunk, RecordIter};
+
+/// Applied-watermark cell: the apply thread publishes each advance here and
+/// wakes waiters, so `wait_applied` (and `Workspace::catch_up` above it)
+/// parks on a condvar instead of spinning.
+struct AppliedMark {
+    lp: Mutex<LogPosition>,
+    advanced: Condvar,
+}
+
+impl AppliedMark {
+    fn new(from_lp: LogPosition) -> AppliedMark {
+        AppliedMark {
+            lp: Mutex::new(&rank::CLUSTER_REPLICA_MARK, from_lp),
+            advanced: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, lp: LogPosition) {
+        let mut g = self.lp.lock();
+        if lp > *g {
+            *g = lp;
+            self.advanced.notify_all();
+        }
+    }
+
+    /// Wait until the watermark reaches `lp` or `deadline` passes.
+    fn wait(&self, lp: LogPosition, deadline: std::time::Instant) -> bool {
+        let mut g = self.lp.lock();
+        while *g < lp {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g2, _timed_out) = self.advanced.wait_timeout(g, deadline - now);
+            g = g2;
+        }
+        true
+    }
+}
 
 /// A replica partition driven by a master's log stream.
 pub struct Replica {
     /// The replica's partition state (queryable).
     pub partition: Arc<Partition>,
     applied_lp: Arc<AtomicU64>,
+    mark: Arc<AppliedMark>,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
     /// Whether this replica acks (HA replica) or not (read-only workspace).
     pub acks: bool,
+}
+
+/// Whether a tail-apply failure is worth retrying: storage-side classes a
+/// blob outage or an upload still in flight produce. Anything else (gap,
+/// corruption, internal) is a permanently broken replica.
+fn transient_apply_error(e: &Error) -> bool {
+    matches!(e, Error::Unavailable(_) | Error::NotFound(_) | Error::Io(_))
 }
 
 impl Replica {
@@ -44,21 +93,59 @@ impl Replica {
     ) -> Result<Replica> {
         let (backlog, rx) = master.log.subscribe(from_lp)?;
         let applied_lp = Arc::new(AtomicU64::new(from_lp));
+        let mark = Arc::new(AppliedMark::new(from_lp));
         let stop = Arc::new(AtomicBool::new(false));
         let ack_log = if acks { Some(Arc::clone(&master.log)) } else { None };
         let p = Arc::clone(&partition);
         let applied = Arc::clone(&applied_lp);
+        let mark2 = Arc::clone(&mark);
         let stop2 = Arc::clone(&stop);
         let thread = std::thread::spawn(move || {
             let mut applier = StreamApplier::new(from_lp);
+            let mut degraded = false;
             let mut deliver = |chunk: LogChunk| {
-                if let Err(e) = applier.feed(&p, &chunk) {
+                let mut pending = Some(chunk);
+                loop {
+                    // `feed` retains the applied prefix even on error, so a
+                    // retry resumes at the failing record (no double apply).
+                    let res = match pending.take() {
+                        Some(c) => applier.feed(&p, &c),
+                        None => applier.resume(&p),
+                    };
+                    let err = match res {
+                        Ok(()) => break,
+                        Err(e) => e,
+                    };
+                    if transient_apply_error(&err) {
+                        // Degraded tail replication: the record needs a data
+                        // file the blob store can't serve right now (outage,
+                        // or the upload hasn't landed). Keep the replica
+                        // alive — lag grows observably and drains once the
+                        // store recovers — instead of breaking it for good.
+                        s2_obs::counter!("cluster.replica.apply_retries").inc();
+                        if !degraded {
+                            degraded = true;
+                            s2_obs::event(
+                                "cluster.replica_degraded",
+                                format!("tail apply retrying: {err}"),
+                            );
+                        }
+                        if stop2.load(Ordering::Acquire) {
+                            return false;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
                     // A replica that cannot apply is broken; stop applying so
                     // the failure is observable via lag.
                     s2_obs::counter!("cluster.replica.apply_errors").inc();
-                    s2_obs::event("cluster.replica_error", format!("apply failed: {e}"));
-                    eprintln!("replica apply error: {e}");
+                    s2_obs::event("cluster.replica_error", format!("apply failed: {err}"));
+                    eprintln!("replica apply error: {err}");
                     return false;
+                }
+                if degraded {
+                    degraded = false;
+                    s2_obs::event("cluster.replica_recovered", "tail apply caught up".to_string());
                 }
                 // Ack the master BEFORE publishing applied_lp: wait_applied()
                 // observers must see the replicated watermark already advanced
@@ -67,6 +154,7 @@ impl Replica {
                     log.set_replicated_lp(applier.applied_lp());
                 }
                 applied.store(applier.applied_lp(), Ordering::Release);
+                mark2.publish(applier.applied_lp());
                 true
             };
             if !backlog.bytes.is_empty() && !deliver(backlog) {
@@ -84,7 +172,7 @@ impl Replica {
                 }
             }
         });
-        Ok(Replica { partition, applied_lp, stop, thread: Some(thread), acks })
+        Ok(Replica { partition, applied_lp, mark, stop, thread: Some(thread), acks })
     }
 
     /// Log position applied so far.
@@ -92,16 +180,13 @@ impl Replica {
         self.applied_lp.load(Ordering::Acquire)
     }
 
-    /// Block until the replica has applied up to `lp` (with timeout).
+    /// Block until the replica has applied up to `lp` (with timeout). Parks
+    /// on the applied-watermark condvar; no spinning.
     pub fn wait_applied(&self, lp: LogPosition, timeout: std::time::Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while self.applied_lp() < lp {
-            if std::time::Instant::now() > deadline {
-                return false;
-            }
-            std::thread::yield_now();
+        if self.applied_lp() >= lp {
+            return true;
         }
-        true
+        self.mark.wait(lp, std::time::Instant::now() + timeout)
     }
 
     /// Stop the replication thread (e.g. before promoting to master).
@@ -152,14 +237,33 @@ impl StreamApplier {
             )));
         }
         self.buf.extend_from_slice(&chunk.bytes);
+        self.resume(partition)
+    }
+
+    /// Apply the complete records currently buffered. On error, the prefix
+    /// applied so far is consumed (mirrored to the log and drained) before
+    /// the error returns — so after a *transient* failure (e.g. a segment
+    /// file unreadable during a blob outage) a later `resume` continues at
+    /// the failing record instead of re-applying the prefix.
+    pub fn resume(&mut self, partition: &Arc<Partition>) -> Result<()> {
         let mut consumed = 0usize;
+        let mut out = Ok(());
         {
             let mut iter = RecordIter::new(&self.buf, self.buf_lp);
             for rec in &mut iter {
-                let rec = rec?;
-                let engine_rec = EngineRecord::decode(rec.kind, rec.payload)?;
-                partition.apply_record(engine_rec)?;
-                consumed = (rec.end_lp - self.buf_lp) as usize;
+                let step = (|| -> Result<u64> {
+                    let rec = rec?;
+                    let engine_rec = EngineRecord::decode(rec.kind, rec.payload)?;
+                    partition.apply_record(engine_rec)?;
+                    Ok(rec.end_lp)
+                })();
+                match step {
+                    Ok(end_lp) => consumed = (end_lp - self.buf_lp) as usize,
+                    Err(e) => {
+                        out = Err(e);
+                        break;
+                    }
+                }
             }
         }
         if consumed > 0 {
@@ -171,7 +275,7 @@ impl StreamApplier {
             self.buf_lp += consumed as u64;
             self.applied = self.buf_lp;
         }
-        Ok(())
+        out
     }
 }
 

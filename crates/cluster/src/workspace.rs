@@ -6,8 +6,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use s2_blob::ObjectStore;
-use s2_common::{Error, Result, TableId};
+use s2_blob::{ObjectStore, UploaderConfig};
+use s2_common::{Result, TableId};
 use s2_core::TableSnapshot;
 use s2_exec::Batch;
 use s2_query::{execute, ExecOptions, Plan, UnionContext};
@@ -34,11 +34,35 @@ impl Workspace {
     /// tail from the restore point. Data files are pulled from the blob
     /// store on demand — provisioning does not wait for them, which is what
     /// makes workspace creation fast.
+    ///
+    /// Cold reads share the cluster's `BlobHealth` breaker when it runs
+    /// separated storage: a blob outage observed by the primaries makes
+    /// workspace cold reads fail fast too (degraded mode), and vice versa.
     pub fn provision(
         name: impl Into<String>,
         cluster: &Arc<Cluster>,
         blob: &Arc<dyn ObjectStore>,
         cache_bytes: usize,
+    ) -> Result<Workspace> {
+        Self::provision_with_tuning(
+            name,
+            cluster,
+            blob,
+            cache_bytes,
+            UploaderConfig::default(),
+            Duration::from_secs(2),
+        )
+    }
+
+    /// [`Workspace::provision`] with the cold-read deadline budget and
+    /// uploader tuning pinned (drills and tests use fast settings).
+    pub fn provision_with_tuning(
+        name: impl Into<String>,
+        cluster: &Arc<Cluster>,
+        blob: &Arc<dyn ObjectStore>,
+        cache_bytes: usize,
+        uploader: UploaderConfig,
+        read_budget: Duration,
     ) -> Result<Workspace> {
         let name = name.into();
         let mut replicas = Vec::with_capacity(cluster.partition_count());
@@ -49,8 +73,22 @@ impl Workspace {
         let cached: Arc<dyn ObjectStore> =
             Arc::new(s2_blob::CachedStore::new(Arc::clone(blob), cache_bytes / 4));
         for pid in 0..cluster.partition_count() {
+            // Kill point: a crash mid-provision unwinds out of here, dropping
+            // the partial replica set (their apply threads stop cleanly) —
+            // a half-provisioned workspace is never observable.
+            s2_common::fault::crash_point("workspace.provision");
             let set = cluster.set(pid);
-            let files = BlobBackedFileStore::new(Arc::clone(blob), cache_bytes);
+            let health = match cluster.blob_health() {
+                Some(h) => Arc::clone(h),
+                None => s2_blob::BlobHealth::new(format!("workspace-{name}#{pid}")),
+            };
+            let files = BlobBackedFileStore::with_tuning(
+                Arc::clone(blob),
+                cache_bytes,
+                uploader,
+                health,
+                read_budget,
+            );
             let restored = restore_from_blob(
                 &cached,
                 &set.name,
@@ -78,12 +116,19 @@ impl Workspace {
         let name = name.into();
         let mut replicas = Vec::with_capacity(cluster.partition_count());
         for pid in 0..cluster.partition_count() {
+            s2_common::fault::crash_point("workspace.provision");
             let set = cluster.set(pid);
             let master = set.master();
             let rp = crate::replica::empty_replica_partition(&set.name, set.file_store.clone(), 0);
             replicas.push(Replica::start(&master, rp, 0, false)?);
         }
         Ok(Workspace { name, replicas, file_stores: Vec::new(), cluster: Arc::clone(cluster) })
+    }
+
+    /// The replica partition backing shard `pid` — oracle access for drills
+    /// and tests that diff workspace state against the primary's.
+    pub fn replica_partition(&self, pid: usize) -> &Arc<s2_core::Partition> {
+        &self.replicas[pid].partition
     }
 
     /// Current replication lag in log bytes, maxed over partitions.
@@ -97,21 +142,43 @@ impl Workspace {
             .unwrap_or(0)
     }
 
-    /// Wait until lag is zero against the masters' current positions.
+    /// Wait until lag is zero against the masters' current positions. Each
+    /// replica parks on its applied-watermark condvar (woken per applied
+    /// chunk), so waiting burns no CPU even across a long blob outage.
     pub fn catch_up(&self, timeout: Duration) -> bool {
+        // Wall-clock use is fine here: the cluster crate is not one of the
+        // deterministic modules the R1 lint covers; this is a caller-facing
+        // deadline, same as `PartitionSet::wait_replicated`.
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            if self.max_lag_bytes() == 0 {
+            let mut caught_up = true;
+            for pid in 0..self.replicas.len() {
+                let end = self.cluster.set(pid).master().log.end_lp();
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return self.max_lag_bytes() == 0;
+                }
+                if !self.replicas[pid].wait_applied(end, deadline - now) {
+                    caught_up = false;
+                }
+            }
+            // The masters may have advanced while we waited: re-check the
+            // lag against their *current* positions before declaring parity.
+            if caught_up && self.max_lag_bytes() == 0 {
                 return true;
             }
-            if std::time::Instant::now() > deadline {
+            if std::time::Instant::now() >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
         }
     }
 
     /// Build a query context over the workspace's replicas.
+    ///
+    /// A table whose DDL has not replicated to *every* partition replica yet
+    /// is skipped (with a `workspace.ddl_pending` event) rather than failing
+    /// the whole context: a workspace racing a CREATE TABLE sees the catalog
+    /// a moment stale, never an error.
     pub fn context(&self) -> Result<UnionContext> {
         let mut ctx = UnionContext::new();
         // Discover tables from the first replica (DDL replicates like data).
@@ -122,14 +189,20 @@ impl Workspace {
             names.push((id, first.table(id)?.name.clone()));
         }
         let snaps: Vec<_> = self.replicas.iter().map(|r| r.partition.read_snapshot()).collect();
-        for (id, name) in names {
+        'tables: for (id, name) in names {
             let mut per_table: Vec<Arc<TableSnapshot>> = Vec::new();
             for snap in &snaps {
-                per_table.push(Arc::clone(
-                    snap.table(id).map_err(|_| {
-                        Error::NotFound(format!("table {name:?} not yet replicated"))
-                    })?,
-                ));
+                match snap.table(id) {
+                    Ok(t) => per_table.push(Arc::clone(t)),
+                    Err(_) => {
+                        s2_obs::counter!("workspace.ddl_pending_skips").inc();
+                        s2_obs::event(
+                            "workspace.ddl_pending",
+                            format!("table {name:?} not yet replicated on workspace {}", self.name),
+                        );
+                        continue 'tables;
+                    }
+                }
             }
             ctx.add_table(name, per_table);
         }

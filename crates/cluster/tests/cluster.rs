@@ -51,6 +51,7 @@ fn basic_cluster(blob: Option<Arc<dyn ObjectStore>>) -> Arc<Cluster> {
                 snapshot_interval_bytes: 64 * 1024,
                 ..Default::default()
             },
+            breaker: None,
         },
     )
     .unwrap()

@@ -57,6 +57,11 @@ pub mod rank {
     pub static CLUSTER_TOPOLOGY: LockClass = LockClass { order: 200, name: "cluster.topology" };
     /// Cluster table catalog.
     pub static CLUSTER_TABLES: LockClass = LockClass { order: 210, name: "cluster.tables" };
+    /// Workspace-manager registry (name -> attached workspace).
+    pub static CLUSTER_WORKSPACES: LockClass = LockClass { order: 215, name: "cluster.workspaces" };
+    /// Replica applied-watermark condvar cell (catch-up waits park here).
+    pub static CLUSTER_REPLICA_MARK: LockClass =
+        LockClass { order: 220, name: "cluster.replica_mark" };
     /// Partition commit lock (serializes commit/flush/merge decisions).
     pub static CORE_COMMIT: LockClass = LockClass { order: 300, name: "core.commit" };
     /// Partition table maps (id and name registries).

@@ -28,6 +28,21 @@ use crate::table::{SegmentCore, Table, TableSnapshot};
 /// Snapshot blob magic ("S2PS").
 const PARTITION_SNAPSHOT_MAGIC: u32 = 0x5350_3253;
 
+/// Whether [`Partition::recover`] replays the WAL in parallel
+/// (`S2_PARALLEL_RECOVERY`, default on; `0` pins the serial path). Read on
+/// every recovery — restarts are rare and tests flip it at runtime.
+pub fn parallel_recovery_enabled() -> bool {
+    std::env::var("S2_PARALLEL_RECOVERY").map_or(true, |v| v != "0")
+}
+
+/// Per-table state threaded through one parallel-replay worker: `Move`
+/// tombstones batched for a single copy-on-write install per surviving
+/// segment at queue end.
+#[derive(Default)]
+struct ReplayCtx {
+    pending_deletes: HashMap<SegmentId, Vec<u32>>,
+}
+
 /// A partition of a database.
 pub struct Partition {
     /// Partition name (also the data-file key prefix), e.g. `db0_p3`.
@@ -776,8 +791,10 @@ impl Partition {
         self.last_snapshot_lp.fetch_max(lp, Ordering::AcqRel);
     }
 
-    /// Restore partition state from a snapshot blob.
-    fn load_snapshot_state(&self, data: &[u8]) -> Result<()> {
+    /// Restore partition state from a snapshot blob. `build_indexes: false`
+    /// defers index registration to a post-replay [`Table::rebuild_indexes`]
+    /// pass (parallel recovery).
+    fn load_snapshot_state(&self, data: &[u8], build_indexes: bool) -> Result<()> {
         let mut r = ByteReader::new(data);
         let magic = r.get_u32()?;
         if magic != PARTITION_SNAPSHOT_MAGIC {
@@ -822,7 +839,7 @@ impl Partition {
                 }
                 let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> =
                     items_owned.iter().map(|(m, f, rws)| (m.clone(), f, rws.as_slice())).collect();
-                table.install_run(items)?;
+                table.install_run_opts(items, build_indexes)?;
             }
             {
                 let mut state = table.state.write();
@@ -862,6 +879,12 @@ impl Partition {
     /// Rebuild a partition from an optional snapshot plus the log suffix.
     /// This is the node-restart path, the replica-provisioning path and the
     /// PITR path (with `upto_lp` bounding replay).
+    ///
+    /// The replay strategy comes from `S2_PARALLEL_RECOVERY` (default on):
+    /// the parallel path fans decode and per-table application across the
+    /// shared worker pool, then rebuilds indexes and delete vectors in a
+    /// single pass. Both paths produce byte-identical snapshots (asserted by
+    /// the `recovery_parallel` proptests).
     pub fn recover(
         name: impl Into<String>,
         log: Arc<Log>,
@@ -869,17 +892,36 @@ impl Partition {
         snapshot: Option<&Snapshot>,
         upto_lp: Option<LogPosition>,
     ) -> Result<Arc<Partition>> {
+        Self::recover_with(name, log, file_store, snapshot, upto_lp, parallel_recovery_enabled())
+    }
+
+    /// [`Partition::recover`] with the replay strategy pinned (tests compare
+    /// the two paths directly without racing on the environment).
+    pub fn recover_with(
+        name: impl Into<String>,
+        log: Arc<Log>,
+        file_store: Arc<dyn DataFileStore>,
+        snapshot: Option<&Snapshot>,
+        upto_lp: Option<LogPosition>,
+        parallel: bool,
+    ) -> Result<Arc<Partition>> {
         let p = Partition::new(name, log, file_store);
         let start_lp = match snapshot {
             Some(s) => {
-                p.load_snapshot_state(&s.data)?;
+                p.load_snapshot_state(&s.data, !parallel)?;
                 p.last_snapshot_lp.store(s.lp, Ordering::Release);
                 s.lp
             }
             None => 0,
         };
         let end_lp = upto_lp.unwrap_or_else(|| p.log.end_lp()).min(p.log.end_lp());
-        if end_lp > start_lp {
+        if parallel {
+            if end_lp > start_lp {
+                p.replay_parallel(start_lp, end_lp)?;
+            } else {
+                p.rebuild_all_indexes(s2_pool::effective_threads(0))?;
+            }
+        } else if end_lp > start_lp {
             let bytes = p.log.read_range(start_lp, end_lp)?;
             for rec in RecordIter::new(&bytes, start_lp) {
                 let rec = match rec {
@@ -902,8 +944,163 @@ impl Partition {
         Ok(p)
     }
 
+    /// Parallel WAL replay (paper §3.1 restart; idiom after oxibase's
+    /// two-phase `replay_wal` + `populate_all_indexes`):
+    ///
+    /// 1. **Frame scan** (serial): walk the checksummed frames exactly like
+    ///    the serial path, stopping at the first torn frame.
+    /// 2. **Decode** (parallel): `EngineRecord::decode` fans across the
+    ///    worker pool in input-ordered batches; the first error is surfaced
+    ///    in log order.
+    /// 3. **Partition** (serial): apply `CreateTable` immediately; split
+    ///    each multi-table `Commit` into per-table sub-commits (same
+    ///    timestamp — transaction ids are not observable state) and bucket
+    ///    everything else by table. Every non-DDL record touches exactly one
+    ///    table, so per-table queues preserve all ordering that matters.
+    /// 4. **Apply** (parallel): one worker per table replays that table's
+    ///    queue in log order, deferring index registration and batching
+    ///    `Move` tombstones (delete bits only ever get set and segment ids
+    ///    are never reused, so one copy-on-write install per surviving
+    ///    segment at the end is equivalent to per-record installs).
+    /// 5. **Index rebuild** (parallel): one pass per table over its live
+    ///    segments, replacing the per-record index maintenance.
+    fn replay_parallel(
+        self: &Arc<Partition>,
+        start_lp: LogPosition,
+        end_lp: LogPosition,
+    ) -> Result<()> {
+        let threads = s2_pool::effective_threads(0);
+        let pool = s2_pool::ScanPool::global();
+        let bytes = Arc::new(self.log.read_range(start_lp, end_lp)?);
+        // Phase 1: serial frame scan. Frames are (kind, payload range); the
+        // payload range is resolved against the shared buffer so decode jobs
+        // borrow nothing.
+        let base = bytes.as_ptr() as usize;
+        let mut frames: Vec<(u8, usize, usize)> = Vec::new();
+        for rec in RecordIter::new(&bytes, start_lp) {
+            match rec {
+                Ok(rec) => {
+                    let off = rec.payload.as_ptr() as usize - base;
+                    frames.push((rec.kind, off, off + rec.payload.len()));
+                }
+                Err(e) => {
+                    // Torn tail: same stop rule (and same telemetry) as the
+                    // serial path.
+                    s2_obs::counter!("core.recover.torn_tail_stops").add(1);
+                    s2_obs::event("core.recover_truncated", format!("{e}"));
+                    break;
+                }
+            }
+        }
+        // Phase 2: parallel decode in batches (input order preserved by the
+        // pool; errors surfaced in log order).
+        const DECODE_BATCH: usize = 256;
+        let batches: Vec<Vec<(u8, usize, usize)>> =
+            frames.chunks(DECODE_BATCH).map(<[_]>::to_vec).collect();
+        let buf = Arc::clone(&bytes);
+        let decoded: Vec<Vec<Result<EngineRecord>>> = pool.run(threads, batches, move |batch| {
+            batch.into_iter().map(|(kind, s, e)| EngineRecord::decode(kind, &buf[s..e])).collect()
+        });
+        // Phase 3: serial partition into per-table ordered queues.
+        let mut queues: HashMap<TableId, Vec<EngineRecord>> = HashMap::new();
+        let mut max_ts: Timestamp = 0;
+        for rec in decoded.into_iter().flatten() {
+            let rec = rec?;
+            if let Some(ts) = rec.commit_ts() {
+                max_ts = max_ts.max(ts);
+            }
+            match rec {
+                rec @ EngineRecord::CreateTable { .. } => self.apply_record(rec)?,
+                EngineRecord::Commit { commit_ts, ops } => {
+                    let mut by_table: HashMap<TableId, Vec<RowOp>> = HashMap::new();
+                    for op in ops {
+                        let tid = match &op {
+                            RowOp::Upsert { table, .. } | RowOp::Delete { table, .. } => *table,
+                        };
+                        by_table.entry(tid).or_default().push(op);
+                    }
+                    for (tid, ops) in by_table {
+                        queues
+                            .entry(tid)
+                            .or_default()
+                            .push(EngineRecord::Commit { commit_ts, ops });
+                    }
+                }
+                EngineRecord::Flush { table, .. }
+                | EngineRecord::Move { table, .. }
+                | EngineRecord::Merge { table, .. } => {
+                    queues.entry(table).or_default().push(rec);
+                }
+            }
+        }
+        // Phase 4: parallel per-table apply (log order within each table).
+        let mut work: Vec<(TableId, Vec<EngineRecord>)> = queues.into_iter().collect();
+        work.sort_unstable_by_key(|(tid, _)| *tid);
+        let replayer = Arc::clone(self);
+        let results: Vec<Result<()>> = pool.run(threads, work, move |(tid, recs)| {
+            let mut ctx = ReplayCtx::default();
+            for rec in recs {
+                replayer.apply_record_inner(rec, Some(&mut ctx))?;
+            }
+            replayer.install_replay_deletes(tid, ctx)
+        });
+        for r in results {
+            r?;
+        }
+        self.bump_commit_ts(max_ts);
+        // Phase 5: single-pass index rebuild, fanned per table.
+        self.rebuild_all_indexes(threads)
+    }
+
+    /// Rebuild every table's global indexes from its live segments.
+    fn rebuild_all_indexes(self: &Arc<Partition>, threads: usize) -> Result<()> {
+        let tables: Vec<Arc<Table>> = {
+            let map = self.tables.read();
+            let mut ts: Vec<Arc<Table>> = map.values().cloned().collect();
+            ts.sort_unstable_by_key(|t| t.id);
+            ts
+        };
+        let results: Vec<Result<()>> =
+            s2_pool::ScanPool::global().run(threads, tables, |t| t.rebuild_indexes());
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Apply the batched `Move` tombstones for one table: one copy-on-write
+    /// delete-vector install per still-live segment.
+    fn install_replay_deletes(&self, table: TableId, ctx: ReplayCtx) -> Result<()> {
+        if ctx.pending_deletes.is_empty() {
+            return Ok(());
+        }
+        let t = self.table(table)?;
+        let state = t.state.read();
+        for (seg, offs) in ctx.pending_deletes {
+            if let Some(core) = state.segments.get(&seg) {
+                let mut bits = (**core.deleted.read()).clone();
+                for o in offs {
+                    bits.set(o as usize);
+                }
+                *core.deleted.write() = Arc::new(bits);
+            }
+        }
+        Ok(())
+    }
+
     /// Apply one replayed (or replicated) record.
     pub fn apply_record(&self, rec: EngineRecord) -> Result<()> {
+        self.apply_record_inner(rec, None)
+    }
+
+    /// [`Partition::apply_record`] with an optional parallel-replay context:
+    /// when present, index registration is deferred (rebuilt in one pass
+    /// afterwards), `Move` tombstones are batched into the context, and the
+    /// commit-timestamp bump is skipped (the replay driver folds the maximum
+    /// serially — the bump is a non-atomic read-modify-write that must not
+    /// race across table workers).
+    fn apply_record_inner(&self, rec: EngineRecord, replay: Option<&mut ReplayCtx>) -> Result<()> {
+        let deferred = replay.is_some();
         match rec {
             EngineRecord::CreateTable { table, name, schema, options } => {
                 let t = Arc::new(Table::new(table, name.clone(), schema, options)?);
@@ -935,7 +1132,9 @@ impl Partition {
                 for (tid, keys) in &keys_by_table {
                     self.table(*tid)?.rowstore.read().commit(txn, commit_ts, keys);
                 }
-                self.bump_commit_ts(commit_ts);
+                if !deferred {
+                    self.bump_commit_ts(commit_ts);
+                }
             }
             EngineRecord::Flush { table, commit_ts, metas, removed_keys } => {
                 let t = self.table(table)?;
@@ -948,7 +1147,7 @@ impl Partition {
                 }
                 let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> =
                     items_owned.iter().map(|(m, f, rws)| (m.clone(), f, rws.as_slice())).collect();
-                t.install_run(items)?;
+                t.install_run_opts(items, !deferred)?;
                 if !removed_keys.is_empty() {
                     let txn = self.alloc_txn();
                     let rs = t.rowstore.read();
@@ -957,7 +1156,9 @@ impl Partition {
                     }
                     rs.commit(txn, commit_ts, &removed_keys);
                 }
-                self.bump_commit_ts(commit_ts);
+                if !deferred {
+                    self.bump_commit_ts(commit_ts);
+                }
             }
             EngineRecord::Move { table, commit_ts, inserts, deleted } => {
                 let t = self.table(table)?;
@@ -972,17 +1173,30 @@ impl Partition {
                     }
                     rs.commit(txn, commit_ts, &keys);
                 }
-                let state = t.state.read();
-                for (seg, offs) in deleted {
-                    if let Some(core) = state.segments.get(&seg) {
-                        let mut bits = (**core.deleted.read()).clone();
-                        for o in offs {
-                            bits.set(o as usize);
+                match replay {
+                    Some(ctx) => {
+                        // Batched: delete bits only ever get set, so folding
+                        // them into one install at queue end is equivalent.
+                        for (seg, offs) in deleted {
+                            ctx.pending_deletes.entry(seg).or_default().extend(offs);
                         }
-                        *core.deleted.write() = Arc::new(bits);
+                    }
+                    None => {
+                        let state = t.state.read();
+                        for (seg, offs) in deleted {
+                            if let Some(core) = state.segments.get(&seg) {
+                                let mut bits = (**core.deleted.read()).clone();
+                                for o in offs {
+                                    bits.set(o as usize);
+                                }
+                                *core.deleted.write() = Arc::new(bits);
+                            }
+                        }
                     }
                 }
-                self.bump_commit_ts(commit_ts);
+                if !deferred {
+                    self.bump_commit_ts(commit_ts);
+                }
             }
             EngineRecord::Merge { table, commit_ts, dropped, metas } => {
                 let t = self.table(table)?;
@@ -1000,8 +1214,10 @@ impl Partition {
                 }
                 let items: Vec<(SegmentMeta, &SegmentFile, &[Row])> =
                     items_owned.iter().map(|(m, f, rws)| (m.clone(), f, rws.as_slice())).collect();
-                t.install_run(items)?;
-                self.bump_commit_ts(commit_ts);
+                t.install_run_opts(items, !deferred)?;
+                if !deferred {
+                    self.bump_commit_ts(commit_ts);
+                }
             }
         }
         Ok(())

@@ -254,6 +254,18 @@ impl Table {
         &self,
         items: Vec<(SegmentMeta, &SegmentFile, &[Row])>,
     ) -> Result<Vec<Arc<SegmentCore>>> {
+        self.install_run_opts(items, true)
+    }
+
+    /// [`Table::install_run`] with index registration optionally deferred.
+    /// Parallel recovery passes `build_indexes: false` and registers every
+    /// surviving segment once at the end via [`Table::rebuild_indexes`],
+    /// instead of indexing intermediate segments that a later merge drops.
+    pub(crate) fn install_run_opts(
+        &self,
+        items: Vec<(SegmentMeta, &SegmentFile, &[Row])>,
+        build_indexes: bool,
+    ) -> Result<Vec<Arc<SegmentCore>>> {
         let mut state = self.state.write();
         let mut run = Vec::with_capacity(items.len());
         let mut cores = Vec::with_capacity(items.len());
@@ -272,7 +284,9 @@ impl Table {
                 reader: SegmentReader::new(file.data.clone()),
                 inverted,
             });
-            Table::index_segment(&mut state.indexes, id, rows, &core.inverted)?;
+            if build_indexes {
+                Table::index_segment(&mut state.indexes, id, rows, &core.inverted)?;
+            }
             state.segments.insert(id, Arc::clone(&core));
             state.next_segment_id = state.next_segment_id.max(id + 1);
             run.push(id);
@@ -282,6 +296,30 @@ impl Table {
             state.runs.push(run);
         }
         Ok(cores)
+    }
+
+    /// Rebuild the global indexes from the live segments in one pass
+    /// (recovery phase 2, the oxibase-style `populate_all_indexes`). Every
+    /// physical row of every live segment is registered — same as the live
+    /// path, which indexes rows at install time and filters deleted rows at
+    /// probe time — so probes behave identically to a serially recovered
+    /// partition.
+    pub(crate) fn rebuild_indexes(&self) -> Result<()> {
+        let mut state = self.state.write();
+        let mut fresh = TableIndexes::new(&self.options);
+        let live: Vec<SegmentId> = state.runs.iter().flatten().copied().collect();
+        for id in live {
+            let Some(core) = state.segments.get(&id) else {
+                return Err(Error::Internal(format!("run references missing segment {id}")));
+            };
+            let mut rows = Vec::with_capacity(core.meta.row_count);
+            for ri in 0..core.meta.row_count {
+                rows.push(core.reader.row(ri)?);
+            }
+            Table::index_segment(&mut fresh, id, &rows, &core.inverted)?;
+        }
+        state.indexes = fresh;
+        Ok(())
     }
 
     /// Current live segments in run order.

@@ -1,0 +1,306 @@
+//! Parallel crash recovery must be observationally identical to serial
+//! replay (§3.1 restart path): over randomized workloads — inserts, updates
+//! and deletes across several tables, forced flushes and merges — both
+//! strategies must produce byte-identical engine snapshots, equal index
+//! probe results, and must stop at exactly the same torn-tail prefix.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Row, Schema, TableId, TableOptions, Value};
+use s2_core::{MemFileStore, Partition};
+use s2_wal::{Log, Snapshot};
+
+fn kv_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("k", DataType::Int64),
+        ColumnDef::new("v", DataType::Int64),
+        ColumnDef::new("tag", DataType::Str),
+    ])
+    .unwrap()
+}
+
+fn kv_options(rng: &mut StdRng) -> TableOptions {
+    TableOptions::new()
+        .with_sort_key(vec![0])
+        .with_unique("pk", vec![0])
+        .with_index("by_tag", vec![2])
+        .with_flush_threshold(rng.random_range(8..24))
+        .with_segment_rows(rng.random_range(16..48))
+}
+
+fn row(k: i64, v: i64) -> Row {
+    Row::new(vec![Value::Int(k), Value::Int(v), Value::str(format!("g{}", k % 7))])
+}
+
+struct Workload {
+    p: Arc<Partition>,
+    files: Arc<MemFileStore>,
+    /// `end_lp` of every committed transaction, in commit order.
+    boundaries: Vec<u64>,
+    /// Mid-workload snapshot, if `snap_round` was given.
+    snap: Option<Snapshot>,
+    tables: Vec<TableId>,
+    max_key: i64,
+}
+
+/// Drive a randomized multi-table workload against a fresh partition:
+/// inserts, updates and deletes of unique keys, periodic forced flushes
+/// (which turn later updates/deletes into §4.2 move transactions) and
+/// merges. Optionally takes an engine snapshot after `snap_round` rounds.
+fn run_workload(seed: u64, snap_round: Option<usize>) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let files = Arc::new(MemFileStore::new());
+    let p = Partition::new(
+        "rp_p0",
+        Arc::new(Log::in_memory()),
+        Arc::clone(&files) as Arc<dyn s2_core::DataFileStore>,
+    );
+    let ntables = rng.random_range(1..=3usize);
+    let tables: Vec<TableId> = (0..ntables)
+        .map(|i| p.create_table(format!("t{i}"), kv_schema(), kv_options(&mut rng)).unwrap())
+        .collect();
+    let mut live: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); ntables];
+    let mut next_key: i64 = 0;
+    let mut boundaries = Vec::new();
+    let mut snap = None;
+
+    let rounds = rng.random_range(8..=16usize);
+    for round in 0..rounds {
+        let mut txn = p.begin();
+        let nops = rng.random_range(1..=6usize);
+        for _ in 0..nops {
+            let ti = rng.random_range(0..ntables);
+            let t = tables[ti];
+            let choice = rng.random_range(0..10u32);
+            if choice < 5 || live[ti].is_empty() {
+                let k = next_key;
+                next_key += 1;
+                txn.insert(t, row(k, rng.random_range(0..1000))).unwrap();
+                live[ti].insert(k);
+            } else {
+                let idx = rng.random_range(0..live[ti].len());
+                let k = *live[ti].iter().nth(idx).unwrap();
+                if choice < 8 {
+                    txn.update_unique(t, &[Value::Int(k)], row(k, rng.random_range(0..1000)))
+                        .unwrap();
+                } else {
+                    txn.delete_unique(t, &[Value::Int(k)]).unwrap();
+                    live[ti].remove(&k);
+                }
+            }
+        }
+        let (_ts, end) = txn.commit().unwrap();
+        boundaries.push(end);
+        if round % 3 == 2 {
+            for &t in &tables {
+                p.flush_table(t, true).unwrap();
+            }
+        }
+        if round % 5 == 4 {
+            let t = tables[rng.random_range(0..ntables)];
+            p.merge_table(t).unwrap();
+        }
+        if snap_round == Some(round) {
+            snap = Some(p.write_snapshot().unwrap());
+        }
+    }
+    p.log.sync().unwrap();
+    Workload { p, files, boundaries, snap, tables, max_key: next_key }
+}
+
+fn log_bytes(p: &Arc<Partition>) -> Vec<u8> {
+    p.log.read_range(0, p.log.end_lp()).unwrap()
+}
+
+fn recover_mode(
+    bytes: &[u8],
+    files: &Arc<MemFileStore>,
+    snap: Option<&Snapshot>,
+    upto: Option<u64>,
+    parallel: bool,
+) -> Arc<Partition> {
+    let log = Log::in_memory();
+    log.append_raw(bytes);
+    // Same name as the workload partition: data-file keys embed it.
+    Partition::recover_with(
+        "rp_p0",
+        Arc::new(log),
+        Arc::clone(files) as Arc<dyn s2_core::DataFileStore>,
+        snap,
+        upto,
+        parallel,
+    )
+    .unwrap()
+}
+
+fn fingerprint(p: &Arc<Partition>) -> Vec<u8> {
+    p.write_snapshot().unwrap().data
+}
+
+/// Deep observational equality: per-table live row counts, rowstore sizes,
+/// unique-key lookups (exercising the rebuilt unique index) and secondary
+/// index probe hit counts (exercising the rebuilt column index).
+fn assert_same_state(a: &Arc<Partition>, b: &Arc<Partition>, tables: &[TableId], max_key: i64) {
+    let sa = a.read_snapshot();
+    let sb = b.read_snapshot();
+    assert_eq!(sa.table_ids(), sb.table_ids());
+    for &t in tables {
+        let ta = sa.table(t).unwrap();
+        let tb = sb.table(t).unwrap();
+        assert_eq!(ta.live_row_count(), tb.live_row_count(), "table {t} live rows");
+        assert_eq!(ta.rowstore_rows().len(), tb.rowstore_rows().len(), "table {t} rowstore");
+    }
+    let txa = a.begin();
+    let txb = b.begin();
+    for &t in tables {
+        for k in 0..max_key {
+            assert_eq!(
+                txa.get_unique(t, &[Value::Int(k)]).unwrap(),
+                txb.get_unique(t, &[Value::Int(k)]).unwrap(),
+                "table {t} key {k}"
+            );
+        }
+    }
+    drop(txa);
+    drop(txb);
+    for &t in tables {
+        let ta = a.table(t).unwrap();
+        let tb = b.table(t).unwrap();
+        for g in 0..7 {
+            let tag = [Value::str(format!("g{g}"))];
+            let hits_a: usize =
+                ta.index_probe_latest(&[2], &tag).unwrap().iter().map(|(_, r)| r.len()).sum();
+            let hits_b: usize =
+                tb.index_probe_latest(&[2], &tag).unwrap().iter().map(|(_, r)| r.len()).sum();
+            assert_eq!(hits_a, hits_b, "table {t} tag g{g}");
+        }
+    }
+}
+
+fn torn_tail_counter() -> u64 {
+    s2_obs::global().snapshot().counter("core.recover.torn_tail_stops")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full-log recovery: parallel and serial replay produce byte-identical
+    /// engine snapshots, and both match the live primary they replay.
+    #[test]
+    fn parallel_replay_matches_serial(seed in any::<u64>()) {
+        let w = run_workload(seed, None);
+        let bytes = log_bytes(&w.p);
+        let ser = recover_mode(&bytes, &w.files, None, None, false);
+        let par = recover_mode(&bytes, &w.files, None, None, true);
+        prop_assert_eq!(fingerprint(&ser), fingerprint(&par));
+        assert_same_state(&ser, &par, &w.tables, w.max_key);
+        assert_same_state(&w.p, &par, &w.tables, w.max_key);
+    }
+
+    /// Recovery from a mid-history snapshot plus the log suffix: both modes
+    /// agree byte-for-byte, with and without a PITR `upto_lp` bound.
+    #[test]
+    fn parallel_replay_with_snapshot_and_pitr(seed in any::<u64>()) {
+        let w = run_workload(seed, Some(4));
+        let bytes = log_bytes(&w.p);
+        let snap = w.snap.as_ref().unwrap();
+
+        // Snapshot + full suffix.
+        let ser = recover_mode(&bytes, &w.files, Some(snap), None, false);
+        let par = recover_mode(&bytes, &w.files, Some(snap), None, true);
+        prop_assert_eq!(fingerprint(&ser), fingerprint(&par));
+        assert_same_state(&w.p, &par, &w.tables, w.max_key);
+
+        // PITR: replay bounded at a committed-transaction boundary.
+        let upto = w.boundaries[w.boundaries.len() / 2];
+        let ser = recover_mode(&bytes, &w.files, None, Some(upto), false);
+        let par = recover_mode(&bytes, &w.files, None, Some(upto), true);
+        prop_assert_eq!(fingerprint(&ser), fingerprint(&par));
+        assert_same_state(&ser, &par, &w.tables, w.max_key);
+
+        // Snapshot + PITR bound past the snapshot position.
+        if let Some(&upto) = w.boundaries.iter().find(|&&b| b > snap.lp) {
+            let ser = recover_mode(&bytes, &w.files, Some(snap), Some(upto), false);
+            let par = recover_mode(&bytes, &w.files, Some(snap), Some(upto), true);
+            prop_assert_eq!(fingerprint(&ser), fingerprint(&par));
+            assert_same_state(&ser, &par, &w.tables, w.max_key);
+        }
+    }
+
+    /// A corrupt frame mid-log stops both strategies at exactly the same
+    /// prefix — the state equals a clean recovery of the bytes before the
+    /// corruption — and fires `core.recover.torn_tail_stops` exactly once
+    /// per recovery in both modes.
+    #[test]
+    fn torn_tail_stops_at_same_prefix(seed in any::<u64>()) {
+        let w = run_workload(seed, None);
+        let bytes = log_bytes(&w.p);
+        let cut = w.boundaries[w.boundaries.len() / 2] as usize;
+        prop_assert!(cut < bytes.len(), "later rounds always append past a mid-workload boundary");
+
+        // Flip the kind byte of the frame starting at `cut`: the frame is
+        // whole but its CRC no longer matches — a mid-log corruption.
+        let mut corrupt = bytes.clone();
+        corrupt[cut + 4] ^= 0xFF;
+
+        let before = torn_tail_counter();
+        let ser = recover_mode(&corrupt, &w.files, None, None, false);
+        let after_ser = torn_tail_counter();
+        prop_assert_eq!(after_ser - before, 1, "serial replay: one torn-tail stop");
+        let par = recover_mode(&corrupt, &w.files, None, None, true);
+        let after_par = torn_tail_counter();
+        prop_assert_eq!(after_par - after_ser, 1, "parallel replay: one torn-tail stop");
+
+        // Both stopped at the corruption point: identical to a clean
+        // recovery of the prefix.
+        let clean = recover_mode(&bytes[..cut], &w.files, None, None, false);
+        prop_assert_eq!(fingerprint(&ser), fingerprint(&par));
+        prop_assert_eq!(fingerprint(&clean), fingerprint(&par));
+        assert_same_state(&ser, &par, &w.tables, w.max_key);
+
+        // A cleanly truncated tail (crash mid-append) is NOT corruption:
+        // replay stops silently at the last whole frame, no counter.
+        let trunc = &bytes[..(cut + 5).min(bytes.len())];
+        let before = torn_tail_counter();
+        let ser = recover_mode(trunc, &w.files, None, None, false);
+        let par = recover_mode(trunc, &w.files, None, None, true);
+        prop_assert_eq!(torn_tail_counter(), before, "clean truncation fires no torn-tail stop");
+        prop_assert_eq!(fingerprint(&ser), fingerprint(&par));
+    }
+}
+
+/// `S2_PARALLEL_RECOVERY` picks the strategy at each `recover` call:
+/// `0` forces serial, anything else (or unset) enables parallel replay.
+/// Either way the recovered state is the same.
+#[test]
+fn env_switch_selects_strategy() {
+    let w = run_workload(7, None);
+    let bytes = log_bytes(&w.p);
+
+    std::env::set_var("S2_PARALLEL_RECOVERY", "0");
+    assert!(!s2_core::parallel_recovery_enabled());
+    let log = Log::in_memory();
+    log.append_raw(&bytes);
+    let via_env = Partition::recover(
+        "rp_p0",
+        Arc::new(log),
+        Arc::clone(&w.files) as Arc<dyn s2_core::DataFileStore>,
+        None,
+        None,
+    )
+    .unwrap();
+
+    std::env::set_var("S2_PARALLEL_RECOVERY", "1");
+    assert!(s2_core::parallel_recovery_enabled());
+    std::env::remove_var("S2_PARALLEL_RECOVERY");
+    assert!(s2_core::parallel_recovery_enabled(), "parallel replay is the default");
+
+    let par = recover_mode(&bytes, &w.files, None, None, true);
+    assert_eq!(fingerprint(&via_env), fingerprint(&par));
+    assert_same_state(&w.p, &par, &w.tables, w.max_key);
+}

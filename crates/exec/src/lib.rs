@@ -10,7 +10,6 @@ pub mod cache;
 pub mod encoded;
 pub mod expr;
 pub mod kernels;
-pub mod pool;
 pub mod scan;
 pub mod veval;
 
@@ -19,6 +18,10 @@ pub use cache::DecisionCache;
 pub use encoded::scan_aggregate;
 pub use expr::{like_match, ArithOp, CmpOp, Expr};
 pub use kernels::{hash_aggregate, hash_join, sort_batch, AggFunc, Aggregate, JoinType, SortDir};
-pub use pool::{effective_threads, ScanPool};
+// The worker pool lives in the leaf crate `s2-pool` (so s2-core's parallel
+// recovery can use it too); re-exported here to keep `s2_exec::pool::*`
+// paths working.
+pub use s2_pool as pool;
+pub use s2_pool::{effective_threads, ScanPool};
 pub use scan::{scan, ScanOptions, ScanStats};
 pub use veval::{eval_vector, filter_mask, EvalVec};

@@ -1,4 +1,6 @@
-//! Morsel-driven parallel execution: a process-wide worker pool.
+//! Morsel-driven parallelism: a process-wide worker pool shared by the
+//! query executor (`s2-exec`, which re-exports this crate as
+//! `s2_exec::pool`) and parallel crash recovery (`s2-core`).
 //!
 //! The executor parallelizes work the way HyPer's morsel-driven model does:
 //! a query breaks into small self-contained tasks ("morsels" — here one

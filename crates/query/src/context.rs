@@ -31,6 +31,13 @@ impl UnionContext {
     pub fn add_table(&mut self, name: impl Into<String>, snaps: Vec<Arc<TableSnapshot>>) {
         self.tables.insert(name.into(), snaps);
     }
+
+    /// Names of registered tables (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
 }
 
 impl Default for UnionContext {

@@ -35,6 +35,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sqlgen;
 pub mod storage;
+pub mod workspace;
 
 pub use oracle::{Model, Oracle};
 pub use outage::{
@@ -48,3 +49,6 @@ pub use scenario::{
 };
 pub use sqlgen::{run_sql_many, SqlSummary};
 pub use storage::{BlobReadFileStore, SimFileStore};
+pub use workspace::{
+    run_workspace_many, run_workspace_scenario, WorkspaceReport, WorkspaceSummary, WORKSPACE_DB,
+};

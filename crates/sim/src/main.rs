@@ -8,9 +8,11 @@
 //! `--scenario crash` (default) runs the crash-recovery sweep; `group`
 //! forces the group-commit pipeline on with boosted `wal.group.*` kill
 //! points; `outage` runs blob-outage drills against the resilience layer;
-//! `sql` runs generated queries through the full s2-sql pipeline against a
-//! plain-Rust oracle. Exit code 0 means every scenario upheld every
-//! invariant; 1 means at least one violation (each printed with its
+//! `workspace` drills elastic workspace fleets (provision/detach churn with
+//! kill points, transient bursts, a total blob outage, convergence to the
+//! primary); `sql` runs generated queries through the full s2-sql pipeline
+//! against a plain-Rust oracle. Exit code 0 means every scenario upheld
+//! every invariant; 1 means at least one violation (each printed with its
 //! replayable seed and decision trace).
 
 fn main() {
@@ -34,21 +36,23 @@ fn main() {
                     .unwrap_or_else(|| die("--scenarios needs an integer"));
             }
             "--scenario" => {
-                scenario =
-                    args.next().unwrap_or_else(|| die("--scenario needs crash|group|outage|sql"));
+                scenario = args
+                    .next()
+                    .unwrap_or_else(|| die("--scenario needs crash|group|outage|workspace|sql"));
                 if scenario != "crash"
                     && scenario != "group"
                     && scenario != "outage"
+                    && scenario != "workspace"
                     && scenario != "sql"
                 {
-                    die("--scenario needs crash|group|outage|sql");
+                    die("--scenario needs crash|group|outage|workspace|sql");
                 }
             }
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: s2-sim [--scenario crash|group|outage|sql] [--seed N] [--scenarios N] \
-                     [--verbose]"
+                    "usage: s2-sim [--scenario crash|group|outage|workspace|sql] [--seed N] \
+                     [--scenarios N] [--verbose]"
                 );
                 return;
             }
@@ -79,6 +83,23 @@ fn main() {
             for v in &summary.failures {
                 println!(
                     "  cargo run -p s2-sim -- --scenario group --seed {} --scenarios 1",
+                    v.seed
+                );
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if scenario == "workspace" {
+        println!("s2-sim: {scenarios} workspace drills from seed {seed}");
+        let summary = s2_sim::run_workspace_many(seed, scenarios, verbose);
+        println!("{}", summary.summary_line());
+        if !summary.failures.is_empty() {
+            println!("\nreproduce with:");
+            for v in &summary.failures {
+                println!(
+                    "  cargo run -p s2-sim -- --scenario workspace --seed {} --scenarios 1",
                     v.seed
                 );
             }

@@ -1,0 +1,576 @@
+//! Workspace-fleet drill: a seed-driven scenario exercising elastic
+//! workspaces (paper §3.2) under faults — concurrent provision/detach churn
+//! with kill points, transient blob fault bursts, a total blob outage and
+//! recovery — against the availability contract: the blob store is off the
+//! commit path, attached workspaces degrade to growing lag (never to
+//! errors), provisioning pauses during an outage and resumes after it, and
+//! every surviving workspace converges byte-for-byte to the primary.
+//!
+//! Phases, each drawn from the seed:
+//!
+//! 1. **Warmup** (healthy): committed writes on the cluster, a flush, and a
+//!    full `sync_to_blob` so provisioning has a snapshot to restore.
+//! 2. **Churn with kills**: seeded provision/detach churn under live
+//!    writes, with crash injection at the `workspace.provision`,
+//!    `pitr.restore` and `workspace.detach` kill points. Oracle: a killed
+//!    provision never leaves a half-attached workspace; a killed detach
+//!    leaves the workspace fully attached; the registry always matches the
+//!    drill's own fleet model.
+//! 3. **Transient burst**: `blob.put` / `blob.get` fail with seeded
+//!    probability on every thread; commits must be untouched and
+//!    provisioning may only fail with transient error classes.
+//! 4. **Total outage**: the store rejects 100% of traffic. Commits keep
+//!    acknowledging, provisioning pauses and then gives up `Unavailable`
+//!    within its bounded budget, attached workspaces keep answering
+//!    queries from local state.
+//! 5. **Recovery**: the breaker closes, provisioning resumes and succeeds,
+//!    the whole fleet catches up to zero lag, and every workspace's
+//!    per-partition engine state equals the primary's, which equals the
+//!    drill's committed model.
+
+use std::collections::btree_map::Entry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2_blob::{BreakerConfig, FaultyStore, MemoryStore, ObjectStore, StoreHealth, UploaderConfig};
+use s2_cluster::{Cluster, ClusterConfig, StorageConfig, WorkspaceManager, WorkspaceManagerConfig};
+use s2_common::fault::FaultHook;
+use s2_common::schema::ColumnDef;
+use s2_common::{DataType, Error, Row, Schema, TableOptions, Value};
+use s2_core::Partition;
+
+use crate::oracle::Model;
+use crate::plan::FaultPlan;
+use crate::scenario::{engine_state, harness_lock, install_quiet_panic_hook, Violation};
+
+/// Database name used by every workspace drill.
+pub const WORKSPACE_DB: &str = "sim_ws";
+
+/// Outcome of a clean (violation-free) workspace drill.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// Seed that produced this drill.
+    pub seed: u64,
+    /// Total cluster transactions committed and acknowledged.
+    pub commits: u64,
+    /// Workspaces successfully provisioned (including re-provisions).
+    pub provisions: u64,
+    /// Workspaces successfully detached.
+    pub detaches: u64,
+    /// Injected crashes survived at provision/restore/detach kill points.
+    pub kills: u64,
+    /// Provisioning attempts correctly refused (`Unavailable`) during the
+    /// total outage.
+    pub paused_provisions: u64,
+    /// Fleet size at convergence check.
+    pub fleet: usize,
+    /// Main-thread decision trace (replayable: same seed, same trace).
+    pub trace: Vec<String>,
+}
+
+/// Run one workspace drill. `Err` carries the violation and its trace.
+pub fn run_workspace_scenario(seed: u64) -> Result<WorkspaceReport, Violation> {
+    let _guard = harness_lock();
+    install_quiet_panic_hook();
+    let mut trace: Vec<String> = Vec::new();
+    match drive(seed, &mut trace) {
+        Ok(report) => Ok(report),
+        Err(message) => Err(Violation { seed, message, trace }),
+    }
+}
+
+/// Clears the global fault hook even on an error path, so a violation in a
+/// churn phase can't leak injection into the next drill.
+struct HookGuard;
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        s2_common::fault::clear();
+    }
+}
+
+fn transient(e: &Error) -> bool {
+    matches!(e, Error::Unavailable(_) | Error::NotFound(_) | Error::Io(_))
+}
+
+struct Drill {
+    cluster: Arc<Cluster>,
+    mgr: WorkspaceManager,
+    faulty: Arc<FaultyStore<MemoryStore>>,
+    model: Model,
+    key_space: i64,
+    commits: u64,
+    provisions: u64,
+    detaches: u64,
+    kills: u64,
+    /// Names the drill believes are attached (diffed against the registry).
+    fleet: Vec<String>,
+    next_ws: u64,
+}
+
+impl Drill {
+    /// One committed-and-acknowledged cluster transaction (1–3 ops).
+    /// Commit must succeed in every phase — that is the contract.
+    fn commit_txn(&mut self, rng: &mut StdRng) -> Result<(), String> {
+        let mut scratch = self.model.clone();
+        let mut txn = self.cluster.begin();
+        let nops: usize = rng.random_range(1..=3);
+        for _ in 0..nops {
+            let k: i64 = rng.random_range(0..self.key_space);
+            let key = [Value::Int(k)];
+            match scratch.entry(k) {
+                Entry::Occupied(mut slot) => {
+                    if rng.random_bool(0.25) {
+                        txn.delete_unique("t", &key)
+                            .map_err(|e| format!("delete_unique({k}): {e}"))?;
+                        slot.remove();
+                    } else {
+                        let v: i64 = rng.random_range(-1000..1000);
+                        txn.update_unique_with("t", &key, |_| {
+                            Row::new(vec![Value::Int(k), Value::Int(v)])
+                        })
+                        .map_err(|e| format!("update_unique({k}): {e}"))?;
+                        slot.insert(v);
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    let v: i64 = rng.random_range(-1000..1000);
+                    txn.insert("t", Row::new(vec![Value::Int(k), Value::Int(v)]))
+                        .map_err(|e| format!("insert({k}): {e}"))?;
+                    slot.insert(v);
+                }
+            }
+        }
+        txn.commit().map_err(|e| format!("commit failed: {e}"))?;
+        self.model = scratch;
+        self.commits += 1;
+        Ok(())
+    }
+
+    /// Registry-vs-model consistency: the manager tracks exactly the
+    /// workspaces the drill believes are attached.
+    fn check_registry(&self) -> Result<(), String> {
+        let mut expect = self.fleet.clone();
+        expect.sort();
+        let got = self.mgr.names();
+        if got != expect {
+            return Err(format!("registry {got:?} diverged from fleet model {expect:?}"));
+        }
+        Ok(())
+    }
+}
+
+fn drive(seed: u64, trace: &mut Vec<String>) -> Result<WorkspaceReport, String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x574f_524b_5350_4143);
+    let key_space: i64 = rng.random_range(16..48);
+    let partitions = rng.random_range(1..=2usize);
+
+    let faulty = Arc::new(FaultyStore::new(MemoryStore::new(), Duration::ZERO, Duration::ZERO));
+    let blob: Arc<dyn ObjectStore> = Arc::clone(&faulty) as Arc<dyn ObjectStore>;
+    let cluster = Cluster::new(
+        WORKSPACE_DB,
+        ClusterConfig {
+            partitions,
+            ha_replicas: 0,
+            sync_replication: true,
+            blob: Some(blob),
+            cache_bytes: 256 * 1024,
+            storage: StorageConfig {
+                chunk_bytes: rng.random_range(64..512_usize),
+                snapshot_interval_bytes: rng.random_range(200..500_u64),
+                tick: Duration::from_millis(1),
+                require_replicated: false,
+            },
+            // Fast breaker so the outage arc plays out in milliseconds;
+            // semantics are identical to the production defaults.
+            breaker: Some(BreakerConfig {
+                failure_threshold: 3,
+                open_cooldown: Duration::from_millis(20),
+                max_cooldown: Duration::from_millis(100),
+                probe_successes: 1,
+                degraded_window: Duration::from_millis(150),
+            }),
+        },
+    )
+    .map_err(|e| format!("cluster: {e}"))?;
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int64),
+        ColumnDef::new("v", DataType::Int64),
+    ])
+    .map_err(|e| format!("schema: {e}"))?;
+    let options = TableOptions::new()
+        .with_sort_key(vec![0])
+        .with_shard_key(vec![0])
+        .with_unique("pk", vec![0])
+        .with_flush_threshold(rng.random_range(4..12_usize))
+        .with_segment_rows(rng.random_range(4..16_usize));
+    cluster.create_table("t", schema, options).map_err(|e| format!("create_table: {e}"))?;
+    let mgr = WorkspaceManager::new(
+        &cluster,
+        WorkspaceManagerConfig {
+            cache_bytes: 256 * 1024,
+            read_budget: Duration::from_millis(300),
+            uploader: UploaderConfig {
+                threads: 2,
+                capacity: 64,
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(20),
+            },
+            provision_wait: Duration::from_millis(250),
+        },
+    )
+    .map_err(|e| format!("manager: {e}"))?;
+
+    let mut d = Drill {
+        cluster,
+        mgr,
+        faulty,
+        model: Model::new(),
+        key_space,
+        commits: 0,
+        provisions: 0,
+        detaches: 0,
+        kills: 0,
+        fleet: Vec::new(),
+        next_ws: 0,
+    };
+
+    // ---------------------------------------------------- phase 1: warmup
+    let n_warm: u32 = rng.random_range(8..14);
+    for i in 0..n_warm {
+        d.commit_txn(&mut rng)?;
+        if i % 3 == 2 {
+            d.cluster.flush_table("t").map_err(|e| format!("warmup flush: {e}"))?;
+        }
+    }
+    d.cluster.sync_to_blob().map_err(|e| format!("warmup sync_to_blob: {e}"))?;
+    trace.push(format!("phase:warmup commits={n_warm} partitions={partitions}"));
+
+    // ------------------------------------- phase 2: churn with kill points
+    let crash_p: f64 = rng.random_range(0.15..0.45);
+    let n_churn: u32 = rng.random_range(8..14);
+    {
+        let mut plan = FaultPlan::new(seed);
+        plan.site("workspace.provision", 0.0, crash_p);
+        plan.site("pitr.restore", 0.0, crash_p * 0.5);
+        plan.site("workspace.detach", 0.0, crash_p);
+        let plan = Arc::new(plan);
+        s2_common::fault::install(Arc::clone(&plan) as Arc<dyn FaultHook>);
+        let _hook = HookGuard;
+        for _ in 0..n_churn {
+            d.commit_txn(&mut rng)?;
+            let provision = d.fleet.len() < 2 || rng.random_bool(0.6);
+            if provision {
+                let name = format!("ws{}", d.next_ws);
+                d.next_ws += 1;
+                match catch_unwind(AssertUnwindSafe(|| d.mgr.provision(&name))) {
+                    Ok(Ok(_)) => {
+                        d.provisions += 1;
+                        d.fleet.push(name);
+                    }
+                    Ok(Err(e)) => return Err(format!("healthy provision {name} failed: {e}")),
+                    Err(_) => {
+                        // Killed mid-provision: must be all-or-nothing.
+                        d.kills += 1;
+                        if d.mgr.get(&name).is_some() {
+                            return Err(format!(
+                                "workspace {name} attached despite a crash mid-provision"
+                            ));
+                        }
+                    }
+                }
+            } else {
+                let idx = rng.random_range(0..d.fleet.len());
+                let name = d.fleet[idx].clone();
+                match catch_unwind(AssertUnwindSafe(|| d.mgr.detach(&name))) {
+                    Ok(Ok(())) => {
+                        d.detaches += 1;
+                        d.fleet.remove(idx);
+                    }
+                    Ok(Err(e)) => return Err(format!("detach {name} failed: {e}")),
+                    Err(_) => {
+                        // Killed mid-detach: the workspace must still be
+                        // attached and serving.
+                        d.kills += 1;
+                        if d.mgr.get(&name).is_none() {
+                            return Err(format!(
+                                "workspace {name} vanished after a crash mid-detach"
+                            ));
+                        }
+                    }
+                }
+            }
+            d.check_registry()?;
+        }
+    }
+    trace.push(format!(
+        "phase:churn rounds={n_churn} crash_p={crash_p:.2} kills={} fleet={}",
+        d.kills,
+        d.fleet.len()
+    ));
+
+    // --------------------------------------- phase 3: transient burst
+    let put_p: f64 = rng.random_range(0.25..0.55);
+    let get_p: f64 = rng.random_range(0.10..0.30);
+    let n_burst: u32 = rng.random_range(5..10);
+    {
+        let mut plan = FaultPlan::new(seed.wrapping_add(1));
+        plan.site_any_thread("blob.put", put_p, 0.0);
+        plan.site_any_thread("blob.get", get_p, 0.0);
+        let plan = Arc::new(plan);
+        s2_common::fault::install(plan as Arc<dyn FaultHook>);
+        let _hook = HookGuard;
+        for _ in 0..n_burst {
+            d.commit_txn(&mut rng)
+                .map_err(|e| format!("commit path touched faulted blob traffic: {e}"))?;
+        }
+        // Provisioning under transient faults: success or a transient error
+        // class; anything else (or a hang) is a violation.
+        let name = format!("ws{}", d.next_ws);
+        d.next_ws += 1;
+        match d.mgr.provision(&name) {
+            Ok(_) => {
+                d.provisions += 1;
+                d.fleet.push(name.clone());
+                trace.push(format!("burst:provision {name} ok"));
+            }
+            Err(e) if transient(&e) => trace.push(format!("burst:provision {name} transient")),
+            Err(e) => return Err(format!("burst provision failed non-transiently: {e}")),
+        }
+        d.check_registry()?;
+    }
+    trace.push(format!("phase:burst commits={n_burst} put_p={put_p:.2} get_p={get_p:.2}"));
+
+    // Make sure at least one workspace rides through the outage.
+    if d.fleet.is_empty() {
+        let name = format!("ws{}", d.next_ws);
+        d.next_ws += 1;
+        d.mgr.provision(&name).map_err(|e| format!("pre-outage provision: {e}"))?;
+        d.provisions += 1;
+        d.fleet.push(name);
+    }
+    // Warm each workspace to parity so outage-time reads have local state.
+    if !d.mgr.catch_up_all(Duration::from_secs(10)) {
+        return Err("fleet failed to catch up before the outage".to_string());
+    }
+
+    // --------------------------------------- phase 4: total outage
+    d.faulty.set_unavailable(true);
+    let health = Arc::clone(d.cluster.blob_health().ok_or("cluster has no blob health")?);
+    // s2-lint: allow(wall-clock, workspace drills time real breaker cooldowns and wait budgets)
+    let t0 = Instant::now();
+    while health.health() != StoreHealth::Outage {
+        if t0.elapsed() > Duration::from_secs(3) {
+            return Err(format!(
+                "breaker never reached Outage during a 100% outage (health {:?})",
+                health.health()
+            ));
+        }
+        // The cluster's own storage ticks feed the breaker failures as long
+        // as commits keep producing chunks to ship.
+        d.commit_txn(&mut rng).map_err(|e| format!("commit blocked during blob outage: {e}"))?;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Provisioning pauses, then gives up Unavailable within its budget.
+    let mut paused_provisions = 0u64;
+    {
+        let name = format!("ws{}", d.next_ws);
+        d.next_ws += 1;
+        // s2-lint: allow(wall-clock, workspace drills time real breaker cooldowns and wait budgets)
+        let t = Instant::now();
+        match d.mgr.provision(&name) {
+            Err(Error::Unavailable(_)) => paused_provisions += 1,
+            Err(e) => return Err(format!("outage provision failed with wrong class: {e}")),
+            Ok(_) => return Err("provision succeeded against a dead blob store".to_string()),
+        }
+        let waited = t.elapsed();
+        if waited > Duration::from_secs(2) {
+            return Err(format!("paused provision blocked {waited:?} (budget ~250ms)"));
+        }
+        if d.mgr.get(&name).is_some() {
+            return Err(format!("refused workspace {name} left attached"));
+        }
+    }
+
+    // Attached workspaces keep serving reads from local state, and the
+    // primary keeps acknowledging commits.
+    let n_outage: u32 = rng.random_range(5..10);
+    for _ in 0..n_outage {
+        d.commit_txn(&mut rng)
+            .map_err(|e| format!("commit path touched the dead blob store: {e}"))?;
+    }
+    for name in &d.fleet {
+        let ws = d.mgr.get(name).ok_or_else(|| format!("{name} missing from registry"))?;
+        for pid in 0..partitions {
+            let t_id = table_id(&d.cluster.set(pid).master())?;
+            engine_state(ws.replica_partition(pid), t_id)
+                .map_err(|e| format!("workspace {name} stopped serving during outage: {e}"))?;
+        }
+    }
+    trace.push(format!("phase:outage commits={} paused_provisions={paused_provisions}", n_outage));
+
+    // -------------------------------------------- phase 5: recovery
+    d.faulty.set_unavailable(false);
+    // s2-lint: allow(wall-clock, workspace drills time real breaker cooldowns and wait budgets)
+    let t0 = Instant::now();
+    while health.health() == StoreHealth::Outage {
+        if t0.elapsed() > Duration::from_secs(5) {
+            return Err(format!("breaker stuck at Outage after recovery ({:?})", health.health()));
+        }
+        // Keep commits flowing so the storage service has probe traffic.
+        d.commit_txn(&mut rng)?;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Provisioning resumes: a post-recovery provision must succeed (the
+    // breaker may still be probing shut — allow a bounded retry window).
+    {
+        let name = format!("ws{}", d.next_ws);
+        d.next_ws += 1;
+        // s2-lint: allow(wall-clock, workspace drills time real breaker cooldowns and wait budgets)
+        let t = Instant::now();
+        loop {
+            match d.mgr.provision(&name) {
+                Ok(_) => break,
+                Err(e) if transient(&e) && t.elapsed() < Duration::from_secs(5) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(format!("provisioning never resumed after recovery: {e}")),
+            }
+        }
+        d.provisions += 1;
+        d.fleet.push(name);
+    }
+    d.check_registry()?;
+
+    // Convergence: zero lag, then every workspace's per-partition engine
+    // state equals the primary's, and the primaries' union equals the model.
+    if !d.mgr.catch_up_all(Duration::from_secs(10)) {
+        return Err(format!(
+            "fleet failed to catch up after recovery (max lag {} bytes)",
+            d.mgr.max_lag_bytes()
+        ));
+    }
+    let mut union = Model::new();
+    for pid in 0..partitions {
+        let master = d.cluster.set(pid).master();
+        let t_id = table_id(&master)?;
+        let (m_state, _) = engine_state(&master, t_id)?;
+        for name in &d.fleet {
+            let ws = d.mgr.get(name).ok_or_else(|| format!("{name} missing from registry"))?;
+            let (w_state, _) = engine_state(ws.replica_partition(pid), t_id)?;
+            if w_state != m_state {
+                return Err(format!(
+                    "workspace {name} diverged from primary on partition {pid}: \
+                     {} keys vs {}",
+                    w_state.len(),
+                    m_state.len()
+                ));
+            }
+        }
+        union.extend(m_state);
+    }
+    if union != d.model {
+        return Err(format!(
+            "primaries diverged from committed model: {} keys vs {}",
+            union.len(),
+            d.model.len()
+        ));
+    }
+    trace.push(format!("finale commits={} fleet={} ok", d.commits, d.fleet.len()));
+
+    let fleet = d.fleet.len();
+    d.mgr.detach_all();
+    Ok(WorkspaceReport {
+        seed,
+        commits: d.commits,
+        provisions: d.provisions,
+        detaches: d.detaches,
+        kills: d.kills,
+        paused_provisions,
+        fleet,
+        trace: trace.clone(),
+    })
+}
+
+fn table_id(master: &Arc<Partition>) -> Result<u32, String> {
+    Ok(master.table_by_name("t").map_err(|e| format!("table lookup: {e}"))?.id)
+}
+
+/// Aggregate over a seed sweep of workspace drills.
+#[derive(Debug)]
+pub struct WorkspaceSummary {
+    /// Drills run.
+    pub scenarios: usize,
+    /// Total commits acknowledged.
+    pub commits: u64,
+    /// Workspaces provisioned.
+    pub provisions: u64,
+    /// Workspaces detached.
+    pub detaches: u64,
+    /// Crashes survived at kill points.
+    pub kills: u64,
+    /// Provisions correctly refused during total outages.
+    pub paused_provisions: u64,
+    /// Violations (empty on success).
+    pub failures: Vec<Violation>,
+}
+
+impl WorkspaceSummary {
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} workspace drills: {} commits, {} provisions / {} detaches, \
+             {} kill-point crashes survived, {} outage-paused provisions, {} violations",
+            self.scenarios,
+            self.commits,
+            self.provisions,
+            self.detaches,
+            self.kills,
+            self.paused_provisions,
+            self.failures.len()
+        )
+    }
+}
+
+/// Run `count` workspace drills starting at `base_seed`.
+pub fn run_workspace_many(base_seed: u64, count: usize, verbose: bool) -> WorkspaceSummary {
+    let mut summary = WorkspaceSummary {
+        scenarios: count,
+        commits: 0,
+        provisions: 0,
+        detaches: 0,
+        kills: 0,
+        paused_provisions: 0,
+        failures: Vec::new(),
+    };
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i as u64);
+        match run_workspace_scenario(seed) {
+            Ok(r) => {
+                if verbose {
+                    println!(
+                        "seed {seed}: {} commits, {} provisions / {} detaches, {} kills, \
+                         {} paused, fleet {}",
+                        r.commits, r.provisions, r.detaches, r.kills, r.paused_provisions, r.fleet
+                    );
+                }
+                summary.commits += r.commits;
+                summary.provisions += r.provisions;
+                summary.detaches += r.detaches;
+                summary.kills += r.kills;
+                summary.paused_provisions += r.paused_provisions;
+            }
+            Err(v) => {
+                println!("{v}");
+                summary.failures.push(v);
+            }
+        }
+    }
+    summary
+}

@@ -27,6 +27,7 @@ fn main() {
             blob: Some(Arc::clone(&blob)),
             cache_bytes: 64 << 20,
             storage: StorageConfig { tick: Duration::from_millis(5), ..Default::default() },
+            breaker: None,
         },
     )
     .unwrap();

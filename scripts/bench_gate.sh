@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Performance gate for the encoded-domain scan path: re-runs bench_scan at
-# one thread and fails if TPC-H Q1 or Q6 regresses more than 15% against
+# Performance gates: (1) the encoded-domain scan path — re-runs bench_scan
+# at one thread and fails if TPC-H Q1 or Q6 regresses more than 15% against
 # the committed BENCH_scan.json baseline (or if results stop being
-# byte-identical across runs). Run from the repo root; offline-friendly.
+# byte-identical across runs); (2) parallel crash recovery — re-runs
+# bench_workspace and fails if the heaviest-churn parallel recovery time
+# regresses more than 50% against BENCH_workspace.json, or if recovery time
+# stops growing sublinearly with WAL length. Run from the repo root;
+# offline-friendly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_scan.json
+WS_BASELINE=BENCH_workspace.json
 THRESHOLD=1.15
+# Recovery times are small (single-digit ms) and noisier than the scan
+# means, so the recovery gate uses a looser multiplier.
+WS_THRESHOLD=1.5
 RUNS="${S2_RUNS:-3}"
 
 [[ -f "$BASELINE" ]] || { echo "bench_gate: missing $BASELINE" >&2; exit 1; }
+[[ -f "$WS_BASELINE" ]] || { echo "bench_gate: missing $WS_BASELINE" >&2; exit 1; }
 
 echo "== bench_gate: building bench_scan (release) =="
 cargo build --release --offline -p s2-bench >/dev/null
@@ -26,11 +35,23 @@ mean_at_1t() {
     | head -1 | sed 's/.*://'
 }
 
+# Single-digit-ms means on a shared host vary ±20% run to run; a real
+# regression is reproducible, a load spike is not. One failing pass
+# triggers exactly one full re-measure before the gate fails.
 fail=0
+retried=0
 for q in q1 q6; do
   base=$(mean_at_1t "$BASELINE" "$q")
   new=$(mean_at_1t "$out" "$q")
   [[ -n "$base" && -n "$new" ]] || { echo "bench_gate: could not parse $q" >&2; exit 1; }
+  if awk -v n="$new" -v b="$base" -v t="$THRESHOLD" 'BEGIN { exit !(n > b * t) }'; then
+    if [[ "$retried" -eq 0 ]]; then
+      echo "bench_gate: $q ${new} ms over threshold, re-measuring once"
+      retried=1
+      S2_RUNS="$RUNS" ./target/release/bench_scan --threads 1 --json > "$out"
+      new=$(mean_at_1t "$out" "$q")
+    fi
+  fi
   if awk -v n="$new" -v b="$base" -v t="$THRESHOLD" 'BEGIN { exit !(n > b * t) }'; then
     echo "bench_gate: FAIL $q ${new} ms vs baseline ${base} ms (over ${THRESHOLD}x)"
     fail=1
@@ -41,5 +62,30 @@ done
 
 grep -q '"all_identical":true' "$out" \
   || { echo "bench_gate: FAIL results not byte-identical across runs"; fail=1; }
+
+echo "== bench_gate: running bench_workspace ($RUNS runs/config) =="
+wout=$(mktemp)
+trap 'rm -f "$out" "$wout"' EXIT
+S2_RUNS="$RUNS" ./target/release/bench_workspace --json > "$wout"
+
+# parallel_ms at the heaviest churn multiplier, from the single-line JSON.
+recovery_parallel_ms() {
+  grep -o '"churn":4,[^}]*' "$1" | grep -o '"parallel_ms":[0-9.]*' \
+    | head -1 | sed 's/.*://'
+}
+
+wbase=$(recovery_parallel_ms "$WS_BASELINE")
+wnew=$(recovery_parallel_ms "$wout")
+[[ -n "$wbase" && -n "$wnew" ]] \
+  || { echo "bench_gate: could not parse workspace recovery times" >&2; exit 1; }
+if awk -v n="$wnew" -v b="$wbase" -v t="$WS_THRESHOLD" 'BEGIN { exit !(n > b * t) }'; then
+  echo "bench_gate: FAIL recovery(4x churn) ${wnew} ms vs baseline ${wbase} ms (over ${WS_THRESHOLD}x)"
+  fail=1
+else
+  echo "bench_gate: ok   recovery(4x churn) ${wnew} ms vs baseline ${wbase} ms"
+fi
+
+grep -q '"sublinear_ok":true' "$wout" \
+  || { echo "bench_gate: FAIL recovery time grows superlinearly with WAL length"; fail=1; }
 
 exit "$fail"

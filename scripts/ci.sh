@@ -49,6 +49,19 @@ echo "== sim: blob-outage drills (25 seeded drills) =="
 # Failing seeds replay with --scenario outage --seed N --scenarios 1.
 cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --scenario outage --seed 42 --scenarios 25
 
+echo "== workspace: elastic fleets + parallel recovery =="
+# Workspace fleet drills: provision/detach churn with kill points at
+# workspace.provision / pitr.restore / workspace.detach, transient blob
+# bursts, a total outage (provisioning pauses, attached workspaces keep
+# serving) and recovery (fleet converges byte-for-byte to the primary).
+# Failing seeds replay with --scenario workspace --seed N --scenarios 1.
+cargo test -q -p s2-cluster --test workspace "${CARGO_FLAGS[@]}"
+# Parallel crash recovery must be byte-identical to serial replay — the
+# proptests run with the runtime switch pinned both ways.
+S2_PARALLEL_RECOVERY=0 cargo test -q -p s2-core --test recovery_parallel "${CARGO_FLAGS[@]}"
+S2_PARALLEL_RECOVERY=1 cargo test -q -p s2-core --test recovery_parallel "${CARGO_FLAGS[@]}"
+cargo run -p s2-sim --release "${CARGO_FLAGS[@]}" -- --scenario workspace --seed 42 --scenarios 25
+
 echo "== tpcc: group-commit pipeline (contended smoke + crash drills) =="
 # Contended TPC-C over a sync-replicated cluster: TPC-C consistency under
 # 8 racing terminals plus the fsyncs-strictly-under-commits batching check.
@@ -82,7 +95,7 @@ echo "== encoded: domain-execution equivalence pinned both ways =="
 # byte-identical to decode-first scalar execution, and the exec/workloads
 # suites pass with the runtime switch pinned off and on.
 cargo test -q -p s2-exec --test encoded_equivalence "${CARGO_FLAGS[@]}"
-cargo test -q -p s2-workloads --test sql_equivalence "${CARGO_FLAGS[@]}" \
+cargo test -q -p s2-workloads --test sql_equivalence "${CARGO_FLAGS[@]}" -- \
   tpch_encoded_exec_matches_decoded ch_encoded_exec_matches_decoded
 S2_ENCODED_EXEC=0 cargo test -q -p s2-exec "${CARGO_FLAGS[@]}"
 S2_ENCODED_EXEC=1 cargo test -q -p s2-exec "${CARGO_FLAGS[@]}"

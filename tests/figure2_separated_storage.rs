@@ -31,6 +31,7 @@ fn figure2_blob_shipping_and_readonly_workspace() {
                 chunk_bytes: 32 * 1024,
                 ..Default::default()
             },
+            breaker: None,
         },
     )
     .unwrap();
