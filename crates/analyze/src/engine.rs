@@ -36,13 +36,13 @@ impl std::fmt::Display for Finding {
 }
 
 /// A parsed allow marker.
-struct Marker {
+pub(crate) struct Marker {
     line: usize, // 0-based
     rule: String,
     has_reason: bool,
 }
 
-fn parse_markers(lines: &[Line]) -> Vec<Marker> {
+pub(crate) fn parse_markers(lines: &[Line]) -> Vec<Marker> {
     let mut out = Vec::new();
     for (ln, line) in lines.iter().enumerate() {
         let mut rest = line.comment.as_str();
@@ -71,7 +71,7 @@ fn parse_markers(lines: &[Line]) -> Vec<Marker> {
 /// Mark every line inside a `#[cfg(test)] mod … { … }` span (and the
 /// attribute line itself) as test code. Brace depth is tracked on stripped
 /// code, so braces in strings or comments cannot skew the span.
-fn test_spans(lines: &[Line]) -> Vec<bool> {
+pub(crate) fn test_spans(lines: &[Line]) -> Vec<bool> {
     let mut is_test = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
@@ -105,7 +105,7 @@ fn test_spans(lines: &[Line]) -> Vec<bool> {
     is_test
 }
 
-fn allowed(markers: &[Marker], lines: &[Line], rule: &str, ln: usize) -> bool {
+pub(crate) fn allowed(markers: &[Marker], lines: &[Line], rule: &str, ln: usize) -> bool {
     markers.iter().any(|m| {
         if m.rule != rule || !m.has_reason {
             return false;
@@ -144,7 +144,7 @@ fn token_match(hay: &str, needle: &str) -> bool {
 
 /// Validate a metric/event name: two or more dot-separated segments, each
 /// `[a-z][a-z0-9_]*` (see DESIGN.md "Observability").
-fn valid_metric_name(name: &str) -> bool {
+pub(crate) fn valid_metric_name(name: &str) -> bool {
     let segs: Vec<&str> = name.split('.').collect();
     segs.len() >= 2
         && segs.iter().all(|s| {
@@ -255,6 +255,41 @@ fn apply_metric_rule(
     }
 }
 
+fn apply_raw_lock_rule(
+    rule: &crate::rules::RawLockRule,
+    path: &str,
+    lines: &[Line],
+    is_test: &[bool],
+    markers: &[Marker],
+    findings: &mut Vec<Finding>,
+) {
+    if !crate::rules::raw_lock_scope(path) {
+        return;
+    }
+    for (ln, line) in lines.iter().enumerate() {
+        if is_test[ln] || allowed(markers, lines, rule.name, ln) {
+            continue;
+        }
+        // `std::sync::Mutex`, `use std::sync::{Mutex, ..}` — any whole-word
+        // lock type in the remainder of a `std::sync::` line. `MutexGuard`
+        // and the atomics stay legal: only the lock types bypass the rank
+        // detector.
+        let Some(at) = line.code.find("std::sync::") else { continue };
+        let rest = &line.code[at + "std::sync::".len()..];
+        if ["Mutex", "RwLock", "Condvar"].iter().any(|t| token_match(rest, t)) {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: ln + 1,
+                id: rule.id,
+                rule: rule.name,
+                message: "raw std::sync lock outside s2_common::sync — bypasses the rank \
+                          detector and the L1/L2 static checks"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Lint one file's source. `path` must be repo-relative with `/` separators
 /// (it drives per-rule file scoping).
 pub fn lint_source(path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
@@ -296,6 +331,9 @@ pub fn lint_source(path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
                 apply_safety_rule(r, path, &lines, &is_test, &mut findings)
             }
             RuleKind::MetricName(m) => apply_metric_rule(m, path, &lines, &is_test, &mut findings),
+            RuleKind::RawLock(r) => {
+                apply_raw_lock_rule(r, path, &lines, &is_test, &markers, &mut findings)
+            }
         }
     }
     findings.sort_by(|a, b| (a.line, a.id).cmp(&(b.line, b.id)));

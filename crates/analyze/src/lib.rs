@@ -9,8 +9,13 @@
 //! finding survives.
 
 pub mod engine;
+pub mod interproc;
+pub mod items;
 pub mod lexer;
+pub mod metrics;
 pub mod rules;
+pub mod workspace;
 
 pub use engine::{lint_source, Finding};
 pub use rules::all_rules;
+pub use workspace::{analyze_workspace, SourceFile};

@@ -1,0 +1,205 @@
+//! L4 `metric-registry`: consistency between the metrics registered in
+//! code (`counter!` / `gauge!` / `histogram!` sites) and the canonical
+//! table in DESIGN.md.
+//!
+//! The DESIGN.md table lives between two HTML-comment markers so it can
+//! be located (and regenerated with `s2-lint --dump-metrics`) without
+//! parsing the whole document:
+//!
+//! ```text
+//! <!-- s2-lint:metrics-table:begin -->
+//! | metric | kind | registered in |
+//! |---|---|---|
+//! | `wal.append.bytes` | counter | `crates/wal/src/log.rs` |
+//! <!-- s2-lint:metrics-table:end -->
+//! ```
+//!
+//! Checks: one kind per name (a name registered as both counter and
+//! gauge is a bug — the registry get-or-registers by name), every
+//! in-code name style-clean and listed in the table, every table row
+//! backed by code. Duplicate same-kind registrations are fine: that is
+//! the registry's get-or-register idiom.
+
+use std::collections::BTreeMap;
+
+use crate::engine::{valid_metric_name, Finding};
+use crate::items::FileModel;
+
+pub const TABLE_BEGIN: &str = "<!-- s2-lint:metrics-table:begin -->";
+pub const TABLE_END: &str = "<!-- s2-lint:metrics-table:end -->";
+
+/// One in-code registration, first site wins.
+struct Site<'a> {
+    kind: &'static str,
+    path: &'a str,
+    line: usize,
+}
+
+/// A parsed DESIGN.md table row.
+struct Row {
+    name: String,
+    kind: String,
+    line: usize,
+}
+
+fn parse_table(design: &str) -> Option<Vec<Row>> {
+    let mut rows = Vec::new();
+    let mut inside = false;
+    let mut found = false;
+    for (ln, line) in design.lines().enumerate() {
+        let t = line.trim();
+        if t == TABLE_BEGIN {
+            inside = true;
+            found = true;
+            continue;
+        }
+        if t == TABLE_END {
+            inside = false;
+            continue;
+        }
+        if !inside || !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> =
+            t.trim_matches('|').split('|').map(|c| c.trim().trim_matches('`')).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let (name, kind) = (cells[0], cells[1]);
+        // Skip the header and the `|---|` separator row.
+        if name.is_empty() || name == "metric" || name.starts_with('-') {
+            continue;
+        }
+        rows.push(Row { name: name.to_string(), kind: kind.to_string(), line: ln + 1 });
+    }
+    found.then_some(rows)
+}
+
+/// Run the L4 checks. `design` is DESIGN.md's text when available; with
+/// `None` only the in-code half (kind conflicts, style) runs.
+pub(crate) fn check(models: &[FileModel], design: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // First registration site per name; later conflicting kinds report.
+    let mut sites: BTreeMap<&str, Site<'_>> = BTreeMap::new();
+    for m in models {
+        for reg in &m.metrics {
+            let Some(name) = reg.name.as_deref() else { continue };
+            if !valid_metric_name(name) {
+                findings.push(Finding {
+                    path: m.path.clone(),
+                    line: reg.line + 1,
+                    id: "L4",
+                    rule: "metric-registry",
+                    message: format!(
+                        "metric name {name:?} is not dot-separated lower_snake segments"
+                    ),
+                });
+                continue;
+            }
+            match sites.get(name) {
+                None => {
+                    sites.insert(name, Site { kind: reg.kind, path: &m.path, line: reg.line });
+                }
+                Some(first) if first.kind != reg.kind => {
+                    findings.push(Finding {
+                        path: m.path.clone(),
+                        line: reg.line + 1,
+                        id: "L4",
+                        rule: "metric-registry",
+                        message: format!(
+                            "metric {name:?} registered as {} here but as {} at {}:{} — \
+                             the registry is keyed by name, one kind per metric",
+                            reg.kind,
+                            first.kind,
+                            first.path,
+                            first.line + 1
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    let Some(design) = design else { return findings };
+    let Some(rows) = parse_table(design) else {
+        findings.push(Finding {
+            path: "DESIGN.md".to_string(),
+            line: 1,
+            id: "L4",
+            rule: "metric-registry",
+            message: format!(
+                "metrics table markers not found (expected {TABLE_BEGIN} .. {TABLE_END})"
+            ),
+        });
+        return findings;
+    };
+
+    let by_name: BTreeMap<&str, &Row> = rows.iter().map(|r| (r.name.as_str(), r)).collect();
+    for (name, site) in &sites {
+        match by_name.get(name) {
+            None => findings.push(Finding {
+                path: site.path.to_string(),
+                line: site.line + 1,
+                id: "L4",
+                rule: "metric-registry",
+                message: format!(
+                    "metric {name:?} is registered in code but missing from DESIGN.md's \
+                     metrics table (regenerate with `s2-lint --dump-metrics`)"
+                ),
+            }),
+            Some(row) if row.kind != site.kind => findings.push(Finding {
+                path: "DESIGN.md".to_string(),
+                line: row.line,
+                id: "L4",
+                rule: "metric-registry",
+                message: format!(
+                    "metrics table lists {name:?} as {} but code registers a {} at {}:{}",
+                    row.kind,
+                    site.kind,
+                    site.path,
+                    site.line + 1
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for row in &rows {
+        if !sites.contains_key(row.name.as_str()) {
+            findings.push(Finding {
+                path: "DESIGN.md".to_string(),
+                line: row.line,
+                id: "L4",
+                rule: "metric-registry",
+                message: format!(
+                    "metrics table lists {:?} but no code registers it (stale row?)",
+                    row.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Render the canonical table body for `--dump-metrics` (markers and
+/// header included, ready to paste into DESIGN.md).
+pub fn dump_table(models: &[FileModel]) -> String {
+    let mut sites: BTreeMap<&str, (&'static str, &str)> = BTreeMap::new();
+    for m in models {
+        for reg in &m.metrics {
+            if let Some(name) = reg.name.as_deref() {
+                sites.entry(name).or_insert((reg.kind, &m.path));
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(TABLE_BEGIN);
+    out.push_str("\n| metric | kind | registered in |\n|---|---|---|\n");
+    for (name, (kind, path)) in &sites {
+        out.push_str(&format!("| `{name}` | {kind} | `{path}` |\n"));
+    }
+    out.push_str(TABLE_END);
+    out.push('\n');
+    out
+}

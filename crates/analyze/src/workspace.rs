@@ -1,0 +1,38 @@
+//! Whole-workspace driver for the interprocedural checks: builds the
+//! program model over every source file, runs L1–L4, and applies the
+//! same `s2-lint: allow(..)` waiver grammar the per-line rules use.
+
+use crate::engine::{allowed, parse_markers, Finding};
+use crate::interproc;
+use crate::items::{parse_file, FileModel};
+use crate::metrics;
+
+/// One source file handed to the analyzer (repo-relative path + text).
+pub struct SourceFile {
+    pub path: String,
+    pub src: String,
+}
+
+/// Run the interprocedural checks (L1–L4) over the whole workspace.
+/// `design` is the text of DESIGN.md when available; without it the L4
+/// doc-sync half is skipped (the in-code half still runs).
+pub fn analyze_workspace(files: &[SourceFile], design: Option<&str>) -> Vec<Finding> {
+    let models: Vec<FileModel> = files.iter().map(|f| parse_file(&f.path, &f.src)).collect();
+
+    let mut findings = Vec::new();
+    findings.extend(interproc::check(&models));
+    findings.extend(metrics::check(&models, design));
+
+    // Waivers: a finding is dropped when its line (or the line above it)
+    // carries an allow(<rule>, <reason>) marker for its rule — the same
+    // grammar the per-line rules honour.
+    findings.retain(|f| {
+        let Some(model) = models.iter().find(|m| m.path == f.path) else {
+            return true; // DESIGN.md rows have no source lines to waive from
+        };
+        let markers = parse_markers(&model.lines);
+        !allowed(&markers, &model.lines, f.rule, f.line.saturating_sub(1))
+    });
+    findings.sort_by(|a, b| (&a.path, a.line, a.id).cmp(&(&b.path, b.line, b.id)));
+    findings
+}

@@ -1,0 +1,34 @@
+//! L1 fixture: ascending acquisition order — topology (200) before
+//! tables (210) — which the rank discipline allows.
+
+use s2_common::sync::{rank, Mutex};
+
+struct Cluster {
+    topology: Mutex<u32>,
+    tables: Mutex<u32>,
+}
+
+impl Cluster {
+    fn new() -> Cluster {
+        Cluster {
+            topology: Mutex::new(&rank::CLUSTER_TOPOLOGY, 0),
+            tables: Mutex::new(&rank::CLUSTER_TABLES, 0),
+        }
+    }
+
+    fn context(&self) -> u32 {
+        let topo = self.topology.lock();
+        let tables = self.tables.lock();
+        *tables + *topo
+    }
+
+    /// Scoped reacquisition: the first guard dies before the second lock.
+    fn twice(&self) -> u32 {
+        let first = {
+            let tables = self.tables.lock();
+            *tables
+        };
+        let topo = self.topology.lock();
+        first + *topo
+    }
+}

@@ -1,0 +1,40 @@
+//! L1 fixture: the pre-PR-9 `Cluster::context` inversion shape — the
+//! topology lock taken while the tables-map guard is still alive, both
+//! directly and through a callee.
+
+use s2_common::sync::{rank, Mutex};
+
+struct Cluster {
+    topology: Mutex<u32>,
+    tables: Mutex<u32>,
+}
+
+impl Cluster {
+    fn new() -> Cluster {
+        Cluster {
+            topology: Mutex::new(&rank::CLUSTER_TOPOLOGY, 0),
+            tables: Mutex::new(&rank::CLUSTER_TABLES, 0),
+        }
+    }
+
+    /// Direct inversion: cluster.tables (210) held across a
+    /// cluster.topology (200) acquisition.
+    fn context(&self) -> u32 {
+        let tables = self.tables.lock();
+        let topo = self.topology.lock();
+        *tables + *topo
+    }
+
+    /// Interprocedural inversion: the lower-ranked lock is taken by a
+    /// callee while the tables guard is held here.
+    fn refresh(&self) {
+        let guard = self.tables.lock();
+        self.bump_epoch();
+        drop(guard);
+    }
+
+    fn bump_epoch(&self) {
+        let mut topo = self.topology.lock();
+        *topo += 1;
+    }
+}

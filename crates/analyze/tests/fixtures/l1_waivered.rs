@@ -1,0 +1,25 @@
+//! L1 fixture: the same inversion as `l1_violation.rs`, waived at the
+//! acquisition site with the standard marker grammar.
+
+use s2_common::sync::{rank, Mutex};
+
+struct Cluster {
+    topology: Mutex<u32>,
+    tables: Mutex<u32>,
+}
+
+impl Cluster {
+    fn new() -> Cluster {
+        Cluster {
+            topology: Mutex::new(&rank::CLUSTER_TOPOLOGY, 0),
+            tables: Mutex::new(&rank::CLUSTER_TABLES, 0),
+        }
+    }
+
+    fn context(&self) -> u32 {
+        let tables = self.tables.lock();
+        // s2-lint: allow(lock-order, fixture demonstrates a waived inversion)
+        let topo = self.topology.lock();
+        *tables + *topo
+    }
+}

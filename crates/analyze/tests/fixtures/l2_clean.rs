@@ -1,0 +1,37 @@
+//! L2 fixture: the group-commit leader protocol — state mutated under the
+//! lock, guard dropped, THEN the fsync — which L2 must accept.
+
+use std::fs::File;
+
+use s2_common::sync::{rank, Condvar, Mutex};
+
+struct Wal {
+    state: Mutex<u64>,
+    wakeup: Condvar,
+    file: File,
+}
+
+impl Wal {
+    fn open(file: File) -> Wal {
+        Wal { state: Mutex::new(&rank::WAL_LOG, 0), wakeup: Condvar::new(), file }
+    }
+
+    /// Leader: stage under the lock, release, sync outside it.
+    fn lead(&self) {
+        s2_common::fault::crash_point("wal.fixture.lead");
+        let mut g = self.state.lock();
+        *g += 1;
+        drop(g);
+        self.file.sync_all().unwrap();
+    }
+
+    /// Condvar wait releases the guard while parked; waiting is not a
+    /// blocking-while-locked violation against the lock being waited on.
+    fn wait_durable(&self) {
+        let mut g = self.state.lock();
+        while *g == 0 {
+            g = self.wakeup.wait(g);
+        }
+        drop(g);
+    }
+}

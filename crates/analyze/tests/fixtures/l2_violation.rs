@@ -1,0 +1,40 @@
+//! L2 fixture: an fsync issued while a commit-section (`wal.*`) lock is
+//! held — directly and through a callee.
+
+use std::fs::File;
+
+use s2_common::sync::{rank, Mutex};
+
+struct Wal {
+    state: Mutex<u64>,
+    file: File,
+}
+
+impl Wal {
+    fn open(file: File) -> Wal {
+        Wal { state: Mutex::new(&rank::WAL_LOG, 0), file }
+    }
+
+    /// Direct: the state guard is alive across the sync_all call, so every
+    /// committer stalls behind this thread's disk latency.
+    fn append_sync(&self) {
+        s2_common::fault::crash_point("wal.fixture.append");
+        let mut g = self.state.lock();
+        *g += 1;
+        self.file.sync_all().unwrap();
+        drop(g);
+    }
+
+    /// Interprocedural: the fsync hides one call away.
+    fn commit(&self) {
+        s2_common::fault::crash_point("wal.fixture.commit");
+        let mut g = self.state.lock();
+        *g += 1;
+        self.flush_disk();
+        drop(g);
+    }
+
+    fn flush_disk(&self) {
+        self.file.sync_all().unwrap();
+    }
+}

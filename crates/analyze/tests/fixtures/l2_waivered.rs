@@ -1,0 +1,25 @@
+//! L2 fixture: fsync-under-lock waived at the blocking call site.
+
+use std::fs::File;
+
+use s2_common::sync::{rank, Mutex};
+
+struct Wal {
+    state: Mutex<u64>,
+    file: File,
+}
+
+impl Wal {
+    fn open(file: File) -> Wal {
+        Wal { state: Mutex::new(&rank::WAL_LOG, 0), file }
+    }
+
+    fn append_sync(&self) {
+        s2_common::fault::crash_point("wal.fixture.append");
+        let mut g = self.state.lock();
+        *g += 1;
+        // s2-lint: allow(blocking-locked, fixture demonstrates a waived fsync)
+        self.file.sync_all().unwrap();
+        drop(g);
+    }
+}

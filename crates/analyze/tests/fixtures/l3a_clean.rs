@@ -1,0 +1,15 @@
+//! L3a fixture: the mutation site is preceded by a crash point, so the
+//! crash matrix can cut power on either side of the write.
+
+use std::fs::File;
+
+struct Seg {
+    file: File,
+}
+
+impl Seg {
+    fn truncate_tail(&self, valid: u64) {
+        s2_common::fault::crash_point("wal.fixture.truncate");
+        self.file.set_len(valid).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! L3a fixture (analyzed under a `crates/wal/` path): a raw-I/O mutation
+//! site with no reachable `fault::` hook, so the crash matrix cannot
+//! exercise a power cut at this write.
+
+use std::fs::File;
+
+struct Seg {
+    file: File,
+}
+
+impl Seg {
+    fn truncate_tail(&self, valid: u64) {
+        self.file.set_len(valid).unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! L3a fixture: the same uncovered mutation site, waived in place.
+
+use std::fs::File;
+
+struct Seg {
+    file: File,
+}
+
+impl Seg {
+    fn truncate_tail(&self, valid: u64) {
+        // s2-lint: allow(failpoint-coverage, fixture demonstrates a waived site)
+        self.file.set_len(valid).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! L3b fixture: every ObjectStore verb has at least one implementation
+//! that reaches a `fault::` hook.
+
+type Result<T> = std::result::Result<T, ()>;
+
+trait ObjectStore {
+    fn put(&self, key: &str) -> Result<()>;
+    fn get(&self, key: &str) -> Result<()>;
+    fn delete(&self, key: &str) -> Result<()>;
+}
+
+struct Mem;
+
+impl ObjectStore for Mem {
+    fn put(&self, key: &str) -> Result<()> {
+        s2_common::fault::failpoint("blob.fixture.put")?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<()> {
+        s2_common::fault::failpoint("blob.fixture.get")?;
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        s2_common::fault::failpoint("blob.fixture.delete")?;
+        Ok(())
+    }
+}

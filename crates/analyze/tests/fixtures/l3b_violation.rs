@@ -1,0 +1,64 @@
+//! L3b fixture: an `ObjectStore` whose put/get verbs are injectable but
+//! whose delete never reaches a `fault::` hook through ANY implementation.
+//!
+//! The second impl also pins the closure-parameter regression: `guarded`
+//! calls its `attempt` PARAMETER, which must not resolve to the free
+//! `attempt` function below (that one does reach a hook — resolving the
+//! call there would wrongly mark every delete as covered).
+
+type Result<T> = std::result::Result<T, ()>;
+
+trait ObjectStore {
+    fn put(&self, key: &str) -> Result<()>;
+    fn get(&self, key: &str) -> Result<()>;
+    fn delete(&self, key: &str) -> Result<()>;
+}
+
+struct Mem;
+
+impl ObjectStore for Mem {
+    fn put(&self, key: &str) -> Result<()> {
+        s2_common::fault::failpoint("blob.fixture.put")?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<()> {
+        s2_common::fault::failpoint("blob.fixture.get")?;
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        Ok(())
+    }
+}
+
+struct Resilient {
+    inner: Mem,
+}
+
+impl Resilient {
+    fn guarded(&self, attempt: impl Fn() -> Result<()>) -> Result<()> {
+        attempt()
+    }
+}
+
+impl ObjectStore for Resilient {
+    fn put(&self, key: &str) -> Result<()> {
+        self.guarded(|| self.inner.put(key))
+    }
+
+    fn get(&self, key: &str) -> Result<()> {
+        self.guarded(|| self.inner.get(key))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.guarded(|| self.inner.delete(key))
+    }
+}
+
+/// A free function that DOES reach a hook; the `attempt()` call inside
+/// `guarded` must not be attributed to it.
+fn attempt() -> Result<()> {
+    s2_common::fault::failpoint("blob.fixture.attempt")?;
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! L4 fixture: registrations in perfect sync with the doc table.
+
+fn register() {
+    s2_obs::counter!("fix.ops").inc();
+    s2_obs::histogram!("fix.lat_us").observe(1);
+}

@@ -1,0 +1,10 @@
+//! L4 fixture: metric-registry violations — a kind conflict, a
+//! style-breaking name, and a registration missing from the doc table.
+
+fn register() {
+    s2_obs::counter!("fix.ops").inc();
+    s2_obs::gauge!("fix.ops").set(0);
+    s2_obs::counter!("Fix-Bad-Name").inc();
+    s2_obs::counter!("fix.extra").inc();
+    s2_obs::histogram!("fix.lat_us").observe(1);
+}

@@ -1,0 +1,7 @@
+//! L4 fixture: a style-breaking metric name carrying an inline waiver.
+
+fn register() {
+    // s2-lint: allow(metric-registry, fixture demonstrates a waived name)
+    s2_obs::counter!("Fix-Waived-Name").inc();
+    s2_obs::counter!("fix.ops").inc();
+}

@@ -137,6 +137,8 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
 
     fn delete(&self, key: &str) -> Result<()> {
         self.check_available()?;
+        s2_common::fault::failpoint("blob.delete")?;
+        self.inject(self.put_latency);
         self.inner.delete(key)
     }
 }

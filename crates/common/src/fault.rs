@@ -113,11 +113,13 @@ pub fn crash_point(site: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::{rank, Mutex};
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::Mutex;
 
     // The registry is process-global; serialize tests that install hooks.
-    static LOCK: Mutex<()> = Mutex::new(());
+    // Ranked as the outermost harness class: the body acquires the
+    // fault.registry lock (rank 800) beneath it.
+    static LOCK: Mutex<()> = Mutex::new(&rank::SIM_HARNESS, ());
 
     struct Always(fn() -> FaultAction);
     impl FaultHook for Always {
@@ -128,7 +130,7 @@ mod tests {
 
     #[test]
     fn unarmed_sites_pass_through() {
-        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = LOCK.lock();
         clear();
         assert!(failpoint("x").is_ok());
         crash_point("x"); // must not panic
@@ -136,7 +138,7 @@ mod tests {
 
     #[test]
     fn error_injection_and_clear() {
-        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = LOCK.lock();
         install(Arc::new(Always(|| FaultAction::Error(Error::Unavailable("inj".into())))));
         assert!(matches!(failpoint("s"), Err(Error::Unavailable(_))));
         // crash_point ignores Error actions: the site is infallible.
@@ -147,7 +149,7 @@ mod tests {
 
     #[test]
     fn crash_payload_is_downcastable() {
-        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = LOCK.lock();
         install(Arc::new(Always(|| FaultAction::Crash)));
         let err = catch_unwind(AssertUnwindSafe(|| failpoint("wal.sync"))).unwrap_err();
         let cp = err.downcast_ref::<CrashPoint>().expect("CrashPoint payload");

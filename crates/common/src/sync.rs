@@ -123,6 +123,47 @@ pub mod rank {
     pub static TEST_B: LockClass = LockClass { order: 10_000, name: "test.b" };
     /// Strictly above [`TEST_A`]/[`TEST_B`] (exercises the rank check).
     pub static TEST_C: LockClass = LockClass { order: 10_010, name: "test.c" };
+
+    /// Machine-readable export of the full hierarchy, keyed by the Rust
+    /// identifier used at construction sites (`&rank::WAL_GROUP` → entry
+    /// `("WAL_GROUP", ..)`). The static analyzer (s2-lint L1/L2) resolves
+    /// lock constructions through this table; a `&rank::X` it cannot find
+    /// here is itself reported, so the table cannot silently go stale.
+    pub static TABLE: &[(&str, &LockClass)] = &[
+        ("SIM_HARNESS", &SIM_HARNESS),
+        ("CLUSTER_TOPOLOGY", &CLUSTER_TOPOLOGY),
+        ("CLUSTER_TABLES", &CLUSTER_TABLES),
+        ("CLUSTER_WORKSPACES", &CLUSTER_WORKSPACES),
+        ("CLUSTER_REPLICA_MARK", &CLUSTER_REPLICA_MARK),
+        ("CORE_COMMIT", &CORE_COMMIT),
+        ("CORE_TABLES", &CORE_TABLES),
+        ("CORE_PINNED", &CORE_PINNED),
+        ("CORE_ROWSTORE", &CORE_ROWSTORE),
+        ("CORE_TABLE_STATE", &CORE_TABLE_STATE),
+        ("CORE_SEG_DELETED", &CORE_SEG_DELETED),
+        ("CORE_SEGFILES", &CORE_SEGFILES),
+        ("WAL_GROUP", &WAL_GROUP),
+        ("WAL_LOG", &WAL_LOG),
+        ("CLUSTER_STORAGE_SETS", &CLUSTER_STORAGE_SETS),
+        ("BLOB_STORE", &BLOB_STORE),
+        ("BLOB_CACHE", &BLOB_CACHE),
+        ("BLOB_UPLOADER", &BLOB_UPLOADER),
+        ("BLOB_HEALTH_REGISTRY", &BLOB_HEALTH_REGISTRY),
+        ("BLOB_BREAKER", &BLOB_BREAKER),
+        ("EXEC_POOL_GROW", &EXEC_POOL_GROW),
+        ("EXEC_POOL_QUEUE", &EXEC_POOL_QUEUE),
+        ("EXEC_POOL_IDLE", &EXEC_POOL_IDLE),
+        ("EXEC_DECISION_CACHE", &EXEC_DECISION_CACHE),
+        ("ENCODING_READER", &ENCODING_READER),
+        ("SIM_STORAGE", &SIM_STORAGE),
+        ("SIM_PLAN", &SIM_PLAN),
+        ("FAULT_REGISTRY", &FAULT_REGISTRY),
+        ("OBS_REGISTRY", &OBS_REGISTRY),
+        ("OBS_RING_SLOT", &OBS_RING_SLOT),
+        ("TEST_A", &TEST_A),
+        ("TEST_B", &TEST_B),
+        ("TEST_C", &TEST_C),
+    ];
 }
 
 #[cfg(debug_assertions)]
@@ -556,6 +597,28 @@ mod tests {
         let (g, timed_out) = cv.wait_timeout(m.lock(), Duration::from_millis(1));
         assert!(timed_out);
         assert!(*g);
+    }
+
+    #[test]
+    fn rank_table_is_consistent() {
+        use std::collections::BTreeSet;
+        let idents: BTreeSet<&str> = rank::TABLE.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idents.len(), rank::TABLE.len(), "duplicate identifier in rank::TABLE");
+        let names: BTreeSet<&str> = rank::TABLE.iter().map(|(_, c)| c.name).collect();
+        assert_eq!(names.len(), rank::TABLE.len(), "duplicate class name in rank::TABLE");
+        // Entries stay listed in hierarchy order so the table doubles as
+        // readable documentation (equal orders — the test.a/test.b pair —
+        // are fine).
+        for w in rank::TABLE.windows(2) {
+            assert!(
+                w[0].1.order <= w[1].1.order,
+                "rank::TABLE out of order: {} ({}) then {} ({})",
+                w[0].0,
+                w[0].1.order,
+                w[1].0,
+                w[1].1.order
+            );
+        }
     }
 
     #[test]

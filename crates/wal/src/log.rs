@@ -119,6 +119,9 @@ impl Log {
                 "wal.torn_tail",
                 format!("dropped {} trailing bytes at lp {valid}", mem.len() - valid),
             );
+            // Crash here models power loss mid-truncation: the next open
+            // re-derives the same valid prefix and truncates again.
+            s2_common::fault::crash_point("wal.open.truncate");
             file.set_len(valid as u64)?;
             mem.truncate(valid);
         }
@@ -174,6 +177,9 @@ impl Log {
     /// replica's log must mirror the master's bytes and positions so the
     /// replica can be promoted and continue the stream).
     pub fn append_raw(&self, bytes: &[u8]) -> (LogPosition, LogPosition) {
+        // Crash here models a replica losing power before mirrored bytes
+        // reach its log buffer — the stream resumes from the last applied lp.
+        s2_common::fault::crash_point("wal.append_raw");
         s2_obs::counter!("wal.append.bytes").add(bytes.len() as u64);
         let mut inner = self.inner.lock();
         let start = inner.end_lp;

@@ -12,10 +12,14 @@ echo "== fmt =="
 cargo fmt --all -- --check
 
 echo "== analyze =="
-# Workspace lint engine (crates/analyze): commit-path unwrap/blocking
-# discipline, deterministic-module wall-clock bans, SAFETY comments,
-# metric-name style. One line per finding, nonzero exit on any.
-cargo run -q -p s2-lint "${CARGO_FLAGS[@]}"
+# Workspace analyzer (crates/analyze): per-line rules R1-R6 (wall-clock,
+# unwrap, blocking, SAFETY comments, metric-name style, raw std::sync
+# locks) plus the interprocedural checks L1-L4 (static lock-order over
+# the call graph, blocking-while-commit-lock-held, failpoint coverage of
+# WAL/blob mutation sites, metric registry <-> DESIGN.md sync). One line
+# per finding, JSON copy in target/lint.json, nonzero exit on any;
+# `cargo run -p s2-lint -- --explain <ID>` documents each rule.
+cargo run -q -p s2-lint "${CARGO_FLAGS[@]}" -- --json target/lint.json
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
